@@ -1,0 +1,51 @@
+// Ablation of the paper's §4.3 accuracy note: "the accuracy of preemption
+// results is limited by the granularity of task delay models". Sweeps the
+// RTOS model's preemption granularity on the vocoder architecture model and
+// reports the worst interrupt-to-driver latency (the preemption-sensitive
+// metric) together with the simulation cost — the accuracy/speed tradeoff a
+// designer buys with finer delay modeling.
+
+#include <cstdio>
+
+#include "sim/time.hpp"
+#include "vocoder/models.hpp"
+#include "vocoder/timing.hpp"
+
+using namespace slm;
+using namespace slm::time_literals;
+using namespace slm::vocoder;
+
+int main() {
+    std::printf("=== Preemption-granularity ablation (vocoder architecture model) ===\n\n");
+    std::printf("%-14s %18s %18s %14s\n", "granularity", "max input latency",
+                "avg transcode", "wall [ms]");
+
+    const SimTime grans[] = {SimTime::zero(), 2000_us, 1000_us, 500_us, 200_us,
+                             100_us,          50_us,   20_us};
+    SimTime coarse_latency, fine_latency;
+    for (const SimTime g : grans) {
+        VocoderConfig cfg;
+        cfg.frames = 100;
+        cfg.rtos.preemption_granularity = g;
+        const VocoderResult r = run_vocoder_architecture(cfg);
+        std::printf("%-14s %18s %18s %14.2f\n",
+                    g.is_zero() ? "one chunk" : g.to_string().c_str(),
+                    r.max_input_latency.to_string().c_str(),
+                    r.avg_transcoding_delay.to_string().c_str(),
+                    r.wall_seconds * 1e3);
+        if (g.is_zero()) {
+            coarse_latency = r.max_input_latency;
+        }
+        fine_latency = r.max_input_latency;
+    }
+
+    std::printf("\nWith one chunk per time_wait, an interrupt arriving mid-encode waits\n"
+                "for the end of the 6.5 ms delay step (the Fig. 8 t4 -> t4' effect);\n"
+                "chopping delays bounds the dispatch latency at the cost of more\n"
+                "simulation events.\n");
+    std::printf("\n[%s] finest granularity tightened worst latency %.1fx\n",
+                fine_latency * 4 < coarse_latency ? "PASS" : "FAIL",
+                static_cast<double>(coarse_latency.ns()) /
+                    static_cast<double>(fine_latency.ns()));
+    return 0;
+}

@@ -1,0 +1,74 @@
+// Mapping exploration (extension of the paper's design flow, Fig. 1): the
+// same vocoder workload mapped onto one DSP (driver + encoder + decoder
+// sharing a CPU under the RTOS model) versus two DSPs connected by a system
+// bus (decoder offloaded). The architecture model quantifies what the second
+// PE buys: the decoder escapes driver/encoder interference, at the price of a
+// bus transfer per frame.
+
+#include <cstdio>
+
+#include "vocoder/models.hpp"
+#include "vocoder/timing.hpp"
+
+using namespace slm;
+using namespace slm::vocoder;
+
+int main() {
+    VocoderConfig cfg;
+    cfg.frames = 100;
+
+    std::printf("=== Mapping exploration: vocoder on one vs two DSPs (%zu frames) ===\n\n",
+                cfg.frames);
+
+    const VocoderResult one = run_vocoder_architecture(cfg);
+    const TwoPeResult two = run_vocoder_two_pe(cfg);
+
+    std::printf("%-26s %16s %16s\n", "", "single DSP", "dual DSP");
+    std::printf("%-26s %16s %16s\n", "avg transcoding delay",
+                one.avg_transcoding_delay.to_string().c_str(),
+                two.overall.avg_transcoding_delay.to_string().c_str());
+    std::printf("%-26s %16s %16s\n", "max transcoding delay",
+                one.max_transcoding_delay.to_string().c_str(),
+                two.overall.max_transcoding_delay.to_string().c_str());
+    std::printf("%-26s %16llu %16llu\n", "context switches",
+                static_cast<unsigned long long>(one.context_switches),
+                static_cast<unsigned long long>(two.overall.context_switches));
+    std::printf("%-26s %16s %7s + %-7s\n", "CPU busy time", "(one PE)",
+                two.pe0_busy.to_string().c_str(), two.pe1_busy.to_string().c_str());
+    std::printf("%-26s %16s %16s\n", "data integrity", one.data_ok ? "ok" : "FAIL",
+                two.overall.data_ok ? "ok" : "FAIL");
+    std::printf("%-26s %16s %9llu xfers\n", "system bus", "-",
+                static_cast<unsigned long long>(two.bus_transfers));
+    std::printf("%-26s %16s %16s\n", "bus busy", "-", two.bus_busy.to_string().c_str());
+
+    // What the model teaches here: the transcode chain is serial, so a second
+    // PE barely moves the latency (it even adds a bus hop). What it buys is
+    // utilization headroom — capacity for more channels.
+    const double util_one =
+        static_cast<double>((two.pe0_busy + two.pe1_busy).ns()) /
+        static_cast<double>(one.sim_duration.ns());
+    const double util_pe0 = static_cast<double>(two.pe0_busy.ns()) /
+                            static_cast<double>(two.overall.sim_duration.ns());
+    const double util_pe1 = static_cast<double>(two.pe1_busy.ns()) /
+                            static_cast<double>(two.overall.sim_duration.ns());
+    std::printf("%-26s %15.1f%% %8.1f%%/%.1f%%\n", "CPU utilization",
+                util_one * 100, util_pe0 * 100, util_pe1 * 100);
+
+    const double delay_ratio =
+        static_cast<double>(two.overall.avg_transcoding_delay.ns()) /
+        static_cast<double>(one.avg_transcoding_delay.ns());
+    const bool latency_flat = delay_ratio > 0.95 && delay_ratio < 1.05;
+    const bool headroom = util_pe0 < util_one && util_pe1 < util_one;
+    const bool intact = one.data_ok && two.overall.data_ok;
+    std::printf("\n  [%s] latency is mapping-insensitive (serial chain): ratio %.3f\n",
+                latency_flat ? "PASS" : "FAIL", delay_ratio);
+    std::printf("  [%s] dual mapping halves per-PE utilization (headroom for more channels)\n",
+                headroom ? "PASS" : "FAIL");
+    std::printf("  [%s] both mappings deliver every frame intact\n",
+                intact ? "PASS" : "FAIL");
+    std::printf("\nThis is the evaluation loop the paper's flow enables: mappings and\n"
+                "scheduling strategies compared quantitatively at the architecture\n"
+                "level, long before RTL or target code exists — here it correctly\n"
+                "shows that a second DSP buys capacity, not transcode latency.\n");
+    return 0;
+}

@@ -1,0 +1,130 @@
+// Microbenchmarks of the simulation substrates: SLDL kernel primitives
+// (context switches, events, channels) and the instruction-set simulator's
+// throughput. These establish the cost model behind the Table 1 execution-
+// time ratios.
+
+#include <benchmark/benchmark.h>
+
+#include "iss/assembler.hpp"
+#include "iss/cpu.hpp"
+#include "sim/channels.hpp"
+#include "sim/kernel.hpp"
+#include "sim/time.hpp"
+
+using namespace slm;
+using namespace slm::time_literals;
+
+namespace {
+
+/// Cost of one coroutine round trip (process switch in + out).
+void BM_KernelContextSwitch(benchmark::State& state) {
+    constexpr int kYields = 10'000;
+    for (auto _ : state) {
+        sim::Kernel k;
+        k.spawn("a", [&k] {
+            for (int i = 0; i < kYields; ++i) {
+                k.yield();
+            }
+        });
+        k.spawn("b", [&k] {
+            for (int i = 0; i < kYields; ++i) {
+                k.yield();
+            }
+        });
+        k.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * kYields);
+}
+
+/// Cost of an event notify/wait pair.
+void BM_KernelEventPingPong(benchmark::State& state) {
+    constexpr int kRounds = 10'000;
+    for (auto _ : state) {
+        sim::Kernel k;
+        sim::Event ping{k, "ping"}, pong{k, "pong"};
+        k.spawn("a", [&] {
+            for (int i = 0; i < kRounds; ++i) {
+                k.notify(ping);
+                k.wait(pong);
+            }
+            k.notify(ping);
+        });
+        k.spawn("b", [&] {
+            for (int i = 0; i < kRounds; ++i) {
+                k.wait(ping);
+                k.notify(pong);
+            }
+        });
+        k.run();
+    }
+    state.SetItemsProcessed(state.iterations() * kRounds);
+}
+
+/// Cost of a timed-queue operation (waitfor schedule + wake).
+void BM_KernelWaitfor(benchmark::State& state) {
+    constexpr int kSteps = 20'000;
+    for (auto _ : state) {
+        sim::Kernel k;
+        k.spawn("t", [&k] {
+            for (int i = 0; i < kSteps; ++i) {
+                k.waitfor(10_ns);
+            }
+        });
+        k.run();
+    }
+    state.SetItemsProcessed(state.iterations() * kSteps);
+}
+
+/// Queue channel throughput (send + receive with blocking protocol).
+void BM_ChannelQueue(benchmark::State& state) {
+    constexpr int kItems = 10'000;
+    for (auto _ : state) {
+        sim::Kernel k;
+        sim::Queue<int> q{k, 16};
+        k.spawn("producer", [&] {
+            for (int i = 0; i < kItems; ++i) {
+                q.send(i);
+            }
+        });
+        k.spawn("consumer", [&] {
+            long long sum = 0;
+            for (int i = 0; i < kItems; ++i) {
+                sum += q.receive();
+            }
+            benchmark::DoNotOptimize(sum);
+        });
+        k.run();
+    }
+    state.SetItemsProcessed(state.iterations() * kItems);
+}
+
+/// Raw ISS throughput in instructions/second (host-side MIPS).
+void BM_IssExecution(benchmark::State& state) {
+    const auto prog = iss::assemble(R"(
+        ldi r1, 0
+        ldi r2, 1000000000
+        loop:
+        addi r1, r1, 1
+        mac r3, r1, r1
+        blt r1, r2, loop
+        halt
+    )");
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        iss::Cpu cpu{prog.program.code, 64};
+        (void)cpu.run(3'000'000);  // ~1M instructions per iteration
+        instrs += cpu.retired();
+        benchmark::DoNotOptimize(cpu.reg(3));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(instrs));
+}
+
+}  // namespace
+
+BENCHMARK(BM_KernelContextSwitch);
+BENCHMARK(BM_KernelEventPingPong);
+BENCHMARK(BM_KernelWaitfor);
+BENCHMARK(BM_ChannelQueue);
+BENCHMARK(BM_IssExecution);
+
+BENCHMARK_MAIN();

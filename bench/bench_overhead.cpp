@@ -1,0 +1,110 @@
+// Measures the simulation overhead of the RTOS model layer — the paper's §5
+// claim that "the simulation overhead introduced by the RTOS model is
+// negligible". Compares wall-clock cost of simulating the same workload as
+// (a) raw SLDL processes and (b) RTOS-model tasks, across task counts.
+// google-benchmark binary: run with --benchmark_filter=... to narrow.
+
+#include <benchmark/benchmark.h>
+
+#include "rtos/os_channels.hpp"
+#include "rtos/rtos.hpp"
+#include "sim/kernel.hpp"
+#include "sim/time.hpp"
+
+using namespace slm;
+using namespace slm::time_literals;
+
+namespace {
+
+constexpr int kStepsPerTask = 200;
+
+/// Workload (a): plain SLDL processes with waitfor delays.
+void BM_RawKernelProcesses(benchmark::State& state) {
+    const int tasks = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::Kernel k;
+        for (int i = 0; i < tasks; ++i) {
+            k.spawn("p" + std::to_string(i), [&k, i] {
+                for (int s = 0; s < kStepsPerTask; ++s) {
+                    k.waitfor(microseconds(static_cast<std::uint64_t>(10 + i)));
+                }
+            });
+        }
+        k.run();
+        benchmark::DoNotOptimize(k.now());
+    }
+    state.SetItemsProcessed(state.iterations() * tasks * kStepsPerTask);
+}
+
+/// Workload (b): the same delays issued as RTOS-model time_wait calls.
+void BM_RtosModelTasks(benchmark::State& state) {
+    const int tasks = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::Kernel k;
+        rtos::RtosModel os{k};
+        for (int i = 0; i < tasks; ++i) {
+            rtos::Task* t =
+                os.task_create("t" + std::to_string(i), rtos::TaskType::Aperiodic,
+                               {}, {}, i % 4);
+            k.spawn("t" + std::to_string(i), [&os, t, i] {
+                os.task_activate(t);
+                for (int s = 0; s < kStepsPerTask; ++s) {
+                    os.time_wait(microseconds(static_cast<std::uint64_t>(10 + i)));
+                }
+                os.task_terminate();
+            });
+        }
+        os.start();
+        k.run();
+        benchmark::DoNotOptimize(k.now());
+    }
+    state.SetItemsProcessed(state.iterations() * tasks * kStepsPerTask);
+}
+
+/// Workload (c): RTOS tasks ping-ponging through semaphores (syscall-heavy
+/// pattern; semaphores rather than bare events because event notifications
+/// are lossy when nobody waits yet).
+void BM_RtosSemPingPong(benchmark::State& state) {
+    constexpr int kRounds = 500;
+    for (auto _ : state) {
+        sim::Kernel k;
+        rtos::RtosModel os{k};
+        rtos::OsSemaphore ping{os, 0, "ping"};
+        rtos::OsSemaphore pong{os, 0, "pong"};
+        rtos::Task* a = os.task_create("a", rtos::TaskType::Aperiodic, {}, {}, 1);
+        rtos::Task* b = os.task_create("b", rtos::TaskType::Aperiodic, {}, {}, 2);
+        k.spawn("a", [&] {
+            os.task_activate(a);
+            for (int r = 0; r < kRounds; ++r) {
+                os.time_wait(1_us);
+                ping.release();
+                pong.acquire();
+            }
+            os.task_terminate();
+        });
+        k.spawn("b", [&] {
+            os.task_activate(b);
+            for (int r = 0; r < kRounds; ++r) {
+                ping.acquire();
+                os.time_wait(1_us);
+                pong.release();
+            }
+            os.task_terminate();
+        });
+        os.start();
+        k.run();
+        if (os.stats().context_switches < 2 * kRounds) {
+            state.SkipWithError("ping-pong did not complete");
+        }
+        benchmark::DoNotOptimize(os.stats().context_switches);
+    }
+    state.SetItemsProcessed(state.iterations() * kRounds);
+}
+
+}  // namespace
+
+BENCHMARK(BM_RawKernelProcesses)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK(BM_RtosModelTasks)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK(BM_RtosSemPingPong);
+
+BENCHMARK_MAIN();

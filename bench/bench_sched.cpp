@@ -1,0 +1,187 @@
+// Scheduling design-space exploration with the RTOS model — the use case the
+// paper's design flow motivates (§3: "evaluate different dynamic scheduling
+// approaches ... as part of system design space exploration"). Sweeps periodic
+// task sets of increasing utilization under every policy and reports deadline
+// misses, then shows the priority-inheritance ablation on the classic
+// inversion scenario.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "rtos/os_channels.hpp"
+#include "rtos/rtos.hpp"
+#include "sim/kernel.hpp"
+#include "sim/time.hpp"
+#include "vocoder/models.hpp"
+
+using namespace slm;
+using namespace slm::time_literals;
+
+namespace {
+
+struct SetResult {
+    std::uint64_t misses = 0;
+    std::uint64_t switches = 0;
+};
+
+SetResult run_set(rtos::SchedPolicy policy,
+                  const std::vector<analysis::PeriodicTaskSpec>& specs, SimTime horizon) {
+    sim::Kernel k;
+    rtos::RtosConfig cfg;
+    cfg.policy = policy;
+    cfg.quantum = 2_ms;
+    cfg.preemption_granularity = 1_ms;
+    rtos::RtosModel os{k, cfg};
+    std::vector<rtos::Task*> tasks;
+    for (const auto& s : specs) {
+        rtos::Task* t = os.task_create(s.name, rtos::TaskType::Periodic, s.period,
+                                       s.wcet, s.priority);
+        tasks.push_back(t);
+        k.spawn(s.name, [&os, t, wcet = s.wcet] {
+            os.task_activate(t);
+            for (;;) {
+                os.time_wait(wcet);
+                os.task_endcycle();
+            }
+        });
+    }
+    os.start();
+    (void)k.run_until(horizon);
+    SetResult out;
+    out.switches = os.stats().context_switches;
+    for (const rtos::Task* t : tasks) {
+        out.misses += t->stats().deadline_misses;
+    }
+    return out;
+}
+
+std::vector<analysis::PeriodicTaskSpec> make_set(double target_u) {
+    // Three tasks with harmonic-ish periods scaled to the target utilization.
+    std::vector<analysis::PeriodicTaskSpec> specs;
+    const struct {
+        const char* name;
+        SimTime period;
+        double share;  // share of total utilization
+    } defs[] = {{"fast", 40_ms, 0.3}, {"mid", 100_ms, 0.3}, {"slow", 280_ms, 0.4}};
+    for (const auto& d : defs) {
+        analysis::PeriodicTaskSpec s;
+        s.name = d.name;
+        s.period = d.period;
+        s.wcet = SimTime{static_cast<std::uint64_t>(
+            static_cast<double>(d.period.ns()) * target_u * d.share)};
+        specs.push_back(s);
+    }
+    assign_rms_priorities(specs);
+    return specs;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== Scheduling-policy exploration: deadline misses vs utilization ===\n\n");
+    std::printf("%-6s %-8s %-6s", "U", "RTA", "EDF?");
+    for (const auto p : {rtos::SchedPolicy::Priority, rtos::SchedPolicy::Rms,
+                         rtos::SchedPolicy::Edf, rtos::SchedPolicy::RoundRobin,
+                         rtos::SchedPolicy::Fifo}) {
+        std::printf(" %12s", to_string(p));
+    }
+    std::printf("\n");
+
+    for (const double u : {0.5, 0.7, 0.85, 0.95, 1.05}) {
+        const auto specs = make_set(u);
+        std::printf("%-6.2f %-8s %-6s", analysis::utilization(specs),
+                    analysis::rta_schedulable(specs) ? "sched" : "miss",
+                    analysis::edf_schedulable(specs) ? "yes" : "no");
+        for (const auto p : {rtos::SchedPolicy::Priority, rtos::SchedPolicy::Rms,
+                             rtos::SchedPolicy::Edf, rtos::SchedPolicy::RoundRobin,
+                             rtos::SchedPolicy::Fifo}) {
+            const SetResult r = run_set(p, specs, 2800_ms);
+            std::printf(" %6llu misses",
+                        static_cast<unsigned long long>(r.misses));
+        }
+        std::printf("\n");
+    }
+
+    // ---- priority-inheritance ablation ----
+    std::printf("\n=== Priority-inheritance ablation (classic inversion scenario) ===\n\n");
+    for (const bool inherit : {false, true}) {
+        sim::Kernel k;
+        rtos::RtosModel os{k};
+        rtos::OsMutex m{os, inherit ? rtos::OsMutex::Protocol::PriorityInheritance
+                                    : rtos::OsMutex::Protocol::None};
+        rtos::OsEvent* go_high = os.event_new("goH");
+        rtos::OsEvent* go_med = os.event_new("goM");
+        SimTime high_acquired;
+
+        const auto add = [&](const char* name, int prio, std::function<void()> body) {
+            rtos::Task* t = os.task_create(name, rtos::TaskType::Aperiodic, {}, {}, prio);
+            k.spawn(name, [&os, t, body = std::move(body)] {
+                os.task_activate(t);
+                body();
+                os.task_terminate();
+            });
+        };
+        add("high", 10, [&] {
+            os.event_wait(go_high);
+            m.lock();
+            high_acquired = k.now();
+            m.unlock();
+        });
+        add("med", 20, [&] {
+            os.event_wait(go_med);
+            os.time_wait(2_ms);
+        });
+        add("low", 30, [&] {
+            m.lock();
+            os.time_wait(500_us);
+            os.time_wait(500_us);
+            m.unlock();
+        });
+        k.spawn("irqs", [&] {
+            k.waitfor(100_us);
+            os.isr_enter("irqH");
+            os.event_notify(go_high);
+            os.interrupt_return();
+            k.waitfor(100_us);
+            os.isr_enter("irqM");
+            os.event_notify(go_med);
+            os.interrupt_return();
+        });
+        os.start();
+        k.run();
+        std::printf("  %-22s high-priority task acquired lock at %s\n",
+                    inherit ? "priority inheritance:" : "plain mutex:",
+                    high_acquired.to_string().c_str());
+    }
+    std::printf("\nWithout inheritance the medium task runs its full 2 ms inside the\n"
+                "inversion window; with inheritance the blocked time is bounded by the\n"
+                "low task's remaining critical section.\n");
+
+    // ---- policy choice on a real workload: the vocoder ----
+    std::printf("\n=== Scheduling policy on the vocoder architecture model ===\n\n");
+    std::printf("%-12s %14s %16s %16s %10s\n", "policy", "avg delay",
+                "max delay", "worst input lat", "switches");
+    for (const auto p : {rtos::SchedPolicy::Priority, rtos::SchedPolicy::RoundRobin,
+                         rtos::SchedPolicy::Fifo}) {
+        vocoder::VocoderConfig vc;
+        vc.frames = 50;
+        vc.rtos.policy = p;
+        // Fine-grained delay modeling so preemptive policies can actually
+        // preempt; FIFO stays run-to-completion regardless.
+        vc.rtos.preemption_granularity = 500_us;
+        const vocoder::VocoderResult r = vocoder::run_vocoder_architecture(vc);
+        std::printf("%-12s %14s %16s %16s %10llu%s\n", to_string(p),
+                    r.avg_transcoding_delay.to_string().c_str(),
+                    r.max_transcoding_delay.to_string().c_str(),
+                    r.max_input_latency.to_string().c_str(),
+                    static_cast<unsigned long long>(r.context_switches),
+                    r.data_ok ? "" : "  DATA FAIL");
+    }
+    std::printf("\nThe transcode makespan is work-conserving, so the policies land in\n"
+                "the same delay band — but FIFO's run-to-completion semantics make the\n"
+                "driver wait out whole encode steps, blowing up the worst input\n"
+                "latency, while the preemptive policies bound it near the chunk size.\n");
+    return 0;
+}

@@ -1,0 +1,106 @@
+// Communication-abstraction ablation (the TLM ladder of the companion work
+// "RTOS Scheduling in Transaction Level Models"): the same two-master
+// streaming workload modeled at message, transaction, and bus-functional
+// word level. Reports per-message latency under contention and the
+// simulation cost — the accuracy/speed tradeoff of communication modeling.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "arch/tlm.hpp"
+#include "sim/kernel.hpp"
+#include "sim/time.hpp"
+
+using namespace slm;
+using namespace slm::sim;
+using namespace slm::arch;
+using namespace slm::time_literals;
+
+namespace {
+
+struct LevelResult {
+    SimTime avg_latency;
+    SimTime max_latency;
+    SimTime unfairness;  ///< |completion difference| between the two streams
+    std::uint64_t kernel_activations;
+    double wall_ms;
+};
+
+LevelResult run_level(CommLevel level) {
+    constexpr int kMessages = 200;
+    constexpr std::size_t kBytes = 1024;
+    Kernel k;
+    Bus bus{k, "bus", Bus::Config{100_ns, 10_ns}};
+    TlmChannel ch{bus, "stream", level};
+    SimTime total, worst;
+    std::vector<SimTime> stream_done(2);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int m = 0; m < 2; ++m) {
+        k.spawn("m" + std::to_string(m), [&, m] {
+            for (int i = 0; i < kMessages; ++i) {
+                const SimTime start = k.now();
+                ch.send(kBytes, [&](SimTime dt) { k.waitfor(dt); }, m);
+                const SimTime lat = k.now() - start;
+                total += lat;
+                worst = std::max(worst, lat);
+            }
+            stream_done[static_cast<std::size_t>(m)] = k.now();
+        });
+    }
+    k.run();
+    LevelResult r;
+    r.avg_latency = total / (2 * kMessages);
+    r.max_latency = worst;
+    r.unfairness = stream_done[0] > stream_done[1] ? stream_done[0] - stream_done[1]
+                                                   : stream_done[1] - stream_done[0];
+    r.kernel_activations = k.stats().process_activations;
+    r.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    return r;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== Communication abstraction ablation: 2 masters x 200 x 1 KiB ===\n\n");
+    std::printf("%-15s %12s %12s %12s %12s %10s\n", "level", "avg latency",
+                "max latency", "unfairness", "activations", "wall [ms]");
+    LevelResult msg{}, txn{}, bf{};
+    for (const auto level :
+         {CommLevel::Message, CommLevel::Transaction, CommLevel::BusFunctional}) {
+        const LevelResult r = run_level(level);
+        std::printf("%-15s %12s %12s %12s %12llu %10.2f\n", to_string(level),
+                    r.avg_latency.to_string().c_str(),
+                    r.max_latency.to_string().c_str(),
+                    r.unfairness.to_string().c_str(),
+                    static_cast<unsigned long long>(r.kernel_activations), r.wall_ms);
+        if (level == CommLevel::Message) {
+            msg = r;
+        } else if (level == CommLevel::Transaction) {
+            txn = r;
+        } else {
+            bf = r;
+        }
+    }
+
+    std::printf("\nchecks:\n");
+    const bool optimistic = msg.max_latency < txn.max_latency &&
+                            msg.max_latency < bf.max_latency;
+    const bool fair = bf.unfairness < txn.unfairness;
+    const bool cost = msg.kernel_activations < txn.kernel_activations &&
+                      txn.kernel_activations < bf.kernel_activations;
+    std::printf("  [%s] message level is optimistic under contention\n",
+                optimistic ? "PASS" : "FAIL");
+    std::printf("  [%s] bus-functional level shares bandwidth fairly\n",
+                fair ? "PASS" : "FAIL");
+    std::printf("  [%s] simulation cost rises with modeling detail\n",
+                cost ? "PASS" : "FAIL");
+    std::printf("\nThe same tradeoff as the RTOS model's preemption granularity, applied\n"
+                "to communication: each step down the abstraction ladder exposes more\n"
+                "contention detail and costs more simulation events.\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+// The paper's running example (Fig. 3): one PE with behaviors B1; par{B2, B3},
+// channels c1/c2, and a bus driver whose ISR signals a semaphore. Runs both
+// the unscheduled specification model and the RTOS-based architecture model
+// and renders the two Fig. 8 traces side by side.
+//
+// Build & run:  ./build/examples/fig3_example
+
+#include <cstdio>
+
+#include "arch/fig3.hpp"
+#include "sim/time.hpp"
+#include "trace/trace.hpp"
+
+using namespace slm;
+using namespace slm::time_literals;
+
+namespace {
+
+void print_result(const char* title, const arch::Fig3Result& r,
+                  const trace::TraceRecorder& rec) {
+    std::printf("--- %s ---\n", title);
+    std::printf("%s", rec.render_gantt(SimTime::zero(), 170_us, 68).c_str());
+    std::printf("B3 got bus data at : %s\n", r.bus_data_seen.to_string().c_str());
+    std::printf("B3 finished        : %s\n", r.b3_done.to_string().c_str());
+    std::printf("B2 finished        : %s\n", r.b2_done.to_string().c_str());
+    std::printf("PE finished        : %s\n", r.pe_done.to_string().c_str());
+    std::printf("context switches   : %llu\n\n",
+                static_cast<unsigned long long>(r.context_switches));
+}
+
+}  // namespace
+
+int main() {
+    const arch::Fig3Delays d;
+
+    trace::TraceRecorder unsched_rec;
+    const arch::Fig3Result u = arch::run_fig3_unscheduled(&unsched_rec, d);
+    print_result("unscheduled model (paper Fig. 8a)", u, unsched_rec);
+
+    trace::TraceRecorder arch_rec;
+    const arch::Fig3Result a = arch::run_fig3_architecture(&arch_rec, d);
+    print_result("architecture model, priority scheduling (paper Fig. 8b)", a, arch_rec);
+
+    std::printf("The interrupt fires at t4 = %s in both models. In the unscheduled\n"
+                "model B3 receives its data immediately; in the architecture model the\n"
+                "task switch is delayed to the end of task_b2's current delay step\n"
+                "(t4' = %s) — the preemption-granularity effect of paper §4.3.\n",
+                d.irq_at.to_string().c_str(), a.bus_data_seen.to_string().c_str());
+    return 0;
+}

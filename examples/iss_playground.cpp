@@ -1,0 +1,104 @@
+// SLM32 playground: assemble a program (from a file, or a built-in demo),
+// run it on the instruction-set simulator, and print the disassembly, the
+// final register file, and execution statistics. Handy for writing guest
+// programs for the implementation model.
+//
+// Usage:  ./build/examples/iss_playground [program.s] [--max-cycles N]
+
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "iss/assembler.hpp"
+#include "iss/cpu.hpp"
+#include "iss/isa.hpp"
+
+using namespace slm::iss;
+
+namespace {
+
+constexpr const char* kDemo = R"(; demo: sum of squares 1..10, then integer sqrt by division loop
+        ldi r1, 10
+        ldi r2, 0
+loop:
+        mac r2, r1, r1
+        addi r1, r1, -1
+        bne r1, r0, loop
+        ; r2 = 385; isqrt via Newton steps: x' = (x + n/x) / 2
+        ldi r3, 100        ; initial guess
+        ldi r5, 2
+newton:
+        div r4, r2, r3
+        add r4, r4, r3
+        div r4, r4, r5
+        beq r4, r3, done
+        mov r3, r4
+        jmp newton
+done:
+        st r0, 0, r3       ; mem[0] = isqrt(385) = 19
+        halt
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string source = kDemo;
+    std::uint64_t max_cycles = 10'000'000;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--max-cycles") == 0 && i + 1 < argc) {
+            max_cycles = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            std::ifstream in{argv[i]};
+            if (!in) {
+                std::fprintf(stderr, "cannot open %s\n", argv[i]);
+                return 1;
+            }
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            source = ss.str();
+        }
+    }
+
+    const AsmResult r = assemble(source);
+    if (!r.ok()) {
+        for (const AsmError& e : r.errors) {
+            std::fprintf(stderr, "line %d: %s\n", e.line, e.message.c_str());
+        }
+        return 1;
+    }
+
+    std::printf("disassembly (%zu instructions):\n", r.program.code.size());
+    for (std::size_t pc = 0; pc < r.program.code.size(); ++pc) {
+        for (const auto& [label, addr] : r.program.labels) {
+            if (addr == static_cast<std::int32_t>(pc)) {
+                std::printf("%s:\n", label.c_str());
+            }
+        }
+        std::printf("  %4zu: %-24s ; 0x%016llx\n", pc,
+                    disassemble(r.program.code[pc]).c_str(),
+                    static_cast<unsigned long long>(encode(r.program.code[pc])));
+    }
+
+    Cpu cpu{r.program.code, 4096};
+    const StepResult res = cpu.run(max_cycles);
+
+    std::printf("\nstopped: %s after %llu instructions, %llu cycles\n",
+                res.trap == Trap::Halt    ? "halt"
+                : res.trap == Trap::Sys   ? "sys"
+                : res.trap == Trap::Fault ? cpu.fault_message().c_str()
+                                          : "cycle budget",
+                static_cast<unsigned long long>(cpu.retired()),
+                static_cast<unsigned long long>(cpu.cycles()));
+    std::printf("registers:\n");
+    for (int i = 0; i < kNumRegs; i += 4) {
+        std::printf("  r%-2d=%-11d r%-2d=%-11d r%-2d=%-11d r%-2d=%-11d\n", i,
+                    cpu.reg(i), i + 1, cpu.reg(i + 1), i + 2, cpu.reg(i + 2), i + 3,
+                    cpu.reg(i + 3));
+    }
+    std::printf("mem[0..3] = %d %d %d %d\n", cpu.load(0), cpu.load(1), cpu.load(2),
+                cpu.load(3));
+    return 0;
+}

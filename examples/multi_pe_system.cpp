@@ -1,0 +1,88 @@
+// A two-PE architecture model: a sensor-fusion pipeline where PE0 preprocesses
+// sensor frames and ships them over a shared bus to PE1, whose ISR + driver
+// task hand them to a fusion task. Each PE runs its own RTOS-model instance —
+// tasks on one PE serialize, PEs overlap, and the bus arbitrates transfers.
+//
+// Build & run:  ./build/examples/multi_pe_system
+
+#include <cstdio>
+
+#include "arch/arch.hpp"
+#include "rtos/os_channels.hpp"
+#include "sim/kernel.hpp"
+#include "trace/trace.hpp"
+
+using namespace slm;
+using namespace slm::time_literals;
+
+int main() {
+    sim::Kernel kernel;
+    trace::TraceRecorder trace;
+    constexpr int kFrames = 6;
+
+    rtos::RtosConfig cfg0, cfg1;
+    cfg0.tracer = &trace;
+    cfg1.tracer = &trace;
+    arch::ProcessingElement pe0{kernel, "PE0", cfg0};
+    arch::ProcessingElement pe1{kernel, "PE1", cfg1};
+
+    arch::Bus bus{kernel, "sysbus", arch::Bus::Config{200_ns, 20_ns}};
+    arch::BusLink<int> link{kernel, bus, "pe0_to_pe1"};
+    rtos::OsSemaphore rx_sem{pe1.os(), 0, "rx_sem"};
+    rtos::OsQueue<int> fusion_q{pe1.os(), 2, "fusion_q"};
+
+    // PE0: two producer tasks sharing the CPU, then a sender task that owns
+    // the bus master port.
+    rtos::OsQueue<int> pre_q{pe0.os(), 2, "pre_q"};
+    pe0.add_task("camera", 2, [&] {
+        for (int f = 0; f < kFrames; ++f) {
+            pe0.os().time_wait(4_ms);  // capture + preprocess
+            pre_q.send(f);
+        }
+    });
+    pe0.add_task("sender", 1, [&] {
+        for (int f = 0; f < kFrames; ++f) {
+            const int frame = pre_q.receive();
+            // Bus time is charged to this task's execution.
+            link.post(frame, [&](SimTime dt) { pe0.os().time_wait(dt); });
+        }
+    });
+
+    // PE1: ISR -> semaphore -> driver task -> fusion task (paper Fig. 3 shape).
+    pe1.attach_isr(link.irq(), [&] { rx_sem.release(); });
+    pe1.add_task("driver", 1, [&] {
+        for (int f = 0; f < kFrames; ++f) {
+            rx_sem.acquire();
+            int frame = 0;
+            (void)link.try_fetch(frame);
+            pe1.os().time_wait(300_us);  // copy out of the bus interface
+            fusion_q.send(frame);
+        }
+    });
+    pe1.add_task("fusion", 2, [&] {
+        for (int f = 0; f < kFrames; ++f) {
+            const int frame = fusion_q.receive();
+            pe1.os().time_wait(6_ms);  // fuse + track
+            std::printf("[%9s] PE1 fused frame %d\n",
+                        kernel.now().to_string().c_str(), frame);
+        }
+    });
+
+    pe0.start();
+    pe1.start();
+    kernel.run();
+
+    std::printf("\nsimulated time: %s\n", kernel.now().to_string().c_str());
+    std::printf("bus: %llu transfers, %llu bytes, busy %s\n",
+                static_cast<unsigned long long>(bus.transfers()),
+                static_cast<unsigned long long>(bus.bytes_transferred()),
+                bus.busy_time().to_string().c_str());
+    std::printf("PE0 switches: %llu, PE1 switches: %llu\n",
+                static_cast<unsigned long long>(pe0.os().stats().context_switches),
+                static_cast<unsigned long long>(pe1.os().stats().context_switches));
+    std::printf("PE0 serialized: %s | PE1 serialized: %s\n\n",
+                trace.has_concurrent_execution("PE0") ? "NO (bug!)" : "yes",
+                trace.has_concurrent_execution("PE1") ? "NO (bug!)" : "yes");
+    std::printf("%s\n", trace.render_gantt(SimTime::zero(), kernel.now(), 68).c_str());
+    return 0;
+}

@@ -1,0 +1,71 @@
+// The automatic refinement tool (paper §5: "we have developed a tool that
+// performs the refinement of unscheduled specification models into RTOS-based
+// architecture models automatically"). Reads a mini-SpecC model from a file
+// (or uses the embedded vocoder spec) and prints the refined source plus the
+// changed-lines report.
+//
+// Usage:  ./build/examples/refine_tool [file.sc [task:NAME ...]] [--quiet]
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "refine/refiner.hpp"
+#include "refine/vocoder_spec.hpp"
+
+using namespace slm::refine;
+
+int main(int argc, char** argv) {
+    std::string source{kVocoderSpec};
+    RefineConfig cfg;
+    bool quiet = false;
+    bool default_spec = true;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quiet") == 0) {
+            quiet = true;
+        } else if (std::strncmp(argv[i], "task:", 5) == 0) {
+            cfg.tasks[argv[i] + 5] = TaskSpec{};
+        } else if (std::strncmp(argv[i], "owner:", 6) == 0) {
+            cfg.os_owner = argv[i] + 6;
+        } else {
+            std::ifstream in{argv[i]};
+            if (!in) {
+                std::fprintf(stderr, "cannot open %s\n", argv[i]);
+                return 1;
+            }
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            source = ss.str();
+            default_spec = false;
+        }
+    }
+    if (default_spec && cfg.tasks.empty()) {
+        cfg.os_owner = "DspPe";
+        cfg.tasks["Coder"] = TaskSpec{"APERIODIC", 0, 650000};
+        cfg.tasks["Decoder"] = TaskSpec{"APERIODIC", 0, 320000};
+        cfg.tasks["BusDriver"] = TaskSpec{"APERIODIC", 0, 60000};
+    }
+
+    const RefineResult r = Refiner{cfg}.refine(source);
+    if (!r.ok()) {
+        for (const std::string& e : r.errors) {
+            std::fprintf(stderr, "error: %s\n", e.c_str());
+        }
+        return 1;
+    }
+
+    if (!quiet) {
+        std::printf("%s\n", r.output.c_str());
+    }
+    std::printf("// ---- refinement report ----\n");
+    std::printf("// model lines   : %d\n", r.report.lines_total);
+    std::printf("// lines changed : %d\n", r.report.lines_changed);
+    std::printf("// lines added   : %d\n", r.report.lines_added);
+    std::printf("// touched       : %d (%.2f%% of model)\n", r.report.lines_touched(),
+                r.report.percent_touched());
+    std::printf("// edits applied : %zu\n", r.report.edit_count);
+    return 0;
+}

@@ -1,0 +1,101 @@
+// Design-space exploration with the RTOS model (the paper's §3 use case):
+// evaluate one periodic task set under every scheduling policy and compare
+// deadline misses and response times against response-time analysis.
+//
+// Build & run:  ./build/examples/scheduler_explorer
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "rtos/rtos.hpp"
+#include "sim/kernel.hpp"
+
+using namespace slm;
+using namespace slm::time_literals;
+
+namespace {
+
+struct TaskDef {
+    const char* name;
+    SimTime period;
+    SimTime wcet;
+    int priority;  // used by Priority/RoundRobin policies
+};
+
+constexpr SimTime kHorizon = 2100_ms;
+
+void run_policy(rtos::SchedPolicy policy, const std::vector<TaskDef>& defs) {
+    sim::Kernel k;
+    rtos::RtosConfig cfg;
+    cfg.policy = policy;
+    cfg.quantum = 2_ms;
+    cfg.preemption_granularity = 1_ms;
+    rtos::RtosModel os{k, cfg};
+    std::vector<rtos::Task*> tasks;
+    for (const TaskDef& d : defs) {
+        rtos::Task* t = os.task_create(d.name, rtos::TaskType::Periodic, d.period,
+                                       d.wcet, d.priority);
+        tasks.push_back(t);
+        k.spawn(d.name, [&os, t, wcet = d.wcet] {
+            os.task_activate(t);
+            for (;;) {
+                os.time_wait(wcet);
+                os.task_endcycle();
+            }
+        });
+    }
+    os.start();
+    (void)k.run_until(kHorizon);
+
+    std::printf("%-11s", to_string(policy));
+    std::uint64_t misses = 0;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        std::printf("  %s max %-8s", defs[i].name,
+                    tasks[i]->stats().max_response.to_string().c_str());
+        misses += tasks[i]->stats().deadline_misses;
+    }
+    std::printf("  misses %llu, switches %llu\n",
+                static_cast<unsigned long long>(misses),
+                static_cast<unsigned long long>(os.stats().context_switches));
+}
+
+}  // namespace
+
+int main() {
+    const std::vector<TaskDef> defs = {
+        {"T1", 100_ms, 20_ms, 0},
+        {"T2", 150_ms, 30_ms, 1},
+        {"T3", 350_ms, 80_ms, 2},
+    };
+
+    // Analytical expectations first.
+    std::vector<analysis::PeriodicTaskSpec> specs;
+    for (const TaskDef& d : defs) {
+        analysis::PeriodicTaskSpec s;
+        s.name = d.name;
+        s.period = d.period;
+        s.wcet = d.wcet;
+        s.priority = d.priority;
+        specs.push_back(s);
+    }
+    std::printf("task set utilization : %.3f (RMS bound for 3 tasks: %.3f)\n",
+                analysis::utilization(specs), analysis::rms_utilization_bound(3));
+    std::printf("RTA schedulable      : %s\n", analysis::rta_schedulable(specs) ? "yes" : "no");
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const auto r = analysis::response_time(specs, i);
+        std::printf("  RTA worst response %s: %s\n", specs[i].name.c_str(),
+                    r ? r->to_string().c_str() : "exceeds deadline");
+    }
+    std::printf("\nsimulated over one hyperperiod (%s):\n", kHorizon.to_string().c_str());
+
+    for (const auto policy :
+         {rtos::SchedPolicy::Priority, rtos::SchedPolicy::Rms, rtos::SchedPolicy::Edf,
+          rtos::SchedPolicy::RoundRobin, rtos::SchedPolicy::Fifo}) {
+        run_policy(policy, defs);
+    }
+    std::printf("\nPriority/RMS/EDF meet every deadline (matching RTA); FIFO's\n"
+                "non-preemptive runs show how the RTOS model exposes a bad policy\n"
+                "choice before any implementation work is done.\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+// Vocoder demo: runs the paper's Table 1 experiment at small scale — the same
+// voice codec workload simulated as (a) unscheduled specification model,
+// (b) RTOS-model architecture model, and (c) ISS-based implementation model —
+// and prints the per-model measurements.
+//
+// Build & run:  ./build/examples/vocoder_demo [frames]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "vocoder/models.hpp"
+#include "vocoder/timing.hpp"
+
+using namespace slm;
+using namespace slm::vocoder;
+
+namespace {
+
+void print_row(const char* name, const VocoderResult& r) {
+    std::printf("%-16s %8d %12.3f %10llu %14s %14s %8s\n", name, r.model_loc,
+                r.wall_seconds,
+                static_cast<unsigned long long>(r.context_switches),
+                r.avg_transcoding_delay.to_string().c_str(),
+                r.max_transcoding_delay.to_string().c_str(),
+                r.data_ok ? "ok" : "FAIL");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    VocoderConfig cfg;
+    cfg.frames = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 25;
+
+    std::printf("vocoder: %zu frames of %s speech, encoder %s + decoder %s per frame\n\n",
+                cfg.frames, kFramePeriod.to_string().c_str(),
+                cycles_to_time(kEncodeWcetCycles).to_string().c_str(),
+                cycles_to_time(kDecodeWcetCycles).to_string().c_str());
+    std::printf("%-16s %8s %12s %10s %14s %14s %8s\n", "model", "LoC", "wall [s]",
+                "switches", "avg delay", "max delay", "data");
+    std::printf("%.*s\n", 88,
+                "----------------------------------------------------------------------"
+                "--------------------");
+
+    print_row("unscheduled", run_vocoder_unscheduled(cfg));
+    print_row("architecture", run_vocoder_architecture(cfg));
+    print_row("implementation", run_vocoder_implementation(cfg));
+
+    std::printf("\nShape to look for (paper Table 1): the architecture model simulates\n"
+                "about as fast as the specification while exposing scheduling effects;\n"
+                "the implementation model is orders of magnitude slower to simulate; and\n"
+                "the delays order unscheduled < implementation < architecture.\n");
+    return 0;
+}

@@ -1,0 +1,86 @@
+#include "analysis/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slm::analysis {
+
+double utilization(std::span<const PeriodicTaskSpec> tasks) {
+    double u = 0;
+    for (const PeriodicTaskSpec& t : tasks) {
+        u += static_cast<double>(t.wcet.ns()) / static_cast<double>(t.period.ns());
+    }
+    return u;
+}
+
+double rms_utilization_bound(std::size_t n) {
+    if (n == 0) {
+        return 1.0;
+    }
+    const double nn = static_cast<double>(n);
+    return nn * (std::pow(2.0, 1.0 / nn) - 1.0);
+}
+
+bool rms_schedulable_by_bound(std::span<const PeriodicTaskSpec> tasks) {
+    return utilization(tasks) <= rms_utilization_bound(tasks.size()) + 1e-12;
+}
+
+bool edf_schedulable(std::span<const PeriodicTaskSpec> tasks) {
+    return utilization(tasks) <= 1.0 + 1e-12;
+}
+
+void assign_rms_priorities(std::span<PeriodicTaskSpec> tasks) {
+    std::vector<std::size_t> order(tasks.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        order[i] = i;
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return tasks[a].period < tasks[b].period;
+    });
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+        tasks[order[rank]].priority = static_cast<int>(rank);
+    }
+}
+
+std::optional<SimTime> response_time(std::span<const PeriodicTaskSpec> tasks,
+                                     std::size_t idx) {
+    return response_time_with_blocking(tasks, idx, SimTime::zero());
+}
+
+std::optional<SimTime> response_time_with_blocking(
+    std::span<const PeriodicTaskSpec> tasks, std::size_t idx, SimTime blocking) {
+    const PeriodicTaskSpec& ti = tasks[idx];
+    const SimTime deadline = ti.effective_deadline();
+    SimTime r = ti.wcet + blocking;
+    for (int iter = 0; iter < 10'000; ++iter) {
+        SimTime next = ti.wcet + blocking;
+        for (std::size_t j = 0; j < tasks.size(); ++j) {
+            if (j == idx || tasks[j].priority >= ti.priority) {
+                continue;  // only strictly higher-priority tasks interfere
+            }
+            const std::uint64_t releases =
+                (r.ns() + tasks[j].period.ns() - 1) / tasks[j].period.ns();
+            next += tasks[j].wcet * releases;
+        }
+        if (next == r) {
+            return r;
+        }
+        if (next > deadline) {
+            return std::nullopt;
+        }
+        r = next;
+    }
+    return std::nullopt;  // did not converge
+}
+
+bool rta_schedulable(std::span<const PeriodicTaskSpec> tasks) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const auto r = response_time(tasks, i);
+        if (!r.has_value() || *r > tasks[i].effective_deadline()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace slm::analysis

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace slm::analysis {
+
+/// A periodic task for schedulability analysis. Deadline 0 means "= period".
+/// Priorities follow the simulator's convention (smaller = higher); for RMS,
+/// assign_rms_priorities() derives them from periods.
+struct PeriodicTaskSpec {
+    std::string name;
+    SimTime period;
+    SimTime wcet;
+    SimTime deadline{};
+    int priority = 0;
+
+    [[nodiscard]] SimTime effective_deadline() const {
+        return deadline.is_zero() ? period : deadline;
+    }
+};
+
+/// Total processor utilization sum(C_i / T_i).
+[[nodiscard]] double utilization(std::span<const PeriodicTaskSpec> tasks);
+
+/// Liu & Layland bound n(2^(1/n) - 1) for rate-monotonic scheduling.
+[[nodiscard]] double rms_utilization_bound(std::size_t n);
+
+/// Sufficient (not necessary) RMS test: U <= n(2^(1/n)-1).
+[[nodiscard]] bool rms_schedulable_by_bound(std::span<const PeriodicTaskSpec> tasks);
+
+/// Exact EDF test for implicit-deadline periodic tasks: U <= 1.
+[[nodiscard]] bool edf_schedulable(std::span<const PeriodicTaskSpec> tasks);
+
+/// Set priorities rate-monotonically (shorter period = higher priority).
+void assign_rms_priorities(std::span<PeriodicTaskSpec> tasks);
+
+/// Exact worst-case response time of tasks[idx] under preemptive fixed
+/// priorities (the standard recurrence R = C + sum over higher-priority j of
+/// ceil(R / T_j) C_j). Returns nullopt if the recurrence exceeds the task's
+/// deadline (unschedulable) or fails to converge.
+[[nodiscard]] std::optional<SimTime> response_time(
+    std::span<const PeriodicTaskSpec> tasks, std::size_t idx);
+
+/// Response time with a blocking term B (R = C + B + interference): under the
+/// priority-inheritance protocol, B is bounded by the longest critical
+/// section of any lower-priority task sharing a resource (see OsMutex).
+[[nodiscard]] std::optional<SimTime> response_time_with_blocking(
+    std::span<const PeriodicTaskSpec> tasks, std::size_t idx, SimTime blocking);
+
+/// Necessary-and-sufficient fixed-priority test via response-time analysis.
+[[nodiscard]] bool rta_schedulable(std::span<const PeriodicTaskSpec> tasks);
+
+}  // namespace slm::analysis

@@ -1,0 +1,231 @@
+#include "arch/arch.hpp"
+
+#include "sim/assert.hpp"
+
+namespace slm::arch {
+
+const char* to_string(BusArbitration a) {
+    switch (a) {
+        case BusArbitration::Fifo: return "FIFO";
+        case BusArbitration::Priority: return "Priority";
+        case BusArbitration::Tdma: return "TDMA";
+    }
+    return "?";
+}
+
+Bus::Bus(sim::Kernel& kernel, std::string name) : Bus(kernel, std::move(name), Config{}) {}
+
+Bus::Bus(sim::Kernel& kernel, std::string name, Config cfg)
+    : kernel_(kernel), name_(std::move(name)), cfg_(cfg), grant_(kernel, name_ + ".grant") {}
+
+SimTime Bus::transfer_latency(std::size_t bytes) const {
+    return cfg_.setup + cfg_.per_byte * static_cast<std::uint64_t>(bytes);
+}
+
+bool Bus::is_chosen(const Request& r) const {
+    for (const Request& w : waiters_) {
+        switch (cfg_.arbitration) {
+            case BusArbitration::Fifo:
+            case BusArbitration::Tdma:  // TDMA ordering comes from slot timing
+                if (w.seq < r.seq) {
+                    return false;
+                }
+                break;
+            case BusArbitration::Priority:
+                if (w.master < r.master ||
+                    (w.master == r.master && w.seq < r.seq)) {
+                    return false;
+                }
+                break;
+        }
+    }
+    return true;
+}
+
+SimTime Bus::tdma_align_delay(int master) const {
+    const std::uint64_t slot = cfg_.tdma_slot.ns();
+    const std::uint64_t frame = slot * cfg_.tdma_masters;
+    SLM_ASSERT(master >= 0 && static_cast<unsigned>(master) < cfg_.tdma_masters,
+               "TDMA master id out of range");
+    const std::uint64_t phase = kernel_.now().ns() % frame;
+    const std::uint64_t my_start = static_cast<std::uint64_t>(master) * slot;
+    if (phase >= my_start && phase < my_start + slot) {
+        return SimTime::zero();  // already inside the slot
+    }
+    const std::uint64_t next =
+        phase < my_start ? my_start - phase : frame - phase + my_start;
+    return SimTime{next};
+}
+
+void Bus::occupy(std::size_t bytes, const std::function<void(SimTime)>& waiter,
+                 int master) {
+    occupy_for(transfer_latency(bytes), bytes, waiter, master);
+}
+
+void Bus::occupy_for(SimTime duration, std::size_t bytes_accounted,
+                     const std::function<void(SimTime)>& waiter, int master) {
+    SLM_ASSERT(waiter != nullptr, "Bus::occupy needs a time waiter");
+    const SimTime requested_at = kernel_.now();
+    if (cfg_.arbitration == BusArbitration::Tdma) {
+        // Stall until this master's slot opens, then contend FIFO. (Transfers
+        // may spill past the slot boundary — a deliberate simplification; the
+        // slot gates transfer *starts*.)
+        const SimTime align = tdma_align_delay(master);
+        if (!align.is_zero()) {
+            kernel_.waitfor(align);
+        }
+    }
+    const Request me{master, ++seq_};
+    waiters_.push_back(me);
+    while (busy_flag_ || !is_chosen(me)) {
+        kernel_.wait(grant_);
+    }
+    std::erase_if(waiters_, [&](const Request& r) { return r.seq == me.seq; });
+    busy_flag_ = true;
+    arb_wait_ += kernel_.now() - requested_at;
+
+    waiter(duration);
+    ++transfers_;
+    bytes_ += bytes_accounted;
+    busy_ += duration;
+
+    busy_flag_ = false;
+    kernel_.notify(grant_);
+}
+
+InterruptController::InterruptController(sim::Kernel& kernel, rtos::RtosModel& os,
+                                         std::string name)
+    : kernel_(kernel), os_(os), name_(std::move(name)), pending_evt_(kernel, name_ + ".pending") {}
+
+void InterruptController::attach(InterruptLine& line, int priority,
+                                 std::function<void()> handler) {
+    auto src = std::make_unique<Source>();
+    src->line = &line;
+    src->priority = priority;
+    src->handler = std::move(handler);
+    Source* s = src.get();
+    sources_.push_back(std::move(src));
+    kernel_.spawn(name_ + ".watch." + line.name(), [this, s] {
+        // Track the raise counter rather than wakeups: multiple raises within
+        // one delta cycle coalesce into a single event notification, but each
+        // raise is a distinct interrupt to serve.
+        std::uint64_t seen = 0;
+        for (;;) {
+            kernel_.wait(s->line->event());
+            const std::uint64_t raised = s->line->raise_count();
+            s->pending += raised - seen;
+            seen = raised;
+            kernel_.notify(pending_evt_);
+        }
+    });
+    ensure_dispatcher();
+}
+
+InterruptController::Source* InterruptController::best_pending() {
+    Source* best = nullptr;
+    for (const auto& s : sources_) {
+        if (s->pending > 0 && !s->masked &&
+            (best == nullptr || s->priority < best->priority)) {
+            best = s.get();
+        }
+    }
+    return best;
+}
+
+std::uint64_t InterruptController::pending() const {
+    std::uint64_t total = 0;
+    for (const auto& s : sources_) {
+        total += s->pending;
+    }
+    return total;
+}
+
+void InterruptController::ensure_dispatcher() {
+    if (dispatcher_spawned_) {
+        return;
+    }
+    dispatcher_spawned_ = true;
+    kernel_.spawn(name_ + ".dispatch", [this] {
+        for (;;) {
+            Source* s = best_pending();
+            if (s == nullptr) {
+                kernel_.wait(pending_evt_);
+                continue;
+            }
+            --s->pending;
+            ++dispatched_;
+            os_.isr_enter(s->line->name());
+            s->handler();
+            os_.interrupt_return();
+        }
+    });
+}
+
+void InterruptController::mask(const InterruptLine& line) {
+    for (const auto& s : sources_) {
+        if (s->line == &line) {
+            s->masked = true;
+        }
+    }
+}
+
+void InterruptController::unmask(const InterruptLine& line) {
+    for (const auto& s : sources_) {
+        if (s->line == &line) {
+            s->masked = false;
+        }
+    }
+    kernel_.notify(pending_evt_);
+}
+
+ProcessingElement::ProcessingElement(sim::Kernel& kernel, std::string name,
+                                     rtos::RtosConfig cfg)
+    : kernel_(kernel), name_(std::move(name)) {
+    cfg.cpu_name = name_;
+    os_ = std::make_unique<rtos::RtosModel>(kernel, std::move(cfg));
+    os_->init();
+}
+
+rtos::Task* ProcessingElement::add_task(const std::string& task_name, int priority,
+                                        std::function<void()> body) {
+    rtos::Task* t =
+        os_->task_create(task_name, rtos::TaskType::Aperiodic, {}, {}, priority);
+    kernel_.spawn(name_ + "." + task_name, [this, t, body = std::move(body)] {
+        os_->task_activate(t);
+        body();
+        os_->task_terminate();
+    });
+    return t;
+}
+
+rtos::Task* ProcessingElement::add_periodic_task(const std::string& task_name,
+                                                 int priority, SimTime period,
+                                                 SimTime wcet, std::function<void()> body,
+                                                 std::uint64_t cycles, SimTime deadline) {
+    rtos::Task* t = os_->task_create(task_name, rtos::TaskType::Periodic, period, wcet,
+                                     priority, deadline);
+    kernel_.spawn(name_ + "." + task_name,
+                  [this, t, body = std::move(body), cycles] {
+                      os_->task_activate(t);
+                      for (std::uint64_t c = 0; cycles == 0 || c < cycles; ++c) {
+                          body();
+                          os_->task_endcycle();
+                      }
+                      os_->task_terminate();
+                  });
+    return t;
+}
+
+void ProcessingElement::attach_isr(InterruptLine& line, std::function<void()> handler) {
+    kernel_.spawn(name_ + ".isr." + line.name(),
+                  [this, &line, handler = std::move(handler)] {
+                      for (;;) {
+                          kernel_.wait(line.event());
+                          os_->isr_enter(line.name());
+                          handler();
+                          os_->interrupt_return();
+                      }
+                  });
+}
+
+}  // namespace slm::arch

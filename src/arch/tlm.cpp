@@ -1,0 +1,45 @@
+#include "arch/tlm.hpp"
+
+#include "sim/assert.hpp"
+
+namespace slm::arch {
+
+const char* to_string(CommLevel level) {
+    switch (level) {
+        case CommLevel::Message: return "Message";
+        case CommLevel::Transaction: return "Transaction";
+        case CommLevel::BusFunctional: return "BusFunctional";
+    }
+    return "?";
+}
+
+void TlmChannel::send(std::size_t bytes, const std::function<void(SimTime)>& waiter,
+                      int master) {
+    SLM_ASSERT(waiter != nullptr, "TlmChannel::send needs a time waiter");
+    switch (level_) {
+        case CommLevel::Message:
+            // Latency only; the bus is not held, contention is invisible.
+            waiter(bus_.transfer_latency(bytes));
+            break;
+        case CommLevel::Transaction:
+            bus_.occupy(bytes, waiter, master);
+            break;
+        case CommLevel::BusFunctional: {
+            // Arbitration setup once, then per-beat data phases, each a
+            // separate bus tenure so other masters interleave.
+            const std::size_t n = beats(bytes);
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::size_t beat_bytes =
+                    i + 1 == n ? bytes - i * kBeatBytes : kBeatBytes;
+                const SimTime dt = (i == 0 ? bus_.setup_time() : SimTime::zero()) +
+                                   bus_.per_byte_time() * beat_bytes;
+                bus_.occupy_for(dt, beat_bytes, waiter, master);
+            }
+            break;
+        }
+    }
+    ++messages_;
+    bytes_ += bytes;
+}
+
+}  // namespace slm::arch

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "arch/arch.hpp"
+#include "sim/time.hpp"
+
+namespace slm::arch {
+
+/// Communication abstraction levels for bus traffic, in decreasing
+/// abstraction / increasing accuracy (the transaction-level-modeling ladder
+/// explored in the companion work "RTOS Scheduling in Transaction Level
+/// Models"):
+///
+///  - Message: pure latency model — transfer time is a function of size,
+///    contention is not modeled at all (two masters overlap freely). The
+///    fastest to simulate and the most optimistic under load.
+///  - Transaction: the whole message arbitrates for and holds the bus
+///    (`Bus::occupy`). Contention appears at message granularity: a long
+///    message blocks everyone until it completes.
+///  - BusFunctional: the message is split into bus-word beats (4 bytes),
+///    each separately arbitrated, so concurrent masters interleave at word
+///    granularity — fair bandwidth sharing, many more simulation events.
+enum class CommLevel { Message, Transaction, BusFunctional };
+
+[[nodiscard]] const char* to_string(CommLevel level);
+
+/// A data pipe over a shared Bus modeled at a chosen communication level.
+/// `send` spends the modeled transfer time through the caller's waiter
+/// (task time for RTOS tasks, kernel time for device models).
+class TlmChannel {
+public:
+    TlmChannel(Bus& bus, std::string name, CommLevel level)
+        : bus_(bus), name_(std::move(name)), level_(level) {}
+
+    /// Transfer `bytes` at this channel's abstraction level.
+    void send(std::size_t bytes, const std::function<void(SimTime)>& waiter,
+              int master = 0);
+
+    [[nodiscard]] CommLevel level() const { return level_; }
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] std::uint64_t messages() const { return messages_; }
+    [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
+
+    /// Bus beats a `bytes`-sized message needs at the BusFunctional level.
+    [[nodiscard]] static std::size_t beats(std::size_t bytes) {
+        return (bytes + kBeatBytes - 1) / kBeatBytes;
+    }
+
+    static constexpr std::size_t kBeatBytes = 4;
+
+private:
+    Bus& bus_;
+    std::string name_;
+    CommLevel level_;
+    std::uint64_t messages_ = 0;
+    std::uint64_t bytes_ = 0;
+};
+
+}  // namespace slm::arch

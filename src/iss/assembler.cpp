@@ -1,0 +1,268 @@
+#include "iss/assembler.hpp"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <optional>
+#include <sstream>
+
+namespace slm::iss {
+
+namespace {
+
+struct Operand {
+    enum class Kind { Reg, Imm, Label } kind = Kind::Imm;
+    int value = 0;        // register index or immediate
+    std::string label;    // for Kind::Label
+};
+
+std::string to_lower(std::string s) {
+    for (char& c : s) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return s;
+}
+
+std::optional<Op> mnemonic_of(const std::string& s) {
+    static const std::array<Op, 26> kOps = {
+        Op::Nop, Op::Ldi, Op::Mov, Op::Add,  Op::Sub, Op::Mul, Op::Mac, Op::And,
+        Op::Or,  Op::Xor, Op::Shl, Op::Shr,  Op::Div, Op::Rem, Op::Addi, Op::Ld,
+        Op::St,  Op::Beq, Op::Bne, Op::Blt,  Op::Bge, Op::Jmp, Op::Jal, Op::Jr,
+        Op::Sys, Op::Halt};
+    for (const Op op : kOps) {
+        if (s == to_string(op)) {
+            return op;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<int> parse_register(const std::string& tok) {
+    if (tok == "sp") {
+        return 14;
+    }
+    if (tok == "lr") {
+        return 15;
+    }
+    if (tok.size() >= 2 && tok[0] == 'r') {
+        int idx = 0;
+        const auto [p, ec] = std::from_chars(tok.data() + 1, tok.data() + tok.size(), idx);
+        if (ec == std::errc{} && p == tok.data() + tok.size() && idx >= 0 &&
+            idx < kNumRegs) {
+            return idx;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::int32_t> parse_number(const std::string& tok) {
+    std::string_view sv = tok;
+    bool neg = false;
+    if (!sv.empty() && (sv[0] == '-' || sv[0] == '+')) {
+        neg = sv[0] == '-';
+        sv.remove_prefix(1);
+    }
+    int base = 10;
+    if (sv.size() > 2 && sv[0] == '0' && (sv[1] == 'x' || sv[1] == 'X')) {
+        base = 16;
+        sv.remove_prefix(2);
+    }
+    std::int64_t v = 0;
+    const auto [p, ec] = std::from_chars(sv.data(), sv.data() + sv.size(), v, base);
+    if (ec != std::errc{} || p != sv.data() + sv.size()) {
+        return std::nullopt;
+    }
+    return static_cast<std::int32_t>(neg ? -v : v);
+}
+
+/// Split a line into mnemonic + comma-separated operand tokens; strips
+/// comments (';' and '//').
+struct ParsedLine {
+    std::string label;
+    std::string mnemonic;
+    std::vector<std::string> operands;
+};
+
+ParsedLine split_line(std::string line) {
+    if (const auto pos = line.find(';'); pos != std::string::npos) {
+        line.erase(pos);
+    }
+    if (const auto pos = line.find("//"); pos != std::string::npos) {
+        line.erase(pos);
+    }
+    ParsedLine out;
+    std::string work;
+    // label?
+    if (const auto colon = line.find(':'); colon != std::string::npos) {
+        std::string lbl = line.substr(0, colon);
+        // trim
+        while (!lbl.empty() && std::isspace(static_cast<unsigned char>(lbl.front()))) {
+            lbl.erase(lbl.begin());
+        }
+        while (!lbl.empty() && std::isspace(static_cast<unsigned char>(lbl.back()))) {
+            lbl.pop_back();
+        }
+        out.label = lbl;
+        work = line.substr(colon + 1);
+    } else {
+        work = line;
+    }
+    std::istringstream is{work};
+    is >> out.mnemonic;
+    std::string rest;
+    std::getline(is, rest);
+    std::string tok;
+    for (const char c : rest) {
+        if (c == ',') {
+            if (!tok.empty()) {
+                out.operands.push_back(tok);
+                tok.clear();
+            }
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+            tok += c;
+        }
+    }
+    if (!tok.empty()) {
+        out.operands.push_back(tok);
+    }
+    return out;
+}
+
+/// Expected operand pattern per opcode: R = register, I = immediate-or-label.
+std::string_view pattern_of(Op op) {
+    switch (op) {
+        case Op::Nop:
+        case Op::Halt: return "";
+        case Op::Ldi: return "RI";
+        case Op::Mov: return "RR";
+        case Op::Add:
+        case Op::Sub:
+        case Op::Mul:
+        case Op::Mac:
+        case Op::And:
+        case Op::Or:
+        case Op::Xor:
+        case Op::Shl:
+        case Op::Shr:
+        case Op::Div:
+        case Op::Rem: return "RRR";
+        case Op::Addi:
+        case Op::Ld: return "RRI";
+        case Op::St: return "RIR";
+        case Op::Beq:
+        case Op::Bne:
+        case Op::Blt:
+        case Op::Bge: return "RRI";
+        case Op::Jmp: return "I";
+        case Op::Jal: return "RI";
+        case Op::Jr: return "R";
+        case Op::Sys: return "I";
+    }
+    return "";
+}
+
+}  // namespace
+
+AsmResult assemble(std::string_view source) {
+    AsmResult result;
+    struct Pending {
+        std::size_t instr_index;
+        std::string label;
+        int line;
+    };
+    std::vector<Pending> fixups;
+
+    int line_no = 0;
+    std::istringstream stream{std::string(source)};
+    std::string line;
+    while (std::getline(stream, line)) {
+        ++line_no;
+        const ParsedLine pl = split_line(line);
+        if (!pl.label.empty()) {
+            if (result.program.has_label(pl.label)) {
+                result.errors.push_back({line_no, "duplicate label '" + pl.label + "'"});
+            } else {
+                result.program.labels[pl.label] =
+                    static_cast<std::int32_t>(result.program.code.size());
+            }
+        }
+        if (pl.mnemonic.empty()) {
+            continue;
+        }
+        const auto op = mnemonic_of(to_lower(pl.mnemonic));
+        if (!op) {
+            result.errors.push_back({line_no, "unknown mnemonic '" + pl.mnemonic + "'"});
+            continue;
+        }
+        const std::string_view pattern = pattern_of(*op);
+        if (pl.operands.size() != pattern.size()) {
+            result.errors.push_back(
+                {line_no, std::string(to_string(*op)) + " expects " +
+                              std::to_string(pattern.size()) + " operands, got " +
+                              std::to_string(pl.operands.size())});
+            continue;
+        }
+        Instr instr;
+        instr.op = *op;
+        bool bad = false;
+        int reg_slot = 0;
+        for (std::size_t i = 0; i < pattern.size() && !bad; ++i) {
+            const std::string tok = to_lower(pl.operands[i]);
+            if (pattern[i] == 'R') {
+                const auto reg = parse_register(tok);
+                if (!reg) {
+                    result.errors.push_back({line_no, "bad register '" + tok + "'"});
+                    bad = true;
+                    break;
+                }
+                // Register slot assignment follows the disassembly layout.
+                switch (instr.op) {
+                    case Op::Mov:
+                        (reg_slot == 0 ? instr.rd : instr.ra) =
+                            static_cast<std::uint8_t>(*reg);
+                        break;
+                    case Op::St:
+                        (reg_slot == 0 ? instr.ra : instr.rb) =
+                            static_cast<std::uint8_t>(*reg);
+                        break;
+                    case Op::Beq:
+                    case Op::Bne:
+                    case Op::Blt:
+                    case Op::Bge:
+                        (reg_slot == 0 ? instr.ra : instr.rb) =
+                            static_cast<std::uint8_t>(*reg);
+                        break;
+                    case Op::Jr:
+                        instr.ra = static_cast<std::uint8_t>(*reg);
+                        break;
+                    default:
+                        // rd, ra, rb in order
+                        (reg_slot == 0 ? instr.rd : (reg_slot == 1 ? instr.ra : instr.rb)) =
+                            static_cast<std::uint8_t>(*reg);
+                        break;
+                }
+                ++reg_slot;
+            } else {  // immediate or label
+                if (const auto num = parse_number(tok)) {
+                    instr.imm = *num;
+                } else {
+                    fixups.push_back({result.program.code.size(), pl.operands[i], line_no});
+                }
+            }
+        }
+        if (!bad) {
+            result.program.code.push_back(instr);
+        }
+    }
+
+    for (const Pending& f : fixups) {
+        if (!result.program.has_label(f.label)) {
+            result.errors.push_back({f.line, "undefined label '" + f.label + "'"});
+            continue;
+        }
+        result.program.code[f.instr_index].imm = result.program.label(f.label);
+    }
+    return result;
+}
+
+}  // namespace slm::iss

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "iss/isa.hpp"
+
+namespace slm::iss {
+
+/// An assembled program: instruction memory plus the resolved label map.
+struct Program {
+    std::vector<Instr> code;
+    std::map<std::string, std::int32_t> labels;
+
+    [[nodiscard]] bool has_label(const std::string& name) const {
+        return labels.count(name) != 0;
+    }
+    [[nodiscard]] std::int32_t label(const std::string& name) const {
+        return labels.at(name);
+    }
+};
+
+struct AsmError {
+    int line = 0;
+    std::string message;
+};
+
+struct AsmResult {
+    Program program;
+    std::vector<AsmError> errors;
+
+    [[nodiscard]] bool ok() const { return errors.empty(); }
+};
+
+/// Two-pass assembler for SLM32 text assembly.
+///
+/// Syntax:
+///   ; comment              (also //)
+///   label:
+///     ldi  r1, 160         ; registers r0..r15, aliases sp (r14) and lr (r15)
+///     ld   r2, r1, 0       ; rd, base, offset
+///     st   r1, 4, r2       ; base, offset, src
+///     mac  r3, r2, r2
+///     addi r1, r1, -1
+///     bne  r1, r0, label   ; branch targets: labels or absolute numbers
+///     sys  3
+///     halt
+///
+/// Immediates accept decimal and 0x-prefixed hex. Branch/jump targets may be
+/// labels (resolved in pass two) or literal instruction addresses.
+[[nodiscard]] AsmResult assemble(std::string_view source);
+
+}  // namespace slm::iss

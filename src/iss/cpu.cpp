@@ -1,0 +1,135 @@
+#include "iss/cpu.hpp"
+
+#include <limits>
+
+namespace slm::iss {
+
+Cpu::Cpu(std::vector<Instr> program, std::size_t data_words)
+    : prog_(std::move(program)), mem_(data_words, 0) {}
+
+bool Cpu::mem_ok(std::int64_t addr) {
+    if (addr < 0 || addr >= static_cast<std::int64_t>(mem_.size())) {
+        fault_ = "data access out of range: " + std::to_string(addr);
+        return false;
+    }
+    return true;
+}
+
+std::int32_t Cpu::load(std::uint32_t addr) const {
+    return mem_.at(addr);
+}
+
+void Cpu::store(std::uint32_t addr, std::int32_t value) {
+    mem_.at(addr) = value;
+}
+
+StepResult Cpu::step() {
+    if (ctx_.pc < 0 || ctx_.pc >= static_cast<std::int32_t>(prog_.size())) {
+        fault_ = "pc out of range: " + std::to_string(ctx_.pc);
+        return {Trap::Fault, 0, 0};
+    }
+    const Instr i = prog_[static_cast<std::size_t>(ctx_.pc)];
+    auto& r = ctx_.regs;
+    const auto rd = static_cast<std::size_t>(i.rd);
+    const auto ra = static_cast<std::size_t>(i.ra);
+    const auto rb = static_cast<std::size_t>(i.rb);
+    int cost = cycle_cost(i.op);
+    std::int32_t next = ctx_.pc + 1;
+    Trap trap = Trap::None;
+
+    // Guest arithmetic wraps modulo 2^32 (two's complement): compute through
+    // uint32_t to keep deliberate guest overflow (hashes, accumulators) well
+    // defined on the host.
+    const auto wrap = [](std::uint32_t v) { return static_cast<std::int32_t>(v); };
+    const auto u = [&r](std::size_t idx) {
+        return static_cast<std::uint32_t>(r[idx]);
+    };
+
+    switch (i.op) {
+        case Op::Nop: break;
+        case Op::Ldi: r[rd] = i.imm; break;
+        case Op::Mov: r[rd] = r[ra]; break;
+        case Op::Add: r[rd] = wrap(u(ra) + u(rb)); break;
+        case Op::Sub: r[rd] = wrap(u(ra) - u(rb)); break;
+        case Op::Mul: r[rd] = wrap(u(ra) * u(rb)); break;
+        case Op::Mac: r[rd] = wrap(u(rd) + u(ra) * u(rb)); break;
+        case Op::And: r[rd] = r[ra] & r[rb]; break;
+        case Op::Or: r[rd] = r[ra] | r[rb]; break;
+        case Op::Xor: r[rd] = r[ra] ^ r[rb]; break;
+        case Op::Shl: r[rd] = static_cast<std::int32_t>(static_cast<std::uint32_t>(r[ra])
+                                                        << (r[rb] & 31)); break;
+        case Op::Shr: r[rd] = static_cast<std::int32_t>(static_cast<std::uint32_t>(r[ra]) >>
+                                                        (r[rb] & 31)); break;
+        case Op::Div:
+        case Op::Rem: {
+            if (r[rb] == 0) {
+                fault_ = "division by zero at pc " + std::to_string(ctx_.pc);
+                return {Trap::Fault, 0, 0};
+            }
+            if (r[ra] == std::numeric_limits<std::int32_t>::min() && r[rb] == -1) {
+                // Overflow case defined architecturally (no trap).
+                r[rd] = i.op == Op::Div ? r[ra] : 0;
+            } else {
+                r[rd] = i.op == Op::Div ? r[ra] / r[rb] : r[ra] % r[rb];
+            }
+            break;
+        }
+        case Op::Addi:
+            r[rd] = wrap(u(ra) + static_cast<std::uint32_t>(i.imm));
+            break;
+        case Op::Ld: {
+            const std::int64_t addr = static_cast<std::int64_t>(r[ra]) + i.imm;
+            if (!mem_ok(addr)) {
+                return {Trap::Fault, 0, 0};
+            }
+            r[rd] = mem_[static_cast<std::size_t>(addr)];
+            break;
+        }
+        case Op::St: {
+            const std::int64_t addr = static_cast<std::int64_t>(r[ra]) + i.imm;
+            if (!mem_ok(addr)) {
+                return {Trap::Fault, 0, 0};
+            }
+            mem_[static_cast<std::size_t>(addr)] = r[rb];
+            break;
+        }
+        case Op::Beq:
+            if (r[ra] == r[rb]) { next = i.imm; } else { --cost; }
+            break;
+        case Op::Bne:
+            if (r[ra] != r[rb]) { next = i.imm; } else { --cost; }
+            break;
+        case Op::Blt:
+            if (r[ra] < r[rb]) { next = i.imm; } else { --cost; }
+            break;
+        case Op::Bge:
+            if (r[ra] >= r[rb]) { next = i.imm; } else { --cost; }
+            break;
+        case Op::Jmp: next = i.imm; break;
+        case Op::Jal: r[rd] = ctx_.pc + 1; next = i.imm; break;
+        case Op::Jr: next = r[ra]; break;
+        case Op::Sys: trap = Trap::Sys; break;
+        case Op::Halt: trap = Trap::Halt; next = ctx_.pc; break;  // stay put
+    }
+
+    ctx_.pc = next;
+    ++retired_;
+    cycles_ += static_cast<std::uint64_t>(cost);
+    return {trap, cost, i.op == Op::Sys ? i.imm : 0};
+}
+
+StepResult Cpu::run(std::uint64_t max_cycles) {
+    StepResult agg{};
+    while (static_cast<std::uint64_t>(agg.cycles) < max_cycles) {
+        const StepResult r = step();
+        agg.cycles += r.cycles;
+        if (r.trap != Trap::None) {
+            agg.trap = r.trap;
+            agg.sys_no = r.sys_no;
+            return agg;
+        }
+    }
+    return agg;
+}
+
+}  // namespace slm::iss

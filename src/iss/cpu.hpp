@@ -1,0 +1,84 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iss/isa.hpp"
+
+namespace slm::iss {
+
+/// Reason the CPU stopped after a step.
+enum class Trap : std::uint8_t {
+    None,   ///< instruction retired normally
+    Sys,    ///< SYS executed: service number in StepResult::sys_no
+    Halt,   ///< HALT executed
+    Fault,  ///< bad pc or memory access; detail in Cpu::fault_message()
+};
+
+struct StepResult {
+    Trap trap = Trap::None;
+    int cycles = 0;
+    std::int32_t sys_no = 0;
+};
+
+/// Architectural register state of one hardware context. The guest kernel
+/// swaps these in and out of the CPU on context switches, exactly like a real
+/// RTOS port's context-switch assembly saves and restores the register file.
+struct Context {
+    std::array<std::int32_t, kNumRegs> regs{};
+    std::int32_t pc = 0;
+};
+
+/// SLM32 instruction-set simulator core. Pure and deterministic: no coupling
+/// to the discrete-event kernel — the caller (GuestKernel / IssPe) decides how
+/// executed cycles map to simulated time.
+class Cpu {
+public:
+    /// `data_words` is the size of the word-addressed data memory.
+    explicit Cpu(std::vector<Instr> program, std::size_t data_words = 65536);
+
+    /// Execute one instruction. On Trap::Sys the pc already points past the
+    /// SYS instruction; resuming simply continues execution.
+    StepResult step();
+
+    /// Run up to `max_cycles` cycles or until a trap, whichever comes first.
+    /// Returns the cycles actually consumed and the trap (None if the budget
+    /// ran out mid-stream).
+    StepResult run(std::uint64_t max_cycles);
+
+    // ---- architectural state ----
+    [[nodiscard]] std::int32_t reg(int idx) const { return ctx_.regs.at(static_cast<std::size_t>(idx)); }
+    void set_reg(int idx, std::int32_t v) { ctx_.regs.at(static_cast<std::size_t>(idx)) = v; }
+    [[nodiscard]] std::int32_t pc() const { return ctx_.pc; }
+    void set_pc(std::int32_t pc) { ctx_.pc = pc; }
+
+    [[nodiscard]] const Context& context() const { return ctx_; }
+    void load_context(const Context& c) { ctx_ = c; }
+
+    // ---- data memory ----
+    [[nodiscard]] std::int32_t load(std::uint32_t addr) const;
+    void store(std::uint32_t addr, std::int32_t value);
+    [[nodiscard]] std::size_t mem_words() const { return mem_.size(); }
+
+    // ---- program memory ----
+    [[nodiscard]] const std::vector<Instr>& program() const { return prog_; }
+
+    // ---- stats / diagnostics ----
+    [[nodiscard]] std::uint64_t retired() const { return retired_; }
+    [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+    [[nodiscard]] const std::string& fault_message() const { return fault_; }
+
+private:
+    [[nodiscard]] bool mem_ok(std::int64_t addr);
+
+    std::vector<Instr> prog_;
+    std::vector<std::int32_t> mem_;
+    Context ctx_;
+    std::uint64_t retired_ = 0;
+    std::uint64_t cycles_ = 0;
+    std::string fault_;
+};
+
+}  // namespace slm::iss

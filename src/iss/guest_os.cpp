@@ -1,0 +1,311 @@
+#include "iss/guest_os.hpp"
+
+#include <algorithm>
+
+#include "sim/assert.hpp"
+
+namespace slm::iss {
+
+GuestKernel::GuestKernel(Cpu& cpu, GuestKernelConfig cfg) : cpu_(cpu), cfg_(cfg) {}
+
+GuestTask* GuestKernel::create_task(std::string name, int priority, std::int32_t entry,
+                                    std::int32_t stack_pointer) {
+    auto t = std::make_unique<GuestTask>();
+    t->name = std::move(name);
+    t->priority = priority;
+    t->ctx.pc = entry;
+    t->ctx.regs[14] = stack_pointer;  // sp
+    t->arrival_seq = ++seq_;
+    tasks_.push_back(std::move(t));
+    ready_.push_back(tasks_.back().get());
+    return tasks_.back().get();
+}
+
+void GuestKernel::sem_init(int id, unsigned count) {
+    sems_[id].count = count;
+}
+
+GuestKernel::Sem& GuestKernel::sem(int id) {
+    return sems_[id];
+}
+
+bool GuestKernel::all_exited() const {
+    return std::all_of(tasks_.begin(), tasks_.end(), [](const auto& t) {
+        return t->state == GuestTaskState::Exited;
+    });
+}
+
+std::vector<const GuestTask*> GuestKernel::tasks() const {
+    std::vector<const GuestTask*> out;
+    out.reserve(tasks_.size());
+    for (const auto& t : tasks_) {
+        out.push_back(t.get());
+    }
+    return out;
+}
+
+GuestTask* GuestKernel::pick_best() {
+    GuestTask* best = nullptr;
+    for (GuestTask* t : ready_) {
+        if (best == nullptr || t->priority < best->priority ||
+            (t->priority == best->priority && t->arrival_seq < best->arrival_seq)) {
+            best = t;
+        }
+    }
+    return best;
+}
+
+void GuestKernel::make_ready(GuestTask* t) {
+    t->state = GuestTaskState::Ready;
+    t->arrival_seq = ++seq_;
+    ready_.push_back(t);
+}
+
+void GuestKernel::schedule(std::uint64_t& used) {
+    GuestTask* best = pick_best();
+    if (current_ != nullptr) {
+        if (best == nullptr || best->priority >= current_->priority) {
+            return;  // keep running (no preemption on equal priority)
+        }
+        // Preempt: save the live context, running task goes back to ready.
+        current_->ctx = cpu_.context();
+        make_ready(current_);
+        current_ = nullptr;
+    }
+    if (best == nullptr) {
+        return;  // idle
+    }
+    std::erase(ready_, best);
+    if (best != last_dispatched_) {
+        // Count and charge only real task changes, mirroring how the abstract
+        // RTOS model counts context switches (Table 1 comparability).
+        ++stats_.context_switches;
+        used += cfg_.context_switch_cycles;
+        stats_.kernel_cycles += cfg_.context_switch_cycles;
+        last_dispatched_ = best;
+    }
+    current_ = best;
+    current_->state = GuestTaskState::Running;
+    quantum_used_ = 0;
+    cpu_.load_context(current_->ctx);
+}
+
+void GuestKernel::handle_sys(std::int32_t no, std::uint64_t& used) {
+    ++stats_.syscalls;
+    used += cfg_.syscall_cycles;
+    stats_.kernel_cycles += cfg_.syscall_cycles;
+    GuestTask* self = current_;
+    SLM_ASSERT(self != nullptr, "SYS without a running guest task");
+    self->ctx = cpu_.context();  // save at kernel entry
+
+    switch (no) {
+        case kSysYield:
+            make_ready(self);
+            current_ = nullptr;
+            schedule(used);
+            return;
+        case kSysExit:
+            self->state = GuestTaskState::Exited;
+            current_ = nullptr;
+            schedule(used);
+            return;
+        case kSysSemWait: {
+            Sem& s = sem(cpu_.reg(1));
+            if (s.count > 0) {
+                --s.count;
+                return;  // no switch
+            }
+            self->state = GuestTaskState::Blocked;
+            s.waiters.push_back(self);
+            current_ = nullptr;
+            schedule(used);
+            return;
+        }
+        case kSysSemPost: {
+            Sem& s = sem(cpu_.reg(1));
+            if (!s.waiters.empty()) {
+                GuestTask* w = s.waiters.front();
+                s.waiters.pop_front();
+                make_ready(w);
+                schedule(used);  // may preempt the caller
+            } else {
+                ++s.count;
+            }
+            return;
+        }
+        case kSysHostNotify:
+            if (host_notify_) {
+                host_notify_(cpu_.reg(1), cpu_.reg(2));
+            }
+            return;
+        case kSysSleep: {
+            const auto cycles = static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(cpu_.reg(1)));
+            self->state = GuestTaskState::Blocked;
+            sleepers_.emplace_back(total_cycles_ + cycles, self);
+            current_ = nullptr;
+            schedule(used);
+            return;
+        }
+        default:
+            SLM_ASSERT(false, "unknown guest syscall");
+    }
+}
+
+std::uint64_t GuestKernel::cycles_until_wake() const {
+    std::uint64_t earliest = 0;
+    for (const auto& [wake, t] : sleepers_) {
+        (void)t;
+        const std::uint64_t dt = wake > total_cycles_ ? wake - total_cycles_ : 1;
+        if (earliest == 0 || dt < earliest) {
+            earliest = dt;
+        }
+    }
+    return earliest;
+}
+
+void GuestKernel::wake_due_sleepers() {
+    for (std::size_t i = 0; i < sleepers_.size();) {
+        if (sleepers_[i].first <= total_cycles_) {
+            make_ready(sleepers_[i].second);
+            sleepers_[i] = sleepers_.back();
+            sleepers_.pop_back();
+        } else {
+            ++i;
+        }
+    }
+}
+
+void GuestKernel::skip_idle_cycles(std::uint64_t cycles) {
+    total_cycles_ += cycles;
+    wake_due_sleepers();
+}
+
+void GuestKernel::sem_post_from_host(int id) {
+    Sem& s = sem(id);
+    if (s.waiters.empty()) {
+        ++s.count;
+        return;
+    }
+    GuestTask* w = s.waiters.front();
+    s.waiters.pop_front();
+    make_ready(w);
+    // The interrupt path may preempt the running task; the kernel work is
+    // charged at the start of the next execution slice.
+    std::uint64_t extra = 0;
+    schedule(extra);
+    pending_cycles_ += extra;
+}
+
+std::uint64_t GuestKernel::run_slice(std::uint64_t max_cycles) {
+    std::uint64_t used = pending_cycles_;
+    pending_cycles_ = 0;
+    total_cycles_ += used;
+    // Tracks kernel work added to `used` by schedule()/handle_sys() so the
+    // CPU's cycle clock stays in sync with the slice accounting.
+    const auto sync_clock = [this, &used](std::uint64_t before) {
+        total_cycles_ += used - before;
+    };
+
+    while (used < max_cycles) {
+        if (!sleepers_.empty()) {
+            wake_due_sleepers();
+        }
+        if (current_ == nullptr) {
+            const std::uint64_t before = used;
+            schedule(used);
+            sync_clock(before);
+            if (current_ == nullptr) {
+                break;  // idle: nothing runnable
+            }
+            continue;
+        }
+        const StepResult r = cpu_.step();
+        used += static_cast<std::uint64_t>(r.cycles);
+        total_cycles_ += static_cast<std::uint64_t>(r.cycles);
+        quantum_used_ += static_cast<std::uint64_t>(r.cycles);
+        if (current_ != nullptr) {
+            current_->cycles_used += static_cast<std::uint64_t>(r.cycles);
+        }
+        switch (r.trap) {
+            case Trap::None:
+                if (cfg_.quantum_cycles > 0 && quantum_used_ >= cfg_.quantum_cycles) {
+                    // Round-robin rotation among equal priorities: the current
+                    // task re-enters the ready queue with a fresh arrival
+                    // stamp and the scheduler picks again.
+                    GuestTask* self = current_;
+                    self->ctx = cpu_.context();
+                    make_ready(self);
+                    current_ = nullptr;
+                    const std::uint64_t before = used;
+                    schedule(used);
+                    sync_clock(before);
+                }
+                break;
+            case Trap::Sys: {
+                const std::uint64_t before = used;
+                handle_sys(r.sys_no, used);
+                sync_clock(before);
+                break;
+            }
+            case Trap::Halt: {
+                GuestTask* self = current_;
+                self->state = GuestTaskState::Exited;
+                current_ = nullptr;
+                const std::uint64_t before = used;
+                schedule(used);
+                sync_clock(before);
+                break;
+            }
+            case Trap::Fault:
+                SLM_ASSERT(false, cpu_.fault_message().c_str());
+                break;
+        }
+    }
+    return used;
+}
+
+// ---- IssPe ----
+
+IssPe::IssPe(sim::Kernel& kernel, std::string name, Cpu& cpu, GuestKernel& gk)
+    : IssPe(kernel, std::move(name), cpu, gk, Config{}) {}
+
+IssPe::IssPe(sim::Kernel& kernel, std::string name, Cpu& cpu, GuestKernel& gk, Config cfg)
+    : kernel_(kernel), gk_(gk), cfg_(cfg), wake_(kernel, name + ".wake") {
+    (void)cpu;  // owned by the caller; the kernel drives it through gk_
+    kernel_.spawn(name, [this] {
+        // Advance the guest cycle clock across an idle wait so kSysSleep
+        // deadlines stay aligned with simulated time.
+        const auto skip_idle = [this](const SimTime& t0) {
+            gk_.skip_idle_cycles((kernel_.now() - t0).ns() / cfg_.cycle_time.ns());
+        };
+        while (!gk_.all_exited()) {
+            if (gk_.idle()) {
+                const SimTime t0 = kernel_.now();
+                if (gk_.has_sleepers()) {
+                    // Sleep until the earliest guest wakeup — or an interrupt.
+                    const std::uint64_t dt = gk_.cycles_until_wake();
+                    (void)kernel_.wait_timeout(wake_, cfg_.cycle_time * dt);
+                } else {
+                    kernel_.wait(wake_);
+                }
+                skip_idle(t0);
+                continue;
+            }
+            const std::uint64_t used = gk_.run_slice(cfg_.slice_cycles);
+            if (used == 0) {
+                continue;
+            }
+            const SimTime dt = cfg_.cycle_time * used;
+            busy_ += dt;
+            kernel_.waitfor(dt);
+        }
+    });
+}
+
+void IssPe::post_irq(int sem_id) {
+    gk_.sem_post_from_host(sem_id);
+    kernel_.notify(wake_);
+}
+
+}  // namespace slm::iss

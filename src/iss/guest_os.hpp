@@ -1,0 +1,164 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "iss/cpu.hpp"
+#include "sim/event.hpp"
+#include "sim/kernel.hpp"
+#include "sim/time.hpp"
+
+namespace slm::iss {
+
+/// Guest-kernel ABI: SYS service numbers. Arguments in r1/r2, results in r1.
+enum GuestSyscall : std::int32_t {
+    kSysYield = 1,       ///< voluntarily give up the CPU
+    kSysExit = 2,        ///< terminate the calling task
+    kSysSemWait = 3,     ///< P(sem r1)
+    kSysSemPost = 4,     ///< V(sem r1)
+    kSysHostNotify = 5,  ///< deliver r1/r2 to the host-side hook (instrumentation)
+    kSysSleep = 6,       ///< block the caller for r1 CPU cycles
+};
+
+enum class GuestTaskState : std::uint8_t { Ready, Running, Blocked, Exited };
+
+/// A guest task: a register context plus scheduling attributes. This is what
+/// a real RTOS port's TCB holds; the kernel swaps contexts into the CPU on
+/// each switch and charges the switch cycles to the machine.
+struct GuestTask {
+    std::string name;
+    int priority = 0;  ///< smaller = higher, like the abstract RTOS model
+    GuestTaskState state = GuestTaskState::Ready;
+    Context ctx;
+    std::uint64_t arrival_seq = 0;
+    std::uint64_t cycles_used = 0;
+};
+
+struct GuestKernelConfig {
+    std::uint64_t syscall_cycles = 50;         ///< kernel entry/exit per SYS
+    std::uint64_t context_switch_cycles = 180;  ///< register save/restore + dispatch
+    /// Round-robin time slice in cycles among equal-priority tasks
+    /// (0 = run-to-block, the classic small-kernel default).
+    std::uint64_t quantum_cycles = 0;
+};
+
+struct GuestKernelStats {
+    std::uint64_t context_switches = 0;
+    std::uint64_t syscalls = 0;
+    std::uint64_t kernel_cycles = 0;  ///< cycles charged to kernel code
+};
+
+/// The small custom RTOS kernel of the implementation model (paper §5: "the
+/// RTOS model was replaced by a small custom RTOS kernel" on the target
+/// processor). Host-side implementation operating on guest register contexts;
+/// kernel and context-switch work is charged in guest cycles, so its cost
+/// shows up in the modeled timeline just like the real kernel's would.
+class GuestKernel {
+public:
+    GuestKernel(Cpu& cpu, GuestKernelConfig cfg = {});
+
+    /// Create a guest task starting at `entry` (instruction address) with the
+    /// given stack pointer (r14).
+    GuestTask* create_task(std::string name, int priority, std::int32_t entry,
+                           std::int32_t stack_pointer);
+
+    /// Initialize counting semaphore `id`.
+    void sem_init(int id, unsigned count);
+
+    /// Host-side V() — the path a device ISR takes into the kernel.
+    void sem_post_from_host(int id);
+
+    /// Hook invoked on kSysHostNotify with (r1, r2) — instrumentation channel
+    /// from guest code to the host testbench.
+    void set_host_notify(std::function<void(std::int32_t, std::int32_t)> fn) {
+        host_notify_ = std::move(fn);
+    }
+
+    /// Execute up to `max_cycles` guest cycles (instructions + charged kernel
+    /// work). Returns cycles actually consumed; 0 means the CPU is idle.
+    [[nodiscard]] std::uint64_t run_slice(std::uint64_t max_cycles);
+
+    /// Total cycles elapsed on this CPU (executed + idle-skipped); the time
+    /// base for kSysSleep.
+    [[nodiscard]] std::uint64_t now_cycles() const { return total_cycles_; }
+
+    /// Cycles until the earliest sleeping task wakes (0 if none sleeps).
+    [[nodiscard]] std::uint64_t cycles_until_wake() const;
+
+    /// Advance the CPU's idle time (no task runnable): wakes sleepers whose
+    /// deadline falls inside the skipped window.
+    void skip_idle_cycles(std::uint64_t cycles);
+
+    [[nodiscard]] bool idle() const { return current_ == nullptr && ready_.empty(); }
+    [[nodiscard]] bool has_sleepers() const { return !sleepers_.empty(); }
+    [[nodiscard]] bool all_exited() const;
+    [[nodiscard]] const GuestKernelStats& stats() const { return stats_; }
+    [[nodiscard]] const GuestTask* current() const { return current_; }
+    [[nodiscard]] std::vector<const GuestTask*> tasks() const;
+
+private:
+    struct Sem {
+        unsigned count = 0;
+        std::deque<GuestTask*> waiters;
+    };
+
+    [[nodiscard]] GuestTask* pick_best();
+    void make_ready(GuestTask* t);
+    void schedule(std::uint64_t& used);  ///< dispatch/preempt; charges switch cycles
+    void handle_sys(std::int32_t no, std::uint64_t& used);
+    Sem& sem(int id);
+
+    void wake_due_sleepers();
+
+    Cpu& cpu_;
+    GuestKernelConfig cfg_;
+    std::vector<std::unique_ptr<GuestTask>> tasks_;
+    std::vector<GuestTask*> ready_;
+    std::map<int, Sem> sems_;
+    std::vector<std::pair<std::uint64_t, GuestTask*>> sleepers_;  ///< (wake_cycle, task)
+    std::uint64_t total_cycles_ = 0;
+    GuestTask* current_ = nullptr;
+    GuestTask* last_dispatched_ = nullptr;
+    std::uint64_t seq_ = 0;
+    std::uint64_t pending_cycles_ = 0;  ///< kernel work from host-side interrupts
+    std::uint64_t quantum_used_ = 0;    ///< cycles since the current dispatch
+    std::function<void(std::int32_t, std::int32_t)> host_notify_;
+    GuestKernelStats stats_;
+};
+
+/// SLDL integration: runs a Cpu + GuestKernel as a processing element inside
+/// the discrete-event simulation. Executes `slice_cycles` batches and advances
+/// simulated time by cycles x cycle_time; interrupts posted by other SLDL
+/// processes take effect at the next batch boundary (the implementation-model
+/// analogue of the abstract model's preemption granularity).
+class IssPe {
+public:
+    struct Config {
+        SimTime cycle_time = nanoseconds(10);  ///< 100 MHz core
+        std::uint64_t slice_cycles = 2000;
+    };
+
+    IssPe(sim::Kernel& kernel, std::string name, Cpu& cpu, GuestKernel& gk);
+    IssPe(sim::Kernel& kernel, std::string name, Cpu& cpu, GuestKernel& gk, Config cfg);
+
+    /// Device-interrupt entry: V(sem `id`) in the guest kernel and wake the
+    /// PE if it was idle. Call from any SLDL process.
+    void post_irq(int sem_id);
+
+    /// Total simulated busy time of the CPU so far.
+    [[nodiscard]] SimTime busy_time() const { return busy_; }
+
+private:
+    sim::Kernel& kernel_;
+    GuestKernel& gk_;
+    Config cfg_;
+    sim::Event wake_;
+    SimTime busy_{};
+};
+
+}  // namespace slm::iss

@@ -1,0 +1,153 @@
+#include "iss/isa.hpp"
+
+#include <cstdio>
+
+namespace slm::iss {
+
+const char* to_string(Op op) {
+    switch (op) {
+        case Op::Nop: return "nop";
+        case Op::Ldi: return "ldi";
+        case Op::Mov: return "mov";
+        case Op::Add: return "add";
+        case Op::Sub: return "sub";
+        case Op::Mul: return "mul";
+        case Op::Mac: return "mac";
+        case Op::And: return "and";
+        case Op::Or: return "or";
+        case Op::Xor: return "xor";
+        case Op::Shl: return "shl";
+        case Op::Shr: return "shr";
+        case Op::Div: return "div";
+        case Op::Rem: return "rem";
+        case Op::Addi: return "addi";
+        case Op::Ld: return "ld";
+        case Op::St: return "st";
+        case Op::Beq: return "beq";
+        case Op::Bne: return "bne";
+        case Op::Blt: return "blt";
+        case Op::Bge: return "bge";
+        case Op::Jmp: return "jmp";
+        case Op::Jal: return "jal";
+        case Op::Jr: return "jr";
+        case Op::Sys: return "sys";
+        case Op::Halt: return "halt";
+    }
+    return "?";
+}
+
+std::uint64_t encode(const Instr& i) {
+    return (static_cast<std::uint64_t>(i.op) << 56U) |
+           (static_cast<std::uint64_t>(i.rd & 0xFU) << 52U) |
+           (static_cast<std::uint64_t>(i.ra & 0xFU) << 48U) |
+           (static_cast<std::uint64_t>(i.rb & 0xFU) << 44U) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(i.imm));
+}
+
+Instr decode(std::uint64_t word) {
+    Instr i;
+    const auto opcode = static_cast<std::uint8_t>(word >> 56U);
+    i.op = opcode <= static_cast<std::uint8_t>(Op::Halt) ? static_cast<Op>(opcode)
+                                                         : Op::Halt;
+    i.rd = static_cast<std::uint8_t>((word >> 52U) & 0xFU);
+    i.ra = static_cast<std::uint8_t>((word >> 48U) & 0xFU);
+    i.rb = static_cast<std::uint8_t>((word >> 44U) & 0xFU);
+    i.imm = static_cast<std::int32_t>(static_cast<std::uint32_t>(word & 0xFFFFFFFFU));
+    return i;
+}
+
+int cycle_cost(Op op) {
+    switch (op) {
+        case Op::Nop:
+        case Op::Ldi:
+        case Op::Mov:
+        case Op::Add:
+        case Op::Sub:
+        case Op::And:
+        case Op::Or:
+        case Op::Xor:
+        case Op::Shl:
+        case Op::Shr:
+        case Op::Addi:
+        case Op::Halt:
+            return 1;
+        case Op::Mul:
+        case Op::Mac:
+            return 4;
+        case Op::Div:
+        case Op::Rem:
+            return 16;
+        case Op::Ld:
+        case Op::St:
+            return 3;
+        case Op::Beq:
+        case Op::Bne:
+        case Op::Blt:
+        case Op::Bge:
+        case Op::Jmp:
+        case Op::Jal:
+        case Op::Jr:
+            return 2;
+        case Op::Sys:
+            return 10;
+    }
+    return 1;
+}
+
+std::string disassemble(const Instr& i) {
+    char buf[64];
+    const char* m = to_string(i.op);
+    switch (i.op) {
+        case Op::Nop:
+        case Op::Halt:
+            std::snprintf(buf, sizeof buf, "%s", m);
+            break;
+        case Op::Ldi:
+            std::snprintf(buf, sizeof buf, "%s r%d, %d", m, i.rd, i.imm);
+            break;
+        case Op::Mov:
+            std::snprintf(buf, sizeof buf, "%s r%d, r%d", m, i.rd, i.ra);
+            break;
+        case Op::Add:
+        case Op::Sub:
+        case Op::Mul:
+        case Op::Mac:
+        case Op::And:
+        case Op::Or:
+        case Op::Xor:
+        case Op::Shl:
+        case Op::Shr:
+        case Op::Div:
+        case Op::Rem:
+            std::snprintf(buf, sizeof buf, "%s r%d, r%d, r%d", m, i.rd, i.ra, i.rb);
+            break;
+        case Op::Addi:
+        case Op::Ld:
+            std::snprintf(buf, sizeof buf, "%s r%d, r%d, %d", m, i.rd, i.ra, i.imm);
+            break;
+        case Op::St:
+            std::snprintf(buf, sizeof buf, "%s r%d, %d, r%d", m, i.ra, i.imm, i.rb);
+            break;
+        case Op::Beq:
+        case Op::Bne:
+        case Op::Blt:
+        case Op::Bge:
+            std::snprintf(buf, sizeof buf, "%s r%d, r%d, %d", m, i.ra, i.rb, i.imm);
+            break;
+        case Op::Jmp:
+            std::snprintf(buf, sizeof buf, "%s %d", m, i.imm);
+            break;
+        case Op::Jal:
+            std::snprintf(buf, sizeof buf, "%s r%d, %d", m, i.rd, i.imm);
+            break;
+        case Op::Jr:
+            std::snprintf(buf, sizeof buf, "%s r%d", m, i.ra);
+            break;
+        case Op::Sys:
+            std::snprintf(buf, sizeof buf, "%s %d", m, i.imm);
+            break;
+    }
+    return buf;
+}
+
+}  // namespace slm::iss

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace slm::iss {
+
+/// SLM32: a small 32-bit RISC instruction set standing in for the paper's
+/// Motorola DSP56600 target. 16 general-purpose registers, Harvard layout
+/// (separate instruction and data memories), word-addressed data memory, and
+/// a MAC instruction because the vocoder workload is multiply-accumulate
+/// dominated. Each instruction carries a fixed cycle cost; the ISS advances
+/// simulated time by executed cycles, which is what makes the implementation
+/// model slow to simulate but delay-accurate (paper Table 1).
+enum class Op : std::uint8_t {
+    Nop,
+    Ldi,   ///< rd = imm
+    Mov,   ///< rd = ra
+    Add,   ///< rd = ra + rb
+    Sub,   ///< rd = ra - rb
+    Mul,   ///< rd = ra * rb
+    Mac,   ///< rd = rd + ra * rb
+    And,   ///< rd = ra & rb
+    Or,    ///< rd = ra | rb
+    Xor,   ///< rd = ra ^ rb
+    Shl,   ///< rd = ra << (rb & 31)
+    Shr,   ///< rd = (unsigned)ra >> (rb & 31)
+    Div,   ///< rd = ra / rb (signed; rb == 0 faults; INT_MIN/-1 = INT_MIN)
+    Rem,   ///< rd = ra % rb (signed; rb == 0 faults; INT_MIN%-1 = 0)
+    Addi,  ///< rd = ra + imm
+    Ld,    ///< rd = mem[ra + imm]
+    St,    ///< mem[ra + imm] = rb
+    Beq,   ///< if (ra == rb) pc = imm
+    Bne,   ///< if (ra != rb) pc = imm
+    Blt,   ///< if (ra < rb) pc = imm   (signed)
+    Bge,   ///< if (ra >= rb) pc = imm  (signed)
+    Jmp,   ///< pc = imm
+    Jal,   ///< rd = pc + 1; pc = imm
+    Jr,    ///< pc = ra
+    Sys,   ///< trap to the guest kernel, service number imm
+    Halt,  ///< stop the current task
+};
+
+inline constexpr int kNumRegs = 16;
+
+[[nodiscard]] const char* to_string(Op op);
+
+/// Decoded instruction. The canonical in-memory form; encode()/decode() map
+/// it to a 64-bit word ([op:8][rd:4][ra:4][rb:4][zero:12][imm:32]).
+struct Instr {
+    Op op = Op::Nop;
+    std::uint8_t rd = 0;
+    std::uint8_t ra = 0;
+    std::uint8_t rb = 0;
+    std::int32_t imm = 0;
+
+    friend bool operator==(const Instr&, const Instr&) = default;
+};
+
+/// Pack an instruction into its 64-bit binary form.
+[[nodiscard]] std::uint64_t encode(const Instr& i);
+
+/// Unpack a 64-bit word. Words with an out-of-range opcode decode to Halt —
+/// running off into garbage must stop the machine, not wander.
+[[nodiscard]] Instr decode(std::uint64_t word);
+
+/// Fixed cycle cost of one instruction (branch costs assume taken; the CPU
+/// charges one cycle less for untaken branches).
+[[nodiscard]] int cycle_cost(Op op);
+
+/// Render an instruction in assembler syntax, e.g. "addi r1, r1, -1".
+[[nodiscard]] std::string disassemble(const Instr& i);
+
+}  // namespace slm::iss

@@ -1,0 +1,159 @@
+#include "refine/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace slm::refine {
+
+const char* to_string(TokKind k) {
+    switch (k) {
+        case TokKind::Ident: return "ident";
+        case TokKind::Keyword: return "keyword";
+        case TokKind::Number: return "number";
+        case TokKind::String: return "string";
+        case TokKind::Punct: return "punct";
+        case TokKind::Comment: return "comment";
+        case TokKind::Eof: return "eof";
+    }
+    return "?";
+}
+
+namespace {
+
+constexpr std::array<std::string_view, 10> kKeywords = {
+    "behavior", "channel", "event",      "par",  "waitfor",
+    "wait",     "notify",  "interface",  "main", "implements",
+};
+
+bool is_keyword(std::string_view s) {
+    for (const auto kw : kKeywords) {
+        if (s == kw) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool ident_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Lexer::Lexer(std::string_view source) : src_(source) {}
+
+char Lexer::peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+        ++line_;
+    }
+    return c;
+}
+
+std::vector<Token> Lexer::run() {
+    std::vector<Token> out;
+    while (!at_end()) {
+        lex_one(out);
+    }
+    out.push_back(Token{TokKind::Eof, "", src_.size(), line_});
+    return out;
+}
+
+void Lexer::lex_one(std::vector<Token>& out) {
+    const char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+        return;
+    }
+
+    const std::size_t start = pos_;
+    const int start_line = line_;
+    const auto emit = [&](TokKind kind) {
+        out.push_back(Token{kind, std::string(src_.substr(start, pos_ - start)), start,
+                            start_line});
+    };
+
+    // comments
+    if (c == '/' && peek(1) == '/') {
+        while (!at_end() && peek() != '\n') {
+            advance();
+        }
+        emit(TokKind::Comment);
+        return;
+    }
+    if (c == '/' && peek(1) == '*') {
+        advance();
+        advance();
+        while (!at_end() && !(peek() == '*' && peek(1) == '/')) {
+            advance();
+        }
+        if (at_end()) {
+            errors_.push_back({"unterminated block comment", start_line});
+        } else {
+            advance();
+            advance();
+        }
+        emit(TokKind::Comment);
+        return;
+    }
+
+    if (ident_start(c)) {
+        while (!at_end() && ident_char(peek())) {
+            advance();
+        }
+        const std::string_view text = src_.substr(start, pos_ - start);
+        emit(is_keyword(text) ? TokKind::Keyword : TokKind::Ident);
+        return;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+        while (!at_end() && (ident_char(peek()) || peek() == '.')) {
+            advance();  // accepts ints, floats, hex, suffixes — good enough
+        }
+        emit(TokKind::Number);
+        return;
+    }
+
+    if (c == '"') {
+        advance();
+        while (!at_end() && peek() != '"') {
+            if (peek() == '\\') {
+                advance();
+            }
+            if (!at_end()) {
+                advance();
+            }
+        }
+        if (at_end()) {
+            errors_.push_back({"unterminated string literal", start_line});
+        } else {
+            advance();
+        }
+        emit(TokKind::String);
+        return;
+    }
+
+    // multi-char punctuation that matters for pass-through fidelity
+    static constexpr std::array<std::string_view, 12> kMulti = {
+        "::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++", "--"};
+    for (const auto m : kMulti) {
+        if (src_.substr(pos_, m.size()) == m) {
+            advance();
+            advance();
+            emit(TokKind::Punct);
+            return;
+        }
+    }
+
+    advance();
+    emit(TokKind::Punct);
+}
+
+}  // namespace slm::refine

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace slm::refine {
+
+/// Token categories for the mini-SpecC dialect accepted by the refinement
+/// tool. The dialect covers what the paper's refinement steps operate on:
+/// behaviors, channels, events, waitfor/wait/notify statements, par blocks,
+/// method definitions and instance declarations. Everything else (expressions,
+/// control flow) passes through the refiner untouched as plain tokens.
+enum class TokKind {
+    Ident,
+    Keyword,  // behavior channel event par waitfor wait notify interface implements
+    Number,
+    String,
+    Punct,  // single/multi-char punctuation: { } ( ) ; , . :: etc.
+    Comment,
+    Eof,
+};
+
+[[nodiscard]] const char* to_string(TokKind k);
+
+struct Token {
+    TokKind kind = TokKind::Eof;
+    std::string text;
+    std::size_t offset = 0;  ///< byte offset of the first character in the source
+    int line = 1;            ///< 1-based line number
+
+    [[nodiscard]] std::size_t end_offset() const { return offset + text.size(); }
+    [[nodiscard]] bool is(TokKind k, std::string_view t) const {
+        return kind == k && text == t;
+    }
+    [[nodiscard]] bool is_punct(std::string_view t) const {
+        return is(TokKind::Punct, t);
+    }
+    [[nodiscard]] bool is_kw(std::string_view t) const {
+        return is(TokKind::Keyword, t);
+    }
+};
+
+/// Lexing error with location information.
+struct LexError {
+    std::string message;
+    int line = 0;
+};
+
+/// Tokenize mini-SpecC source. Comments are kept as tokens (the refiner skips
+/// them) so that edits never land inside a comment. Whitespace is discarded;
+/// the rewriter works on byte offsets into the original source, so formatting
+/// is preserved exactly.
+class Lexer {
+public:
+    explicit Lexer(std::string_view source);
+
+    /// Tokenize the whole input. On error, `errors()` is non-empty and the
+    /// tokens lexed so far are returned.
+    [[nodiscard]] std::vector<Token> run();
+
+    [[nodiscard]] const std::vector<LexError>& errors() const { return errors_; }
+
+private:
+    [[nodiscard]] char peek(std::size_t ahead = 0) const;
+    [[nodiscard]] bool at_end() const { return pos_ >= src_.size(); }
+    char advance();
+    void lex_one(std::vector<Token>& out);
+
+    std::string_view src_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    std::vector<LexError> errors_;
+};
+
+}  // namespace slm::refine

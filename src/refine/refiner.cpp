@@ -1,0 +1,504 @@
+#include "refine/refiner.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "refine/lexer.hpp"
+#include "sim/assert.hpp"
+
+namespace slm::refine {
+
+std::string apply_edits(std::string_view source, std::vector<Edit> edits) {
+    std::stable_sort(edits.begin(), edits.end(),
+                     [](const Edit& a, const Edit& b) { return a.begin < b.begin; });
+    std::string out;
+    out.reserve(source.size() + source.size() / 4);
+    std::size_t pos = 0;
+    for (const Edit& e : edits) {
+        SLM_ASSERT(e.begin >= pos && e.end >= e.begin && e.end <= source.size(),
+                   "overlapping or out-of-range edits");
+        out.append(source.substr(pos, e.begin - pos));
+        out.append(e.replacement);
+        pos = e.end;
+    }
+    out.append(source.substr(pos));
+    return out;
+}
+
+namespace {
+
+struct Decl {
+    enum class Kind { Behavior, Channel };
+    Kind kind = Kind::Behavior;
+    std::string name;
+    std::size_t paren_open = 0;  // code-token indices
+    std::size_t paren_close = 0;
+    std::size_t body_open = 0;
+    std::size_t body_close = 0;
+};
+
+class Pass {
+public:
+    Pass(const RefineConfig& cfg, std::string_view src) : cfg_(cfg), src_(src) {}
+
+    RefineResult run() {
+        Lexer lexer{src_};
+        toks_ = lexer.run();
+        for (const LexError& e : lexer.errors()) {
+            result_.errors.push_back("line " + std::to_string(e.line) + ": " + e.message);
+        }
+        if (!result_.errors.empty()) {
+            return std::move(result_);
+        }
+        for (std::size_t i = 0; i < toks_.size(); ++i) {
+            if (toks_[i].kind != TokKind::Comment) {
+                code_.push_back(i);
+            }
+        }
+        scan_decls();
+        if (!result_.errors.empty()) {
+            return std::move(result_);
+        }
+        for (const std::string& name : missing_task_behaviors()) {
+            result_.errors.push_back("task behavior '" + name + "' not found in source");
+        }
+        if (!result_.errors.empty()) {
+            return std::move(result_);
+        }
+        compute_os_users();
+        for (const Decl& d : decls_) {
+            process_decl(d);
+        }
+        finish_report();
+        result_.output = apply_edits(src_, edits_);
+        return std::move(result_);
+    }
+
+private:
+    // ---- token navigation (over code tokens, comments skipped) ----
+
+    [[nodiscard]] const Token& tok(std::size_t ci) const { return toks_[code_[ci]]; }
+    [[nodiscard]] std::size_t ntok() const { return code_.size(); }
+
+    /// Index of the token matching the bracket at `open_ci`, or npos on error.
+    [[nodiscard]] std::size_t match(std::size_t open_ci, std::string_view open,
+                                    std::string_view close) {
+        int depth = 0;
+        for (std::size_t i = open_ci; i < ntok(); ++i) {
+            if (tok(i).is_punct(open)) {
+                ++depth;
+            } else if (tok(i).is_punct(close)) {
+                if (--depth == 0) {
+                    return i;
+                }
+            }
+        }
+        result_.errors.push_back("line " + std::to_string(tok(open_ci).line) +
+                                 ": unmatched '" + std::string(open) + "'");
+        return npos;
+    }
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /// Leading whitespace of the line containing byte `offset`.
+    [[nodiscard]] std::string indent_of(std::size_t offset) const {
+        std::size_t bol = src_.rfind('\n', offset == 0 ? 0 : offset - 1);
+        bol = (bol == std::string_view::npos) ? 0 : bol + 1;
+        std::size_t i = bol;
+        while (i < src_.size() && (src_[i] == ' ' || src_[i] == '\t')) {
+            ++i;
+        }
+        return std::string(src_.substr(bol, i - bol));
+    }
+
+    void edit(std::size_t b, std::size_t e, std::string repl, std::string note) {
+        edits_.push_back(Edit{b, e, std::move(repl)});
+        result_.report.notes.push_back(std::move(note));
+    }
+
+    // ---- structure discovery ----
+
+    void scan_decls() {
+        std::size_t ci = 0;
+        while (ci < ntok()) {
+            if ((tok(ci).is_kw("behavior") || tok(ci).is_kw("channel")) &&
+                ci + 2 < ntok() && tok(ci + 1).kind == TokKind::Ident &&
+                tok(ci + 2).is_punct("(")) {
+                Decl d;
+                d.kind = tok(ci).is_kw("behavior") ? Decl::Kind::Behavior
+                                                   : Decl::Kind::Channel;
+                d.name = tok(ci + 1).text;
+                d.paren_open = ci + 2;
+                d.paren_close = match(d.paren_open, "(", ")");
+                if (d.paren_close == npos) {
+                    return;
+                }
+                std::size_t j = d.paren_close + 1;
+                if (j < ntok() && tok(j).is_kw("implements")) {
+                    j += 2;  // implements IDENT
+                }
+                if (j >= ntok() || !tok(j).is_punct("{")) {
+                    result_.errors.push_back("line " + std::to_string(tok(ci).line) +
+                                             ": expected '{' after declaration of '" +
+                                             d.name + "'");
+                    return;
+                }
+                d.body_open = j;
+                d.body_close = match(j, "{", "}");
+                if (d.body_close == npos) {
+                    return;
+                }
+                decls_.push_back(d);
+                declared_.insert(d.name);
+                ci = d.body_close + 1;
+            } else {
+                ++ci;
+            }
+        }
+    }
+
+    [[nodiscard]] std::vector<std::string> missing_task_behaviors() const {
+        std::vector<std::string> missing;
+        for (const auto& [name, spec] : cfg_.tasks) {
+            (void)spec;
+            const bool found =
+                std::any_of(decls_.begin(), decls_.end(), [&](const Decl& d) {
+                    return d.kind == Decl::Kind::Behavior && d.name == name;
+                });
+            if (!found) {
+                missing.push_back(name);
+            }
+        }
+        return missing;
+    }
+
+    /// Does this declaration's body use SLDL services that map to RTOS calls
+    /// (delays, events, synchronization), directly or through something it
+    /// instantiates? Pure-computation behaviors answer no and stay untouched —
+    /// this is what keeps the refinement footprint small on realistic models
+    /// where most lines are algorithm bodies (paper §5: ~1% of code).
+    [[nodiscard]] bool computes_needs_os(const Decl& d,
+                                         std::set<std::string>& needy) const {
+        for (std::size_t ci = d.body_open; ci <= d.body_close && ci < ntok(); ++ci) {
+            const Token& t = tok(ci);
+            if (t.is_kw("waitfor") || t.is_kw("wait") || t.is_kw("notify") ||
+                t.is_kw("event") || t.is_kw("par")) {
+                return true;
+            }
+        }
+        for (const std::string& inst : member_instantiations(d)) {
+            if (needy.count(inst) != 0) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /// Compute the set of declarations that execute under the RTOS and
+    /// require the os handle: the seeds (task behaviors, channels, os_owner)
+    /// plus every *OS-service-using* behavior instantiated — directly or
+    /// indirectly — inside one of them.
+    void compute_os_users() {
+        // Bottom-up: which declarations use OS-mapped services at all?
+        std::set<std::string> needy;
+        bool grew = true;
+        while (grew) {
+            grew = false;
+            for (const Decl& d : decls_) {
+                if (needy.count(d.name) == 0 && computes_needs_os(d, needy)) {
+                    needy.insert(d.name);
+                    grew = true;
+                }
+            }
+        }
+        for (const Decl& d : decls_) {
+            if (cfg_.tasks.count(d.name) != 0 || d.name == cfg_.os_owner ||
+                (d.kind == Decl::Kind::Channel && cfg_.refine_channels)) {
+                os_users_.insert(d.name);
+            }
+        }
+        grew = true;
+        while (grew) {
+            grew = false;
+            for (const Decl& d : decls_) {
+                if (os_users_.count(d.name) == 0) {
+                    continue;
+                }
+                for (const std::string& inst : member_instantiations(d)) {
+                    if (needy.count(inst) != 0 && os_users_.insert(inst).second) {
+                        grew = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Names of declared types instantiated at member level of `d`.
+    [[nodiscard]] std::vector<std::string> member_instantiations(const Decl& d) const {
+        std::vector<std::string> out;
+        int depth = 0;
+        for (std::size_t ci = d.body_open; ci <= d.body_close && ci < ntok(); ++ci) {
+            const Token& t = tok(ci);
+            if (t.is_punct("{")) {
+                ++depth;
+            } else if (t.is_punct("}")) {
+                --depth;
+            } else if (depth == 1 && t.kind == TokKind::Ident &&
+                       declared_.count(t.text) != 0 && ci + 1 < ntok() &&
+                       tok(ci + 1).kind == TokKind::Ident) {
+                out.push_back(t.text);
+            }
+        }
+        return out;
+    }
+
+    /// Does `name` denote a declaration that receives an RTOS parameter?
+    [[nodiscard]] bool takes_os_param(const std::string& name) const {
+        return os_users_.count(name) != 0 && name != cfg_.os_owner;
+    }
+
+    // ---- the three refinement steps ----
+
+    void process_decl(const Decl& d) {
+        const bool is_task =
+            d.kind == Decl::Kind::Behavior && cfg_.tasks.count(d.name) != 0;
+        const bool is_chan = d.kind == Decl::Kind::Channel && cfg_.refine_channels;
+        const bool is_owner = d.kind == Decl::Kind::Behavior && d.name == cfg_.os_owner;
+        const bool is_sub =
+            !is_task && !is_chan && !is_owner && os_users_.count(d.name) != 0;
+        if (!is_task && !is_chan && !is_owner && !is_sub) {
+            return;
+        }
+
+        const std::string ind = indent_of(tok(d.body_open).offset);
+        const std::string ind1 = ind + "  ";
+
+        if (is_task || is_chan || is_sub) {
+            insert_os_param(d);
+        }
+        if (is_owner && !is_task) {
+            edit(tok(d.body_open).end_offset(), tok(d.body_open).end_offset(),
+                 "\n" + ind1 + "RTOS os;", d.name + ": instantiate RTOS model");
+        }
+        if (is_task) {
+            const TaskSpec& spec = cfg_.tasks.at(d.name);
+            edit(tok(d.body_open).end_offset(), tok(d.body_open).end_offset(),
+                 "\n" + ind1 + "proc me;\n" + ind1 + "void init(void) { me = os.task_create(\"" +
+                     d.name + "\", " + spec.type + ", " + std::to_string(spec.period) +
+                     ", " + std::to_string(spec.wcet) + "); }",
+                 d.name + ": add proc me / init() members");
+        }
+
+        rewrite_body(d, is_task, is_chan, is_owner);
+    }
+
+    void insert_os_param(const Decl& d) {
+        const Token& open = tok(d.paren_open);
+        const std::string note = d.name + ": add RTOS parameter";
+        if (tok(d.paren_open + 1).is_punct(")")) {
+            edit(open.end_offset(), open.end_offset(), "RTOS os", note);
+        } else if (tok(d.paren_open + 1).is(TokKind::Ident, "void") &&
+                   d.paren_open + 2 == d.paren_close) {
+            edit(tok(d.paren_open + 1).offset, tok(d.paren_open + 1).end_offset(),
+                 "RTOS os", note);
+        } else {
+            edit(open.end_offset(), open.end_offset(), "RTOS os, ", note);
+        }
+    }
+
+    /// Walk the declaration body and apply statement-level refinements.
+    void rewrite_body(const Decl& d, bool is_task, bool is_chan, bool is_owner) {
+        int depth = 0;  // 1 == member level
+        for (std::size_t ci = d.body_open; ci <= d.body_close && ci < ntok(); ++ci) {
+            const Token& t = tok(ci);
+            if (t.is_punct("{")) {
+                ++depth;
+                continue;
+            }
+            if (t.is_punct("}")) {
+                --depth;
+                continue;
+            }
+
+            // The os_owner behavior executes on the PE as well: its delays and
+            // synchronization run under the RTOS even though it is not wrapped
+            // into a task of its own.
+            if (t.is_kw("event")) {
+                edit(t.offset, t.end_offset(), "evt",
+                     d.name + ": event -> evt (line " + std::to_string(t.line) + ")");
+                continue;
+            }
+            if (t.is_kw("waitfor")) {
+                rewrite_call(d, ci, "os.time_wait");
+                continue;
+            }
+            if (t.is_kw("wait")) {
+                rewrite_call(d, ci, "os.event_wait");
+                continue;
+            }
+            if (t.is_kw("notify")) {
+                rewrite_call(d, ci, "os.event_notify");
+                continue;
+            }
+            if (t.is_kw("par") && (is_task || is_owner) && ci + 1 < ntok() &&
+                tok(ci + 1).is_punct("{")) {
+                ci = rewrite_par(d, ci);
+                continue;
+            }
+            if (t.is_kw("main") && is_task && depth == 1 && ci + 1 < ntok() &&
+                tok(ci + 1).is_punct("(")) {
+                rewrite_main(d, ci);
+                continue;
+            }
+            if (depth == 1 && t.kind == TokKind::Ident && takes_os_param(t.text) &&
+                ci + 2 < ntok() && tok(ci + 1).kind == TokKind::Ident) {
+                rewrite_instantiation(d, ci);
+                continue;
+            }
+        }
+    }
+
+    /// `waitfor(500);` / `waitfor 500;` -> `os.time_wait(500);` (same pattern
+    /// for wait/notify, which in SpecC are commonly written without parens).
+    void rewrite_call(const Decl& d, std::size_t kw_ci, const std::string& callee) {
+        const Token& kw = tok(kw_ci);
+        const std::string note = d.name + ": " + kw.text + " -> " + callee + " (line " +
+                                 std::to_string(kw.line) + ")";
+        if (kw_ci + 1 < ntok() && tok(kw_ci + 1).is_punct("(")) {
+            edit(kw.offset, kw.end_offset(), callee, note);
+            return;
+        }
+        // bare form: wrap the argument list up to the terminating ';'
+        std::size_t semi = kw_ci + 1;
+        while (semi < ntok() && !tok(semi).is_punct(";")) {
+            ++semi;
+        }
+        if (semi >= ntok()) {
+            result_.errors.push_back("line " + std::to_string(kw.line) +
+                                     ": missing ';' after " + kw.text);
+            return;
+        }
+        edit(kw.offset, kw.end_offset(), callee + "(", note);
+        edit(tok(semi).offset, tok(semi).offset, ")", note);
+    }
+
+    /// `par { b2.main(); b3.main(); }` gains child init calls and the
+    /// par_start/par_end bracket (paper Fig. 6).
+    std::size_t rewrite_par(const Decl& d, std::size_t par_ci) {
+        const std::size_t open = par_ci + 1;
+        const std::size_t close = match(open, "{", "}");
+        if (close == npos) {
+            return ntok();
+        }
+        // Children: instance.main() calls inside the par body.
+        std::vector<std::string> children;
+        for (std::size_t i = open + 1; i < close; ++i) {
+            if (tok(i).kind == TokKind::Ident && tok(i + 1).is_punct(".") &&
+                tok(i + 2).is_kw("main")) {
+                children.push_back(tok(i).text);
+                i += 2;
+            }
+        }
+        const std::string ind = indent_of(tok(par_ci).offset);
+        std::string before;
+        for (const std::string& c : children) {
+            before += c + ".init();\n" + ind;
+        }
+        before += "os.par_start();\n" + ind;
+        edit(tok(par_ci).offset, tok(par_ci).offset, before,
+             d.name + ": fork/join refinement around par (line " +
+                 std::to_string(tok(par_ci).line) + ")");
+        edit(tok(close).end_offset(), tok(close).end_offset(), "\n" + ind + "os.par_end();",
+             d.name + ": par_end after join");
+        return close;
+    }
+
+    /// Bracket the task's main() body with task_activate / task_terminate.
+    void rewrite_main(const Decl& d, std::size_t main_ci) {
+        const std::size_t popen = main_ci + 1;
+        const std::size_t pclose = match(popen, "(", ")");
+        if (pclose == npos || pclose + 1 >= ntok() || !tok(pclose + 1).is_punct("{")) {
+            return;  // a call `x.main()` rather than a definition
+        }
+        const std::size_t bopen = pclose + 1;
+        const std::size_t bclose = match(bopen, "{", "}");
+        if (bclose == npos) {
+            return;
+        }
+        const std::string ind = indent_of(tok(main_ci).offset);
+        const std::string ind1 = ind + "  ";
+        edit(tok(bopen).end_offset(), tok(bopen).end_offset(),
+             "\n" + ind1 + "os.task_activate(me);", d.name + ": task_activate at main entry");
+        edit(tok(bclose).offset, tok(bclose).offset,
+             "  os.task_terminate();\n" + ind, d.name + ": task_terminate at main exit");
+    }
+
+    /// `B2 b2;` -> `B2 b2(os);`  /  `B2 b2(c1, c2);` -> `B2 b2(os, c1, c2);`
+    void rewrite_instantiation(const Decl& d, std::size_t type_ci) {
+        const Token& type = tok(type_ci);
+        const std::size_t after = type_ci + 2;
+        const std::string note = d.name + ": pass RTOS to instance '" +
+                                 tok(type_ci + 1).text + "' (line " +
+                                 std::to_string(type.line) + ")";
+        if (after < ntok() && tok(after).is_punct(";")) {
+            edit(tok(after).offset, tok(after).offset, "(os)", note);
+        } else if (after < ntok() && tok(after).is_punct("(")) {
+            const bool empty = tok(after + 1).is_punct(")");
+            edit(tok(after).end_offset(), tok(after).end_offset(),
+                 empty ? "os" : "os, ", note);
+        }
+    }
+
+    // ---- metrics ----
+
+    void finish_report() {
+        RefineReport& rep = result_.report;
+        rep.lines_total =
+            static_cast<int>(std::count(src_.begin(), src_.end(), '\n')) +
+            (!src_.empty() && src_.back() != '\n' ? 1 : 0);
+        rep.edit_count = edits_.size();
+
+        std::set<int> changed_lines;
+        for (const Edit& e : edits_) {
+            const auto newlines_in = [](std::string_view s) {
+                return static_cast<int>(std::count(s.begin(), s.end(), '\n'));
+            };
+            const int added = newlines_in(e.replacement) -
+                              newlines_in(src_.substr(e.begin, e.end - e.begin));
+            rep.lines_added += std::max(0, added);
+            // Any replacement text on the existing line marks it changed.
+            const bool touches_line =
+                e.end > e.begin ||
+                (!e.replacement.empty() && e.replacement.front() != '\n');
+            if (touches_line) {
+                changed_lines.insert(line_of(e.begin));
+            }
+        }
+        rep.lines_changed = static_cast<int>(changed_lines.size());
+    }
+
+    [[nodiscard]] int line_of(std::size_t offset) const {
+        return 1 + static_cast<int>(
+                       std::count(src_.begin(), src_.begin() + static_cast<long>(offset),
+                                  '\n'));
+    }
+
+    const RefineConfig& cfg_;
+    std::string_view src_;
+    std::vector<Token> toks_;
+    std::vector<std::size_t> code_;
+    std::vector<Decl> decls_;
+    std::set<std::string> declared_;
+    std::set<std::string> os_users_;
+    std::vector<Edit> edits_;
+    RefineResult result_;
+};
+
+}  // namespace
+
+RefineResult Refiner::refine(std::string_view source) const {
+    Pass pass{cfg_, source};
+    return pass.run();
+}
+
+}  // namespace slm::refine

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace slm::refine {
+
+/// Attributes for a behavior that is converted into an RTOS task (paper §4.2,
+/// Fig. 5: parameters of the generated os.task_create call).
+struct TaskSpec {
+    std::string type = "APERIODIC";  ///< APERIODIC or PERIODIC
+    std::uint64_t period = 0;
+    std::uint64_t wcet = 0;
+};
+
+/// What the refiner should transform.
+struct RefineConfig {
+    /// Behaviors to convert into tasks, by name. Each receives the full task
+    /// refinement: RTOS parameter, `proc me` + init() members, task_activate/
+    /// task_terminate bracketing of main(), waitfor -> time_wait, and par
+    /// fork/join bracketing.
+    std::map<std::string, TaskSpec> tasks;
+
+    /// Behavior that owns the RTOS instance (the PE top behavior): receives an
+    /// `RTOS os;` member instead of a parameter. Optional.
+    std::string os_owner;
+
+    /// Apply synchronization refinement to channels (paper Fig. 7):
+    /// event -> evt, wait -> os.event_wait, notify -> os.event_notify, and an
+    /// RTOS parameter on every channel.
+    bool refine_channels = true;
+};
+
+/// One source edit: replace bytes [begin, end) with `replacement`.
+/// A pure insertion has begin == end.
+struct Edit {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::string replacement;
+};
+
+/// Refinement metrics — the paper reports "changing or adding 104 lines or
+/// less than 1% of code" for the vocoder.
+struct RefineReport {
+    int lines_total = 0;    ///< lines in the original source
+    int lines_changed = 0;  ///< original lines modified in place
+    int lines_added = 0;    ///< new lines inserted
+    std::size_t edit_count = 0;
+    std::vector<std::string> notes;  ///< one entry per semantic action
+
+    [[nodiscard]] int lines_touched() const { return lines_changed + lines_added; }
+    [[nodiscard]] double percent_touched() const {
+        return lines_total > 0 ? 100.0 * lines_touched() / lines_total : 0.0;
+    }
+};
+
+struct RefineResult {
+    std::string output;  ///< refined source (valid only if ok())
+    RefineReport report;
+    std::vector<std::string> errors;
+
+    [[nodiscard]] bool ok() const { return errors.empty(); }
+};
+
+/// Automatic model refinement: rewrites an unscheduled mini-SpecC
+/// specification into an RTOS-based architecture model, implementing the three
+/// mechanical steps of paper §4.2 — task refinement (Fig. 5), task creation
+/// (Fig. 6), and synchronization refinement (Fig. 7) — as source-to-source
+/// edits that preserve the original formatting.
+class Refiner {
+public:
+    explicit Refiner(RefineConfig cfg) : cfg_(std::move(cfg)) {}
+
+    [[nodiscard]] RefineResult refine(std::string_view source) const;
+
+private:
+    RefineConfig cfg_;
+};
+
+/// Apply a batch of non-overlapping edits to `source` (exposed for testing).
+[[nodiscard]] std::string apply_edits(std::string_view source, std::vector<Edit> edits);
+
+}  // namespace slm::refine

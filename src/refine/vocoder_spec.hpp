@@ -1,0 +1,191 @@
+#pragma once
+
+#include <string_view>
+
+namespace slm::refine {
+
+/// Unscheduled specification of the vocoder example in the mini-SpecC dialect,
+/// used by the refinement tests and by bench_refinement to reproduce the
+/// paper's "104 changed lines, <1% of code" measurement shape. The structure
+/// mirrors the paper's experiment: encoder and decoder behaviors running
+/// concurrently inside a DSP processing element, frame I/O channels, and a bus
+/// driver with interrupt-signaled semaphore.
+inline constexpr std::string_view kVocoderSpec = R"SPEC(// GSM vocoder, unscheduled specification model (mini-SpecC dialect)
+
+channel c_frame_queue() implements i_sender {
+  event erdy;
+  event eack;
+  int frame[160];
+  int valid;
+
+  void send(int data[160]) {
+    if (valid != 0) {
+      wait(eack);
+    }
+    valid = 1;
+    notify erdy;
+  }
+
+  void recv(int data[160]) {
+    if (valid == 0) {
+      wait(erdy);
+    }
+    valid = 0;
+    notify eack;
+  }
+};
+
+channel c_bits_queue() {
+  event erdy;
+  event eack;
+  int bits[244];
+  int valid;
+
+  void send(int data[244]) {
+    if (valid != 0) {
+      wait(eack);
+    }
+    valid = 1;
+    notify erdy;
+  }
+
+  void recv(int data[244]) {
+    if (valid == 0) {
+      wait(erdy);
+    }
+    valid = 0;
+    notify eack;
+  }
+};
+
+channel c_semaphore() {
+  event sig;
+  int count;
+
+  void release(void) {
+    count = count + 1;
+    notify sig;
+  }
+
+  void acquire(void) {
+    while (count == 0) {
+      wait(sig);
+    }
+    count = count - 1;
+  }
+};
+
+behavior Preemphasis() {
+  void main(void) {
+    waitfor(180);
+  }
+};
+
+behavior LpAnalysis() {
+  void main(void) {
+    waitfor(1450);
+  }
+};
+
+behavior OpenLoopPitch() {
+  void main(void) {
+    waitfor(880);
+  }
+};
+
+behavior ClosedLoopPitch() {
+  void main(void) {
+    waitfor(1190);
+  }
+};
+
+behavior CodebookSearch() {
+  void main(void) {
+    waitfor(2630);
+  }
+};
+
+behavior Coder(c_frame_queue speech_in, c_bits_queue bits_out) {
+  Preemphasis pre;
+  LpAnalysis lp;
+  OpenLoopPitch olp;
+  ClosedLoopPitch clp;
+  CodebookSearch cbs;
+  int frame[160];
+  int bits[244];
+
+  void main(void) {
+    while (1) {
+      speech_in.recv(frame);
+      pre.main();
+      lp.main();
+      olp.main();
+      clp.main();
+      cbs.main();
+      waitfor(320);
+      bits_out.send(bits);
+    }
+  }
+};
+
+behavior LpSynthesis() {
+  void main(void) {
+    waitfor(900);
+  }
+};
+
+behavior Postfilter() {
+  void main(void) {
+    waitfor(640);
+  }
+};
+
+behavior Decoder(c_bits_queue bits_in, c_frame_queue speech_out) {
+  LpSynthesis syn;
+  Postfilter post;
+  int bits[244];
+  int frame[160];
+
+  void main(void) {
+    while (1) {
+      bits_in.recv(bits);
+      syn.main();
+      post.main();
+      waitfor(260);
+      speech_out.send(frame);
+    }
+  }
+};
+
+behavior BusDriver(c_semaphore sem, c_frame_queue speech_in) {
+  int rxbuf[160];
+
+  void main(void) {
+    while (1) {
+      sem.acquire();
+      waitfor(40);
+      speech_in.send(rxbuf);
+    }
+  }
+};
+
+behavior DspPe(c_semaphore sem) {
+  c_frame_queue mic_in;
+  c_frame_queue spk_out;
+  c_bits_queue radio_tx;
+  Coder coder(mic_in, radio_tx);
+  Decoder decoder(radio_tx, spk_out);
+  BusDriver driver(sem, mic_in);
+
+  void main(void) {
+    waitfor(120);
+    par {
+      coder.main();
+      decoder.main();
+      driver.main();
+    }
+  }
+};
+)SPEC";
+
+}  // namespace slm::refine

@@ -1,0 +1,251 @@
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rtos/rtos.hpp"
+#include "sim/assert.hpp"
+
+namespace slm::rtos {
+
+/// RTOS-refined channel library: the result of the paper's synchronization
+/// refinement (Fig. 7) applied to the spec-model channels. Identical protocol
+/// logic, but all blocking goes through RtosModel::event_wait/event_notify so
+/// the RTOS task states stay correct and the scheduler can run at every
+/// synchronization point.
+///
+/// Channel operations themselves consume no modeled CPU time; computation and
+/// communication delays are modeled explicitly with time_wait() in the tasks.
+
+/// Counting semaphore over RTOS events (the `sem` channel of Fig. 3 that an
+/// ISR releases to signal the bus driver task).
+class OsSemaphore {
+public:
+    OsSemaphore(RtosModel& os, unsigned initial, std::string name = "sem")
+        : os_(os), evt_(os.event_new(name + ".evt")), count_(initial) {}
+
+    void acquire() {
+        while (count_ == 0) {
+            os_.event_wait(evt_);
+        }
+        --count_;
+    }
+
+    [[nodiscard]] bool try_acquire() {
+        if (count_ == 0) {
+            return false;
+        }
+        --count_;
+        return true;
+    }
+
+    /// P() with a timeout: returns false if no token arrived within `timeout`.
+    [[nodiscard]] bool acquire_for(slm::SimTime timeout) {
+        const slm::SimTime deadline = os_.kernel().now() + timeout;
+        for (;;) {
+            if (count_ > 0) {
+                --count_;
+                return true;
+            }
+            const slm::SimTime remaining = deadline - os_.kernel().now();
+            if (remaining.is_zero()) {
+                return false;
+            }
+            if (!os_.event_wait_timeout(evt_, remaining)) {
+                if (count_ > 0) {  // token arrived in the timeout instant
+                    --count_;
+                    return true;
+                }
+                return false;
+            }
+        }
+    }
+
+    /// Callable from tasks and from ISR context.
+    void release() {
+        ++count_;
+        os_.event_notify(evt_);
+    }
+
+    [[nodiscard]] unsigned count() const { return count_; }
+
+private:
+    RtosModel& os_;
+    OsEvent* evt_;
+    unsigned count_;
+};
+
+/// Mutex with a choice of priority protocols:
+///
+///  - None: plain lock; unbounded priority inversion is possible.
+///  - PriorityInheritance: when a higher-priority task blocks on a lock held
+///    by a lower-priority task, the holder inherits the blocked task's
+///    effective priority until release. Bounds inversion reactively (classic
+///    Mars-Pathfinder fix).
+///  - PriorityCeiling (immediate ceiling / "priority protect" protocol): the
+///    holder's priority is raised to the mutex's preassigned ceiling the
+///    moment it acquires the lock, so no task that could ever contend gets to
+///    preempt a critical section at all — inversion *and* deadlock between
+///    ceiling mutexes are prevented proactively.
+///
+/// See tests/test_os_channels.cpp and bench_sched for the ablation.
+class OsMutex {
+public:
+    enum class Protocol { None, PriorityInheritance, PriorityCeiling };
+
+    explicit OsMutex(RtosModel& os, Protocol protocol = Protocol::None,
+                     std::string name = "mutex", int ceiling = 0)
+        : os_(os),
+          evt_(os.event_new(name + ".evt")),
+          protocol_(protocol),
+          ceiling_(ceiling) {}
+
+    void lock() {
+        Task* self = os_.self();
+        SLM_ASSERT(self != nullptr, "OsMutex::lock() requires a task");
+        SLM_ASSERT(owner_ != self, "OsMutex is not recursive");
+        while (owner_ != nullptr) {
+            if (protocol_ == Protocol::PriorityInheritance) {
+                boost_owner(self->effective_priority());
+            }
+            waiters_.push_back(self);
+            os_.event_wait(evt_);
+            std::erase(waiters_, self);
+        }
+        owner_ = self;
+        saved_inherited_ = owner_->inherited_priority_;
+        if (protocol_ == Protocol::PriorityCeiling &&
+            ceiling_ < owner_->inherited_priority_) {
+            owner_->inherited_priority_ = ceiling_;
+            os_.reschedule_after_boost();
+        }
+    }
+
+    void unlock() {
+        Task* self = os_.self();
+        SLM_ASSERT(owner_ == self, "OsMutex unlocked by non-owner");
+        owner_->inherited_priority_ = saved_inherited_;
+        owner_ = nullptr;
+        os_.event_notify(evt_);
+    }
+
+    [[nodiscard]] bool locked() const { return owner_ != nullptr; }
+    [[nodiscard]] const Task* owner() const { return owner_; }
+
+private:
+    void boost_owner(int priority) {
+        if (priority < owner_->inherited_priority_) {
+            owner_->inherited_priority_ = priority;
+            os_.reschedule_after_boost();
+        }
+    }
+
+    RtosModel& os_;
+    OsEvent* evt_;
+    Protocol protocol_;
+    int ceiling_;
+    Task* owner_ = nullptr;
+    std::vector<Task*> waiters_;
+    int saved_inherited_ = std::numeric_limits<int>::max();
+};
+
+/// RAII guard for OsMutex.
+class OsScopedLock {
+public:
+    explicit OsScopedLock(OsMutex& m) : m_(m) { m_.lock(); }
+    ~OsScopedLock() { m_.unlock(); }
+    OsScopedLock(const OsScopedLock&) = delete;
+    OsScopedLock& operator=(const OsScopedLock&) = delete;
+
+private:
+    OsMutex& m_;
+};
+
+/// Blocking bounded FIFO queue — the refined c_queue of the paper's Fig. 7,
+/// with the erdy/eack event pair replaced by RTOS events. capacity == 0 means
+/// unbounded.
+template <typename T>
+class OsQueue {
+public:
+    OsQueue(RtosModel& os, std::size_t capacity, std::string name = "queue")
+        : os_(os),
+          erdy_(os.event_new(name + ".rdy")),
+          eack_(os.event_new(name + ".ack")),
+          capacity_(capacity) {}
+
+    void send(T value) {
+        while (capacity_ != 0 && buf_.size() >= capacity_) {
+            os_.event_wait(eack_);
+        }
+        buf_.push_back(std::move(value));
+        os_.event_notify(erdy_);
+    }
+
+    [[nodiscard]] T receive() {
+        while (buf_.empty()) {
+            os_.event_wait(erdy_);
+        }
+        T v = std::move(buf_.front());
+        buf_.pop_front();
+        os_.event_notify(eack_);
+        return v;
+    }
+
+    [[nodiscard]] bool try_receive(T& out) {
+        if (buf_.empty()) {
+            return false;
+        }
+        out = std::move(buf_.front());
+        buf_.pop_front();
+        os_.event_notify(eack_);
+        return true;
+    }
+
+    /// Blocking receive with a timeout: false if no message arrived in time.
+    [[nodiscard]] bool receive_for(T& out, slm::SimTime timeout) {
+        const slm::SimTime deadline = os_.kernel().now() + timeout;
+        for (;;) {
+            if (try_receive(out)) {
+                return true;
+            }
+            const slm::SimTime remaining = deadline - os_.kernel().now();
+            if (remaining.is_zero()) {
+                return false;
+            }
+            if (!os_.event_wait_timeout(erdy_, remaining)) {
+                return try_receive(out);
+            }
+        }
+    }
+
+    [[nodiscard]] std::size_t size() const { return buf_.size(); }
+    [[nodiscard]] bool empty() const { return buf_.empty(); }
+
+private:
+    RtosModel& os_;
+    OsEvent* erdy_;
+    OsEvent* eack_;
+    std::deque<T> buf_;
+    std::size_t capacity_;
+};
+
+/// Single-slot mailbox: send overwrites nothing — it blocks while full.
+template <typename T>
+class OsMailbox {
+public:
+    explicit OsMailbox(RtosModel& os, std::string name = "mbox")
+        : q_(os, 1, std::move(name)) {}
+
+    void send(T value) { q_.send(std::move(value)); }
+    [[nodiscard]] T receive() { return q_.receive(); }
+    [[nodiscard]] bool full() const { return q_.size() == 1; }
+
+private:
+    OsQueue<T> q_;
+};
+
+}  // namespace slm::rtos

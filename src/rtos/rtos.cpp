@@ -1,0 +1,579 @@
+#include "rtos/rtos.hpp"
+
+#include <algorithm>
+
+#include "sim/assert.hpp"
+
+namespace slm::rtos {
+
+const char* to_string(TaskState s) {
+    switch (s) {
+        case TaskState::New: return "New";
+        case TaskState::Ready: return "Ready";
+        case TaskState::Running: return "Running";
+        case TaskState::WaitingEvent: return "WaitingEvent";
+        case TaskState::WaitingPeriod: return "WaitingPeriod";
+        case TaskState::Sleeping: return "Sleeping";
+        case TaskState::Suspended: return "Suspended";
+        case TaskState::ParWait: return "ParWait";
+        case TaskState::Terminated: return "Terminated";
+    }
+    return "?";
+}
+
+const char* to_string(TaskType t) {
+    return t == TaskType::Periodic ? "Periodic" : "Aperiodic";
+}
+
+Task::Task(RtosModel& os, TaskParams params) : os_(os), params_(std::move(params)) {
+    dispatch_evt_ = std::make_unique<sim::Event>(os.kernel(), params_.name + ".dispatch");
+}
+
+RtosModel::RtosModel(sim::Kernel& kernel, RtosConfig cfg)
+    : kernel_(kernel), cfg_(std::move(cfg)) {
+    policy_ = make_policy(cfg_.policy, cfg_.quantum);
+}
+
+RtosModel::~RtosModel() = default;
+
+void RtosModel::init() {
+    SLM_ASSERT(!started_, "init() after start()");
+    SLM_ASSERT(tasks_.empty(), "init() must precede task_create()");
+    stats_ = RtosStats{};
+}
+
+void RtosModel::start() {
+    SLM_ASSERT(!started_, "start() called twice");
+    started_ = true;
+    schedule();
+}
+
+void RtosModel::start(SchedPolicy policy) {
+    policy_ = make_policy(policy, cfg_.quantum);
+    start();
+}
+
+Task* RtosModel::task_create(std::string name, TaskType type, SimTime period,
+                             SimTime wcet, int priority, SimTime deadline) {
+    ++stats_.syscalls;
+    SLM_ASSERT(type != TaskType::Periodic || !period.is_zero(),
+               "periodic task needs a non-zero period");
+    TaskParams p;
+    p.name = std::move(name);
+    p.type = type;
+    p.period = period;
+    p.wcet = wcet;
+    p.priority = priority;
+    p.deadline = deadline;
+    tasks_.push_back(std::unique_ptr<Task>(new Task(*this, std::move(p))));
+    return tasks_.back().get();
+}
+
+Task* RtosModel::self() const {
+    const auto it = by_process_.find(sim::this_process());
+    return it != by_process_.end() ? it->second : nullptr;
+}
+
+std::vector<const Task*> RtosModel::tasks() const {
+    std::vector<const Task*> out;
+    out.reserve(tasks_.size());
+    for (const auto& t : tasks_) {
+        out.push_back(t.get());
+    }
+    return out;
+}
+
+SimTime RtosModel::busy_time() const {
+    SimTime total;
+    for (const auto& t : tasks_) {
+        total += t->stats_.exec_time;
+    }
+    return total;
+}
+
+// ---- internal machinery ----
+
+void RtosModel::set_task_state(Task* t, TaskState s) {
+    if (t->state_ == s) {
+        return;
+    }
+    t->state_ = s;
+    if (cfg_.tracer != nullptr) {
+        cfg_.tracer->task_state(kernel_.now(), cfg_.cpu_name, t->params_.name,
+                                to_string(s));
+    }
+}
+
+void RtosModel::enqueue_ready(Task* t) {
+    t->arrival_seq_ = ++arrival_counter_;
+    ready_.push_back(t);
+    set_task_state(t, TaskState::Ready);
+}
+
+void RtosModel::remove_ready(Task* t) {
+    std::erase(ready_, t);
+}
+
+void RtosModel::dispatch(Task* t) {
+    running_ = t;
+    reschedule_pending_ = false;
+    quantum_used_ = SimTime::zero();
+    set_task_state(t, TaskState::Running);
+    ++stats_.dispatches;
+    if (t != last_dispatched_) {
+        ++stats_.context_switches;
+        if (cfg_.tracer != nullptr) {
+            cfg_.tracer->context_switch(
+                kernel_.now(), cfg_.cpu_name, t->params_.name,
+                last_dispatched_ != nullptr ? last_dispatched_->params_.name : "<idle>");
+        }
+        t->switch_cost_due_ = !cfg_.context_switch_overhead.is_zero();
+        last_dispatched_ = t;
+    }
+    kernel_.notify(*t->dispatch_evt_);
+}
+
+void RtosModel::schedule() {
+    if (!started_) {
+        return;
+    }
+    Task* best = policy_->pick(ready_);
+    if (running_ == nullptr) {
+        if (best != nullptr) {
+            remove_ready(best);
+            dispatch(best);
+        }
+        return;
+    }
+    if (best != nullptr && policy_->preempts(*best, *running_)) {
+        // The switch takes effect at the running task's next RTOS-call
+        // boundary — the end of its current discrete delay step (paper
+        // Fig. 8(b): preemption at t4 is delayed until t4').
+        reschedule_pending_ = true;
+    }
+}
+
+void RtosModel::maybe_yield() {
+    Task* selftask = running_;
+    SLM_ASSERT(selftask != nullptr, "maybe_yield outside running task");
+    if (!reschedule_pending_) {
+        return;
+    }
+    reschedule_pending_ = false;
+    const SimTime saved_quantum = quantum_used_;
+    enqueue_ready(selftask);
+    running_ = nullptr;
+    Task* best = policy_->pick(ready_);
+    SLM_ASSERT(best != nullptr, "ready queue lost the yielding task");
+    remove_ready(best);
+    if (best == selftask) {
+        running_ = selftask;
+        quantum_used_ = saved_quantum;
+        set_task_state(selftask, TaskState::Running);
+        return;
+    }
+    ++stats_.preemptions;
+    ++selftask->stats_.preemptions;
+    dispatch(best);
+    wait_dispatch(selftask);
+}
+
+void RtosModel::rotate_quantum() {
+    Task* selftask = running_;
+    reschedule_pending_ = false;
+    enqueue_ready(selftask);
+    running_ = nullptr;
+    Task* best = policy_->pick(ready_);
+    remove_ready(best);
+    if (best == selftask) {
+        running_ = selftask;
+        quantum_used_ = SimTime::zero();
+        set_task_state(selftask, TaskState::Running);
+        return;
+    }
+    dispatch(best);
+    wait_dispatch(selftask);
+}
+
+void RtosModel::apply_switch_cost(Task* t) {
+    if (t->switch_cost_due_) {
+        t->switch_cost_due_ = false;
+        kernel_.waitfor(cfg_.context_switch_overhead);
+    }
+}
+
+void RtosModel::wait_dispatch(Task* t) {
+    while (running_ != t) {
+        kernel_.wait(*t->dispatch_evt_);
+    }
+    apply_switch_cost(t);
+}
+
+Task* RtosModel::require_running_self(const char* what) {
+    Task* t = self();
+    SLM_ASSERT(t != nullptr, what);
+    SLM_ASSERT(t == running_, what);
+    return t;
+}
+
+void RtosModel::record_completion(Task* t) {
+    const SimTime resp = kernel_.now() - t->release_time_;
+    ++t->stats_.completions;
+    t->stats_.total_response += resp;
+    t->stats_.max_response = std::max(t->stats_.max_response, resp);
+    if (kernel_.now() > t->abs_deadline_) {
+        ++t->stats_.deadline_misses;
+        ++stats_.deadline_misses;
+    }
+}
+
+void RtosModel::reschedule_after_boost() {
+    schedule();
+    if (running_ != nullptr && self() == running_) {
+        maybe_yield();
+    }
+}
+
+// ---- task management ----
+
+void RtosModel::task_activate(Task* t) {
+    ++stats_.syscalls;
+    SLM_ASSERT(t != nullptr, "task_activate(nullptr)");
+    switch (t->state_) {
+        case TaskState::New: {
+            sim::Process* proc = sim::this_process();
+            SLM_ASSERT(proc != nullptr,
+                       "task_activate(New) must run inside the task's process");
+            SLM_ASSERT(self() == nullptr,
+                       "this process is already bound to another task");
+            t->proc_ = proc;
+            by_process_[proc] = t;
+            t->release_time_ = kernel_.now();
+            ++t->stats_.activations;
+            if (t->params_.type == TaskType::Periodic) {
+                t->next_release_ = kernel_.now() + t->params_.period;
+                t->abs_deadline_ = kernel_.now() + (t->params_.deadline.is_zero()
+                                                        ? t->params_.period
+                                                        : t->params_.deadline);
+            } else {
+                t->abs_deadline_ = t->params_.deadline.is_zero()
+                                       ? SimTime::max()
+                                       : kernel_.now() + t->params_.deadline;
+            }
+            enqueue_ready(t);
+            // Let sibling activations in the same simulated instant land
+            // before the dispatch decision (zero-time delta yield): when a
+            // `par` forks several child tasks at once, the scheduler must see
+            // all of them and pick by policy, not by process start order
+            // (paper Fig. 8(b): the higher-priority child runs first).
+            kernel_.waitfor(SimTime::zero());
+            schedule();
+            wait_dispatch(t);
+            return;
+        }
+        case TaskState::Suspended: {
+            ++t->stats_.activations;
+            t->release_time_ = kernel_.now();
+            enqueue_ready(t);
+            schedule();
+            if (running_ != nullptr && self() == running_) {
+                maybe_yield();
+            }
+            return;
+        }
+        case TaskState::Ready:
+        case TaskState::Running:
+            return;  // already active: no-op
+        case TaskState::WaitingEvent:
+        case TaskState::WaitingPeriod:
+        case TaskState::Sleeping:
+        case TaskState::ParWait:
+        case TaskState::Terminated:
+            SLM_ASSERT(false, "task_activate() on a waiting or terminated task");
+    }
+}
+
+void RtosModel::task_terminate() {
+    ++stats_.syscalls;
+    Task* t = require_running_self("task_terminate() requires the running task");
+    if (t->params_.type == TaskType::Aperiodic) {
+        // Periodic tasks record completions per cycle in task_endcycle();
+        // terminating between cycles is not an extra completion.
+        record_completion(t);
+    }
+    set_task_state(t, TaskState::Terminated);
+    by_process_.erase(t->proc_);
+    t->proc_ = nullptr;
+    running_ = nullptr;
+    schedule();
+}
+
+void RtosModel::task_sleep() {
+    ++stats_.syscalls;
+    Task* t = require_running_self("task_sleep() requires the running task");
+    set_task_state(t, TaskState::Suspended);
+    running_ = nullptr;
+    schedule();
+    wait_dispatch(t);
+}
+
+void RtosModel::task_endcycle() {
+    ++stats_.syscalls;
+    Task* t = require_running_self("task_endcycle() requires the running task");
+    SLM_ASSERT(t->params_.type == TaskType::Periodic,
+               "task_endcycle() is only meaningful for periodic tasks");
+    record_completion(t);
+
+    // Catch up if the cycle overran one or more whole periods.
+    while (t->next_release_ <= kernel_.now()) {
+        t->next_release_ += t->params_.period;
+    }
+
+    set_task_state(t, TaskState::WaitingPeriod);
+    running_ = nullptr;
+    schedule();
+
+    // The wait for the next release consumes no CPU: it runs at SLDL level,
+    // concurrently with whatever task was just dispatched.
+    kernel_.waitfor(t->next_release_ - kernel_.now());
+
+    t->release_time_ = kernel_.now();
+    t->next_release_ = kernel_.now() + t->params_.period;
+    t->abs_deadline_ = kernel_.now() + (t->params_.deadline.is_zero() ? t->params_.period
+                                                                      : t->params_.deadline);
+    ++t->stats_.activations;
+    enqueue_ready(t);
+    schedule();
+    wait_dispatch(t);
+}
+
+void RtosModel::task_kill(Task* t) {
+    ++stats_.syscalls;
+    SLM_ASSERT(t != nullptr, "task_kill(nullptr)");
+    if (t->state_ == TaskState::Terminated) {
+        return;
+    }
+    const bool killing_self = (t == self());
+
+    switch (t->state_) {
+        case TaskState::Running:
+            SLM_ASSERT(t == running_, "Running task is not the dispatched task");
+            running_ = nullptr;
+            break;
+        case TaskState::Ready:
+            remove_ready(t);
+            break;
+        case TaskState::WaitingEvent:
+            if (t->waiting_evt_ != nullptr) {
+                std::erase(t->waiting_evt_->waiters_, t);
+                t->waiting_evt_ = nullptr;
+            }
+            break;
+        case TaskState::New:
+        case TaskState::WaitingPeriod:
+        case TaskState::Sleeping:
+        case TaskState::Suspended:
+        case TaskState::ParWait:
+            break;
+        case TaskState::Terminated:
+            return;
+    }
+    set_task_state(t, TaskState::Terminated);
+    sim::Process* proc = t->proc_;
+    if (proc != nullptr) {
+        by_process_.erase(proc);
+        t->proc_ = nullptr;
+    }
+    if (!killing_self) {
+        schedule();
+    }
+    if (proc != nullptr) {
+        kernel_.kill(*proc);  // self-kill: throws ProcessKilled, does not return
+    }
+}
+
+void RtosModel::task_set_priority(Task* t, int priority) {
+    ++stats_.syscalls;
+    SLM_ASSERT(t != nullptr, "task_set_priority(nullptr)");
+    t->params_.priority = priority;
+    schedule();
+    if (running_ != nullptr && self() == running_) {
+        maybe_yield();
+    }
+}
+
+Task* RtosModel::par_start() {
+    ++stats_.syscalls;
+    Task* t = require_running_self("par_start() requires the running task");
+    set_task_state(t, TaskState::ParWait);
+    running_ = nullptr;
+    schedule();
+    return t;
+}
+
+void RtosModel::par_end(Task* parent) {
+    ++stats_.syscalls;
+    SLM_ASSERT(parent != nullptr && parent->state_ == TaskState::ParWait,
+               "par_end() expects the handle returned by par_start()");
+    SLM_ASSERT(sim::this_process() == parent->proc_,
+               "par_end() must be called by the suspended parent task");
+    enqueue_ready(parent);
+    schedule();
+    wait_dispatch(parent);
+}
+
+// ---- event handling ----
+
+OsEvent* RtosModel::event_new(std::string name) {
+    ++stats_.syscalls;
+    if (name.empty()) {
+        name = "evt" + std::to_string(events_.size());
+    }
+    events_.push_back(std::make_unique<OsEvent>(std::move(name)));
+    return events_.back().get();
+}
+
+void RtosModel::event_del(OsEvent* e) {
+    ++stats_.syscalls;
+    SLM_ASSERT(e != nullptr, "event_del(nullptr)");
+    SLM_ASSERT(e->waiters_.empty(), "event_del() with tasks still waiting");
+    std::erase_if(events_, [e](const auto& p) { return p.get() == e; });
+}
+
+void RtosModel::event_wait(OsEvent* e) {
+    ++stats_.syscalls;
+    SLM_ASSERT(e != nullptr, "event_wait(nullptr)");
+    Task* t = require_running_self("event_wait() requires the running task");
+    e->waiters_.push_back(t);
+    t->waiting_evt_ = e;
+    set_task_state(t, TaskState::WaitingEvent);
+    running_ = nullptr;
+    schedule();
+    wait_dispatch(t);
+}
+
+bool RtosModel::event_wait_timeout(OsEvent* e, SimTime timeout) {
+    ++stats_.syscalls;
+    SLM_ASSERT(e != nullptr, "event_wait_timeout(nullptr)");
+    SLM_ASSERT(!timeout.is_zero(), "event_wait_timeout() needs a non-zero timeout");
+    Task* t = require_running_self("event_wait_timeout() requires the running task");
+    const SimTime deadline = kernel_.now() + timeout;
+    e->waiters_.push_back(t);
+    t->waiting_evt_ = e;
+    set_task_state(t, TaskState::WaitingEvent);
+    running_ = nullptr;
+    schedule();
+
+    bool notified = true;
+    while (running_ != t) {
+        if (t->waiting_evt_ == e) {
+            const SimTime remaining = deadline - kernel_.now();
+            const bool dispatched =
+                !remaining.is_zero() &&
+                kernel_.wait_timeout(*t->dispatch_evt_, remaining);
+            if (!dispatched && t->waiting_evt_ == e) {
+                // RTOS-level timeout: leave the event queue and contend for
+                // the CPU like any freshly readied task.
+                std::erase(e->waiters_, t);
+                t->waiting_evt_ = nullptr;
+                notified = false;
+                enqueue_ready(t);
+                schedule();
+            }
+        } else {
+            // Already readied by event_notify (or by the timeout above):
+            // plain wait for the dispatcher.
+            kernel_.wait(*t->dispatch_evt_);
+        }
+    }
+    apply_switch_cost(t);
+    return notified;
+}
+
+void RtosModel::event_notify(OsEvent* e) {
+    ++stats_.syscalls;
+    SLM_ASSERT(e != nullptr, "event_notify(nullptr)");
+    for (Task* t : e->waiters_) {
+        t->waiting_evt_ = nullptr;
+        enqueue_ready(t);
+    }
+    e->waiters_.clear();
+    schedule();
+    if (running_ != nullptr && self() == running_) {
+        // A task made others ready inside a system call: the scheduler runs
+        // now, possibly switching away immediately.
+        maybe_yield();
+    }
+}
+
+// ---- time modeling ----
+
+void RtosModel::time_wait(SimTime dt) {
+    ++stats_.syscalls;
+    Task* t = require_running_self("time_wait() requires the running task");
+    // A reschedule pending from an earlier call takes effect before any of
+    // this delay elapses.
+    maybe_yield();
+    SimTime remaining = dt;
+    const SimTime quantum = policy_->quantum();
+    do {
+        SimTime chunk = remaining;
+        if (!cfg_.preemption_granularity.is_zero() && cfg_.preemption_granularity < chunk) {
+            chunk = cfg_.preemption_granularity;
+        }
+        if (!quantum.is_zero()) {
+            const SimTime left = quantum - quantum_used_;
+            if (left.is_zero()) {
+                rotate_quantum();
+                continue;
+            }
+            if (left < chunk) {
+                chunk = left;
+            }
+        }
+        kernel_.waitfor(chunk);
+        t->stats_.exec_time += chunk;
+        quantum_used_ += chunk;
+        remaining -= chunk;
+        if (!quantum.is_zero() && quantum_used_ >= quantum && !remaining.is_zero()) {
+            rotate_quantum();
+        }
+        // Yield between chunks only: when the delay has fully elapsed the
+        // task's step is complete, and its completion timestamp must not
+        // absorb a preemption landing exactly on the boundary (a pending
+        // reschedule still takes effect at the next RTOS call).
+        if (!remaining.is_zero()) {
+            maybe_yield();
+        }
+    } while (!remaining.is_zero());
+}
+
+void RtosModel::task_delay(SimTime dt) {
+    ++stats_.syscalls;
+    Task* t = require_running_self("task_delay() requires the running task");
+    set_task_state(t, TaskState::Sleeping);
+    running_ = nullptr;
+    schedule();
+    // The sleep itself consumes no CPU: it elapses at SLDL level while the
+    // dispatcher runs other tasks.
+    kernel_.waitfor(dt);
+    enqueue_ready(t);
+    schedule();
+    wait_dispatch(t);
+}
+
+// ---- interrupts ----
+
+void RtosModel::isr_enter(const std::string& irq_name) {
+    ++stats_.isr_entries;
+    if (cfg_.tracer != nullptr) {
+        cfg_.tracer->irq(kernel_.now(), cfg_.cpu_name, irq_name);
+    }
+}
+
+void RtosModel::interrupt_return() {
+    ++stats_.syscalls;
+    schedule();
+}
+
+}  // namespace slm::rtos

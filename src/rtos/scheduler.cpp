@@ -1,0 +1,125 @@
+#include "rtos/scheduler.hpp"
+
+#include "rtos/rtos.hpp"
+#include "sim/assert.hpp"
+
+namespace slm::rtos {
+
+const char* to_string(SchedPolicy p) {
+    switch (p) {
+        case SchedPolicy::Fifo: return "FIFO";
+        case SchedPolicy::Priority: return "Priority";
+        case SchedPolicy::RoundRobin: return "RoundRobin";
+        case SchedPolicy::Edf: return "EDF";
+        case SchedPolicy::Rms: return "RMS";
+    }
+    return "?";
+}
+
+namespace {
+
+/// Best ready task by comparator; `less(a, b)` = "a should run before b".
+template <typename Less>
+Task* pick_best(const std::vector<Task*>& ready, Less less) {
+    Task* best = nullptr;
+    for (Task* t : ready) {
+        if (best == nullptr || less(t, best)) {
+            best = t;
+        }
+    }
+    return best;
+}
+
+class FifoPolicy final : public SchedulerPolicy {
+public:
+    const char* name() const override { return "FIFO"; }
+    Task* pick(const std::vector<Task*>& ready) const override {
+        return pick_best(ready, [](const Task* a, const Task* b) {
+            return a->arrival_seq() < b->arrival_seq();
+        });
+    }
+    bool preempts(const Task&, const Task&) const override { return false; }
+};
+
+class PriorityPolicy : public SchedulerPolicy {
+public:
+    const char* name() const override { return "Priority"; }
+    Task* pick(const std::vector<Task*>& ready) const override {
+        return pick_best(ready, [](const Task* a, const Task* b) {
+            if (a->effective_priority() != b->effective_priority()) {
+                return a->effective_priority() < b->effective_priority();
+            }
+            return a->arrival_seq() < b->arrival_seq();
+        });
+    }
+    bool preempts(const Task& cand, const Task& running) const override {
+        return cand.effective_priority() < running.effective_priority();
+    }
+};
+
+class RoundRobinPolicy final : public PriorityPolicy {
+public:
+    explicit RoundRobinPolicy(SimTime quantum) : quantum_(quantum) {
+        SLM_ASSERT(!quantum.is_zero(), "round-robin needs a non-zero quantum");
+    }
+    const char* name() const override { return "RoundRobin"; }
+    SimTime quantum() const override { return quantum_; }
+
+private:
+    SimTime quantum_;
+};
+
+class EdfPolicy final : public SchedulerPolicy {
+public:
+    const char* name() const override { return "EDF"; }
+    Task* pick(const std::vector<Task*>& ready) const override {
+        return pick_best(ready, [](const Task* a, const Task* b) {
+            if (a->absolute_deadline() != b->absolute_deadline()) {
+                return a->absolute_deadline() < b->absolute_deadline();
+            }
+            return a->arrival_seq() < b->arrival_seq();
+        });
+    }
+    bool preempts(const Task& cand, const Task& running) const override {
+        return cand.absolute_deadline() < running.absolute_deadline();
+    }
+};
+
+class RmsPolicy final : public SchedulerPolicy {
+public:
+    const char* name() const override { return "RMS"; }
+    Task* pick(const std::vector<Task*>& ready) const override {
+        return pick_best(ready, [](const Task* a, const Task* b) {
+            if (key(*a) != key(*b)) {
+                return key(*a) < key(*b);
+            }
+            return a->arrival_seq() < b->arrival_seq();
+        });
+    }
+    bool preempts(const Task& cand, const Task& running) const override {
+        return key(cand) < key(running);
+    }
+
+private:
+    /// Shorter period = higher rate = higher priority. Aperiodic tasks
+    /// (no period) run in the background.
+    static SimTime key(const Task& t) {
+        return t.params().type == TaskType::Periodic ? t.params().period : SimTime::max();
+    }
+};
+
+}  // namespace
+
+std::unique_ptr<SchedulerPolicy> make_policy(SchedPolicy p, SimTime quantum) {
+    switch (p) {
+        case SchedPolicy::Fifo: return std::make_unique<FifoPolicy>();
+        case SchedPolicy::Priority: return std::make_unique<PriorityPolicy>();
+        case SchedPolicy::RoundRobin: return std::make_unique<RoundRobinPolicy>(quantum);
+        case SchedPolicy::Edf: return std::make_unique<EdfPolicy>();
+        case SchedPolicy::Rms: return std::make_unique<RmsPolicy>();
+    }
+    SLM_ASSERT(false, "unknown scheduling policy");
+    return nullptr;
+}
+
+}  // namespace slm::rtos

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace slm::rtos {
+
+class Task;
+
+/// Dynamic scheduling algorithms selectable at RtosModel::start() (the paper's
+/// `start(int sched_alg)`).
+enum class SchedPolicy {
+    Fifo,        ///< non-preemptive first-come-first-served
+    Priority,    ///< fixed-priority, preemptive (smaller number = higher priority)
+    RoundRobin,  ///< fixed-priority preemptive + quantum rotation among equals
+    Edf,         ///< earliest absolute deadline first, preemptive
+    Rms,         ///< rate-monotonic: shortest period first, preemptive
+};
+
+[[nodiscard]] const char* to_string(SchedPolicy p);
+
+/// Strategy interface consulted by the RTOS model whenever task states change.
+/// Implementations are stateless; all task bookkeeping lives in the model so
+/// policies can be swapped per `start()` call.
+class SchedulerPolicy {
+public:
+    virtual ~SchedulerPolicy() = default;
+
+    [[nodiscard]] virtual const char* name() const = 0;
+
+    /// Best candidate among the ready tasks (nullptr if `ready` is empty).
+    [[nodiscard]] virtual Task* pick(const std::vector<Task*>& ready) const = 0;
+
+    /// Should `cand` preempt the currently running task? Non-preemptive
+    /// policies always answer false.
+    [[nodiscard]] virtual bool preempts(const Task& cand, const Task& running) const = 0;
+
+    /// Time-slice length, or zero for no quantum-based rotation.
+    [[nodiscard]] virtual SimTime quantum() const { return SimTime::zero(); }
+};
+
+/// Factory for the built-in policies. `quantum` only matters for RoundRobin.
+[[nodiscard]] std::unique_ptr<SchedulerPolicy> make_policy(SchedPolicy p,
+                                                           SimTime quantum = milliseconds(1));
+
+}  // namespace slm::rtos

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Model-contract assertion. These check simulation-time invariants (e.g. "a
+/// blocking call was made from inside a process context"). Violations indicate
+/// a bug in the model or the library, not a recoverable condition, so they
+/// abort with a location message. Enabled in all build types: system models are
+/// run far fewer times than production software, and a silently-wrong trace is
+/// worse than an abort.
+#define SLM_ASSERT(cond, msg)                                                        \
+    do {                                                                             \
+        if (!(cond)) {                                                               \
+            std::fprintf(stderr, "SLM_ASSERT failed at %s:%d: %s\n  %s\n", __FILE__, \
+                         __LINE__, #cond, msg);                                      \
+            std::abort();                                                            \
+        }                                                                            \
+    } while (0)

@@ -1,0 +1,213 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "sim/assert.hpp"
+#include "sim/event.hpp"
+#include "sim/kernel.hpp"
+
+namespace slm::sim {
+
+/// Specification-model channel library (the "COMM & SYNC CHANNELS" layer of the
+/// paper's Fig. 2(a)). All channels are built purely on kernel events plus
+/// state; waits use the loop-recheck pattern because events are non-persistent
+/// and notify wakes all waiters.
+
+/// Counting semaphore.
+class Semaphore {
+public:
+    Semaphore(Kernel& kernel, unsigned initial, std::string name = "sem")
+        : kernel_(kernel), evt_(kernel, name + ".evt"), count_(initial), name_(std::move(name)) {}
+
+    /// P(): block until a token is available, then take it.
+    void acquire() {
+        while (count_ == 0) {
+            kernel_.wait(evt_);
+        }
+        --count_;
+    }
+
+    /// Non-blocking P(): returns false instead of blocking.
+    [[nodiscard]] bool try_acquire() {
+        if (count_ == 0) {
+            return false;
+        }
+        --count_;
+        return true;
+    }
+
+    /// V(): return a token and wake waiters.
+    void release() {
+        ++count_;
+        kernel_.notify(evt_);
+    }
+
+    [[nodiscard]] unsigned count() const { return count_; }
+    [[nodiscard]] const std::string& name() const { return name_; }
+
+private:
+    Kernel& kernel_;
+    Event evt_;
+    unsigned count_;
+    std::string name_;
+};
+
+/// Mutual-exclusion lock with owner tracking.
+class Mutex {
+public:
+    explicit Mutex(Kernel& kernel, std::string name = "mutex")
+        : kernel_(kernel), evt_(kernel, name + ".evt"), name_(std::move(name)) {}
+
+    void lock() {
+        Process* self = this_process();
+        SLM_ASSERT(self != nullptr, "Mutex::lock() requires process context");
+        SLM_ASSERT(owner_ != self, "Mutex is not recursive");
+        while (owner_ != nullptr) {
+            kernel_.wait(evt_);
+        }
+        owner_ = self;
+    }
+
+    void unlock() {
+        SLM_ASSERT(owner_ == this_process(), "Mutex unlocked by non-owner");
+        owner_ = nullptr;
+        kernel_.notify(evt_);
+    }
+
+    [[nodiscard]] bool locked() const { return owner_ != nullptr; }
+    [[nodiscard]] const Process* owner() const { return owner_; }
+
+private:
+    Kernel& kernel_;
+    Event evt_;
+    Process* owner_ = nullptr;
+    std::string name_;
+};
+
+/// RAII guard for Mutex.
+class ScopedLock {
+public:
+    explicit ScopedLock(Mutex& m) : m_(m) { m_.lock(); }
+    ~ScopedLock() { m_.unlock(); }
+    ScopedLock(const ScopedLock&) = delete;
+    ScopedLock& operator=(const ScopedLock&) = delete;
+
+private:
+    Mutex& m_;
+};
+
+/// One-way synchronization with state (SpecC c_handshake): a send() is
+/// remembered until a receive() consumes it, so send-before-receive is safe.
+/// Multiple un-received sends collapse into one (it is a flag, not a counter).
+class Handshake {
+public:
+    explicit Handshake(Kernel& kernel, std::string name = "hs")
+        : kernel_(kernel), evt_(kernel, name + ".evt"), name_(std::move(name)) {}
+
+    void send() {
+        pending_ = true;
+        kernel_.notify(evt_);
+    }
+
+    void receive() {
+        while (!pending_) {
+            kernel_.wait(evt_);
+        }
+        pending_ = false;
+    }
+
+    [[nodiscard]] bool pending() const { return pending_; }
+
+private:
+    Kernel& kernel_;
+    Event evt_;
+    bool pending_ = false;
+    std::string name_;
+};
+
+/// Blocking bounded FIFO queue (SpecC c_queue). capacity == 0 means unbounded
+/// (send never blocks).
+template <typename T>
+class Queue {
+public:
+    Queue(Kernel& kernel, std::size_t capacity, std::string name = "queue")
+        : kernel_(kernel),
+          not_empty_(kernel, name + ".rdy"),
+          not_full_(kernel, name + ".ack"),
+          capacity_(capacity),
+          name_(std::move(name)) {}
+
+    void send(T value) {
+        while (capacity_ != 0 && buf_.size() >= capacity_) {
+            kernel_.wait(not_full_);
+        }
+        buf_.push_back(std::move(value));
+        kernel_.notify(not_empty_);
+    }
+
+    [[nodiscard]] T receive() {
+        while (buf_.empty()) {
+            kernel_.wait(not_empty_);
+        }
+        T v = std::move(buf_.front());
+        buf_.pop_front();
+        kernel_.notify(not_full_);
+        return v;
+    }
+
+    [[nodiscard]] bool try_receive(T& out) {
+        if (buf_.empty()) {
+            return false;
+        }
+        out = std::move(buf_.front());
+        buf_.pop_front();
+        kernel_.notify(not_full_);
+        return true;
+    }
+
+    [[nodiscard]] std::size_t size() const { return buf_.size(); }
+    [[nodiscard]] bool empty() const { return buf_.empty(); }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+private:
+    Kernel& kernel_;
+    Event not_empty_;
+    Event not_full_;
+    std::deque<T> buf_;
+    std::size_t capacity_;
+    std::string name_;
+};
+
+/// N-party barrier: the first N-1 arrivals block; the Nth releases everyone.
+class Barrier {
+public:
+    Barrier(Kernel& kernel, unsigned parties, std::string name = "barrier")
+        : kernel_(kernel), evt_(kernel, name + ".evt"), parties_(parties) {
+        SLM_ASSERT(parties > 0, "Barrier needs at least one party");
+    }
+
+    void arrive_and_wait() {
+        const std::uint64_t my_generation = generation_;
+        if (++arrived_ == parties_) {
+            arrived_ = 0;
+            ++generation_;
+            kernel_.notify(evt_);
+            return;
+        }
+        while (generation_ == my_generation) {
+            kernel_.wait(evt_);
+        }
+    }
+
+private:
+    Kernel& kernel_;
+    Event evt_;
+    unsigned parties_;
+    unsigned arrived_ = 0;
+    std::uint64_t generation_ = 0;
+};
+
+}  // namespace slm::sim

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace slm::sim {
+
+class Kernel;
+class Process;
+
+/// SLDL synchronization event with SpecC semantics:
+///
+///  - `wait(e)` blocks the calling process until the event is notified.
+///  - `notify(e)` marks the event notified; delivery happens at the *end of
+///    the current delta cycle*, waking every process waiting on the event at
+///    that point — including processes whose wait() executed later in the
+///    same delta than the notify().
+///  - Notifications do not persist across delta cycles or time steps: a
+///    notify with nobody waiting by delta end is lost (events carry no
+///    persistent state — stateful rendezvous belongs in channels).
+///
+/// Events are not copyable or movable: blocked processes hold pointers to them.
+class Event {
+public:
+    explicit Event(Kernel& kernel, std::string name = {});
+    ~Event();
+
+    Event(const Event&) = delete;
+    Event& operator=(const Event&) = delete;
+
+    /// Convenience forwarding to Kernel::notify(*this).
+    void notify();
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] std::size_t waiter_count() const { return waiters_.size(); }
+    [[nodiscard]] bool notified_this_delta() const { return notified_; }
+
+private:
+    friend class Kernel;
+
+    Kernel& kernel_;
+    std::string name_;
+    std::vector<Process*> waiters_;
+    bool notified_ = false;
+};
+
+}  // namespace slm::sim

@@ -1,0 +1,439 @@
+#include "sim/kernel.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <exception>
+
+#include "sim/assert.hpp"
+
+namespace slm::sim {
+
+namespace {
+thread_local Kernel* g_current_kernel = nullptr;
+}  // namespace
+
+Kernel& this_kernel() {
+    SLM_ASSERT(g_current_kernel != nullptr,
+               "this_kernel() called outside of Kernel::run()");
+    return *g_current_kernel;
+}
+
+Process* this_process() {
+    return g_current_kernel != nullptr ? g_current_kernel->current() : nullptr;
+}
+
+Kernel::Kernel(KernelConfig cfg) : cfg_(cfg) {}
+
+Kernel::~Kernel() = default;
+
+Process* Kernel::spawn(std::string name, std::function<void()> body) {
+    SLM_ASSERT(body != nullptr, "spawn() requires a process body");
+    auto proc = std::unique_ptr<Process>(new Process(
+        *this, std::move(name), std::move(body), current_, next_id_++, cfg_.stack_size));
+    Process* p = proc.get();
+    processes_.push_back(std::move(proc));
+    p->prepare_context(&sched_ctx_);
+    ++stats_.processes_created;
+    make_ready(p);
+    return p;
+}
+
+void Kernel::make_ready(Process* p) {
+    if (p->done()) {
+        return;
+    }
+    set_state(p, ProcState::Ready);
+    if (!p->in_runnable_) {
+        runnable_.push_back(p);
+        p->in_runnable_ = true;
+    }
+}
+
+void Kernel::set_state(Process* p, ProcState s) {
+    if (p->state_ == s) {
+        return;
+    }
+    const ProcState from = p->state_;
+    p->state_ = s;
+    if (observer_ != nullptr) {
+        observer_->on_process_state(*p, from, s);
+    }
+}
+
+void Kernel::drain_runnable() {
+    while (!runnable_.empty()) {
+        Process* p = runnable_.front();
+        runnable_.pop_front();
+        p->in_runnable_ = false;
+        if (p->done()) {
+            continue;
+        }
+        set_state(p, ProcState::Running);
+        current_ = p;
+        ++stats_.process_activations;
+        swapcontext(&sched_ctx_, &p->ctx_);
+        current_ = nullptr;
+        if (p->done()) {
+            p->release_stack();
+        }
+    }
+}
+
+void Kernel::end_delta() {
+    // Deliver notifications at the delta boundary (SpecC semantics): every
+    // process waiting on a notified event at this point wakes, including
+    // processes whose wait() ran later in the delta than the notify().
+    for (Event* e : notified_events_) {
+        e->notified_ = false;
+        for (Process* w : e->waiters_) {
+            w->waiting_on_ = nullptr;
+            ++w->wake_token_;  // cancel a pending wait_timeout() deadline
+            make_ready(w);
+        }
+        e->waiters_.clear();
+    }
+    notified_events_.clear();
+    ++stats_.delta_cycles;
+}
+
+bool Kernel::advance_time(SimTime limit) {
+    // A timed entry is live for a process sleeping in waitfor() and for a
+    // process whose wait_timeout() deadline is still armed.
+    const auto live = [](const TimedEntry& e) {
+        return e.token == e.p->wake_token_ &&
+               (e.p->state_ == ProcState::WaitingTime ||
+                e.p->state_ == ProcState::WaitingEvent);
+    };
+    const auto fire = [this](const TimedEntry& e) {
+        if (e.p->state_ == ProcState::WaitingEvent) {
+            // wait_timeout() expired: leave the event's waiter list and
+            // resume with the timeout flag set.
+            if (e.p->waiting_on_ != nullptr) {
+                std::erase(e.p->waiting_on_->waiters_, e.p);
+                e.p->waiting_on_ = nullptr;
+            }
+            e.p->timed_out_ = true;
+        }
+        make_ready(e.p);
+    };
+
+    while (!timed_.empty()) {
+        const TimedEntry& top = timed_.top();
+        if (!live(top)) {
+            timed_.pop();
+            continue;
+        }
+        if (top.t > limit) {
+            return false;
+        }
+        now_ = top.t;
+        ++stats_.time_advances;
+        if (observer_ != nullptr) {
+            observer_->on_time_advance(now_);
+        }
+        while (!timed_.empty() && timed_.top().t == now_) {
+            const TimedEntry e = timed_.top();
+            timed_.pop();
+            if (live(e)) {
+                fire(e);
+            }
+        }
+        return true;
+    }
+    return false;
+}
+
+void Kernel::run() {
+    (void)run_until(SimTime::max());
+}
+
+bool Kernel::run_until(SimTime t_end) {
+    SLM_ASSERT(!running_, "Kernel::run() is not reentrant");
+    running_ = true;
+    Kernel* const prev = g_current_kernel;
+    g_current_kernel = this;
+
+    for (;;) {
+        drain_runnable();
+        end_delta();
+        if (!runnable_.empty()) {
+            continue;  // a notification at delta end made processes runnable
+        }
+        if (!advance_time(t_end)) {
+            break;
+        }
+    }
+
+    if (t_end != SimTime::max() && now_ < t_end) {
+        now_ = t_end;
+    }
+    g_current_kernel = prev;
+    running_ = false;
+
+    // Any remaining top-of-queue entries are real future activity (stale ones
+    // were popped by advance_time when it last ran).
+    return !timed_.empty();
+}
+
+std::vector<const Process*> Kernel::blocked_processes() const {
+    std::vector<const Process*> out;
+    for (const auto& p : processes_) {
+        if (p->state_ == ProcState::WaitingEvent || p->state_ == ProcState::Joining) {
+            out.push_back(p.get());
+        }
+    }
+    return out;
+}
+
+void Kernel::check_killed() {
+    if (current_ != nullptr && current_->kill_pending_) {
+        throw ProcessKilled{};
+    }
+}
+
+void Kernel::block_current_and_reschedule() {
+    Process* self = current_;
+    swapcontext(&self->ctx_, &sched_ctx_);
+}
+
+void Kernel::wait(Event& e) {
+    SLM_ASSERT(current_ != nullptr, "wait() requires process context");
+    check_killed();
+    Process* self = current_;
+    set_state(self, ProcState::WaitingEvent);
+    self->waiting_on_ = &e;
+    e.waiters_.push_back(self);
+    block_current_and_reschedule();
+    check_killed();
+}
+
+bool Kernel::wait_timeout(Event& e, SimTime dt) {
+    SLM_ASSERT(current_ != nullptr, "wait_timeout() requires process context");
+    SLM_ASSERT(dt != SimTime::max(), "wait_timeout() needs a finite timeout");
+    check_killed();
+    Process* self = current_;
+    self->timed_out_ = false;
+    set_state(self, ProcState::WaitingEvent);
+    self->waiting_on_ = &e;
+    e.waiters_.push_back(self);
+    timed_.push(TimedEntry{now_ + dt, seq_counter_++, self, ++self->wake_token_});
+    block_current_and_reschedule();
+    check_killed();
+    return !self->timed_out_;
+}
+
+void Kernel::waitfor(SimTime dt) {
+    SLM_ASSERT(current_ != nullptr, "waitfor() requires process context");
+    SLM_ASSERT(dt != SimTime::max(), "waitfor(SimTime::max()) would never wake");
+    check_killed();
+    Process* self = current_;
+    set_state(self, ProcState::WaitingTime);
+    timed_.push(TimedEntry{now_ + dt, seq_counter_++, self, ++self->wake_token_});
+    block_current_and_reschedule();
+    check_killed();
+}
+
+void Kernel::yield() {
+    SLM_ASSERT(current_ != nullptr, "yield() requires process context");
+    check_killed();
+    Process* self = current_;
+    set_state(self, ProcState::Ready);
+    runnable_.push_back(self);
+    self->in_runnable_ = true;
+    block_current_and_reschedule();
+    check_killed();
+}
+
+void Kernel::notify(Event& e) {
+    if (!e.notified_) {
+        e.notified_ = true;
+        notified_events_.push_back(&e);
+    }
+    ++stats_.events_notified;
+}
+
+void Kernel::par(std::vector<Branch> branches) {
+    SLM_ASSERT(current_ != nullptr, "par() requires process context");
+    check_killed();
+    if (branches.empty()) {
+        return;
+    }
+    Process* self = current_;
+    self->join_pending_ = static_cast<int>(branches.size());
+    for (auto& b : branches) {
+        spawn(std::move(b.name), std::move(b.body));
+    }
+    set_state(self, ProcState::Joining);
+    block_current_and_reschedule();
+    check_killed();
+}
+
+void Kernel::par(std::initializer_list<std::function<void()>> bodies) {
+    std::vector<Branch> branches;
+    branches.reserve(bodies.size());
+    int i = 0;
+    for (const auto& b : bodies) {
+        branches.push_back(Branch{current_->name() + ".par" + std::to_string(i++), b});
+    }
+    par(std::move(branches));
+}
+
+void Kernel::join(Process& p) {
+    SLM_ASSERT(current_ != nullptr, "join() requires process context");
+    SLM_ASSERT(current_ != &p, "a process cannot join itself");
+    while (!p.done()) {
+        if (!p.done_evt_) {
+            p.done_evt_ = std::make_unique<Event>(*this, p.name_ + ".done");
+        }
+        wait(*p.done_evt_);
+    }
+}
+
+void Kernel::kill(Process& p) {
+    if (p.done()) {
+        return;
+    }
+    const bool was_pending = p.kill_pending_;
+    p.kill_pending_ = true;
+    if (&p == current_) {
+        throw ProcessKilled{};
+    }
+    if (was_pending) {
+        return;
+    }
+    switch (p.state_) {
+        case ProcState::WaitingEvent:
+            if (p.waiting_on_ != nullptr) {  // null if the event was destroyed
+                std::erase(p.waiting_on_->waiters_, &p);
+                p.waiting_on_ = nullptr;
+            }
+            make_ready(&p);
+            break;
+        case ProcState::WaitingTime:
+            ++p.wake_token_;  // invalidate the pending timed-queue entry
+            make_ready(&p);
+            break;
+        case ProcState::Joining:
+            make_ready(&p);
+            break;
+        case ProcState::Created:
+        case ProcState::Ready:
+            // Already (or about to be) runnable; it unwinds on next dispatch.
+            make_ready(&p);
+            break;
+        case ProcState::Running:
+        case ProcState::Done:
+        case ProcState::Killed:
+            SLM_ASSERT(false, "unexpected state in kill()");
+    }
+}
+
+void Kernel::finish_current(ProcState final_state) {
+    Process* p = current_;
+    set_state(p, final_state);
+    if (p->done_evt_) {
+        notify(*p->done_evt_);
+    }
+    if (p->parent_ != nullptr && p->parent_->state_ == ProcState::Joining) {
+        if (--p->parent_->join_pending_ == 0) {
+            make_ready(p->parent_);
+        }
+    }
+    swapcontext(&p->ctx_, &sched_ctx_);
+    SLM_ASSERT(false, "a finished process was resumed");
+}
+
+void Kernel::trampoline(unsigned hi, unsigned lo) {
+    auto* p = reinterpret_cast<Process*>((static_cast<std::uintptr_t>(hi) << 32U) |
+                                         static_cast<std::uintptr_t>(lo));
+    Kernel& k = p->kernel_;
+    ProcState final_state = ProcState::Done;
+    if (p->kill_pending_) {
+        final_state = ProcState::Killed;  // killed before it ever ran
+    } else {
+        try {
+            p->body_();
+        } catch (const ProcessKilled&) {
+            final_state = ProcState::Killed;
+        } catch (const std::exception& ex) {
+            std::fprintf(stderr, "slm: unhandled exception in process '%s': %s\n",
+                         p->name_.c_str(), ex.what());
+            std::abort();
+        } catch (...) {
+            std::fprintf(stderr, "slm: unhandled exception in process '%s'\n",
+                         p->name_.c_str());
+            std::abort();
+        }
+        if (p->kill_pending_) {
+            final_state = ProcState::Killed;
+        }
+    }
+    k.finish_current(final_state);
+}
+
+// ---- Process ----
+
+const char* to_string(ProcState s) {
+    switch (s) {
+        case ProcState::Created: return "Created";
+        case ProcState::Ready: return "Ready";
+        case ProcState::Running: return "Running";
+        case ProcState::WaitingEvent: return "WaitingEvent";
+        case ProcState::WaitingTime: return "WaitingTime";
+        case ProcState::Joining: return "Joining";
+        case ProcState::Done: return "Done";
+        case ProcState::Killed: return "Killed";
+    }
+    return "?";
+}
+
+Process::Process(Kernel& kernel, std::string name, std::function<void()> body,
+                 Process* parent, int id, std::size_t stack_size)
+    : kernel_(kernel),
+      name_(std::move(name)),
+      body_(std::move(body)),
+      parent_(parent),
+      id_(id),
+      stack_size_(stack_size) {}
+
+void Process::prepare_context(ucontext_t* return_ctx) {
+    stack_ = std::make_unique<std::byte[]>(stack_size_);
+    getcontext(&ctx_);
+    ctx_.uc_stack.ss_sp = stack_.get();
+    ctx_.uc_stack.ss_size = stack_size_;
+    ctx_.uc_link = return_ctx;
+    const auto ptr = reinterpret_cast<std::uintptr_t>(this);
+    makecontext(&ctx_, reinterpret_cast<void (*)()>(&Kernel::trampoline), 2,
+                static_cast<unsigned>(ptr >> 32U),
+                static_cast<unsigned>(ptr & 0xffffffffU));
+}
+
+void Process::release_stack() {
+    stack_.reset();
+    body_ = nullptr;
+}
+
+// ---- Event ----
+
+Event::Event(Kernel& kernel, std::string name) : kernel_(kernel), name_(std::move(name)) {}
+
+Event::~Event() {
+    // An event may be destroyed while processes still wait on it — e.g. when a
+    // model is torn down after run_until() stopped the simulation early.
+    // Detach the waiters: they stay blocked forever, which is the correct
+    // outcome for an aborted simulation, and kill() tolerates the null link.
+    for (Process* w : waiters_) {
+        w->waiting_on_ = nullptr;
+    }
+    waiters_.clear();
+    if (notified_) {
+        std::erase(kernel_.notified_events_, this);
+    }
+}
+
+void Event::notify() {
+    kernel_.notify(*this);
+}
+
+}  // namespace slm::sim

@@ -1,0 +1,172 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "sim/process.hpp"
+#include "sim/time.hpp"
+
+namespace slm::sim {
+
+/// Kernel construction parameters.
+struct KernelConfig {
+    /// Stack size per process. System models keep little on the stack, but the
+    /// default is generous because debugging a blown coroutine stack is painful.
+    std::size_t stack_size = 256 * 1024;
+};
+
+/// Aggregate counters maintained by the kernel; cheap enough to be always on.
+struct KernelStats {
+    std::uint64_t processes_created = 0;
+    std::uint64_t process_activations = 0;  ///< process dispatches (sim-level switches)
+    std::uint64_t delta_cycles = 0;
+    std::uint64_t time_advances = 0;
+    std::uint64_t events_notified = 0;
+};
+
+/// Observer hook for instrumentation (tracing, test assertions). All callbacks
+/// run synchronously inside the kernel; they must not call kernel blocking APIs.
+class KernelObserver {
+public:
+    virtual ~KernelObserver() = default;
+    virtual void on_process_state(const Process& /*p*/, ProcState /*from*/,
+                                  ProcState /*to*/) {}
+    virtual void on_time_advance(SimTime /*now*/) {}
+};
+
+/// A named parallel branch for Kernel::par().
+struct Branch {
+    std::string name;
+    std::function<void()> body;
+};
+
+/// Discrete-event SLDL simulation kernel with stackful-coroutine processes.
+///
+/// This is the substrate the paper assumes (SpecC's simulation kernel): it
+/// provides processes, `wait`/`notify` events with delta-cycle semantics,
+/// `waitfor` time modeling, and `par` fork/join composition. Execution is
+/// strictly single-threaded and deterministic: runnable processes execute in
+/// FIFO order of becoming ready, and simultaneous timeouts fire in the order
+/// they were scheduled.
+class Kernel {
+public:
+    explicit Kernel(KernelConfig cfg = {});
+    ~Kernel();
+
+    Kernel(const Kernel&) = delete;
+    Kernel& operator=(const Kernel&) = delete;
+
+    // ---- construction / control (callable from outside process context) ----
+
+    /// Create a process. Callable both from outside (root processes) and from
+    /// inside a running process (the new process becomes its child).
+    Process* spawn(std::string name, std::function<void()> body);
+
+    /// Run until no runnable or timed activity remains. Processes still blocked
+    /// on events at that point are deadlocked; see blocked_processes().
+    void run();
+
+    /// Run until simulated time would exceed `t_end`; all activity at instants
+    /// <= t_end completes, then now() == t_end. Returns true if timed activity
+    /// remains beyond t_end.
+    bool run_until(SimTime t_end);
+
+    [[nodiscard]] SimTime now() const { return now_; }
+    [[nodiscard]] const KernelStats& stats() const { return stats_; }
+    [[nodiscard]] Process* current() const { return current_; }
+
+    /// Processes blocked on events/joins with no pending activity to wake them.
+    [[nodiscard]] std::vector<const Process*> blocked_processes() const;
+
+    void set_observer(KernelObserver* obs) { observer_ = obs; }
+
+    // ---- process-context API (must be called from inside a process) ----
+
+    /// Block until `e` is notified (or already notified in this delta cycle).
+    void wait(Event& e);
+
+    /// Block until `e` is notified or `dt` of simulated time elapsed.
+    /// Returns true if the event arrived, false on timeout.
+    [[nodiscard]] bool wait_timeout(Event& e, SimTime dt);
+
+    /// Block for `dt` of simulated time. waitfor(0) yields to the next delta.
+    void waitfor(SimTime dt);
+
+    /// Re-run after the other currently-runnable processes, same time and delta.
+    void yield();
+
+    /// Fork the branches as child processes and block until all have finished.
+    void par(std::vector<Branch> branches);
+    /// Convenience: unnamed branches (named "<parent>.parN").
+    void par(std::initializer_list<std::function<void()>> bodies);
+
+    /// Block until process `p` has finished (returns immediately if it has).
+    void join(Process& p);
+
+    // ---- callable from anywhere ----
+
+    /// Notify an event: wake current waiters, sticky for the rest of the delta.
+    void notify(Event& e);
+
+    /// Terminate a process. If it is the caller, unwinds immediately; otherwise
+    /// the victim unwinds (running its destructors) the next time the kernel
+    /// touches it. A process that never started is simply marked Killed.
+    void kill(Process& p);
+
+private:
+    friend class Event;
+    friend class Process;  // Process::prepare_context targets the trampoline
+
+    struct TimedEntry {
+        SimTime t;
+        std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+        Process* p;
+        std::uint64_t token;
+    };
+    struct TimedLater {
+        bool operator()(const TimedEntry& a, const TimedEntry& b) const {
+            return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+        }
+    };
+
+    void make_ready(Process* p);
+    void set_state(Process* p, ProcState s);
+    void block_current_and_reschedule();
+    void check_killed();
+    void finish_current(ProcState final_state);  // called from trampoline; no return
+    bool advance_time(SimTime limit);
+    void end_delta();
+    void drain_runnable();
+    static void trampoline(unsigned hi, unsigned lo);
+
+    KernelConfig cfg_;
+    SimTime now_{};
+    std::deque<Process*> runnable_;
+    std::priority_queue<TimedEntry, std::vector<TimedEntry>, TimedLater> timed_;
+    std::vector<std::unique_ptr<Process>> processes_;
+    std::vector<Event*> notified_events_;
+    ucontext_t sched_ctx_{};
+    Process* current_ = nullptr;
+    KernelObserver* observer_ = nullptr;
+    bool running_ = false;
+    std::uint64_t seq_counter_ = 0;
+    int next_id_ = 1;
+    KernelStats stats_{};
+};
+
+/// The kernel currently executing on this thread (set while Kernel::run() is
+/// active). Convenience for model code that would otherwise thread a Kernel&
+/// through every call.
+[[nodiscard]] Kernel& this_kernel();
+
+/// The process currently executing, or nullptr outside process context.
+[[nodiscard]] Process* this_process();
+
+}  // namespace slm::sim

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <ucontext.h>
+
+namespace slm::sim {
+
+class Kernel;
+class Event;
+
+/// Lifecycle states of an SLDL process (kernel-level, not RTOS-level — the RTOS
+/// model layers its own task states on top of these, see slm::rtos::TaskState).
+enum class ProcState {
+    Created,       ///< spawned, never dispatched yet
+    Ready,         ///< in the runnable queue of the current delta cycle
+    Running,       ///< currently executing on the kernel
+    WaitingEvent,  ///< blocked in wait(Event&)
+    WaitingTime,   ///< blocked in waitfor(SimTime)
+    Joining,       ///< blocked in par()/join() waiting for children
+    Done,          ///< body returned normally
+    Killed,        ///< terminated via Kernel::kill()
+};
+
+[[nodiscard]] const char* to_string(ProcState s);
+
+/// Exception used internally to unwind a killed process's stack so that RAII
+/// cleanup on that stack runs. Model code must not catch it (catching by
+/// `...` and swallowing would break kill()); the kernel trampoline catches it.
+struct ProcessKilled {};
+
+/// A stackful coroutine scheduled by the SLDL kernel. Equivalent to a SpecC
+/// behavior instance / SystemC thread process. Created via Kernel::spawn() or
+/// Kernel::par(); owned by the kernel for the lifetime of the simulation.
+class Process {
+public:
+    Process(const Process&) = delete;
+    Process& operator=(const Process&) = delete;
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] int id() const { return id_; }
+    [[nodiscard]] ProcState state() const { return state_; }
+    [[nodiscard]] Process* parent() const { return parent_; }
+    [[nodiscard]] bool done() const {
+        return state_ == ProcState::Done || state_ == ProcState::Killed;
+    }
+
+private:
+    friend class Kernel;
+    friend class Event;  // Event::~Event detaches blocked waiters
+
+    Process(Kernel& kernel, std::string name, std::function<void()> body, Process* parent,
+            int id, std::size_t stack_size);
+
+    void prepare_context(ucontext_t* return_ctx);
+    void release_stack();
+
+    Kernel& kernel_;
+    std::string name_;
+    std::function<void()> body_;
+    Process* parent_ = nullptr;
+    int id_ = 0;
+
+    ProcState state_ = ProcState::Created;
+    ucontext_t ctx_{};
+    std::unique_ptr<std::byte[]> stack_;
+    std::size_t stack_size_ = 0;
+
+    Event* waiting_on_ = nullptr;           ///< valid while state_ == WaitingEvent
+    std::uint64_t wake_token_ = 0;          ///< invalidates stale timed-queue entries
+    int join_pending_ = 0;                  ///< outstanding children while Joining
+    bool kill_pending_ = false;
+    bool in_runnable_ = false;              ///< guards against double-enqueue
+    bool timed_out_ = false;                ///< set when wait_timeout() expires
+    std::unique_ptr<Event> done_evt_;       ///< lazily created by Kernel::join()
+};
+
+}  // namespace slm::sim

@@ -1,0 +1,21 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace slm {
+
+std::string SimTime::to_string() const {
+    char buf[48];
+    if (ns_ >= 1'000'000'000ull) {
+        std::snprintf(buf, sizeof buf, "%.6g s", sec());
+    } else if (ns_ >= 1'000'000ull) {
+        std::snprintf(buf, sizeof buf, "%.6g ms", ms());
+    } else if (ns_ >= 1'000ull) {
+        std::snprintf(buf, sizeof buf, "%.6g us", us());
+    } else {
+        std::snprintf(buf, sizeof buf, "%llu ns", static_cast<unsigned long long>(ns_));
+    }
+    return buf;
+}
+
+}  // namespace slm

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace slm {
+
+/// Simulated time — an absolute instant or a duration, in integer nanoseconds.
+///
+/// The SLDL kernel advances logical time in discrete steps (paper §4.3: "In high
+/// level system models, simulation time advances in discrete steps based on the
+/// granularity of waitfor statements"). A strong type keeps simulated time from
+/// being mixed up with wall-clock time or plain counters.
+class SimTime {
+public:
+    constexpr SimTime() = default;
+    constexpr explicit SimTime(std::uint64_t nanoseconds) : ns_(nanoseconds) {}
+
+    static constexpr SimTime zero() { return SimTime{0}; }
+    static constexpr SimTime max() {
+        return SimTime{std::numeric_limits<std::uint64_t>::max()};
+    }
+
+    [[nodiscard]] constexpr std::uint64_t ns() const { return ns_; }
+    [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) * 1e-3; }
+    [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) * 1e-6; }
+    [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) * 1e-9; }
+
+    [[nodiscard]] constexpr bool is_zero() const { return ns_ == 0; }
+
+    friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+    /// Saturating addition: a duration past SimTime::max() clamps instead of wrapping.
+    friend constexpr SimTime operator+(SimTime a, SimTime b) {
+        const std::uint64_t sum = a.ns_ + b.ns_;
+        return (sum < a.ns_) ? max() : SimTime{sum};
+    }
+    /// Clamped subtraction: never wraps below zero.
+    friend constexpr SimTime operator-(SimTime a, SimTime b) {
+        return (a.ns_ > b.ns_) ? SimTime{a.ns_ - b.ns_} : zero();
+    }
+    friend constexpr SimTime operator*(SimTime a, std::uint64_t k) { return SimTime{a.ns_ * k}; }
+    friend constexpr SimTime operator*(std::uint64_t k, SimTime a) { return a * k; }
+    friend constexpr SimTime operator/(SimTime a, std::uint64_t k) { return SimTime{a.ns_ / k}; }
+
+    constexpr SimTime& operator+=(SimTime b) { *this = *this + b; return *this; }
+    constexpr SimTime& operator-=(SimTime b) { *this = *this - b; return *this; }
+
+    /// Human-readable rendering with an auto-selected unit, e.g. "12.5 ms".
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    std::uint64_t ns_ = 0;
+};
+
+[[nodiscard]] constexpr SimTime nanoseconds(std::uint64_t v) { return SimTime{v}; }
+[[nodiscard]] constexpr SimTime microseconds(std::uint64_t v) { return SimTime{v * 1'000ull}; }
+[[nodiscard]] constexpr SimTime milliseconds(std::uint64_t v) { return SimTime{v * 1'000'000ull}; }
+[[nodiscard]] constexpr SimTime seconds(std::uint64_t v) { return SimTime{v * 1'000'000'000ull}; }
+
+namespace time_literals {
+constexpr SimTime operator""_ns(unsigned long long v) { return nanoseconds(v); }
+constexpr SimTime operator""_us(unsigned long long v) { return microseconds(v); }
+constexpr SimTime operator""_ms(unsigned long long v) { return milliseconds(v); }
+constexpr SimTime operator""_s(unsigned long long v) { return seconds(v); }
+}  // namespace time_literals
+
+}  // namespace slm

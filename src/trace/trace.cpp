@@ -1,0 +1,335 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "sim/assert.hpp"
+
+namespace slm::trace {
+
+const char* to_string(RecordKind k) {
+    switch (k) {
+        case RecordKind::TaskState: return "task_state";
+        case RecordKind::ContextSwitch: return "context_switch";
+        case RecordKind::Irq: return "irq";
+        case RecordKind::ExecBegin: return "exec_begin";
+        case RecordKind::ExecEnd: return "exec_end";
+        case RecordKind::ChannelOp: return "channel_op";
+        case RecordKind::Marker: return "marker";
+    }
+    return "?";
+}
+
+void TraceRecorder::record(Record r) {
+    records_.push_back(std::move(r));
+}
+
+void TraceRecorder::exec_begin(SimTime t, std::string cpu, std::string actor) {
+    record({t, RecordKind::ExecBegin, std::move(cpu), std::move(actor), {}});
+}
+
+void TraceRecorder::exec_end(SimTime t, std::string cpu, std::string actor) {
+    record({t, RecordKind::ExecEnd, std::move(cpu), std::move(actor), {}});
+}
+
+void TraceRecorder::task_state(SimTime t, std::string cpu, std::string actor,
+                               std::string state) {
+    record({t, RecordKind::TaskState, std::move(cpu), std::move(actor), std::move(state)});
+}
+
+void TraceRecorder::context_switch(SimTime t, std::string cpu, std::string to,
+                                   std::string from) {
+    record({t, RecordKind::ContextSwitch, std::move(cpu), std::move(to), std::move(from)});
+}
+
+void TraceRecorder::irq(SimTime t, std::string cpu, std::string irq_name) {
+    record({t, RecordKind::Irq, std::move(cpu), std::move(irq_name), {}});
+}
+
+void TraceRecorder::channel_op(SimTime t, std::string channel, std::string op) {
+    record({t, RecordKind::ChannelOp, {}, std::move(channel), std::move(op)});
+}
+
+void TraceRecorder::marker(SimTime t, std::string text) {
+    record({t, RecordKind::Marker, {}, {}, std::move(text)});
+}
+
+void TraceRecorder::clear() {
+    records_.clear();
+}
+
+std::size_t TraceRecorder::count(RecordKind k) const {
+    return static_cast<std::size_t>(
+        std::count_if(records_.begin(), records_.end(),
+                      [k](const Record& r) { return r.kind == k; }));
+}
+
+std::size_t TraceRecorder::context_switches(const std::string& cpu) const {
+    return static_cast<std::size_t>(
+        std::count_if(records_.begin(), records_.end(), [&](const Record& r) {
+            return r.kind == RecordKind::ContextSwitch && (cpu.empty() || r.cpu == cpu);
+        }));
+}
+
+namespace {
+
+bool enters_running(const Record& r, const std::string& actor) {
+    return (r.kind == RecordKind::ExecBegin && r.actor == actor) ||
+           (r.kind == RecordKind::TaskState && r.actor == actor && r.detail == "Running");
+}
+
+bool leaves_running(const Record& r, const std::string& actor) {
+    return (r.kind == RecordKind::ExecEnd && r.actor == actor) ||
+           (r.kind == RecordKind::TaskState && r.actor == actor && r.detail != "Running");
+}
+
+}  // namespace
+
+std::vector<Interval> TraceRecorder::intervals(const std::string& actor) const {
+    std::vector<Interval> out;
+    bool open = false;
+    SimTime begin;
+    for (const Record& r : records_) {
+        if (!open && enters_running(r, actor)) {
+            open = true;
+            begin = r.t;
+        } else if (open && leaves_running(r, actor)) {
+            open = false;
+            if (r.t > begin) {
+                out.push_back({begin, r.t, actor});
+            }
+        }
+    }
+    if (open && !records_.empty() && records_.back().t > begin) {
+        out.push_back({begin, records_.back().t, actor});
+    }
+    return out;
+}
+
+std::vector<std::string> TraceRecorder::actors() const {
+    std::vector<std::string> out;
+    for (const Record& r : records_) {
+        if (r.kind != RecordKind::ExecBegin && r.kind != RecordKind::ExecEnd &&
+            r.kind != RecordKind::TaskState) {
+            continue;
+        }
+        if (std::find(out.begin(), out.end(), r.actor) == out.end()) {
+            out.push_back(r.actor);
+        }
+    }
+    return out;
+}
+
+SimTime TraceRecorder::busy_time(const std::string& actor) const {
+    SimTime total;
+    for (const Interval& iv : intervals(actor)) {
+        total += iv.end - iv.begin;
+    }
+    return total;
+}
+
+bool TraceRecorder::has_concurrent_execution(const std::string& cpu) const {
+    // Gather intervals of all actors that have records on this cpu and check
+    // pairwise overlap after sorting by start time.
+    std::vector<Interval> all;
+    for (const std::string& a : actors()) {
+        // Does this actor appear on the requested cpu?
+        const bool on_cpu = std::any_of(records_.begin(), records_.end(), [&](const Record& r) {
+            return r.actor == a && r.cpu == cpu &&
+                   (r.kind == RecordKind::ExecBegin || r.kind == RecordKind::TaskState);
+        });
+        if (!on_cpu) {
+            continue;
+        }
+        const auto ivs = intervals(a);
+        all.insert(all.end(), ivs.begin(), ivs.end());
+    }
+    std::sort(all.begin(), all.end(),
+              [](const Interval& x, const Interval& y) { return x.begin < y.begin; });
+    for (std::size_t i = 1; i < all.size(); ++i) {
+        if (all[i].begin < all[i - 1].end) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<SimTime> TraceRecorder::irq_times(const std::string& name) const {
+    std::vector<SimTime> out;
+    for (const Record& r : records_) {
+        if (r.kind == RecordKind::Irq && (name.empty() || r.actor == name)) {
+            out.push_back(r.t);
+        }
+    }
+    return out;
+}
+
+std::string TraceRecorder::render_gantt(SimTime t0, SimTime t1, int width) const {
+    SLM_ASSERT(t1 > t0 && width > 0, "render_gantt needs a non-empty window");
+    std::ostringstream os;
+    const double span = static_cast<double>((t1 - t0).ns());
+    const auto bucket_of = [&](SimTime t) {
+        const double frac = static_cast<double>((t - t0).ns()) / span;
+        return std::clamp(static_cast<int>(frac * width), 0, width - 1);
+    };
+
+    std::size_t name_w = 4;
+    const auto as = actors();
+    for (const auto& a : as) {
+        name_w = std::max(name_w, a.size());
+    }
+
+    for (const auto& a : as) {
+        std::string row(static_cast<std::size_t>(width), '.');
+        for (const Interval& iv : intervals(a)) {
+            if (iv.end <= t0 || iv.begin >= t1) {
+                continue;
+            }
+            const int b0 = bucket_of(std::max(iv.begin, t0));
+            const int b1 = bucket_of(std::min(iv.end, t1) - nanoseconds(1));
+            for (int b = b0; b <= b1; ++b) {
+                row[static_cast<std::size_t>(b)] = '#';
+            }
+        }
+        os << a << std::string(name_w - a.size(), ' ') << " |" << row << "|\n";
+    }
+
+    const auto irqs = irq_times();
+    if (!irqs.empty()) {
+        std::string row(static_cast<std::size_t>(width), ' ');
+        for (const SimTime t : irqs) {
+            if (t >= t0 && t < t1) {
+                row[static_cast<std::size_t>(bucket_of(t))] = '^';
+            }
+        }
+        os << "irq" << std::string(name_w - 3, ' ') << "  " << row << "\n";
+    }
+    os << "time" << std::string(name_w - 4, ' ') << "  " << t0.to_string() << " .. "
+       << t1.to_string() << "\n";
+    return os.str();
+}
+
+std::string TraceRecorder::utilization_report(SimTime t0, SimTime t1) const {
+    SLM_ASSERT(t1 > t0, "utilization_report needs a non-empty window");
+    std::ostringstream os;
+    const double window = static_cast<double>((t1 - t0).ns());
+    std::size_t name_w = 5;
+    for (const auto& a : actors()) {
+        name_w = std::max(name_w, a.size());
+    }
+    os << "actor" << std::string(name_w - 5, ' ') << "  busy        util    intervals\n";
+    for (const auto& a : actors()) {
+        SimTime busy;
+        std::size_t count = 0;
+        for (const Interval& iv : intervals(a)) {
+            const SimTime b = std::max(iv.begin, t0);
+            const SimTime e = std::min(iv.end, t1);
+            if (e > b) {
+                busy += e - b;
+                ++count;
+            }
+        }
+        char line[96];
+        std::snprintf(line, sizeof line, "%-*s  %-10s  %5.1f%%  %9zu\n",
+                      static_cast<int>(name_w), a.c_str(), busy.to_string().c_str(),
+                      100.0 * static_cast<double>(busy.ns()) / window, count);
+        os << line;
+    }
+    return os.str();
+}
+
+void TraceRecorder::write_csv(std::ostream& os) const {
+    os << "t_ns,kind,cpu,actor,detail\n";
+    for (const Record& r : records_) {
+        os << r.t.ns() << ',' << to_string(r.kind) << ',' << r.cpu << ',' << r.actor << ','
+           << r.detail << '\n';
+    }
+}
+
+void TraceRecorder::write_vcd(std::ostream& os) const {
+    const auto as = actors();
+    os << "$timescale 1ns $end\n$scope module trace $end\n";
+    std::map<std::string, char> ids;
+    char next_id = '!';
+    for (const auto& a : as) {
+        ids[a] = next_id;
+        os << "$var wire 1 " << next_id << ' ' << a << " $end\n";
+        ++next_id;
+    }
+    os << "$upscope $end\n$enddefinitions $end\n";
+
+    // Emit value changes from the interval view, merged in time order.
+    struct Change {
+        SimTime t;
+        char id;
+        bool value;
+    };
+    std::vector<Change> changes;
+    for (const auto& a : as) {
+        for (const Interval& iv : intervals(a)) {
+            changes.push_back({iv.begin, ids[a], true});
+            changes.push_back({iv.end, ids[a], false});
+        }
+    }
+    std::sort(changes.begin(), changes.end(),
+              [](const Change& x, const Change& y) { return x.t < y.t; });
+
+    os << "#0\n";
+    for (const auto& a : as) {
+        os << '0' << ids[a] << '\n';
+    }
+    SimTime last;
+    bool first = true;
+    for (const Change& c : changes) {
+        if (first || c.t != last) {
+            os << '#' << c.t.ns() << '\n';
+            last = c.t;
+            first = false;
+        }
+        os << (c.value ? '1' : '0') << c.id << '\n';
+    }
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+    os << "[";
+    bool first = true;
+    const auto emit = [&](const std::string& json) {
+        if (!first) {
+            os << ",";
+        }
+        first = false;
+        os << "\n" << json;
+    };
+    const auto us = [](SimTime t) { return static_cast<double>(t.ns()) / 1000.0; };
+
+    int tid = 1;
+    for (const std::string& a : actors()) {
+        char meta[160];
+        std::snprintf(meta, sizeof meta,
+                      R"({"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":"%s"}})",
+                      tid, a.c_str());
+        emit(meta);
+        for (const Interval& iv : intervals(a)) {
+            char ev[200];
+            std::snprintf(ev, sizeof ev,
+                          R"({"name":"%s","ph":"X","pid":1,"tid":%d,"ts":%.3f,"dur":%.3f})",
+                          a.c_str(), tid, us(iv.begin), us(iv.end - iv.begin));
+            emit(ev);
+        }
+        ++tid;
+    }
+    for (const Record& r : records_) {
+        if (r.kind == RecordKind::Irq) {
+            char ev[200];
+            std::snprintf(ev, sizeof ev,
+                          R"({"name":"irq:%s","ph":"i","pid":1,"tid":0,"ts":%.3f,"s":"g"})",
+                          r.actor.c_str(), us(r.t));
+            emit(ev);
+        }
+    }
+    os << "\n]\n";
+}
+
+}  // namespace slm::trace

@@ -1,0 +1,163 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/time.hpp"
+
+namespace slm::trace {
+
+/// What a trace record describes.
+enum class RecordKind {
+    TaskState,      ///< actor changed scheduling state (detail = new state name)
+    ContextSwitch,  ///< CPU switched tasks (actor = incoming, detail = outgoing)
+    Irq,            ///< interrupt occurred (actor = irq name)
+    ExecBegin,      ///< actor started a computation span
+    ExecEnd,        ///< actor finished a computation span
+    ChannelOp,      ///< channel activity (actor = channel, detail = op)
+    Marker,         ///< free-form annotation
+};
+
+[[nodiscard]] const char* to_string(RecordKind k);
+
+/// One timestamped trace record. `cpu` names the resource (PE) the record
+/// belongs to — empty for records that are not bound to a processor.
+struct Record {
+    SimTime t;
+    RecordKind kind = RecordKind::Marker;
+    std::string cpu;
+    std::string actor;
+    std::string detail;
+};
+
+/// A half-open interval [begin, end) during which `actor` was executing.
+struct Interval {
+    SimTime begin;
+    SimTime end;
+    std::string actor;
+
+    friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Collects timestamped records from models (explicit ExecBegin/ExecEnd spans
+/// in specification models, task-state changes emitted by the RTOS model) and
+/// derives per-actor execution intervals, Gantt charts, and export formats.
+///
+/// Recording is append-only and cheap; all analysis walks the record list on
+/// demand. Records are expected in nondecreasing time order (the kernel is
+/// single-threaded, so this holds by construction).
+class TraceRecorder {
+public:
+    // ---- recording ----
+    void record(Record r);
+    void exec_begin(SimTime t, std::string cpu, std::string actor);
+    void exec_end(SimTime t, std::string cpu, std::string actor);
+    void task_state(SimTime t, std::string cpu, std::string actor, std::string state);
+    void context_switch(SimTime t, std::string cpu, std::string to, std::string from);
+    void irq(SimTime t, std::string cpu, std::string irq_name);
+    void channel_op(SimTime t, std::string channel, std::string op);
+    void marker(SimTime t, std::string text);
+
+    void clear();
+
+    // ---- raw access ----
+    [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+    [[nodiscard]] std::size_t count(RecordKind k) const;
+    [[nodiscard]] std::size_t context_switches(const std::string& cpu = {}) const;
+
+    // ---- derived views ----
+
+    /// Execution intervals of one actor, from ExecBegin/ExecEnd pairs and/or
+    /// TaskState records entering/leaving the "Running" state. Open intervals
+    /// at trace end are closed at the last record's timestamp.
+    [[nodiscard]] std::vector<Interval> intervals(const std::string& actor) const;
+
+    /// All distinct actors appearing in exec/task-state records, in order of
+    /// first appearance.
+    [[nodiscard]] std::vector<std::string> actors() const;
+
+    /// Total time `actor` spent executing.
+    [[nodiscard]] SimTime busy_time(const std::string& actor) const;
+
+    /// True if any two execution intervals of different actors on `cpu`
+    /// overlap — i.e. the serialization invariant of an RTOS model is violated.
+    [[nodiscard]] bool has_concurrent_execution(const std::string& cpu) const;
+
+    /// Timestamps of Irq records (optionally filtered by irq name).
+    [[nodiscard]] std::vector<SimTime> irq_times(const std::string& name = {}) const;
+
+    // ---- rendering / export ----
+
+    /// ASCII Gantt chart: one row per actor, `width` time buckets across
+    /// [t0, t1). A bucket is '#' if the actor executed during it. Interrupt
+    /// times are marked on a footer row.
+    [[nodiscard]] std::string render_gantt(SimTime t0, SimTime t1, int width = 72) const;
+
+    /// Per-actor utilization summary over [t0, t1): busy time, share of the
+    /// window, execution interval count, rendered as an aligned text table.
+    [[nodiscard]] std::string utilization_report(SimTime t0, SimTime t1) const;
+
+    /// CSV: t_ns,kind,cpu,actor,detail
+    void write_csv(std::ostream& os) const;
+
+    /// Value-change-dump with one wire per actor (1 = executing), viewable in
+    /// GTKWave. Timescale 1 ns.
+    void write_vcd(std::ostream& os) const;
+
+    /// Chrome trace-event JSON (load in Perfetto / chrome://tracing): one
+    /// lane per actor with complete ("X") events for execution intervals and
+    /// instant events for IRQs. Timestamps in microseconds as the format
+    /// requires.
+    void write_chrome_trace(std::ostream& os) const;
+
+private:
+    std::vector<Record> records_;
+};
+
+/// Automatic tracing for *specification* models: attach as the kernel
+/// observer and every process's `waitfor` delay steps are recorded as
+/// execution spans (the delay-as-computation convention of spec models —
+/// paper Fig. 8(a) shows exactly these spans). Processes blocked on events
+/// or joins record nothing.
+///
+///     trace::TraceRecorder rec;
+///     trace::SpecTraceAdapter adapter{kernel, rec, "PE0"};
+///     kernel.set_observer(&adapter);
+///
+/// Use an explicit name filter to keep testbench/device processes out of the
+/// trace. Not intended for RTOS-based models — the RtosModel emits richer
+/// task-state records through RtosConfig::tracer instead.
+class SpecTraceAdapter final : public sim::KernelObserver {
+public:
+    SpecTraceAdapter(sim::Kernel& kernel, TraceRecorder& rec, std::string cpu = {})
+        : kernel_(kernel), rec_(rec), cpu_(std::move(cpu)) {}
+
+    /// Record only processes whose name satisfies `pred`.
+    void set_filter(std::function<bool(const std::string&)> pred) {
+        filter_ = std::move(pred);
+    }
+
+    void on_process_state(const sim::Process& p, sim::ProcState from,
+                          sim::ProcState to) override {
+        if (filter_ && !filter_(p.name())) {
+            return;
+        }
+        if (to == sim::ProcState::WaitingTime) {
+            rec_.exec_begin(kernel_.now(), cpu_, p.name());
+        } else if (from == sim::ProcState::WaitingTime) {
+            rec_.exec_end(kernel_.now(), cpu_, p.name());
+        }
+    }
+
+private:
+    sim::Kernel& kernel_;
+    TraceRecorder& rec_;
+    std::string cpu_;
+    std::function<bool(const std::string&)> filter_;
+};
+
+}  // namespace slm::trace

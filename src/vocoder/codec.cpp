@@ -1,0 +1,222 @@
+#include "vocoder/codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace slm::vocoder {
+
+namespace {
+
+constexpr std::int32_t kPreemphQ15 = 29491;  // alpha ~= 0.9
+
+/// Quarter-wave-free integer sine: Q14 table, 256 entries per period.
+std::int32_t sin_q14(std::uint32_t phase) {
+    static const auto table = [] {
+        std::array<std::int16_t, 256> t{};
+        for (int i = 0; i < 256; ++i) {
+            t[static_cast<std::size_t>(i)] = static_cast<std::int16_t>(
+                16383.0 * std::sin(2.0 * 3.14159265358979 * i / 256.0));
+        }
+        return t;
+    }();
+    return table[(phase >> 8U) & 0xFFU];
+}
+
+}  // namespace
+
+SpeechSource::SpeechSource(std::uint32_t seed) : lcg_(seed == 0 ? 1 : seed) {}
+
+std::int32_t SpeechSource::noise() {
+    lcg_ = lcg_ * 1664525u + 1013904223u;
+    return static_cast<std::int32_t>(lcg_ >> 20U) - 2048;  // ~[-2048, 2047]
+}
+
+Frame SpeechSource::next_frame() {
+    Frame f;
+    for (int i = 0; i < kFrameSamples; ++i) {
+        // Slowly wandering formants: increments modulated by frame count.
+        const std::uint32_t inc1 = 700 + static_cast<std::uint32_t>((n_ / 320) % 400);
+        const std::uint32_t inc2 = 2100 + static_cast<std::uint32_t>((n_ / 480) % 700);
+        phase1_ += inc1;
+        phase2_ += inc2;
+        const std::int32_t s =
+            (sin_q14(phase1_) * 6) / 8 + (sin_q14(phase2_) * 3) / 8 + noise();
+        f.samples[static_cast<std::size_t>(i)] = std::clamp(s, -32768, 32767);
+        ++n_;
+    }
+    return f;
+}
+
+std::uint32_t frame_checksum(const Frame& f) {
+    std::uint32_t h = 2166136261u;  // FNV-1a over the sample words
+    for (const std::int32_t s : f.samples) {
+        h ^= static_cast<std::uint32_t>(s);
+        h *= 16777619u;
+    }
+    return h;
+}
+
+EncodedFrame Encoder::encode(const Frame& in) {
+    EncodedFrame out;
+    out.checksum = frame_checksum(in);
+
+    // 1. Pre-emphasis (Q15 one-tap high-pass).
+    std::array<std::int32_t, kFrameSamples> x{};
+    std::int32_t prev = pre_state_;
+    for (int n = 0; n < kFrameSamples; ++n) {
+        const std::int32_t s = in.samples[static_cast<std::size_t>(n)];
+        x[static_cast<std::size_t>(n)] = s - ((kPreemphQ15 * prev) >> 15);
+        prev = s;
+        ops_.macs += 1;
+        ops_.loads += 1;
+        ops_.stores += 1;
+    }
+    pre_state_ = prev;
+
+    // 2. Autocorrelation (64-bit accumulation).
+    std::array<double, kLpcOrder + 1> r{};
+    for (int k = 0; k <= kLpcOrder; ++k) {
+        std::int64_t acc = 0;
+        for (int n = k; n < kFrameSamples; ++n) {
+            acc += static_cast<std::int64_t>(x[static_cast<std::size_t>(n)]) *
+                   x[static_cast<std::size_t>(n - k)];
+            ops_.macs += 1;
+            ops_.loads += 2;
+        }
+        r[static_cast<std::size_t>(k)] = static_cast<double>(acc);
+    }
+    // Conditioning: white-noise correction keeps Levinson well-posed on
+    // silent/degenerate frames.
+    r[0] = r[0] * 1.001 + 1.0;
+
+    // 3. Levinson-Durbin recursion -> prediction coefficients a[1..p].
+    std::array<double, kLpcOrder + 1> a{};
+    double err = r[0];
+    for (int i = 1; i <= kLpcOrder; ++i) {
+        double acc = r[static_cast<std::size_t>(i)];
+        for (int j = 1; j < i; ++j) {
+            acc -= a[static_cast<std::size_t>(j)] * r[static_cast<std::size_t>(i - j)];
+        }
+        const double k_i = acc / err;
+        std::array<double, kLpcOrder + 1> next = a;
+        next[static_cast<std::size_t>(i)] = k_i;
+        for (int j = 1; j < i; ++j) {
+            next[static_cast<std::size_t>(j)] =
+                a[static_cast<std::size_t>(j)] -
+                k_i * a[static_cast<std::size_t>(i - j)];
+        }
+        a = next;
+        err *= (1.0 - k_i * k_i);
+        if (err <= 0) {
+            err = 1.0;
+        }
+        ops_.macs += static_cast<std::uint64_t>(2 * i);
+    }
+
+    // 4. Quantize to Q12 (shared verbatim with the decoder).
+    for (int i = 1; i <= kLpcOrder; ++i) {
+        const double q = std::round(a[static_cast<std::size_t>(i)] * 4096.0);
+        out.lpc_q12[static_cast<std::size_t>(i - 1)] =
+            std::clamp(static_cast<std::int32_t>(q), -32767, 32767);
+    }
+
+    // 5. Short-term residual with inter-frame history.
+    std::array<std::int32_t, kFrameSamples> e{};
+    std::int32_t emax = 0;
+    for (int n = 0; n < kFrameSamples; ++n) {
+        std::int64_t pred = 0;
+        for (int i = 1; i <= kLpcOrder; ++i) {
+            const int idx = n - i;
+            const std::int32_t past =
+                idx >= 0 ? x[static_cast<std::size_t>(idx)]
+                         : hist_[static_cast<std::size_t>(kLpcOrder + idx)];
+            pred += static_cast<std::int64_t>(
+                        out.lpc_q12[static_cast<std::size_t>(i - 1)]) *
+                    past;
+            ops_.macs += 1;
+            ops_.loads += 2;
+        }
+        e[static_cast<std::size_t>(n)] =
+            x[static_cast<std::size_t>(n)] - static_cast<std::int32_t>(pred >> 12);
+        emax = std::max(emax, std::abs(e[static_cast<std::size_t>(n)]));
+        ops_.stores += 1;
+    }
+
+    // 6. Block-scale the residual into kResidualBits signed values.
+    int shift = 0;
+    while ((emax >> shift) > 127) {
+        ++shift;
+    }
+    out.shift = shift;
+    for (int n = 0; n < kFrameSamples; ++n) {
+        out.residual[static_cast<std::size_t>(n)] = static_cast<std::int8_t>(
+            std::clamp(e[static_cast<std::size_t>(n)] >> shift, -128, 127));
+        ops_.stores += 1;
+    }
+
+    // 7. Roll the analysis history forward.
+    for (int i = 0; i < kLpcOrder; ++i) {
+        hist_[static_cast<std::size_t>(i)] =
+            x[static_cast<std::size_t>(kFrameSamples - kLpcOrder + i)];
+    }
+    return out;
+}
+
+Frame Decoder::decode(const EncodedFrame& in) {
+    Frame out;
+    std::array<std::int32_t, kFrameSamples> x{};
+    for (int n = 0; n < kFrameSamples; ++n) {
+        const std::int32_t e =
+            static_cast<std::int32_t>(in.residual[static_cast<std::size_t>(n)])
+            << in.shift;
+        std::int64_t pred = 0;
+        for (int i = 1; i <= kLpcOrder; ++i) {
+            const int idx = n - i;
+            const std::int32_t past =
+                idx >= 0 ? x[static_cast<std::size_t>(idx)]
+                         : hist_[static_cast<std::size_t>(kLpcOrder + idx)];
+            pred += static_cast<std::int64_t>(
+                        in.lpc_q12[static_cast<std::size_t>(i - 1)]) *
+                    past;
+            ops_.macs += 1;
+            ops_.loads += 2;
+        }
+        x[static_cast<std::size_t>(n)] = std::clamp(
+            e + static_cast<std::int32_t>(pred >> 12), -(1 << 20), (1 << 20) - 1);
+        ops_.stores += 1;
+    }
+    // De-emphasis (inverse of the encoder's one-tap high-pass).
+    std::int32_t prev = de_state_;
+    for (int n = 0; n < kFrameSamples; ++n) {
+        const std::int32_t s =
+            x[static_cast<std::size_t>(n)] + ((kPreemphQ15 * prev) >> 15);
+        const std::int32_t clamped = std::clamp(s, -32768, 32767);
+        out.samples[static_cast<std::size_t>(n)] = clamped;
+        prev = clamped;
+        ops_.macs += 1;
+        ops_.stores += 1;
+    }
+    de_state_ = prev;
+    for (int i = 0; i < kLpcOrder; ++i) {
+        hist_[static_cast<std::size_t>(i)] =
+            x[static_cast<std::size_t>(kFrameSamples - kLpcOrder + i)];
+    }
+    return out;
+}
+
+double snr_db(const Frame& ref, const Frame& out) {
+    double sig = 0, err = 0;
+    for (int n = 0; n < kFrameSamples; ++n) {
+        const double s = ref.samples[static_cast<std::size_t>(n)];
+        const double d = s - out.samples[static_cast<std::size_t>(n)];
+        sig += s * s;
+        err += d * d;
+    }
+    if (err == 0) {
+        return 120.0;
+    }
+    return 10.0 * std::log10(sig / err);
+}
+
+}  // namespace slm::vocoder

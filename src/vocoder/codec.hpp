@@ -1,0 +1,89 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace slm::vocoder {
+
+/// A deterministic LPC-based frame codec standing in for the paper's GSM
+/// vocoder (see DESIGN.md substitution table). 160-sample frames (20 ms at
+/// 8 kHz), 10th-order short-term prediction, quantized residual. All integer/
+/// fixed-point state is deterministic; the Levinson recursion uses doubles
+/// internally but quantizes coefficients to Q12, and the encoder and decoder
+/// share the quantized coefficients, so reconstruction error comes only from
+/// residual quantization.
+inline constexpr int kFrameSamples = 160;
+inline constexpr int kLpcOrder = 10;
+inline constexpr int kResidualBits = 8;
+
+struct Frame {
+    std::array<std::int32_t, kFrameSamples> samples{};  ///< 16-bit range PCM
+
+    friend bool operator==(const Frame&, const Frame&) = default;
+};
+
+struct EncodedFrame {
+    std::array<std::int32_t, kLpcOrder> lpc_q12{};            ///< Q12 coefficients
+    std::array<std::int8_t, kFrameSamples> residual{};        ///< quantized excitation
+    int shift = 0;                                            ///< residual scale
+    std::uint32_t checksum = 0;                               ///< integrity tag
+};
+
+/// Deterministic synthetic speech: two slowly wandering "formant" tones plus
+/// low-level noise from an LCG. Same seed -> bit-identical sample stream.
+class SpeechSource {
+public:
+    explicit SpeechSource(std::uint32_t seed = 1);
+
+    [[nodiscard]] Frame next_frame();
+
+private:
+    [[nodiscard]] std::int32_t noise();
+
+    std::uint32_t lcg_;
+    std::uint32_t phase1_ = 0;
+    std::uint32_t phase2_ = 0;
+    std::uint64_t n_ = 0;
+};
+
+/// Operation counts of one encode/decode, used by the timing model and by the
+/// tests that pin the workload's computational shape.
+struct OpCounts {
+    std::uint64_t macs = 0;
+    std::uint64_t adds = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+};
+
+class Encoder {
+public:
+    [[nodiscard]] EncodedFrame encode(const Frame& in);
+
+    [[nodiscard]] const OpCounts& op_counts() const { return ops_; }
+
+private:
+    std::int32_t pre_state_ = 0;  ///< pre-emphasis filter memory
+    std::array<std::int32_t, kLpcOrder> hist_{};  ///< inter-frame sample history
+    OpCounts ops_;
+};
+
+class Decoder {
+public:
+    [[nodiscard]] Frame decode(const EncodedFrame& in);
+
+    [[nodiscard]] const OpCounts& op_counts() const { return ops_; }
+
+private:
+    std::array<std::int32_t, kLpcOrder> hist_{};  ///< synthesis filter memory
+    std::int32_t de_state_ = 0;                   ///< de-emphasis filter memory
+    OpCounts ops_;
+};
+
+/// Frame checksum used for end-to-end data-integrity checks (also computed by
+/// the guest program in the implementation model).
+[[nodiscard]] std::uint32_t frame_checksum(const Frame& f);
+
+/// Signal-to-noise ratio of `out` against `ref`, in dB.
+[[nodiscard]] double snr_db(const Frame& ref, const Frame& out);
+
+}  // namespace slm::vocoder

@@ -1,0 +1,169 @@
+#include "vocoder/iss_gen.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/assert.hpp"
+#include "vocoder/codec.hpp"
+#include "vocoder/timing.hpp"
+
+namespace slm::vocoder {
+
+namespace {
+
+/// Emit a calibrated compute block of exactly `cycles` cycles: repeated
+/// fully-unrolled MAC passes over the frame buffer (the DSP inner-loop shape),
+/// a 3-cycle trim loop, and nop padding. Register use: r3, r5, r6, r8.
+void emit_burn(std::ostringstream& os, const std::string& tag, std::uint64_t cycles) {
+    // Pass structure:  ldi r3 (1) + ldi r6 (1) + P*(160*(3+4) + 1 + 2) - 1
+    constexpr std::uint64_t kPassCost = 160 * 7 + 3;  // 1123
+    std::uint64_t base = 0;
+    std::uint64_t passes = 0;
+    if (cycles >= kPassCost + 2) {
+        passes = (cycles - 1) / kPassCost;
+        base = passes * kPassCost + 1;
+        if (base > cycles) {  // guard: trim passes until we fit
+            --passes;
+            base = passes * kPassCost + 1;
+        }
+    }
+    std::uint64_t rem = cycles - base;
+    if (passes > 0) {
+        os << "  ldi r3, " << kFrameBufAddr << "\n";
+        os << "  ldi r6, " << passes << "\n";
+        os << tag << "_pass:\n";
+        for (int i = 0; i < kFrameSamples; ++i) {
+            os << "  ld r5, r3, " << i << "\n";
+            os << "  mac r8, r5, r5\n";
+        }
+        os << "  addi r6, r6, -1\n";
+        os << "  bne r6, r0, " << tag << "_pass\n";
+    }
+    const std::uint64_t trim = rem / 3;
+    rem -= trim * 3;
+    if (trim > 0) {
+        os << "  ldi r6, " << trim << "\n";
+        os << tag << "_trim:\n";
+        os << "  addi r6, r6, -1\n";
+        os << "  bne r6, r0, " << tag << "_trim\n";
+    }
+    for (std::uint64_t i = 0; i < rem; ++i) {
+        os << "  nop\n";
+    }
+}
+
+}  // namespace
+
+GuestImage build_vocoder_guest(std::size_t frames) {
+    SLM_ASSERT(frames > 0, "need at least one frame");
+    std::ostringstream os;
+    os << "; SLM32 vocoder guest image (generated)\n";
+    os << "; tasks: input driver, encoder, decoder on the custom guest kernel\n";
+
+    // ---- input driver ----
+    // Fixed per-subframe work (syscalls, address setup, 40-word copy, loop
+    // bookkeeping) is ~465 cycles; the burn models the rest of the real
+    // driver's per-subframe processing (deinterleave, scaling).
+    const std::uint64_t drv_fixed = 465;
+    const std::uint64_t drv_burn = actual_cycles(kSubframeCopyWcetCycles) - drv_fixed;
+    os << "driver:\n";
+    os << "  ldi r12, " << frames * static_cast<std::size_t>(kSubframesPerFrame) << "\n";
+    os << "  ldi r10, 0\n";
+    os << "  ldi r13, 0\n";
+    os << "drv_sub:\n";
+    os << "  ldi r1, " << kSemSubframe << "\n";
+    os << "  sys 3\n";
+    os << "  ldi r5, 40\n";
+    os << "  mul r4, r10, r5\n";
+    os << "  addi r4, r4, " << kFrameBufAddr << "\n";
+    os << "  ldi r3, " << kMicRxAddr << "\n";
+    os << "  ldi r6, 40\n";
+    os << "drv_copy:\n";
+    os << "  ld r5, r3, 0\n";
+    os << "  st r4, 0, r5\n";
+    os << "  addi r3, r3, 1\n";
+    os << "  addi r4, r4, 1\n";
+    os << "  addi r6, r6, -1\n";
+    os << "  bne r6, r0, drv_copy\n";
+    emit_burn(os, "drv", drv_burn);
+    os << "  addi r10, r10, 1\n";
+    os << "  ldi r5, " << kSubframesPerFrame << "\n";
+    os << "  blt r10, r5, drv_next\n";
+    os << "  ldi r1, " << kSemFrame << "\n";
+    os << "  sys 4\n";
+    os << "  ldi r1, " << kNotifyFrameReady << "\n";
+    os << "  mov r2, r13\n";
+    os << "  sys 5\n";
+    os << "  addi r13, r13, 1\n";
+    os << "  ldi r10, 0\n";
+    os << "drv_next:\n";
+    os << "  addi r12, r12, -1\n";
+    os << "  bne r12, r0, drv_sub\n";
+    os << "  sys 2\n";
+
+    // ---- encoder ----
+    // Fixed per-frame work: sem_wait (11) + checksum setup (4) + FNV loop over
+    // 160 samples (160*12 - 1) + store (3) + sem_post (11) + loop (3) = 1951.
+    const std::uint64_t enc_fixed = 1951;
+    const std::uint64_t enc_burn = actual_cycles(kEncodeWcetCycles) - enc_fixed;
+    os << "encoder:\n";
+    os << "  ldi r9, " << frames << "\n";
+    os << "enc_frame:\n";
+    os << "  ldi r1, " << kSemFrame << "\n";
+    os << "  sys 3\n";
+    os << "  ldi r2, " << static_cast<std::int32_t>(2166136261u) << "\n";
+    os << "  ldi r3, " << kFrameBufAddr << "\n";
+    os << "  ldi r4, " << kFrameSamples << "\n";
+    os << "  ldi r7, 16777619\n";
+    os << "enc_csum:\n";
+    os << "  ld r5, r3, 0\n";
+    os << "  xor r2, r2, r5\n";
+    os << "  mul r2, r2, r7\n";
+    os << "  addi r3, r3, 1\n";
+    os << "  addi r4, r4, -1\n";
+    os << "  bne r4, r0, enc_csum\n";
+    os << "  st r0, " << kBitsBufAddr << ", r2\n";
+    emit_burn(os, "enc", enc_burn);
+    os << "  ldi r1, " << kSemBits << "\n";
+    os << "  sys 4\n";
+    os << "  addi r9, r9, -1\n";
+    os << "  bne r9, r0, enc_frame\n";
+    os << "  sys 2\n";
+
+    // ---- decoder ----
+    // Fixed per-frame work: sem_wait (11) + decoded notify (12) + checksum
+    // notify (14) + loop bookkeeping (4) = 41.
+    const std::uint64_t dec_fixed = 41;
+    const std::uint64_t dec_burn = actual_cycles(kDecodeWcetCycles) - dec_fixed;
+    os << "decoder:\n";
+    os << "  ldi r9, " << frames << "\n";
+    os << "  ldi r11, 0\n";
+    os << "dec_frame:\n";
+    os << "  ldi r1, " << kSemBits << "\n";
+    os << "  sys 3\n";
+    emit_burn(os, "dec", dec_burn);
+    os << "  ldi r1, " << kNotifyFrameDecoded << "\n";
+    os << "  mov r2, r11\n";
+    os << "  sys 5\n";
+    os << "  ldi r1, " << kNotifyChecksum << "\n";
+    os << "  ld r2, r0, " << kBitsBufAddr << "\n";
+    os << "  sys 5\n";
+    os << "  addi r11, r11, 1\n";
+    os << "  addi r9, r9, -1\n";
+    os << "  bne r9, r0, dec_frame\n";
+    os << "  sys 2\n";
+
+    GuestImage img;
+    img.listing = os.str();
+    img.listing_lines =
+        static_cast<int>(std::count(img.listing.begin(), img.listing.end(), '\n'));
+    const iss::AsmResult assembled = iss::assemble(img.listing);
+    SLM_ASSERT(assembled.ok(), "generated vocoder guest assembly failed to assemble");
+    img.program = assembled.program;
+    img.driver_entry = img.program.label("driver");
+    img.encoder_entry = img.program.label("encoder");
+    img.decoder_entry = img.program.label("decoder");
+    return img;
+}
+
+}  // namespace slm::vocoder

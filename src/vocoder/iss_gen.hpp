@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "iss/assembler.hpp"
+
+namespace slm::vocoder {
+
+/// Guest memory map and kernel object ids shared between the generated
+/// assembly and the host-side testbench of the implementation model.
+inline constexpr std::int32_t kMicRxAddr = 256;     ///< 40-word sub-frame DMA buffer
+inline constexpr std::int32_t kFrameBufAddr = 512;  ///< 160-word assembled frame
+inline constexpr std::int32_t kBitsBufAddr = 768;   ///< encoder output ([0] = checksum)
+inline constexpr int kSemSubframe = 1;
+inline constexpr int kSemFrame = 2;
+inline constexpr int kSemBits = 3;
+
+/// Host-notify codes (r1 of SYS 5; r2 carries the payload).
+inline constexpr std::int32_t kNotifyFrameReady = 1;
+inline constexpr std::int32_t kNotifyFrameDecoded = 2;
+inline constexpr std::int32_t kNotifyChecksum = 3;
+
+/// The generated guest software image: driver, encoder, and decoder task
+/// entry points plus the assembled program. `listing` is the full assembly
+/// text (the implementation-model analogue of the compiled codec source whose
+/// size Table 1 reports).
+struct GuestImage {
+    iss::Program program;
+    std::int32_t driver_entry = 0;
+    std::int32_t encoder_entry = 0;
+    std::int32_t decoder_entry = 0;
+    std::string listing;
+    int listing_lines = 0;
+};
+
+/// Generate the vocoder guest software for `frames` frames. The compute
+/// kernels are calibrated MAC/load loops over the real frame data whose cycle
+/// counts hit the implementation-model targets (timing.hpp: ~93% of the WCET
+/// annotations); the encoder additionally computes the FNV-1a frame checksum
+/// in guest code so the host can verify end-to-end data integrity.
+[[nodiscard]] GuestImage build_vocoder_guest(std::size_t frames);
+
+}  // namespace slm::vocoder

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace slm::vocoder {
+
+/// Timing calibration for the vocoder experiment (paper Table 1).
+///
+/// The paper's target is a Motorola DSP56600 running the GSM EFR codec; our
+/// stand-in core (SLM32 at 100 MHz) is calibrated so that the per-frame
+/// processing budgets land in the same regime: ~6.5 ms encode + ~3.2 ms decode
+/// per 20 ms frame. These budgets represent the *full* EFR including the
+/// codebook search our functional codec does not implement — the abstract
+/// models annotate them as WCETs, while the implementation model executes a
+/// calibrated instruction stream whose actual cycle count is ~7% below WCET
+/// (a realistic WCET margin), which is what puts the measured implementation
+/// delay below the architecture model's estimate, as in the paper.
+
+inline constexpr std::uint64_t kCpuHz = 100'000'000;
+inline constexpr SimTime kCycleTime = nanoseconds(10);
+
+/// WCET annotations (used by the unscheduled and architecture models).
+inline constexpr std::uint64_t kEncodeWcetCycles = 650'000;      ///< 6.50 ms
+inline constexpr std::uint64_t kDecodeWcetCycles = 320'000;      ///< 3.20 ms
+inline constexpr std::uint64_t kSubframeCopyWcetCycles = 60'000; ///< 0.60 ms
+
+/// Actual-execution targets for the implementation model: WCET minus a 7%
+/// engineering margin.
+[[nodiscard]] constexpr std::uint64_t actual_cycles(std::uint64_t wcet) {
+    return wcet - wcet * 7 / 100;
+}
+
+[[nodiscard]] constexpr SimTime cycles_to_time(std::uint64_t cycles) {
+    return kCycleTime * cycles;
+}
+
+/// Frame cadence: 20 ms speech frames delivered as 4 sub-frame bus interrupts
+/// 5 ms apart (the serial-audio-port DMA pattern); the input driver task
+/// copies each sub-frame and releases the assembled frame to the encoder.
+inline constexpr SimTime kFramePeriod = milliseconds(20);
+inline constexpr int kSubframesPerFrame = 4;
+inline constexpr SimTime kSubframePeriod{kFramePeriod.ns() / kSubframesPerFrame};
+
+/// Task priorities on the DSP (smaller = higher): the input driver must never
+/// lose samples, decoding is latency-critical, encoding fills the rest.
+inline constexpr int kDriverPriority = 1;
+inline constexpr int kDecoderPriority = 2;
+inline constexpr int kEncoderPriority = 3;
+
+}  // namespace slm::vocoder

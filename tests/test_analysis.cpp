@@ -1,0 +1,197 @@
+#include "analysis/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rtos/rtos.hpp"
+#include "sim/kernel.hpp"
+#include "sim/time.hpp"
+
+using namespace slm;
+using namespace slm::analysis;
+using namespace slm::time_literals;
+
+namespace {
+
+PeriodicTaskSpec task(const char* name, SimTime period, SimTime wcet, int prio = 0) {
+    PeriodicTaskSpec t;
+    t.name = name;
+    t.period = period;
+    t.wcet = wcet;
+    t.priority = prio;
+    return t;
+}
+
+/// The classic unschedulable-by-RTA example: U = 0.823, T1 misses.
+std::vector<PeriodicTaskSpec> unschedulable_set() {
+    std::vector<PeriodicTaskSpec> ts = {
+        task("T1", 50_ms, 12_ms),
+        task("T2", 40_ms, 10_ms),
+        task("T3", 30_ms, 10_ms),
+    };
+    assign_rms_priorities(ts);
+    return ts;
+}
+
+/// A comfortably schedulable set: U = 0.628.
+std::vector<PeriodicTaskSpec> schedulable_set() {
+    std::vector<PeriodicTaskSpec> ts = {
+        task("T1", 100_ms, 20_ms),
+        task("T2", 150_ms, 30_ms),
+        task("T3", 350_ms, 80_ms),
+    };
+    assign_rms_priorities(ts);
+    return ts;
+}
+
+}  // namespace
+
+TEST(Analysis, Utilization) {
+    const auto ts = schedulable_set();
+    EXPECT_NEAR(utilization(ts), 0.2 + 0.2 + 80.0 / 350.0, 1e-9);
+}
+
+TEST(Analysis, RmsBoundValues) {
+    EXPECT_NEAR(rms_utilization_bound(1), 1.0, 1e-9);
+    EXPECT_NEAR(rms_utilization_bound(2), 0.8284271247, 1e-6);
+    EXPECT_NEAR(rms_utilization_bound(3), 0.7797631497, 1e-6);
+    EXPECT_EQ(rms_utilization_bound(0), 1.0);
+}
+
+TEST(Analysis, RmsBoundTest) {
+    EXPECT_TRUE(rms_schedulable_by_bound(schedulable_set()));
+    EXPECT_FALSE(rms_schedulable_by_bound(unschedulable_set()));
+}
+
+TEST(Analysis, EdfTest) {
+    EXPECT_TRUE(edf_schedulable(schedulable_set()));
+    EXPECT_TRUE(edf_schedulable(unschedulable_set()));  // U = 0.823 <= 1
+    std::vector<PeriodicTaskSpec> over = {task("a", 10_ms, 6_ms), task("b", 10_ms, 5_ms)};
+    EXPECT_FALSE(edf_schedulable(over));
+}
+
+TEST(Analysis, AssignRmsPriorities) {
+    auto ts = unschedulable_set();
+    // Shortest period (T3, 30 ms) gets the highest priority (0).
+    EXPECT_EQ(ts[2].priority, 0);
+    EXPECT_EQ(ts[1].priority, 1);
+    EXPECT_EQ(ts[0].priority, 2);
+}
+
+TEST(Analysis, ResponseTimeHandComputed) {
+    const auto ts = schedulable_set();
+    // Highest priority task: response = its own WCET.
+    EXPECT_EQ(response_time(ts, 0).value(), 20_ms);
+    // T2: 30 + ceil(R/100)*20 -> 50.
+    EXPECT_EQ(response_time(ts, 1).value(), 50_ms);
+    // T3: 80 + interference from T1 and T2 -> fixpoint at 150.
+    EXPECT_EQ(response_time(ts, 2).value(), 150_ms);
+}
+
+TEST(Analysis, ResponseTimeDetectsOverrun) {
+    const auto ts = unschedulable_set();
+    // T1 (lowest priority): recurrence exceeds its 50 ms deadline.
+    EXPECT_FALSE(response_time(ts, 0).has_value());
+    EXPECT_FALSE(rta_schedulable(ts));
+}
+
+TEST(Analysis, RtaAcceptsSchedulableSet) {
+    EXPECT_TRUE(rta_schedulable(schedulable_set()));
+}
+
+TEST(Analysis, BlockingTermInflatesResponse) {
+    const auto ts = schedulable_set();
+    // T2 with a 25 ms blocking term (longest lower-priority critical section
+    // under priority inheritance): R = 30 + 25 + ceil(R/100)*20 -> 75.
+    const auto r = response_time_with_blocking(ts, 1, 25_ms);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, 75_ms);
+    EXPECT_GT(*r, response_time(ts, 1).value());
+}
+
+TEST(Analysis, BlockingCanBreakSchedulability) {
+    const auto ts = schedulable_set();
+    // T3's slack to its 350 ms deadline is 200 ms; a larger blocking term
+    // pushes the recurrence past the deadline.
+    EXPECT_TRUE(response_time_with_blocking(ts, 2, 100_ms).has_value());
+    EXPECT_FALSE(response_time_with_blocking(ts, 2, 260_ms).has_value());
+}
+
+TEST(Analysis, ExplicitDeadlineTightensTest) {
+    auto ts = schedulable_set();
+    ts[2].deadline = 100_ms;  // T3's response (150 ms) now exceeds its deadline
+    EXPECT_FALSE(rta_schedulable(ts));
+}
+
+// ---- cross-validation against the RTOS-model simulation ----
+
+namespace {
+
+struct SimOutcome {
+    SimTime max_response;
+    std::uint64_t misses;
+};
+
+/// Run the task set under the RMS policy and report the named task's measured
+/// worst response + total deadline misses. All tasks release at t=0 (the
+/// critical instant), so the first job experiences worst-case interference.
+SimOutcome simulate_rms(const std::vector<PeriodicTaskSpec>& ts,
+                        const std::string& who, SimTime horizon) {
+    sim::Kernel k;
+    rtos::RtosConfig cfg;
+    cfg.policy = rtos::SchedPolicy::Rms;
+    // Near-ideal preemption so the simulation matches RTA's assumptions.
+    cfg.preemption_granularity = 1_ms;
+    rtos::RtosModel os{k, cfg};
+    std::vector<rtos::Task*> tasks;
+    for (const PeriodicTaskSpec& spec : ts) {
+        rtos::Task* t = os.task_create(spec.name, rtos::TaskType::Periodic, spec.period,
+                                       spec.wcet, spec.priority, spec.deadline);
+        tasks.push_back(t);
+        k.spawn(spec.name, [&os, t, wcet = spec.wcet] {
+            os.task_activate(t);
+            for (;;) {
+                os.time_wait(wcet);
+                os.task_endcycle();
+            }
+        });
+    }
+    os.start();
+    (void)k.run_until(horizon);
+    SimOutcome out{};
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        if (ts[i].name == who) {
+            out.max_response = tasks[i]->stats().max_response;
+        }
+        out.misses += tasks[i]->stats().deadline_misses;
+    }
+    return out;
+}
+
+}  // namespace
+
+TEST(AnalysisVsSimulation, ResponseTimeMatchesRta) {
+    const auto ts = schedulable_set();
+    const SimTime rta = response_time(ts, 2).value();  // T3: 150 ms
+    const SimOutcome sim = simulate_rms(ts, "T3", 2100_ms);  // one hyperperiod
+    // The simulated worst response brackets the analytical value: at least the
+    // ideal-preemption bound, at most bound + blocking from the 1 ms chunks.
+    EXPECT_GE(sim.max_response, rta);
+    EXPECT_LE(sim.max_response, rta + 3_ms);
+    EXPECT_EQ(sim.misses, 0u);
+}
+
+TEST(AnalysisVsSimulation, UnschedulableSetMissesInSimulation) {
+    const auto ts = unschedulable_set();
+    ASSERT_FALSE(rta_schedulable(ts));
+    const SimOutcome sim = simulate_rms(ts, "T1", 600_ms);
+    EXPECT_GT(sim.misses, 0u);
+}
+
+TEST(AnalysisVsSimulation, HigherPriorityTasksUnaffected) {
+    const auto ts = unschedulable_set();
+    // T3 (highest priority) stays schedulable even in the overloaded set.
+    const SimOutcome sim = simulate_rms(ts, "T3", 600_ms);
+    EXPECT_LE(sim.max_response, 10_ms + 2_ms);
+}

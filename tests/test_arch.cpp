@@ -1,0 +1,399 @@
+#include "arch/arch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arch/fig3.hpp"
+#include "rtos/os_channels.hpp"
+#include "sim/kernel.hpp"
+#include "sim/time.hpp"
+#include "trace/trace.hpp"
+
+using namespace slm;
+using namespace slm::sim;
+using namespace slm::arch;
+using namespace slm::time_literals;
+
+// ---- Bus ----
+
+TEST(BusTest, TransferLatency) {
+    Kernel k;
+    Bus bus{k, "bus", Bus::Config{100_ns, 10_ns}};
+    EXPECT_EQ(bus.transfer_latency(0), 100_ns);
+    EXPECT_EQ(bus.transfer_latency(64), nanoseconds(100 + 640));
+}
+
+TEST(BusTest, TransfersAreArbitrated) {
+    Kernel k;
+    Bus bus{k, "bus", Bus::Config{SimTime::zero(), 10_ns}};
+    std::vector<SimTime> done;
+    for (int i = 0; i < 3; ++i) {
+        k.spawn("m" + std::to_string(i), [&] {
+            bus.occupy(100, [&](SimTime dt) { k.waitfor(dt); });  // 1 us each
+            done.push_back(k.now());
+        });
+    }
+    k.run();
+    // One master at a time: completions at 1, 2, 3 us.
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_EQ(done[0], 1_us);
+    EXPECT_EQ(done[1], 2_us);
+    EXPECT_EQ(done[2], 3_us);
+    EXPECT_EQ(bus.transfers(), 3u);
+    EXPECT_EQ(bus.bytes_transferred(), 300u);
+    EXPECT_EQ(bus.busy_time(), 3_us);
+}
+
+TEST(BusTest, PriorityArbitrationGrantsLowestMaster) {
+    Kernel k;
+    Bus::Config cfg{SimTime::zero(), 10_ns, BusArbitration::Priority, {}, 0};
+    Bus bus{k, "bus", cfg};
+    std::vector<int> grant_order;
+    // Master 9 grabs the bus first; masters 3 and 1 request while it is busy.
+    k.spawn("m9", [&] {
+        bus.occupy(100, [&](SimTime dt) { k.waitfor(dt); }, 9);
+        grant_order.push_back(9);
+    });
+    k.spawn("m3", [&] {
+        k.waitfor(100_ns);
+        bus.occupy(100, [&](SimTime dt) { k.waitfor(dt); }, 3);
+        grant_order.push_back(3);
+    });
+    k.spawn("m1", [&] {
+        k.waitfor(200_ns);
+        bus.occupy(100, [&](SimTime dt) { k.waitfor(dt); }, 1);
+        grant_order.push_back(1);
+    });
+    k.run();
+    // 9 finishes first (it held the bus), then 1 beats 3 despite arriving later.
+    EXPECT_EQ(grant_order, (std::vector<int>{9, 1, 3}));
+}
+
+TEST(BusTest, FifoArbitrationIgnoresMasterIds) {
+    Kernel k;
+    Bus::Config cfg{SimTime::zero(), 10_ns, BusArbitration::Fifo, {}, 0};
+    Bus bus{k, "bus", cfg};
+    std::vector<int> grant_order;
+    k.spawn("m9", [&] {
+        bus.occupy(100, [&](SimTime dt) { k.waitfor(dt); }, 9);
+        grant_order.push_back(9);
+    });
+    k.spawn("m3", [&] {
+        k.waitfor(100_ns);
+        bus.occupy(100, [&](SimTime dt) { k.waitfor(dt); }, 3);
+        grant_order.push_back(3);
+    });
+    k.spawn("m1", [&] {
+        k.waitfor(200_ns);
+        bus.occupy(100, [&](SimTime dt) { k.waitfor(dt); }, 1);
+        grant_order.push_back(1);
+    });
+    k.run();
+    EXPECT_EQ(grant_order, (std::vector<int>{9, 3, 1}));  // request order
+}
+
+TEST(BusTest, TdmaAlignsTransfersToSlots) {
+    Kernel k;
+    Bus::Config cfg{SimTime::zero(), 1_ns, BusArbitration::Tdma, 10_us, 2};
+    Bus bus{k, "bus", cfg};
+    std::vector<SimTime> starts(2);
+    // Master 1's slot is [10, 20) us in each 20 us frame; master 0's is [0, 10).
+    k.spawn("m1", [&] {
+        k.waitfor(1_us);  // request at 1 us, slot opens at 10 us
+        const SimTime t0 = k.now();
+        bus.occupy(100, [&](SimTime dt) { k.waitfor(dt); }, 1);
+        starts[1] = t0;  // record request; start checked via arbitration_wait
+    });
+    k.spawn("m0", [&] {
+        k.waitfor(25_us);  // inside frame 2, master 0's slot is [20, 30) us
+        const SimTime t0 = k.now();
+        bus.occupy(100, [&](SimTime dt) { k.waitfor(dt); }, 0);
+        EXPECT_EQ(k.now() - t0, nanoseconds(100));  // no alignment stall
+    });
+    k.run();
+    // Master 1 stalled from 1 us to its slot start at 10 us (+100 ns transfer).
+    EXPECT_EQ(bus.arbitration_wait(), 9_us);
+}
+
+TEST(BusTest, ArbitrationWaitMeasuresContention) {
+    Kernel k;
+    Bus bus{k, "bus", Bus::Config{SimTime::zero(), 10_ns}};
+    k.spawn("a", [&] { bus.occupy(100, [&](SimTime dt) { k.waitfor(dt); }); });
+    k.spawn("b", [&] { bus.occupy(100, [&](SimTime dt) { k.waitfor(dt); }); });
+    k.run();
+    // b waited exactly for a's 1 us transfer.
+    EXPECT_EQ(bus.arbitration_wait(), 1_us);
+}
+
+// ---- InterruptLine / BusLink ----
+
+TEST(InterruptLineTest, RaiseWakesWaiter) {
+    Kernel k;
+    InterruptLine line{k, "irq0"};
+    SimTime woken;
+    k.spawn("handler", [&] {
+        k.wait(line.event());
+        woken = k.now();
+    });
+    k.spawn("device", [&] {
+        k.waitfor(5_us);
+        line.raise();
+    });
+    k.run();
+    EXPECT_EQ(woken, 5_us);
+    EXPECT_EQ(line.raise_count(), 1u);
+}
+
+TEST(BusLinkTest, PostDeliversAndInterrupts) {
+    Kernel k;
+    Bus bus{k, "bus", Bus::Config{SimTime::zero(), SimTime::zero()}};
+    BusLink<int> link{k, bus, "lnk"};
+    int got = 0;
+    SimTime got_at;
+    k.spawn("receiver", [&] {
+        k.wait(link.irq().event());
+        EXPECT_TRUE(link.try_fetch(got));
+        got_at = k.now();
+    });
+    k.spawn("sender", [&] {
+        k.waitfor(7_us);
+        link.post(123, [&](SimTime dt) { k.waitfor(dt); });
+    });
+    k.run();
+    EXPECT_EQ(got, 123);
+    EXPECT_EQ(got_at, 7_us);
+    EXPECT_EQ(link.pending(), 0u);
+}
+
+TEST(BusLinkTest, FetchOnEmptyFails) {
+    Kernel k;
+    Bus bus{k, "bus"};
+    BusLink<int> link{k, bus, "lnk"};
+    int v = 0;
+    EXPECT_FALSE(link.try_fetch(v));
+}
+
+// ---- ProcessingElement ----
+
+TEST(PeTest, AddTaskRunsRefinedLifecycle) {
+    Kernel k;
+    ProcessingElement pe{k, "PE0"};
+    bool ran = false;
+    rtos::Task* t = pe.add_task("worker", 1, [&] {
+        pe.os().time_wait(10_us);
+        ran = true;
+    });
+    pe.start();
+    k.run();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(t->state(), rtos::TaskState::Terminated);
+    EXPECT_EQ(k.now(), 10_us);
+}
+
+TEST(PeTest, PeriodicTaskHelper) {
+    Kernel k;
+    ProcessingElement pe{k, "PE0"};
+    int cycles = 0;
+    rtos::Task* t = pe.add_periodic_task(
+        "sampler", 1, 100_us, 10_us,
+        [&] {
+            pe.os().time_wait(10_us);
+            ++cycles;
+        },
+        5);
+    pe.start();
+    k.run();
+    EXPECT_EQ(cycles, 5);
+    EXPECT_EQ(t->stats().completions, 5u);
+    // Each cycle ends with task_endcycle, so the task terminates at the 5th
+    // release point (t = 5 * period).
+    EXPECT_EQ(k.now(), 500_us);
+}
+
+TEST(PeTest, IsrSignalsTaskThroughSemaphore) {
+    // The Fig. 3 bus-driver pattern through the PE convenience API.
+    Kernel k;
+    ProcessingElement pe{k, "PE0"};
+    Bus bus{k, "bus", Bus::Config{SimTime::zero(), SimTime::zero()}};
+    BusLink<int> link{k, bus, "ext"};
+    rtos::OsSemaphore sem{pe.os(), 0};
+    pe.attach_isr(link.irq(), [&] { sem.release(); });
+    SimTime data_at;
+    int data = 0;
+    pe.add_task("driver", 1, [&] {
+        sem.acquire();
+        EXPECT_TRUE(link.try_fetch(data));
+        data_at = k.now();
+    });
+    k.spawn("ext_pe", [&] {
+        k.waitfor(20_us);
+        link.post(55, [&](SimTime dt) { k.waitfor(dt); });
+    });
+    pe.start();
+    k.run();
+    EXPECT_EQ(data, 55);
+    EXPECT_EQ(data_at, 20_us);
+    EXPECT_EQ(pe.os().stats().isr_entries, 1u);
+}
+
+TEST(PeTest, TwoPesOverlapOneSerializes) {
+    Kernel k;
+    ProcessingElement pe0{k, "PE0"}, pe1{k, "PE1"};
+    pe0.add_task("a", 1, [&] { pe0.os().time_wait(40_us); });
+    pe0.add_task("b", 2, [&] { pe0.os().time_wait(40_us); });
+    pe1.add_task("c", 1, [&] { pe1.os().time_wait(60_us); });
+    pe0.start();
+    pe1.start();
+    k.run();
+    EXPECT_EQ(k.now(), 80_us);  // PE0 serialized to 80; PE1's 60 overlaps
+}
+
+// ---- InterruptController ----
+
+TEST(IntCtrlTest, SimultaneousIrqsServedByPriority) {
+    Kernel k;
+    rtos::RtosConfig cfg;
+    cfg.cpu_name = "PE0";
+    rtos::RtosModel os{k, cfg};
+    os.init();
+    InterruptController ctrl{k, os, "pic"};
+    InterruptLine slow{k, "slow"}, fast{k, "fast"};
+    std::vector<std::string> served;
+    ctrl.attach(slow, 5, [&] { served.push_back("slow"); });
+    ctrl.attach(fast, 1, [&] { served.push_back("fast"); });
+    k.spawn("device", [&] {
+        k.waitfor(1_us);
+        slow.raise();  // raised first...
+        fast.raise();  // ...but fast has higher priority
+    });
+    os.start();
+    k.run();
+    EXPECT_EQ(served, (std::vector<std::string>{"fast", "slow"}));
+    EXPECT_EQ(ctrl.dispatched(), 2u);
+}
+
+TEST(IntCtrlTest, MaskingDefersUntilUnmask) {
+    Kernel k;
+    rtos::RtosModel os{k};
+    os.init();
+    InterruptController ctrl{k, os, "pic"};
+    InterruptLine line{k, "uart"};
+    std::vector<SimTime> served_at;
+    ctrl.attach(line, 1, [&] { served_at.push_back(k.now()); });
+    ctrl.mask(line);
+    k.spawn("device", [&] {
+        k.waitfor(1_us);
+        line.raise();
+        line.raise();  // two raises latch while masked
+        k.waitfor(9_us);
+        ctrl.unmask(line);
+    });
+    os.start();
+    k.run();
+    ASSERT_EQ(served_at.size(), 2u);
+    EXPECT_EQ(served_at[0], 10_us);  // both served at unmask time
+    EXPECT_EQ(served_at[1], 10_us);
+    EXPECT_EQ(ctrl.pending(), 0u);
+}
+
+TEST(IntCtrlTest, HandlerWakesTaskThroughSemaphore) {
+    Kernel k;
+    rtos::RtosModel os{k};
+    os.init();
+    rtos::OsSemaphore sem{os, 0};
+    InterruptController ctrl{k, os, "pic"};
+    InterruptLine line{k, "dma"};
+    ctrl.attach(line, 0, [&] { sem.release(); });
+    SimTime woke;
+    rtos::Task* t = os.task_create("driver", rtos::TaskType::Aperiodic, {}, {}, 1);
+    k.spawn("driver", [&] {
+        os.task_activate(t);
+        sem.acquire();
+        woke = k.now();
+        os.task_terminate();
+    });
+    k.spawn("device", [&] {
+        k.waitfor(7_us);
+        line.raise();
+    });
+    os.start();
+    k.run();
+    EXPECT_EQ(woke, 7_us);
+    EXPECT_EQ(os.stats().isr_entries, 1u);
+}
+
+// ---- Fig. 3 example: the paper's Fig. 8 traces ----
+
+TEST(Fig3, UnscheduledModelOverlaps) {
+    trace::TraceRecorder rec;
+    const Fig3Result r = run_fig3_unscheduled(&rec);
+    // True concurrency: B2 and B3 delays overlap (paper Fig. 8(a)).
+    EXPECT_TRUE(rec.has_concurrent_execution("PE0"));
+    EXPECT_EQ(r.context_switches, 0u);
+    // B3 receives its bus data the instant the interrupt fires (t4 = 95 us).
+    EXPECT_EQ(r.bus_data_seen, 95_us);
+    EXPECT_EQ(r.b3_done, 115_us);
+    EXPECT_EQ(r.b2_done, 120_us);
+    EXPECT_EQ(r.pe_done, 120_us);
+}
+
+TEST(Fig3, ArchitectureModelSerializes) {
+    trace::TraceRecorder rec;
+    const Fig3Result r = run_fig3_architecture(&rec);
+    // Dynamic scheduling: tasks interleave, never overlap (paper Fig. 8(b)).
+    EXPECT_FALSE(rec.has_concurrent_execution("PE0"));
+    EXPECT_GT(r.context_switches, 0u);
+    // The interrupt at t4 = 95 us readies task_b3, but the switch is delayed
+    // to the end of task_b2's current delay step d6 (t4' = 110 us).
+    EXPECT_EQ(r.bus_data_seen, 110_us);
+    EXPECT_EQ(r.b3_done, 130_us);
+    EXPECT_EQ(r.b2_done, 160_us);
+    EXPECT_EQ(r.pe_done, 160_us);
+}
+
+TEST(Fig3, ArchitectureLaterThanUnscheduled) {
+    // Serialization can only delay completions relative to the (idealized)
+    // unscheduled model.
+    const Fig3Result u = run_fig3_unscheduled(nullptr);
+    const Fig3Result a = run_fig3_architecture(nullptr);
+    EXPECT_GE(a.b2_done, u.b2_done);
+    EXPECT_GE(a.b3_done, u.b3_done);
+    EXPECT_GE(a.pe_done, u.pe_done);
+}
+
+TEST(Fig3, FineGranularityTightensPreemption) {
+    trace::TraceRecorder rec;
+    rtos::RtosConfig cfg;
+    cfg.preemption_granularity = 1_us;
+    const Fig3Result r = run_fig3_architecture(&rec, Fig3Delays{}, cfg);
+    // With 1 us delay steps the switch happens at the first boundary after
+    // the interrupt (95 us) instead of the end of d6 (110 us).
+    EXPECT_EQ(r.bus_data_seen, 96_us);
+    EXPECT_FALSE(rec.has_concurrent_execution("PE0"));
+}
+
+TEST(Fig3, IrqRecordedInBothTraces) {
+    trace::TraceRecorder ru, ra;
+    (void)run_fig3_unscheduled(&ru);
+    (void)run_fig3_architecture(&ra);
+    ASSERT_EQ(ru.irq_times("ext").size(), 1u);
+    ASSERT_EQ(ra.irq_times("ext").size(), 1u);
+    EXPECT_EQ(ru.irq_times("ext")[0], 95_us);
+    EXPECT_EQ(ra.irq_times("ext")[0], 95_us);
+}
+
+TEST(Fig3, TotalWorkIsModelInvariant) {
+    // The sum of modeled computation is the same in both models; only its
+    // placement in time differs.
+    trace::TraceRecorder ru, ra;
+    (void)run_fig3_unscheduled(&ru);
+    (void)run_fig3_architecture(&ra);
+    const Fig3Delays d;
+    const SimTime b2_work = d.d5 + d.d6 + d.d7 + d.d8;
+    const SimTime b3_work = d.d1 + d.d2 + d.d3 + d.d4;
+    EXPECT_EQ(ru.busy_time("B2"), b2_work);
+    EXPECT_EQ(ru.busy_time("B3"), b3_work);
+    EXPECT_EQ(ra.busy_time("task_b2"), b2_work);
+    EXPECT_EQ(ra.busy_time("task_b3"), b3_work);
+}

@@ -1,0 +1,136 @@
+// Property sweep over the paper's Fig. 3 example: randomized delay sets and
+// preemption granularities must preserve the model-level invariants that the
+// specific Fig. 8 numbers instantiate.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "arch/fig3.hpp"
+#include "sim/time.hpp"
+#include "trace/trace.hpp"
+
+using namespace slm;
+using namespace slm::arch;
+using namespace slm::time_literals;
+
+namespace {
+
+Fig3Delays random_delays(std::uint32_t seed) {
+    std::mt19937 rng{seed};
+    const auto us = [&rng](unsigned lo, unsigned hi) {
+        return microseconds(lo + rng() % (hi - lo));
+    };
+    Fig3Delays d;
+    d.b1 = us(5, 20);
+    d.d1 = us(10, 40);
+    d.d2 = us(10, 40);
+    d.d3 = us(5, 30);
+    d.d4 = us(3, 15);
+    d.d5 = us(15, 50);
+    d.d6 = us(10, 40);
+    d.d7 = us(10, 35);
+    d.d8 = us(5, 20);
+    d.irq_at = us(40, 160);
+    return d;
+}
+
+SimTime total_work(const Fig3Delays& d) {
+    return d.b1 + d.d1 + d.d2 + d.d3 + d.d4 + d.d5 + d.d6 + d.d7 + d.d8;
+}
+
+SimTime max_step(const Fig3Delays& d) {
+    return std::max({d.b1, d.d1, d.d2, d.d3, d.d4, d.d5, d.d6, d.d7, d.d8});
+}
+
+}  // namespace
+
+class Fig3Sweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(Fig3Sweep, InvariantsAcrossDelaySets) {
+    const Fig3Delays d = random_delays(GetParam());
+
+    trace::TraceRecorder ru;
+    const Fig3Result u = run_fig3_unscheduled(&ru, d);
+    trace::TraceRecorder ra;
+    const Fig3Result a = run_fig3_architecture(&ra, d);
+
+    // Serialization: only the architecture model enforces it.
+    EXPECT_FALSE(ra.has_concurrent_execution("PE0"));
+
+    // Data can never be seen before the interrupt that delivers it.
+    EXPECT_GE(u.bus_data_seen, d.irq_at);
+    EXPECT_GE(a.bus_data_seen, d.irq_at);
+    // Serialization only delays observation.
+    EXPECT_GE(a.bus_data_seen, u.bus_data_seen);
+
+    // Completion ordering: the architecture model can only be later.
+    EXPECT_GE(a.b2_done, u.b2_done);
+    EXPECT_GE(a.b3_done, u.b3_done);
+    EXPECT_GE(a.pe_done, u.pe_done);
+
+    // Work conservation: the serialized makespan is bounded by total work
+    // (everything is computation; waits overlap with other tasks' steps).
+    EXPECT_LE(a.pe_done, total_work(d) + d.irq_at);
+
+    // Busy-time invariance between the models.
+    const SimTime b2_work = d.d5 + d.d6 + d.d7 + d.d8;
+    const SimTime b3_work = d.d1 + d.d2 + d.d3 + d.d4;
+    EXPECT_EQ(ru.busy_time("B2"), b2_work);
+    EXPECT_EQ(ra.busy_time("task_b2"), b2_work);
+    EXPECT_EQ(ru.busy_time("B3"), b3_work);
+    EXPECT_EQ(ra.busy_time("task_b3"), b3_work);
+
+    // Context switches only exist in the scheduled model.
+    EXPECT_EQ(u.context_switches, 0u);
+    EXPECT_GT(a.context_switches, 0u);
+}
+
+TEST_P(Fig3Sweep, DispatchLatencyBoundedByStepSize) {
+    // Once the interrupt fires and B3 (the highest-priority task) is
+    // runnable, the wait for the bus data is bounded by one delay step of
+    // whatever is running, plus B3's own remaining pre-wait work.
+    const Fig3Delays d = random_delays(GetParam());
+    const Fig3Result a = run_fig3_architecture(nullptr, d);
+    EXPECT_LE(a.bus_data_seen - d.irq_at, total_work(d));
+    // With fine-grained delay modeling the bound tightens to the chunk size
+    // whenever B3 was already blocked on the semaphore at irq time.
+    rtos::RtosConfig fine;
+    fine.preemption_granularity = 5_us;
+    const Fig3Result af = run_fig3_architecture(nullptr, d, fine);
+    EXPECT_LE(af.bus_data_seen, a.bus_data_seen);
+}
+
+TEST_P(Fig3Sweep, MakespanInvariantUnderGranularity) {
+    const Fig3Delays d = random_delays(GetParam());
+    const Fig3Result coarse = run_fig3_architecture(nullptr, d);
+    for (const SimTime g : {50_us, 10_us, 2_us}) {
+        rtos::RtosConfig cfg;
+        cfg.preemption_granularity = g;
+        const Fig3Result r = run_fig3_architecture(nullptr, d, cfg);
+        // All work must still complete, at the same instant: chopping delay
+        // steps redistributes interference but conserves total computation.
+        EXPECT_EQ(r.pe_done, coarse.pe_done) << "granularity " << g.to_string();
+        EXPECT_GE(r.bus_data_seen, d.irq_at);
+        EXPECT_LE(r.bus_data_seen, coarse.bus_data_seen);
+    }
+}
+
+TEST_P(Fig3Sweep, DeterministicPerDelaySet) {
+    const Fig3Delays d = random_delays(GetParam());
+    const Fig3Result r1 = run_fig3_architecture(nullptr, d);
+    const Fig3Result r2 = run_fig3_architecture(nullptr, d);
+    EXPECT_EQ(r1.pe_done, r2.pe_done);
+    EXPECT_EQ(r1.b2_done, r2.b2_done);
+    EXPECT_EQ(r1.b3_done, r2.b3_done);
+    EXPECT_EQ(r1.bus_data_seen, r2.bus_data_seen);
+    EXPECT_EQ(r1.context_switches, r2.context_switches);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fig3Sweep,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u, 77u, 88u, 99u,
+                                           111u),
+                         [](const ::testing::TestParamInfo<std::uint32_t>& info) {
+                             return "seed" + std::to_string(info.param);
+                         });

@@ -1,0 +1,733 @@
+#include "iss/assembler.hpp"
+#include "iss/cpu.hpp"
+#include "iss/guest_os.hpp"
+#include "iss/isa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/time.hpp"
+
+using namespace slm;
+using namespace slm::iss;
+using namespace slm::time_literals;
+
+// ---- ISA ----
+
+class EncodeRoundTrip : public ::testing::TestWithParam<Op> {};
+
+TEST_P(EncodeRoundTrip, EncodeDecodeIsIdentity) {
+    Instr i;
+    i.op = GetParam();
+    i.rd = 3;
+    i.ra = 7;
+    i.rb = 15;
+    i.imm = -123456;
+    EXPECT_EQ(decode(encode(i)), i);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, EncodeRoundTrip,
+                         ::testing::Values(Op::Nop, Op::Ldi, Op::Mov, Op::Add, Op::Sub,
+                                           Op::Mul, Op::Mac, Op::And, Op::Or, Op::Xor,
+                                           Op::Shl, Op::Shr, Op::Div, Op::Rem, Op::Addi,
+                                           Op::Ld, Op::St, Op::Beq, Op::Bne, Op::Blt,
+                                           Op::Bge, Op::Jmp, Op::Jal, Op::Jr, Op::Sys,
+                                           Op::Halt),
+                         [](const ::testing::TestParamInfo<Op>& info) {
+                             return to_string(info.param);
+                         });
+
+TEST(Isa, BadOpcodeDecodesToHalt) {
+    EXPECT_EQ(decode(0xFF00000000000000ull).op, Op::Halt);
+}
+
+TEST(Isa, CycleCostsAreModeled) {
+    EXPECT_EQ(cycle_cost(Op::Add), 1);
+    EXPECT_EQ(cycle_cost(Op::Mac), 4);
+    EXPECT_EQ(cycle_cost(Op::Ld), 3);
+    EXPECT_EQ(cycle_cost(Op::Beq), 2);
+    EXPECT_EQ(cycle_cost(Op::Sys), 10);
+}
+
+TEST(Isa, Disassemble) {
+    EXPECT_EQ(disassemble(Instr{Op::Addi, 1, 1, 0, -1}), "addi r1, r1, -1");
+    EXPECT_EQ(disassemble(Instr{Op::Mac, 3, 2, 2, 0}), "mac r3, r2, r2");
+    EXPECT_EQ(disassemble(Instr{Op::Halt, 0, 0, 0, 0}), "halt");
+}
+
+// ---- assembler ----
+
+TEST(Assembler, BasicProgram) {
+    const auto r = assemble(R"(
+        ; compute 10 + 32
+        ldi r1, 10
+        ldi r2, 0x20
+        add r3, r1, r2
+        halt
+    )");
+    ASSERT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors[0].message);
+    ASSERT_EQ(r.program.code.size(), 4u);
+    EXPECT_EQ(r.program.code[0], (Instr{Op::Ldi, 1, 0, 0, 10}));
+    EXPECT_EQ(r.program.code[1], (Instr{Op::Ldi, 2, 0, 0, 32}));
+    EXPECT_EQ(r.program.code[2], (Instr{Op::Add, 3, 1, 2, 0}));
+    EXPECT_EQ(r.program.code[3].op, Op::Halt);
+}
+
+TEST(Assembler, LabelsResolveForwardAndBack) {
+    const auto r = assemble(R"(
+        start:
+          ldi r1, 3
+        loop:
+          addi r1, r1, -1
+          bne r1, r0, loop
+          jmp end
+          nop
+        end:
+          halt
+    )");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.program.label("start"), 0);
+    EXPECT_EQ(r.program.label("loop"), 1);
+    EXPECT_EQ(r.program.label("end"), 5);
+    EXPECT_EQ(r.program.code[2].imm, 1);  // bne -> loop
+    EXPECT_EQ(r.program.code[3].imm, 5);  // jmp -> end
+}
+
+TEST(Assembler, RegisterAliases) {
+    const auto r = assemble("mov sp, lr\n");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.program.code[0], (Instr{Op::Mov, 14, 15, 0, 0}));
+}
+
+TEST(Assembler, StOperandOrder) {
+    const auto r = assemble("st r4, 8, r5\n");
+    ASSERT_TRUE(r.ok());
+    // st base, offset, src
+    EXPECT_EQ(r.program.code[0], (Instr{Op::St, 0, 4, 5, 8}));
+}
+
+TEST(Assembler, ErrorUnknownMnemonic) {
+    const auto r = assemble("frobnicate r1, r2\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.errors[0].message.find("unknown mnemonic"), std::string::npos);
+    EXPECT_EQ(r.errors[0].line, 1);
+}
+
+TEST(Assembler, ErrorBadRegister) {
+    const auto r = assemble("mov r1, r99\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.errors[0].message.find("bad register"), std::string::npos);
+}
+
+TEST(Assembler, ErrorOperandCount) {
+    const auto r = assemble("add r1, r2\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.errors[0].message.find("expects 3 operands"), std::string::npos);
+}
+
+TEST(Assembler, ErrorUndefinedLabel) {
+    const auto r = assemble("jmp nowhere\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.errors[0].message.find("undefined label"), std::string::npos);
+}
+
+TEST(Assembler, ErrorDuplicateLabel) {
+    const auto r = assemble("x:\nnop\nx:\nnop\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.errors[0].message.find("duplicate label"), std::string::npos);
+}
+
+TEST(Assembler, DisassembleReassembles) {
+    const auto first = assemble(R"(
+        ldi r1, 160
+        ldi r2, 0
+        loop:
+        mac r2, r1, r1
+        addi r1, r1, -1
+        bne r1, r0, loop
+        sys 5
+        halt
+    )");
+    ASSERT_TRUE(first.ok());
+    std::string listing;
+    for (const Instr& i : first.program.code) {
+        listing += disassemble(i) + "\n";
+    }
+    const auto second = assemble(listing);
+    ASSERT_TRUE(second.ok()) << listing;
+    EXPECT_EQ(first.program.code, second.program.code);
+}
+
+// ---- CPU ----
+
+namespace {
+Cpu make_cpu(const std::string& asm_text, std::size_t mem_words = 1024) {
+    const auto r = assemble(asm_text);
+    EXPECT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors[0].message);
+    return Cpu{r.program.code, mem_words};
+}
+}  // namespace
+
+TEST(CpuTest, ArithmeticAndHalt) {
+    Cpu cpu = make_cpu("ldi r1, 6\nldi r2, 7\nmul r3, r1, r2\nhalt\n");
+    const StepResult r = cpu.run(1000);
+    EXPECT_EQ(r.trap, Trap::Halt);
+    EXPECT_EQ(cpu.reg(3), 42);
+    EXPECT_EQ(cpu.retired(), 4u);
+}
+
+TEST(CpuTest, MacLoopComputesSumOfSquares) {
+    Cpu cpu = make_cpu(R"(
+        ldi r1, 5
+        ldi r2, 0
+        loop:
+        mac r2, r1, r1
+        addi r1, r1, -1
+        bne r1, r0, loop
+        halt
+    )");
+    (void)cpu.run(100000);
+    EXPECT_EQ(cpu.reg(2), 25 + 16 + 9 + 4 + 1);
+}
+
+TEST(CpuTest, LoadStore) {
+    Cpu cpu = make_cpu(R"(
+        ldi r1, 100
+        ldi r2, 77
+        st r1, 3, r2
+        ld r3, r1, 3
+        halt
+    )");
+    (void)cpu.run(1000);
+    EXPECT_EQ(cpu.load(103), 77);
+    EXPECT_EQ(cpu.reg(3), 77);
+}
+
+TEST(CpuTest, BranchesSignedComparison) {
+    Cpu cpu = make_cpu(R"(
+        ldi r1, -5
+        ldi r2, 3
+        blt r1, r2, less
+        ldi r3, 0
+        halt
+        less:
+        ldi r3, 1
+        halt
+    )");
+    (void)cpu.run(1000);
+    EXPECT_EQ(cpu.reg(3), 1);
+}
+
+TEST(CpuTest, JalAndJrImplementCalls) {
+    Cpu cpu = make_cpu(R"(
+        jal lr, func
+        halt
+        func:
+        ldi r5, 99
+        jr lr
+    )");
+    (void)cpu.run(1000);
+    EXPECT_EQ(cpu.reg(5), 99);
+    EXPECT_EQ(cpu.pc(), 1);  // halted at the instruction after the call
+}
+
+TEST(CpuTest, SysTrapsWithServiceNumber) {
+    Cpu cpu = make_cpu("ldi r1, 4\nsys 3\nhalt\n");
+    StepResult r = cpu.run(1000);
+    EXPECT_EQ(r.trap, Trap::Sys);
+    EXPECT_EQ(r.sys_no, 3);
+    // pc points past the SYS: resuming continues cleanly.
+    r = cpu.run(1000);
+    EXPECT_EQ(r.trap, Trap::Halt);
+}
+
+TEST(CpuTest, CyclesAccumulatePerCost) {
+    Cpu cpu = make_cpu("ldi r1, 1\nmac r2, r1, r1\nhalt\n");
+    (void)cpu.run(1000);
+    EXPECT_EQ(cpu.cycles(), 1u + 4u + 1u);
+}
+
+TEST(CpuTest, UntakenBranchIsCheaper) {
+    Cpu cpu1 = make_cpu("ldi r1, 1\nbeq r1, r0, 0\nhalt\n");  // untaken
+    (void)cpu1.run(1000);
+    Cpu cpu2 = make_cpu("ldi r1, 0\nbeq r1, r0, 2\nhalt\n");  // taken to halt
+    (void)cpu2.run(1000);
+    EXPECT_EQ(cpu1.cycles(), 1u + 1u + 1u);
+    EXPECT_EQ(cpu2.cycles(), 1u + 2u + 1u);
+}
+
+TEST(CpuTest, DivisionAndRemainder) {
+    Cpu cpu = make_cpu(R"(
+        ldi r1, -37
+        ldi r2, 5
+        div r3, r1, r2
+        rem r4, r1, r2
+        halt
+    )");
+    (void)cpu.run(1000);
+    EXPECT_EQ(cpu.reg(3), -7);  // C++ truncation semantics
+    EXPECT_EQ(cpu.reg(4), -2);
+}
+
+TEST(CpuTest, DivisionByZeroFaults) {
+    Cpu cpu = make_cpu("ldi r1, 9\nldi r2, 0\ndiv r3, r1, r2\nhalt\n");
+    const StepResult r = cpu.run(1000);
+    EXPECT_EQ(r.trap, Trap::Fault);
+    EXPECT_NE(cpu.fault_message().find("division by zero"), std::string::npos);
+}
+
+TEST(CpuTest, DivisionOverflowIsDefined) {
+    Cpu cpu = make_cpu(R"(
+        ldi r1, -2147483648
+        ldi r2, -1
+        div r3, r1, r2
+        rem r4, r1, r2
+        halt
+    )");
+    const StepResult r = cpu.run(1000);
+    EXPECT_EQ(r.trap, Trap::Halt);
+    EXPECT_EQ(cpu.reg(3), std::numeric_limits<std::int32_t>::min());
+    EXPECT_EQ(cpu.reg(4), 0);
+}
+
+TEST(CpuTest, MemoryFaultTraps) {
+    Cpu cpu = make_cpu("ldi r1, 100000\nld r2, r1, 0\nhalt\n", 1024);
+    const StepResult r = cpu.run(1000);
+    EXPECT_EQ(r.trap, Trap::Fault);
+    EXPECT_NE(cpu.fault_message().find("out of range"), std::string::npos);
+}
+
+TEST(CpuTest, PcFaultTraps) {
+    Cpu cpu = make_cpu("jmp 999\n");
+    const StepResult r = cpu.run(1000);
+    EXPECT_EQ(r.trap, Trap::Fault);
+}
+
+TEST(CpuTest, RunStopsAtCycleBudget) {
+    Cpu cpu = make_cpu(R"(
+        loop:
+        addi r1, r1, 1
+        jmp loop
+    )");
+    const StepResult r = cpu.run(100);
+    EXPECT_EQ(r.trap, Trap::None);
+    EXPECT_GE(static_cast<std::uint64_t>(r.cycles), 100u);
+}
+
+TEST(CpuTest, ContextSaveRestore) {
+    Cpu cpu = make_cpu("ldi r1, 11\nhalt\nldi r1, 22\nhalt\n");
+    (void)cpu.run(1000);
+    EXPECT_EQ(cpu.reg(1), 11);
+    Context snapshot = cpu.context();
+    Context other;
+    other.pc = 2;
+    cpu.load_context(other);
+    (void)cpu.run(1000);
+    EXPECT_EQ(cpu.reg(1), 22);
+    cpu.load_context(snapshot);
+    EXPECT_EQ(cpu.reg(1), 11);
+}
+
+// ---- GuestKernel ----
+
+namespace {
+/// Two tasks incrementing private memory cells with yields in between.
+const char* kYieldProgram = R"(
+    ; task A at 0: bump mem[0] three times, yielding after each
+    taskA:
+      ldi r1, 0
+    a_loop:
+      ld r2, r1, 0
+      addi r2, r2, 1
+      st r1, 0, r2
+      sys 1          ; yield
+      ldi r3, 3
+      ld r2, r1, 0
+      blt r2, r3, a_loop
+      sys 2          ; exit
+    taskB:
+      ldi r1, 1
+    b_loop:
+      ld r2, r1, 0
+      addi r2, r2, 1
+      st r1, 0, r2
+      sys 1
+      ldi r3, 3
+      ld r2, r1, 0
+      blt r2, r3, b_loop
+      sys 2
+)";
+}  // namespace
+
+TEST(GuestKernelTest, TasksRunAndExit) {
+    const auto prog = assemble(kYieldProgram);
+    ASSERT_TRUE(prog.ok());
+    Cpu cpu{prog.program.code};
+    GuestKernel gk{cpu};
+    gk.create_task("A", 5, prog.program.label("taskA"), 900);
+    gk.create_task("B", 5, prog.program.label("taskB"), 800);
+    while (!gk.all_exited()) {
+        ASSERT_GT(gk.run_slice(10000), 0u);
+    }
+    EXPECT_EQ(cpu.load(0), 3);
+    EXPECT_EQ(cpu.load(1), 3);
+    EXPECT_GT(gk.stats().context_switches, 2u);
+    EXPECT_GT(gk.stats().syscalls, 0u);
+}
+
+TEST(GuestKernelTest, PriorityRunsHighFirst) {
+    // Two instances of a pure-compute task; the higher-priority one (B) must
+    // finish first even though A was created first.
+    const auto prog = assemble(R"(
+        task:
+          ldi r1, 1000
+        loop:
+          addi r1, r1, -1
+          bne r1, r0, loop
+          ldi r1, 7          ; notify host: who finished
+          mov r2, r4
+          sys 5
+          sys 2
+    )");
+    ASSERT_TRUE(prog.ok());
+    Cpu cpu{prog.program.code};
+    GuestKernel gk{cpu};
+    GuestTask* a = gk.create_task("A", 5, prog.program.label("task"), 900);
+    GuestTask* b = gk.create_task("B", 1, prog.program.label("task"), 800);
+    a->ctx.regs[4] = 1;
+    b->ctx.regs[4] = 2;
+    std::vector<std::int32_t> finish_order;
+    gk.set_host_notify([&](std::int32_t, std::int32_t who) {
+        finish_order.push_back(who);
+    });
+    while (!gk.all_exited()) {
+        (void)gk.run_slice(100000);
+    }
+    ASSERT_EQ(finish_order.size(), 2u);
+    EXPECT_EQ(finish_order[0], 2);  // B (priority 1) first
+    EXPECT_EQ(finish_order[1], 1);
+}
+
+TEST(GuestKernelTest, SemaphoreBlocksAndHostPostWakes) {
+    const auto prog = assemble(R"(
+        task:
+          ldi r1, 9       ; sem id
+          sys 3           ; sem_wait -> blocks
+          ldi r1, 42
+          ldi r2, 0
+          sys 5           ; notify host
+          sys 2
+    )");
+    ASSERT_TRUE(prog.ok());
+    Cpu cpu{prog.program.code};
+    GuestKernel gk{cpu};
+    gk.sem_init(9, 0);
+    gk.create_task("T", 1, prog.program.label("task"), 900);
+    bool notified = false;
+    gk.set_host_notify([&](std::int32_t a, std::int32_t) { notified = (a == 42); });
+
+    (void)gk.run_slice(100000);
+    EXPECT_TRUE(gk.idle());  // blocked on the semaphore
+    EXPECT_FALSE(notified);
+
+    gk.sem_post_from_host(9);
+    while (!gk.all_exited()) {
+        (void)gk.run_slice(100000);
+    }
+    EXPECT_TRUE(notified);
+}
+
+TEST(GuestKernelTest, SemWaitConsumesAvailableToken) {
+    const auto prog = assemble("ldi r1, 2\nsys 3\nsys 2\n");
+    ASSERT_TRUE(prog.ok());
+    Cpu cpu{prog.program.code};
+    GuestKernel gk{cpu};
+    gk.sem_init(2, 1);
+    gk.create_task("T", 1, 0, 900);
+    while (!gk.all_exited()) {
+        ASSERT_GT(gk.run_slice(100000), 0u);
+    }
+}
+
+TEST(GuestKernelTest, KernelCyclesAreCharged) {
+    const auto prog = assemble("sys 1\nsys 2\n");
+    ASSERT_TRUE(prog.ok());
+    Cpu cpu{prog.program.code};
+    GuestKernelConfig cfg;
+    cfg.syscall_cycles = 100;
+    cfg.context_switch_cycles = 500;
+    GuestKernel gk{cpu, cfg};
+    gk.create_task("T", 1, 0, 900);
+    std::uint64_t total = 0;
+    while (!gk.all_exited()) {
+        total += gk.run_slice(100000);
+    }
+    EXPECT_GT(gk.stats().kernel_cycles, 0u);
+    EXPECT_GE(total, gk.stats().kernel_cycles);
+}
+
+TEST(GuestKernelTest, QuantumRotatesEqualPriorities) {
+    // Two equal-priority compute tasks notifying the host every lap. With a
+    // small quantum their notifications interleave; without, the first task
+    // runs all its laps before the second starts.
+    const auto prog = assemble(R"(
+        task:
+          ldi r9, 3
+        lap:
+          ldi r6, 200
+        burn:
+          addi r6, r6, -1
+          bne r6, r0, burn
+          ldi r1, 1
+          mov r2, r4     ; task id preloaded in r4
+          sys 5
+          addi r9, r9, -1
+          bne r9, r0, lap
+          sys 2
+    )");
+    ASSERT_TRUE(prog.ok());
+    const auto run = [&](std::uint64_t quantum) {
+        Cpu cpu{prog.program.code};
+        GuestKernelConfig cfg;
+        cfg.quantum_cycles = quantum;
+        GuestKernel gk{cpu, cfg};
+        GuestTask* a = gk.create_task("A", 5, prog.program.label("task"), 900);
+        GuestTask* b = gk.create_task("B", 5, prog.program.label("task"), 800);
+        a->ctx.regs[4] = 1;
+        b->ctx.regs[4] = 2;
+        std::vector<std::int32_t> order;
+        gk.set_host_notify([&](std::int32_t, std::int32_t who) {
+            order.push_back(who);
+        });
+        while (!gk.all_exited()) {
+            (void)gk.run_slice(100000);
+        }
+        return order;
+    };
+    EXPECT_EQ(run(0), (std::vector<std::int32_t>{1, 1, 1, 2, 2, 2}));
+    EXPECT_EQ(run(400), (std::vector<std::int32_t>{1, 2, 1, 2, 1, 2}));
+}
+
+TEST(GuestKernelTest, QuantumNeverRotatesToLowerPriority) {
+    const auto prog = assemble(R"(
+        task:
+          ldi r6, 2000
+        burn:
+          addi r6, r6, -1
+          bne r6, r0, burn
+          ldi r1, 1
+          mov r2, r4
+          sys 5
+          sys 2
+    )");
+    ASSERT_TRUE(prog.ok());
+    Cpu cpu{prog.program.code};
+    GuestKernelConfig cfg;
+    cfg.quantum_cycles = 100;  // expires many times during the burn
+    GuestKernel gk{cpu, cfg};
+    GuestTask* hi = gk.create_task("hi", 1, prog.program.label("task"), 900);
+    GuestTask* lo = gk.create_task("lo", 9, prog.program.label("task"), 800);
+    hi->ctx.regs[4] = 1;
+    lo->ctx.regs[4] = 2;
+    std::vector<std::int32_t> order;
+    gk.set_host_notify([&](std::int32_t, std::int32_t who) { order.push_back(who); });
+    while (!gk.all_exited()) {
+        (void)gk.run_slice(100000);
+    }
+    EXPECT_EQ(order, (std::vector<std::int32_t>{1, 2}));  // hi finishes first
+}
+
+TEST(GuestKernelTest, SleepBlocksForCycles) {
+    const auto prog = assemble(R"(
+        task:
+          ldi r1, 1
+          ldi r2, 0
+          sys 5          ; notify: start
+          ldi r1, 5000
+          sys 6          ; sleep 5000 cycles
+          ldi r1, 2
+          ldi r2, 0
+          sys 5          ; notify: woke
+          sys 2
+    )");
+    ASSERT_TRUE(prog.ok());
+    Cpu cpu{prog.program.code};
+    GuestKernel gk{cpu};
+    gk.create_task("T", 1, prog.program.label("task"), 900);
+    std::uint64_t start_cycles = 0, wake_cycles = 0;
+    gk.set_host_notify([&](std::int32_t code, std::int32_t) {
+        if (code == 1) {
+            start_cycles = gk.now_cycles();
+        } else {
+            wake_cycles = gk.now_cycles();
+        }
+    });
+    while (!gk.all_exited()) {
+        if (gk.idle() && gk.has_sleepers()) {
+            gk.skip_idle_cycles(gk.cycles_until_wake());
+        }
+        (void)gk.run_slice(100000);
+    }
+    EXPECT_GE(wake_cycles - start_cycles, 5000u);
+    EXPECT_LT(wake_cycles - start_cycles, 5600u);  // + syscall/dispatch overhead
+}
+
+TEST(GuestKernelTest, SleepersWakeInDeadlineOrder) {
+    const auto prog = assemble(R"(
+        task:
+          mov r1, r4     ; per-task sleep length preloaded in r4
+          sys 6
+          ldi r1, 3
+          mov r2, r5     ; per-task id in r5
+          sys 5
+          sys 2
+    )");
+    ASSERT_TRUE(prog.ok());
+    Cpu cpu{prog.program.code};
+    GuestKernel gk{cpu};
+    GuestTask* a = gk.create_task("A", 1, prog.program.label("task"), 900);
+    GuestTask* b = gk.create_task("B", 2, prog.program.label("task"), 800);
+    a->ctx.regs[4] = 9000;  // A sleeps longer
+    a->ctx.regs[5] = 1;
+    b->ctx.regs[4] = 2000;
+    b->ctx.regs[5] = 2;
+    std::vector<std::int32_t> order;
+    gk.set_host_notify([&](std::int32_t, std::int32_t who) { order.push_back(who); });
+    while (!gk.all_exited()) {
+        if (gk.idle() && gk.has_sleepers()) {
+            gk.skip_idle_cycles(gk.cycles_until_wake());
+        }
+        (void)gk.run_slice(100000);
+    }
+    EXPECT_EQ(order, (std::vector<std::int32_t>{2, 1}));  // shorter sleep first
+}
+
+// ---- IssPe: SLDL integration ----
+
+TEST(IssPeTest, ExecutionAdvancesSimulatedTime) {
+    // 1000-iteration countdown: 1 (ldi) + 1000*(1 addi + 2/1 bne) + exit.
+    const auto prog = assemble(R"(
+        ldi r1, 1000
+        loop:
+        addi r1, r1, -1
+        bne r1, r0, loop
+        sys 2
+    )");
+    ASSERT_TRUE(prog.ok());
+    Cpu cpu{prog.program.code};
+    GuestKernel gk{cpu};
+    gk.create_task("T", 1, 0, 900);
+    sim::Kernel k;
+    IssPe::Config cfg;
+    cfg.cycle_time = 10_ns;
+    IssPe pe{k, "iss0", cpu, gk, cfg};
+    k.run();
+    EXPECT_TRUE(gk.all_exited());
+    // cycles: ldi 1 + 1000 * (addi 1 + bne) where bne is 2 taken / 1 untaken,
+    // + sys 10 + syscall overhead 50 + initial dispatch 180.
+    const std::uint64_t cycles = 1 + 999 * 3 + 2 + 10 + 50 + 180;
+    EXPECT_EQ(k.now(), nanoseconds(cycles * 10));
+    EXPECT_EQ(pe.busy_time(), k.now());
+}
+
+TEST(IssPeTest, IdlePeWakesOnIrq) {
+    const auto prog = assemble(R"(
+        ldi r1, 3
+        sys 3      ; wait on sem 3
+        ldi r1, 1
+        ldi r2, 0
+        sys 5      ; host notify
+        sys 2
+    )");
+    ASSERT_TRUE(prog.ok());
+    Cpu cpu{prog.program.code};
+    GuestKernel gk{cpu};
+    gk.sem_init(3, 0);
+    gk.create_task("driver", 1, 0, 900);
+    sim::Kernel k;
+    IssPe pe{k, "iss0", cpu, gk, IssPe::Config{10_ns, 2000}};
+    SimTime notified_at;
+    gk.set_host_notify([&](std::int32_t, std::int32_t) { notified_at = k.now(); });
+    k.spawn("device", [&] {
+        k.waitfor(50_us);
+        pe.post_irq(3);
+    });
+    k.run();
+    EXPECT_TRUE(gk.all_exited());
+    // Woken at 50 us + a few hundred cycles of kernel/task work.
+    EXPECT_GE(notified_at, 50_us);
+    EXPECT_LT(notified_at, 60_us);
+}
+
+TEST(IssPeTest, PeriodicGuestTaskViaSleep) {
+    // A "blinky" guest task: notify the host, then sleep 100k cycles (1 ms at
+    // 10 ns/cycle). The simulated notification times must advance by ~1 ms.
+    const auto prog = assemble(R"(
+        task:
+          ldi r9, 4
+        loop:
+          ldi r1, 1
+          mov r2, r9
+          sys 5
+          ldi r1, 100000
+          sys 6
+          addi r9, r9, -1
+          bne r9, r0, loop
+          sys 2
+    )");
+    ASSERT_TRUE(prog.ok());
+    Cpu cpu{prog.program.code};
+    GuestKernel gk{cpu};
+    gk.create_task("blinky", 1, prog.program.label("task"), 900);
+    sim::Kernel k;
+    IssPe pe{k, "iss0", cpu, gk, IssPe::Config{10_ns, 2000}};
+    std::vector<SimTime> ticks;
+    gk.set_host_notify([&](std::int32_t, std::int32_t) { ticks.push_back(k.now()); });
+    k.run();
+    EXPECT_TRUE(gk.all_exited());
+    ASSERT_EQ(ticks.size(), 4u);
+    for (std::size_t i = 1; i < ticks.size(); ++i) {
+        const SimTime gap = ticks[i] - ticks[i - 1];
+        EXPECT_GE(gap, 1_ms);
+        EXPECT_LT(gap, 1_ms + 50_us) << "tick " << i;  // + slice quantization
+    }
+}
+
+TEST(IssPeTest, IrqWakesSleepingSystemEarly) {
+    // While the only ready work is a long guest sleep, an interrupt must be
+    // served without waiting for the sleep deadline.
+    const auto prog = assemble(R"(
+        sleeper:
+          ldi r1, 1000000  ; 10 ms at 10 ns/cycle
+          sys 6
+          sys 2
+        driver:
+          ldi r1, 7
+          sys 3            ; wait on sem 7
+          ldi r1, 9
+          ldi r2, 0
+          sys 5            ; notify host
+          sys 2
+    )");
+    ASSERT_TRUE(prog.ok());
+    Cpu cpu{prog.program.code};
+    GuestKernel gk{cpu};
+    gk.sem_init(7, 0);
+    gk.create_task("sleeper", 5, prog.program.label("sleeper"), 900);
+    gk.create_task("driver", 1, prog.program.label("driver"), 800);
+    sim::Kernel k;
+    IssPe pe{k, "iss0", cpu, gk, IssPe::Config{10_ns, 2000}};
+    SimTime notified_at;
+    gk.set_host_notify([&](std::int32_t, std::int32_t) { notified_at = k.now(); });
+    k.spawn("device", [&] {
+        k.waitfor(2_ms);  // well before the sleeper's 10 ms deadline
+        pe.post_irq(7);
+    });
+    k.run();
+    EXPECT_TRUE(gk.all_exited());
+    EXPECT_GE(notified_at, 2_ms);
+    EXPECT_LT(notified_at, 2_ms + 100_us);
+}

@@ -1,0 +1,401 @@
+#include "refine/refiner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "refine/lexer.hpp"
+#include "refine/vocoder_spec.hpp"
+
+using namespace slm::refine;
+
+// ---- Lexer ----
+
+TEST(Lexer, TokenizesKeywordsIdentsNumbers) {
+    Lexer lex{"behavior B2() { waitfor(500); }"};
+    const auto toks = lex.run();
+    ASSERT_TRUE(lex.errors().empty());
+    ASSERT_GE(toks.size(), 10u);
+    EXPECT_TRUE(toks[0].is_kw("behavior"));
+    EXPECT_EQ(toks[1].kind, TokKind::Ident);
+    EXPECT_EQ(toks[1].text, "B2");
+    EXPECT_TRUE(toks[2].is_punct("("));
+    EXPECT_TRUE(toks[5].is_kw("waitfor"));
+    EXPECT_EQ(toks[7].kind, TokKind::Number);
+    EXPECT_EQ(toks[7].text, "500");
+}
+
+TEST(Lexer, TracksLineNumbers) {
+    Lexer lex{"a\nb\n\nc"};
+    const auto toks = lex.run();
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[1].line, 2);
+    EXPECT_EQ(toks[2].line, 4);
+}
+
+TEST(Lexer, CommentsAreTokens) {
+    Lexer lex{"x // line comment\n/* block\ncomment */ y"};
+    const auto toks = lex.run();
+    ASSERT_EQ(toks.size(), 5u);  // x, comment, comment, y, eof
+    EXPECT_EQ(toks[1].kind, TokKind::Comment);
+    EXPECT_EQ(toks[2].kind, TokKind::Comment);
+    EXPECT_EQ(toks[3].text, "y");
+}
+
+TEST(Lexer, StringsWithEscapes) {
+    Lexer lex{R"(s = "hello \"world\"";)"};
+    const auto toks = lex.run();
+    ASSERT_TRUE(lex.errors().empty());
+    EXPECT_EQ(toks[2].kind, TokKind::String);
+    EXPECT_EQ(toks[2].text, R"("hello \"world\"")");
+}
+
+TEST(Lexer, UnterminatedStringReported) {
+    Lexer lex{"\"oops"};
+    (void)lex.run();
+    ASSERT_EQ(lex.errors().size(), 1u);
+    EXPECT_NE(lex.errors()[0].message.find("unterminated string"), std::string::npos);
+}
+
+TEST(Lexer, UnterminatedCommentReported) {
+    Lexer lex{"/* oops"};
+    (void)lex.run();
+    ASSERT_EQ(lex.errors().size(), 1u);
+}
+
+TEST(Lexer, MultiCharPunct) {
+    Lexer lex{"a == b && c != d"};
+    const auto toks = lex.run();
+    EXPECT_EQ(toks[1].text, "==");
+    EXPECT_EQ(toks[3].text, "&&");
+    EXPECT_EQ(toks[5].text, "!=");
+}
+
+TEST(Lexer, OffsetsIndexOriginalSource) {
+    const std::string src = "behavior  Foo";
+    Lexer lex{src};
+    const auto toks = lex.run();
+    EXPECT_EQ(src.substr(toks[1].offset, toks[1].text.size()), "Foo");
+}
+
+// ---- apply_edits ----
+
+TEST(ApplyEdits, ReplacesAndInserts) {
+    std::vector<Edit> edits;
+    edits.push_back({4, 9, "world"});
+    edits.push_back({0, 0, ">> "});
+    EXPECT_EQ(apply_edits("abc hello def", std::move(edits)), ">> abc world def");
+}
+
+TEST(ApplyEdits, EmptyEditsReturnOriginal) {
+    EXPECT_EQ(apply_edits("unchanged", {}), "unchanged");
+}
+
+// ---- Task refinement (paper Fig. 5) ----
+
+TEST(Refine, TaskRefinementMatchesFig5) {
+    const std::string spec =
+        "behavior B2() {\n"
+        "  void main(void) {\n"
+        "    waitfor(500);\n"
+        "  }\n"
+        "};\n";
+    RefineConfig cfg;
+    cfg.tasks["B2"] = TaskSpec{"APERIODIC", 0, 500};
+    const RefineResult r = Refiner{cfg}.refine(spec);
+    ASSERT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors[0]);
+    // All the Fig. 5(b) ingredients:
+    EXPECT_NE(r.output.find("behavior B2(RTOS os)"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("proc me;"), std::string::npos);
+    EXPECT_NE(r.output.find("me = os.task_create(\"B2\", APERIODIC, 0, 500);"),
+              std::string::npos);
+    EXPECT_NE(r.output.find("os.task_activate(me);"), std::string::npos);
+    EXPECT_NE(r.output.find("os.time_wait(500);"), std::string::npos);
+    EXPECT_NE(r.output.find("os.task_terminate();"), std::string::npos);
+    EXPECT_EQ(r.output.find("waitfor"), std::string::npos);
+}
+
+TEST(Refine, VoidParamListReplaced) {
+    const std::string spec =
+        "behavior B(void) {\n  void main(void) { waitfor(1); }\n};\n";
+    RefineConfig cfg;
+    cfg.tasks["B"] = TaskSpec{};
+    const RefineResult r = Refiner{cfg}.refine(spec);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NE(r.output.find("behavior B(RTOS os)"), std::string::npos) << r.output;
+}
+
+TEST(Refine, ExistingParamsKeepPosition) {
+    const std::string spec =
+        "behavior B(c_queue q) {\n  void main(void) { waitfor(1); }\n};\n";
+    RefineConfig cfg;
+    cfg.tasks["B"] = TaskSpec{};
+    const RefineResult r = Refiner{cfg}.refine(spec);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NE(r.output.find("behavior B(RTOS os, c_queue q)"), std::string::npos)
+        << r.output;
+}
+
+TEST(Refine, BareWaitforForm) {
+    const std::string spec =
+        "behavior B() {\n  void main(void) { waitfor 250; }\n};\n";
+    RefineConfig cfg;
+    cfg.tasks["B"] = TaskSpec{};
+    const RefineResult r = Refiner{cfg}.refine(spec);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NE(r.output.find("os.time_wait( 250);"), std::string::npos) << r.output;
+}
+
+TEST(Refine, PeriodicTaskCreateArguments) {
+    const std::string spec =
+        "behavior P() {\n  void main(void) { waitfor(10); }\n};\n";
+    RefineConfig cfg;
+    cfg.tasks["P"] = TaskSpec{"PERIODIC", 20000, 5000};
+    const RefineResult r = Refiner{cfg}.refine(spec);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NE(r.output.find("os.task_create(\"P\", PERIODIC, 20000, 5000);"),
+              std::string::npos);
+}
+
+// ---- Task creation refinement (paper Fig. 6) ----
+
+TEST(Refine, ParRefinementMatchesFig6) {
+    const std::string spec =
+        "behavior Top() {\n"
+        "  B2 b2;\n"
+        "  B3 b3;\n"
+        "  void main(void) {\n"
+        "    par {\n"
+        "      b2.main();\n"
+        "      b3.main();\n"
+        "    }\n"
+        "  }\n"
+        "};\n"
+        "behavior B2() { void main(void) { waitfor(1); } };\n"
+        "behavior B3() { void main(void) { waitfor(2); } };\n";
+    RefineConfig cfg;
+    cfg.tasks["Top"] = TaskSpec{};
+    cfg.tasks["B2"] = TaskSpec{};
+    cfg.tasks["B3"] = TaskSpec{};
+    const RefineResult r = Refiner{cfg}.refine(spec);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NE(r.output.find("b2.init();"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("b3.init();"), std::string::npos);
+    EXPECT_NE(r.output.find("os.par_start();"), std::string::npos);
+    EXPECT_NE(r.output.find("os.par_end();"), std::string::npos);
+    // Ordering: init calls, then par_start, then the par block, then par_end.
+    EXPECT_LT(r.output.find("b2.init();"), r.output.find("os.par_start();"));
+    EXPECT_LT(r.output.find("os.par_start();"), r.output.find("par {"));
+    EXPECT_LT(r.output.find("b3.main();"), r.output.find("os.par_end();"));
+    // Instances of refined behaviors receive the os handle.
+    EXPECT_NE(r.output.find("B2 b2(os);"), std::string::npos);
+    EXPECT_NE(r.output.find("B3 b3(os);"), std::string::npos);
+}
+
+// ---- Synchronization refinement (paper Fig. 7) ----
+
+TEST(Refine, ChannelRefinementMatchesFig7) {
+    const std::string spec =
+        "channel c_queue() {\n"
+        "  event erdy, eack;\n"
+        "  void send(int d) {\n"
+        "    notify erdy;\n"
+        "    wait(eack);\n"
+        "  }\n"
+        "};\n";
+    RefineConfig cfg;
+    const RefineResult r = Refiner{cfg}.refine(spec);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NE(r.output.find("channel c_queue(RTOS os)"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("evt erdy, eack;"), std::string::npos);
+    EXPECT_NE(r.output.find("os.event_notify( erdy);"), std::string::npos);
+    EXPECT_NE(r.output.find("os.event_wait(eack);"), std::string::npos);
+    EXPECT_EQ(r.output.find("event "), std::string::npos);
+}
+
+TEST(Refine, ChannelRefinementCanBeDisabled) {
+    const std::string spec =
+        "channel c() { event e; void f(void) { notify e; } };\n";
+    RefineConfig cfg;
+    cfg.refine_channels = false;
+    const RefineResult r = Refiner{cfg}.refine(spec);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.output, spec);
+    EXPECT_EQ(r.report.edit_count, 0u);
+}
+
+TEST(Refine, OsOwnerGetsRtosInstance) {
+    const std::string spec =
+        "behavior Pe() {\n"
+        "  Worker w;\n"
+        "  void main(void) {\n"
+        "    w.main();\n"
+        "  }\n"
+        "};\n"
+        "behavior Worker() { void main(void) { waitfor(5); } };\n";
+    RefineConfig cfg;
+    cfg.os_owner = "Pe";
+    cfg.tasks["Worker"] = TaskSpec{};
+    const RefineResult r = Refiner{cfg}.refine(spec);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NE(r.output.find("RTOS os;"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("Worker w(os);"), std::string::npos);
+    // The owner itself is not a task: no activate/terminate in Pe.
+    EXPECT_EQ(r.output.find("Pe\", APERIODIC"), std::string::npos);
+}
+
+TEST(Refine, PureComputationSubBehaviorUntouched) {
+    // Most lines of a realistic model are algorithm bodies that never touch
+    // SLDL services; the refiner must leave them (and their instantiations)
+    // alone — this is what keeps the footprint at the paper's ~1% scale.
+    const std::string spec =
+        "behavior Fir() {\n"
+        "  int acc;\n"
+        "  void main(void) {\n"
+        "    acc = acc + 1;\n"
+        "  }\n"
+        "};\n"
+        "behavior Task1() {\n"
+        "  Fir fir;\n"
+        "  void main(void) {\n"
+        "    fir.main();\n"
+        "    waitfor(10);\n"
+        "  }\n"
+        "};\n";
+    RefineConfig cfg;
+    cfg.tasks["Task1"] = TaskSpec{};
+    const RefineResult r = Refiner{cfg}.refine(spec);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NE(r.output.find("behavior Fir() {"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("Fir fir;"), std::string::npos);
+}
+
+TEST(Refine, DelayUsingSubBehaviorGetsOsHandle) {
+    const std::string spec =
+        "behavior Stage() {\n"
+        "  void main(void) {\n"
+        "    waitfor(5);\n"
+        "  }\n"
+        "};\n"
+        "behavior Task1() {\n"
+        "  Stage st;\n"
+        "  void main(void) {\n"
+        "    st.main();\n"
+        "  }\n"
+        "};\n";
+    RefineConfig cfg;
+    cfg.tasks["Task1"] = TaskSpec{};
+    const RefineResult r = Refiner{cfg}.refine(spec);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NE(r.output.find("behavior Stage(RTOS os)"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("Stage st(os);"), std::string::npos);
+    EXPECT_NE(r.output.find("os.time_wait(5);"), std::string::npos);
+}
+
+TEST(Refine, InterfaceDeclarationsPassThrough) {
+    // Interface declarations (method signatures only) are not behaviors or
+    // channels; the refiner must leave them byte-identical.
+    const std::string spec =
+        "interface i_sender {\n"
+        "  void send(int d);\n"
+        "};\n"
+        "channel c(void) implements i_sender {\n"
+        "  event e;\n"
+        "  void send(int d) { notify e; }\n"
+        "};\n";
+    RefineConfig cfg;
+    const RefineResult r = Refiner{cfg}.refine(spec);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NE(r.output.find("interface i_sender {\n  void send(int d);\n};"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("channel c(RTOS os) implements i_sender"),
+              std::string::npos);
+}
+
+// ---- error handling ----
+
+TEST(Refine, MissingTaskBehaviorIsAnError) {
+    RefineConfig cfg;
+    cfg.tasks["Ghost"] = TaskSpec{};
+    const RefineResult r = Refiner{cfg}.refine("behavior Real() { };\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.errors[0].find("Ghost"), std::string::npos);
+}
+
+TEST(Refine, UnbalancedBracesReported) {
+    RefineConfig cfg;
+    const RefineResult r = Refiner{cfg}.refine("channel c() { event e;\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.errors[0].find("unmatched"), std::string::npos);
+}
+
+TEST(Refine, EditsNeverLandInComments) {
+    const std::string spec =
+        "behavior B() {\n"
+        "  // waitfor(999); stays a comment\n"
+        "  void main(void) { waitfor(1); }\n"
+        "};\n";
+    RefineConfig cfg;
+    cfg.tasks["B"] = TaskSpec{};
+    const RefineResult r = Refiner{cfg}.refine(spec);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NE(r.output.find("// waitfor(999); stays a comment"), std::string::npos);
+    EXPECT_NE(r.output.find("os.time_wait(1);"), std::string::npos);
+}
+
+// ---- metrics (the paper's "104 lines, <1%" claim shape) ----
+
+TEST(Refine, ReportCountsLines) {
+    const std::string spec =
+        "behavior B2() {\n"
+        "  void main(void) {\n"
+        "    waitfor(500);\n"
+        "  }\n"
+        "};\n";
+    RefineConfig cfg;
+    cfg.tasks["B2"] = TaskSpec{"APERIODIC", 0, 500};
+    const RefineResult r = Refiner{cfg}.refine(spec);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.report.lines_total, 5);
+    EXPECT_GT(r.report.lines_changed, 0);
+    EXPECT_GT(r.report.lines_added, 0);
+    EXPECT_GT(r.report.edit_count, 0u);
+    EXPECT_FALSE(r.report.notes.empty());
+}
+
+TEST(Refine, VocoderSpecRefinesCleanly) {
+    RefineConfig cfg;
+    cfg.os_owner = "DspPe";
+    cfg.tasks["Coder"] = TaskSpec{"APERIODIC", 0, 6470};
+    cfg.tasks["Decoder"] = TaskSpec{"APERIODIC", 0, 1800};
+    cfg.tasks["BusDriver"] = TaskSpec{"APERIODIC", 0, 40};
+    const RefineResult r = Refiner{cfg}.refine(kVocoderSpec);
+    ASSERT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors[0]);
+    // The absolute refinement effort matches the paper's scale (104 touched
+    // lines on the vocoder). The percentage is naturally higher here because
+    // our embedded spec is pure structure, while the paper's 13.5 kLoC model
+    // is dominated by untouched algorithm bodies — bench_refinement measures
+    // the percentage against a realistically sized model.
+    EXPECT_GT(r.report.lines_total, 150);
+    EXPECT_GT(r.report.lines_touched(), 0);
+    EXPECT_LT(r.report.lines_touched(), 120);
+    // Key transforms present:
+    EXPECT_NE(r.output.find("os.task_create(\"Coder\""), std::string::npos);
+    EXPECT_NE(r.output.find("os.par_start();"), std::string::npos);
+    EXPECT_NE(r.output.find("evt erdy;"), std::string::npos);
+    EXPECT_EQ(r.output.find("waitfor"), std::string::npos);
+}
+
+TEST(Refine, RefinedVocoderLexesAgain) {
+    RefineConfig cfg;
+    cfg.os_owner = "DspPe";
+    cfg.tasks["Coder"] = TaskSpec{};
+    cfg.tasks["Decoder"] = TaskSpec{};
+    cfg.tasks["BusDriver"] = TaskSpec{};
+    const RefineResult r = Refiner{cfg}.refine(kVocoderSpec);
+    ASSERT_TRUE(r.ok());
+    Lexer relex{r.output};
+    (void)relex.run();
+    EXPECT_TRUE(relex.errors().empty());
+}

@@ -1,0 +1,460 @@
+// Extended RTOS services: timeouts and dynamic priorities. These model the
+// "key features typically available in any RTOS" beyond the paper's minimal
+// Fig. 4 interface (natural extensions when mapping onto QNX/VxWorks APIs).
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rtos/os_channels.hpp"
+#include "rtos/rtos.hpp"
+#include "sim/kernel.hpp"
+#include "sim/time.hpp"
+
+using namespace slm;
+using namespace slm::sim;
+using namespace slm::rtos;
+using namespace slm::time_literals;
+
+namespace {
+
+Task* add_task(Kernel& k, RtosModel& os, const std::string& name, int prio,
+               std::function<void(Task*)> body) {
+    Task* t = os.task_create(name, TaskType::Aperiodic, {}, {}, prio);
+    k.spawn(name, [&os, t, body = std::move(body)] {
+        os.task_activate(t);
+        body(t);
+        os.task_terminate();
+    });
+    return t;
+}
+
+void add_isr(Kernel& k, RtosModel& os, const std::string& name, SimTime at,
+             std::function<void()> isr_body) {
+    k.spawn(name, [&k, &os, name, at, isr_body = std::move(isr_body)] {
+        k.waitfor(at);
+        os.isr_enter(name);
+        isr_body();
+        os.interrupt_return();
+    });
+}
+
+}  // namespace
+
+// ---- kernel-level wait_timeout ----
+
+TEST(WaitTimeout, EventArrivesFirst) {
+    Kernel k;
+    Event e{k, "e"};
+    bool got = false;
+    SimTime at;
+    k.spawn("w", [&] {
+        got = k.wait_timeout(e, 100_us);
+        at = k.now();
+    });
+    k.spawn("n", [&] {
+        k.waitfor(30_us);
+        k.notify(e);
+    });
+    k.run();
+    EXPECT_TRUE(got);
+    EXPECT_EQ(at, 30_us);
+}
+
+TEST(WaitTimeout, TimeoutFires) {
+    Kernel k;
+    Event e{k, "never"};
+    bool got = true;
+    SimTime at;
+    k.spawn("w", [&] {
+        got = k.wait_timeout(e, 100_us);
+        at = k.now();
+    });
+    k.run();
+    EXPECT_FALSE(got);
+    EXPECT_EQ(at, 100_us);
+    EXPECT_EQ(e.waiter_count(), 0u);  // waiter removed on timeout
+}
+
+TEST(WaitTimeout, LateNotifyDoesNotWakeTimedOutWaiter) {
+    Kernel k;
+    Event e{k, "e"};
+    int wakes = 0;
+    k.spawn("w", [&] {
+        (void)k.wait_timeout(e, 10_us);
+        ++wakes;
+    });
+    k.spawn("n", [&] {
+        k.waitfor(50_us);
+        k.notify(e);  // nobody is waiting anymore
+    });
+    k.run();
+    EXPECT_EQ(wakes, 1);
+}
+
+TEST(WaitTimeout, RepeatedTimeoutsAreIndependent) {
+    Kernel k;
+    Event e{k, "e"};
+    std::vector<SimTime> at;
+    k.spawn("w", [&] {
+        for (int i = 0; i < 3; ++i) {
+            EXPECT_FALSE(k.wait_timeout(e, 10_us));
+            at.push_back(k.now());
+        }
+    });
+    k.run();
+    EXPECT_EQ(at, (std::vector<SimTime>{10_us, 20_us, 30_us}));
+}
+
+TEST(WaitTimeout, NotifyCancelsPendingTimeout) {
+    // After the event wakes the waiter, the stale timeout entry must not
+    // disturb a later wait.
+    Kernel k;
+    Event e{k, "e"};
+    bool second_wait_timed_out = false;
+    k.spawn("w", [&] {
+        EXPECT_TRUE(k.wait_timeout(e, 100_us));  // notified at 10 us
+        k.wait(e);                               // plain wait: notified at 200 us
+        second_wait_timed_out = false;
+    });
+    k.spawn("n", [&] {
+        k.waitfor(10_us);
+        k.notify(e);
+        k.waitfor(190_us);  // past the stale 110 us timeout
+        k.notify(e);
+    });
+    k.run();
+    EXPECT_TRUE(k.blocked_processes().empty());
+    EXPECT_FALSE(second_wait_timed_out);
+}
+
+// ---- RTOS event_wait_timeout ----
+
+TEST(RtosTimeout, EventWaitTimesOut) {
+    Kernel k;
+    RtosModel os{k};
+    OsEvent* e = os.event_new("never");
+    bool got = true;
+    SimTime at;
+    add_task(k, os, "t", 1, [&](Task*) {
+        got = os.event_wait_timeout(e, 250_us);
+        at = k.now();
+    });
+    os.start();
+    k.run();
+    EXPECT_FALSE(got);
+    EXPECT_EQ(at, 250_us);
+    EXPECT_EQ(e->waiter_count(), 0u);
+}
+
+TEST(RtosTimeout, EventWaitNotifiedInTime) {
+    Kernel k;
+    RtosModel os{k};
+    OsEvent* e = os.event_new("e");
+    bool got = false;
+    SimTime at;
+    add_task(k, os, "t", 1, [&](Task*) {
+        got = os.event_wait_timeout(e, 1_ms);
+        at = k.now();
+    });
+    add_isr(k, os, "irq", 40_us, [&] { os.event_notify(e); });
+    os.start();
+    k.run();
+    EXPECT_TRUE(got);
+    EXPECT_EQ(at, 40_us);
+}
+
+TEST(RtosTimeout, TimeoutClockStartsAtTheCall) {
+    // The low-priority task cannot even issue its wait before the busy task
+    // releases the CPU (at 200 us) — so its 50 us timeout expires at 250 us.
+    // The model correctly exposes that "timeout" budgets start at the syscall,
+    // which is itself subject to scheduling.
+    Kernel k;
+    RtosModel os{k};
+    OsEvent* e = os.event_new("never");
+    SimTime resumed;
+    add_task(k, os, "low", 9, [&](Task*) {
+        EXPECT_FALSE(os.event_wait_timeout(e, 50_us));
+        resumed = k.now();
+    });
+    add_task(k, os, "busy", 1, [&](Task*) {
+        os.time_wait(100_us);
+        os.time_wait(100_us);
+    });
+    os.start();
+    k.run();
+    EXPECT_EQ(resumed, 250_us);
+}
+
+TEST(RtosTimeout, TimedOutTaskWaitsForRunningChunk) {
+    // The high-priority waiter registers at t=0 on an idle CPU; a background
+    // task is released at 10 us and computes in 100 us chunks. The waiter's
+    // timeout fires at 50 us, but it is only dispatched when the running
+    // task's current delay step ends (110 us) — the t4 -> t4' effect applied
+    // to timeout wakeups.
+    Kernel k;
+    RtosModel os{k};
+    OsEvent* e = os.event_new("never");
+    OsEvent* go = os.event_new("go");
+    SimTime resumed;
+    add_task(k, os, "waiter", 1, [&](Task*) {
+        EXPECT_FALSE(os.event_wait_timeout(e, 50_us));
+        resumed = k.now();
+    });
+    add_task(k, os, "busy", 5, [&](Task*) {
+        os.event_wait(go);
+        os.time_wait(100_us);
+        os.time_wait(100_us);
+    });
+    add_isr(k, os, "irq", 10_us, [&] { os.event_notify(go); });
+    os.start();
+    k.run();
+    EXPECT_EQ(resumed, 110_us);
+}
+
+TEST(RtosTimeout, NotifyJustBeforeDeadline) {
+    Kernel k;
+    RtosModel os{k};
+    OsEvent* e = os.event_new("e");
+    bool got = false;
+    add_task(k, os, "t", 1, [&](Task*) { got = os.event_wait_timeout(e, 50_us); });
+    add_isr(k, os, "irq", 50_us - 1_ns, [&] { os.event_notify(e); });
+    os.start();
+    k.run();
+    EXPECT_TRUE(got);
+}
+
+TEST(RtosTimeout, SemaphoreAcquireFor) {
+    Kernel k;
+    RtosModel os{k};
+    OsSemaphore sem{os, 0};
+    std::vector<std::string> log;
+    add_task(k, os, "t", 1, [&](Task*) {
+        if (!sem.acquire_for(30_us)) {
+            log.push_back("timeout@" + std::to_string(k.now().ns()));
+        }
+        if (sem.acquire_for(100_us)) {
+            log.push_back("got@" + std::to_string(k.now().ns()));
+        }
+    });
+    add_isr(k, os, "irq", 75_us, [&] { sem.release(); });
+    os.start();
+    k.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"timeout@30000", "got@75000"}));
+}
+
+TEST(RtosTimeout, SemaphoreImmediateTokenNoBlock) {
+    Kernel k;
+    RtosModel os{k};
+    OsSemaphore sem{os, 2};
+    add_task(k, os, "t", 1, [&](Task*) {
+        EXPECT_TRUE(sem.acquire_for(10_us));
+        EXPECT_TRUE(sem.acquire_for(10_us));
+        EXPECT_EQ(k.now(), SimTime::zero());  // never blocked
+    });
+    os.start();
+    k.run();
+}
+
+TEST(RtosTimeout, QueueReceiveFor) {
+    Kernel k;
+    RtosModel os{k};
+    OsQueue<int> q{os, 0};
+    std::vector<std::string> log;
+    add_task(k, os, "consumer", 1, [&](Task*) {
+        int v = 0;
+        // Times out at 20 us; the producer's 30 us delay step ends at 30 us,
+        // so the consumer is redispatched there with the queue still empty.
+        EXPECT_FALSE(q.receive_for(v, 20_us));
+        log.push_back("empty@" + std::to_string(k.now().ns()));
+        EXPECT_TRUE(q.receive_for(v, 100_us));  // producer sends at 60 us
+        log.push_back("got" + std::to_string(v) + "@" + std::to_string(k.now().ns()));
+    });
+    add_task(k, os, "producer", 2, [&](Task*) {
+        os.time_wait(30_us);
+        os.time_wait(30_us);
+        q.send(7);
+    });
+    os.start();
+    k.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"empty@30000", "got7@60000"}));
+}
+
+TEST(RtosTimeout, QueueDeliversLateDataOnRedispatch) {
+    // If the message arrives between the timeout instant and the moment the
+    // timed-out task gets the CPU back, receive_for still delivers it — the
+    // task could never have observed the empty queue.
+    Kernel k;
+    RtosModel os{k};
+    OsQueue<int> q{os, 0};
+    int v = 0;
+    bool got = false;
+    add_task(k, os, "consumer", 1, [&](Task*) {
+        got = q.receive_for(v, 20_us);  // timeout at 20, data at 60
+    });
+    add_task(k, os, "producer", 2, [&](Task*) {
+        os.time_wait(60_us);  // one coarse chunk covering the timeout
+        q.send(9);
+    });
+    os.start();
+    k.run();
+    EXPECT_TRUE(got);
+    EXPECT_EQ(v, 9);
+}
+
+TEST(RtosTimeout, TimeoutRobustUnderContention) {
+    // Several tasks with staggered timeouts on the same semaphore; a single
+    // release satisfies exactly one of them.
+    Kernel k;
+    RtosModel os{k};
+    OsSemaphore sem{os, 0};
+    int got = 0, timed_out = 0;
+    for (int i = 0; i < 4; ++i) {
+        add_task(k, os, "t" + std::to_string(i), i, [&, i](Task*) {
+            if (sem.acquire_for(microseconds(40 + 10u * static_cast<unsigned>(i)))) {
+                ++got;
+            } else {
+                ++timed_out;
+            }
+        });
+    }
+    add_isr(k, os, "irq", 20_us, [&] { sem.release(); });
+    os.start();
+    k.run();
+    EXPECT_EQ(got, 1);
+    EXPECT_EQ(timed_out, 3);
+}
+
+// ---- task_delay: non-CPU-consuming sleep ----
+
+TEST(TaskDelay, SleepDoesNotConsumeCpu) {
+    Kernel k;
+    RtosModel os{k};
+    SimTime low_done;
+    add_task(k, os, "sleeper", 1, [&](Task* me) {
+        os.task_delay(100_us);
+        EXPECT_EQ(me->stats().exec_time, SimTime::zero());
+    });
+    add_task(k, os, "low", 9, [&](Task*) {
+        os.time_wait(80_us);  // runs *during* the sleeper's delay
+        low_done = k.now();
+    });
+    os.start();
+    k.run();
+    EXPECT_EQ(low_done, 80_us);  // not pushed behind the 100 us sleep
+    EXPECT_EQ(k.now(), 100_us);
+    EXPECT_EQ(os.busy_time(), 80_us);
+}
+
+TEST(TaskDelay, WakesAndPreemptsByPriority) {
+    Kernel k;
+    RtosModel os{k};
+    std::vector<std::string> log;
+    add_task(k, os, "high", 1, [&](Task*) {
+        os.task_delay(50_us);
+        os.time_wait(10_us);
+        log.push_back("high@" + std::to_string(k.now().ns()));
+    });
+    add_task(k, os, "low", 9, [&](Task*) {
+        os.time_wait(30_us);  // wakeup at 50 lands inside the second step
+        os.time_wait(30_us);
+        os.time_wait(30_us);  // the switch happens at this call's entry
+        log.push_back("low@" + std::to_string(k.now().ns()));
+    });
+    os.start();
+    k.run();
+    // high wakes at 50 during low's second step [30,60]; switch at 60; low's
+    // third step resumes after high finishes.
+    EXPECT_EQ(log, (std::vector<std::string>{"high@70000", "low@100000"}));
+}
+
+TEST(TaskDelay, MultipleSleepersIndependent) {
+    Kernel k;
+    RtosModel os{k};
+    std::vector<std::string> order;
+    for (int i = 0; i < 3; ++i) {
+        add_task(k, os, "s" + std::to_string(i), i, [&, i](Task*) {
+            os.task_delay(microseconds(30 - 10u * static_cast<unsigned>(i)));
+            order.push_back("s" + std::to_string(i) + "@" +
+                            std::to_string(k.now().ns()));
+        });
+    }
+    os.start();
+    k.run();
+    // Wake order follows delay lengths, not priorities (CPU is idle anyway).
+    EXPECT_EQ(order, (std::vector<std::string>{"s2@10000", "s1@20000", "s0@30000"}));
+}
+
+TEST(TaskDelay, KillWhileSleepingCancels) {
+    Kernel k;
+    RtosModel os{k};
+    bool resumed = false;
+    Task* sleeper = add_task(k, os, "sleeper", 1, [&](Task*) {
+        os.task_delay(10_ms);
+        resumed = true;
+    });
+    add_task(k, os, "killer", 2, [&](Task*) {
+        os.time_wait(1_us);
+        os.task_kill(sleeper);
+    });
+    os.start();
+    k.run();
+    EXPECT_FALSE(resumed);
+    EXPECT_EQ(sleeper->state(), TaskState::Terminated);
+    EXPECT_EQ(k.now(), 1_us);  // the 10 ms timer vanished with the task
+}
+
+// ---- dynamic priorities ----
+
+TEST(DynamicPriority, RaiseReadyTaskPreemptsCaller) {
+    Kernel k;
+    RtosModel os{k};
+    std::vector<std::string> log;
+    Task* bg = add_task(k, os, "bg", 9, [&](Task*) {
+        os.time_wait(10_us);
+        log.push_back("bg-done@" + std::to_string(k.now().ns()));
+    });
+    add_task(k, os, "boss", 5, [&](Task*) {
+        os.time_wait(10_us);
+        os.task_set_priority(bg, 1);  // bg now outranks boss: switch inside call
+        os.time_wait(10_us);
+        log.push_back("boss-done@" + std::to_string(k.now().ns()));
+    });
+    os.start();
+    k.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"bg-done@20000", "boss-done@30000"}));
+}
+
+TEST(DynamicPriority, LowerSelfYields) {
+    Kernel k;
+    RtosModel os{k};
+    std::vector<std::string> order;
+    add_task(k, os, "first", 1, [&](Task* me) {
+        os.time_wait(5_us);
+        os.task_set_priority(me, 20);  // demote below "second": switch now
+        os.time_wait(5_us);
+        order.push_back("first");
+    });
+    add_task(k, os, "second", 10, [&](Task*) {
+        os.time_wait(5_us);
+        order.push_back("second");
+    });
+    os.start();
+    k.run();
+    EXPECT_EQ(order, (std::vector<std::string>{"second", "first"}));
+}
+
+TEST(DynamicPriority, EffectivePriorityTracksBase) {
+    Kernel k;
+    RtosModel os{k};
+    Task* t = add_task(k, os, "t", 7, [&](Task* me) {
+        os.task_set_priority(me, 3);
+        EXPECT_EQ(me->effective_priority(), 3);
+        os.time_wait(1_us);
+    });
+    os.start();
+    k.run();
+    EXPECT_EQ(t->params().priority, 3);
+}

@@ -1,0 +1,331 @@
+#include "sim/channels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/time.hpp"
+
+using namespace slm;
+using namespace slm::sim;
+using namespace slm::time_literals;
+
+// ---- Semaphore ----
+
+TEST(Semaphore, InitialTokensAllowAcquire) {
+    Kernel k;
+    Semaphore s{k, 2};
+    int acquired = 0;
+    k.spawn("p", [&] {
+        s.acquire();
+        s.acquire();
+        acquired = 2;
+    });
+    k.run();
+    EXPECT_EQ(acquired, 2);
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Semaphore, AcquireBlocksUntilRelease) {
+    Kernel k;
+    Semaphore s{k, 0};
+    SimTime acquired_at;
+    k.spawn("consumer", [&] {
+        s.acquire();
+        acquired_at = k.now();
+    });
+    k.spawn("producer", [&] {
+        k.waitfor(5_us);
+        s.release();
+    });
+    k.run();
+    EXPECT_EQ(acquired_at, 5_us);
+}
+
+TEST(Semaphore, ReleaseBeforeAcquireIsRemembered) {
+    // Unlike a bare event, semaphore state persists across time steps.
+    Kernel k;
+    bool got = false;
+    Semaphore s{k, 0};
+    k.spawn("producer", [&] { s.release(); });
+    k.spawn("consumer", [&] {
+        k.waitfor(10_us);
+        s.acquire();
+        got = true;
+    });
+    k.run();
+    EXPECT_TRUE(got);
+}
+
+TEST(Semaphore, TryAcquire) {
+    Kernel k;
+    Semaphore s{k, 1};
+    std::vector<bool> results;
+    k.spawn("p", [&] {
+        results.push_back(s.try_acquire());
+        results.push_back(s.try_acquire());
+        s.release();
+        results.push_back(s.try_acquire());
+    });
+    k.run();
+    EXPECT_EQ(results, (std::vector<bool>{true, false, true}));
+}
+
+TEST(Semaphore, WakesOnlyAsManyAsTokens) {
+    Kernel k;
+    Semaphore s{k, 0};
+    int through = 0;
+    for (int i = 0; i < 3; ++i) {
+        k.spawn("w" + std::to_string(i), [&] {
+            s.acquire();
+            ++through;
+        });
+    }
+    k.spawn("producer", [&] {
+        k.waitfor(1_us);
+        s.release();  // exactly one waiter may pass
+    });
+    k.run();
+    EXPECT_EQ(through, 1);
+    EXPECT_EQ(k.blocked_processes().size(), 2u);
+}
+
+// ---- Mutex ----
+
+TEST(Mutex, ProvidesMutualExclusion) {
+    Kernel k;
+    Mutex m{k};
+    int in_critical = 0;
+    int max_in_critical = 0;
+    for (int i = 0; i < 4; ++i) {
+        k.spawn("p" + std::to_string(i), [&] {
+            ScopedLock lock{m};
+            ++in_critical;
+            max_in_critical = std::max(max_in_critical, in_critical);
+            k.waitfor(5_us);  // hold the lock across a time step
+            --in_critical;
+        });
+    }
+    k.run();
+    EXPECT_EQ(max_in_critical, 1);
+    EXPECT_EQ(k.now(), 20_us);  // fully serialized
+}
+
+TEST(Mutex, TracksOwner) {
+    Kernel k;
+    Mutex m{k};
+    k.spawn("p", [&] {
+        EXPECT_FALSE(m.locked());
+        m.lock();
+        EXPECT_TRUE(m.locked());
+        EXPECT_EQ(m.owner(), this_process());
+        m.unlock();
+        EXPECT_FALSE(m.locked());
+    });
+    k.run();
+}
+
+// ---- Handshake ----
+
+TEST(Handshake, SendBeforeReceiveIsRemembered) {
+    Kernel k;
+    Handshake hs{k};
+    bool received = false;
+    k.spawn("sender", [&] { hs.send(); });
+    k.spawn("receiver", [&] {
+        k.waitfor(3_us);
+        hs.receive();
+        received = true;
+    });
+    k.run();
+    EXPECT_TRUE(received);
+}
+
+TEST(Handshake, ReceiveBlocksUntilSend) {
+    Kernel k;
+    Handshake hs{k};
+    SimTime received_at;
+    k.spawn("receiver", [&] {
+        hs.receive();
+        received_at = k.now();
+    });
+    k.spawn("sender", [&] {
+        k.waitfor(7_us);
+        hs.send();
+    });
+    k.run();
+    EXPECT_EQ(received_at, 7_us);
+}
+
+TEST(Handshake, MultipleSendsCollapse) {
+    Kernel k;
+    Handshake hs{k};
+    bool second_receive_blocked = true;
+    k.spawn("sender", [&] {
+        hs.send();
+        hs.send();
+    });
+    k.spawn("receiver", [&] {
+        k.waitfor(1_us);
+        hs.receive();
+        hs.receive();  // blocks forever: flag semantics, not a counter
+        second_receive_blocked = false;
+    });
+    k.run();
+    EXPECT_TRUE(second_receive_blocked);
+}
+
+// ---- Queue ----
+
+TEST(Queue, FifoOrder) {
+    Kernel k;
+    Queue<int> q{k, 0};
+    std::vector<int> got;
+    k.spawn("producer", [&] {
+        for (int i = 1; i <= 5; ++i) {
+            q.send(i);
+        }
+    });
+    k.spawn("consumer", [&] {
+        for (int i = 0; i < 5; ++i) {
+            got.push_back(q.receive());
+        }
+    });
+    k.run();
+    EXPECT_EQ(got, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Queue, ReceiveBlocksOnEmpty) {
+    Kernel k;
+    Queue<int> q{k, 0};
+    SimTime got_at;
+    k.spawn("consumer", [&] {
+        (void)q.receive();
+        got_at = k.now();
+    });
+    k.spawn("producer", [&] {
+        k.waitfor(9_us);
+        q.send(42);
+    });
+    k.run();
+    EXPECT_EQ(got_at, 9_us);
+}
+
+TEST(Queue, SendBlocksWhenFull) {
+    Kernel k;
+    Queue<int> q{k, 2};
+    SimTime third_sent_at;
+    k.spawn("producer", [&] {
+        q.send(1);
+        q.send(2);
+        q.send(3);  // blocks: capacity 2
+        third_sent_at = k.now();
+    });
+    k.spawn("consumer", [&] {
+        k.waitfor(4_us);
+        (void)q.receive();
+    });
+    k.run();
+    EXPECT_EQ(third_sent_at, 4_us);
+}
+
+TEST(Queue, UnboundedSendNeverBlocks) {
+    Kernel k;
+    Queue<int> q{k, 0};
+    k.spawn("producer", [&] {
+        for (int i = 0; i < 1000; ++i) {
+            q.send(i);
+        }
+    });
+    k.run();
+    EXPECT_EQ(q.size(), 1000u);
+}
+
+TEST(Queue, TryReceive) {
+    Kernel k;
+    Queue<int> q{k, 0};
+    k.spawn("p", [&] {
+        int v = 0;
+        EXPECT_FALSE(q.try_receive(v));
+        q.send(7);
+        EXPECT_TRUE(q.try_receive(v));
+        EXPECT_EQ(v, 7);
+    });
+    k.run();
+}
+
+TEST(Queue, MoveOnlyPayload) {
+    Kernel k;
+    Queue<std::unique_ptr<int>> q{k, 0};
+    int got = 0;
+    k.spawn("producer", [&] { q.send(std::make_unique<int>(99)); });
+    k.spawn("consumer", [&] { got = *q.receive(); });
+    k.run();
+    EXPECT_EQ(got, 99);
+}
+
+TEST(Queue, ManyProducersOneConsumer) {
+    Kernel k;
+    Queue<int> q{k, 4};
+    long long sum = 0;
+    for (int p = 0; p < 5; ++p) {
+        k.spawn("prod" + std::to_string(p), [&, p] {
+            for (int i = 0; i < 20; ++i) {
+                k.waitfor(nanoseconds(static_cast<std::uint64_t>(p) * 7 + 3));
+                q.send(p * 100 + i);
+            }
+        });
+    }
+    k.spawn("consumer", [&] {
+        for (int i = 0; i < 100; ++i) {
+            sum += q.receive();
+        }
+    });
+    k.run();
+    long long expected = 0;
+    for (int p = 0; p < 5; ++p) {
+        for (int i = 0; i < 20; ++i) {
+            expected += p * 100 + i;
+        }
+    }
+    EXPECT_EQ(sum, expected);
+}
+
+// ---- Barrier ----
+
+TEST(BarrierChan, ReleasesAllAtOnce) {
+    Kernel k;
+    Barrier bar{k, 3};
+    std::vector<SimTime> release_times;
+    for (int i = 0; i < 3; ++i) {
+        k.spawn("p" + std::to_string(i), [&, i] {
+            k.waitfor(microseconds(static_cast<std::uint64_t>(i + 1)));
+            bar.arrive_and_wait();
+            release_times.push_back(k.now());
+        });
+    }
+    k.run();
+    ASSERT_EQ(release_times.size(), 3u);
+    for (const SimTime t : release_times) {
+        EXPECT_EQ(t, 3_us);  // everyone leaves when the last party arrives
+    }
+}
+
+TEST(BarrierChan, Reusable) {
+    Kernel k;
+    Barrier bar{k, 2};
+    int rounds_done = 0;
+    for (int i = 0; i < 2; ++i) {
+        k.spawn("p" + std::to_string(i), [&, i] {
+            for (int r = 0; r < 10; ++r) {
+                k.waitfor(nanoseconds(static_cast<std::uint64_t>(i) * 13 + 1));
+                bar.arrive_and_wait();
+            }
+            ++rounds_done;
+        });
+    }
+    k.run();
+    EXPECT_EQ(rounds_done, 2);
+}

@@ -1,0 +1,564 @@
+#include "sim/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+using namespace slm;
+using namespace slm::sim;
+using namespace slm::time_literals;
+
+TEST(Kernel, StartsAtTimeZero) {
+    Kernel k;
+    EXPECT_EQ(k.now(), SimTime::zero());
+}
+
+TEST(Kernel, RunWithNoProcessesTerminates) {
+    Kernel k;
+    k.run();
+    EXPECT_EQ(k.now(), SimTime::zero());
+}
+
+TEST(Kernel, SingleProcessRunsToCompletion) {
+    Kernel k;
+    bool ran = false;
+    k.spawn("p", [&] { ran = true; });
+    k.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(Kernel, WaitforAdvancesTime) {
+    Kernel k;
+    SimTime seen;
+    k.spawn("p", [&] {
+        k.waitfor(10_us);
+        seen = k.now();
+    });
+    k.run();
+    EXPECT_EQ(seen, 10_us);
+    EXPECT_EQ(k.now(), 10_us);
+}
+
+TEST(Kernel, SequentialWaitforsAccumulate) {
+    Kernel k;
+    k.spawn("p", [&] {
+        k.waitfor(3_us);
+        k.waitfor(4_us);
+        k.waitfor(5_us);
+    });
+    k.run();
+    EXPECT_EQ(k.now(), 12_us);
+}
+
+TEST(Kernel, ParallelWaitforsOverlap) {
+    // Two concurrent processes delay "in parallel": total simulated time is
+    // the max, not the sum — the defining property of the unscheduled model.
+    Kernel k;
+    k.spawn("a", [&] { k.waitfor(30_us); });
+    k.spawn("b", [&] { k.waitfor(20_us); });
+    k.run();
+    EXPECT_EQ(k.now(), 30_us);
+}
+
+TEST(Kernel, ProcessesRunInSpawnOrder) {
+    Kernel k;
+    std::vector<std::string> order;
+    for (const char* n : {"a", "b", "c"}) {
+        k.spawn(n, [&order, n] { order.push_back(n); });
+    }
+    k.run();
+    EXPECT_EQ(order, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Kernel, SimultaneousTimeoutsFireInScheduleOrder) {
+    Kernel k;
+    std::vector<std::string> order;
+    k.spawn("a", [&] {
+        k.waitfor(5_us);
+        order.push_back("a");
+    });
+    k.spawn("b", [&] {
+        k.waitfor(5_us);
+        order.push_back("b");
+    });
+    k.run();
+    EXPECT_EQ(order, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Kernel, NotifyWakesWaiter) {
+    Kernel k;
+    Event e{k, "e"};
+    bool woke = false;
+    k.spawn("waiter", [&] {
+        k.wait(e);
+        woke = true;
+    });
+    k.spawn("notifier", [&] {
+        k.waitfor(1_us);
+        k.notify(e);
+    });
+    k.run();
+    EXPECT_TRUE(woke);
+    EXPECT_EQ(k.now(), 1_us);
+}
+
+TEST(Kernel, NotifyWakesAllWaiters) {
+    Kernel k;
+    Event e{k, "e"};
+    int woke = 0;
+    for (int i = 0; i < 5; ++i) {
+        k.spawn("w" + std::to_string(i), [&] {
+            k.wait(e);
+            ++woke;
+        });
+    }
+    k.spawn("notifier", [&] {
+        k.waitfor(1_us);
+        k.notify(e);
+    });
+    k.run();
+    EXPECT_EQ(woke, 5);
+}
+
+TEST(Kernel, NotifyIsStickyWithinDelta) {
+    // SpecC semantics: a wait() later in the same delta cycle sees the
+    // notification and does not block.
+    Kernel k;
+    Event e{k, "e"};
+    bool continued = false;
+    k.spawn("notifier", [&] { k.notify(e); });
+    k.spawn("late_waiter", [&] {
+        k.wait(e);  // runs in the same delta as the notify
+        continued = true;
+    });
+    k.run();
+    EXPECT_TRUE(continued);
+}
+
+TEST(Kernel, NotifyIsLostAcrossTime) {
+    // A notification in an earlier time step does not satisfy a later wait.
+    Kernel k;
+    Event e{k, "e"};
+    bool woke = false;
+    k.spawn("notifier", [&] { k.notify(e); });
+    k.spawn("late_waiter", [&] {
+        k.waitfor(1_us);  // move past the delta where the notify happened
+        k.wait(e);
+        woke = true;
+    });
+    k.run();
+    EXPECT_FALSE(woke);
+    EXPECT_EQ(k.blocked_processes().size(), 1u);
+}
+
+TEST(Kernel, NotifyIsLostAcrossDelta) {
+    Kernel k;
+    Event e{k, "e"};
+    bool woke = false;
+    k.spawn("notifier", [&] { k.notify(e); });
+    k.spawn("late_waiter", [&] {
+        k.waitfor(SimTime::zero());  // next delta, same time
+        k.wait(e);
+        woke = true;
+    });
+    k.run();
+    EXPECT_FALSE(woke);
+}
+
+TEST(Kernel, WaitforZeroYieldsToNextDelta) {
+    Kernel k;
+    std::vector<int> order;
+    k.spawn("a", [&] {
+        k.waitfor(SimTime::zero());
+        order.push_back(1);
+    });
+    k.spawn("b", [&] { order.push_back(0); });
+    k.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    EXPECT_EQ(k.now(), SimTime::zero());
+}
+
+TEST(Kernel, YieldRunsAfterOtherRunnables) {
+    Kernel k;
+    std::vector<int> order;
+    k.spawn("a", [&] {
+        k.yield();
+        order.push_back(1);
+    });
+    k.spawn("b", [&] { order.push_back(0); });
+    k.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(Kernel, ParForksAndJoins) {
+    Kernel k;
+    std::vector<std::string> log;
+    k.spawn("parent", [&] {
+        log.push_back("pre");
+        k.par({[&] {
+                   k.waitfor(5_us);
+                   log.push_back("c1");
+               },
+               [&] {
+                   k.waitfor(3_us);
+                   log.push_back("c2");
+               }});
+        log.push_back("post");
+    });
+    k.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"pre", "c2", "c1", "post"}));
+    EXPECT_EQ(k.now(), 5_us);  // children overlap
+}
+
+TEST(Kernel, ParChildrenSeeParent) {
+    Kernel k;
+    const Process* parent_of_child = nullptr;
+    Process* parent = k.spawn("parent", [&] {
+        k.par({[&] { parent_of_child = this_process()->parent(); }});
+    });
+    k.run();
+    EXPECT_EQ(parent_of_child, parent);
+}
+
+TEST(Kernel, NestedPar) {
+    Kernel k;
+    int leaves = 0;
+    k.spawn("root", [&] {
+        k.par({[&] {
+                   k.par({[&] { ++leaves; }, [&] { ++leaves; }});
+               },
+               [&] {
+                   k.par({[&] { ++leaves; }, [&] { ++leaves; }});
+               }});
+    });
+    k.run();
+    EXPECT_EQ(leaves, 4);
+}
+
+TEST(Kernel, EmptyParReturnsImmediately) {
+    Kernel k;
+    bool after = false;
+    k.spawn("p", [&] {
+        k.par(std::vector<Branch>{});
+        after = true;
+    });
+    k.run();
+    EXPECT_TRUE(after);
+}
+
+TEST(Kernel, NamedParBranches) {
+    Kernel k;
+    std::vector<std::string> names;
+    k.spawn("p", [&] {
+        std::vector<Branch> branches;
+        branches.push_back({"left", [&] { names.push_back(this_process()->name()); }});
+        branches.push_back({"right", [&] { names.push_back(this_process()->name()); }});
+        k.par(std::move(branches));
+    });
+    k.run();
+    EXPECT_EQ(names, (std::vector<std::string>{"left", "right"}));
+}
+
+TEST(Kernel, JoinFinishedProcessReturnsImmediately) {
+    Kernel k;
+    bool joined = false;
+    Process* worker = k.spawn("worker", [] {});
+    k.spawn("joiner", [&] {
+        k.waitfor(1_us);  // worker finishes first
+        k.join(*worker);
+        joined = true;
+    });
+    k.run();
+    EXPECT_TRUE(joined);
+}
+
+TEST(Kernel, JoinBlocksUntilDone) {
+    Kernel k;
+    SimTime join_time;
+    Process* worker = k.spawn("worker", [&] { k.waitfor(10_us); });
+    k.spawn("joiner", [&] {
+        k.join(*worker);
+        join_time = k.now();
+    });
+    k.run();
+    EXPECT_EQ(join_time, 10_us);
+}
+
+TEST(Kernel, SpawnDuringRunExecutesChild) {
+    Kernel k;
+    bool child_ran = false;
+    k.spawn("parent", [&] {
+        Process* c = k.spawn("child", [&] { child_ran = true; });
+        k.join(*c);
+    });
+    k.run();
+    EXPECT_TRUE(child_ran);
+}
+
+TEST(Kernel, RunUntilStopsAtLimit) {
+    Kernel k;
+    int ticks = 0;
+    k.spawn("ticker", [&] {
+        for (int i = 0; i < 100; ++i) {
+            k.waitfor(1_ms);
+            ++ticks;
+        }
+    });
+    const bool more = k.run_until(5_ms);
+    EXPECT_TRUE(more);
+    EXPECT_EQ(ticks, 5);
+    EXPECT_EQ(k.now(), 5_ms);
+}
+
+TEST(Kernel, RunUntilCanResume) {
+    Kernel k;
+    int ticks = 0;
+    k.spawn("ticker", [&] {
+        for (int i = 0; i < 10; ++i) {
+            k.waitfor(1_ms);
+            ++ticks;
+        }
+    });
+    EXPECT_TRUE(k.run_until(3_ms));
+    EXPECT_EQ(ticks, 3);
+    EXPECT_FALSE(k.run_until(20_ms));
+    EXPECT_EQ(ticks, 10);
+    EXPECT_EQ(k.now(), 20_ms);
+}
+
+TEST(Kernel, RunUntilWithNoActivityAdvancesClock) {
+    Kernel k;
+    EXPECT_FALSE(k.run_until(7_ms));
+    EXPECT_EQ(k.now(), 7_ms);
+}
+
+TEST(Kernel, KillReadyProcessUnwindsBeforeBody) {
+    Kernel k;
+    bool ran = false;
+    Process* victim = k.spawn("victim", [&] { ran = true; });
+    k.kill(*victim);
+    k.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(victim->state(), ProcState::Killed);
+}
+
+TEST(Kernel, KillWaitingProcessRunsDestructors) {
+    Kernel k;
+    Event e{k, "never"};
+    bool cleaned_up = false;
+    struct Raii {
+        bool& flag;
+        ~Raii() { flag = true; }
+    };
+    Process* victim = k.spawn("victim", [&] {
+        Raii raii{cleaned_up};
+        k.wait(e);
+    });
+    k.spawn("killer", [&] {
+        k.waitfor(1_us);
+        k.kill(*victim);
+    });
+    k.run();
+    EXPECT_TRUE(cleaned_up);
+    EXPECT_EQ(victim->state(), ProcState::Killed);
+}
+
+TEST(Kernel, KillSleepingProcessCancelsTimeout) {
+    Kernel k;
+    bool resumed = false;
+    Process* victim = k.spawn("victim", [&] {
+        k.waitfor(100_ms);
+        resumed = true;
+    });
+    k.spawn("killer", [&] {
+        k.waitfor(1_us);
+        k.kill(*victim);
+    });
+    k.run();
+    EXPECT_FALSE(resumed);
+    // The victim's 100 ms timeout must not drag simulated time forward.
+    EXPECT_EQ(k.now(), 1_us);
+}
+
+TEST(Kernel, SelfKillUnwinds) {
+    Kernel k;
+    bool after = false;
+    Process* p = k.spawn("p", [&] {
+        k.kill(*this_process());
+        after = true;
+    });
+    k.run();
+    EXPECT_FALSE(after);
+    EXPECT_EQ(p->state(), ProcState::Killed);
+}
+
+TEST(Kernel, KillIsIdempotent) {
+    Kernel k;
+    Event e{k, "never"};
+    Process* victim = k.spawn("victim", [&] { k.wait(e); });
+    k.spawn("killer", [&] {
+        k.waitfor(1_us);
+        k.kill(*victim);
+        k.kill(*victim);
+    });
+    k.run();
+    EXPECT_EQ(victim->state(), ProcState::Killed);
+    k.kill(*victim);  // killing a dead process is a no-op
+}
+
+TEST(Kernel, KilledParentStopsButChildrenFinish) {
+    Kernel k;
+    bool child_done = false;
+    bool parent_post = false;
+    Process* parent = k.spawn("parent", [&] {
+        k.par({[&] {
+            k.waitfor(10_us);
+            child_done = true;
+        }});
+        parent_post = true;
+    });
+    k.spawn("killer", [&] {
+        k.waitfor(1_us);
+        k.kill(*parent);
+    });
+    k.run();
+    EXPECT_TRUE(child_done);
+    EXPECT_FALSE(parent_post);
+}
+
+TEST(Kernel, DeadlockedProcessesAreReported) {
+    Kernel k;
+    Event e1{k, "e1"}, e2{k, "e2"};
+    k.spawn("a", [&] {
+        k.wait(e1);
+        k.notify(e2);
+    });
+    k.spawn("b", [&] {
+        k.wait(e2);
+        k.notify(e1);
+    });
+    k.run();
+    EXPECT_EQ(k.blocked_processes().size(), 2u);
+}
+
+TEST(Kernel, StatsCountActivity) {
+    Kernel k;
+    Event e{k, "e"};
+    k.spawn("a", [&] {
+        k.waitfor(1_us);
+        k.notify(e);
+    });
+    k.spawn("b", [&] { k.wait(e); });
+    k.run();
+    const KernelStats& s = k.stats();
+    EXPECT_EQ(s.processes_created, 2u);
+    EXPECT_GE(s.process_activations, 3u);
+    EXPECT_EQ(s.events_notified, 1u);
+    EXPECT_EQ(s.time_advances, 1u);
+    EXPECT_GE(s.delta_cycles, 2u);
+}
+
+TEST(Kernel, ObserverSeesStateTransitions) {
+    struct Recorder : KernelObserver {
+        std::vector<std::string> log;
+        void on_process_state(const Process& p, ProcState, ProcState to) override {
+            log.push_back(p.name() + ":" + to_string(to));
+        }
+    } rec;
+    Kernel k;
+    k.set_observer(&rec);
+    k.spawn("p", [&] { k.waitfor(1_us); });
+    k.run();
+    EXPECT_EQ(rec.log, (std::vector<std::string>{"p:Ready", "p:Running", "p:WaitingTime",
+                                                 "p:Ready", "p:Running", "p:Done"}));
+}
+
+TEST(Kernel, ObserverSeesTimeAdvances) {
+    struct Recorder : KernelObserver {
+        std::vector<SimTime> times;
+        void on_time_advance(SimTime t) override { times.push_back(t); }
+    } rec;
+    Kernel k;
+    k.set_observer(&rec);
+    k.spawn("p", [&] {
+        k.waitfor(2_us);
+        k.waitfor(3_us);
+    });
+    k.run();
+    EXPECT_EQ(rec.times, (std::vector<SimTime>{2_us, 5_us}));
+}
+
+TEST(Kernel, ThisKernelAndThisProcess) {
+    Kernel k;
+    Kernel* seen_kernel = nullptr;
+    Process* seen_process = nullptr;
+    Process* p = k.spawn("p", [&] {
+        seen_kernel = &this_kernel();
+        seen_process = this_process();
+    });
+    k.run();
+    EXPECT_EQ(seen_kernel, &k);
+    EXPECT_EQ(seen_process, p);
+    EXPECT_EQ(this_process(), nullptr);
+}
+
+TEST(Kernel, ManyProcessesManySwitches) {
+    // Stress: 200 processes ping-ponging through time steps stay deterministic.
+    Kernel k;
+    constexpr int kProcs = 200;
+    constexpr int kSteps = 50;
+    std::uint64_t total = 0;
+    for (int i = 0; i < kProcs; ++i) {
+        k.spawn("p" + std::to_string(i), [&, i] {
+            for (int s = 0; s < kSteps; ++s) {
+                k.waitfor(nanoseconds(static_cast<std::uint64_t>(i) + 1));
+                ++total;
+            }
+        });
+    }
+    k.run();
+    EXPECT_EQ(total, static_cast<std::uint64_t>(kProcs) * kSteps);
+    EXPECT_EQ(k.now(), nanoseconds(kProcs * kSteps));
+}
+
+TEST(Kernel, DeterministicTraceAcrossRuns) {
+    auto run_once = [] {
+        Kernel k;
+        std::vector<std::string> log;
+        Event e{k, "e"};
+        k.spawn("a", [&] {
+            for (int i = 0; i < 10; ++i) {
+                k.waitfor(3_us);
+                log.push_back("a" + std::to_string(i));
+                k.notify(e);
+            }
+        });
+        k.spawn("b", [&] {
+            for (int i = 0; i < 5; ++i) {
+                k.wait(e);
+                log.push_back("b" + std::to_string(i));
+                k.waitfor(4_us);
+            }
+        });
+        k.run();
+        return log;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Kernel, EventWaiterCountTracksBlockedProcesses) {
+    Kernel k;
+    Event e{k, "e"};
+    k.spawn("w1", [&] { k.wait(e); });
+    k.spawn("w2", [&] { k.wait(e); });
+    k.spawn("check", [&] {
+        k.waitfor(1_us);
+        EXPECT_EQ(e.waiter_count(), 2u);
+        k.notify(e);
+    });
+    k.run();
+    EXPECT_EQ(e.waiter_count(), 0u);
+}

@@ -1,0 +1,75 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace slm;
+using namespace slm::time_literals;
+
+TEST(SimTime, DefaultIsZero) {
+    SimTime t;
+    EXPECT_EQ(t.ns(), 0u);
+    EXPECT_TRUE(t.is_zero());
+    EXPECT_EQ(t, SimTime::zero());
+}
+
+TEST(SimTime, FactoryUnits) {
+    EXPECT_EQ(nanoseconds(7).ns(), 7u);
+    EXPECT_EQ(microseconds(3).ns(), 3'000u);
+    EXPECT_EQ(milliseconds(2).ns(), 2'000'000u);
+    EXPECT_EQ(seconds(1).ns(), 1'000'000'000u);
+}
+
+TEST(SimTime, Literals) {
+    EXPECT_EQ(5_ns, nanoseconds(5));
+    EXPECT_EQ(5_us, microseconds(5));
+    EXPECT_EQ(5_ms, milliseconds(5));
+    EXPECT_EQ(5_s, seconds(5));
+}
+
+TEST(SimTime, UnitConversions) {
+    EXPECT_DOUBLE_EQ(milliseconds(12).ms(), 12.0);
+    EXPECT_DOUBLE_EQ(microseconds(1500).ms(), 1.5);
+    EXPECT_DOUBLE_EQ(seconds(2).sec(), 2.0);
+    EXPECT_DOUBLE_EQ(nanoseconds(2500).us(), 2.5);
+}
+
+TEST(SimTime, Arithmetic) {
+    EXPECT_EQ(3_us + 4_us, 7_us);
+    EXPECT_EQ(9_us - 4_us, 5_us);
+    EXPECT_EQ(3_us * 4, 12_us);
+    EXPECT_EQ(4 * 3_us, 12_us);
+    EXPECT_EQ(12_us / 4, 3_us);
+}
+
+TEST(SimTime, AdditionSaturates) {
+    EXPECT_EQ(SimTime::max() + 1_ns, SimTime::max());
+    EXPECT_EQ(SimTime::max() + SimTime::max(), SimTime::max());
+}
+
+TEST(SimTime, SubtractionClampsAtZero) {
+    EXPECT_EQ(1_ns - 2_ns, SimTime::zero());
+    EXPECT_EQ(SimTime::zero() - 1_s, SimTime::zero());
+}
+
+TEST(SimTime, CompoundAssignment) {
+    SimTime t = 10_us;
+    t += 5_us;
+    EXPECT_EQ(t, 15_us);
+    t -= 3_us;
+    EXPECT_EQ(t, 12_us);
+}
+
+TEST(SimTime, Ordering) {
+    EXPECT_LT(1_ns, 1_us);
+    EXPECT_LT(999_us, 1_ms);
+    EXPECT_GT(1_s, 999_ms);
+    EXPECT_LE(5_ms, 5_ms);
+}
+
+TEST(SimTime, ToStringPicksUnit) {
+    EXPECT_EQ(nanoseconds(12).to_string(), "12 ns");
+    EXPECT_EQ(microseconds(12).to_string(), "12 us");
+    EXPECT_EQ(milliseconds(12).to_string(), "12 ms");
+    EXPECT_EQ(seconds(12).to_string(), "12 s");
+    EXPECT_EQ(SimTime{12'500'000}.to_string(), "12.5 ms");
+}

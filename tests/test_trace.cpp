@@ -1,0 +1,257 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/kernel.hpp"
+#include "sim/time.hpp"
+
+using namespace slm;
+using namespace slm::trace;
+using namespace slm::time_literals;
+
+TEST(Trace, ExecSpansBecomeIntervals) {
+    TraceRecorder rec;
+    rec.exec_begin(0_us, "PE0", "B2");
+    rec.exec_end(10_us, "PE0", "B2");
+    rec.exec_begin(20_us, "PE0", "B2");
+    rec.exec_end(25_us, "PE0", "B2");
+    const auto ivs = rec.intervals("B2");
+    ASSERT_EQ(ivs.size(), 2u);
+    EXPECT_EQ(ivs[0], (Interval{0_us, 10_us, "B2"}));
+    EXPECT_EQ(ivs[1], (Interval{20_us, 25_us, "B2"}));
+}
+
+TEST(Trace, TaskStateRunningMakesIntervals) {
+    TraceRecorder rec;
+    rec.task_state(0_us, "PE0", "t", "Running");
+    rec.task_state(5_us, "PE0", "t", "Ready");
+    rec.task_state(9_us, "PE0", "t", "Running");
+    rec.task_state(12_us, "PE0", "t", "Terminated");
+    const auto ivs = rec.intervals("t");
+    ASSERT_EQ(ivs.size(), 2u);
+    EXPECT_EQ(ivs[0], (Interval{0_us, 5_us, "t"}));
+    EXPECT_EQ(ivs[1], (Interval{9_us, 12_us, "t"}));
+}
+
+TEST(Trace, OpenIntervalClosedAtTraceEnd) {
+    TraceRecorder rec;
+    rec.task_state(0_us, "PE0", "t", "Running");
+    rec.marker(30_us, "end");
+    const auto ivs = rec.intervals("t");
+    ASSERT_EQ(ivs.size(), 1u);
+    EXPECT_EQ(ivs[0].end, 30_us);
+}
+
+TEST(Trace, ZeroLengthIntervalsDropped) {
+    TraceRecorder rec;
+    rec.task_state(5_us, "PE0", "t", "Running");
+    rec.task_state(5_us, "PE0", "t", "Ready");
+    EXPECT_TRUE(rec.intervals("t").empty());
+}
+
+TEST(Trace, BusyTimeSumsIntervals) {
+    TraceRecorder rec;
+    rec.exec_begin(0_us, "", "a");
+    rec.exec_end(10_us, "", "a");
+    rec.exec_begin(50_us, "", "a");
+    rec.exec_end(65_us, "", "a");
+    EXPECT_EQ(rec.busy_time("a"), 25_us);
+}
+
+TEST(Trace, ActorsInOrderOfAppearance) {
+    TraceRecorder rec;
+    rec.exec_begin(0_us, "", "z");
+    rec.exec_begin(1_us, "", "a");
+    rec.task_state(2_us, "", "m", "Running");
+    rec.exec_end(3_us, "", "z");
+    EXPECT_EQ(rec.actors(), (std::vector<std::string>{"z", "a", "m"}));
+}
+
+TEST(Trace, ConcurrentExecutionDetected) {
+    TraceRecorder rec;
+    rec.exec_begin(0_us, "PE0", "a");
+    rec.exec_begin(5_us, "PE0", "b");  // overlaps a
+    rec.exec_end(10_us, "PE0", "a");
+    rec.exec_end(12_us, "PE0", "b");
+    EXPECT_TRUE(rec.has_concurrent_execution("PE0"));
+}
+
+TEST(Trace, SerializedExecutionPasses) {
+    TraceRecorder rec;
+    rec.exec_begin(0_us, "PE0", "a");
+    rec.exec_end(5_us, "PE0", "a");
+    rec.exec_begin(5_us, "PE0", "b");
+    rec.exec_end(9_us, "PE0", "b");
+    EXPECT_FALSE(rec.has_concurrent_execution("PE0"));
+}
+
+TEST(Trace, ConcurrencyCheckScopedToCpu) {
+    TraceRecorder rec;
+    rec.exec_begin(0_us, "PE0", "a");
+    rec.exec_begin(1_us, "PE1", "b");  // different PE: overlap is fine
+    rec.exec_end(5_us, "PE0", "a");
+    rec.exec_end(6_us, "PE1", "b");
+    EXPECT_FALSE(rec.has_concurrent_execution("PE0"));
+    EXPECT_FALSE(rec.has_concurrent_execution("PE1"));
+}
+
+TEST(Trace, IrqTimesFiltered) {
+    TraceRecorder rec;
+    rec.irq(3_us, "PE0", "uart");
+    rec.irq(7_us, "PE0", "timer");
+    rec.irq(9_us, "PE0", "uart");
+    EXPECT_EQ(rec.irq_times().size(), 3u);
+    EXPECT_EQ(rec.irq_times("uart"), (std::vector<SimTime>{3_us, 9_us}));
+}
+
+TEST(Trace, ContextSwitchCountByCpu) {
+    TraceRecorder rec;
+    rec.context_switch(1_us, "PE0", "a", "<idle>");
+    rec.context_switch(2_us, "PE1", "x", "<idle>");
+    rec.context_switch(3_us, "PE0", "b", "a");
+    EXPECT_EQ(rec.context_switches(), 3u);
+    EXPECT_EQ(rec.context_switches("PE0"), 2u);
+    EXPECT_EQ(rec.context_switches("PE1"), 1u);
+}
+
+TEST(Trace, CountByKind) {
+    TraceRecorder rec;
+    rec.marker(0_us, "m1");
+    rec.irq(1_us, "", "i");
+    rec.marker(2_us, "m2");
+    EXPECT_EQ(rec.count(RecordKind::Marker), 2u);
+    EXPECT_EQ(rec.count(RecordKind::Irq), 1u);
+    EXPECT_EQ(rec.count(RecordKind::ContextSwitch), 0u);
+}
+
+TEST(Trace, ClearResets) {
+    TraceRecorder rec;
+    rec.marker(0_us, "m");
+    rec.clear();
+    EXPECT_TRUE(rec.records().empty());
+}
+
+TEST(SpecTraceAdapterTest, RecordsDelayStepsAsExecution) {
+    sim::Kernel k;
+    TraceRecorder rec;
+    SpecTraceAdapter adapter{k, rec, "PE0"};
+    k.set_observer(&adapter);
+    k.spawn("B2", [&] {
+        k.waitfor(30_us);
+        k.waitfor(20_us);
+    });
+    k.spawn("B3", [&] { k.waitfor(40_us); });
+    k.run();
+    EXPECT_EQ(rec.busy_time("B2"), 50_us);
+    EXPECT_EQ(rec.busy_time("B3"), 40_us);
+    EXPECT_TRUE(rec.has_concurrent_execution("PE0"));  // spec model overlaps
+    EXPECT_EQ(rec.intervals("B2").size(), 2u);
+}
+
+TEST(SpecTraceAdapterTest, EventWaitsAreNotExecution) {
+    sim::Kernel k;
+    TraceRecorder rec;
+    SpecTraceAdapter adapter{k, rec, "PE0"};
+    k.set_observer(&adapter);
+    sim::Event e{k, "e"};
+    k.spawn("waiter", [&] {
+        k.wait(e);          // idle: no span
+        k.waitfor(10_us);   // computing: span
+    });
+    k.spawn("notifier", [&] {
+        k.waitfor(25_us);
+        k.notify(e);
+    });
+    k.run();
+    const auto ivs = rec.intervals("waiter");
+    ASSERT_EQ(ivs.size(), 1u);
+    EXPECT_EQ(ivs[0].begin, 25_us);
+    EXPECT_EQ(ivs[0].end, 35_us);
+}
+
+TEST(SpecTraceAdapterTest, FilterExcludesTestbench) {
+    sim::Kernel k;
+    TraceRecorder rec;
+    SpecTraceAdapter adapter{k, rec, "PE0"};
+    adapter.set_filter([](const std::string& name) { return name != "device"; });
+    k.set_observer(&adapter);
+    k.spawn("device", [&] { k.waitfor(10_us); });
+    k.spawn("B1", [&] { k.waitfor(10_us); });
+    k.run();
+    EXPECT_EQ(rec.actors(), (std::vector<std::string>{"B1"}));
+}
+
+TEST(Trace, GanttRendersRows) {
+    TraceRecorder rec;
+    rec.exec_begin(0_us, "PE0", "B2");
+    rec.exec_end(50_us, "PE0", "B2");
+    rec.exec_begin(50_us, "PE0", "B3");
+    rec.exec_end(100_us, "PE0", "B3");
+    rec.irq(75_us, "PE0", "ext");
+    const std::string g = rec.render_gantt(0_us, 100_us, 20);
+    // B2 occupies the first half, B3 the second.
+    EXPECT_NE(g.find("|##########..........|"), std::string::npos) << g;
+    EXPECT_NE(g.find("|..........##########|"), std::string::npos) << g;
+    EXPECT_NE(g.find('^'), std::string::npos);
+}
+
+TEST(Trace, UtilizationReport) {
+    TraceRecorder rec;
+    rec.exec_begin(0_us, "PE0", "a");
+    rec.exec_end(50_us, "PE0", "a");
+    rec.exec_begin(50_us, "PE0", "b");
+    rec.exec_end(75_us, "PE0", "b");
+    const std::string rep = rec.utilization_report(SimTime::zero(), 100_us);
+    EXPECT_NE(rep.find("a"), std::string::npos);
+    EXPECT_NE(rep.find("50.0%"), std::string::npos) << rep;
+    EXPECT_NE(rep.find("25.0%"), std::string::npos) << rep;
+}
+
+TEST(Trace, UtilizationReportClipsToWindow) {
+    TraceRecorder rec;
+    rec.exec_begin(0_us, "PE0", "a");
+    rec.exec_end(100_us, "PE0", "a");
+    // Window covers only the second half of the interval.
+    const std::string rep = rec.utilization_report(50_us, 100_us);
+    EXPECT_NE(rep.find("100.0%"), std::string::npos) << rep;
+    EXPECT_NE(rep.find("50 us"), std::string::npos) << rep;
+}
+
+TEST(Trace, CsvExport) {
+    TraceRecorder rec;
+    rec.task_state(2_us, "PE0", "t", "Running");
+    std::ostringstream os;
+    rec.write_csv(os);
+    EXPECT_EQ(os.str(), "t_ns,kind,cpu,actor,detail\n2000,task_state,PE0,t,Running\n");
+}
+
+TEST(Trace, ChromeTraceExport) {
+    TraceRecorder rec;
+    rec.exec_begin(0_us, "PE0", "task_a");
+    rec.exec_end(4_us, "PE0", "task_a");
+    rec.irq(2_us, "PE0", "ext");
+    std::ostringstream os;
+    rec.write_chrome_trace(os);
+    const std::string j = os.str();
+    EXPECT_EQ(j.front(), '[');
+    EXPECT_NE(j.find(R"("name":"task_a","ph":"X")"), std::string::npos) << j;
+    EXPECT_NE(j.find(R"("dur":4.000)"), std::string::npos) << j;
+    EXPECT_NE(j.find(R"("name":"irq:ext","ph":"i")"), std::string::npos);
+    EXPECT_NE(j.find(R"("args":{"name":"task_a"})"), std::string::npos);
+}
+
+TEST(Trace, VcdExportStructure) {
+    TraceRecorder rec;
+    rec.exec_begin(0_us, "", "a");
+    rec.exec_end(4_us, "", "a");
+    std::ostringstream os;
+    rec.write_vcd(os);
+    const std::string vcd = os.str();
+    EXPECT_NE(vcd.find("$timescale 1ns $end"), std::string::npos);
+    EXPECT_NE(vcd.find("$var wire 1 ! a $end"), std::string::npos);
+    EXPECT_NE(vcd.find("#0\n"), std::string::npos);
+    EXPECT_NE(vcd.find("1!"), std::string::npos);
+    EXPECT_NE(vcd.find("#4000\n0!"), std::string::npos);
+}

@@ -1,0 +1,280 @@
+#include "vocoder/codec.hpp"
+#include "vocoder/iss_gen.hpp"
+#include "vocoder/models.hpp"
+#include "vocoder/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/trace.hpp"
+
+using namespace slm;
+using namespace slm::vocoder;
+using namespace slm::time_literals;
+
+// ---- speech source ----
+
+TEST(SpeechSourceTest, DeterministicForSeed) {
+    SpeechSource a{7}, b{7};
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(a.next_frame(), b.next_frame());
+    }
+}
+
+TEST(SpeechSourceTest, SeedsDiffer) {
+    SpeechSource a{1}, b{2};
+    EXPECT_NE(a.next_frame(), b.next_frame());
+}
+
+TEST(SpeechSourceTest, SamplesWithin16BitRange) {
+    SpeechSource src{3};
+    for (int f = 0; f < 20; ++f) {
+        const Frame fr = src.next_frame();
+        for (const std::int32_t s : fr.samples) {
+            EXPECT_GE(s, -32768);
+            EXPECT_LE(s, 32767);
+        }
+    }
+}
+
+TEST(SpeechSourceTest, SignalHasEnergy) {
+    SpeechSource src{1};
+    const Frame fr = src.next_frame();
+    std::int64_t energy = 0;
+    for (const std::int32_t s : fr.samples) {
+        energy += static_cast<std::int64_t>(s) * s;
+    }
+    EXPECT_GT(energy, 1'000'000);
+}
+
+// ---- codec ----
+
+TEST(CodecTest, RoundTripSnr) {
+    SpeechSource src{1};
+    Encoder enc;
+    Decoder dec;
+    double min_snr = 1e9;
+    for (int f = 0; f < 25; ++f) {
+        const Frame in = src.next_frame();
+        const Frame out = dec.decode(enc.encode(in));
+        min_snr = std::min(min_snr, snr_db(in, out));
+    }
+    EXPECT_GT(min_snr, 8.0);  // quantized-residual LPC: modest but real fidelity
+}
+
+TEST(CodecTest, EncodeIsDeterministic) {
+    SpeechSource src1{5}, src2{5};
+    Encoder e1, e2;
+    for (int f = 0; f < 3; ++f) {
+        const EncodedFrame a = e1.encode(src1.next_frame());
+        const EncodedFrame b = e2.encode(src2.next_frame());
+        EXPECT_EQ(a.lpc_q12, b.lpc_q12);
+        EXPECT_EQ(a.residual, b.residual);
+        EXPECT_EQ(a.shift, b.shift);
+        EXPECT_EQ(a.checksum, b.checksum);
+    }
+}
+
+TEST(CodecTest, ChecksumMatchesFrame) {
+    SpeechSource src{9};
+    Encoder enc;
+    const Frame in = src.next_frame();
+    EXPECT_EQ(enc.encode(in).checksum, frame_checksum(in));
+}
+
+TEST(CodecTest, ChecksumSensitiveToData) {
+    SpeechSource src{9};
+    Frame a = src.next_frame();
+    Frame b = a;
+    b.samples[42] ^= 1;
+    EXPECT_NE(frame_checksum(a), frame_checksum(b));
+}
+
+TEST(CodecTest, LpcCoefficientsBounded) {
+    SpeechSource src{1};
+    Encoder enc;
+    for (int f = 0; f < 10; ++f) {
+        const EncodedFrame e = enc.encode(src.next_frame());
+        for (const std::int32_t c : e.lpc_q12) {
+            EXPECT_LE(std::abs(c), 32767);
+        }
+    }
+}
+
+TEST(CodecTest, OpCountsAreMacDominated) {
+    SpeechSource src{1};
+    Encoder enc;
+    (void)enc.encode(src.next_frame());
+    const OpCounts& ops = enc.op_counts();
+    // autocorrelation (11 lags x ~160) + residual (160 x 10) dominate.
+    EXPECT_GT(ops.macs, 3000u);
+    EXPECT_GT(ops.loads, ops.stores);
+}
+
+TEST(CodecTest, SilentFrameIsStable) {
+    Encoder enc;
+    Decoder dec;
+    const Frame silent{};  // all zeros: degenerate autocorrelation
+    const Frame out = dec.decode(enc.encode(silent));
+    for (const std::int32_t s : out.samples) {
+        EXPECT_LE(std::abs(s), 64);
+    }
+}
+
+// ---- guest image ----
+
+TEST(GuestImageTest, AssemblesWithEntries) {
+    const GuestImage img = build_vocoder_guest(3);
+    EXPECT_FALSE(img.program.code.empty());
+    EXPECT_NE(img.driver_entry, img.encoder_entry);
+    EXPECT_NE(img.encoder_entry, img.decoder_entry);
+    EXPECT_GT(img.listing_lines, 500);  // unrolled DSP-style inner loops
+}
+
+TEST(GuestImageTest, FrameCountParameterizesImage) {
+    const GuestImage a = build_vocoder_guest(3);
+    const GuestImage b = build_vocoder_guest(7);
+    EXPECT_EQ(a.program.code.size(), b.program.code.size());  // only constants differ
+    EXPECT_NE(a.listing, b.listing);
+}
+
+// ---- the three models (small frame counts keep tests fast) ----
+
+TEST(VocoderModels, UnscheduledDelayIsAlgorithmic) {
+    VocoderConfig cfg;
+    cfg.frames = 6;
+    const VocoderResult r = run_vocoder_unscheduled(cfg);
+    // Fully concurrent behaviors: the transcoding delay is exactly encode +
+    // decode WCET (the paper's optimistic 9.7 ms figure).
+    const SimTime expect = cycles_to_time(kEncodeWcetCycles + kDecodeWcetCycles);
+    EXPECT_EQ(r.avg_transcoding_delay, expect);
+    EXPECT_EQ(r.max_transcoding_delay, expect);
+    EXPECT_EQ(r.context_switches, 0u);
+    EXPECT_TRUE(r.data_ok);
+    EXPECT_GT(r.min_snr_db, 8.0);
+}
+
+TEST(VocoderModels, ArchitectureSerializesAndInflatesDelay) {
+    VocoderConfig cfg;
+    cfg.frames = 6;
+    trace::TraceRecorder rec;
+    cfg.tracer = &rec;
+    const VocoderResult r = run_vocoder_architecture(cfg);
+    EXPECT_FALSE(rec.has_concurrent_execution("DSP"));
+    EXPECT_GT(r.context_switches, 0u);
+    EXPECT_TRUE(r.data_ok);
+    EXPECT_GT(r.min_snr_db, 8.0);
+    const SimTime unsched = cycles_to_time(kEncodeWcetCycles + kDecodeWcetCycles);
+    EXPECT_GT(r.avg_transcoding_delay, unsched);
+}
+
+TEST(VocoderModels, ImplementationDataIntegrity) {
+    VocoderConfig cfg;
+    cfg.frames = 4;
+    const VocoderResult r = run_vocoder_implementation(cfg);
+    EXPECT_TRUE(r.data_ok);
+    EXPECT_GT(r.context_switches, 0u);
+    EXPECT_EQ(r.frames, 4u);
+}
+
+TEST(VocoderModels, Table1DelayOrdering) {
+    // The paper's qualitative result: the unscheduled model is optimistic,
+    // the architecture model pessimistic, the implementation in between.
+    VocoderConfig cfg;
+    cfg.frames = 8;
+    const VocoderResult u = run_vocoder_unscheduled(cfg);
+    const VocoderResult a = run_vocoder_architecture(cfg);
+    const VocoderResult i = run_vocoder_implementation(cfg);
+    EXPECT_LT(u.avg_transcoding_delay, i.avg_transcoding_delay);
+    EXPECT_LT(i.avg_transcoding_delay, a.avg_transcoding_delay);
+    // All three deliver every frame.
+    EXPECT_TRUE(u.data_ok);
+    EXPECT_TRUE(a.data_ok);
+    EXPECT_TRUE(i.data_ok);
+}
+
+TEST(VocoderModels, ImplementationTimingNearActualCycles) {
+    VocoderConfig cfg;
+    cfg.frames = 4;
+    const VocoderResult r = run_vocoder_implementation(cfg);
+    // Per-frame processing is calibrated to ~93% of the 9.7 ms WCET path plus
+    // driver interference and kernel overhead: expect 9-11 ms.
+    EXPECT_GT(r.avg_transcoding_delay, 8'500_us);
+    EXPECT_LT(r.avg_transcoding_delay, 11'500_us);
+}
+
+TEST(VocoderModels, ModelLocShapeMatchesPaper) {
+    // Table 1 LoC row shape: impl >> arch > unsched.
+    VocoderConfig cfg;
+    cfg.frames = 1;
+    const VocoderResult u = run_vocoder_unscheduled(cfg);
+    const VocoderResult a = run_vocoder_architecture(cfg);
+    const VocoderResult i = run_vocoder_implementation(cfg);
+    EXPECT_GT(a.model_loc, u.model_loc);
+    EXPECT_GT(i.model_loc, 2 * a.model_loc);
+}
+
+TEST(VocoderModels, TwoPeMappingOffloadsDecoder) {
+    VocoderConfig cfg;
+    cfg.frames = 6;
+    trace::TraceRecorder rec;
+    cfg.tracer = &rec;
+    const VocoderResult one = run_vocoder_architecture(cfg);
+    cfg.tracer = nullptr;
+    const TwoPeResult two = run_vocoder_two_pe(cfg);
+    EXPECT_TRUE(two.overall.data_ok);
+    EXPECT_GT(two.overall.min_snr_db, 8.0);
+    // The transcode chain is serial, so the latency stays in the same band
+    // (within 10%) — the second PE buys utilization headroom, not latency.
+    const double ratio =
+        static_cast<double>(two.overall.avg_transcoding_delay.ns()) /
+        static_cast<double>(one.avg_transcoding_delay.ns());
+    EXPECT_GT(ratio, 0.9);
+    EXPECT_LT(ratio, 1.1);
+    // Work splits across the PEs: decoder cycles live on DSP1 only.
+    EXPECT_EQ(two.pe1_busy, cycles_to_time(kDecodeWcetCycles) * 6);
+    EXPECT_GT(two.pe0_busy, two.pe1_busy);
+    // One bus transfer per frame.
+    EXPECT_EQ(two.bus_transfers, 6u);
+}
+
+TEST(VocoderModels, TwoPeTraceSerializedPerPe) {
+    VocoderConfig cfg;
+    cfg.frames = 4;
+    trace::TraceRecorder rec;
+    cfg.tracer = &rec;
+    const TwoPeResult two = run_vocoder_two_pe(cfg);
+    EXPECT_TRUE(two.overall.data_ok);
+    EXPECT_FALSE(rec.has_concurrent_execution("DSP0"));
+    EXPECT_FALSE(rec.has_concurrent_execution("DSP1"));
+}
+
+TEST(VocoderModels, SimDurationCoversAllFrames) {
+    VocoderConfig cfg;
+    cfg.frames = 5;
+    const VocoderResult r = run_vocoder_unscheduled(cfg);
+    // Last frame ready at ~frames * 20 ms; decoding adds ~10 ms.
+    EXPECT_GE(r.sim_duration, kFramePeriod * 5);
+    EXPECT_LT(r.sim_duration, kFramePeriod * 5 + 20_ms);
+}
+
+TEST(VocoderModels, GranularityAblationTightensInputLatency) {
+    // Paper §4.3: preemption accuracy is bounded by the delay-model
+    // granularity. With one coarse chunk per time_wait, a sub-frame interrupt
+    // arriving mid-encode waits until the end of the encoder's 6.5 ms step;
+    // with 500 us chunks the driver preempts at the next chunk boundary.
+    VocoderConfig coarse;
+    coarse.frames = 6;
+    VocoderConfig fine = coarse;
+    fine.rtos.preemption_granularity = 500_us;
+    const VocoderResult rc = run_vocoder_architecture(coarse);
+    const VocoderResult rf = run_vocoder_architecture(fine);
+    EXPECT_TRUE(rc.data_ok);
+    EXPECT_TRUE(rf.data_ok);
+    // Coarse model: worst input latency is in the multi-ms range.
+    EXPECT_GT(rc.max_input_latency, 2_ms);
+    // Fine model: bounded by chunk size + copy + switch overheads.
+    EXPECT_LT(rf.max_input_latency, rc.max_input_latency / 2);
+    // Finer modeling attributes interference landing near the decode boundary
+    // more faithfully, so the fine-grained delay estimate is >= the coarse one.
+    EXPECT_GE(rf.avg_transcoding_delay, rc.avg_transcoding_delay);
+}

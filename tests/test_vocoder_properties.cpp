@@ -1,0 +1,105 @@
+// Property sweeps over the vocoder codec and the generated guest programs:
+// fidelity, determinism, and calibration must hold across seeds, not just for
+// the default test vector.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "iss/cpu.hpp"
+#include "iss/guest_os.hpp"
+#include "vocoder/codec.hpp"
+#include "vocoder/iss_gen.hpp"
+#include "vocoder/timing.hpp"
+
+using namespace slm;
+using namespace slm::vocoder;
+
+class CodecSeedSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CodecSeedSweep, RoundTripFidelity) {
+    SpeechSource src{GetParam()};
+    Encoder enc;
+    Decoder dec;
+    double min_snr = 1e9;
+    for (int f = 0; f < 15; ++f) {
+        const Frame in = src.next_frame();
+        const Frame out = dec.decode(enc.encode(in));
+        min_snr = std::min(min_snr, snr_db(in, out));
+    }
+    EXPECT_GT(min_snr, 8.0) << "seed " << GetParam();
+}
+
+TEST_P(CodecSeedSweep, ResidualAlwaysRepresentable) {
+    SpeechSource src{GetParam()};
+    Encoder enc;
+    for (int f = 0; f < 10; ++f) {
+        const EncodedFrame e = enc.encode(src.next_frame());
+        EXPECT_GE(e.shift, 0);
+        EXPECT_LT(e.shift, 16);  // residual energy stays in a sane band
+        for (const std::int8_t r : e.residual) {
+            EXPECT_GE(r, -128);
+            EXPECT_LE(r, 127);
+        }
+    }
+}
+
+TEST_P(CodecSeedSweep, ChecksumsDistinctAcrossFrames) {
+    SpeechSource src{GetParam()};
+    std::set<std::uint32_t> sums;
+    for (int f = 0; f < 30; ++f) {
+        sums.insert(frame_checksum(src.next_frame()));
+    }
+    EXPECT_EQ(sums.size(), 30u);  // no accidental collisions on real frames
+}
+
+TEST_P(CodecSeedSweep, DecoderIsPureFunctionOfBitstream) {
+    SpeechSource src{GetParam()};
+    Encoder enc;
+    std::vector<EncodedFrame> stream;
+    for (int f = 0; f < 5; ++f) {
+        stream.push_back(enc.encode(src.next_frame()));
+    }
+    Decoder d1, d2;
+    for (const EncodedFrame& e : stream) {
+        EXPECT_EQ(d1.decode(e), d2.decode(e));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecSeedSweep,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u, 1234u, 0xffffffffu),
+                         [](const ::testing::TestParamInfo<std::uint32_t>& info) {
+                             return "seed" + std::to_string(info.param);
+                         });
+
+// ---- guest image calibration ----
+
+class GuestCalibration : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GuestCalibration, EncoderCyclesHitTarget) {
+    // Run the generated encoder for one frame standalone and check the
+    // executed cycle count lands within 1% of the calibration target.
+    const std::size_t frames = GetParam();
+    const GuestImage img = build_vocoder_guest(frames);
+    iss::Cpu cpu{img.program.code, 65536};
+    iss::GuestKernel gk{cpu};
+    gk.sem_init(kSemFrame, 1);  // one frame pre-queued
+    gk.sem_init(kSemBits, 0);
+    gk.create_task("encoder", 1, img.encoder_entry, 61000);
+    // Execute until the encoder blocks on the second frame (or exits).
+    std::uint64_t total = 0;
+    for (int i = 0; i < 10'000 && !gk.idle() && !gk.all_exited(); ++i) {
+        total += gk.run_slice(100'000);
+    }
+    const std::uint64_t target = actual_cycles(kEncodeWcetCycles);
+    const std::uint64_t overhead =
+        iss::GuestKernelConfig{}.context_switch_cycles +
+        2 * iss::GuestKernelConfig{}.syscall_cycles;
+    EXPECT_GT(total, target - target / 100);
+    EXPECT_LT(total, target + target / 100 + overhead);
+}
+
+INSTANTIATE_TEST_SUITE_P(FrameCounts, GuestCalibration, ::testing::Values(1u, 4u, 16u),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                             return std::to_string(info.param) + "frames";
+                         });
