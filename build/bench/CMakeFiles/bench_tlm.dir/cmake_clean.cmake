@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tlm.dir/bench_tlm.cpp.o"
+  "CMakeFiles/bench_tlm.dir/bench_tlm.cpp.o.d"
+  "bench_tlm"
+  "bench_tlm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tlm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

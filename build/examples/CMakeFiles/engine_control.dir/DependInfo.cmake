@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/engine_control.cpp" "examples/CMakeFiles/engine_control.dir/engine_control.cpp.o" "gcc" "examples/CMakeFiles/engine_control.dir/engine_control.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/slm_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/slm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtos/CMakeFiles/slm_rtos.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/slm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/slm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

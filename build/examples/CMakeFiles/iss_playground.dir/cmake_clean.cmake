@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iss_playground.dir/iss_playground.cpp.o"
+  "CMakeFiles/iss_playground.dir/iss_playground.cpp.o.d"
+  "iss_playground"
+  "iss_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iss_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

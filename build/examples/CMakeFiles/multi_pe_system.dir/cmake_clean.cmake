@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_pe_system.dir/multi_pe_system.cpp.o"
+  "CMakeFiles/multi_pe_system.dir/multi_pe_system.cpp.o.d"
+  "multi_pe_system"
+  "multi_pe_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_pe_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

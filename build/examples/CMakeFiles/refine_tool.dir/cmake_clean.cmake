@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refine_tool.dir/refine_tool.cpp.o"
+  "CMakeFiles/refine_tool.dir/refine_tool.cpp.o.d"
+  "refine_tool"
+  "refine_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refine_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

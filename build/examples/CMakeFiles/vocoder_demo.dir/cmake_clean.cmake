@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vocoder_demo.dir/vocoder_demo.cpp.o"
+  "CMakeFiles/vocoder_demo.dir/vocoder_demo.cpp.o.d"
+  "vocoder_demo"
+  "vocoder_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vocoder_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

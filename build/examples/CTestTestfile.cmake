@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;slm_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fig3_example "/root/repo/build/examples/fig3_example")
+set_tests_properties(example_fig3_example PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;slm_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_vocoder_demo "/root/repo/build/examples/vocoder_demo" "5")
+set_tests_properties(example_vocoder_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;slm_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multi_pe_system "/root/repo/build/examples/multi_pe_system")
+set_tests_properties(example_multi_pe_system PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;15;slm_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scheduler_explorer "/root/repo/build/examples/scheduler_explorer")
+set_tests_properties(example_scheduler_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;16;slm_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_refine_tool "/root/repo/build/examples/refine_tool" "--quiet")
+set_tests_properties(example_refine_tool PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;18;slm_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_engine_control "/root/repo/build/examples/engine_control")
+set_tests_properties(example_engine_control PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;20;slm_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_iss_playground "/root/repo/build/examples/iss_playground")
+set_tests_properties(example_iss_playground PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;21;slm_add_example;/root/repo/examples/CMakeLists.txt;0;")

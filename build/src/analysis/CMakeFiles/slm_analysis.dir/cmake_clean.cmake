@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slm_analysis.dir/analysis.cpp.o"
+  "CMakeFiles/slm_analysis.dir/analysis.cpp.o.d"
+  "libslm_analysis.a"
+  "libslm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

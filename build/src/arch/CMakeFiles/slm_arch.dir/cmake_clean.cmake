@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slm_arch.dir/arch.cpp.o"
+  "CMakeFiles/slm_arch.dir/arch.cpp.o.d"
+  "CMakeFiles/slm_arch.dir/fig3.cpp.o"
+  "CMakeFiles/slm_arch.dir/fig3.cpp.o.d"
+  "CMakeFiles/slm_arch.dir/tlm.cpp.o"
+  "CMakeFiles/slm_arch.dir/tlm.cpp.o.d"
+  "libslm_arch.a"
+  "libslm_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slm_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

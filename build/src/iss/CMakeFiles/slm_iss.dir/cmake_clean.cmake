@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slm_iss.dir/assembler.cpp.o"
+  "CMakeFiles/slm_iss.dir/assembler.cpp.o.d"
+  "CMakeFiles/slm_iss.dir/cpu.cpp.o"
+  "CMakeFiles/slm_iss.dir/cpu.cpp.o.d"
+  "CMakeFiles/slm_iss.dir/guest_os.cpp.o"
+  "CMakeFiles/slm_iss.dir/guest_os.cpp.o.d"
+  "CMakeFiles/slm_iss.dir/isa.cpp.o"
+  "CMakeFiles/slm_iss.dir/isa.cpp.o.d"
+  "libslm_iss.a"
+  "libslm_iss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slm_iss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slm_refine.dir/lexer.cpp.o"
+  "CMakeFiles/slm_refine.dir/lexer.cpp.o.d"
+  "CMakeFiles/slm_refine.dir/refiner.cpp.o"
+  "CMakeFiles/slm_refine.dir/refiner.cpp.o.d"
+  "libslm_refine.a"
+  "libslm_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slm_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libslm_refine.a"
+)

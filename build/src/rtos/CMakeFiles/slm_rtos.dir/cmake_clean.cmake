@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slm_rtos.dir/rtos.cpp.o"
+  "CMakeFiles/slm_rtos.dir/rtos.cpp.o.d"
+  "CMakeFiles/slm_rtos.dir/scheduler.cpp.o"
+  "CMakeFiles/slm_rtos.dir/scheduler.cpp.o.d"
+  "libslm_rtos.a"
+  "libslm_rtos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slm_rtos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slm_sim.dir/kernel.cpp.o"
+  "CMakeFiles/slm_sim.dir/kernel.cpp.o.d"
+  "CMakeFiles/slm_sim.dir/time.cpp.o"
+  "CMakeFiles/slm_sim.dir/time.cpp.o.d"
+  "libslm_sim.a"
+  "libslm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

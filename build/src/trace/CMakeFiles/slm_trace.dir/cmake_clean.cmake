@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slm_trace.dir/trace.cpp.o"
+  "CMakeFiles/slm_trace.dir/trace.cpp.o.d"
+  "libslm_trace.a"
+  "libslm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slm_vocoder.dir/codec.cpp.o"
+  "CMakeFiles/slm_vocoder.dir/codec.cpp.o.d"
+  "CMakeFiles/slm_vocoder.dir/iss_gen.cpp.o"
+  "CMakeFiles/slm_vocoder.dir/iss_gen.cpp.o.d"
+  "CMakeFiles/slm_vocoder.dir/models.cpp.o"
+  "CMakeFiles/slm_vocoder.dir/models.cpp.o.d"
+  "libslm_vocoder.a"
+  "libslm_vocoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slm_vocoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

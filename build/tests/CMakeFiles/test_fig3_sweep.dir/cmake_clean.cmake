@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fig3_sweep.dir/test_fig3_sweep.cpp.o"
+  "CMakeFiles/test_fig3_sweep.dir/test_fig3_sweep.cpp.o.d"
+  "test_fig3_sweep"
+  "test_fig3_sweep.pdb"
+  "test_fig3_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fig3_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

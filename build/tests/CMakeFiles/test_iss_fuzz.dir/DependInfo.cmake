@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_iss_fuzz.cpp" "tests/CMakeFiles/test_iss_fuzz.dir/test_iss_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_iss_fuzz.dir/test_iss_fuzz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/iss/CMakeFiles/slm_iss.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/slm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtos.dir/test_rtos.cpp.o"
+  "CMakeFiles/test_rtos.dir/test_rtos.cpp.o.d"
+  "test_rtos"
+  "test_rtos.pdb"
+  "test_rtos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtos_extras.dir/test_rtos_extras.cpp.o"
+  "CMakeFiles/test_rtos_extras.dir/test_rtos_extras.cpp.o.d"
+  "test_rtos_extras"
+  "test_rtos_extras.pdb"
+  "test_rtos_extras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtos_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtos_properties.dir/test_rtos_properties.cpp.o"
+  "CMakeFiles/test_rtos_properties.dir/test_rtos_properties.cpp.o.d"
+  "test_rtos_properties"
+  "test_rtos_properties.pdb"
+  "test_rtos_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtos_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

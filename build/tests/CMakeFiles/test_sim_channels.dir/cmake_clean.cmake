@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_channels.dir/test_sim_channels.cpp.o"
+  "CMakeFiles/test_sim_channels.dir/test_sim_channels.cpp.o.d"
+  "test_sim_channels"
+  "test_sim_channels.pdb"
+  "test_sim_channels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_stress.dir/test_sim_stress.cpp.o"
+  "CMakeFiles/test_sim_stress.dir/test_sim_stress.cpp.o.d"
+  "test_sim_stress"
+  "test_sim_stress.pdb"
+  "test_sim_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

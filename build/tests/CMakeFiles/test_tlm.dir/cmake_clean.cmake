@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tlm.dir/test_tlm.cpp.o"
+  "CMakeFiles/test_tlm.dir/test_tlm.cpp.o.d"
+  "test_tlm"
+  "test_tlm.pdb"
+  "test_tlm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tlm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_vocoder_properties.cpp" "tests/CMakeFiles/test_vocoder_properties.dir/test_vocoder_properties.cpp.o" "gcc" "tests/CMakeFiles/test_vocoder_properties.dir/test_vocoder_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vocoder/CMakeFiles/slm_vocoder.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/slm_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtos/CMakeFiles/slm_rtos.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/slm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/iss/CMakeFiles/slm_iss.dir/DependInfo.cmake"
+  "/root/repo/build/src/refine/CMakeFiles/slm_refine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/slm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

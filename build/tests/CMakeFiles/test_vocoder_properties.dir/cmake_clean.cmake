@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vocoder_properties.dir/test_vocoder_properties.cpp.o"
+  "CMakeFiles/test_vocoder_properties.dir/test_vocoder_properties.cpp.o.d"
+  "test_vocoder_properties"
+  "test_vocoder_properties.pdb"
+  "test_vocoder_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vocoder_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim_time[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_channels[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_rtos[1]_include.cmake")
+include("/root/repo/build/tests/test_rtos_extras[1]_include.cmake")
+include("/root/repo/build/tests/test_rtos_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_contracts[1]_include.cmake")
+include("/root/repo/build/tests/test_os_channels[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_arch[1]_include.cmake")
+include("/root/repo/build/tests/test_fig3_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_tlm[1]_include.cmake")
+include("/root/repo/build/tests/test_refine[1]_include.cmake")
+include("/root/repo/build/tests/test_iss[1]_include.cmake")
+include("/root/repo/build/tests/test_iss_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_vocoder[1]_include.cmake")
+include("/root/repo/build/tests/test_vocoder_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
