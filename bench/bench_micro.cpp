@@ -16,11 +16,14 @@ using namespace slm::time_literals;
 
 namespace {
 
-/// Cost of one coroutine round trip (process switch in + out).
-void BM_KernelContextSwitch(benchmark::State& state) {
+/// Cost of one scheduler round trip (process switch in + out, including
+/// ready-queue and state bookkeeping). The raw switch primitive is measured
+/// by bench_ctx as BM_KernelContextSwitch.
+void BM_KernelYield(benchmark::State& state) {
     constexpr int kYields = 10'000;
     for (auto _ : state) {
         sim::Kernel k;
+        state.SetLabel(to_string(k.backend()));
         k.spawn("a", [&k] {
             for (int i = 0; i < kYields; ++i) {
                 k.yield();
@@ -34,6 +37,34 @@ void BM_KernelContextSwitch(benchmark::State& state) {
         k.run();
     }
     state.SetItemsProcessed(state.iterations() * 2 * kYields);
+}
+
+/// Spawn throughput with stack recycling: waves of short-lived processes, so
+/// every wave after the first is served from the stack pool's free list. The
+/// counters expose the pool hit rate and the peak stack footprint.
+void BM_KernelSpawn(benchmark::State& state) {
+    constexpr int kWaves = 20;
+    constexpr int kPerWave = 100;
+    std::uint64_t recycled = 0;
+    std::uint64_t peak_bytes = 0;
+    std::uint64_t created = 0;
+    for (auto _ : state) {
+        sim::Kernel k;
+        for (int w = 0; w < kWaves; ++w) {
+            for (int i = 0; i < kPerWave; ++i) {
+                k.spawn("p", [] {});
+            }
+            peak_bytes = std::max(peak_bytes, k.stats().stack_bytes_in_use);
+            k.run();
+        }
+        recycled = k.stats().stacks_recycled;
+        created = k.stats().processes_created;
+    }
+    state.SetItemsProcessed(state.iterations() * kWaves * kPerWave);
+    state.counters["stacks_recycled"] = static_cast<double>(recycled);
+    state.counters["stack_bytes_in_use_peak"] = static_cast<double>(peak_bytes);
+    state.counters["pool_hit_rate"] =
+        created != 0 ? static_cast<double>(recycled) / static_cast<double>(created) : 0.0;
 }
 
 /// Cost of an event notify/wait pair.
@@ -121,7 +152,8 @@ void BM_IssExecution(benchmark::State& state) {
 
 }  // namespace
 
-BENCHMARK(BM_KernelContextSwitch);
+BENCHMARK(BM_KernelYield);
+BENCHMARK(BM_KernelSpawn);
 BENCHMARK(BM_KernelEventPingPong);
 BENCHMARK(BM_KernelWaitfor);
 BENCHMARK(BM_ChannelQueue);

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Run the kernel benchmark suite and leave a machine-readable BENCH_kernel.json
+# behind. Designed to be runnable both by hand and from CI:
+#
+#   bench/run_benches.sh                    # full run, ./build, ./BENCH_kernel.json
+#   bench/run_benches.sh --smoke            # CI smoke mode (milliseconds)
+#   bench/run_benches.sh --build-dir DIR    # pick a build tree
+#   bench/run_benches.sh --out FILE         # where to write the JSON
+#   bench/run_benches.sh --micro            # also run the google-benchmark micro suite
+set -euo pipefail
+
+build_dir=build
+out=BENCH_kernel.json
+smoke_flag=""
+run_micro=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) smoke_flag="--smoke" ;;
+    --build-dir) build_dir="$2"; shift ;;
+    --out) out="$2"; shift ;;
+    --micro) run_micro=1 ;;
+    *) echo "usage: $0 [--smoke] [--build-dir DIR] [--out FILE] [--micro]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+bench_ctx="$build_dir/bench/bench_ctx"
+if [[ ! -x "$bench_ctx" ]]; then
+  echo "error: $bench_ctx not built (cmake --build $build_dir --target bench_ctx)" >&2
+  exit 1
+fi
+
+"$bench_ctx" $smoke_flag --out "$out"
+
+if [[ "$run_micro" == 1 && -x "$build_dir/bench/bench_micro" ]]; then
+  if [[ -n "$smoke_flag" ]]; then
+    # Older google-benchmark wants a bare double (no "s" suffix) here.
+    "$build_dir/bench/bench_micro" --benchmark_min_time=0.01
+  else
+    "$build_dir/bench/bench_micro"
+  fi
+fi

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# ASan+UBSan gate: configure, build, and run the test suite with
+# -DSLM_SANITIZE=ON. This exercises the fast-context engine's sanitizer
+# fiber annotations and the stack pool's unpoison-on-recycle path (see
+# docs/kernel-internals.md), plus every ucontext-variant test the suite
+# registers.
+#
+#   ci/sanitize.sh              # build tree: build-asan
+#   ci/sanitize.sh my-dir       # pick another build tree
+set -euo pipefail
+
+build_dir="${1:-build-asan}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$build_dir" -S "$repo_root" -DSLM_SANITIZE=ON
+cmake --build "$build_dir" -j "$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"

@@ -121,6 +121,7 @@ public:
         if (protocol_ == Protocol::PriorityCeiling &&
             ceiling_ < owner_->inherited_priority_) {
             owner_->inherited_priority_ = ceiling_;
+            os_.requeue_if_ready(owner_);
             os_.reschedule_after_boost();
         }
     }
@@ -140,6 +141,7 @@ private:
     void boost_owner(int priority) {
         if (priority < owner_->inherited_priority_) {
             owner_->inherited_priority_ = priority;
+            os_.requeue_if_ready(owner_);  // re-sort if it sits in the ready queue
             os_.reschedule_after_boost();
         }
     }

@@ -32,6 +32,7 @@ Task::Task(RtosModel& os, TaskParams params) : os_(os), params_(std::move(params
 RtosModel::RtosModel(sim::Kernel& kernel, RtosConfig cfg)
     : kernel_(kernel), cfg_(std::move(cfg)) {
     policy_ = make_policy(cfg_.policy, cfg_.quantum);
+    ready_ = policy_->make_queue();
 }
 
 RtosModel::~RtosModel() = default;
@@ -50,6 +51,13 @@ void RtosModel::start() {
 
 void RtosModel::start(SchedPolicy policy) {
     policy_ = make_policy(policy, cfg_.quantum);
+    // Tasks activated before start() already sit in the old queue; migrate
+    // them so the new policy orders them (arrival_seq stamps are preserved).
+    auto queue = policy_->make_queue();
+    while (!ready_->empty()) {
+        queue->push(ready_->pop());
+    }
+    ready_ = std::move(queue);
     start();
 }
 
@@ -106,12 +114,18 @@ void RtosModel::set_task_state(Task* t, TaskState s) {
 
 void RtosModel::enqueue_ready(Task* t) {
     t->arrival_seq_ = ++arrival_counter_;
-    ready_.push_back(t);
+    ready_->push(t);
     set_task_state(t, TaskState::Ready);
 }
 
 void RtosModel::remove_ready(Task* t) {
-    std::erase(ready_, t);
+    ready_->erase(t);
+}
+
+void RtosModel::requeue_if_ready(Task* t) {
+    if (t->state_ == TaskState::Ready) {
+        ready_->requeue(t);
+    }
 }
 
 void RtosModel::dispatch(Task* t) {
@@ -137,10 +151,10 @@ void RtosModel::schedule() {
     if (!started_) {
         return;
     }
-    Task* best = policy_->pick(ready_);
+    Task* best = ready_->peek();
     if (running_ == nullptr) {
         if (best != nullptr) {
-            remove_ready(best);
+            ready_->pop();
             dispatch(best);
         }
         return;
@@ -163,9 +177,8 @@ void RtosModel::maybe_yield() {
     const SimTime saved_quantum = quantum_used_;
     enqueue_ready(selftask);
     running_ = nullptr;
-    Task* best = policy_->pick(ready_);
+    Task* best = ready_->pop();
     SLM_ASSERT(best != nullptr, "ready queue lost the yielding task");
-    remove_ready(best);
     if (best == selftask) {
         running_ = selftask;
         quantum_used_ = saved_quantum;
@@ -183,8 +196,7 @@ void RtosModel::rotate_quantum() {
     reschedule_pending_ = false;
     enqueue_ready(selftask);
     running_ = nullptr;
-    Task* best = policy_->pick(ready_);
-    remove_ready(best);
+    Task* best = ready_->pop();
     if (best == selftask) {
         running_ = selftask;
         quantum_used_ = SimTime::zero();
@@ -396,6 +408,7 @@ void RtosModel::task_set_priority(Task* t, int priority) {
     ++stats_.syscalls;
     SLM_ASSERT(t != nullptr, "task_set_priority(nullptr)");
     t->params_.priority = priority;
+    requeue_if_ready(t);
     schedule();
     if (running_ != nullptr && self() == running_) {
         maybe_yield();

@@ -94,6 +94,7 @@ public:
 private:
     friend class RtosModel;
     friend class OsMutex;
+    friend class ReadyQueue;  // intrusive ready-queue link access
 
     Task(RtosModel& os, TaskParams params);
 
@@ -102,6 +103,7 @@ private:
     TaskState state_ = TaskState::New;
     sim::Process* proc_ = nullptr;  ///< bound at task_activate time
     std::unique_ptr<sim::Event> dispatch_evt_;
+    ReadyLink rq_link_;             ///< owned by the scheduler's ReadyQueue
 
     SimTime release_time_{};
     SimTime next_release_{};
@@ -282,6 +284,9 @@ private:
 
     void enqueue_ready(Task* t);
     void remove_ready(Task* t);
+    /// Re-sort a Ready task whose scheduling key changed (priority boost /
+    /// task_set_priority); no-op for tasks in other states.
+    void requeue_if_ready(Task* t);
     void set_task_state(Task* t, TaskState s);
     void dispatch(Task* t);
     void apply_switch_cost(Task* t);
@@ -299,7 +304,7 @@ private:
     std::unique_ptr<SchedulerPolicy> policy_;
     std::vector<std::unique_ptr<Task>> tasks_;
     std::vector<std::unique_ptr<OsEvent>> events_;
-    std::vector<Task*> ready_;
+    std::unique_ptr<ReadyQueue> ready_;
     std::unordered_map<const sim::Process*, Task*> by_process_;
     Task* running_ = nullptr;
     Task* last_dispatched_ = nullptr;

@@ -1,5 +1,10 @@
 #include "rtos/scheduler.hpp"
 
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <vector>
+
 #include "rtos/rtos.hpp"
 #include "sim/assert.hpp"
 
@@ -16,27 +21,231 @@ const char* to_string(SchedPolicy p) {
     return "?";
 }
 
+ReadyLink& ReadyQueue::link(Task& t) {
+    return t.rq_link_;
+}
+
 namespace {
 
-/// Best ready task by comparator; `less(a, b)` = "a should run before b".
-template <typename Less>
-Task* pick_best(const std::vector<Task*>& ready, Less less) {
-    Task* best = nullptr;
-    for (Task* t : ready) {
-        if (best == nullptr || less(t, best)) {
-            best = t;
+// ---- ready queues ----
+
+/// FIFO order: arrival_seq is monotone in push order, so a plain deque is
+/// already sorted. O(1) push/pop. Key changes (priority boosts) cannot affect
+/// FIFO order, so requeue() keeps the task in place.
+class FifoQueue final : public ReadyQueue {
+public:
+    void push(Task* t) override {
+        link(*t).queued = true;
+        // Monotone arrival_seq makes push_back sorted; policy migration at
+        // start() may replay tasks out of arrival order.
+        if (q_.empty() || q_.back()->arrival_seq() < t->arrival_seq()) {
+            q_.push_back(t);
+        } else {
+            const auto it = std::upper_bound(
+                q_.begin(), q_.end(), t->arrival_seq(),
+                [](std::uint64_t seq, const Task* q) { return seq < q->arrival_seq(); });
+            q_.insert(it, t);
         }
     }
-    return best;
+    Task* peek() const override { return q_.empty() ? nullptr : q_.front(); }
+    Task* pop() override {
+        SLM_ASSERT(!q_.empty(), "pop() on an empty ready queue");
+        Task* t = q_.front();
+        q_.pop_front();
+        link(*t).queued = false;
+        return t;
+    }
+    void erase(Task* t) override {
+        if (link(*t).queued) {
+            std::erase(q_, t);
+            link(*t).queued = false;
+        }
+    }
+    void requeue(Task*) override {}
+    bool empty() const override { return q_.empty(); }
+    std::size_t size() const override { return q_.size(); }
+
+private:
+    std::deque<Task*> q_;
+};
+
+/// Priority buckets: a map keyed by effective priority (smaller = higher),
+/// FIFO by arrival_seq inside each bucket. Dispatch is O(log P) in the number
+/// of *distinct* priority levels — effectively O(1) for real task sets —
+/// instead of O(n) in ready tasks. The insertion key is remembered in the
+/// intrusive link so erase() finds the right bucket even after the task's
+/// effective priority changed (requeue() re-inserts under the new key,
+/// keeping arrival order within the destination bucket).
+class PriorityBucketQueue final : public ReadyQueue {
+public:
+    void push(Task* t) override {
+        const int key = t->effective_priority();
+        auto& bucket = buckets_[key];
+        // Monotone arrival_seq makes push_back sorted; a requeue()ed task may
+        // carry an older seq and belongs further forward.
+        if (bucket.empty() || bucket.back()->arrival_seq() < t->arrival_seq()) {
+            bucket.push_back(t);
+        } else {
+            const auto it = std::upper_bound(
+                bucket.begin(), bucket.end(), t->arrival_seq(),
+                [](std::uint64_t seq, const Task* q) { return seq < q->arrival_seq(); });
+            bucket.insert(it, t);
+        }
+        link(*t).bucket = key;
+        link(*t).queued = true;
+        ++size_;
+    }
+    Task* peek() const override {
+        return buckets_.empty() ? nullptr : buckets_.begin()->second.front();
+    }
+    Task* pop() override {
+        SLM_ASSERT(!buckets_.empty(), "pop() on an empty ready queue");
+        const auto it = buckets_.begin();
+        Task* t = it->second.front();
+        it->second.pop_front();
+        if (it->second.empty()) {
+            buckets_.erase(it);
+        }
+        link(*t).queued = false;
+        --size_;
+        return t;
+    }
+    void erase(Task* t) override {
+        if (!link(*t).queued) {
+            return;
+        }
+        const auto it = buckets_.find(link(*t).bucket);
+        SLM_ASSERT(it != buckets_.end(), "ready task lost its priority bucket");
+        std::erase(it->second, t);
+        if (it->second.empty()) {
+            buckets_.erase(it);
+        }
+        link(*t).queued = false;
+        --size_;
+    }
+    void requeue(Task* t) override {
+        if (link(*t).queued && link(*t).bucket != t->effective_priority()) {
+            erase(t);
+            push(t);
+        }
+    }
+    bool empty() const override { return buckets_.empty(); }
+    std::size_t size() const override { return size_; }
+
+private:
+    std::map<int, std::deque<Task*>> buckets_;
+    std::size_t size_ = 0;
+};
+
+/// Binary min-heap keyed by a policy-supplied SimTime (absolute deadline for
+/// EDF, period for RMS) with arrival_seq as tie-break. O(log n) push/pop,
+/// O(log n) erase via the intrusive heap position.
+template <typename KeyFn>
+class TimeHeapQueue final : public ReadyQueue {
+public:
+    explicit TimeHeapQueue(KeyFn key) : key_(key) {}
+
+    void push(Task* t) override {
+        link(*t).queued = true;
+        link(*t).heap_pos = heap_.size();
+        heap_.push_back(t);
+        sift_up(heap_.size() - 1);
+    }
+    Task* peek() const override { return heap_.empty() ? nullptr : heap_.front(); }
+    Task* pop() override {
+        SLM_ASSERT(!heap_.empty(), "pop() on an empty ready queue");
+        Task* t = heap_.front();
+        remove_at(0);
+        return t;
+    }
+    void erase(Task* t) override {
+        if (link(*t).queued) {
+            remove_at(link(*t).heap_pos);
+        }
+    }
+    void requeue(Task* t) override {
+        if (link(*t).queued) {
+            sift_up(link(*t).heap_pos);
+            sift_down(link(*t).heap_pos);
+        }
+    }
+    bool empty() const override { return heap_.empty(); }
+    std::size_t size() const override { return heap_.size(); }
+
+private:
+    bool before(const Task* a, const Task* b) const {
+        const SimTime ka = key_(*a);
+        const SimTime kb = key_(*b);
+        if (ka != kb) {
+            return ka < kb;
+        }
+        return a->arrival_seq() < b->arrival_seq();
+    }
+    void place(Task* t, std::size_t pos) {
+        heap_[pos] = t;
+        link(*t).heap_pos = pos;
+    }
+    void sift_up(std::size_t pos) {
+        while (pos > 0) {
+            const std::size_t parent = (pos - 1) / 2;
+            if (!before(heap_[pos], heap_[parent])) {
+                break;
+            }
+            Task* tmp = heap_[pos];
+            place(heap_[parent], pos);
+            place(tmp, parent);
+            pos = parent;
+        }
+    }
+    void sift_down(std::size_t pos) {
+        for (;;) {
+            std::size_t best = pos;
+            const std::size_t l = 2 * pos + 1;
+            const std::size_t r = 2 * pos + 2;
+            if (l < heap_.size() && before(heap_[l], heap_[best])) {
+                best = l;
+            }
+            if (r < heap_.size() && before(heap_[r], heap_[best])) {
+                best = r;
+            }
+            if (best == pos) {
+                return;
+            }
+            Task* tmp = heap_[pos];
+            place(heap_[best], pos);
+            place(tmp, best);
+            pos = best;
+        }
+    }
+    void remove_at(std::size_t pos) {
+        SLM_ASSERT(pos < heap_.size(), "heap position out of range");
+        link(*heap_[pos]).queued = false;
+        link(*heap_[pos]).heap_pos = ReadyLink::npos;
+        Task* last = heap_.back();
+        heap_.pop_back();
+        if (pos < heap_.size()) {
+            place(last, pos);
+            sift_down(pos);
+            sift_up(link(*last).heap_pos);
+        }
+    }
+
+    KeyFn key_;
+    std::vector<Task*> heap_;
+};
+
+template <typename KeyFn>
+std::unique_ptr<ReadyQueue> make_time_heap(KeyFn key) {
+    return std::make_unique<TimeHeapQueue<KeyFn>>(key);
 }
+
+// ---- policies ----
 
 class FifoPolicy final : public SchedulerPolicy {
 public:
     const char* name() const override { return "FIFO"; }
-    Task* pick(const std::vector<Task*>& ready) const override {
-        return pick_best(ready, [](const Task* a, const Task* b) {
-            return a->arrival_seq() < b->arrival_seq();
-        });
+    std::unique_ptr<ReadyQueue> make_queue() const override {
+        return std::make_unique<FifoQueue>();
     }
     bool preempts(const Task&, const Task&) const override { return false; }
 };
@@ -44,13 +253,8 @@ public:
 class PriorityPolicy : public SchedulerPolicy {
 public:
     const char* name() const override { return "Priority"; }
-    Task* pick(const std::vector<Task*>& ready) const override {
-        return pick_best(ready, [](const Task* a, const Task* b) {
-            if (a->effective_priority() != b->effective_priority()) {
-                return a->effective_priority() < b->effective_priority();
-            }
-            return a->arrival_seq() < b->arrival_seq();
-        });
+    std::unique_ptr<ReadyQueue> make_queue() const override {
+        return std::make_unique<PriorityBucketQueue>();
     }
     bool preempts(const Task& cand, const Task& running) const override {
         return cand.effective_priority() < running.effective_priority();
@@ -72,13 +276,8 @@ private:
 class EdfPolicy final : public SchedulerPolicy {
 public:
     const char* name() const override { return "EDF"; }
-    Task* pick(const std::vector<Task*>& ready) const override {
-        return pick_best(ready, [](const Task* a, const Task* b) {
-            if (a->absolute_deadline() != b->absolute_deadline()) {
-                return a->absolute_deadline() < b->absolute_deadline();
-            }
-            return a->arrival_seq() < b->arrival_seq();
-        });
+    std::unique_ptr<ReadyQueue> make_queue() const override {
+        return make_time_heap([](const Task& t) { return t.absolute_deadline(); });
     }
     bool preempts(const Task& cand, const Task& running) const override {
         return cand.absolute_deadline() < running.absolute_deadline();
@@ -88,13 +287,8 @@ public:
 class RmsPolicy final : public SchedulerPolicy {
 public:
     const char* name() const override { return "RMS"; }
-    Task* pick(const std::vector<Task*>& ready) const override {
-        return pick_best(ready, [](const Task* a, const Task* b) {
-            if (key(*a) != key(*b)) {
-                return key(*a) < key(*b);
-            }
-            return a->arrival_seq() < b->arrival_seq();
-        });
+    std::unique_ptr<ReadyQueue> make_queue() const override {
+        return make_time_heap([](const Task& t) { return key(t); });
     }
     bool preempts(const Task& cand, const Task& running) const override {
         return key(cand) < key(running);

@@ -1,0 +1,194 @@
+#include "sim/context.hpp"
+
+#include <cstdlib>
+
+#include "sim/assert.hpp"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define SLM_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SLM_ASAN 1
+#endif
+#endif
+#ifndef SLM_ASAN
+#define SLM_ASAN 0
+#endif
+
+#if SLM_ASAN
+#include <pthread.h>
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+#if SLM_HAVE_FAST_CONTEXT
+// Assembly switch (context_x86_64.S / context_aarch64.S). Saves the callee-
+// saved register set into the current stack, flips the stack pointer, and
+// restores. `transfer` reaches a resumed context as the return value and a
+// fresh context as its entry argument.
+extern "C" void* slm_jump_fcontext(void** save_sp, void* target_sp, void* transfer);
+#endif
+
+namespace slm::sim {
+
+const char* to_string(ContextBackend b) {
+    switch (b) {
+        case ContextBackend::Auto: return "auto";
+        case ContextBackend::Fast: return "fast";
+        case ContextBackend::Ucontext: return "ucontext";
+    }
+    return "?";
+}
+
+bool fast_context_compiled() {
+    return SLM_HAVE_FAST_CONTEXT != 0;
+}
+
+ContextBackend resolve_backend(ContextBackend requested) {
+    if (!fast_context_compiled()) {
+        return ContextBackend::Ucontext;
+    }
+    if (requested == ContextBackend::Auto) {
+        const char* env = std::getenv("SLM_FORCE_UCONTEXT");
+        if (env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0')) {
+            return ContextBackend::Ucontext;
+        }
+        return ContextBackend::Fast;
+    }
+    return requested;
+}
+
+#if SLM_HAVE_FAST_CONTEXT
+namespace {
+
+/// Build the initial frame slm_jump_fcontext's restore path consumes, so that
+/// the first switch into the context "returns" into `entry`. Layouts are
+/// documented in the matching .S file and docs/kernel-internals.md.
+void* make_fast_frame(void* stack_lo, std::size_t size, void (*entry)(void*)) {
+    auto top = reinterpret_cast<std::uintptr_t>(stack_lo) + size;
+    top &= ~std::uintptr_t{15};  // ABI stack alignment
+#if defined(__x86_64__)
+    // Low -> high: [0] mxcsr + x87 cw, [1..6] r15 r14 r13 r12 rbx rbp,
+    // [7] return address = entry, [8] zero frame terminator. After the
+    // restore path's `ret`, rsp = frame+64 = top-8, i.e. rsp % 16 == 8,
+    // exactly the state at a normal function entry.
+    auto* frame = reinterpret_cast<std::uintptr_t*>(top) - 9;
+    std::uint32_t mxcsr = 0;
+    asm volatile("stmxcsr %0" : "=m"(mxcsr));
+    std::uint16_t fcw = 0;
+    asm volatile("fnstcw %0" : "=m"(fcw));
+    frame[0] = static_cast<std::uintptr_t>(mxcsr) |
+               (static_cast<std::uintptr_t>(fcw) << 32U);
+    for (int i = 1; i <= 6; ++i) {
+        frame[i] = 0;
+    }
+    frame[7] = reinterpret_cast<std::uintptr_t>(entry);
+    frame[8] = 0;
+    return frame;
+#elif defined(__aarch64__)
+    // 160-byte frame: x19..x28, x29 (zero terminates frame-pointer chains),
+    // x30 = entry (the restore path's `ret` target), d8..d15.
+    auto* frame = reinterpret_cast<std::uintptr_t*>(top - 160);
+    for (int i = 0; i < 20; ++i) {
+        frame[i] = 0;
+    }
+    frame[11] = reinterpret_cast<std::uintptr_t>(entry);  // x30 slot, byte 88
+    return frame;
+#endif
+}
+
+}  // namespace
+#endif  // SLM_HAVE_FAST_CONTEXT
+
+void Context::init(void* stack_lo, std::size_t stack_size, Entry entry, void* arg,
+                   ContextBackend backend) {
+    entry_ = entry;
+    arg_ = arg;
+    stack_lo_ = stack_lo;
+    stack_size_ = stack_size;
+    asan_fake_stack_ = nullptr;
+    if (backend == ContextBackend::Fast) {
+#if SLM_HAVE_FAST_CONTEXT
+        sp_ = make_fast_frame(stack_lo, stack_size, &Context::fast_entry);
+        return;
+#else
+        SLM_ASSERT(false, "fast context backend not compiled in");
+#endif
+    }
+    getcontext(&uctx_);
+    uctx_.uc_stack.ss_sp = stack_lo;
+    uctx_.uc_stack.ss_size = stack_size;
+    uctx_.uc_link = nullptr;  // entries never return; they switch away forever
+    const auto self = reinterpret_cast<std::uintptr_t>(this);
+    makecontext(&uctx_, reinterpret_cast<void (*)()>(&Context::ucontext_entry), 2,
+                static_cast<unsigned>(self >> 32U),
+                static_cast<unsigned>(self & 0xffffffffU));
+}
+
+void Context::adopt_thread_stack() {
+#if SLM_ASAN
+    pthread_attr_t attr;
+    if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+        void* lo = nullptr;
+        std::size_t sz = 0;
+        if (pthread_attr_getstack(&attr, &lo, &sz) == 0) {
+            stack_lo_ = lo;
+            stack_size_ = sz;
+        }
+        pthread_attr_destroy(&attr);
+    }
+#endif
+}
+
+void Context::switch_to(Context& from, Context& to, ContextBackend backend,
+                        bool finishing) {
+#if SLM_ASAN
+    // Manual fiber annotations on BOTH backends: ASan must retarget its
+    // shadow-stack bookkeeping at every switch or it reports false stack
+    // overflows — its swapcontext interceptor alone leaves the current-stack
+    // bounds stale, which breaks __asan_handle_no_return when an exception
+    // (ProcessKilled) is thrown on a coroutine stack. `finishing` passes
+    // nullptr so the fake stack of a dead context is released (its real
+    // stack returns to the pool).
+    __sanitizer_start_switch_fiber(finishing ? nullptr : &from.asan_fake_stack_,
+                                   to.stack_lo_, to.stack_size_);
+#endif
+#if SLM_HAVE_FAST_CONTEXT
+    if (backend == ContextBackend::Fast) {
+        (void)slm_jump_fcontext(&from.sp_, to.sp_, &to);
+    } else
+#endif
+    {
+        // The portable path: swapcontext saves/restores the signal mask too,
+        // costing two sigprocmask syscalls per switch.
+        swapcontext(&from.uctx_, &to.uctx_);
+    }
+    (void)backend;
+    (void)finishing;
+#if SLM_ASAN
+    __sanitizer_finish_switch_fiber(from.asan_fake_stack_, nullptr, nullptr);
+#endif
+}
+
+void Context::first_entry() {
+    entry_(arg_);
+    SLM_ASSERT(false, "a context entry function returned");
+}
+
+void Context::fast_entry(void* raw) {
+    auto* ctx = static_cast<Context*>(raw);
+#if SLM_ASAN
+    __sanitizer_finish_switch_fiber(ctx->asan_fake_stack_, nullptr, nullptr);
+#endif
+    ctx->first_entry();
+}
+
+void Context::ucontext_entry(unsigned hi, unsigned lo) {
+    auto* ctx = reinterpret_cast<Context*>((static_cast<std::uintptr_t>(hi) << 32U) |
+                                           static_cast<std::uintptr_t>(lo));
+#if SLM_ASAN
+    __sanitizer_finish_switch_fiber(ctx->asan_fake_stack_, nullptr, nullptr);
+#endif
+    ctx->first_entry();
+}
+
+}  // namespace slm::sim

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ucontext.h>
+
+// Compile-time availability of the hand-rolled assembly context switch.
+// Configuring with -DSLM_FORCE_UCONTEXT=ON removes the assembly entirely and
+// leaves only the portable ucontext backend; unsupported architectures fall
+// back automatically. See docs/kernel-internals.md for the switch ABI.
+#if !defined(SLM_FORCE_UCONTEXT) && (defined(__x86_64__) || defined(__aarch64__))
+#define SLM_HAVE_FAST_CONTEXT 1
+#else
+#define SLM_HAVE_FAST_CONTEXT 0
+#endif
+
+namespace slm::sim {
+
+/// Low-level coroutine switch implementation used by the kernel.
+enum class ContextBackend {
+    Auto,      ///< Fast when compiled in and $SLM_FORCE_UCONTEXT is unset
+    Fast,      ///< fcontext-style assembly switch (no syscalls)
+    Ucontext,  ///< glibc makecontext/swapcontext (2 sigprocmask syscalls/switch)
+};
+
+[[nodiscard]] const char* to_string(ContextBackend b);
+
+/// True when the assembly switch was compiled into this build.
+[[nodiscard]] bool fast_context_compiled();
+
+/// Resolve Auto against compile-time availability and the SLM_FORCE_UCONTEXT
+/// environment variable (any non-empty value other than "0" forces ucontext).
+/// A Fast request on a ucontext-only build degrades to Ucontext.
+[[nodiscard]] ContextBackend resolve_backend(ContextBackend requested);
+
+/// One switchable machine context: either a coroutine (stack prepared by
+/// init()) or the scheduler's borrowed thread context (switched into without
+/// init). A Context is address-stable after init() — the prepared stack frame
+/// and the ucontext trampoline both capture `this`.
+class Context {
+public:
+    /// Coroutine entry point; must never return (finish by switching away).
+    using Entry = void (*)(void* arg);
+
+    Context() = default;
+    Context(const Context&) = delete;
+    Context& operator=(const Context&) = delete;
+
+    /// Prepare a fresh context that starts in `entry(arg)` on the given stack
+    /// the first time it is switched to. `stack_lo` is the lowest usable byte.
+    void init(void* stack_lo, std::size_t stack_size, Entry entry, void* arg,
+              ContextBackend backend);
+
+    /// For the scheduler context under ASan: record the current thread's stack
+    /// bounds so fiber-switch annotations can name the stack we switch back
+    /// to. No-op in non-sanitized builds.
+    void adopt_thread_stack();
+
+    /// Suspend `from` (the currently executing context) and resume `to`.
+    /// Returns when something switches back to `from`. `finishing` must be
+    /// true on a context's final switch away (its stack may be recycled; under
+    /// ASan this releases the fiber's fake stack) — such a call never returns.
+    static void switch_to(Context& from, Context& to, ContextBackend backend,
+                          bool finishing = false);
+
+private:
+    void first_entry();
+    static void fast_entry(void* raw);
+    static void ucontext_entry(unsigned hi, unsigned lo);
+
+    void* sp_ = nullptr;       ///< fast backend: saved stack pointer
+    ucontext_t uctx_{};        ///< ucontext backend
+    Entry entry_ = nullptr;
+    void* arg_ = nullptr;
+    const void* stack_lo_ = nullptr;  ///< sanitizer + diagnostics bookkeeping
+    std::size_t stack_size_ = 0;
+    void* asan_fake_stack_ = nullptr;
+};
+
+}  // namespace slm::sim

@@ -23,20 +23,52 @@ Process* this_process() {
     return g_current_kernel != nullptr ? g_current_kernel->current() : nullptr;
 }
 
-Kernel::Kernel(KernelConfig cfg) : cfg_(cfg) {}
+Kernel::Kernel(KernelConfig cfg)
+    : cfg_(cfg),
+      backend_(resolve_backend(cfg.backend)),
+      stack_pool_(cfg.guard_pages) {}
 
-Kernel::~Kernel() = default;
+Kernel::~Kernel() {
+    // Stacks of processes still alive at teardown (simulation aborted early)
+    // go back to the pool so its destructor frees every mapping exactly once.
+    // Their suspended frames are abandoned without unwinding, as before.
+    for (auto& p : processes_) {
+        if (p->stack_) {
+            stack_pool_.release(p->stack_);
+            p->stack_ = StackBlock{};
+        }
+    }
+}
 
 Process* Kernel::spawn(std::string name, std::function<void()> body) {
     SLM_ASSERT(body != nullptr, "spawn() requires a process body");
-    auto proc = std::unique_ptr<Process>(new Process(
-        *this, std::move(name), std::move(body), current_, next_id_++, cfg_.stack_size));
+    auto proc = std::unique_ptr<Process>(
+        new Process(*this, std::move(name), std::move(body), current_, next_id_++));
     Process* p = proc.get();
     processes_.push_back(std::move(proc));
-    p->prepare_context(&sched_ctx_);
+    // Degenerate stack_size requests (0, or below the documented floor) clamp
+    // to KernelConfig::kMinStackSize; the pool then rounds to its size class.
+    p->stack_ = stack_pool_.acquire(
+        std::max(cfg_.stack_size, KernelConfig::kMinStackSize));
+    p->ctx_.init(p->stack_.base, p->stack_.size, &Kernel::trampoline, p, backend_);
+    sync_stack_stats();
     ++stats_.processes_created;
     make_ready(p);
     return p;
+}
+
+void Kernel::recycle_stack(Process* p) {
+    if (p->stack_) {
+        stack_pool_.release(p->stack_);
+        p->stack_ = StackBlock{};
+        sync_stack_stats();
+    }
+    p->body_ = nullptr;
+}
+
+void Kernel::sync_stack_stats() {
+    stats_.stack_bytes_in_use = stack_pool_.bytes_in_use();
+    stats_.stacks_recycled = stack_pool_.recycled();
 }
 
 void Kernel::make_ready(Process* p) {
@@ -72,10 +104,10 @@ void Kernel::drain_runnable() {
         set_state(p, ProcState::Running);
         current_ = p;
         ++stats_.process_activations;
-        swapcontext(&sched_ctx_, &p->ctx_);
+        Context::switch_to(sched_ctx_, p->ctx_, backend_);
         current_ = nullptr;
         if (p->done()) {
-            p->release_stack();
+            recycle_stack(p);
         }
     }
 }
@@ -153,6 +185,7 @@ bool Kernel::run_until(SimTime t_end) {
     running_ = true;
     Kernel* const prev = g_current_kernel;
     g_current_kernel = this;
+    sched_ctx_.adopt_thread_stack();  // ASan fiber bookkeeping; no-op otherwise
 
     for (;;) {
         drain_runnable();
@@ -194,7 +227,7 @@ void Kernel::check_killed() {
 
 void Kernel::block_current_and_reschedule() {
     Process* self = current_;
-    swapcontext(&self->ctx_, &sched_ctx_);
+    Context::switch_to(self->ctx_, sched_ctx_, backend_);
 }
 
 void Kernel::wait(Event& e) {
@@ -340,13 +373,12 @@ void Kernel::finish_current(ProcState final_state) {
             make_ready(p->parent_);
         }
     }
-    swapcontext(&p->ctx_, &sched_ctx_);
+    Context::switch_to(p->ctx_, sched_ctx_, backend_, /*finishing=*/true);
     SLM_ASSERT(false, "a finished process was resumed");
 }
 
-void Kernel::trampoline(unsigned hi, unsigned lo) {
-    auto* p = reinterpret_cast<Process*>((static_cast<std::uintptr_t>(hi) << 32U) |
-                                         static_cast<std::uintptr_t>(lo));
+void Kernel::trampoline(void* raw) {
+    auto* p = static_cast<Process*>(raw);
     Kernel& k = p->kernel_;
     ProcState final_state = ProcState::Done;
     if (p->kill_pending_) {
@@ -389,30 +421,12 @@ const char* to_string(ProcState s) {
 }
 
 Process::Process(Kernel& kernel, std::string name, std::function<void()> body,
-                 Process* parent, int id, std::size_t stack_size)
+                 Process* parent, int id)
     : kernel_(kernel),
       name_(std::move(name)),
       body_(std::move(body)),
       parent_(parent),
-      id_(id),
-      stack_size_(stack_size) {}
-
-void Process::prepare_context(ucontext_t* return_ctx) {
-    stack_ = std::make_unique<std::byte[]>(stack_size_);
-    getcontext(&ctx_);
-    ctx_.uc_stack.ss_sp = stack_.get();
-    ctx_.uc_stack.ss_size = stack_size_;
-    ctx_.uc_link = return_ctx;
-    const auto ptr = reinterpret_cast<std::uintptr_t>(this);
-    makecontext(&ctx_, reinterpret_cast<void (*)()>(&Kernel::trampoline), 2,
-                static_cast<unsigned>(ptr >> 32U),
-                static_cast<unsigned>(ptr & 0xffffffffU));
-}
-
-void Process::release_stack() {
-    stack_.reset();
-    body_ = nullptr;
-}
+      id_(id) {}
 
 // ---- Event ----
 

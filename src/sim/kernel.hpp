@@ -17,9 +17,23 @@ namespace slm::sim {
 
 /// Kernel construction parameters.
 struct KernelConfig {
+    /// Smallest stack the kernel will hand a process: requests below this
+    /// (including 0) are clamped, not rejected — models that never recurse can
+    /// ask for tiny stacks without tripping an assert.
+    static constexpr std::size_t kMinStackSize = 16 * 1024;
+
     /// Stack size per process. System models keep little on the stack, but the
     /// default is generous because debugging a blown coroutine stack is painful.
     std::size_t stack_size = 256 * 1024;
+
+    /// Allocate process stacks via mmap with a PROT_NONE guard page below the
+    /// usable range (debug builds): stack overflow faults immediately instead
+    /// of corrupting the heap. Costs syscalls per fresh stack allocation.
+    bool guard_pages = false;
+
+    /// Context-switch backend. Auto picks the assembly fast path when compiled
+    /// in, unless the SLM_FORCE_UCONTEXT environment variable is set.
+    ContextBackend backend = ContextBackend::Auto;
 };
 
 /// Aggregate counters maintained by the kernel; cheap enough to be always on.
@@ -29,6 +43,8 @@ struct KernelStats {
     std::uint64_t delta_cycles = 0;
     std::uint64_t time_advances = 0;
     std::uint64_t events_notified = 0;
+    std::uint64_t stack_bytes_in_use = 0;   ///< live coroutine stack bytes (pool-acquired)
+    std::uint64_t stacks_recycled = 0;      ///< spawns served from the stack pool's free list
 };
 
 /// Observer hook for instrumentation (tracing, test assertions). All callbacks
@@ -81,6 +97,8 @@ public:
     [[nodiscard]] SimTime now() const { return now_; }
     [[nodiscard]] const KernelStats& stats() const { return stats_; }
     [[nodiscard]] Process* current() const { return current_; }
+    /// The context backend this kernel resolved to at construction.
+    [[nodiscard]] ContextBackend backend() const { return backend_; }
 
     /// Processes blocked on events/joins with no pending activity to wake them.
     [[nodiscard]] std::vector<const Process*> blocked_processes() const;
@@ -144,15 +162,19 @@ private:
     bool advance_time(SimTime limit);
     void end_delta();
     void drain_runnable();
-    static void trampoline(unsigned hi, unsigned lo);
+    void recycle_stack(Process* p);
+    void sync_stack_stats();
+    static void trampoline(void* raw);  // raw = Process*; never returns
 
     KernelConfig cfg_;
+    ContextBackend backend_;
+    StackPool stack_pool_;
     SimTime now_{};
     std::deque<Process*> runnable_;
     std::priority_queue<TimedEntry, std::vector<TimedEntry>, TimedLater> timed_;
     std::vector<std::unique_ptr<Process>> processes_;
     std::vector<Event*> notified_events_;
-    ucontext_t sched_ctx_{};
+    Context sched_ctx_;
     Process* current_ = nullptr;
     KernelObserver* observer_ = nullptr;
     bool running_ = false;

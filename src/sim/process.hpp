@@ -1,11 +1,12 @@
 #pragma once
 
-#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
-#include <ucontext.h>
+
+#include "sim/context.hpp"
+#include "sim/stack_pool.hpp"
 
 namespace slm::sim {
 
@@ -34,7 +35,8 @@ struct ProcessKilled {};
 
 /// A stackful coroutine scheduled by the SLDL kernel. Equivalent to a SpecC
 /// behavior instance / SystemC thread process. Created via Kernel::spawn() or
-/// Kernel::par(); owned by the kernel for the lifetime of the simulation.
+/// Kernel::par(); owned by the kernel for the lifetime of the simulation. Its
+/// stack comes from the kernel's StackPool and returns there on completion.
 class Process {
 public:
     Process(const Process&) = delete;
@@ -53,10 +55,7 @@ private:
     friend class Event;  // Event::~Event detaches blocked waiters
 
     Process(Kernel& kernel, std::string name, std::function<void()> body, Process* parent,
-            int id, std::size_t stack_size);
-
-    void prepare_context(ucontext_t* return_ctx);
-    void release_stack();
+            int id);
 
     Kernel& kernel_;
     std::string name_;
@@ -65,9 +64,8 @@ private:
     int id_ = 0;
 
     ProcState state_ = ProcState::Created;
-    ucontext_t ctx_{};
-    std::unique_ptr<std::byte[]> stack_;
-    std::size_t stack_size_ = 0;
+    Context ctx_;
+    StackBlock stack_;
 
     Event* waiting_on_ = nullptr;           ///< valid while state_ == WaitingEvent
     std::uint64_t wake_token_ = 0;          ///< invalidates stale timed-queue entries

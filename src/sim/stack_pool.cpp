@@ -1,0 +1,123 @@
+#include "sim/stack_pool.hpp"
+
+#include <bit>
+#include <new>
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "sim/assert.hpp"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define SLM_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SLM_ASAN 1
+#endif
+#endif
+#ifndef SLM_ASAN
+#define SLM_ASAN 0
+#endif
+
+#if SLM_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace slm::sim {
+
+namespace {
+
+std::size_t page_size() {
+    static const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+    return page;
+}
+
+StackBlock alloc_guarded(std::size_t size) {
+    const std::size_t page = page_size();
+    const std::size_t usable = (size + page - 1) / page * page;
+    const std::size_t len = usable + page;
+    void* m = mmap(nullptr, len, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    SLM_ASSERT(m != MAP_FAILED, "mmap for guarded coroutine stack failed");
+    // Guard at the low end: stacks grow down, so overrunning the usable range
+    // hits PROT_NONE and faults at the overflowing frame.
+    const int rc = mprotect(m, page, PROT_NONE);
+    SLM_ASSERT(rc == 0, "mprotect for stack guard page failed");
+    StackBlock blk;
+    blk.base = static_cast<std::byte*>(m) + page;
+    blk.size = usable;
+    blk.map = m;
+    blk.map_len = len;
+    blk.guarded = true;
+    return blk;
+}
+
+StackBlock alloc_plain(std::size_t size) {
+    StackBlock blk;
+    blk.base = new std::byte[size];  // operator new[] aligns to max_align_t
+    blk.size = size;
+    blk.map = blk.base;
+    blk.guarded = false;
+    return blk;
+}
+
+void free_block(StackBlock& blk) {
+    if (blk.guarded) {
+        munmap(blk.map, blk.map_len);
+    } else {
+        delete[] static_cast<std::byte*>(blk.map);
+    }
+    blk = StackBlock{};
+}
+
+}  // namespace
+
+StackPool::StackPool(bool guard_pages) : guard_pages_(guard_pages) {
+    free_by_class_.resize(sizeof(std::size_t) * 8);
+}
+
+StackPool::~StackPool() {
+    for (auto& cls : free_by_class_) {
+        for (auto& blk : cls) {
+            free_block(blk);
+        }
+    }
+}
+
+std::size_t StackPool::round_to_class(std::size_t size) {
+    if (size < kMinClass) {
+        size = kMinClass;
+    }
+    return std::bit_ceil(size);
+}
+
+StackBlock StackPool::acquire(std::size_t min_size) {
+    const std::size_t size = round_to_class(min_size);
+    const auto cls = static_cast<std::size_t>(std::countr_zero(size));
+    auto& free_list = free_by_class_[cls];
+    StackBlock blk;
+    if (!free_list.empty()) {
+        blk = free_list.back();
+        free_list.pop_back();
+        ++recycled_;
+    } else {
+        blk = guard_pages_ ? alloc_guarded(size) : alloc_plain(size);
+        ++allocated_;
+    }
+    bytes_in_use_ += blk.size;
+    return blk;
+}
+
+void StackPool::release(StackBlock blk) {
+    SLM_ASSERT(blk.base != nullptr, "release() of an empty StackBlock");
+    bytes_in_use_ -= blk.size;
+#if SLM_ASAN
+    // A recycled stack must present clean shadow to its next owner: frames of
+    // the previous process may have left poisoned redzones behind.
+    __asan_unpoison_memory_region(blk.base, blk.size);
+#endif
+    const auto cls = static_cast<std::size_t>(std::countr_zero(std::bit_ceil(blk.size)));
+    free_by_class_[cls].push_back(blk);
+}
+
+}  // namespace slm::sim

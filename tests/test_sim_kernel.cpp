@@ -562,3 +562,132 @@ TEST(Kernel, EventWaiterCountTracksBlockedProcesses) {
     k.run();
     EXPECT_EQ(e.waiter_count(), 0u);
 }
+
+// --- fast-context engine regressions -------------------------------------
+
+TEST(Kernel, BackendResolvesToSomethingRunnable) {
+    Kernel k;
+    // Auto must resolve to a concrete backend, never stay Auto.
+    EXPECT_NE(k.backend(), ContextBackend::Auto);
+    if (!fast_context_compiled()) {
+        EXPECT_EQ(k.backend(), ContextBackend::Ucontext);
+    }
+}
+
+TEST(Kernel, TinyStackSizeIsClampedToMinimum) {
+    // A stack_size below the documented minimum is clamped, not rejected:
+    // the process still runs with at least kMinStackSize bytes.
+    KernelConfig cfg;
+    cfg.stack_size = 1;  // absurdly small; would fault if honored literally
+    Kernel k{cfg};
+    bool ran = false;
+    k.spawn("p", [&] {
+        // Burn some genuine stack to prove the clamped size is usable.
+        volatile char burn[4096];
+        burn[0] = 1;
+        burn[sizeof(burn) - 1] = 1;
+        ran = burn[0] == 1 && burn[sizeof(burn) - 1] == 1;
+    });
+    // The stack is acquired at spawn time, already clamped.
+    EXPECT_GE(k.stats().stack_bytes_in_use, KernelConfig::kMinStackSize);
+    k.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(Kernel, StackPoolRecyclesAcrossWaves) {
+    Kernel k;
+    for (int wave = 0; wave < 3; ++wave) {
+        for (int i = 0; i < 8; ++i) {
+            k.spawn("p", [] {});
+        }
+        k.run();
+    }
+    // Waves 2 and 3 must be served from the pool's free list.
+    EXPECT_EQ(k.stats().processes_created, 24u);
+    EXPECT_GE(k.stats().stacks_recycled, 16u);
+    // All short-lived stacks were returned; only the pool holds them now.
+    EXPECT_EQ(k.stats().stack_bytes_in_use, 0u);
+}
+
+TEST(Kernel, KillDuringSwitchOnRecycledStackRunsDestructors) {
+    // Regression for the stack pool: process A finishes and its stack returns
+    // to the pool; process B is spawned onto that recycled stack, blocks (so
+    // its saved context lives in the recycled memory), and is then killed.
+    // The ProcessKilled unwinding must run B's destructors on that stack.
+    Kernel k;
+    Event e{k, "never"};
+    bool a_done = false;
+    bool b_cleaned_up = false;
+    bool b_resumed = false;
+    struct Raii {
+        bool& flag;
+        ~Raii() { flag = true; }
+    };
+    k.spawn("a", [&] { a_done = true; });
+    k.run();  // A finishes; its stack is now on the pool free list
+    ASSERT_TRUE(a_done);
+    ASSERT_EQ(k.stats().stack_bytes_in_use, 0u);  // A's stack is pooled, not live
+
+    Process* b = k.spawn("b", [&] {
+        Raii raii{b_cleaned_up};
+        k.wait(e);  // suspend mid-body: context saved on the recycled stack
+        b_resumed = true;
+    });
+    k.spawn("killer", [&] {
+        k.waitfor(1_us);
+        k.kill(*b);
+    });
+    k.run();
+    EXPECT_GE(k.stats().stacks_recycled, 1u);  // B really reused A's stack
+    EXPECT_TRUE(b_cleaned_up);
+    EXPECT_FALSE(b_resumed);
+    EXPECT_EQ(b->state(), ProcState::Killed);
+}
+
+TEST(Kernel, GuardPagesBackendRunsProcesses) {
+    KernelConfig cfg;
+    cfg.guard_pages = true;
+    Kernel k{cfg};
+    int sum = 0;
+    for (int i = 0; i < 4; ++i) {
+        k.spawn("p", [&sum, i] { sum += i; });
+    }
+    k.run();
+    EXPECT_EQ(sum, 6);
+    // Guarded stacks recycle through the pool exactly like plain ones.
+    for (int i = 0; i < 4; ++i) {
+        k.spawn("q", [&sum] { ++sum; });
+    }
+    k.run();
+    EXPECT_EQ(sum, 10);
+    EXPECT_GE(k.stats().stacks_recycled, 4u);
+}
+
+TEST(Kernel, ExplicitUcontextBackendMatchesFastSemantics) {
+    // The same program must produce identical scheduling under both backends.
+    auto run_with = [](ContextBackend backend) {
+        KernelConfig cfg;
+        cfg.backend = backend;
+        Kernel k{cfg};
+        std::vector<std::string> log;
+        Event e{k, "e"};
+        k.spawn("a", [&] {
+            log.push_back("a0");
+            k.notify(e);
+            k.waitfor(2_us);
+            log.push_back("a1");
+        });
+        k.spawn("b", [&] {
+            k.wait(e);
+            log.push_back("b0");
+            k.waitfor(1_us);
+            log.push_back("b1");
+        });
+        k.run();
+        return log;
+    };
+    const auto uc = run_with(ContextBackend::Ucontext);
+    const auto fast = run_with(ContextBackend::Fast);  // degrades if absent
+    EXPECT_EQ(uc, fast);
+    EXPECT_EQ(uc, (std::vector<std::string>{"a0", "b0", "b1", "a1"}));
+}
