@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Documentation link gate: fails if any intra-repo markdown link in the
+# checked pages is broken, any `path/to/file.ext:NN` code reference points at
+# a missing file or past its end, or any docs/*.md page is unreachable from
+# the docs/README.md index. Registered as the `check_docs` ctest (see the
+# top-level CMakeLists.txt), so `ctest` runs it next to the code tests.
+#
+#   ci/check_docs.sh
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+fail=0
+err() {
+  echo "check_docs: $*" >&2
+  fail=1
+}
+
+doc_files=(docs/*.md README.md EXPERIMENTS.md ROADMAP.md)
+
+# ---- 1. intra-repo markdown links resolve -----------------------------------
+# [text](target): external schemes and pure #anchors are skipped; relative
+# targets must exist, resolved against the linking file's directory (with the
+# repo root as a fallback for root-relative spellings). Fenced code blocks and
+# inline code spans are stripped first — a C++ lambda `[](T x)` is not a link.
+strip_code() {
+  awk '/^[[:space:]]*```/ { fence = !fence; next } !fence' "$1" |
+    sed -E 's/`[^`]*`//g'
+}
+
+for f in "${doc_files[@]}"; do
+  [ -f "$f" ] || continue
+  dir="$(dirname "$f")"
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      err "$f: broken link -> ($target)"
+    fi
+  done < <(strip_code "$f" | grep -oE '\]\([^)]+\)' | sed -E 's/^\]\(//; s/\)$//' || true)
+done
+
+# ---- 2. file:line code references point at real lines -----------------------
+for f in "${doc_files[@]}"; do
+  [ -f "$f" ] || continue
+  while IFS=: read -r path line; do
+    [ -z "${path:-}" ] && continue
+    if [ ! -f "$path" ]; then
+      err "$f: code ref to missing file -> $path:$line"
+    elif [ "$(wc -l < "$path")" -lt "$line" ]; then
+      err "$f: code ref past end of file -> $path:$line ($(wc -l < "$path") lines)"
+    fi
+  done < <(grep -ohE '(src|tests|examples|bench|ci|docs)/[A-Za-z0-9_./-]+\.(cpp|hpp|h|sh|md|txt):[0-9]+' "$f" 2>/dev/null | sort -u || true)
+done
+
+# ---- 3. every docs page is reachable from the docs/README.md index ----------
+index="docs/README.md"
+if [ ! -f "$index" ]; then
+  err "missing $index (the docs index)"
+else
+  for f in docs/*.md; do
+    base="$(basename "$f")"
+    [ "$base" = "README.md" ] && continue
+    if ! grep -qE "\\]\\((\\./)?$base(#[^)]*)?\\)" "$index"; then
+      err "docs page not linked from $index: $f"
+    fi
+  done
+fi
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "check_docs: OK (${#doc_files[@]} page globs, links + code refs + index coverage)"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 namespace slm::analysis {
 
@@ -71,6 +72,27 @@ std::optional<SimTime> response_time_with_blocking(
         r = next;
     }
     return std::nullopt;  // did not converge
+}
+
+SimTime hyperperiod(std::span<const PeriodicTaskSpec> tasks) {
+    std::uint64_t lcm = 0;
+    for (const PeriodicTaskSpec& t : tasks) {
+        const auto p = static_cast<std::uint64_t>(t.period.ns());
+        if (p == 0) {
+            continue;  // aperiodic entries don't constrain the hyperperiod
+        }
+        if (lcm == 0) {
+            lcm = p;
+            continue;
+        }
+        const std::uint64_t g = std::gcd(lcm, p);
+        const std::uint64_t step = lcm / g;
+        if (step > static_cast<std::uint64_t>(SimTime::max().ns()) / p) {
+            return SimTime::max();  // overflow: effectively aperiodic mix
+        }
+        lcm = step * p;
+    }
+    return nanoseconds(static_cast<std::int64_t>(lcm));
 }
 
 bool rta_schedulable(std::span<const PeriodicTaskSpec> tasks) {

@@ -55,4 +55,11 @@ void assign_rms_priorities(std::span<PeriodicTaskSpec> tasks);
 /// Necessary-and-sufficient fixed-priority test via response-time analysis.
 [[nodiscard]] bool rta_schedulable(std::span<const PeriodicTaskSpec> tasks);
 
+/// LCM of all task periods — the horizon after which a synchronous periodic
+/// schedule repeats. One hyperperiod bounds both simulation-based deadline
+/// checks and schedule-space exploration (slm::explore) of a periodic task
+/// set. Saturates to SimTime::max() on overflow; returns zero for an empty
+/// set.
+[[nodiscard]] SimTime hyperperiod(std::span<const PeriodicTaskSpec> tasks);
+
 }  // namespace slm::analysis

@@ -1,0 +1,434 @@
+#include "explore/explore.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/assert.hpp"
+
+namespace slm::explore {
+
+// ---- Schedule ----
+
+std::size_t Schedule::divergences() const {
+    return static_cast<std::size_t>(
+        std::count_if(choices.begin(), choices.end(),
+                      [](std::uint32_t c) { return c != 0; }));
+}
+
+std::string Schedule::to_string() const {
+    std::string s = std::to_string(choices.size());
+    s += '|';
+    bool first = true;
+    for (std::size_t i = 0; i < choices.size(); ++i) {
+        if (choices[i] == 0) {
+            continue;
+        }
+        if (!first) {
+            s += ',';
+        }
+        first = false;
+        s += std::to_string(i);
+        s += ':';
+        s += std::to_string(choices[i]);
+    }
+    return s;
+}
+
+namespace {
+
+bool parse_u64(std::string_view sv, std::uint64_t& out) {
+    const char* end = sv.data() + sv.size();
+    const auto [ptr, ec] = std::from_chars(sv.data(), end, out);
+    return ec == std::errc{} && ptr == end && !sv.empty();
+}
+
+}  // namespace
+
+std::optional<Schedule> Schedule::parse(const std::string& s) {
+    const std::size_t bar = s.find('|');
+    if (bar == std::string::npos) {
+        return std::nullopt;
+    }
+    std::uint64_t len = 0;
+    if (!parse_u64(std::string_view(s).substr(0, bar), len)) {
+        return std::nullopt;
+    }
+    Schedule out;
+    out.choices.assign(len, 0);
+    std::string_view rest = std::string_view(s).substr(bar + 1);
+    while (!rest.empty()) {
+        const std::size_t comma = rest.find(',');
+        const std::string_view pair = rest.substr(0, comma);
+        rest = comma == std::string_view::npos ? std::string_view{}
+                                               : rest.substr(comma + 1);
+        const std::size_t colon = pair.find(':');
+        if (colon == std::string_view::npos) {
+            return std::nullopt;
+        }
+        std::uint64_t idx = 0;
+        std::uint64_t val = 0;
+        if (!parse_u64(pair.substr(0, colon), idx) ||
+            !parse_u64(pair.substr(colon + 1), val) || idx >= len || val == 0) {
+            return std::nullopt;
+        }
+        out.choices[idx] = static_cast<std::uint32_t>(val);
+    }
+    return out;
+}
+
+const char* to_string(Violation::Kind k) {
+    switch (k) {
+        case Violation::Kind::Deadlock: return "deadlock";
+        case Violation::Kind::LostSignal: return "lost_signal";
+        case Violation::Kind::DeadlineMiss: return "deadline_miss";
+        case Violation::Kind::AssertionFailure: return "assertion_failure";
+        case Violation::Kind::PropertyFailure: return "property_failure";
+    }
+    return "?";
+}
+
+// ---- assert-handler scope ----
+
+namespace {
+
+/// While alive, SLM_ASSERT failures throw sim::SimulationAbort instead of
+/// aborting the host process, so a contract violation on an explored path is
+/// a recordable result. Restores the previous handler on destruction.
+class AssertScope {
+public:
+    AssertScope() : prev_(sim::set_assert_handler(&throwing_handler)) {}
+    ~AssertScope() { sim::set_assert_handler(prev_); }
+    AssertScope(const AssertScope&) = delete;
+    AssertScope& operator=(const AssertScope&) = delete;
+
+private:
+    static void throwing_handler(const sim::AssertInfo& ai) {
+        throw sim::SimulationAbort{std::string(ai.file) + ":" +
+                                   std::to_string(ai.line) + ": " + ai.cond +
+                                   " (" + ai.msg + ")"};
+    }
+
+    sim::AssertHandler prev_;
+};
+
+/// splitmix64: tiny deterministic PRNG — good enough for uniform branch
+/// picking and has no global state to leak between paths.
+std::uint64_t splitmix64(std::uint64_t& state) {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// Walk the wait-for graph of the watched mutexes (task --waits-on--> mutex
+/// --held-by--> task) and render the first cycle found, e.g.
+/// "taskA -> m2 (held by taskB) -> m1 (held by taskA)". Empty if acyclic.
+std::string describe_mutex_cycle(const std::vector<rtos::OsMutex*>& mutexes) {
+    std::unordered_map<const rtos::Task*, const rtos::OsMutex*> waits_on;
+    for (const rtos::OsMutex* m : mutexes) {
+        for (const rtos::Task* t : m->waiters()) {
+            waits_on.emplace(t, m);
+        }
+    }
+    for (const auto& [start, unused] : waits_on) {
+        std::unordered_set<const rtos::Task*> seen;
+        const rtos::Task* t = start;
+        while (t != nullptr) {
+            const auto it = waits_on.find(t);
+            if (it == waits_on.end()) {
+                break;  // chain ends at a task that is not blocked on a mutex
+            }
+            if (!seen.insert(t).second) {
+                // Revisited `t`: render the cycle starting from it.
+                std::string desc = t->name();
+                const rtos::Task* cur = t;
+                do {
+                    const rtos::OsMutex* m = waits_on.at(cur);
+                    cur = m->owner();
+                    desc += " -> " + m->name() + " (held by " + cur->name() + ")";
+                } while (cur != t);
+                return desc;
+            }
+            t = it->second->owner();
+        }
+    }
+    return {};
+}
+
+}  // namespace
+
+// ---- the controller ----
+
+/// Drives every SchedulePoint of one run. Forced `plan` prefix, then either
+/// the default choice (DFS/replay) or a bounded-uniform random choice.
+class Explorer::Controller final : public sim::ScheduleController {
+public:
+    Controller(const std::vector<std::uint32_t>* plan, bool random, int bound,
+               std::size_t max_choices, std::uint64_t rng_seed,
+               trace::TraceRecorder* rec)
+        : plan_(plan), random_(random), bound_(bound), max_choices_(max_choices),
+          rng_(rng_seed), rec_(rec) {}
+
+    std::size_t choose(const sim::SchedulePoint& pt) override {
+        const auto count = static_cast<std::uint32_t>(pt.candidates.size());
+        if (decisions_.size() >= max_choices_) {
+            truncated_ = true;
+            return 0;
+        }
+        std::uint32_t choice = 0;
+        const std::size_t k = decisions_.size();
+        if (plan_ != nullptr && k < plan_->size()) {
+            choice = (*plan_)[k];
+            if (choice >= count) {
+                // A plan that does not fit the model (hand-edited or from a
+                // different build) degrades to the default rather than dying.
+                diverged_ = true;
+                choice = 0;
+            }
+        } else if (random_ && divergences_ < bound_) {
+            choice = static_cast<std::uint32_t>(splitmix64(rng_) % count);
+        }
+        if (choice != 0) {
+            ++divergences_;
+        }
+        decisions_.push_back({choice, count});
+        if (rec_ != nullptr) {
+            rec_->marker(pt.now, std::string("choice[") + sim::to_string(pt.kind) +
+                                     "] #" + std::to_string(k) + " -> " +
+                                     pt.candidates[choice] + " (" +
+                                     std::to_string(choice) + "/" +
+                                     std::to_string(count) + ")");
+        }
+        return choice;
+    }
+
+    [[nodiscard]] const std::vector<Decision>& decisions() const { return decisions_; }
+    [[nodiscard]] bool truncated() const { return truncated_; }
+    [[nodiscard]] bool diverged() const { return diverged_; }
+
+private:
+    const std::vector<std::uint32_t>* plan_;
+    bool random_;
+    int bound_;
+    std::size_t max_choices_;
+    std::uint64_t rng_;
+    trace::TraceRecorder* rec_;
+    std::vector<Decision> decisions_;
+    int divergences_ = 0;
+    bool truncated_ = false;
+    bool diverged_ = false;
+};
+
+// ---- one path ----
+
+PathResult Explorer::run_path(const std::vector<std::uint32_t>* plan, bool random,
+                              std::uint64_t rng_seed,
+                              std::vector<Decision>* decisions_out,
+                              ExploreStats* stats) {
+    Run run(cfg_.kernel);
+    Controller ctl(plan, random, cfg_.preemption_bound, cfg_.max_choices_per_run,
+                   rng_seed, cfg_.record_choices ? &run.trace_ : nullptr);
+    run.kernel_.set_schedule_controller(&ctl);
+    AssertScope assert_scope;
+
+    PathResult pr;
+    std::optional<std::string> abort_reason;
+    try {
+        build_(run);
+        if (cfg_.horizon == SimTime::max()) {
+            run.kernel_.run();
+        } else {
+            pr.more_timed = run.kernel_.run_until(cfg_.horizon);
+        }
+    } catch (const sim::SimulationAbort& a) {
+        // Thrown outside process context (build function or scheduler path);
+        // in-process aborts are already caught by the kernel trampoline.
+        abort_reason = a.reason;
+    }
+    if (run.kernel_.aborted()) {
+        abort_reason = *run.kernel_.abort_reason();
+    }
+
+    pr.end_time = run.kernel_.now();
+    pr.truncated = ctl.truncated();
+    pr.schedule.choices.reserve(ctl.decisions().size());
+    for (const Decision& d : ctl.decisions()) {
+        pr.schedule.choices.push_back(d.chosen);
+    }
+
+    check_path(run, pr, abort_reason);
+
+    if (stats != nullptr) {
+        ++stats->paths;
+        stats->choice_points += ctl.decisions().size();
+        stats->max_depth = std::max<std::uint64_t>(stats->max_depth,
+                                                   ctl.decisions().size());
+        if (ctl.truncated()) {
+            ++stats->truncated;
+        }
+    }
+    if (decisions_out != nullptr) {
+        *decisions_out = ctl.decisions();
+    }
+    pr.trace = std::move(run.trace_);
+    return pr;
+}
+
+void Explorer::check_path(Run& run, PathResult& pr,
+                          const std::optional<std::string>& abort_reason) const {
+    const auto add = [&](Violation::Kind k, std::string detail) {
+        pr.violations.push_back({k, std::move(detail), pr.schedule,
+                                 run.kernel_.now()});
+    };
+
+    if (abort_reason.has_value()) {
+        add(Violation::Kind::AssertionFailure, *abort_reason);
+        return;  // an aborted run's remaining state is not meaningful
+    }
+
+    if (cfg_.check_deadlock && !pr.more_timed) {
+        const auto blocked = run.kernel_.blocked_processes();
+        if (!blocked.empty()) {
+            std::string detail = describe_mutex_cycle(run.mutexes_);
+            if (!detail.empty()) {
+                detail = "cyclic mutex wait: " + detail;
+            } else {
+                detail = "blocked forever:";
+                for (const sim::Process* p : blocked) {
+                    detail += ' ' + p->name();
+                }
+            }
+            add(Violation::Kind::Deadlock, detail);
+        }
+    }
+
+    for (const rtos::RtosModel* os : run.models_) {
+        if (cfg_.check_lost_signals && os->stats().lost_notifies > 0) {
+            add(Violation::Kind::LostSignal,
+                os->config().cpu_name + ": " +
+                    std::to_string(os->stats().lost_notifies) +
+                    " notify(s) with no waiting task");
+        }
+        if (cfg_.check_deadline_misses) {
+            for (const rtos::Task* t : os->tasks()) {
+                if (t->stats().deadline_misses > 0) {
+                    add(Violation::Kind::DeadlineMiss,
+                        t->name() + " missed " +
+                            std::to_string(t->stats().deadline_misses) +
+                            " deadline(s)");
+                }
+            }
+        }
+    }
+
+    for (const auto& [name, pred] : run.expects_) {
+        if (!pred()) {
+            add(Violation::Kind::PropertyFailure, name);
+        }
+    }
+}
+
+// ---- DFS successor generation ----
+
+/// Compute the next decision trace in lexicographic DFS order: find the last
+/// position whose choice can be incremented without exceeding the preemption
+/// bound, keep the prefix before it, and drop the suffix (it regrows with
+/// default choices on the next run). Returns false when the bounded space is
+/// exhausted. Branches skipped because the bound forbids them are tallied
+/// into `pruned`.
+bool Explorer::next_plan(const std::vector<Decision>& d, int bound,
+                         std::vector<std::uint32_t>& plan, std::uint64_t& pruned) {
+    std::vector<int> nz_before(d.size() + 1, 0);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+        nz_before[i + 1] = nz_before[i] + (d[i].chosen != 0 ? 1 : 0);
+    }
+    for (std::size_t i = d.size(); i-- > 0;) {
+        if (d[i].chosen + 1 >= d[i].count) {
+            continue;  // no alternative left at this point
+        }
+        // Incrementing makes d[i] non-default; it only adds a divergence if
+        // the current choice was the default.
+        const int divergences = nz_before[i] + 1;
+        if (divergences > bound) {
+            pruned += d[i].count - 1 - d[i].chosen;
+            continue;
+        }
+        plan.clear();
+        plan.reserve(i + 1);
+        for (std::size_t j = 0; j < i; ++j) {
+            plan.push_back(d[j].chosen);
+        }
+        plan.push_back(d[i].chosen + 1);
+        return true;
+    }
+    return false;
+}
+
+// ---- drivers ----
+
+ExploreResult Explorer::explore() {
+    ExploreResult res;
+    std::vector<std::uint32_t> plan;  // empty = all-default first path
+    std::vector<Decision> decisions;
+    for (;;) {
+        if (res.stats.paths >= cfg_.max_paths) {
+            break;  // budget exhausted, space not necessarily covered
+        }
+        PathResult pr = run_path(&plan, /*random=*/false, 0, &decisions,
+                                 &res.stats);
+        const bool failed = !pr.violations.empty();
+        for (Violation& v : pr.violations) {
+            if (res.violations.size() < cfg_.max_violations) {
+                res.violations.push_back(v);
+            }
+        }
+        if (failed && !res.first_failure.has_value()) {
+            res.first_failure = std::move(pr);
+        }
+        if (res.violations.size() >= cfg_.max_violations) {
+            break;
+        }
+        if (!next_plan(decisions, cfg_.preemption_bound, plan,
+                       res.stats.pruned)) {
+            res.exhausted = true;
+            break;
+        }
+    }
+    return res;
+}
+
+ExploreResult Explorer::random_walks(std::uint64_t n) {
+    ExploreResult res;
+    std::unordered_set<std::string> reported;  // dedup repeats across walks
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t stream = cfg_.seed + i;
+        const std::uint64_t rng_seed = splitmix64(stream);
+        PathResult pr = run_path(nullptr, /*random=*/true, rng_seed, nullptr,
+                                 &res.stats);
+        const bool failed = !pr.violations.empty();
+        for (Violation& v : pr.violations) {
+            if (res.violations.size() < cfg_.max_violations &&
+                reported.insert(std::string(to_string(v.kind)) + '@' +
+                                v.schedule.to_string()).second) {
+                res.violations.push_back(v);
+            }
+        }
+        if (failed && !res.first_failure.has_value()) {
+            res.first_failure = std::move(pr);
+        }
+        if (res.violations.size() >= cfg_.max_violations) {
+            break;
+        }
+    }
+    return res;
+}
+
+PathResult Explorer::replay(const Schedule& s) {
+    return run_path(&s.choices, /*random=*/false, 0, nullptr, nullptr);
+}
+
+}  // namespace slm::explore

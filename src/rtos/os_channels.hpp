@@ -102,7 +102,8 @@ public:
         : os_(os),
           evt_(os.event_new(name + ".evt")),
           protocol_(protocol),
-          ceiling_(ceiling) {}
+          ceiling_(ceiling),
+          name_(std::move(name)) {}
 
     void lock() {
         Task* self = os_.self();
@@ -136,6 +137,11 @@ public:
 
     [[nodiscard]] bool locked() const { return owner_ != nullptr; }
     [[nodiscard]] const Task* owner() const { return owner_; }
+    [[nodiscard]] const std::string& name() const { return name_; }
+    /// Tasks currently blocked in lock() on this mutex, in blocking order.
+    /// Together with owner() this is the wait-for graph the schedule
+    /// explorer's deadlock checker walks (docs/schedule-exploration.md).
+    [[nodiscard]] const std::vector<Task*>& waiters() const { return waiters_; }
 
 private:
     void boost_owner(int priority) {
@@ -150,6 +156,7 @@ private:
     OsEvent* evt_;
     Protocol protocol_;
     int ceiling_;
+    std::string name_;
     Task* owner_ = nullptr;
     std::vector<Task*> waiters_;
     int saved_inherited_ = std::numeric_limits<int>::max();

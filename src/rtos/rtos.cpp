@@ -128,6 +128,31 @@ void RtosModel::requeue_if_ready(Task* t) {
     }
 }
 
+Task* RtosModel::pick_next() {
+    sim::ScheduleController* ctl = kernel_.schedule_controller();
+    if (ctl == nullptr) {
+        return ready_->pop();
+    }
+    ties_scratch_.clear();
+    ready_->ties(ties_scratch_);
+    if (ties_scratch_.size() < 2) {
+        return ready_->pop();
+    }
+    sim::SchedulePoint pt;
+    pt.kind = sim::SchedulePoint::Kind::TaskDispatch;
+    pt.now = kernel_.now();
+    pt.candidates.reserve(ties_scratch_.size());
+    for (const Task* t : ties_scratch_) {
+        pt.candidates.push_back(t->params_.name);
+    }
+    const std::size_t choice = ctl->choose(pt);
+    SLM_ASSERT(choice < ties_scratch_.size(),
+               "ScheduleController returned an out-of-range choice");
+    Task* chosen = ties_scratch_[choice];
+    ready_->erase(chosen);
+    return chosen;
+}
+
 void RtosModel::dispatch(Task* t) {
     running_ = t;
     reschedule_pending_ = false;
@@ -151,14 +176,15 @@ void RtosModel::schedule() {
     if (!started_) {
         return;
     }
-    Task* best = ready_->peek();
     if (running_ == nullptr) {
-        if (best != nullptr) {
-            ready_->pop();
-            dispatch(best);
+        if (!ready_->empty()) {
+            // All tied candidates share the dispatch key, so *whether* to
+            // dispatch is tie-independent; *which* task is a choice point.
+            dispatch(pick_next());
         }
         return;
     }
+    Task* best = ready_->peek();
     if (best != nullptr && policy_->preempts(*best, *running_)) {
         // The switch takes effect at the running task's next RTOS-call
         // boundary — the end of its current discrete delay step (paper
@@ -177,7 +203,7 @@ void RtosModel::maybe_yield() {
     const SimTime saved_quantum = quantum_used_;
     enqueue_ready(selftask);
     running_ = nullptr;
-    Task* best = ready_->pop();
+    Task* best = pick_next();
     SLM_ASSERT(best != nullptr, "ready queue lost the yielding task");
     if (best == selftask) {
         running_ = selftask;
@@ -196,7 +222,7 @@ void RtosModel::rotate_quantum() {
     reschedule_pending_ = false;
     enqueue_ready(selftask);
     running_ = nullptr;
-    Task* best = ready_->pop();
+    Task* best = pick_next();
     if (best == selftask) {
         running_ = selftask;
         quantum_used_ = SimTime::zero();
@@ -506,6 +532,9 @@ bool RtosModel::event_wait_timeout(OsEvent* e, SimTime timeout) {
 void RtosModel::event_notify(OsEvent* e) {
     ++stats_.syscalls;
     SLM_ASSERT(e != nullptr, "event_notify(nullptr)");
+    if (e->waiters_.empty()) {
+        ++stats_.lost_notifies;
+    }
     for (Task* t : e->waiters_) {
         t->waiting_evt_ = nullptr;
         enqueue_ready(t);

@@ -161,6 +161,12 @@ struct RtosStats {
     std::uint64_t isr_entries = 0;
     std::uint64_t deadline_misses = 0;
     std::uint64_t syscalls = 0;  ///< RTOS interface invocations
+    /// event_notify() calls that found no waiting task. RTOS events are lossy
+    /// by design, so a nonzero count is not itself a bug (semaphore releases
+    /// with no contender land here) — but for pure-event protocols it flags a
+    /// signal the intended receiver never saw. The schedule explorer can
+    /// treat it as a safety property (ExploreConfig::check_lost_signals).
+    std::uint64_t lost_notifies = 0;
 };
 
 /// The abstract RTOS model (the paper's Fig. 4 interface).
@@ -288,6 +294,10 @@ private:
     /// task_set_priority); no-op for tasks in other states.
     void requeue_if_ready(Task* t);
     void set_task_state(Task* t, TaskState s);
+    /// Remove and return the next task to dispatch. Equals ready_->pop()
+    /// unless a sim::ScheduleController is installed on the kernel, in which
+    /// case policy-equivalent ties become a TaskDispatch choice point.
+    Task* pick_next();
     void dispatch(Task* t);
     void apply_switch_cost(Task* t);
     void schedule();
@@ -312,6 +322,7 @@ private:
     bool started_ = false;
     std::uint64_t arrival_counter_ = 0;
     SimTime quantum_used_{};
+    std::vector<Task*> ties_scratch_;  ///< reused by pick_next()
     RtosStats stats_;
 };
 

@@ -64,6 +64,12 @@ public:
     void requeue(Task*) override {}
     bool empty() const override { return q_.empty(); }
     std::size_t size() const override { return q_.size(); }
+    void ties(std::vector<Task*>& out) const override {
+        // FIFO's dispatch order is total (arrival_seq is unique): no ties.
+        if (!q_.empty()) {
+            out.push_back(q_.front());
+        }
+    }
 
 private:
     std::deque<Task*> q_;
@@ -131,6 +137,14 @@ public:
     }
     bool empty() const override { return buckets_.empty(); }
     std::size_t size() const override { return size_; }
+    void ties(std::vector<Task*>& out) const override {
+        // Every task in the best bucket shares the dispatch key; the bucket
+        // deque is already in arrival order with pop()'s choice at the front.
+        if (!buckets_.empty()) {
+            const auto& bucket = buckets_.begin()->second;
+            out.insert(out.end(), bucket.begin(), bucket.end());
+        }
+    }
 
 private:
     std::map<int, std::deque<Task*>> buckets_;
@@ -171,6 +185,26 @@ public:
     }
     bool empty() const override { return heap_.empty(); }
     std::size_t size() const override { return heap_.size(); }
+    void ties(std::vector<Task*>& out) const override {
+        if (heap_.empty()) {
+            return;
+        }
+        // All tasks sharing the minimum key are legal dispatches. The heap
+        // array has no useful order among them, so sort by arrival_seq — the
+        // heap's own tie-break puts the earliest arrival at the top, so out[0]
+        // matches pop().
+        const SimTime best = key_(*heap_.front());
+        const std::size_t first = out.size();
+        for (Task* t : heap_) {
+            if (key_(*t) == best) {
+                out.push_back(t);
+            }
+        }
+        std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end(),
+                  [](const Task* a, const Task* b) {
+                      return a->arrival_seq() < b->arrival_seq();
+                  });
+    }
 
 private:
     bool before(const Task* a, const Task* b) const {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "sim/time.hpp"
 
@@ -53,6 +54,13 @@ public:
     virtual void requeue(Task* t) = 0;
     [[nodiscard]] virtual bool empty() const = 0;
     [[nodiscard]] virtual std::size_t size() const = 0;
+    /// Append every task tied for "best" under the policy's dispatch key —
+    /// the set a real RTOS could legally dispatch next. out[0] is always the
+    /// task pop() would return (the deterministic FIFO tie-break); the rest
+    /// follow in arrival order. Policies with a total dispatch order (FIFO)
+    /// report exactly one candidate. Used by schedule-space exploration; the
+    /// normal dispatch path never calls it.
+    virtual void ties(std::vector<Task*>& out) const = 0;
 
 protected:
     /// Accessor for the intrusive link (ReadyQueue is a friend of Task).

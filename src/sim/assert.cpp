@@ -1,0 +1,32 @@
+#include "sim/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace slm::sim {
+
+namespace {
+AssertHandler g_handler = nullptr;
+}  // namespace
+
+AssertHandler set_assert_handler(AssertHandler h) {
+    AssertHandler prev = g_handler;
+    g_handler = h;
+    return prev;
+}
+
+namespace detail {
+
+void assert_fail(const char* file, int line, const char* cond, const char* msg) {
+    if (g_handler != nullptr) {
+        g_handler(AssertInfo{file, line, cond, msg});
+        // The handler is expected to throw; returning means it declined.
+    }
+    std::fprintf(stderr, "SLM_ASSERT failed at %s:%d: %s\n  %s\n", file, line, cond,
+                 msg);
+    std::abort();
+}
+
+}  // namespace detail
+
+}  // namespace slm::sim

@@ -1,19 +1,47 @@
 #pragma once
 
-#include <cstdio>
-#include <cstdlib>
+namespace slm::sim {
+
+/// Location + message of a failed SLM_ASSERT, handed to the assert handler.
+struct AssertInfo {
+    const char* file;
+    int line;
+    const char* cond;
+    const char* msg;
+};
+
+/// Failure hook for SLM_ASSERT. Install with set_assert_handler(); the
+/// handler is expected to throw (e.g. sim::SimulationAbort, so the schedule
+/// explorer can record the violation and unwind the offending process). A
+/// handler that returns normally falls through to the default abort.
+using AssertHandler = void (*)(const AssertInfo&);
+
+/// Replace the process-global assert handler; returns the previous one
+/// (nullptr = default abort). Not thread-safe — the simulator is
+/// single-threaded by contract.
+AssertHandler set_assert_handler(AssertHandler h);
+
+namespace detail {
+/// Out-of-line failure path: runs the installed handler (which normally
+/// throws); aborts with a location message if no handler is installed or the
+/// handler returned.
+[[noreturn]] void assert_fail(const char* file, int line, const char* cond,
+                              const char* msg);
+}  // namespace detail
+
+}  // namespace slm::sim
 
 /// Model-contract assertion. These check simulation-time invariants (e.g. "a
 /// blocking call was made from inside a process context"). Violations indicate
 /// a bug in the model or the library, not a recoverable condition, so they
 /// abort with a location message. Enabled in all build types: system models are
 /// run far fewer times than production software, and a silently-wrong trace is
-/// worse than an abort.
-#define SLM_ASSERT(cond, msg)                                                        \
-    do {                                                                             \
-        if (!(cond)) {                                                               \
-            std::fprintf(stderr, "SLM_ASSERT failed at %s:%d: %s\n  %s\n", __FILE__, \
-                         __LINE__, #cond, msg);                                      \
-            std::abort();                                                            \
-        }                                                                            \
+/// worse than an abort. The schedule explorer installs an assert handler that
+/// converts the abort into a recorded property violation instead (see
+/// docs/schedule-exploration.md).
+#define SLM_ASSERT(cond, msg)                                                   \
+    do {                                                                        \
+        if (!(cond)) {                                                          \
+            ::slm::sim::detail::assert_fail(__FILE__, __LINE__, #cond, (msg)); \
+        }                                                                       \
     } while (0)

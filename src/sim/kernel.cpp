@@ -93,8 +93,42 @@ void Kernel::set_state(Process* p, ProcState s) {
     }
 }
 
+void Kernel::consult_controller() {
+    // Surface a DeltaOrder choice point: which of the currently runnable
+    // processes executes next. candidates[0] is the FIFO front, so a
+    // controller answering 0 leaves the deterministic order untouched.
+    std::vector<std::size_t> live;
+    for (std::size_t i = 0; i < runnable_.size(); ++i) {
+        if (!runnable_[i]->done()) {
+            live.push_back(i);
+        }
+    }
+    if (live.size() < 2) {
+        return;
+    }
+    SchedulePoint pt;
+    pt.kind = SchedulePoint::Kind::DeltaOrder;
+    pt.now = now_;
+    pt.candidates.reserve(live.size());
+    for (const std::size_t i : live) {
+        pt.candidates.push_back(runnable_[i]->name());
+    }
+    const std::size_t choice = controller_->choose(pt);
+    SLM_ASSERT(choice < live.size(),
+               "ScheduleController returned an out-of-range choice");
+    if (choice != 0) {
+        Process* chosen = runnable_[live[choice]];
+        runnable_.erase(runnable_.begin() +
+                        static_cast<std::ptrdiff_t>(live[choice]));
+        runnable_.push_front(chosen);
+    }
+}
+
 void Kernel::drain_runnable() {
     while (!runnable_.empty()) {
+        if (controller_ != nullptr) {
+            consult_controller();
+        }
         Process* p = runnable_.front();
         runnable_.pop_front();
         p->in_runnable_ = false;
@@ -108,6 +142,9 @@ void Kernel::drain_runnable() {
         current_ = nullptr;
         if (p->done()) {
             recycle_stack(p);
+        }
+        if (abort_reason_.has_value()) {
+            return;  // a SimulationAbort unwound p; stop dispatching
         }
     }
 }
@@ -185,10 +222,24 @@ bool Kernel::run_until(SimTime t_end) {
     running_ = true;
     Kernel* const prev = g_current_kernel;
     g_current_kernel = this;
+    // Restore the thread-local and the running flag even if an exception (a
+    // SimulationAbort raised outside process context, e.g. from an assert
+    // handler in the scheduler path) escapes the loop below.
+    struct RunGuard {
+        Kernel* self;
+        Kernel* prev;
+        ~RunGuard() {
+            g_current_kernel = prev;
+            self->running_ = false;
+        }
+    } guard{this, prev};
     sched_ctx_.adopt_thread_stack();  // ASan fiber bookkeeping; no-op otherwise
 
     for (;;) {
         drain_runnable();
+        if (abort_reason_.has_value()) {
+            return !timed_.empty();
+        }
         end_delta();
         if (!runnable_.empty()) {
             continue;  // a notification at delta end made processes runnable
@@ -201,8 +252,6 @@ bool Kernel::run_until(SimTime t_end) {
     if (t_end != SimTime::max() && now_ < t_end) {
         now_ = t_end;
     }
-    g_current_kernel = prev;
-    running_ = false;
 
     // Any remaining top-of-queue entries are real future activity (stale ones
     // were popped by advance_time when it last ran).
@@ -387,6 +436,12 @@ void Kernel::trampoline(void* raw) {
         try {
             p->body_();
         } catch (const ProcessKilled&) {
+            final_state = ProcState::Killed;
+        } catch (const SimulationAbort& a) {
+            // The process asked to stop the whole simulation (typically via
+            // the exploration assert handler). Record the reason; the run
+            // loop stops dispatching once this process has unwound.
+            k.abort_reason_ = a.reason;
             final_state = ProcState::Killed;
         } catch (const std::exception& ex) {
             std::fprintf(stderr, "slm: unhandled exception in process '%s': %s\n",

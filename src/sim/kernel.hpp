@@ -4,6 +4,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <string>
 #include <utility>
@@ -11,9 +12,19 @@
 
 #include "sim/event.hpp"
 #include "sim/process.hpp"
+#include "sim/schedule_point.hpp"
 #include "sim/time.hpp"
 
 namespace slm::sim {
+
+/// Thrown (from process context) to stop the whole simulation: the throwing
+/// process unwinds with its destructors, the kernel stops dispatching, and
+/// run()/run_until() returns with aborted() == true. The schedule explorer's
+/// assert handler throws this so a contract violation on one explored path
+/// ends that path instead of the host process.
+struct SimulationAbort {
+    std::string reason;
+};
 
 /// Kernel construction parameters.
 struct KernelConfig {
@@ -105,6 +116,20 @@ public:
 
     void set_observer(KernelObserver* obs) { observer_ = obs; }
 
+    /// Install a schedule controller consulted at every nondeterministic
+    /// choice point (see sim/schedule_point.hpp). nullptr (the default)
+    /// disables the hook entirely — the kernel then runs its deterministic
+    /// FIFO order with zero overhead. The RTOS model reads this controller
+    /// through the kernel for its own dispatch-tie choice points.
+    void set_schedule_controller(ScheduleController* c) { controller_ = c; }
+    [[nodiscard]] ScheduleController* schedule_controller() const { return controller_; }
+
+    /// True once a SimulationAbort stopped the run; reason() carries its text.
+    [[nodiscard]] bool aborted() const { return abort_reason_.has_value(); }
+    [[nodiscard]] const std::optional<std::string>& abort_reason() const {
+        return abort_reason_;
+    }
+
     // ---- process-context API (must be called from inside a process) ----
 
     /// Block until `e` is notified (or already notified in this delta cycle).
@@ -162,6 +187,7 @@ private:
     bool advance_time(SimTime limit);
     void end_delta();
     void drain_runnable();
+    void consult_controller();
     void recycle_stack(Process* p);
     void sync_stack_stats();
     static void trampoline(void* raw);  // raw = Process*; never returns
@@ -177,6 +203,8 @@ private:
     Context sched_ctx_;
     Process* current_ = nullptr;
     KernelObserver* observer_ = nullptr;
+    ScheduleController* controller_ = nullptr;
+    std::optional<std::string> abort_reason_;
     bool running_ = false;
     std::uint64_t seq_counter_ = 0;
     int next_id_ = 1;

@@ -1,6 +1,7 @@
 #include "trace/trace.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <map>
 #include <ostream>
 #include <sstream>
@@ -23,6 +24,10 @@ const char* to_string(RecordKind k) {
 }
 
 void TraceRecorder::record(Record r) {
+    // Ordering contract (see trace.hpp): nondecreasing timestamps. Checked in
+    // debug builds only — the hot path stays branch-free under NDEBUG.
+    assert((records_.empty() || r.t >= records_.back().t) &&
+           "TraceRecorder::record: timestamps must be nondecreasing");
     records_.push_back(std::move(r));
 }
 

@@ -48,8 +48,15 @@ struct Interval {
 /// derives per-actor execution intervals, Gantt charts, and export formats.
 ///
 /// Recording is append-only and cheap; all analysis walks the record list on
-/// demand. Records are expected in nondecreasing time order (the kernel is
-/// single-threaded, so this holds by construction).
+/// demand.
+///
+/// **Ordering contract:** records must arrive in nondecreasing time order.
+/// Everything derived (intervals, Gantt buckets, VCD change lists, replay
+/// comparison) assumes it, and a violation produces silently wrong views, not
+/// an error. Kernel- and RTOS-emitted records satisfy it by construction
+/// (timestamps are kernel.now(), which never decreases); hand-recorded
+/// markers must take care. Debug builds assert the contract in record();
+/// release builds accept the record unchecked.
 class TraceRecorder {
 public:
     // ---- recording ----
