@@ -1,0 +1,279 @@
+// RTOS personality benchmarks. Times the common syscall paths — task
+// create/activate/terminate lifecycle, semaphore signal/wait round trips,
+// uncontended mutex lock/unlock — once through the paper-style API
+// (RtosModel) and once through the ITRON-style API (ItronOs), and emits a
+// machine-readable BENCH_rtos.json so the cost of the personality layer is
+// tracked from PR to PR. The contract of the layered architecture is that a
+// personality only renames calls; the per-item ratio printed here is the
+// measured price of that veneer (ID lookup + error-code mapping).
+//
+// The mutex rows drive the shared OsMutex service through each personality's
+// core — ITRON has no mutex call set of its own, which is itself a point the
+// layering makes: services bind to the core, not to an API flavor.
+//
+// Usage: bench_rtos [--smoke] [--out FILE]
+//   --smoke   tiny iteration counts for CI (seconds -> milliseconds)
+//   --out     output path (default: BENCH_rtos.json in the CWD)
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rtos/itron.hpp"
+#include "rtos/os_channels.hpp"
+#include "rtos/rtos.hpp"
+#include "sim/kernel.hpp"
+#include "sim/time.hpp"
+
+using namespace slm;
+using namespace slm::time_literals;
+
+namespace {
+
+struct Measurement {
+    double ns_per_item = 0.0;
+    double items_per_sec = 0.0;
+    std::uint64_t items = 0;
+};
+
+double elapsed_ns(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() -
+                                                    t0)
+        .count();
+}
+
+Measurement finish(std::uint64_t items, double ns) {
+    Measurement m;
+    m.items = items;
+    m.ns_per_item = ns / static_cast<double>(items);
+    m.items_per_sec = 1e9 * static_cast<double>(items) / ns;
+    return m;
+}
+
+/// Task lifecycle: create + activate + terminate, in waves so dispatch and
+/// termination are included. Items = tasks that ran to completion.
+Measurement bm_lifecycle_paper(int waves, int per_wave) {
+    sim::Kernel k;
+    rtos::RtosModel os{k};
+    os.init();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int w = 0; w < waves; ++w) {
+        for (int i = 0; i < per_wave; ++i) {
+            rtos::Task* t =
+                os.task_create("t", rtos::TaskType::Aperiodic, {}, {}, i);
+            k.spawn("t", [&os, t] {
+                os.task_activate(t);
+                os.task_terminate();
+            });
+        }
+        if (w == 0) {
+            os.start();
+        }
+        k.run();
+    }
+    const double ns = elapsed_ns(t0);
+    return finish(static_cast<std::uint64_t>(waves) * per_wave, ns);
+}
+
+Measurement bm_lifecycle_itron(int waves, int per_wave) {
+    sim::Kernel k;
+    rtos::itron::ItronOs os{k};
+    rtos::itron::ID next_id = 1;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int w = 0; w < waves; ++w) {
+        for (int i = 0; i < per_wave; ++i) {
+            os.cre_tsk(next_id, {.name = "t", .itskpri = i, .task = [] {}});
+            os.sta_tsk(next_id);
+            ++next_id;
+        }
+        if (w == 0) {
+            os.start();
+        }
+        k.run();
+    }
+    const double ns = elapsed_ns(t0);
+    return finish(static_cast<std::uint64_t>(waves) * per_wave, ns);
+}
+
+/// Semaphore signal/wait round trip between two tasks: every acquire blocks
+/// and every release redispatches the peer, so items (= acquires) price the
+/// full syscall + reschedule + context-handoff path.
+Measurement bm_sem_pingpong_paper(int iters) {
+    sim::Kernel k;
+    rtos::RtosModel os{k};
+    os.init();
+    rtos::OsSemaphore a{os, 0, "a"};
+    rtos::OsSemaphore b{os, 0, "b"};
+    rtos::Task* ping = os.task_create("ping", rtos::TaskType::Aperiodic, {}, {}, 1);
+    rtos::Task* pong = os.task_create("pong", rtos::TaskType::Aperiodic, {}, {}, 2);
+    k.spawn("ping", [&, ping] {
+        os.task_activate(ping);
+        for (int i = 0; i < iters; ++i) {
+            a.acquire();
+            b.release();
+        }
+        os.task_terminate();
+    });
+    k.spawn("pong", [&, pong] {
+        os.task_activate(pong);
+        for (int i = 0; i < iters; ++i) {
+            a.release();
+            b.acquire();
+        }
+        os.task_terminate();
+    });
+    os.start();
+    const auto t0 = std::chrono::steady_clock::now();
+    k.run();
+    const double ns = elapsed_ns(t0);
+    return finish(2 * static_cast<std::uint64_t>(iters), ns);
+}
+
+Measurement bm_sem_pingpong_itron(int iters) {
+    sim::Kernel k;
+    rtos::itron::ItronOs os{k};
+    os.cre_sem(1, {.isemcnt = 0, .name = "a"});
+    os.cre_sem(2, {.isemcnt = 0, .name = "b"});
+    os.cre_tsk(1, {.name = "ping", .itskpri = 1, .task = [&os, iters] {
+                       for (int i = 0; i < iters; ++i) {
+                           os.wai_sem(1);
+                           os.sig_sem(2);
+                       }
+                   }});
+    os.cre_tsk(2, {.name = "pong", .itskpri = 2, .task = [&os, iters] {
+                       for (int i = 0; i < iters; ++i) {
+                           os.sig_sem(1);
+                           os.wai_sem(2);
+                       }
+                   }});
+    os.sta_tsk(1);
+    os.sta_tsk(2);
+    os.start();
+    const auto t0 = std::chrono::steady_clock::now();
+    k.run();
+    const double ns = elapsed_ns(t0);
+    return finish(2 * static_cast<std::uint64_t>(iters), ns);
+}
+
+/// Uncontended mutex lock/unlock pairs from a single task: the cheapest
+/// syscall pair (no blocking, no dispatch), isolating per-call bookkeeping.
+Measurement bm_mutex_paper(int iters) {
+    sim::Kernel k;
+    rtos::RtosModel os{k};
+    os.init();
+    rtos::OsMutex m{os, rtos::OsMutex::Protocol::PriorityInheritance};
+    rtos::Task* t = os.task_create("t", rtos::TaskType::Aperiodic, {}, {}, 1);
+    k.spawn("t", [&, t] {
+        os.task_activate(t);
+        for (int i = 0; i < iters; ++i) {
+            m.lock();
+            m.unlock();
+        }
+        os.task_terminate();
+    });
+    os.start();
+    const auto t0 = std::chrono::steady_clock::now();
+    k.run();
+    const double ns = elapsed_ns(t0);
+    return finish(static_cast<std::uint64_t>(iters), ns);
+}
+
+Measurement bm_mutex_itron(int iters) {
+    sim::Kernel k;
+    rtos::itron::ItronOs os{k};
+    rtos::OsMutex m{os.core(), rtos::OsMutex::Protocol::PriorityInheritance};
+    os.cre_tsk(1, {.name = "t", .itskpri = 1, .task = [&m, iters] {
+                       for (int i = 0; i < iters; ++i) {
+                           m.lock();
+                           m.unlock();
+                       }
+                   }});
+    os.sta_tsk(1);
+    os.start();
+    const auto t0 = std::chrono::steady_clock::now();
+    k.run();
+    const double ns = elapsed_ns(t0);
+    return finish(static_cast<std::uint64_t>(iters), ns);
+}
+
+void emit(std::FILE* f, const char* name, const char* unit,
+          const std::vector<std::pair<std::string, Measurement>>& rows) {
+    std::fprintf(f, "    \"%s\": {\n      \"unit\": \"%s\"", name, unit);
+    for (const auto& [personality, m] : rows) {
+        std::fprintf(f,
+                     ",\n      \"%s\": {\"ns_per_item\": %.2f, "
+                     "\"items_per_sec\": %.0f, \"items\": %llu}",
+                     personality.c_str(), m.ns_per_item, m.items_per_sec,
+                     static_cast<unsigned long long>(m.items));
+    }
+    if (rows.size() == 2) {
+        std::fprintf(f, ",\n      \"itron_over_paper_ratio\": %.3f",
+                     rows[1].second.ns_per_item / rows[0].second.ns_per_item);
+    }
+    std::fprintf(f, "\n    }");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    std::string out_path = "BENCH_rtos.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: bench_rtos [--smoke] [--out FILE]\n");
+            return 2;
+        }
+    }
+
+    const int waves = smoke ? 5 : 50;
+    const int per_wave = smoke ? 50 : 200;
+    const int sem_iters = smoke ? 2'000 : 200'000;
+    const int mutex_iters = smoke ? 20'000 : 2'000'000;
+
+    std::fprintf(stderr, "bench_rtos: personality=paper...\n");
+    std::vector<std::pair<std::string, Measurement>> lifecycle, sem, mutex;
+    lifecycle.emplace_back("paper", bm_lifecycle_paper(waves, per_wave));
+    sem.emplace_back("paper", bm_sem_pingpong_paper(sem_iters));
+    mutex.emplace_back("paper", bm_mutex_paper(mutex_iters));
+    std::fprintf(stderr, "bench_rtos: personality=itron...\n");
+    lifecycle.emplace_back("itron", bm_lifecycle_itron(waves, per_wave));
+    sem.emplace_back("itron", bm_sem_pingpong_itron(sem_iters));
+    mutex.emplace_back("itron", bm_mutex_itron(mutex_iters));
+
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        std::perror("bench_rtos: fopen");
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"slm-bench-rtos-v1\",\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    std::fprintf(f, "  \"benchmarks\": {\n");
+    emit(f, "BM_TaskLifecycle", "task", lifecycle);
+    std::fprintf(f, ",\n");
+    emit(f, "BM_SemSignalWaitRoundTrip", "acquire", sem);
+    std::fprintf(f, ",\n");
+    emit(f, "BM_MutexLockUnlock", "lock/unlock pair", mutex);
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+
+    for (const auto& [name, rows] :
+         {std::pair<const char*,
+                    const std::vector<std::pair<std::string, Measurement>>&>{
+              "task lifecycle", lifecycle},
+          {"sem round trip", sem},
+          {"mutex pair", mutex}}) {
+        for (const auto& [personality, m] : rows) {
+            std::printf("%-16s %-6s %10.1f ns/item %12.0f items/s\n", name,
+                        personality.c_str(), m.ns_per_item, m.items_per_sec);
+        }
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
-# Run the kernel benchmark suite and leave a machine-readable BENCH_kernel.json
-# behind. Designed to be runnable both by hand and from CI:
+# Run the kernel + RTOS benchmark suites and leave machine-readable
+# BENCH_kernel.json / BENCH_rtos.json behind. Designed to be runnable both by
+# hand and from CI:
 #
-#   bench/run_benches.sh                    # full run, ./build, ./BENCH_kernel.json
+#   bench/run_benches.sh                    # full run, ./build, ./BENCH_*.json
 #   bench/run_benches.sh --smoke            # CI smoke mode (milliseconds)
 #   bench/run_benches.sh --build-dir DIR    # pick a build tree
-#   bench/run_benches.sh --out FILE         # where to write the JSON
+#   bench/run_benches.sh --out FILE         # where to write the kernel JSON
+#   bench/run_benches.sh --rtos-out FILE    # where to write the RTOS JSON
 #   bench/run_benches.sh --micro            # also run the google-benchmark micro suite
 set -euo pipefail
 
 build_dir=build
 out=BENCH_kernel.json
+rtos_out=BENCH_rtos.json
 smoke_flag=""
 run_micro=0
 
@@ -19,19 +22,22 @@ while [[ $# -gt 0 ]]; do
     --smoke) smoke_flag="--smoke" ;;
     --build-dir) build_dir="$2"; shift ;;
     --out) out="$2"; shift ;;
+    --rtos-out) rtos_out="$2"; shift ;;
     --micro) run_micro=1 ;;
-    *) echo "usage: $0 [--smoke] [--build-dir DIR] [--out FILE] [--micro]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--smoke] [--build-dir DIR] [--out FILE] [--rtos-out FILE] [--micro]" >&2; exit 2 ;;
   esac
   shift
 done
 
-bench_ctx="$build_dir/bench/bench_ctx"
-if [[ ! -x "$bench_ctx" ]]; then
-  echo "error: $bench_ctx not built (cmake --build $build_dir --target bench_ctx)" >&2
-  exit 1
-fi
+for bin in bench_ctx bench_rtos; do
+  if [[ ! -x "$build_dir/bench/$bin" ]]; then
+    echo "error: $build_dir/bench/$bin not built (cmake --build $build_dir --target $bin)" >&2
+    exit 1
+  fi
+done
 
-"$bench_ctx" $smoke_flag --out "$out"
+"$build_dir/bench/bench_ctx" $smoke_flag --out "$out"
+"$build_dir/bench/bench_rtos" $smoke_flag --out "$rtos_out"
 
 if [[ "$run_micro" == 1 && -x "$build_dir/bench/bench_micro" ]]; then
   if [[ -n "$smoke_flag" ]]; then

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Header self-containment gate: every public header under src/ must compile
+# standalone (a translation unit consisting of just that #include), so the
+# layered includes stay honest — a header silently leaning on something its
+# includer happened to pull in first breaks the next consumer. Registered as
+# the `check_headers` ctest (see the top-level CMakeLists.txt).
+#
+#   ci/check_headers.sh [--cxx COMPILER]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+cxx="${CXX:-c++}"
+if [[ "${1:-}" == "--cxx" && -n "${2:-}" ]]; then
+  cxx="$2"
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+fail=0
+checked=0
+while IFS= read -r header; do
+  tu="$tmpdir/tu.cpp"
+  printf '#include "%s"\n' "${header#src/}" > "$tu"
+  if ! "$cxx" -std=c++20 -fsyntax-only -Wall -Wextra -Werror -I src \
+       "$tu" 2> "$tmpdir/err.txt"; then
+    echo "check_headers: $header is not self-contained:" >&2
+    sed 's/^/  /' "$tmpdir/err.txt" >&2
+    fail=1
+  fi
+  checked=$((checked + 1))
+done < <(find src -name '*.hpp' | sort)
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "check_headers: OK ($checked headers compile standalone)"

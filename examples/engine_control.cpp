@@ -27,7 +27,7 @@ int main() {
     cfg.preemption_granularity = 100_us;
     cfg.tracer = &trace;
     arch::ProcessingElement ecu{kernel, "ECU", cfg};
-    rtos::RtosModel& os = ecu.os();
+    rtos::OsCore& os = ecu.os();
 
     // ---- analytic check before simulating ----
     std::vector<analysis::PeriodicTaskSpec> specs = {

@@ -93,7 +93,7 @@ void Bus::occupy_for(SimTime duration, std::size_t bytes_accounted,
     kernel_.notify(grant_);
 }
 
-InterruptController::InterruptController(sim::Kernel& kernel, rtos::RtosModel& os,
+InterruptController::InterruptController(sim::Kernel& kernel, rtos::OsCore& os,
                                          std::string name)
     : kernel_(kernel), os_(os), name_(std::move(name)), pending_evt_(kernel, name_ + ".pending") {}
 
@@ -182,14 +182,16 @@ ProcessingElement::ProcessingElement(sim::Kernel& kernel, std::string name,
                                      rtos::RtosConfig cfg)
     : kernel_(kernel), name_(std::move(name)) {
     cfg.cpu_name = name_;
-    os_ = std::make_unique<rtos::RtosModel>(kernel, std::move(cfg));
+    os_ = std::make_unique<rtos::OsCore>(kernel, std::move(cfg));
     os_->init();
 }
 
 rtos::Task* ProcessingElement::add_task(const std::string& task_name, int priority,
                                         std::function<void()> body) {
-    rtos::Task* t =
-        os_->task_create(task_name, rtos::TaskType::Aperiodic, {}, {}, priority);
+    rtos::TaskParams p;
+    p.name = task_name;
+    p.priority = priority;
+    rtos::Task* t = os_->task_create(std::move(p));
     kernel_.spawn(name_ + "." + task_name, [this, t, body = std::move(body)] {
         os_->task_activate(t);
         body();
@@ -202,8 +204,14 @@ rtos::Task* ProcessingElement::add_periodic_task(const std::string& task_name,
                                                  int priority, SimTime period,
                                                  SimTime wcet, std::function<void()> body,
                                                  std::uint64_t cycles, SimTime deadline) {
-    rtos::Task* t = os_->task_create(task_name, rtos::TaskType::Periodic, period, wcet,
-                                     priority, deadline);
+    rtos::TaskParams p;
+    p.name = task_name;
+    p.type = rtos::TaskType::Periodic;
+    p.period = period;
+    p.wcet = wcet;
+    p.priority = priority;
+    p.deadline = deadline;
+    rtos::Task* t = os_->task_create(std::move(p));
     kernel_.spawn(name_ + "." + task_name,
                   [this, t, body = std::move(body), cycles] {
                       os_->task_activate(t);

@@ -8,8 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "rtos/core.hpp"
 #include "rtos/os_channels.hpp"
-#include "rtos/rtos.hpp"
 #include "sim/channels.hpp"
 #include "sim/kernel.hpp"
 #include "sim/time.hpp"
@@ -170,7 +170,7 @@ private:
 /// captures (semaphore releases, event notifies, preemption flags).
 class InterruptController {
 public:
-    InterruptController(sim::Kernel& kernel, rtos::RtosModel& os, std::string name);
+    InterruptController(sim::Kernel& kernel, rtos::OsCore& os, std::string name);
 
     /// Route `line` through this controller with the given IRQ priority.
     void attach(InterruptLine& line, int priority, std::function<void()> handler);
@@ -196,7 +196,7 @@ private:
     void ensure_dispatcher();
 
     sim::Kernel& kernel_;
-    rtos::RtosModel& os_;
+    rtos::OsCore& os_;
     std::string name_;
     sim::Event pending_evt_;
     std::vector<std::unique_ptr<Source>> sources_;
@@ -204,15 +204,20 @@ private:
     bool dispatcher_spawned_ = false;
 };
 
-/// A processing element: one CPU with its own RTOS model instance, tasks, and
+/// A processing element: one CPU with its own OS core instance, tasks, and
 /// ISRs. After dynamic-scheduling refinement, every software PE of the system
 /// model is an instance of this class (paper Fig. 1, architecture model).
+///
+/// The PE hosts the personality-neutral rtos::OsCore; task refinement
+/// helpers (add_task / add_periodic_task) drive the core directly, and an
+/// API personality can be layered over os() when refined software expects a
+/// specific call set (e.g. rtos::itron::ItronOs{pe.os()}).
 class ProcessingElement {
 public:
     ProcessingElement(sim::Kernel& kernel, std::string name, rtos::RtosConfig cfg = {});
 
     [[nodiscard]] sim::Kernel& kernel() { return kernel_; }
-    [[nodiscard]] rtos::RtosModel& os() { return *os_; }
+    [[nodiscard]] rtos::OsCore& os() { return *os_; }
     [[nodiscard]] const std::string& name() const { return name_; }
 
     /// Create and spawn an aperiodic task following the paper's refinement
@@ -239,7 +244,7 @@ public:
 private:
     sim::Kernel& kernel_;
     std::string name_;
-    std::unique_ptr<rtos::RtosModel> os_;
+    std::unique_ptr<rtos::OsCore> os_;
 };
 
 }  // namespace slm::arch

@@ -306,7 +306,7 @@ void Explorer::check_path(Run& run, PathResult& pr,
         }
     }
 
-    for (const rtos::RtosModel* os : run.models_) {
+    for (const rtos::OsCore* os : run.models_) {
         if (cfg_.check_lost_signals && os->stats().lost_notifies > 0) {
             add(Violation::Kind::LostSignal,
                 os->config().cpu_name + ": " +

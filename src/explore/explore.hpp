@@ -1,5 +1,6 @@
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -9,8 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "rtos/core.hpp"
 #include "rtos/os_channels.hpp"
-#include "rtos/rtos.hpp"
 #include "sim/kernel.hpp"
 #include "sim/schedule_point.hpp"
 #include "sim/time.hpp"
@@ -129,24 +130,29 @@ public:
     [[nodiscard]] trace::TraceRecorder& trace() { return trace_; }
 
     /// Construct an object owned by this Run (destroyed before the kernel,
-    /// in reverse construction order). RtosModels and OsMutexes made here are
+    /// in reverse construction order). OS cores (any personality: RtosModel
+    /// is-an OsCore, ItronOs exposes core()) and OsMutexes made here are
     /// automatically watch()ed.
     template <typename T, typename... Args>
     T& make(Args&&... args) {
         auto obj = std::make_shared<T>(std::forward<Args>(args)...);
         T& ref = *obj;
         owned_.push_back(std::move(obj));
-        if constexpr (std::is_same_v<T, rtos::RtosModel>) {
+        if constexpr (std::is_base_of_v<rtos::OsCore, T>) {
             watch(ref);
         } else if constexpr (std::is_same_v<T, rtos::OsMutex>) {
             watch(ref);
+        } else if constexpr (requires(T& p) {
+                                 { p.core() } -> std::convertible_to<rtos::OsCore&>;
+                             }) {
+            watch(ref.core());  // personality wrapper owning/viewing a core
         }
         return ref;
     }
 
-    /// Register an RTOS instance for the lost-signal and deadline-miss
-    /// checks (needed only for models built outside make()).
-    void watch(rtos::RtosModel& os) { models_.push_back(&os); }
+    /// Register an OS core for the lost-signal and deadline-miss checks
+    /// (needed only for models built outside make()).
+    void watch(rtos::OsCore& os) { models_.push_back(&os); }
     /// Register a mutex for the deadlock checker's wait-for graph, so a
     /// deadlock report names the cycle instead of just the blocked tasks.
     void watch(rtos::OsMutex& m) { mutexes_.push_back(&m); }
@@ -163,7 +169,7 @@ private:
     sim::Kernel kernel_;  // declared first: models in owned_ die before it
     trace::TraceRecorder trace_;
     std::vector<std::shared_ptr<void>> owned_;
-    std::vector<rtos::RtosModel*> models_;
+    std::vector<rtos::OsCore*> models_;
     std::vector<rtos::OsMutex*> mutexes_;
     std::vector<std::pair<std::string, std::function<bool()>>> expects_;
 };

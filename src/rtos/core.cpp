@@ -1,4 +1,4 @@
-#include "rtos/rtos.hpp"
+#include "rtos/core.hpp"
 
 #include <algorithm>
 
@@ -25,31 +25,31 @@ const char* to_string(TaskType t) {
     return t == TaskType::Periodic ? "Periodic" : "Aperiodic";
 }
 
-Task::Task(RtosModel& os, TaskParams params) : os_(os), params_(std::move(params)) {
+Task::Task(OsCore& os, TaskParams params) : os_(os), params_(std::move(params)) {
     dispatch_evt_ = std::make_unique<sim::Event>(os.kernel(), params_.name + ".dispatch");
 }
 
-RtosModel::RtosModel(sim::Kernel& kernel, RtosConfig cfg)
+OsCore::OsCore(sim::Kernel& kernel, RtosConfig cfg)
     : kernel_(kernel), cfg_(std::move(cfg)) {
     policy_ = make_policy(cfg_.policy, cfg_.quantum);
     ready_ = policy_->make_queue();
 }
 
-RtosModel::~RtosModel() = default;
+OsCore::~OsCore() = default;
 
-void RtosModel::init() {
+void OsCore::init() {
     SLM_ASSERT(!started_, "init() after start()");
     SLM_ASSERT(tasks_.empty(), "init() must precede task_create()");
     stats_ = RtosStats{};
 }
 
-void RtosModel::start() {
+void OsCore::start() {
     SLM_ASSERT(!started_, "start() called twice");
     started_ = true;
     schedule();
 }
 
-void RtosModel::start(SchedPolicy policy) {
+void OsCore::start(SchedPolicy policy) {
     policy_ = make_policy(policy, cfg_.quantum);
     // Tasks activated before start() already sit in the old queue; migrate
     // them so the new policy orders them (arrival_seq stamps are preserved).
@@ -61,28 +61,20 @@ void RtosModel::start(SchedPolicy policy) {
     start();
 }
 
-Task* RtosModel::task_create(std::string name, TaskType type, SimTime period,
-                             SimTime wcet, int priority, SimTime deadline) {
+Task* OsCore::task_create(TaskParams params) {
     ++stats_.syscalls;
-    SLM_ASSERT(type != TaskType::Periodic || !period.is_zero(),
+    SLM_ASSERT(params.type != TaskType::Periodic || !params.period.is_zero(),
                "periodic task needs a non-zero period");
-    TaskParams p;
-    p.name = std::move(name);
-    p.type = type;
-    p.period = period;
-    p.wcet = wcet;
-    p.priority = priority;
-    p.deadline = deadline;
-    tasks_.push_back(std::unique_ptr<Task>(new Task(*this, std::move(p))));
+    tasks_.push_back(std::unique_ptr<Task>(new Task(*this, std::move(params))));
     return tasks_.back().get();
 }
 
-Task* RtosModel::self() const {
+Task* OsCore::self() const {
     const auto it = by_process_.find(sim::this_process());
     return it != by_process_.end() ? it->second : nullptr;
 }
 
-std::vector<const Task*> RtosModel::tasks() const {
+std::vector<const Task*> OsCore::tasks() const {
     std::vector<const Task*> out;
     out.reserve(tasks_.size());
     for (const auto& t : tasks_) {
@@ -91,7 +83,7 @@ std::vector<const Task*> RtosModel::tasks() const {
     return out;
 }
 
-SimTime RtosModel::busy_time() const {
+SimTime OsCore::busy_time() const {
     SimTime total;
     for (const auto& t : tasks_) {
         total += t->stats_.exec_time;
@@ -101,7 +93,7 @@ SimTime RtosModel::busy_time() const {
 
 // ---- internal machinery ----
 
-void RtosModel::set_task_state(Task* t, TaskState s) {
+void OsCore::set_task_state(Task* t, TaskState s) {
     if (t->state_ == s) {
         return;
     }
@@ -112,23 +104,23 @@ void RtosModel::set_task_state(Task* t, TaskState s) {
     }
 }
 
-void RtosModel::enqueue_ready(Task* t) {
+void OsCore::enqueue_ready(Task* t) {
     t->arrival_seq_ = ++arrival_counter_;
     ready_->push(t);
     set_task_state(t, TaskState::Ready);
 }
 
-void RtosModel::remove_ready(Task* t) {
+void OsCore::remove_ready(Task* t) {
     ready_->erase(t);
 }
 
-void RtosModel::requeue_if_ready(Task* t) {
+void OsCore::requeue_if_ready(Task* t) {
     if (t->state_ == TaskState::Ready) {
         ready_->requeue(t);
     }
 }
 
-Task* RtosModel::pick_next() {
+Task* OsCore::pick_next() {
     sim::ScheduleController* ctl = kernel_.schedule_controller();
     if (ctl == nullptr) {
         return ready_->pop();
@@ -153,7 +145,7 @@ Task* RtosModel::pick_next() {
     return chosen;
 }
 
-void RtosModel::dispatch(Task* t) {
+void OsCore::dispatch(Task* t) {
     running_ = t;
     reschedule_pending_ = false;
     quantum_used_ = SimTime::zero();
@@ -172,7 +164,7 @@ void RtosModel::dispatch(Task* t) {
     kernel_.notify(*t->dispatch_evt_);
 }
 
-void RtosModel::schedule() {
+void OsCore::schedule() {
     if (!started_) {
         return;
     }
@@ -193,7 +185,7 @@ void RtosModel::schedule() {
     }
 }
 
-void RtosModel::maybe_yield() {
+void OsCore::maybe_yield() {
     Task* selftask = running_;
     SLM_ASSERT(selftask != nullptr, "maybe_yield outside running task");
     if (!reschedule_pending_) {
@@ -217,7 +209,7 @@ void RtosModel::maybe_yield() {
     wait_dispatch(selftask);
 }
 
-void RtosModel::rotate_quantum() {
+void OsCore::rotate_quantum() {
     Task* selftask = running_;
     reschedule_pending_ = false;
     enqueue_ready(selftask);
@@ -233,28 +225,28 @@ void RtosModel::rotate_quantum() {
     wait_dispatch(selftask);
 }
 
-void RtosModel::apply_switch_cost(Task* t) {
+void OsCore::apply_switch_cost(Task* t) {
     if (t->switch_cost_due_) {
         t->switch_cost_due_ = false;
         kernel_.waitfor(cfg_.context_switch_overhead);
     }
 }
 
-void RtosModel::wait_dispatch(Task* t) {
+void OsCore::wait_dispatch(Task* t) {
     while (running_ != t) {
         kernel_.wait(*t->dispatch_evt_);
     }
     apply_switch_cost(t);
 }
 
-Task* RtosModel::require_running_self(const char* what) {
+Task* OsCore::require_running_self(const char* what) {
     Task* t = self();
     SLM_ASSERT(t != nullptr, what);
     SLM_ASSERT(t == running_, what);
     return t;
 }
 
-void RtosModel::record_completion(Task* t) {
+void OsCore::record_completion(Task* t) {
     const SimTime resp = kernel_.now() - t->release_time_;
     ++t->stats_.completions;
     t->stats_.total_response += resp;
@@ -265,16 +257,34 @@ void RtosModel::record_completion(Task* t) {
     }
 }
 
-void RtosModel::reschedule_after_boost() {
+void OsCore::reschedule_after_boost() {
     schedule();
     if (running_ != nullptr && self() == running_) {
         maybe_yield();
     }
 }
 
+// ---- service interface ----
+
+int OsCore::priority_boost(const Task* t) const {
+    return t->inherited_priority_;
+}
+
+void OsCore::boost_priority(Task* t, int priority) {
+    if (priority < t->inherited_priority_) {
+        t->inherited_priority_ = priority;
+        requeue_if_ready(t);  // re-sort if it sits in the ready queue
+        reschedule_after_boost();
+    }
+}
+
+void OsCore::restore_priority(Task* t, int saved) {
+    t->inherited_priority_ = saved;
+}
+
 // ---- task management ----
 
-void RtosModel::task_activate(Task* t) {
+void OsCore::task_activate(Task* t) {
     ++stats_.syscalls;
     SLM_ASSERT(t != nullptr, "task_activate(nullptr)");
     switch (t->state_) {
@@ -331,7 +341,7 @@ void RtosModel::task_activate(Task* t) {
     }
 }
 
-void RtosModel::task_terminate() {
+void OsCore::task_terminate() {
     ++stats_.syscalls;
     Task* t = require_running_self("task_terminate() requires the running task");
     if (t->params_.type == TaskType::Aperiodic) {
@@ -346,7 +356,7 @@ void RtosModel::task_terminate() {
     schedule();
 }
 
-void RtosModel::task_sleep() {
+void OsCore::task_sleep() {
     ++stats_.syscalls;
     Task* t = require_running_self("task_sleep() requires the running task");
     set_task_state(t, TaskState::Suspended);
@@ -355,7 +365,7 @@ void RtosModel::task_sleep() {
     wait_dispatch(t);
 }
 
-void RtosModel::task_endcycle() {
+void OsCore::task_endcycle() {
     ++stats_.syscalls;
     Task* t = require_running_self("task_endcycle() requires the running task");
     SLM_ASSERT(t->params_.type == TaskType::Periodic,
@@ -385,7 +395,7 @@ void RtosModel::task_endcycle() {
     wait_dispatch(t);
 }
 
-void RtosModel::task_kill(Task* t) {
+void OsCore::task_kill(Task* t) {
     ++stats_.syscalls;
     SLM_ASSERT(t != nullptr, "task_kill(nullptr)");
     if (t->state_ == TaskState::Terminated) {
@@ -430,7 +440,7 @@ void RtosModel::task_kill(Task* t) {
     }
 }
 
-void RtosModel::task_set_priority(Task* t, int priority) {
+void OsCore::task_set_priority(Task* t, int priority) {
     ++stats_.syscalls;
     SLM_ASSERT(t != nullptr, "task_set_priority(nullptr)");
     t->params_.priority = priority;
@@ -441,7 +451,7 @@ void RtosModel::task_set_priority(Task* t, int priority) {
     }
 }
 
-Task* RtosModel::par_start() {
+Task* OsCore::par_start() {
     ++stats_.syscalls;
     Task* t = require_running_self("par_start() requires the running task");
     set_task_state(t, TaskState::ParWait);
@@ -450,7 +460,7 @@ Task* RtosModel::par_start() {
     return t;
 }
 
-void RtosModel::par_end(Task* parent) {
+void OsCore::par_end(Task* parent) {
     ++stats_.syscalls;
     SLM_ASSERT(parent != nullptr && parent->state_ == TaskState::ParWait,
                "par_end() expects the handle returned by par_start()");
@@ -463,7 +473,7 @@ void RtosModel::par_end(Task* parent) {
 
 // ---- event handling ----
 
-OsEvent* RtosModel::event_new(std::string name) {
+OsEvent* OsCore::event_new(std::string name) {
     ++stats_.syscalls;
     if (name.empty()) {
         name = "evt" + std::to_string(events_.size());
@@ -472,14 +482,14 @@ OsEvent* RtosModel::event_new(std::string name) {
     return events_.back().get();
 }
 
-void RtosModel::event_del(OsEvent* e) {
+void OsCore::event_del(OsEvent* e) {
     ++stats_.syscalls;
     SLM_ASSERT(e != nullptr, "event_del(nullptr)");
     SLM_ASSERT(e->waiters_.empty(), "event_del() with tasks still waiting");
     std::erase_if(events_, [e](const auto& p) { return p.get() == e; });
 }
 
-void RtosModel::event_wait(OsEvent* e) {
+void OsCore::event_wait(OsEvent* e) {
     ++stats_.syscalls;
     SLM_ASSERT(e != nullptr, "event_wait(nullptr)");
     Task* t = require_running_self("event_wait() requires the running task");
@@ -491,7 +501,7 @@ void RtosModel::event_wait(OsEvent* e) {
     wait_dispatch(t);
 }
 
-bool RtosModel::event_wait_timeout(OsEvent* e, SimTime timeout) {
+bool OsCore::event_wait_timeout(OsEvent* e, SimTime timeout) {
     ++stats_.syscalls;
     SLM_ASSERT(e != nullptr, "event_wait_timeout(nullptr)");
     SLM_ASSERT(!timeout.is_zero(), "event_wait_timeout() needs a non-zero timeout");
@@ -529,7 +539,7 @@ bool RtosModel::event_wait_timeout(OsEvent* e, SimTime timeout) {
     return notified;
 }
 
-void RtosModel::event_notify(OsEvent* e) {
+void OsCore::event_notify(OsEvent* e) {
     ++stats_.syscalls;
     SLM_ASSERT(e != nullptr, "event_notify(nullptr)");
     if (e->waiters_.empty()) {
@@ -550,7 +560,7 @@ void RtosModel::event_notify(OsEvent* e) {
 
 // ---- time modeling ----
 
-void RtosModel::time_wait(SimTime dt) {
+void OsCore::time_wait(SimTime dt) {
     ++stats_.syscalls;
     Task* t = require_running_self("time_wait() requires the running task");
     // A reschedule pending from an earlier call takes effect before any of
@@ -590,7 +600,7 @@ void RtosModel::time_wait(SimTime dt) {
     } while (!remaining.is_zero());
 }
 
-void RtosModel::task_delay(SimTime dt) {
+void OsCore::task_delay(SimTime dt) {
     ++stats_.syscalls;
     Task* t = require_running_self("task_delay() requires the running task");
     set_task_state(t, TaskState::Sleeping);
@@ -606,14 +616,14 @@ void RtosModel::task_delay(SimTime dt) {
 
 // ---- interrupts ----
 
-void RtosModel::isr_enter(const std::string& irq_name) {
+void OsCore::isr_enter(const std::string& irq_name) {
     ++stats_.isr_entries;
     if (cfg_.tracer != nullptr) {
         cfg_.tracer->irq(kernel_.now(), cfg_.cpu_name, irq_name);
     }
 }
 
-void RtosModel::interrupt_return() {
+void OsCore::interrupt_return() {
     ++stats_.syscalls;
     schedule();
 }

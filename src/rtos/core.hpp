@@ -1,0 +1,342 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rtos/scheduler.hpp"
+#include "sim/event.hpp"
+#include "sim/kernel.hpp"
+#include "sim/time.hpp"
+#include "trace/trace.hpp"
+
+namespace slm::rtos {
+
+class OsCore;
+class OsEvent;
+
+/// Task kinds supported by the model (paper §4.1): periodic hard real-time
+/// tasks with a critical deadline, and aperiodic tasks with a fixed priority.
+enum class TaskType { Aperiodic, Periodic };
+
+/// RTOS-level task states (layered above sim::ProcState; the paper implements
+/// task management "in a customary manner where tasks transition between
+/// different states and a task queue is associated with each state").
+enum class TaskState {
+    New,            ///< TCB created, no process bound yet
+    Ready,          ///< runnable, in the ready queue
+    Running,        ///< the one task executing on this core
+    WaitingEvent,   ///< blocked in event_wait()
+    WaitingPeriod,  ///< periodic task between end-of-cycle and next release
+    Sleeping,       ///< task_delay()ed until a wall-clock instant
+    Suspended,      ///< task_sleep()ed, until task_activate()
+    ParWait,        ///< parent task suspended in par_start()/par_end()
+    Terminated,     ///< finished (task_terminate) or killed (task_kill)
+};
+
+[[nodiscard]] const char* to_string(TaskState s);
+[[nodiscard]] const char* to_string(TaskType t);
+
+/// Static task attributes passed to task_create.
+struct TaskParams {
+    std::string name;
+    TaskType type = TaskType::Aperiodic;
+    /// Fixed priority; smaller number = higher priority. Used by the Priority
+    /// and RoundRobin policies (EDF/RMS derive ordering from deadlines/periods).
+    int priority = 0;
+    SimTime period{};    ///< release period (Periodic tasks)
+    SimTime wcet{};      ///< worst-case execution time per cycle (informational + analysis)
+    /// Relative deadline; zero means "= period" for periodic tasks and
+    /// "none" (background) for aperiodic tasks under EDF.
+    SimTime deadline{};
+};
+
+/// Per-task measured statistics.
+struct TaskStats {
+    std::uint64_t activations = 0;      ///< releases (periodic) / activations
+    std::uint64_t preemptions = 0;      ///< times this task lost the CPU involuntarily
+    std::uint64_t deadline_misses = 0;  ///< completions after the absolute deadline
+    SimTime exec_time{};                ///< accumulated time_wait() execution time
+    SimTime max_response{};             ///< max release-to-completion latency
+    SimTime total_response{};           ///< sum of response times (for averages)
+    std::uint64_t completions = 0;      ///< completed cycles/activations
+};
+
+/// Task control block. Created via OsCore::task_create (the paper's `proc`
+/// handle); owned by the core. Application code treats it as an opaque
+/// handle with read-only accessors.
+class Task {
+public:
+    Task(const Task&) = delete;
+    Task& operator=(const Task&) = delete;
+
+    [[nodiscard]] const std::string& name() const { return params_.name; }
+    [[nodiscard]] const TaskParams& params() const { return params_; }
+    [[nodiscard]] TaskState state() const { return state_; }
+    [[nodiscard]] const TaskStats& stats() const { return stats_; }
+    /// Effective priority: base priority unless boosted by priority
+    /// inheritance (see OsMutex).
+    [[nodiscard]] int effective_priority() const {
+        return inherited_priority_ < params_.priority ? inherited_priority_
+                                                      : params_.priority;
+    }
+    [[nodiscard]] SimTime absolute_deadline() const { return abs_deadline_; }
+    [[nodiscard]] SimTime release_time() const { return release_time_; }
+    /// Monotone stamp refreshed each time the task enters the ready queue;
+    /// policies use it for FIFO ordering and tie-breaking.
+    [[nodiscard]] std::uint64_t arrival_seq() const { return arrival_seq_; }
+
+private:
+    friend class OsCore;
+    friend class ReadyQueue;  // intrusive ready-queue link access
+
+    Task(OsCore& os, TaskParams params);
+
+    OsCore& os_;
+    TaskParams params_;
+    TaskState state_ = TaskState::New;
+    sim::Process* proc_ = nullptr;  ///< bound at task_activate time
+    std::unique_ptr<sim::Event> dispatch_evt_;
+    ReadyLink rq_link_;             ///< owned by the scheduler's ReadyQueue
+
+    SimTime release_time_{};
+    SimTime next_release_{};
+    SimTime abs_deadline_ = SimTime::max();
+    OsEvent* waiting_evt_ = nullptr;  ///< valid while state_ == WaitingEvent
+    int inherited_priority_ = std::numeric_limits<int>::max();
+    std::uint64_t arrival_seq_ = 0;  ///< FIFO stamp, refreshed on each enqueue
+    bool switch_cost_due_ = false;
+    TaskStats stats_;
+};
+
+/// RTOS event (the paper's `evt`, allocated with event_new). Unlike SLDL
+/// events, RTOS events queue *tasks*, and a notify with no waiting task is
+/// lost — stateful synchronization belongs in the os_channels built on top.
+class OsEvent {
+public:
+    explicit OsEvent(std::string name) : name_(std::move(name)) {}
+    OsEvent(const OsEvent&) = delete;
+    OsEvent& operator=(const OsEvent&) = delete;
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] std::size_t waiter_count() const { return waiters_.size(); }
+
+private:
+    friend class OsCore;
+    std::string name_;
+    std::vector<Task*> waiters_;
+};
+
+/// Core construction parameters (shared by every personality).
+struct RtosConfig {
+    /// Name of the processing element this core runs on; used as the
+    /// `cpu` field of trace records.
+    std::string cpu_name = "cpu0";
+    /// Default scheduling policy (can be overridden by start(policy)).
+    SchedPolicy policy = SchedPolicy::Priority;
+    /// Round-robin time slice.
+    SimTime quantum = milliseconds(1);
+    /// Modeled cost of a context switch, charged to the incoming task.
+    SimTime context_switch_overhead{};
+    /// Chop time_wait() delays into chunks of at most this size so preemption
+    /// can take effect earlier (paper §4.3: "the accuracy of preemption
+    /// results is limited by the granularity of task delay models"). Zero
+    /// means no chopping: one chunk per time_wait call.
+    SimTime preemption_granularity{};
+    /// Optional trace sink for task states, context switches, and IRQs.
+    trace::TraceRecorder* tracer = nullptr;
+};
+
+/// Core-instance statistics.
+struct RtosStats {
+    std::uint64_t context_switches = 0;  ///< dispatches where the task changed
+    std::uint64_t dispatches = 0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t isr_entries = 0;
+    std::uint64_t deadline_misses = 0;
+    std::uint64_t syscalls = 0;  ///< RTOS interface invocations
+    /// event_notify() calls that found no waiting task. RTOS events are lossy
+    /// by design, so a nonzero count is not itself a bug (semaphore releases
+    /// with no contender land here) — but for pure-event protocols it flags a
+    /// signal the intended receiver never saw. The schedule explorer can
+    /// treat it as a safety property (ExploreConfig::check_lost_signals).
+    std::uint64_t lost_notifies = 0;
+};
+
+/// The OS core: the bottom layer of the layered RTOS model.
+///
+/// One instance models the kernel of one processing element. It owns task
+/// lifecycle (TCBs, states, the ready queue), the context-handoff protocol
+/// (per-task dispatch events serializing tasks over the SLDL kernel), the
+/// reschedule protocol (deferred preemption at delay-step boundaries,
+/// paper Fig. 8(b): t4 → t4'), events, and time services. It knows nothing
+/// about API flavors: *personalities* (the paper-style RtosModel, the
+/// ITRON-style ItronOs) are thin veneers mapping their standard's call set
+/// onto this class, and the *services* layer (os_channels.hpp) builds
+/// stateful synchronization from the narrow service interface below.
+///
+/// Infrastructure — schedule exploration, Gantt tracing, deadlock checking,
+/// architecture modeling — targets OsCore, so every personality inherits it
+/// for free.
+class OsCore {
+public:
+    explicit OsCore(sim::Kernel& kernel, RtosConfig cfg = {});
+    ~OsCore();
+
+    OsCore(const OsCore&) = delete;
+    OsCore& operator=(const OsCore&) = delete;
+
+    // ---- operating system management ----
+
+    /// Reset kernel data structures. Must be called before any task_create.
+    void init();
+
+    /// Begin multi-task scheduling with the configured policy.
+    void start();
+    /// Begin multi-task scheduling with an explicit policy (paper signature).
+    void start(SchedPolicy policy);
+
+    /// Notify the kernel that an interrupt service routine has finished; the
+    /// scheduler runs and may dispatch a task the ISR made ready.
+    void interrupt_return();
+
+    /// Bracket an ISR body (bookkeeping + trace). The arch layer calls
+    /// isr_enter() when an interrupt fires; models written by hand may too.
+    void isr_enter(const std::string& irq_name);
+
+    // ---- task management ----
+
+    /// Allocate a task control block. The returned handle is bound to an SLDL
+    /// process by the first task_activate() call made from that process.
+    Task* task_create(TaskParams params);
+
+    /// Terminate the calling task and dispatch the next one.
+    void task_terminate();
+
+    /// Suspend the calling task until another task task_activate()s it.
+    void task_sleep();
+
+    /// Dual purpose (paper §4.1/§4.4):
+    ///  - called from the task's own (unbound) process: binds the process to
+    ///    the TCB, enters the ready queue, and blocks until dispatched;
+    ///  - called on a Suspended task from elsewhere: moves it back to ready.
+    void task_activate(Task* t);
+
+    /// Periodic tasks: end the current cycle, wait for the next release.
+    void task_endcycle();
+
+    /// Forcibly terminate another task (or the caller, = task_terminate).
+    void task_kill(Task* t);
+
+    /// Change a task's base priority at runtime (smaller = higher). The
+    /// scheduler re-evaluates immediately; lowering the caller's own priority
+    /// may switch away inside this call.
+    void task_set_priority(Task* t, int priority);
+
+    /// Suspend the calling task for dynamic fork: call before an SLDL `par`
+    /// that spawns child tasks. Returns the suspended task handle.
+    Task* par_start();
+
+    /// Resume the parent task after the SLDL `par` joined.
+    void par_end(Task* parent);
+
+    // ---- event handling ----
+
+    OsEvent* event_new(std::string name = {});
+    void event_del(OsEvent* e);
+    /// Block the calling task until the event is notified.
+    void event_wait(OsEvent* e);
+    /// Block until the event is notified or `timeout` elapses. Returns true
+    /// if the event arrived; false if the task timed out (it then re-entered
+    /// the ready queue and was redispatched normally).
+    [[nodiscard]] bool event_wait_timeout(OsEvent* e, SimTime timeout);
+    /// Move all tasks waiting on `e` to ready; reschedule.
+    void event_notify(OsEvent* e);
+
+    // ---- time modeling ----
+
+    /// Model `dt` of task execution time; replaces `waitfor` in refined tasks
+    /// (the wrapper that lets the RTOS kernel reschedule when time increases).
+    void time_wait(SimTime dt);
+
+    /// Suspend the calling task for `dt` of simulated time *without consuming
+    /// CPU* (the classic RTOS delay()/taskDelay() service): other tasks run
+    /// during the sleep, and the caller re-enters the ready queue afterwards.
+    void task_delay(SimTime dt);
+
+    // ---- service interface ----
+    //
+    // The narrow surface the services layer (os_channels.hpp) builds on, in
+    // addition to the event operations above. Priority boosts model the
+    // inheritance/ceiling protocols of OsMutex without letting services reach
+    // into TCB internals: a boost never lowers the effective priority, and
+    // restore_priority() reinstates a level previously read with
+    // priority_boost() (the mutex save/restore discipline).
+
+    /// Current boost level of `t` (numeric level; INT_MAX = no boost).
+    [[nodiscard]] int priority_boost(const Task* t) const;
+    /// Raise `t`'s boost to `priority` if that is higher (numerically lower);
+    /// re-sorts the ready queue and reschedules immediately. No-op otherwise.
+    void boost_priority(Task* t, int priority);
+    /// Reinstate a boost level previously read with priority_boost(). Takes
+    /// effect at the next reschedule (the releasing service is expected to
+    /// trigger one, e.g. via event_notify).
+    void restore_priority(Task* t, int saved);
+
+    // ---- introspection ----
+
+    [[nodiscard]] sim::Kernel& kernel() { return kernel_; }
+    [[nodiscard]] const RtosConfig& config() const { return cfg_; }
+    [[nodiscard]] const RtosStats& stats() const { return stats_; }
+    [[nodiscard]] const SchedulerPolicy& policy() const { return *policy_; }
+    [[nodiscard]] Task* running_task() const { return running_; }
+    [[nodiscard]] bool started() const { return started_; }
+    /// The task bound to the calling SLDL process (nullptr if unbound).
+    [[nodiscard]] Task* self() const;
+    [[nodiscard]] std::vector<const Task*> tasks() const;
+    /// Sum of all tasks' modeled execution time (CPU busy time).
+    [[nodiscard]] SimTime busy_time() const;
+
+private:
+    void enqueue_ready(Task* t);
+    void remove_ready(Task* t);
+    /// Re-sort a Ready task whose scheduling key changed (priority boost /
+    /// task_set_priority); no-op for tasks in other states.
+    void requeue_if_ready(Task* t);
+    void set_task_state(Task* t, TaskState s);
+    /// Remove and return the next task to dispatch. Equals ready_->pop()
+    /// unless a sim::ScheduleController is installed on the kernel, in which
+    /// case policy-equivalent ties become a TaskDispatch choice point.
+    Task* pick_next();
+    void dispatch(Task* t);
+    void apply_switch_cost(Task* t);
+    void schedule();
+    void maybe_yield();
+    void rotate_quantum();
+    void wait_dispatch(Task* t);
+    [[nodiscard]] Task* require_running_self(const char* what);
+    void record_completion(Task* t);
+    void reschedule_after_boost();
+
+    sim::Kernel& kernel_;
+    RtosConfig cfg_;
+    std::unique_ptr<SchedulerPolicy> policy_;
+    std::vector<std::unique_ptr<Task>> tasks_;
+    std::vector<std::unique_ptr<OsEvent>> events_;
+    std::unique_ptr<ReadyQueue> ready_;
+    std::unordered_map<const sim::Process*, Task*> by_process_;
+    Task* running_ = nullptr;
+    Task* last_dispatched_ = nullptr;
+    bool reschedule_pending_ = false;
+    bool started_ = false;
+    std::uint64_t arrival_counter_ = 0;
+    SimTime quantum_used_{};
+    std::vector<Task*> ties_scratch_;  ///< reused by pick_next()
+    RtosStats stats_;
+};
+
+}  // namespace slm::rtos

@@ -1,0 +1,303 @@
+#include "rtos/itron.hpp"
+
+#include "sim/assert.hpp"
+
+namespace slm::rtos::itron {
+
+const char* to_string(ER er) {
+    switch (er) {
+        case E_OK: return "E_OK";
+        case E_PAR: return "E_PAR";
+        case E_ID: return "E_ID";
+        case E_CTX: return "E_CTX";
+        case E_OBJ: return "E_OBJ";
+        case E_NOEXS: return "E_NOEXS";
+        case E_QOVR: return "E_QOVR";
+        case E_TMOUT: return "E_TMOUT";
+    }
+    return "E_?";
+}
+
+ItronOs::ItronOs(sim::Kernel& kernel, RtosConfig cfg)
+    : owned_core_(std::make_unique<OsCore>(kernel, std::move(cfg))), core_(*owned_core_) {
+    core_.init();
+}
+
+ItronOs::Tcb* ItronOs::tcb(ID tskid) {
+    const auto it = tasks_.find(tskid);
+    return it != tasks_.end() ? &it->second : nullptr;
+}
+
+const ItronOs::Tcb* ItronOs::tcb(ID tskid) const {
+    const auto it = tasks_.find(tskid);
+    return it != tasks_.end() ? &it->second : nullptr;
+}
+
+Task* ItronOs::task(ID tskid) const {
+    const Tcb* e = tcb(tskid);
+    return e != nullptr ? e->task : nullptr;
+}
+
+// ---- task management ----
+
+ER ItronOs::cre_tsk(ID tskid, T_CTSK pk_ctsk) {
+    if (tskid <= 0) {
+        return E_ID;
+    }
+    if (tasks_.contains(tskid)) {
+        return E_OBJ;
+    }
+    if (pk_ctsk.task == nullptr) {
+        return E_PAR;
+    }
+    TaskParams p;
+    p.name = pk_ctsk.name.empty() ? "tsk" + std::to_string(tskid)
+                                  : std::move(pk_ctsk.name);
+    p.type = TaskType::Aperiodic;
+    p.priority = pk_ctsk.itskpri;
+    Tcb e;
+    e.task = core_.task_create(std::move(p));
+    e.body = std::move(pk_ctsk.task);
+    tasks_.emplace(tskid, std::move(e));
+    return E_OK;
+}
+
+ER ItronOs::sta_tsk(ID tskid) {
+    Tcb* e = tcb(tskid);
+    if (e == nullptr) {
+        return E_NOEXS;
+    }
+    if (e->started || e->task->state() != TaskState::New) {
+        return E_OBJ;  // not DORMANT
+    }
+    e->started = true;
+    // The task body runs in its own SLDL process, entering the ready queue at
+    // the current instant — the same refinement pattern the arch layer uses.
+    core_.kernel().spawn(e->task->name(), [this, e] {
+        core_.task_activate(e->task);
+        e->body();
+        if (core_.self() == e->task) {
+            core_.task_terminate();
+        }
+    });
+    return E_OK;
+}
+
+void ItronOs::ext_tsk() {
+    Task* t = core_.self();
+    SLM_ASSERT(t != nullptr, "ext_tsk() outside a task");
+    sim::Process* proc = sim::this_process();
+    core_.task_terminate();  // records completion, dispatches the next task
+    core_.kernel().kill(*proc);  // throws ProcessKilled; does not return
+}
+
+ER ItronOs::ter_tsk(ID tskid) {
+    Tcb* e = tcb(tskid);
+    if (e == nullptr) {
+        return E_NOEXS;
+    }
+    if (e->task == core_.self()) {
+        return E_OBJ;  // ITRON forbids ter_tsk on the caller (use ext_tsk)
+    }
+    if (!e->started || e->task->state() == TaskState::Terminated) {
+        return E_OBJ;
+    }
+    // Deviation from the standard: a terminated task cannot return to DORMANT
+    // and be restarted — its SLDL process is gone. Terminated is final here.
+    core_.task_kill(e->task);
+    return E_OK;
+}
+
+ER ItronOs::chg_pri(ID tskid, PRI tskpri) {
+    Tcb* e = tcb(tskid);
+    if (e == nullptr) {
+        return E_NOEXS;
+    }
+    if (e->task->state() == TaskState::Terminated) {
+        return E_OBJ;
+    }
+    core_.task_set_priority(e->task, tskpri);
+    return E_OK;
+}
+
+ER ItronOs::get_pri(ID tskid, PRI* p_tskpri) const {
+    if (p_tskpri == nullptr) {
+        return E_PAR;
+    }
+    const Tcb* e = tcb(tskid);
+    if (e == nullptr) {
+        return E_NOEXS;
+    }
+    // Base priority, as chg_pri sets it (boosts from the mutex services are a
+    // core-level concept, visible via Task::effective_priority).
+    *p_tskpri = e->task->params().priority;
+    return E_OK;
+}
+
+ER ItronOs::slp_tsk() {
+    Task* t = core_.self();
+    if (t == nullptr) {
+        return E_CTX;
+    }
+    for (auto& [id, e] : tasks_) {
+        if (e.task == t) {
+            if (e.wupcnt > 0) {
+                --e.wupcnt;  // a queued wakeup satisfies the sleep immediately
+                return E_OK;
+            }
+            core_.task_sleep();
+            return E_OK;
+        }
+    }
+    return E_CTX;  // caller is not an ITRON task of this instance
+}
+
+ER ItronOs::wup_tsk(ID tskid) {
+    Tcb* e = tcb(tskid);
+    if (e == nullptr) {
+        return E_NOEXS;
+    }
+    if (!e->started || e->task->state() == TaskState::Terminated) {
+        return E_OBJ;
+    }
+    if (e->task->state() == TaskState::Suspended) {
+        core_.task_activate(e->task);
+    } else {
+        ++e->wupcnt;  // not asleep: queue the wakeup for the next slp_tsk
+    }
+    return E_OK;
+}
+
+ER ItronOs::can_wup(ID tskid, unsigned* p_wupcnt) {
+    Tcb* e = tcb(tskid);
+    if (e == nullptr) {
+        return E_NOEXS;
+    }
+    if (p_wupcnt != nullptr) {
+        *p_wupcnt = e->wupcnt;
+    }
+    e->wupcnt = 0;
+    return E_OK;
+}
+
+ER ItronOs::dly_tsk(SimTime dlytim) {
+    if (core_.self() == nullptr) {
+        return E_CTX;
+    }
+    core_.task_delay(dlytim);
+    return E_OK;
+}
+
+// ---- semaphores ----
+
+ER ItronOs::cre_sem(ID semid, T_CSEM pk_csem) {
+    if (semid <= 0) {
+        return E_ID;
+    }
+    if (sems_.contains(semid)) {
+        return E_OBJ;
+    }
+    if (pk_csem.isemcnt > pk_csem.maxsem) {
+        return E_PAR;
+    }
+    Sem s;
+    s.sem = std::make_unique<OsSemaphore>(core_, pk_csem.isemcnt,
+                                          std::move(pk_csem.name));
+    s.maxsem = pk_csem.maxsem;
+    sems_.emplace(semid, std::move(s));
+    return E_OK;
+}
+
+ER ItronOs::sig_sem(ID semid) {
+    const auto it = sems_.find(semid);
+    if (it == sems_.end()) {
+        return E_NOEXS;
+    }
+    if (it->second.sem->count() >= it->second.maxsem) {
+        return E_QOVR;
+    }
+    it->second.sem->release();
+    return E_OK;
+}
+
+ER ItronOs::wai_sem(ID semid) {
+    const auto it = sems_.find(semid);
+    if (it == sems_.end()) {
+        return E_NOEXS;
+    }
+    if (core_.self() == nullptr) {
+        return E_CTX;
+    }
+    it->second.sem->acquire();
+    return E_OK;
+}
+
+ER ItronOs::pol_sem(ID semid) {
+    const auto it = sems_.find(semid);
+    if (it == sems_.end()) {
+        return E_NOEXS;
+    }
+    return it->second.sem->try_acquire() ? E_OK : E_TMOUT;
+}
+
+ER ItronOs::twai_sem(ID semid, SimTime tmout) {
+    const auto it = sems_.find(semid);
+    if (it == sems_.end()) {
+        return E_NOEXS;
+    }
+    if (tmout.is_zero()) {
+        return pol_sem(semid);  // TMO_POL
+    }
+    if (core_.self() == nullptr) {
+        return E_CTX;
+    }
+    return it->second.sem->acquire_for(tmout) ? E_OK : E_TMOUT;
+}
+
+unsigned ItronOs::semaphore_count(ID semid) const {
+    const auto it = sems_.find(semid);
+    return it != sems_.end() ? it->second.sem->count() : 0;
+}
+
+// ---- data queues ----
+
+ER ItronOs::cre_dtq(ID dtqid, T_CDTQ pk_cdtq) {
+    if (dtqid <= 0) {
+        return E_ID;
+    }
+    if (dtqs_.contains(dtqid)) {
+        return E_OBJ;
+    }
+    dtqs_.emplace(dtqid, std::make_unique<OsQueue<VP_INT>>(core_, pk_cdtq.dtqcnt,
+                                                           std::move(pk_cdtq.name)));
+    return E_OK;
+}
+
+ER ItronOs::snd_dtq(ID dtqid, VP_INT data) {
+    const auto it = dtqs_.find(dtqid);
+    if (it == dtqs_.end()) {
+        return E_NOEXS;
+    }
+    if (core_.self() == nullptr) {
+        return E_CTX;  // a full queue would need to block
+    }
+    it->second->send(data);
+    return E_OK;
+}
+
+ER ItronOs::rcv_dtq(VP_INT* p_data, ID dtqid) {
+    if (p_data == nullptr) {
+        return E_PAR;
+    }
+    const auto it = dtqs_.find(dtqid);
+    if (it == dtqs_.end()) {
+        return E_NOEXS;
+    }
+    if (core_.self() == nullptr) {
+        return E_CTX;
+    }
+    *p_data = it->second->receive();
+    return E_OK;
+}
+
+}  // namespace slm::rtos::itron

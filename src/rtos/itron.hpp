@@ -1,0 +1,158 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "rtos/core.hpp"
+#include "rtos/os_channels.hpp"
+
+namespace slm::rtos::itron {
+
+/// ITRON-style OS personality (modeled after RTK-Spec TRON, the μITRON
+/// kernel model in SystemC; see PAPERS.md): the second API flavor layered on
+/// OsCore, proving the core/services/personality split carries more than one
+/// RTOS standard. Objects are addressed by small integer IDs, calls return
+/// μITRON error codes, and the task model is create-dormant / start-ready
+/// (`cre_tsk` + `sta_tsk`) with wakeup counting (`slp_tsk`/`wup_tsk`) —
+/// semantics the paper-style RtosModel does not expose, implemented here
+/// purely from core primitives and the os_channels services. Everything the
+/// infrastructure offers for the default personality — schedule exploration,
+/// Gantt tracing, deadlock checking — works on ItronOs models unchanged,
+/// because it all targets OsCore.
+///
+/// Naming follows the standard: xxx_yyy = operation xxx on object type yyy
+/// (tsk = task, sem = semaphore, dtq = data queue).
+
+using ID = int;   ///< object identifier (user-chosen, > 0)
+using PRI = int;  ///< task priority, smaller = higher (core convention)
+using ER = int;   ///< error code (E_OK or a negative E_* value)
+using VP_INT = std::intptr_t;  ///< data-queue payload word
+
+// μITRON 4.0 error codes (the subset this personality can return).
+inline constexpr ER E_OK = 0;      ///< success
+inline constexpr ER E_PAR = -17;   ///< parameter error
+inline constexpr ER E_ID = -18;    ///< invalid ID number
+inline constexpr ER E_CTX = -25;   ///< call from a non-task context
+inline constexpr ER E_OBJ = -41;   ///< object state error
+inline constexpr ER E_NOEXS = -42; ///< object does not exist
+inline constexpr ER E_QOVR = -43;  ///< queueing/counting overflow
+inline constexpr ER E_TMOUT = -50; ///< polling failure or timeout
+
+[[nodiscard]] const char* to_string(ER er);
+
+/// Task creation packet (cre_tsk). The body runs in an SLDL process spawned
+/// by sta_tsk; a body that returns terminates the task normally.
+struct T_CTSK {
+    std::string name;            ///< task name, enters traces via the core TCB
+    PRI itskpri = 1;             ///< initial priority
+    std::function<void()> task;  ///< task body
+};
+
+/// Semaphore creation packet (cre_sem).
+struct T_CSEM {
+    unsigned isemcnt = 0;  ///< initial count
+    unsigned maxsem = std::numeric_limits<unsigned>::max();  ///< count ceiling
+    std::string name = "sem";
+};
+
+/// Data-queue creation packet (cre_dtq).
+struct T_CDTQ {
+    std::size_t dtqcnt = 0;  ///< capacity in words; 0 = unbounded
+    std::string name = "dtq";
+};
+
+class ItronOs {
+public:
+    /// Layer the personality over an externally owned core (e.g. the core of
+    /// an arch::ProcessingElement).
+    explicit ItronOs(OsCore& core) : core_(core) {}
+
+    /// Convenience: create a private core over `kernel` and own it.
+    explicit ItronOs(sim::Kernel& kernel, RtosConfig cfg = {});
+
+    ItronOs(const ItronOs&) = delete;
+    ItronOs& operator=(const ItronOs&) = delete;
+
+    /// The shared core — hand this to exploration (explore::Run::watch),
+    /// tracing, and the os_channels services.
+    [[nodiscard]] OsCore& core() { return core_; }
+    [[nodiscard]] const OsCore& core() const { return core_; }
+
+    /// Begin scheduling (the simulation stand-in for ITRON kernel boot).
+    void start() { core_.start(); }
+    void start(SchedPolicy p) { core_.start(p); }
+
+    // ---- task management ----
+
+    /// Create a task in the DORMANT state.
+    ER cre_tsk(ID tskid, T_CTSK pk_ctsk);
+    /// Make a DORMANT task ready: spawns its SLDL process, which enters the
+    /// ready queue at the current simulated instant.
+    ER sta_tsk(ID tskid);
+    /// Terminate the calling task. Does not return when successful.
+    void ext_tsk();
+    /// Forcibly terminate another task.
+    ER ter_tsk(ID tskid);
+    /// Change a task's base priority.
+    ER chg_pri(ID tskid, PRI tskpri);
+    ER get_pri(ID tskid, PRI* p_tskpri) const;
+    /// Sleep until wup_tsk; a queued wakeup (wupcnt > 0) is consumed
+    /// without blocking.
+    ER slp_tsk();
+    /// Wake a sleeping task, or queue the wakeup if the target is not asleep.
+    ER wup_tsk(ID tskid);
+    /// Zero the target's wakeup queue, reporting the discarded count.
+    ER can_wup(ID tskid, unsigned* p_wupcnt);
+    /// Delay the calling task without consuming CPU.
+    ER dly_tsk(SimTime dlytim);
+
+    // ---- semaphores (OsSemaphore service underneath) ----
+
+    ER cre_sem(ID semid, T_CSEM pk_csem);
+    ER sig_sem(ID semid);
+    ER wai_sem(ID semid);
+    /// Polling acquire: E_TMOUT instead of blocking.
+    ER pol_sem(ID semid);
+    /// Timed acquire: E_TMOUT if no token arrived within `tmout`.
+    ER twai_sem(ID semid, SimTime tmout);
+
+    // ---- data queues (OsQueue service underneath) ----
+
+    ER cre_dtq(ID dtqid, T_CDTQ pk_cdtq);
+    ER snd_dtq(ID dtqid, VP_INT data);
+    ER rcv_dtq(VP_INT* p_data, ID dtqid);
+
+    // ---- introspection ----
+
+    /// Core TCB behind a task ID (nullptr if no such task) — for tests and
+    /// trace/analysis code that joins ITRON objects with core-level data.
+    [[nodiscard]] Task* task(ID tskid) const;
+    [[nodiscard]] unsigned semaphore_count(ID semid) const;
+
+private:
+    struct Tcb {
+        Task* task = nullptr;
+        std::function<void()> body;
+        unsigned wupcnt = 0;
+        bool started = false;
+    };
+    struct Sem {
+        std::unique_ptr<OsSemaphore> sem;
+        unsigned maxsem = 0;
+    };
+
+    [[nodiscard]] Tcb* tcb(ID tskid);
+    [[nodiscard]] const Tcb* tcb(ID tskid) const;
+
+    std::unique_ptr<OsCore> owned_core_;  ///< set by the owning constructor
+    OsCore& core_;
+    std::unordered_map<ID, Tcb> tasks_;
+    std::unordered_map<ID, Sem> sems_;
+    std::unordered_map<ID, std::unique_ptr<OsQueue<VP_INT>>> dtqs_;
+};
+
+}  // namespace slm::rtos::itron

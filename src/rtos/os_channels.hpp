@@ -7,25 +7,56 @@
 #include <utility>
 #include <vector>
 
-#include "rtos/rtos.hpp"
+#include "rtos/core.hpp"
 #include "sim/assert.hpp"
 
 namespace slm::rtos {
 
-/// RTOS-refined channel library: the result of the paper's synchronization
+/// The *services* layer of the layered OS architecture: stateful
+/// synchronization and message passing built on the OsCore service interface
+/// (events + priority boosts) — the result of the paper's synchronization
 /// refinement (Fig. 7) applied to the spec-model channels. Identical protocol
-/// logic, but all blocking goes through RtosModel::event_wait/event_notify so
+/// logic, but all blocking goes through OsCore::event_wait/event_notify so
 /// the RTOS task states stay correct and the scheduler can run at every
-/// synchronization point.
+/// synchronization point. Because services bind to the core, every API
+/// personality (paper-style RtosModel, ITRON-style ItronOs) shares them.
 ///
 /// Channel operations themselves consume no modeled CPU time; computation and
 /// communication delays are modeled explicitly with time_wait() in the tasks.
+
+namespace detail {
+
+/// Shared deadline/re-arm retry loop for timed acquires (OsSemaphore::
+/// acquire_for, OsQueue::receive_for): retry `try_take` until it succeeds or
+/// `deadline` passes, blocking on `evt` for the remaining time between
+/// attempts. A timed-out wait re-checks `try_take` once more because the
+/// token may have arrived in the very instant the timeout fired (the
+/// releasing task and the timeout land in the same delta cycle); that
+/// boundary is pinned by tests/test_os_channels.cpp.
+template <typename TryFn>
+[[nodiscard]] bool acquire_until(OsCore& os, OsEvent* evt, SimTime deadline,
+                                 TryFn&& try_take) {
+    for (;;) {
+        if (try_take()) {
+            return true;
+        }
+        const SimTime remaining = deadline - os.kernel().now();
+        if (remaining.is_zero()) {
+            return false;
+        }
+        if (!os.event_wait_timeout(evt, remaining)) {
+            return try_take();  // token arrived exactly at the timeout instant?
+        }
+    }
+}
+
+}  // namespace detail
 
 /// Counting semaphore over RTOS events (the `sem` channel of Fig. 3 that an
 /// ISR releases to signal the bus driver task).
 class OsSemaphore {
 public:
-    OsSemaphore(RtosModel& os, unsigned initial, std::string name = "sem")
+    OsSemaphore(OsCore& os, unsigned initial, std::string name = "sem")
         : os_(os), evt_(os.event_new(name + ".evt")), count_(initial) {}
 
     void acquire() {
@@ -45,24 +76,8 @@ public:
 
     /// P() with a timeout: returns false if no token arrived within `timeout`.
     [[nodiscard]] bool acquire_for(slm::SimTime timeout) {
-        const slm::SimTime deadline = os_.kernel().now() + timeout;
-        for (;;) {
-            if (count_ > 0) {
-                --count_;
-                return true;
-            }
-            const slm::SimTime remaining = deadline - os_.kernel().now();
-            if (remaining.is_zero()) {
-                return false;
-            }
-            if (!os_.event_wait_timeout(evt_, remaining)) {
-                if (count_ > 0) {  // token arrived in the timeout instant
-                    --count_;
-                    return true;
-                }
-                return false;
-            }
-        }
+        return detail::acquire_until(os_, evt_, os_.kernel().now() + timeout,
+                                     [this] { return try_acquire(); });
     }
 
     /// Callable from tasks and from ISR context.
@@ -74,7 +89,7 @@ public:
     [[nodiscard]] unsigned count() const { return count_; }
 
 private:
-    RtosModel& os_;
+    OsCore& os_;
     OsEvent* evt_;
     unsigned count_;
 };
@@ -92,12 +107,19 @@ private:
 ///    preempt a critical section at all — inversion *and* deadlock between
 ///    ceiling mutexes are prevented proactively.
 ///
+/// Boosts go through the OsCore service interface (priority_boost /
+/// boost_priority / restore_priority): the mutex saves the holder's boost
+/// level at acquisition and reinstates exactly that level on release, so
+/// nested critical sections unwind like a stack. Releasing in non-LIFO order
+/// restores the level saved at that mutex's own lock time — see the
+/// "PiAndCeilingHeldTogether" tests for the pinned interaction.
+///
 /// See tests/test_os_channels.cpp and bench_sched for the ablation.
 class OsMutex {
 public:
     enum class Protocol { None, PriorityInheritance, PriorityCeiling };
 
-    explicit OsMutex(RtosModel& os, Protocol protocol = Protocol::None,
+    explicit OsMutex(OsCore& os, Protocol protocol = Protocol::None,
                      std::string name = "mutex", int ceiling = 0)
         : os_(os),
           evt_(os.event_new(name + ".evt")),
@@ -111,26 +133,23 @@ public:
         SLM_ASSERT(owner_ != self, "OsMutex is not recursive");
         while (owner_ != nullptr) {
             if (protocol_ == Protocol::PriorityInheritance) {
-                boost_owner(self->effective_priority());
+                os_.boost_priority(owner_, self->effective_priority());
             }
             waiters_.push_back(self);
             os_.event_wait(evt_);
             std::erase(waiters_, self);
         }
         owner_ = self;
-        saved_inherited_ = owner_->inherited_priority_;
-        if (protocol_ == Protocol::PriorityCeiling &&
-            ceiling_ < owner_->inherited_priority_) {
-            owner_->inherited_priority_ = ceiling_;
-            os_.requeue_if_ready(owner_);
-            os_.reschedule_after_boost();
+        saved_boost_ = os_.priority_boost(owner_);
+        if (protocol_ == Protocol::PriorityCeiling) {
+            os_.boost_priority(owner_, ceiling_);
         }
     }
 
     void unlock() {
         Task* self = os_.self();
         SLM_ASSERT(owner_ == self, "OsMutex unlocked by non-owner");
-        owner_->inherited_priority_ = saved_inherited_;
+        os_.restore_priority(owner_, saved_boost_);
         owner_ = nullptr;
         os_.event_notify(evt_);
     }
@@ -144,22 +163,14 @@ public:
     [[nodiscard]] const std::vector<Task*>& waiters() const { return waiters_; }
 
 private:
-    void boost_owner(int priority) {
-        if (priority < owner_->inherited_priority_) {
-            owner_->inherited_priority_ = priority;
-            os_.requeue_if_ready(owner_);  // re-sort if it sits in the ready queue
-            os_.reschedule_after_boost();
-        }
-    }
-
-    RtosModel& os_;
+    OsCore& os_;
     OsEvent* evt_;
     Protocol protocol_;
     int ceiling_;
     std::string name_;
     Task* owner_ = nullptr;
     std::vector<Task*> waiters_;
-    int saved_inherited_ = std::numeric_limits<int>::max();
+    int saved_boost_ = std::numeric_limits<int>::max();
 };
 
 /// RAII guard for OsMutex.
@@ -180,7 +191,7 @@ private:
 template <typename T>
 class OsQueue {
 public:
-    OsQueue(RtosModel& os, std::size_t capacity, std::string name = "queue")
+    OsQueue(OsCore& os, std::size_t capacity, std::string name = "queue")
         : os_(os),
           erdy_(os.event_new(name + ".rdy")),
           eack_(os.event_new(name + ".ack")),
@@ -216,26 +227,15 @@ public:
 
     /// Blocking receive with a timeout: false if no message arrived in time.
     [[nodiscard]] bool receive_for(T& out, slm::SimTime timeout) {
-        const slm::SimTime deadline = os_.kernel().now() + timeout;
-        for (;;) {
-            if (try_receive(out)) {
-                return true;
-            }
-            const slm::SimTime remaining = deadline - os_.kernel().now();
-            if (remaining.is_zero()) {
-                return false;
-            }
-            if (!os_.event_wait_timeout(erdy_, remaining)) {
-                return try_receive(out);
-            }
-        }
+        return detail::acquire_until(os_, erdy_, os_.kernel().now() + timeout,
+                                     [this, &out] { return try_receive(out); });
     }
 
     [[nodiscard]] std::size_t size() const { return buf_.size(); }
     [[nodiscard]] bool empty() const { return buf_.empty(); }
 
 private:
-    RtosModel& os_;
+    OsCore& os_;
     OsEvent* erdy_;
     OsEvent* eack_;
     std::deque<T> buf_;
@@ -246,7 +246,7 @@ private:
 template <typename T>
 class OsMailbox {
 public:
-    explicit OsMailbox(RtosModel& os, std::string name = "mbox")
+    explicit OsMailbox(OsCore& os, std::string name = "mbox")
         : q_(os, 1, std::move(name)) {}
 
     void send(T value) { q_.send(std::move(value)); }

@@ -136,8 +136,9 @@ private:
 ///     kernel.set_observer(&adapter);
 ///
 /// Use an explicit name filter to keep testbench/device processes out of the
-/// trace. Not intended for RTOS-based models — the RtosModel emits richer
-/// task-state records through RtosConfig::tracer instead.
+/// trace. Not intended for RTOS-based models — the OS core (rtos::OsCore,
+/// under any API personality) emits richer task-state records through
+/// RtosConfig::tracer instead.
 class SpecTraceAdapter final : public sim::KernelObserver {
 public:
     SpecTraceAdapter(sim::Kernel& kernel, TraceRecorder& rec, std::string cpu = {})

@@ -217,7 +217,7 @@ VocoderResult run_vocoder_architecture(const VocoderConfig& cfg) {
     rc.cpu_name = "DSP";
     rc.tracer = cfg.tracer;
     arch::ProcessingElement pe{k, "DSP", rc};
-    rtos::RtosModel& os = pe.os();
+    rtos::OsCore& os = pe.os();
 
     arch::Bus bus{k, "audio_bus", arch::Bus::Config{SimTime::zero(), SimTime::zero()}};
     arch::BusLink<Subframe> link{k, bus, "audio"};

@@ -111,6 +111,48 @@ TEST(OsSemaphore, CountingBehaviour) {
     EXPECT_EQ(sem.count(), 0u);
 }
 
+TEST(OsSemaphore, ReleaseExactlyAtTimeoutInstant) {
+    // The satellite boundary of detail::acquire_until: the release lands in
+    // the very instant the timeout fires. Whichever of the two wakeups the
+    // kernel orders first, the re-check after a timed-out wait must find the
+    // token — a same-instant release is taken, never reported as a timeout.
+    Kernel k;
+    RtosModel os{k};
+    OsSemaphore sem{os, 0};
+    bool got = false;
+    SimTime done;
+    add_task(k, os, "waiter", 1, [&](Task*) {
+        got = sem.acquire_for(50_us);
+        done = k.now();
+    });
+    add_isr(k, os, "irq", 50_us, [&] { sem.release(); });
+    os.start();
+    k.run();
+    EXPECT_TRUE(got);
+    EXPECT_EQ(done, 50_us);
+    EXPECT_EQ(sem.count(), 0u);  // the token was consumed, not dropped
+}
+
+TEST(OsSemaphore, ReleaseJustAfterTimeoutInstant) {
+    // One nanosecond past the deadline is a genuine timeout: the waiter
+    // reports failure at exactly the deadline instant and the token stays.
+    Kernel k;
+    RtosModel os{k};
+    OsSemaphore sem{os, 0};
+    bool got = true;
+    SimTime done;
+    add_task(k, os, "waiter", 1, [&](Task*) {
+        got = sem.acquire_for(50_us);
+        done = k.now();
+    });
+    add_isr(k, os, "irq", 50_us + 1_ns, [&] { sem.release(); });
+    os.start();
+    k.run();
+    EXPECT_FALSE(got);
+    EXPECT_EQ(done, 50_us);
+    EXPECT_EQ(sem.count(), 1u);
+}
+
 // ---- OsMutex ----
 
 TEST(OsMutex, MutualExclusionAcrossTasks) {
@@ -284,6 +326,91 @@ TEST(OsMutex, InheritanceRestoredAfterUnlock) {
     EXPECT_EQ(low->effective_priority(), 30);
 }
 
+TEST(OsMutex, PiAndCeilingHeldTogetherLifoRelease) {
+    // Satellite: one task holds a PriorityInheritance mutex and a
+    // PriorityCeiling mutex at the same time, releasing in LIFO order.
+    // While the ceiling (5) is held it dominates high's priority (10), so
+    // high cannot even run to block on the PI mutex; dropping the ceiling
+    // lets high block, which boosts low through inheritance until the PI
+    // mutex is released.
+    Kernel k;
+    RtosModel os{k};
+    OsMutex m_pi{os, OsMutex::Protocol::PriorityInheritance, "pi"};
+    OsMutex m_pc{os, OsMutex::Protocol::PriorityCeiling, "pc", /*ceiling=*/5};
+    OsEvent* go_high = os.event_new("goH");
+    SimTime high_got_pi;
+    std::vector<int> eff;
+    add_task(k, os, "high", 10, [&](Task*) {
+        os.event_wait(go_high);
+        m_pi.lock();
+        high_got_pi = k.now();
+        m_pi.unlock();
+    });
+    add_task(k, os, "low", 30, [&](Task* me) {
+        m_pi.lock();  // uncontended: no boost yet
+        os.time_wait(10_us);
+        m_pc.lock();  // ceiling boost: eff -> 5
+        eff.push_back(me->effective_priority());
+        os.time_wait(10_us);  // high becomes ready at 15 us but 5 beats 10
+        os.time_wait(10_us);
+        eff.push_back(me->effective_priority());
+        m_pc.unlock();  // restore pre-ceiling level; high now preempts,
+                        // blocks on m_pi and boosts low to 10
+        eff.push_back(me->effective_priority());
+        m_pi.unlock();  // restore pre-lock level (no boost)
+        eff.push_back(me->effective_priority());
+        os.time_wait(10_us);
+    });
+    add_isr(k, os, "irqH", 15_us, [&] { os.event_notify(go_high); });
+    os.start();
+    k.run();
+    EXPECT_EQ(eff, (std::vector<int>{5, 5, 10, 30}));
+    EXPECT_EQ(high_got_pi, 30_us);
+}
+
+TEST(OsMutex, PiAndCeilingHeldTogetherNonLifoRelease) {
+    // Satellite, non-LIFO order: the PI mutex (locked first, carrying high's
+    // inheritance) is released *before* the ceiling mutex. Each unlock
+    // reinstates the boost level saved at that mutex's own lock time — the
+    // documented save/restore discipline of os_channels.hpp — so the PI
+    // unlock drops low all the way to base (its save predates the boost) and
+    // the ceiling unlock then reinstates the stale inherited level 10. The
+    // crossed restores are pinned here exactly as the doc comment warns.
+    Kernel k;
+    RtosModel os{k};
+    OsMutex m_pi{os, OsMutex::Protocol::PriorityInheritance, "pi"};
+    OsMutex m_pc{os, OsMutex::Protocol::PriorityCeiling, "pc", /*ceiling=*/5};
+    OsEvent* go_high = os.event_new("goH");
+    SimTime high_got_pi;
+    std::vector<int> eff;
+    add_task(k, os, "high", 10, [&](Task*) {
+        os.event_wait(go_high);
+        m_pi.lock();
+        high_got_pi = k.now();
+        m_pi.unlock();
+    });
+    add_task(k, os, "low", 30, [&](Task* me) {
+        m_pi.lock();
+        os.time_wait(10_us);  // high blocks on m_pi at this boundary -> boost 10
+        os.time_wait(10_us);
+        eff.push_back(me->effective_priority());
+        m_pc.lock();  // saves the inherited 10, boosts to ceiling 5
+        eff.push_back(me->effective_priority());
+        os.time_wait(10_us);
+        m_pi.unlock();  // non-LIFO: reinstates m_pi's saved level (no boost),
+                        // dropping the still-held ceiling; high runs here
+        eff.push_back(me->effective_priority());
+        m_pc.unlock();  // reinstates m_pc's saved level: the stale 10
+        eff.push_back(me->effective_priority());
+        os.time_wait(10_us);
+    });
+    add_isr(k, os, "irqH", 5_us, [&] { os.event_notify(go_high); });
+    os.start();
+    k.run();
+    EXPECT_EQ(eff, (std::vector<int>{10, 5, 30, 10}));
+    EXPECT_EQ(high_got_pi, 30_us);
+}
+
 // ---- OsQueue ----
 
 TEST(OsQueue, FifoAcrossTasks) {
@@ -394,4 +521,47 @@ TEST(OsQueue, BackToBackTranscodingPattern) {
     EXPECT_EQ(decoded_at[0], 60_us);   // 40 encode + 20 decode
     EXPECT_EQ(decoded_at[1], 120_us);  // strictly serialized on one CPU
     EXPECT_EQ(decoded_at[2], 180_us);
+}
+
+TEST(OsQueue, SendExactlyAtTimeoutInstant) {
+    // Same boundary as OsSemaphore.ReleaseExactlyAtTimeoutInstant, for the
+    // other user of detail::acquire_until: a message sent in the instant the
+    // receive timeout fires is delivered, not lost to the timeout.
+    Kernel k;
+    RtosModel os{k};
+    OsQueue<int> q{os, 0};
+    bool got = false;
+    int v = -1;
+    SimTime done;
+    add_task(k, os, "receiver", 1, [&](Task*) {
+        got = q.receive_for(v, 50_us);
+        done = k.now();
+    });
+    add_isr(k, os, "irq", 50_us, [&] { q.send(42); });
+    os.start();
+    k.run();
+    EXPECT_TRUE(got);
+    EXPECT_EQ(v, 42);
+    EXPECT_EQ(done, 50_us);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(OsQueue, SendJustAfterTimeoutInstant) {
+    Kernel k;
+    RtosModel os{k};
+    OsQueue<int> q{os, 0};
+    bool got = true;
+    int v = -1;
+    SimTime done;
+    add_task(k, os, "receiver", 1, [&](Task*) {
+        got = q.receive_for(v, 50_us);
+        done = k.now();
+    });
+    add_isr(k, os, "irq", 50_us + 1_ns, [&] { q.send(42); });
+    os.start();
+    k.run();
+    EXPECT_FALSE(got);
+    EXPECT_EQ(v, -1);
+    EXPECT_EQ(done, 50_us);
+    EXPECT_EQ(q.size(), 1u);  // the late message stays queued
 }
