@@ -1,19 +1,24 @@
 #!/usr/bin/env bash
-# Run the kernel + RTOS benchmark suites and leave machine-readable
-# BENCH_kernel.json / BENCH_rtos.json behind. Designed to be runnable both by
-# hand and from CI:
+# Run the kernel + RTOS + trace benchmark suites and leave machine-readable
+# BENCH_kernel.json / BENCH_rtos.json / BENCH_trace.json behind. Designed to
+# be runnable both by hand and from CI:
 #
 #   bench/run_benches.sh                    # full run, ./build, ./BENCH_*.json
 #   bench/run_benches.sh --smoke            # CI smoke mode (milliseconds)
 #   bench/run_benches.sh --build-dir DIR    # pick a build tree
 #   bench/run_benches.sh --out FILE         # where to write the kernel JSON
 #   bench/run_benches.sh --rtos-out FILE    # where to write the RTOS JSON
+#   bench/run_benches.sh --trace-out FILE   # where to write the trace JSON
 #   bench/run_benches.sh --micro            # also run the google-benchmark micro suite
+#
+# Any required benchmark binary that is missing is a hard error (exit 1), so
+# a misconfigured build can't silently produce a partial report.
 set -euo pipefail
 
 build_dir=build
 out=BENCH_kernel.json
 rtos_out=BENCH_rtos.json
+trace_out=BENCH_trace.json
 smoke_flag=""
 run_micro=0
 
@@ -23,13 +28,18 @@ while [[ $# -gt 0 ]]; do
     --build-dir) build_dir="$2"; shift ;;
     --out) out="$2"; shift ;;
     --rtos-out) rtos_out="$2"; shift ;;
+    --trace-out) trace_out="$2"; shift ;;
     --micro) run_micro=1 ;;
-    *) echo "usage: $0 [--smoke] [--build-dir DIR] [--out FILE] [--rtos-out FILE] [--micro]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--smoke] [--build-dir DIR] [--out FILE] [--rtos-out FILE] [--trace-out FILE] [--micro]" >&2; exit 2 ;;
   esac
   shift
 done
 
-for bin in bench_ctx bench_rtos; do
+required="bench_ctx bench_rtos bench_trace"
+if [[ "$run_micro" == 1 ]]; then
+  required="$required bench_micro"
+fi
+for bin in $required; do
   if [[ ! -x "$build_dir/bench/$bin" ]]; then
     echo "error: $build_dir/bench/$bin not built (cmake --build $build_dir --target $bin)" >&2
     exit 1
@@ -38,8 +48,9 @@ done
 
 "$build_dir/bench/bench_ctx" $smoke_flag --out "$out"
 "$build_dir/bench/bench_rtos" $smoke_flag --out "$rtos_out"
+"$build_dir/bench/bench_trace" $smoke_flag --out "$trace_out"
 
-if [[ "$run_micro" == 1 && -x "$build_dir/bench/bench_micro" ]]; then
+if [[ "$run_micro" == 1 ]]; then
   if [[ -n "$smoke_flag" ]]; then
     # Older google-benchmark wants a bare double (no "s" suffix) here.
     "$build_dir/bench/bench_micro" --benchmark_min_time=0.01

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Prometheus exposition gate: runs the slm-report example with --prom and
+# validates the exported text against the exposition-format rules that a real
+# scrape would enforce — line grammar, one # HELP/# TYPE pair per family,
+# histogram buckets cumulative and +Inf-terminated with _count equal to the
+# +Inf bucket. Registered as the `check_prom` ctest (see the top-level
+# CMakeLists.txt).
+#
+#   ci/check_prom.sh [--build-dir DIR]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+if [[ "${1:-}" == "--build-dir" && -n "${2:-}" ]]; then
+  build_dir="$2"
+fi
+
+report="$build_dir/examples/slm-report"
+if [ ! -x "$report" ]; then
+  echo "check_prom: $report not built (build the repo first)" >&2
+  exit 1
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+prom="$tmpdir/metrics.prom"
+
+"$report" --frames 1 --quiet --prom "$prom"
+if [ ! -s "$prom" ]; then
+  echo "check_prom: slm-report produced no metrics at $prom" >&2
+  exit 1
+fi
+
+awk '
+function fail(msg) { printf "check_prom: line %d: %s\n  %s\n", NR, msg, $0; bad = 1 }
+# One family ends where the next name (stripped of histogram suffixes) starts.
+function base_of(name) {
+  sub(/_bucket$/, "", name); sub(/_sum$/, "", name); sub(/_count$/, "", name)
+  return name
+}
+function flush_family() {
+  if (cur == "") return
+  if (!(cur in helped)) { printf "check_prom: family %s has no # HELP\n", cur; bad = 1 }
+  if (!(cur in typed))  { printf "check_prom: family %s has no # TYPE\n", cur; bad = 1 }
+}
+/^# HELP / {
+  if (split($0, h, " ") < 4) fail("HELP without text")
+  helped[h[3]] = 1; next
+}
+/^# TYPE / {
+  if (split($0, t, " ") != 4) fail("malformed TYPE")
+  if (t[4] != "counter" && t[4] != "gauge" && t[4] != "histogram")
+    fail("unknown metric type " t[4])
+  typed[t[3]] = 1; kind[t[3]] = t[4]; next
+}
+/^#/ { fail("unexpected comment form"); next }
+/^$/ { next }
+{
+  if ($0 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?[0-9]+(\.[0-9]+)?([eE][-+]?[0-9]+)?|\+Inf|-Inf|NaN)$/) {
+    fail("sample line does not match the exposition grammar"); next
+  }
+  name = $1; sub(/\{.*/, "", name)
+  base = base_of(name)
+  if (base != cur) { flush_family(); cur = base }
+  if (kind[base] == "histogram") {
+    if (name == base "_bucket") {
+      if ($0 !~ /le="/) { fail("_bucket without an le label"); next }
+      v = $NF + 0
+      if (in_hist && v < prev_bucket) fail("histogram buckets are not cumulative")
+      prev_bucket = v; in_hist = 1
+      if ($0 ~ /le="\+Inf"/) { inf_seen = 1; inf_val = v }
+    } else if (name == base "_count") {
+      if (!inf_seen) fail("_count before any +Inf bucket")
+      else if ($NF + 0 != inf_val) fail("_count differs from the +Inf bucket")
+      in_hist = 0; inf_seen = 0; prev_bucket = 0
+    }
+  }
+  series++
+}
+END {
+  flush_family()
+  if (series == 0) { print "check_prom: no sample lines at all"; bad = 1 }
+  if (bad) exit 1
+  printf "check_prom: OK (%d sample lines)\n", series
+}
+' "$prom"

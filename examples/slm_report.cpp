@@ -1,0 +1,239 @@
+// slm-report: a full observability run report from the unified obs layer.
+//
+// Three sections, each exercising a different part of src/obs/:
+//
+//   1. Fig. 8 architecture model — recorded through the hot-path
+//      obs::BinaryTraceSink, converted losslessly to a TraceRecorder for the
+//      Gantt chart and utilization table; online per-task analytics
+//      (scheduling latency, response times) from an obs::RtosAnalytics
+//      observer, no trace walk.
+//   2. Vocoder architecture model — same instrumentation on a bigger model.
+//   3. Priority-inversion demo — three tasks sharing a Protocol::None mutex;
+//      the analytics inversion detector reports the unbounded-inversion
+//      window with its blocking chain, and the full metrics registry
+//      (kernel + OS gauges, analytics counters/histograms) is exported as
+//      Prometheus text (--prom) and JSON (--json). ci/check_prom.sh
+//      validates that export.
+//
+// Usage: slm-report [--frames N] [--prom FILE] [--json FILE] [--quiet]
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "arch/fig3.hpp"
+#include "obs/analytics.hpp"
+#include "obs/binary_trace.hpp"
+#include "obs/metrics.hpp"
+#include "rtos/os_channels.hpp"
+#include "rtos/rtos.hpp"
+#include "sim/kernel.hpp"
+#include "trace/trace.hpp"
+#include "vocoder/models.hpp"
+
+using namespace slm;
+using namespace slm::time_literals;
+
+namespace {
+
+bool g_quiet = false;
+
+void heading(const char* text) {
+    if (!g_quiet) {
+        std::printf("\n==== %s ====\n\n", text);
+    }
+}
+
+void print_task_timing(const obs::RtosAnalytics& analytics,
+                       const std::vector<std::string>& tasks) {
+    if (g_quiet) {
+        return;
+    }
+    std::printf("%-14s %6s %12s %12s %12s %12s\n", "task", "jobs", "lat p50",
+                "lat max", "resp mean", "resp max");
+    for (const std::string& name : tasks) {
+        const obs::Histogram* lat = analytics.latency_histogram(name);
+        const obs::Histogram* resp = analytics.response_histogram(name);
+        if (lat == nullptr) {
+            continue;
+        }
+        const auto us = [](double ns) { return ns / 1000.0; };
+        std::printf("%-14s %6llu %9.1f us %9.1f us", name.c_str(),
+                    static_cast<unsigned long long>(resp ? resp->count() : 0),
+                    us(lat->quantile(0.5)), us(lat->max()));
+        if (resp != nullptr && resp->count() > 0) {
+            std::printf(" %9.1f us %9.1f us", us(resp->mean()), us(resp->max()));
+        }
+        std::printf("\n");
+    }
+}
+
+void print_findings(const obs::RtosAnalytics& analytics) {
+    if (g_quiet) {
+        return;
+    }
+    if (analytics.findings().empty()) {
+        std::printf("no unbounded priority-inversion windows detected\n");
+        return;
+    }
+    for (const obs::InversionFinding& f : analytics.findings()) {
+        std::printf(
+            "INVERSION %s..%s: %s blocked on %s (holder %s) while %s ran; chain:",
+            f.start.to_string().c_str(), f.end.to_string().c_str(),
+            f.blocked.c_str(), f.resource.c_str(), f.holder.c_str(),
+            f.intervener.c_str());
+        for (const std::string& c : f.chain) {
+            std::printf(" %s", c.c_str());
+        }
+        std::printf("\n");
+    }
+}
+
+void section_fig8() {
+    heading("Fig. 8: architecture model (binary trace sink + online analytics)");
+    obs::BinaryTraceSink bin;
+    obs::Registry reg;
+    std::unique_ptr<obs::RtosAnalytics> analytics;
+    const arch::Fig3Result res = arch::run_fig3_architecture(
+        &bin, {}, {}, [&](rtos::OsCore& os) {
+            analytics = std::make_unique<obs::RtosAnalytics>(os, reg);
+        });
+    const trace::TraceRecorder rec = bin.to_recorder();
+    if (!g_quiet) {
+        std::printf("%s\n",
+                    rec.render_gantt(SimTime::zero(), 160_us, 72).c_str());
+        std::printf("%s\n",
+                    rec.utilization_report(SimTime::zero(), 160_us).c_str());
+        std::printf("binary records: %zu (interned strings: %zu)\n\n",
+                    bin.size(), bin.string_count());
+    }
+    print_task_timing(*analytics, {"task_b2", "task_b3", "task_pe"});
+    if (!g_quiet) {
+        std::printf("\nB2 done %s, B3 done %s, %llu context switches\n",
+                    res.b2_done.to_string().c_str(), res.b3_done.to_string().c_str(),
+                    static_cast<unsigned long long>(res.context_switches));
+    }
+}
+
+void section_vocoder(std::size_t frames) {
+    heading("Vocoder: architecture model");
+    obs::BinaryTraceSink bin;
+    obs::Registry reg;
+    std::unique_ptr<obs::RtosAnalytics> analytics;
+    vocoder::VocoderConfig cfg;
+    cfg.frames = frames;
+    cfg.tracer = &bin;
+    cfg.on_os = [&](rtos::OsCore& os) {
+        analytics = std::make_unique<obs::RtosAnalytics>(os, reg);
+    };
+    const vocoder::VocoderResult res = vocoder::run_vocoder_architecture(cfg);
+    print_task_timing(*analytics, {"driver", "encoder", "decoder"});
+    if (!g_quiet) {
+        const trace::TraceRecorder rec = bin.to_recorder();
+        std::printf("\n%s\n",
+                    rec.render_gantt(SimTime::zero(), res.sim_duration, 72).c_str());
+        std::printf("%zu frames, %llu context switches, avg delay %s, data %s\n",
+                    res.frames,
+                    static_cast<unsigned long long>(res.context_switches),
+                    res.avg_transcoding_delay.to_string().c_str(),
+                    res.data_ok ? "ok" : "CORRUPT");
+    }
+}
+
+void section_inversion(const std::string& prom_path, const std::string& json_path) {
+    heading("Priority-inversion demo (Protocol::None mutex)");
+    sim::Kernel kernel;
+    rtos::RtosConfig cfg;
+    cfg.cpu_name = "CPU0";
+    cfg.policy = rtos::SchedPolicy::Priority;
+    // Chop delays so preemption lands inside low's critical section — with
+    // the default one-chunk granularity low would never be preempted while
+    // holding the lock and no inversion could occur (paper §4.3).
+    cfg.preemption_granularity = 5_us;
+    rtos::RtosModel os{kernel, cfg};
+    obs::Registry reg;
+    obs::RtosAnalytics analytics{os, reg};
+    os.init();
+
+    rtos::OsMutex bus{os, rtos::OsMutex::Protocol::None, "shared_bus"};
+
+    rtos::Task* low = os.task_create("low", rtos::TaskType::Aperiodic, {}, {}, 30);
+    rtos::Task* mid = os.task_create("mid", rtos::TaskType::Aperiodic, {}, {}, 20);
+    rtos::Task* high = os.task_create("high", rtos::TaskType::Aperiodic, {}, {}, 10);
+
+    kernel.spawn("low", [&] {
+        os.task_activate(low);
+        bus.lock();
+        os.time_wait(100_us);  // long critical section
+        bus.unlock();
+        os.task_terminate();
+    });
+    kernel.spawn("mid", [&] {
+        os.task_activate(mid);
+        os.task_delay(10_us);   // arrive after low has the lock
+        os.time_wait(200_us);   // pure computation: starves low -> starves high
+        os.task_terminate();
+    });
+    kernel.spawn("high", [&] {
+        os.task_activate(high);
+        os.task_delay(20_us);
+        bus.lock();  // blocks on low; mid keeps running -> unbounded inversion
+        os.time_wait(10_us);
+        bus.unlock();
+        os.task_terminate();
+    });
+
+    os.start();
+    kernel.run();
+
+    print_findings(analytics);
+
+    // Export the full registry while every referenced object is still alive:
+    // kernel + OS gauges read the live stats structs at write time.
+    obs::register_kernel_stats(reg, kernel);
+    obs::register_os_stats(reg, os);
+    if (!prom_path.empty()) {
+        std::ofstream out{prom_path};
+        reg.write_prometheus(out);
+        if (!g_quiet) {
+            std::printf("wrote Prometheus metrics to %s\n", prom_path.c_str());
+        }
+    }
+    if (!json_path.empty()) {
+        std::ofstream out{json_path};
+        reg.write_json(out);
+        if (!g_quiet) {
+            std::printf("wrote JSON metrics to %s\n", json_path.c_str());
+        }
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::size_t frames = 10;
+    std::string prom_path;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc) {
+            frames = static_cast<std::size_t>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--prom") == 0 && i + 1 < argc) {
+            prom_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            g_quiet = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: slm-report [--frames N] [--prom FILE] "
+                         "[--json FILE] [--quiet]\n");
+            return 2;
+        }
+    }
+    section_fig8();
+    section_vocoder(frames);
+    section_inversion(prom_path, json_path);
+    return 0;
+}

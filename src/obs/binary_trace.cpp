@@ -1,0 +1,271 @@
+#include "obs/binary_trace.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "sim/assert.hpp"
+
+namespace slm::obs {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x534C5442;  // "SLTB"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kMaxKind = static_cast<std::uint32_t>(trace::RecordKind::Marker);
+
+
+void put_u32(std::ostream& os, std::uint32_t v) {
+    char b[4];
+    for (int i = 0; i < 4; ++i) {
+        b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+    }
+    os.write(b, 4);
+}
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+    char b[8];
+    for (int i = 0; i < 8; ++i) {
+        b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+    }
+    os.write(b, 8);
+}
+
+bool get_u32(std::istream& is, std::uint32_t& v) {
+    char b[4];
+    if (!is.read(b, 4)) {
+        return false;
+    }
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+        v |= static_cast<std::uint32_t>(static_cast<unsigned char>(b[i])) << (8 * i);
+    }
+    return true;
+}
+
+bool get_u64(std::istream& is, std::uint64_t& v) {
+    char b[8];
+    if (!is.read(b, 8)) {
+        return false;
+    }
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[i])) << (8 * i);
+    }
+    return true;
+}
+
+}  // namespace
+
+BinaryTraceSink::BinaryTraceSink() {
+    strings_.emplace_back();  // id 0 is always the empty string
+    ids_.emplace(std::string_view{strings_.back()}, 0);
+}
+
+std::uint32_t BinaryTraceSink::intern(std::string_view s) {
+    if (s.empty()) {
+        return 0;
+    }
+    auto h = reinterpret_cast<std::uintptr_t>(s.data());
+    h ^= (h >> 4) ^ (h >> 11);
+    CacheSlot& slot = cache_[h & (kCacheSize - 1)];
+    // Verify by content, not by pointer: the slot only *suggests* an id.
+    if (slot.size == s.size() && slot.data != nullptr &&
+        std::memcmp(slot.data, s.data(), s.size()) == 0) {
+        return slot.id;
+    }
+    std::uint32_t id;
+    if (const auto it = ids_.find(s); it != ids_.end()) {
+        id = it->second;
+    } else {
+        id = static_cast<std::uint32_t>(strings_.size());
+        strings_.emplace_back(s);  // deque: stable storage for the map's keys
+        ids_.emplace(std::string_view{strings_.back()}, id);
+    }
+    slot = CacheSlot{strings_[id].data(), s.size(), id};
+    return id;
+}
+
+void BinaryTraceSink::grow() {
+    // for_overwrite: skip zero-initialization — every slot is written before
+    // it is ever read (size_ gates all reads).
+    chunks_.push_back(std::make_unique_for_overwrite<BinRecord[]>(kChunkSize));
+    tail_ = chunks_.back().get();
+    tail_end_ = tail_ + kChunkSize;
+}
+
+void BinaryTraceSink::push(SimTime t, trace::RecordKind kind, std::uint32_t cpu,
+                           std::uint32_t actor, std::uint32_t detail) {
+    SLM_ASSERT(t.ns() >= last_t_ns_,
+               "trace records must arrive in nondecreasing time order");
+    last_t_ns_ = t.ns();
+    if (tail_ == tail_end_) {
+        grow();
+    }
+    *tail_++ = BinRecord{t.ns(), static_cast<std::uint32_t>(kind), cpu, actor, detail};
+    ++size_;
+}
+
+void BinaryTraceSink::exec_begin(SimTime t, std::string_view cpu, std::string_view actor) {
+    push(t, trace::RecordKind::ExecBegin, intern(cpu), intern(actor), 0);
+}
+
+void BinaryTraceSink::exec_end(SimTime t, std::string_view cpu, std::string_view actor) {
+    push(t, trace::RecordKind::ExecEnd, intern(cpu), intern(actor), 0);
+}
+
+void BinaryTraceSink::task_state(SimTime t, std::string_view cpu, std::string_view actor,
+                                 std::string_view state) {
+    push(t, trace::RecordKind::TaskState, intern(cpu), intern(actor), intern(state));
+}
+
+void BinaryTraceSink::context_switch(SimTime t, std::string_view cpu, std::string_view to,
+                                     std::string_view from) {
+    push(t, trace::RecordKind::ContextSwitch, intern(cpu), intern(to), intern(from));
+}
+
+void BinaryTraceSink::irq(SimTime t, std::string_view cpu, std::string_view irq_name) {
+    push(t, trace::RecordKind::Irq, intern(cpu), intern(irq_name), 0);
+}
+
+void BinaryTraceSink::channel_op(SimTime t, std::string_view channel, std::string_view op) {
+    // Mirrors trace::Record for ChannelOp: cpu empty, actor = channel,
+    // detail = op (so replay reproduces a direct recording byte-for-byte).
+    push(t, trace::RecordKind::ChannelOp, 0, intern(channel), intern(op));
+}
+
+void BinaryTraceSink::marker(SimTime t, std::string_view text) {
+    push(t, trace::RecordKind::Marker, 0, 0, intern(text));
+}
+
+void BinaryTraceSink::clear() {
+    chunks_.clear();
+    tail_ = tail_end_ = nullptr;
+    size_ = 0;
+    last_t_ns_ = 0;
+    strings_.clear();
+    ids_.clear();
+    for (CacheSlot& s : cache_) {
+        s = CacheSlot{};
+    }
+    strings_.emplace_back();
+    ids_.emplace(std::string_view{strings_.back()}, 0);
+}
+
+const std::string& BinaryTraceSink::str(std::uint32_t id) const {
+    SLM_ASSERT(id < strings_.size(), "string id out of range");
+    return strings_[id];
+}
+
+void BinaryTraceSink::replay_into(trace::TraceSink& out) const {
+    for (std::size_t i = 0; i < size_; ++i) {
+        const BinRecord& r = record(i);
+        const SimTime t = nanoseconds(r.t_ns);
+        switch (static_cast<trace::RecordKind>(r.kind)) {
+            case trace::RecordKind::TaskState:
+                out.task_state(t, str(r.cpu), str(r.actor), str(r.detail));
+                break;
+            case trace::RecordKind::ContextSwitch:
+                out.context_switch(t, str(r.cpu), str(r.actor), str(r.detail));
+                break;
+            case trace::RecordKind::Irq:
+                out.irq(t, str(r.cpu), str(r.actor));
+                break;
+            case trace::RecordKind::ExecBegin:
+                out.exec_begin(t, str(r.cpu), str(r.actor));
+                break;
+            case trace::RecordKind::ExecEnd:
+                out.exec_end(t, str(r.cpu), str(r.actor));
+                break;
+            case trace::RecordKind::ChannelOp:
+                out.channel_op(t, str(r.actor), str(r.detail));
+                break;
+            case trace::RecordKind::Marker:
+                out.marker(t, str(r.detail));
+                break;
+        }
+    }
+}
+
+trace::TraceRecorder BinaryTraceSink::to_recorder() const {
+    trace::TraceRecorder rec;
+    replay_into(rec);
+    return rec;
+}
+
+void BinaryTraceSink::save(std::ostream& os) const {
+    put_u32(os, kMagic);
+    put_u32(os, kVersion);
+    put_u32(os, static_cast<std::uint32_t>(strings_.size()));
+    for (const std::string& s : strings_) {
+        put_u32(os, static_cast<std::uint32_t>(s.size()));
+        os.write(s.data(), static_cast<std::streamsize>(s.size()));
+    }
+    put_u64(os, size_);
+    for (std::size_t i = 0; i < size_; ++i) {
+        const BinRecord& r = record(i);
+        put_u64(os, r.t_ns);
+        put_u32(os, r.kind);
+        put_u32(os, r.cpu);
+        put_u32(os, r.actor);
+        put_u32(os, r.detail);
+    }
+}
+
+bool BinaryTraceSink::load(std::istream& is) {
+    clear();
+    std::uint32_t magic = 0;
+    std::uint32_t version = 0;
+    std::uint32_t nstrings = 0;
+    if (!get_u32(is, magic) || magic != kMagic || !get_u32(is, version) ||
+        version != kVersion || !get_u32(is, nstrings) || nstrings == 0) {
+        clear();
+        return false;
+    }
+    // Slot 0 was re-created by clear(); the stream's slot 0 must be "".
+    for (std::uint32_t i = 0; i < nstrings; ++i) {
+        std::uint32_t len = 0;
+        if (!get_u32(is, len)) {
+            clear();
+            return false;
+        }
+        std::string s(len, '\0');
+        if (len > 0 && !is.read(s.data(), static_cast<std::streamsize>(len))) {
+            clear();
+            return false;
+        }
+        if (i == 0) {
+            if (!s.empty()) {
+                clear();
+                return false;
+            }
+            continue;
+        }
+        strings_.push_back(std::move(s));
+        ids_.emplace(std::string_view{strings_.back()},
+                     static_cast<std::uint32_t>(strings_.size() - 1));
+    }
+    std::uint64_t nrecords = 0;
+    if (!get_u64(is, nrecords)) {
+        clear();
+        return false;
+    }
+    for (std::uint64_t i = 0; i < nrecords; ++i) {
+        BinRecord r{};
+        if (!get_u64(is, r.t_ns) || !get_u32(is, r.kind) || !get_u32(is, r.cpu) ||
+            !get_u32(is, r.actor) || !get_u32(is, r.detail) || r.kind > kMaxKind ||
+            r.cpu >= strings_.size() || r.actor >= strings_.size() ||
+            r.detail >= strings_.size() || r.t_ns < last_t_ns_) {
+            clear();
+            return false;
+        }
+        last_t_ns_ = r.t_ns;
+        if (tail_ == tail_end_) {
+            grow();
+        }
+        *tail_++ = r;
+        ++size_;
+    }
+    return true;
+}
+
+}  // namespace slm::obs

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace slm::obs {
+
+/// Hot-path trace sink: fixed-width 24-byte records over an interned string
+/// table. Where TraceRecorder copies three strings per record (three
+/// allocations in the worst case), BinaryTraceSink resolves each string to a
+/// 32-bit id — repeat names (the overwhelmingly common case in scheduling
+/// traces: the same tasks, CPUs, and state names over and over) hit a
+/// direct-mapped cache and cost a size check plus memcmp, no allocation.
+/// bench_trace measures the record-throughput ratio (target >= 5x, enforced
+/// by the committed BENCH_trace.json).
+///
+/// The sink is *lossless*: replay_into() re-issues every record through the
+/// TraceSink interface, so converting to a TraceRecorder reproduces exactly
+/// the records that a TraceRecorder in its place would have collected —
+/// derived views and text exporters (CSV/VCD/Chrome) are then byte-identical
+/// (pinned by tests/test_obs.cpp round-trip tests).
+///
+/// The binary file format (save()/load()) is documented in
+/// docs/observability.md: "SLTB" magic, version, string table, then packed
+/// little-endian records.
+class BinaryTraceSink final : public trace::TraceSink {
+public:
+    /// One fixed-width record; all strings are ids into the string table.
+    /// Field use per kind mirrors trace::Record: `actor` and `detail` carry
+    /// the kind-specific payload (e.g. ContextSwitch: actor = incoming,
+    /// detail = outgoing; ChannelOp: actor = channel, detail = op; Marker:
+    /// detail = text).
+    struct BinRecord {
+        std::uint64_t t_ns;
+        std::uint32_t kind;  ///< trace::RecordKind
+        std::uint32_t cpu;
+        std::uint32_t actor;
+        std::uint32_t detail;
+    };
+    static_assert(sizeof(BinRecord) == 24);
+
+    BinaryTraceSink();
+
+    // ---- recording (TraceSink) ----
+    void exec_begin(SimTime t, std::string_view cpu, std::string_view actor) override;
+    void exec_end(SimTime t, std::string_view cpu, std::string_view actor) override;
+    void task_state(SimTime t, std::string_view cpu, std::string_view actor,
+                    std::string_view state) override;
+    void context_switch(SimTime t, std::string_view cpu, std::string_view to,
+                        std::string_view from) override;
+    void irq(SimTime t, std::string_view cpu, std::string_view irq_name) override;
+    void channel_op(SimTime t, std::string_view channel, std::string_view op) override;
+    void marker(SimTime t, std::string_view text) override;
+
+    void clear();
+
+    // ---- raw access ----
+    [[nodiscard]] const BinRecord& record(std::size_t i) const {
+        return chunks_[i >> kChunkShift][i & kChunkMask];
+    }
+    [[nodiscard]] std::size_t size() const { return size_; }
+    /// The interned string for `id` (asserts on out-of-range ids).
+    [[nodiscard]] const std::string& str(std::uint32_t id) const;
+    [[nodiscard]] std::size_t string_count() const { return strings_.size(); }
+
+    // ---- conversion ----
+
+    /// Re-issue every record through `out` in order. Lossless: an empty
+    /// TraceRecorder fed this way ends up with exactly the records a direct
+    /// recording would have produced.
+    void replay_into(trace::TraceSink& out) const;
+
+    /// Convenience: replay into a fresh TraceRecorder (derived views, text
+    /// exporters).
+    [[nodiscard]] trace::TraceRecorder to_recorder() const;
+
+    // ---- binary file format ----
+
+    /// Write the trace: magic "SLTB", version, string table, records.
+    void save(std::ostream& os) const;
+    /// Load a trace previously save()d, replacing this sink's contents.
+    /// Returns false (leaving the sink cleared) on a malformed stream.
+    [[nodiscard]] bool load(std::istream& is);
+
+private:
+    /// Records live in fixed-size chunks: appends never reallocate-and-copy
+    /// (the dominant cost of a growing vector at trace sizes), and the chunk
+    /// math in record() is two shifts. 64Ki records = 1.5 MiB per chunk.
+    static constexpr std::size_t kChunkShift = 16;
+    static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+    static constexpr std::size_t kChunkMask = kChunkSize - 1;
+
+    [[nodiscard]] std::uint32_t intern(std::string_view s);
+    void push(SimTime t, trace::RecordKind kind, std::uint32_t cpu, std::uint32_t actor,
+              std::uint32_t detail);
+    void grow();
+
+    /// Direct-mapped lookup cache in front of the intern map, indexed by a
+    /// hash of the string_view's pointer. Callers like the OS core pass views
+    /// of long-lived std::strings, so the same pointer recurs on the hot
+    /// path. A hit is *verified* by comparing the incoming bytes against the
+    /// interned string's bytes (`data`/`size` point into strings_, whose
+    /// elements are stable), so a reused pointer or a colliding slot degrades
+    /// to a map lookup, never to a wrong id.
+    struct CacheSlot {
+        const char* data = nullptr;  ///< interned bytes (not the caller's)
+        std::size_t size = 0;
+        std::uint32_t id = 0;
+    };
+    static constexpr std::size_t kCacheSize = 256;  // power of two
+
+    std::vector<std::unique_ptr<BinRecord[]>> chunks_;
+    BinRecord* tail_ = nullptr;      ///< next write position in the last chunk
+    BinRecord* tail_end_ = nullptr;  ///< end of the last chunk
+    std::size_t size_ = 0;
+    std::uint64_t last_t_ns_ = 0;  ///< ordering-contract check
+    std::deque<std::string> strings_;  ///< stable storage; index == id
+    std::unordered_map<std::string_view, std::uint32_t> ids_;
+    CacheSlot cache_[kCacheSize];
+};
+
+}  // namespace slm::obs

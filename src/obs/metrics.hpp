@@ -1,0 +1,184 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace slm::sim {
+class Kernel;
+}
+namespace slm::rtos {
+class OsCore;
+class Task;
+}
+
+namespace slm::obs {
+
+/// Label set attached to one metric series, e.g. {{"task","driver"},{"cpu",
+/// "DSP"}}. Registered label sets are sorted by key so the same logical
+/// labels always address the same series regardless of spelling order.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing event count.
+class Counter {
+public:
+    void inc(std::uint64_t delta = 1) { value_ += delta; }
+    [[nodiscard]] std::uint64_t value() const { return value_; }
+
+private:
+    std::uint64_t value_ = 0;
+};
+
+/// Point-in-time value. Either set explicitly or sourced from a callback —
+/// callback gauges are how the pre-existing stats structs (sim::KernelStats,
+/// rtos::RtosStats, rtos::TaskStats) are re-registered through the registry
+/// without duplicating their bookkeeping: the gauge reads the live struct at
+/// export time.
+class Gauge {
+public:
+    void set(double v) { value_ = v; }
+    void add(double d) { value_ += d; }
+    /// Install a read-through source; it overrides any set() value.
+    void set_source(std::function<double()> fn) { source_ = std::move(fn); }
+    [[nodiscard]] double value() const { return source_ ? source_() : value_; }
+
+private:
+    double value_ = 0.0;
+    std::function<double()> source_;
+};
+
+/// Fixed-bucket histogram with cumulative-bucket export (Prometheus semantics)
+/// and quantile estimation by linear interpolation within the bucket — the
+/// standard online approximation whose error is bounded by bucket width.
+/// Observations are O(log buckets); no samples are stored.
+class Histogram {
+public:
+    /// `bounds` are inclusive upper bounds of the finite buckets, strictly
+    /// increasing; an implicit +Inf bucket tops them off.
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double v);
+
+    [[nodiscard]] std::uint64_t count() const { return count_; }
+    [[nodiscard]] double sum() const { return sum_; }
+    [[nodiscard]] double min() const { return min_; }
+    [[nodiscard]] double max() const { return max_; }
+    [[nodiscard]] double mean() const {
+        return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    }
+
+    /// Estimated q-quantile (q in [0,1]), interpolated within the bucket that
+    /// holds the target rank; the +Inf bucket reports the observed max.
+    [[nodiscard]] double quantile(double q) const;
+
+    /// Finite bucket upper bounds (the +Inf bucket is implicit).
+    [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+    /// Per-bucket (non-cumulative) counts; back() is the +Inf bucket.
+    [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const {
+        return counts_;
+    }
+
+    /// Default bounds for nanosecond-valued timing histograms: 1us..100ms in
+    /// a 1-2-5 ladder. Chosen so scheduling latencies and response times of
+    /// typical models land mid-range.
+    [[nodiscard]] static std::vector<double> default_time_bounds_ns();
+
+private:
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> counts_;  ///< size bounds_.size() + 1 (+Inf last)
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Named home for every measured number in a model run. Families are
+/// identified by metric name; series within a family by label set. Lookup is
+/// get-or-create, so producers and re-registration helpers can address the
+/// same series independently. Exports Prometheus text exposition format
+/// (validated by ci/check_prom.sh) and JSON.
+///
+/// Metric and label names must match [a-zA-Z_:][a-zA-Z0-9_:]* (the Prometheus
+/// charset); a family keeps one kind — re-requesting a name with a different
+/// kind asserts.
+class Registry {
+public:
+    Counter& counter(const std::string& name, const std::string& help,
+                     Labels labels = {});
+    Gauge& gauge(const std::string& name, const std::string& help, Labels labels = {});
+    /// Convenience: register a callback-sourced gauge in one call.
+    Gauge& gauge_fn(const std::string& name, const std::string& help,
+                    std::function<double()> source, Labels labels = {});
+    /// `bounds` must agree across series of one family (asserted).
+    Histogram& histogram(const std::string& name, const std::string& help,
+                         std::vector<double> bounds, Labels labels = {});
+
+    /// Series lookup without creation; nullptr when absent (or wrong kind).
+    [[nodiscard]] const Counter* find_counter(const std::string& name,
+                                              const Labels& labels = {}) const;
+    [[nodiscard]] const Gauge* find_gauge(const std::string& name,
+                                          const Labels& labels = {}) const;
+    [[nodiscard]] const Histogram* find_histogram(const std::string& name,
+                                                  const Labels& labels = {}) const;
+
+    [[nodiscard]] std::size_t family_count() const { return families_.size(); }
+
+    /// Prometheus text exposition format, families sorted by name, series in
+    /// registration order. Histograms expand to _bucket/_sum/_count.
+    void write_prometheus(std::ostream& os) const;
+
+    /// JSON: {"metrics":[{name, kind, help, series:[{labels, value|histogram}]}]}.
+    /// Strings are escaped with trace::json_escape (shared with the Chrome
+    /// trace exporter).
+    void write_json(std::ostream& os) const;
+
+private:
+    enum class Kind { Counter, Gauge, Histogram };
+    struct Series {
+        Labels labels;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+    struct Family {
+        std::string name;
+        std::string help;
+        Kind kind = Kind::Counter;
+        std::vector<Series> series;
+    };
+
+    Family& family(const std::string& name, const std::string& help, Kind kind);
+    Series& series(Family& f, Labels labels);
+    [[nodiscard]] const Series* find(const std::string& name, const Labels& labels,
+                                     Kind kind) const;
+
+    std::vector<Family> families_;  ///< kept sorted by name
+};
+
+// ---- re-registration of the pre-existing stats structs ----
+//
+// Every number the kernel and OS already count gets one home in the registry:
+// callback gauges read the live structs at export time (zero steady-state
+// cost, no double bookkeeping). The referenced objects must outlive the
+// registry's exports.
+
+/// sim::KernelStats -> slm_kernel_* gauges (+ slm_kernel_now_ns).
+void register_kernel_stats(Registry& reg, const sim::Kernel& kernel,
+                           Labels base_labels = {});
+
+/// rtos::RtosStats -> slm_os_* gauges, labeled {cpu="<cpu_name>"} plus
+/// `base_labels`, and every task existing at call time via
+/// register_task_stats(). Tasks created later can be added by calling again
+/// (re-registration is idempotent) or are picked up automatically when an
+/// obs::RtosAnalytics observer is attached.
+void register_os_stats(Registry& reg, const rtos::OsCore& os, Labels base_labels = {});
+
+/// rtos::TaskStats of one task -> slm_task_* gauges, labeled {task="<name>"}
+/// plus `base_labels`.
+void register_task_stats(Registry& reg, const rtos::Task& task, Labels base_labels = {});
+
+}  // namespace slm::obs

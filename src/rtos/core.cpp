@@ -35,7 +35,11 @@ OsCore::OsCore(sim::Kernel& kernel, RtosConfig cfg)
     ready_ = policy_->make_queue();
 }
 
-OsCore::~OsCore() = default;
+OsCore::~OsCore() {
+    for (OsObserver* obs : observers_) {
+        obs->on_core_teardown();
+    }
+}
 
 void OsCore::init() {
     SLM_ASSERT(!started_, "init() after start()");
@@ -97,11 +101,25 @@ void OsCore::set_task_state(Task* t, TaskState s) {
     if (t->state_ == s) {
         return;
     }
+    const TaskState from = t->state_;
     t->state_ = s;
     if (cfg_.tracer != nullptr) {
         cfg_.tracer->task_state(kernel_.now(), cfg_.cpu_name, t->params_.name,
                                 to_string(s));
     }
+    for (OsObserver* obs : observers_) {
+        obs->on_task_state(*t, from, s, kernel_.now());
+    }
+}
+
+void OsCore::add_observer(OsObserver* obs) {
+    if (obs != nullptr) {
+        observers_.push_back(obs);
+    }
+}
+
+void OsCore::remove_observer(OsObserver* obs) {
+    std::erase(observers_, obs);
 }
 
 void OsCore::enqueue_ready(Task* t) {
@@ -205,6 +223,9 @@ void OsCore::maybe_yield() {
     }
     ++stats_.preemptions;
     ++selftask->stats_.preemptions;
+    for (OsObserver* obs : observers_) {
+        obs->on_preempt(*selftask, *best, kernel_.now());
+    }
     dispatch(best);
     wait_dispatch(selftask);
 }
@@ -251,9 +272,13 @@ void OsCore::record_completion(Task* t) {
     ++t->stats_.completions;
     t->stats_.total_response += resp;
     t->stats_.max_response = std::max(t->stats_.max_response, resp);
-    if (kernel_.now() > t->abs_deadline_) {
+    const bool missed = kernel_.now() > t->abs_deadline_;
+    if (missed) {
         ++t->stats_.deadline_misses;
         ++stats_.deadline_misses;
+    }
+    for (OsObserver* obs : observers_) {
+        obs->on_completion(*t, resp, missed, kernel_.now());
     }
 }
 
@@ -280,6 +305,29 @@ void OsCore::boost_priority(Task* t, int priority) {
 
 void OsCore::restore_priority(Task* t, int saved) {
     t->inherited_priority_ = saved;
+}
+
+void OsCore::note_resource_block(const Task* blocked, const Task* holder,
+                                 const std::string& resource) {
+    SLM_ASSERT(blocked != nullptr && holder != nullptr, "note_resource_block(nullptr)");
+    for (OsObserver* obs : observers_) {
+        obs->on_resource_block(*blocked, *holder, resource, kernel_.now());
+    }
+}
+
+void OsCore::note_resource_acquire(const Task* t, const std::string& resource,
+                                   SimTime waited) {
+    SLM_ASSERT(t != nullptr, "note_resource_acquire(nullptr)");
+    for (OsObserver* obs : observers_) {
+        obs->on_resource_acquire(*t, resource, waited, kernel_.now());
+    }
+}
+
+void OsCore::note_resource_release(const Task* t, const std::string& resource) {
+    SLM_ASSERT(t != nullptr, "note_resource_release(nullptr)");
+    for (OsObserver* obs : observers_) {
+        obs->on_resource_release(*t, resource, kernel_.now());
+    }
 }
 
 // ---- task management ----
@@ -620,6 +668,9 @@ void OsCore::isr_enter(const std::string& irq_name) {
     ++stats_.isr_entries;
     if (cfg_.tracer != nullptr) {
         cfg_.tracer->irq(kernel_.now(), cfg_.cpu_name, irq_name);
+    }
+    for (OsObserver* obs : observers_) {
+        obs->on_isr(irq_name, kernel_.now());
     }
 }
 

@@ -131,6 +131,49 @@ private:
     std::vector<Task*> waiters_;
 };
 
+/// Observer hook for OS-level instrumentation: online timing analytics
+/// (obs::RtosAnalytics), test assertions, custom monitors. All callbacks run
+/// synchronously inside the core at the instant the event happens; they must
+/// not call blocking OS or kernel APIs and must not mutate the model —
+/// observing never changes scheduling. Both API personalities (paper-style
+/// RtosModel, ITRON-style ItronOs) emit through these hooks because the
+/// hooks live in the shared OsCore.
+class OsObserver {
+public:
+    virtual ~OsObserver() = default;
+
+    /// A task's RTOS-level state changed (fires for every transition,
+    /// including Ready→Running dispatches and Running→Ready preemptions).
+    virtual void on_task_state(const Task& /*t*/, TaskState /*from*/, TaskState /*to*/,
+                               SimTime /*now*/) {}
+    /// The running task is about to lose the CPU involuntarily to `by`
+    /// (counted as a preemption in the stats).
+    virtual void on_preempt(const Task& /*preempted*/, const Task& /*by*/,
+                            SimTime /*now*/) {}
+    /// A task completed a job: an activation (aperiodic) or one periodic
+    /// cycle. `response` is release→completion latency; `missed` is true when
+    /// completion passed the absolute deadline.
+    virtual void on_completion(const Task& /*t*/, SimTime /*response*/, bool /*missed*/,
+                               SimTime /*now*/) {}
+    /// An ISR body was entered (isr_enter).
+    virtual void on_isr(const std::string& /*irq_name*/, SimTime /*now*/) {}
+    /// `blocked` is about to wait for a resource (mutex) currently held by
+    /// `holder` — reported by the services layer via note_resource_block().
+    virtual void on_resource_block(const Task& /*blocked*/, const Task& /*holder*/,
+                                   const std::string& /*resource*/, SimTime /*now*/) {}
+    /// `t` acquired a resource after waiting `waited` (zero when uncontended).
+    virtual void on_resource_acquire(const Task& /*t*/, const std::string& /*resource*/,
+                                     SimTime /*waited*/, SimTime /*now*/) {}
+    /// `t` released a resource it held.
+    virtual void on_resource_release(const Task& /*t*/, const std::string& /*resource*/,
+                                     SimTime /*now*/) {}
+    /// The observed core is being destroyed. Observers that can outlive the
+    /// core (e.g. an obs::RtosAnalytics whose results are read after the
+    /// model run returns) drop their core reference here instead of
+    /// detaching in their destructor.
+    virtual void on_core_teardown() {}
+};
+
 /// Core construction parameters (shared by every personality).
 struct RtosConfig {
     /// Name of the processing element this core runs on; used as the
@@ -147,8 +190,13 @@ struct RtosConfig {
     /// results is limited by the granularity of task delay models"). Zero
     /// means no chopping: one chunk per time_wait call.
     SimTime preemption_granularity{};
-    /// Optional trace sink for task states, context switches, and IRQs.
-    trace::TraceRecorder* tracer = nullptr;
+    /// Optional trace sink for task states, context switches, and IRQs. Any
+    /// trace::TraceSink works: a trace::TraceRecorder for derived views and
+    /// text exporters, or an obs::BinaryTraceSink when recording overhead on
+    /// the hot path matters (convert to a TraceRecorder afterwards). Online
+    /// per-task analytics do not need a tracer at all — attach an
+    /// obs::RtosAnalytics through OsCore::add_observer() instead.
+    trace::TraceSink* tracer = nullptr;
 };
 
 /// Core-instance statistics.
@@ -287,7 +335,22 @@ public:
     /// trigger one, e.g. via event_notify).
     void restore_priority(Task* t, int saved);
 
+    /// Resource-contention notifications, forwarded verbatim to OsObservers.
+    /// The services layer (OsMutex) reports who blocks on whom and for how
+    /// long, so online analytics can measure blocking time and walk blocking
+    /// chains without reaching into channel internals. Purely observational:
+    /// calling or omitting them never changes scheduling.
+    void note_resource_block(const Task* blocked, const Task* holder,
+                             const std::string& resource);
+    void note_resource_acquire(const Task* t, const std::string& resource,
+                               SimTime waited);
+    void note_resource_release(const Task* t, const std::string& resource);
+
     // ---- introspection ----
+
+    /// Attach an instrumentation observer (callbacks in attachment order).
+    void add_observer(OsObserver* obs);
+    void remove_observer(OsObserver* obs);
 
     [[nodiscard]] sim::Kernel& kernel() { return kernel_; }
     [[nodiscard]] const RtosConfig& config() const { return cfg_; }
@@ -336,6 +399,7 @@ private:
     std::uint64_t arrival_counter_ = 0;
     SimTime quantum_used_{};
     std::vector<Task*> ties_scratch_;  ///< reused by pick_next()
+    std::vector<OsObserver*> observers_;
     RtosStats stats_;
 };
 

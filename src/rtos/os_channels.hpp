@@ -131,7 +131,11 @@ public:
         Task* self = os_.self();
         SLM_ASSERT(self != nullptr, "OsMutex::lock() requires a task");
         SLM_ASSERT(owner_ != self, "OsMutex is not recursive");
+        const SimTime t0 = os_.kernel().now();
         while (owner_ != nullptr) {
+            // Observers learn the wait-for edge before any boost reshuffles
+            // the schedule; a re-stolen lock re-reports the (new) holder.
+            os_.note_resource_block(self, owner_, name_);
             if (protocol_ == Protocol::PriorityInheritance) {
                 os_.boost_priority(owner_, self->effective_priority());
             }
@@ -144,6 +148,7 @@ public:
         if (protocol_ == Protocol::PriorityCeiling) {
             os_.boost_priority(owner_, ceiling_);
         }
+        os_.note_resource_acquire(self, name_, os_.kernel().now() - t0);
     }
 
     void unlock() {
@@ -151,6 +156,7 @@ public:
         SLM_ASSERT(owner_ == self, "OsMutex unlocked by non-owner");
         os_.restore_priority(owner_, saved_boost_);
         owner_ = nullptr;
+        os_.note_resource_release(self, name_);
         os_.event_notify(evt_);
     }
 

@@ -88,8 +88,8 @@ void Kernel::set_state(Process* p, ProcState s) {
     }
     const ProcState from = p->state_;
     p->state_ = s;
-    if (observer_ != nullptr) {
-        observer_->on_process_state(*p, from, s);
+    for (KernelObserver* obs : observers_) {
+        obs->on_process_state(*p, from, s);
     }
 }
 
@@ -198,8 +198,8 @@ bool Kernel::advance_time(SimTime limit) {
         }
         now_ = top.t;
         ++stats_.time_advances;
-        if (observer_ != nullptr) {
-            observer_->on_time_advance(now_);
+        for (KernelObserver* obs : observers_) {
+            obs->on_time_advance(now_);
         }
         while (!timed_.empty() && timed_.top().t == now_) {
             const TimedEntry e = timed_.top();

@@ -114,7 +114,24 @@ public:
     /// Processes blocked on events/joins with no pending activity to wake them.
     [[nodiscard]] std::vector<const Process*> blocked_processes() const;
 
-    void set_observer(KernelObserver* obs) { observer_ = obs; }
+    /// Replace the observer list with `obs` (nullptr clears it). Kept for the
+    /// common one-observer case; instrumentation that must coexist with an
+    /// already-installed observer (tracing + metrics) uses add_observer().
+    void set_observer(KernelObserver* obs) {
+        observers_.clear();
+        if (obs != nullptr) {
+            observers_.push_back(obs);
+        }
+    }
+    /// Attach an additional observer; callbacks run in attachment order.
+    void add_observer(KernelObserver* obs) {
+        if (obs != nullptr) {
+            observers_.push_back(obs);
+        }
+    }
+    void remove_observer(KernelObserver* obs) {
+        std::erase(observers_, obs);
+    }
 
     /// Install a schedule controller consulted at every nondeterministic
     /// choice point (see sim/schedule_point.hpp). nullptr (the default)
@@ -202,7 +219,7 @@ private:
     std::vector<Event*> notified_events_;
     Context sched_ctx_;
     Process* current_ = nullptr;
-    KernelObserver* observer_ = nullptr;
+    std::vector<KernelObserver*> observers_;
     ScheduleController* controller_ = nullptr;
     std::optional<std::string> abort_reason_;
     bool running_ = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <map>
 #include <ostream>
 #include <sstream>
@@ -23,6 +24,32 @@ const char* to_string(RecordKind k) {
     return "?";
 }
 
+std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
 void TraceRecorder::record(Record r) {
     // Ordering contract (see trace.hpp): nondecreasing timestamps. Checked in
     // debug builds only — the hot path stays branch-free under NDEBUG.
@@ -31,34 +58,36 @@ void TraceRecorder::record(Record r) {
     records_.push_back(std::move(r));
 }
 
-void TraceRecorder::exec_begin(SimTime t, std::string cpu, std::string actor) {
-    record({t, RecordKind::ExecBegin, std::move(cpu), std::move(actor), {}});
+void TraceRecorder::exec_begin(SimTime t, std::string_view cpu, std::string_view actor) {
+    record({t, RecordKind::ExecBegin, std::string(cpu), std::string(actor), {}});
 }
 
-void TraceRecorder::exec_end(SimTime t, std::string cpu, std::string actor) {
-    record({t, RecordKind::ExecEnd, std::move(cpu), std::move(actor), {}});
+void TraceRecorder::exec_end(SimTime t, std::string_view cpu, std::string_view actor) {
+    record({t, RecordKind::ExecEnd, std::string(cpu), std::string(actor), {}});
 }
 
-void TraceRecorder::task_state(SimTime t, std::string cpu, std::string actor,
-                               std::string state) {
-    record({t, RecordKind::TaskState, std::move(cpu), std::move(actor), std::move(state)});
+void TraceRecorder::task_state(SimTime t, std::string_view cpu, std::string_view actor,
+                               std::string_view state) {
+    record({t, RecordKind::TaskState, std::string(cpu), std::string(actor),
+            std::string(state)});
 }
 
-void TraceRecorder::context_switch(SimTime t, std::string cpu, std::string to,
-                                   std::string from) {
-    record({t, RecordKind::ContextSwitch, std::move(cpu), std::move(to), std::move(from)});
+void TraceRecorder::context_switch(SimTime t, std::string_view cpu, std::string_view to,
+                                   std::string_view from) {
+    record({t, RecordKind::ContextSwitch, std::string(cpu), std::string(to),
+            std::string(from)});
 }
 
-void TraceRecorder::irq(SimTime t, std::string cpu, std::string irq_name) {
-    record({t, RecordKind::Irq, std::move(cpu), std::move(irq_name), {}});
+void TraceRecorder::irq(SimTime t, std::string_view cpu, std::string_view irq_name) {
+    record({t, RecordKind::Irq, std::string(cpu), std::string(irq_name), {}});
 }
 
-void TraceRecorder::channel_op(SimTime t, std::string channel, std::string op) {
-    record({t, RecordKind::ChannelOp, {}, std::move(channel), std::move(op)});
+void TraceRecorder::channel_op(SimTime t, std::string_view channel, std::string_view op) {
+    record({t, RecordKind::ChannelOp, {}, std::string(channel), std::string(op)});
 }
 
-void TraceRecorder::marker(SimTime t, std::string text) {
-    record({t, RecordKind::Marker, {}, {}, std::move(text)});
+void TraceRecorder::marker(SimTime t, std::string_view text) {
+    record({t, RecordKind::Marker, {}, {}, std::string(text)});
 }
 
 void TraceRecorder::clear() {
@@ -307,31 +336,30 @@ void TraceRecorder::write_chrome_trace(std::ostream& os) const {
         first = false;
         os << "\n" << json;
     };
-    const auto us = [](SimTime t) { return static_cast<double>(t.ns()) / 1000.0; };
+    // Fixed-point microsecond rendering; names are json_escape()d so actors
+    // containing '"' or '\' still produce valid JSON.
+    const auto us = [](SimTime t) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(t.ns()) / 1000.0);
+        return std::string(buf);
+    };
 
     int tid = 1;
     for (const std::string& a : actors()) {
-        char meta[160];
-        std::snprintf(meta, sizeof meta,
-                      R"({"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":"%s"}})",
-                      tid, a.c_str());
-        emit(meta);
+        const std::string name = json_escape(a);
+        emit(R"({"name":"thread_name","ph":"M","pid":1,"tid":)" + std::to_string(tid) +
+             R"(,"args":{"name":")" + name + "\"}}");
         for (const Interval& iv : intervals(a)) {
-            char ev[200];
-            std::snprintf(ev, sizeof ev,
-                          R"({"name":"%s","ph":"X","pid":1,"tid":%d,"ts":%.3f,"dur":%.3f})",
-                          a.c_str(), tid, us(iv.begin), us(iv.end - iv.begin));
-            emit(ev);
+            emit(R"({"name":")" + name + R"(","ph":"X","pid":1,"tid":)" +
+                 std::to_string(tid) + R"(,"ts":)" + us(iv.begin) + R"(,"dur":)" +
+                 us(iv.end - iv.begin) + "}");
         }
         ++tid;
     }
     for (const Record& r : records_) {
         if (r.kind == RecordKind::Irq) {
-            char ev[200];
-            std::snprintf(ev, sizeof ev,
-                          R"({"name":"irq:%s","ph":"i","pid":1,"tid":0,"ts":%.3f,"s":"g"})",
-                          r.actor.c_str(), us(r.t));
-            emit(ev);
+            emit(R"({"name":"irq:)" + json_escape(r.actor) +
+                 R"(","ph":"i","pid":1,"tid":0,"ts":)" + us(r.t) + R"(,"s":"g"})");
         }
     }
     os << "\n]\n";

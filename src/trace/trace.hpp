@@ -4,6 +4,7 @@
 #include <functional>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/kernel.hpp"
@@ -23,6 +24,40 @@ enum class RecordKind {
 };
 
 [[nodiscard]] const char* to_string(RecordKind k);
+
+/// Escape a string for embedding in a JSON string literal (backslash, quote,
+/// and control characters). Shared by the Chrome-trace exporter and the
+/// metrics JSON exporter (src/obs/metrics.cpp) so every JSON we emit agrees
+/// on escaping.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Abstract recording interface for timestamped scheduling traces.
+///
+/// Every producer (the OS core via RtosConfig::tracer, SpecTraceAdapter, the
+/// arch/vocoder models, hand-written markers) records through this interface,
+/// so sinks are interchangeable: `TraceRecorder` keeps records as strings and
+/// offers derived views and text exporters; `obs::BinaryTraceSink` interns
+/// strings into a fixed-width binary form for hot recording paths and
+/// converts losslessly to a TraceRecorder afterwards.
+///
+/// **Ordering contract:** records must arrive in nondecreasing time order.
+/// Kernel- and RTOS-emitted records satisfy it by construction (timestamps
+/// are kernel.now(), which never decreases); hand-recorded markers must take
+/// care. Sinks assert the contract in debug builds.
+class TraceSink {
+public:
+    virtual ~TraceSink() = default;
+
+    virtual void exec_begin(SimTime t, std::string_view cpu, std::string_view actor) = 0;
+    virtual void exec_end(SimTime t, std::string_view cpu, std::string_view actor) = 0;
+    virtual void task_state(SimTime t, std::string_view cpu, std::string_view actor,
+                            std::string_view state) = 0;
+    virtual void context_switch(SimTime t, std::string_view cpu, std::string_view to,
+                                std::string_view from) = 0;
+    virtual void irq(SimTime t, std::string_view cpu, std::string_view irq_name) = 0;
+    virtual void channel_op(SimTime t, std::string_view channel, std::string_view op) = 0;
+    virtual void marker(SimTime t, std::string_view text) = 0;
+};
 
 /// One timestamped trace record. `cpu` names the resource (PE) the record
 /// belongs to — empty for records that are not bound to a processor.
@@ -47,27 +82,28 @@ struct Interval {
 /// in specification models, task-state changes emitted by the RTOS model) and
 /// derives per-actor execution intervals, Gantt charts, and export formats.
 ///
-/// Recording is append-only and cheap; all analysis walks the record list on
-/// demand.
+/// Recording is append-only; every record copies its strings, so the hot
+/// recording path allocates. For record-rate-sensitive runs, record into an
+/// obs::BinaryTraceSink and convert (losslessly) to a TraceRecorder only when
+/// a derived view or exporter is needed. All analysis walks the record list
+/// on demand.
 ///
-/// **Ordering contract:** records must arrive in nondecreasing time order.
-/// Everything derived (intervals, Gantt buckets, VCD change lists, replay
-/// comparison) assumes it, and a violation produces silently wrong views, not
-/// an error. Kernel- and RTOS-emitted records satisfy it by construction
-/// (timestamps are kernel.now(), which never decreases); hand-recorded
-/// markers must take care. Debug builds assert the contract in record();
-/// release builds accept the record unchecked.
-class TraceRecorder {
+/// The ordering contract of TraceSink applies: a violation produces silently
+/// wrong derived views, not an error. Debug builds assert the contract in
+/// record(); release builds accept the record unchecked.
+class TraceRecorder final : public TraceSink {
 public:
     // ---- recording ----
     void record(Record r);
-    void exec_begin(SimTime t, std::string cpu, std::string actor);
-    void exec_end(SimTime t, std::string cpu, std::string actor);
-    void task_state(SimTime t, std::string cpu, std::string actor, std::string state);
-    void context_switch(SimTime t, std::string cpu, std::string to, std::string from);
-    void irq(SimTime t, std::string cpu, std::string irq_name);
-    void channel_op(SimTime t, std::string channel, std::string op);
-    void marker(SimTime t, std::string text);
+    void exec_begin(SimTime t, std::string_view cpu, std::string_view actor) override;
+    void exec_end(SimTime t, std::string_view cpu, std::string_view actor) override;
+    void task_state(SimTime t, std::string_view cpu, std::string_view actor,
+                    std::string_view state) override;
+    void context_switch(SimTime t, std::string_view cpu, std::string_view to,
+                        std::string_view from) override;
+    void irq(SimTime t, std::string_view cpu, std::string_view irq_name) override;
+    void channel_op(SimTime t, std::string_view channel, std::string_view op) override;
+    void marker(SimTime t, std::string_view text) override;
 
     void clear();
 
@@ -118,30 +154,31 @@ public:
     /// Chrome trace-event JSON (load in Perfetto / chrome://tracing): one
     /// lane per actor with complete ("X") events for execution intervals and
     /// instant events for IRQs. Timestamps in microseconds as the format
-    /// requires.
+    /// requires. Actor and IRQ names are JSON-escaped via json_escape().
     void write_chrome_trace(std::ostream& os) const;
 
 private:
     std::vector<Record> records_;
 };
 
-/// Automatic tracing for *specification* models: attach as the kernel
-/// observer and every process's `waitfor` delay steps are recorded as
-/// execution spans (the delay-as-computation convention of spec models —
-/// paper Fig. 8(a) shows exactly these spans). Processes blocked on events
-/// or joins record nothing.
+/// Automatic tracing for *specification* models: attach as a kernel observer
+/// and every process's `waitfor` delay steps are recorded as execution spans
+/// (the delay-as-computation convention of spec models — paper Fig. 8(a)
+/// shows exactly these spans). Processes blocked on events or joins record
+/// nothing.
 ///
 ///     trace::TraceRecorder rec;
 ///     trace::SpecTraceAdapter adapter{kernel, rec, "PE0"};
-///     kernel.set_observer(&adapter);
+///     kernel.add_observer(&adapter);
 ///
 /// Use an explicit name filter to keep testbench/device processes out of the
 /// trace. Not intended for RTOS-based models — the OS core (rtos::OsCore,
 /// under any API personality) emits richer task-state records through
-/// RtosConfig::tracer instead.
+/// RtosConfig::tracer instead (any TraceSink: a TraceRecorder, or an
+/// obs::BinaryTraceSink when recording overhead matters).
 class SpecTraceAdapter final : public sim::KernelObserver {
 public:
-    SpecTraceAdapter(sim::Kernel& kernel, TraceRecorder& rec, std::string cpu = {})
+    SpecTraceAdapter(sim::Kernel& kernel, TraceSink& rec, std::string cpu = {})
         : kernel_(kernel), rec_(rec), cpu_(std::move(cpu)) {}
 
     /// Record only processes whose name satisfies `pred`.
@@ -163,7 +200,7 @@ public:
 
 private:
     sim::Kernel& kernel_;
-    TraceRecorder& rec_;
+    TraceSink& rec_;
     std::string cpu_;
     std::function<bool(const std::string&)> filter_;
 };

@@ -119,7 +119,7 @@ VocoderResult run_vocoder_unscheduled(const VocoderConfig& cfg) {
     res.frames = cfg.frames;
     res.min_snr_db = 1e9;
     res.data_ok = true;
-    trace::TraceRecorder* rec = cfg.tracer;
+    trace::TraceSink* rec = cfg.tracer;
 
     const auto exec = [&](const char* who, SimTime dt) {
         if (rec != nullptr) {
@@ -218,6 +218,9 @@ VocoderResult run_vocoder_architecture(const VocoderConfig& cfg) {
     rc.tracer = cfg.tracer;
     arch::ProcessingElement pe{k, "DSP", rc};
     rtos::OsCore& os = pe.os();
+    if (cfg.on_os) {
+        cfg.on_os(os);
+    }
 
     arch::Bus bus{k, "audio_bus", arch::Bus::Config{SimTime::zero(), SimTime::zero()}};
     arch::BusLink<Subframe> link{k, bus, "audio"};
@@ -312,6 +315,10 @@ TwoPeResult run_vocoder_two_pe(const VocoderConfig& cfg) {
     rc1.tracer = cfg.tracer;
     arch::ProcessingElement pe0{k, "DSP0", rc0};
     arch::ProcessingElement pe1{k, "DSP1", rc1};
+    if (cfg.on_os) {
+        cfg.on_os(pe0.os());
+        cfg.on_os(pe1.os());
+    }
 
     // Audio input to DSP0 (ideal link, as in the single-PE model) and an
     // inter-PE system bus carrying the 244-byte encoded frames.

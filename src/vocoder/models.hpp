@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "rtos/rtos.hpp"
 #include "sim/time.hpp"
@@ -12,12 +13,19 @@ namespace slm::vocoder {
 struct VocoderConfig {
     std::size_t frames = 50;
     std::uint32_t seed = 1;
-    trace::TraceRecorder* tracer = nullptr;
+    /// Any trace sink (TraceRecorder for derived views, obs::BinaryTraceSink
+    /// for hot-path recording).
+    trace::TraceSink* tracer = nullptr;
     /// Architecture model only: scheduling configuration. The vocoder default
     /// adds a conservative 100 us context-switch annotation (the abstract
     /// model errs pessimistic, which is what puts the architecture estimate
     /// above the implementation measurement in Table 1).
     rtos::RtosConfig rtos = default_rtos_config();
+    /// Architecture models only: invoked with each OS core right after
+    /// construction, before any task exists — the hook for attaching
+    /// observers such as obs::RtosAnalytics (run_vocoder_two_pe calls it once
+    /// per PE).
+    std::function<void(rtos::OsCore&)> on_os;
 
     [[nodiscard]] static rtos::RtosConfig default_rtos_config();
 };

@@ -19,6 +19,8 @@
 #include <unordered_map>
 
 #include "explore/explore.hpp"
+#include "obs/analytics.hpp"
+#include "obs/metrics.hpp"
 #include "rtos/os_channels.hpp"
 #include "rtos/rtos.hpp"
 #include "sim/kernel.hpp"
@@ -54,11 +56,25 @@ using Scenario = std::function<void(Api&)>;
 
 struct Outcome {
     std::string csv;
+    std::string metrics;  ///< obs::RtosAnalytics registry, Prometheus text
     std::uint64_t end_ns = 0;
     std::uint64_t context_switches = 0;
     std::uint64_t dispatches = 0;
     std::uint64_t syscalls = 0;
 };
+
+/// Observer-derived analytics as comparable text. Everything RtosAnalytics
+/// collects (latency/response histograms, preemption/switch/blocking
+/// counters) flows from personality-neutral OsCore events, so the full
+/// Prometheus dump — values, series, registration order — must be
+/// byte-identical across personalities. Syscall counts, which legitimately
+/// differ (ITRON object creation is a syscall, paper-API construction is
+/// not), live in RtosStats and never enter this registry.
+std::string analytics_metrics(const obs::Registry& reg) {
+    std::ostringstream os;
+    reg.write_prometheus(os);
+    return os.str();
+}
 
 Outcome run_paper(const Scenario& sc, SchedPolicy policy = SchedPolicy::Priority) {
     Kernel k;
@@ -67,6 +83,8 @@ Outcome run_paper(const Scenario& sc, SchedPolicy policy = SchedPolicy::Priority
     cfg.policy = policy;
     cfg.tracer = &rec;
     RtosModel os{k, cfg};
+    obs::Registry reg;
+    obs::RtosAnalytics analytics{os, reg};
     os.init();
     OsSemaphore sem{os, 0, "sem"};
     OsQueue<std::int64_t> q{os, 0, "q"};
@@ -98,8 +116,8 @@ Outcome run_paper(const Scenario& sc, SchedPolicy policy = SchedPolicy::Priority
 
     std::ostringstream csv;
     rec.write_csv(csv);
-    return {csv.str(), k.now().ns(), os.stats().context_switches,
-            os.stats().dispatches, os.stats().syscalls};
+    return {csv.str(), analytics_metrics(reg), k.now().ns(),
+            os.stats().context_switches, os.stats().dispatches, os.stats().syscalls};
 }
 
 Outcome run_itron(const Scenario& sc, SchedPolicy policy = SchedPolicy::Priority) {
@@ -109,6 +127,8 @@ Outcome run_itron(const Scenario& sc, SchedPolicy policy = SchedPolicy::Priority
     cfg.policy = policy;
     cfg.tracer = &rec;
     itron::ItronOs os{k, cfg};
+    obs::Registry reg;
+    obs::RtosAnalytics analytics{os.core(), reg};
     EXPECT_EQ(os.cre_sem(1, {.isemcnt = 0, .name = "sem"}), itron::E_OK);
     EXPECT_EQ(os.cre_dtq(1, {.dtqcnt = 0, .name = "q"}), itron::E_OK);
     std::unordered_map<std::string, itron::ID> ids;
@@ -147,8 +167,9 @@ Outcome run_itron(const Scenario& sc, SchedPolicy policy = SchedPolicy::Priority
 
     std::ostringstream csv;
     rec.write_csv(csv);
-    return {csv.str(), k.now().ns(), os.core().stats().context_switches,
-            os.core().stats().dispatches, os.core().stats().syscalls};
+    return {csv.str(), analytics_metrics(reg), k.now().ns(),
+            os.core().stats().context_switches, os.core().stats().dispatches,
+            os.core().stats().syscalls};
 }
 
 void expect_conformant(const char* what, const Scenario& sc,
@@ -157,6 +178,9 @@ void expect_conformant(const char* what, const Scenario& sc,
     const Outcome itron = run_itron(sc, policy);
     EXPECT_FALSE(paper.csv.empty()) << what;
     EXPECT_EQ(paper.csv, itron.csv) << what << ": trace divergence between personalities";
+    EXPECT_FALSE(paper.metrics.empty()) << what;
+    EXPECT_EQ(paper.metrics, itron.metrics)
+        << what << ": analytics metrics divergence between personalities";
     EXPECT_EQ(paper.end_ns, itron.end_ns) << what;
     EXPECT_EQ(paper.context_switches, itron.context_switches) << what;
     EXPECT_EQ(paper.dispatches, itron.dispatches) << what;

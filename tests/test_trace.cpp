@@ -44,6 +44,25 @@ TEST(Trace, OpenIntervalClosedAtTraceEnd) {
     EXPECT_EQ(ivs[0].end, 30_us);
 }
 
+TEST(Trace, OpenExecSpanClosedAtTraceEnd) {
+    TraceRecorder rec;
+    rec.exec_begin(10_us, "PE0", "t");
+    rec.irq(40_us, "PE0", "ext");  // last record defines the trace end
+    const auto ivs = rec.intervals("t");
+    ASSERT_EQ(ivs.size(), 1u);
+    EXPECT_EQ(ivs[0].begin, 10_us);
+    EXPECT_EQ(ivs[0].end, 40_us);
+}
+
+TEST(Trace, OpenIntervalAtVeryEndOfTraceIsDropped) {
+    // The span opens on the final record: closing it at the trace end would
+    // make it zero-length, and zero-length intervals never surface.
+    TraceRecorder rec;
+    rec.marker(0_us, "start");
+    rec.exec_begin(10_us, "PE0", "t");
+    EXPECT_TRUE(rec.intervals("t").empty());
+}
+
 TEST(Trace, ZeroLengthIntervalsDropped) {
     TraceRecorder rec;
     rec.task_state(5_us, "PE0", "t", "Running");
@@ -87,6 +106,17 @@ TEST(Trace, SerializedExecutionPasses) {
     EXPECT_FALSE(rec.has_concurrent_execution("PE0"));
 }
 
+TEST(Trace, ZeroLengthOverlapIsNotConcurrency) {
+    // b's exec span is instantaneous inside a's span: it drops out of the
+    // interval view entirely, so it must not count as concurrent execution.
+    TraceRecorder rec;
+    rec.exec_begin(0_us, "PE0", "a");
+    rec.exec_begin(5_us, "PE0", "b");
+    rec.exec_end(5_us, "PE0", "b");
+    rec.exec_end(10_us, "PE0", "a");
+    EXPECT_FALSE(rec.has_concurrent_execution("PE0"));
+}
+
 TEST(Trace, ConcurrencyCheckScopedToCpu) {
     TraceRecorder rec;
     rec.exec_begin(0_us, "PE0", "a");
@@ -104,6 +134,17 @@ TEST(Trace, IrqTimesFiltered) {
     rec.irq(9_us, "PE0", "uart");
     EXPECT_EQ(rec.irq_times().size(), 3u);
     EXPECT_EQ(rec.irq_times("uart"), (std::vector<SimTime>{3_us, 9_us}));
+    EXPECT_TRUE(rec.irq_times("spurious").empty());  // unknown name: no matches
+}
+
+TEST(Trace, IrqTimesIgnoreOtherKinds) {
+    // A marker or task_state sharing an IRQ's name must not leak into the
+    // filtered view -- the filter is kind-first, name-second.
+    TraceRecorder rec;
+    rec.marker(1_us, "uart");
+    rec.task_state(2_us, "PE0", "uart", "Running");
+    rec.irq(5_us, "PE0", "uart");
+    EXPECT_EQ(rec.irq_times("uart"), (std::vector<SimTime>{5_us}));
 }
 
 TEST(Trace, ContextSwitchCountByCpu) {
@@ -240,6 +281,29 @@ TEST(Trace, ChromeTraceExport) {
     EXPECT_NE(j.find(R"("dur":4.000)"), std::string::npos) << j;
     EXPECT_NE(j.find(R"("name":"irq:ext","ph":"i")"), std::string::npos);
     EXPECT_NE(j.find(R"("args":{"name":"task_a"})"), std::string::npos);
+}
+
+TEST(Trace, ChromeTraceEscapesJsonMetacharacters) {
+    // Actor/IRQ names with JSON metacharacters must come out escaped -- an
+    // unescaped quote would truncate the string and corrupt the whole file.
+    TraceRecorder rec;
+    rec.exec_begin(0_us, "PE0", "say \"hi\"\\now");
+    rec.exec_end(4_us, "PE0", "say \"hi\"\\now");
+    rec.irq(2_us, "PE0", "line\nbreak");
+    std::ostringstream os;
+    rec.write_chrome_trace(os);
+    const std::string j = os.str();
+    EXPECT_NE(j.find(R"("name":"say \"hi\"\\now")"), std::string::npos) << j;
+    EXPECT_NE(j.find(R"("name":"irq:line\nbreak")"), std::string::npos) << j;
+    EXPECT_EQ(j.find("say \"hi\""), std::string::npos);  // no unescaped quotes
+}
+
+TEST(Trace, JsonEscapeCoversControlChars) {
+    EXPECT_EQ(json_escape("plain"), "plain");
+    EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(json_escape("a\tb\nc"), "a\\tb\\nc");
+    EXPECT_EQ(json_escape(std::string_view{"\x01", 1}), "\\u0001");
 }
 
 TEST(Trace, VcdExportStructure) {
