@@ -1,0 +1,244 @@
+// fault_campaign: deterministic fault-injection campaigns on two models.
+//
+//   1. Fig. 8 architecture model under a seeded fault plan (execution jitter
+//      on task_b2, delayed + occasionally dropped external interrupt), swept
+//      across seeds. Each run reports what was injected and how the schedule
+//      shifted; the same seed always reproduces the same trace byte-for-byte
+//      (ci/check_faults.sh pins this via --seed/--dump-trace).
+//
+//   2. A vocoder-style periodic transcoder (20 ms frames) whose execution
+//      overruns 2x inside a fault window, swept over all five deadline-miss
+//      recovery policies. The report shows which policy keeps the transcoding
+//      deadline: how many frames missed, were skipped, or were lost to
+//      restarts, and whether the task is back on deadline after the window.
+//
+// Usage: fault_campaign [--seed N] [--runs N] [--dump-trace FILE] [--quiet]
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "arch/fig3.hpp"
+#include "fault/campaign.hpp"
+#include "fault/fault.hpp"
+#include "rtos/core.hpp"
+#include "sim/kernel.hpp"
+#include "trace/trace.hpp"
+
+using namespace slm;
+using namespace slm::time_literals;
+
+namespace {
+
+bool g_quiet = false;
+
+/// Copies the core's stats when the core dies (the model functions own their
+/// cores, so the numbers must be grabbed at teardown).
+class StatsGrabber final : public rtos::OsObserver {
+public:
+    void bind(rtos::OsCore& core) {
+        core_ = &core;
+        core.add_observer(this);
+    }
+    void on_core_teardown() override {
+        stats = core_->stats();
+        core_ = nullptr;
+    }
+    rtos::RtosStats stats{};
+
+private:
+    rtos::OsCore* core_ = nullptr;
+};
+
+const char* kFig3Plan = R"(# Fig. 8 fault plan: jittered execution, unreliable external interrupt
+exec_jitter task_b2 max=10us p=0.8
+isr_delay ext delay=15us p=0.5
+isr_spurious ext extra=1 p=0.25
+)";
+
+fault::CampaignRun run_fig3_once(fault::FaultInjector& inj) {
+    trace::TraceRecorder rec;
+    fault::CampaignRun out;
+    StatsGrabber grab;
+    const arch::Fig3Result res = arch::run_fig3_architecture(
+        &rec, {}, {}, [&](rtos::OsCore& core) {
+            inj.attach(core);
+            grab.bind(core);
+        });
+    std::ostringstream csv;
+    rec.write_csv(csv);
+    out.trace_csv = std::move(csv).str();
+    out.end_time = res.pe_done;
+    out.deadline_misses = grab.stats.deadline_misses;
+    out.crashes = grab.stats.crashes;
+    out.restarts = grab.stats.restarts;
+    out.watchdog_fires = grab.stats.watchdog_fires;
+    out.jobs_skipped = grab.stats.jobs_skipped;
+    return out;
+}
+
+void fig3_campaign(std::uint64_t first_seed, unsigned runs) {
+    if (!g_quiet) {
+        std::printf("==== Fig. 8 campaign: %u seeds starting at %llu ====\n\n",
+                    runs, static_cast<unsigned long long>(first_seed));
+    }
+    const std::optional<fault::FaultPlan> plan = fault::FaultPlan::parse(kFig3Plan);
+    const fault::CampaignResult res = fault::run_campaign(
+        *plan, {first_seed, runs},
+        [](fault::FaultInjector& inj, fault::CampaignRun& out) {
+            out = run_fig3_once(inj);
+        });
+    if (g_quiet) {
+        return;
+    }
+    std::printf("%6s %10s %12s %14s\n", "seed", "injected", "end time",
+                "trace bytes");
+    for (const fault::CampaignRun& r : res.runs) {
+        std::printf("%6llu %10llu %12s %14zu\n",
+                    static_cast<unsigned long long>(r.seed),
+                    static_cast<unsigned long long>(r.injections),
+                    r.end_time.to_string().c_str(), r.trace_csv.size());
+    }
+    std::printf("\ntotal injections across the sweep: %llu\n\n",
+                static_cast<unsigned long long>(res.total_injections()));
+}
+
+/// The transcoder skeleton: one periodic task with the vocoder's 20 ms frame
+/// period, nominally finishing at 60%% utilization. The fault plan doubles
+/// its execution time between 100 ms and 200 ms.
+struct PolicyOutcome {
+    rtos::MissPolicy policy;
+    std::uint64_t completions = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t skipped = 0;
+    std::uint64_t restarts = 0;
+    bool recovered = false;  ///< on-deadline again after the fault window
+};
+
+PolicyOutcome run_policy(rtos::MissPolicy policy, std::uint64_t seed) {
+    constexpr SimTime kPeriod = 20_ms;
+    constexpr SimTime kExec = 12_ms;
+    constexpr std::uint64_t kFrames = 25;  // 500 ms horizon
+
+    const std::optional<fault::FaultPlan> plan = fault::FaultPlan::parse(
+        "exec_scale transcoder factor=2.0 after=100ms until=200ms\n");
+    fault::FaultInjector inj(*plan, seed);
+
+    sim::Kernel k;
+    rtos::RtosConfig rc;
+    rc.cpu_name = "DSP";
+    rc.default_miss_policy = policy;
+    arch::ProcessingElement pe{k, "DSP", rc};
+    inj.attach(pe.os());
+
+    SimTime last_miss{};
+    SimTime last_on_time{};
+    class Watch final : public rtos::OsObserver {
+    public:
+        SimTime* last_miss;
+        SimTime* last_on_time;
+        void on_completion(const rtos::Task&, SimTime, bool missed,
+                           SimTime now) override {
+            *(missed ? last_miss : last_on_time) = now;
+        }
+    } watch;
+    watch.last_miss = &last_miss;
+    watch.last_on_time = &last_on_time;
+    pe.os().add_observer(&watch);
+
+    rtos::Task* t = pe.add_periodic_task(
+        "transcoder", 1, kPeriod, kExec,
+        [&] { pe.os().time_wait(kExec); }, kFrames, kPeriod);
+    pe.start();
+    k.run_until(milliseconds(600));
+    pe.os().remove_observer(&watch);
+
+    PolicyOutcome out;
+    out.policy = policy;
+    out.completions = t->stats().completions;
+    out.misses = t->stats().deadline_misses;
+    out.skipped = t->stats().jobs_skipped;
+    out.restarts = t->stats().restarts;
+    out.recovered = !last_on_time.is_zero() && last_on_time > last_miss;
+    return out;
+}
+
+void policy_sweep(std::uint64_t seed) {
+    if (!g_quiet) {
+        std::printf("==== Transcoder overrun: deadline-miss policy sweep ====\n\n");
+        std::printf("20 ms frames, 12 ms nominal execution; 2x overrun in "
+                    "[100 ms, 200 ms)\n\n");
+        std::printf("%-8s %12s %8s %8s %9s %10s\n", "policy", "completions",
+                    "misses", "skipped", "restarts", "recovered");
+    }
+    for (const rtos::MissPolicy p :
+         {rtos::MissPolicy::Ignore, rtos::MissPolicy::Notify,
+          rtos::MissPolicy::SkipJob, rtos::MissPolicy::Restart,
+          rtos::MissPolicy::Kill}) {
+        const PolicyOutcome o = run_policy(p, seed);
+        if (!g_quiet) {
+            std::printf("%-8s %12llu %8llu %8llu %9llu %10s\n",
+                        rtos::to_string(o.policy),
+                        static_cast<unsigned long long>(o.completions),
+                        static_cast<unsigned long long>(o.misses),
+                        static_cast<unsigned long long>(o.skipped),
+                        static_cast<unsigned long long>(o.restarts),
+                        o.recovered ? "yes" : "no");
+        }
+    }
+    if (!g_quiet) {
+        std::printf("\n(SkipJob sheds the backlog and is back on deadline "
+                    "right after the window;\n Ignore/Notify drag the overrun "
+                    "forward; Kill trades the task for silence.)\n");
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::uint64_t seed = 1;
+    unsigned runs = 4;
+    std::string dump_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
+            runs = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--dump-trace") == 0 && i + 1 < argc) {
+            dump_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            g_quiet = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: fault_campaign [--seed N] [--runs N] "
+                         "[--dump-trace FILE] [--quiet]\n");
+            return 2;
+        }
+    }
+
+    if (!dump_path.empty()) {
+        // Determinism gate (ci/check_faults.sh): one fig3 run at --seed,
+        // canonical trace to --dump-trace. Same seed => same bytes.
+        const std::optional<fault::FaultPlan> plan =
+            fault::FaultPlan::parse(kFig3Plan);
+        fault::FaultInjector inj(*plan, seed);
+        const fault::CampaignRun run = run_fig3_once(inj);
+        std::ofstream out{dump_path, std::ios::binary};
+        out << run.trace_csv;
+        if (!g_quiet) {
+            std::printf("seed %llu: %llu injections, %zu trace bytes -> %s\n",
+                        static_cast<unsigned long long>(seed),
+                        static_cast<unsigned long long>(inj.stats().total()),
+                        run.trace_csv.size(), dump_path.c_str());
+        }
+        return 0;
+    }
+
+    fig3_campaign(seed, runs);
+    policy_sweep(seed);
+    return 0;
+}

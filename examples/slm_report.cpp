@@ -8,12 +8,16 @@
 //      (scheduling latency, response times) from an obs::RtosAnalytics
 //      observer, no trace walk.
 //   2. Vocoder architecture model — same instrumentation on a bigger model.
-//   3. Priority-inversion demo — three tasks sharing a Protocol::None mutex;
+//   3. Fault injection & recovery — a deterministic slm::fault plan (overrun
+//      window + one-shot crash) against a watchdog-protected workload; the
+//      injection and recovery counters land in the shared registry as
+//      slm_fault_* gauges.
+//   4. Priority-inversion demo — three tasks sharing a Protocol::None mutex;
 //      the analytics inversion detector reports the unbounded-inversion
-//      window with its blocking chain, and the full metrics registry
-//      (kernel + OS gauges, analytics counters/histograms) is exported as
-//      Prometheus text (--prom) and JSON (--json). ci/check_prom.sh
-//      validates that export.
+//      window with its blocking chain, and the shared metrics registry
+//      (kernel + OS gauges, analytics counters/histograms, fault counters)
+//      is exported as Prometheus text (--prom) and JSON (--json).
+//      ci/check_prom.sh validates that export.
 //
 // Usage: slm-report [--frames N] [--prom FILE] [--json FILE] [--quiet]
 
@@ -23,7 +27,9 @@
 #include <memory>
 #include <string>
 
+#include "arch/arch.hpp"
 #include "arch/fig3.hpp"
+#include "fault/fault.hpp"
 #include "obs/analytics.hpp"
 #include "obs/binary_trace.hpp"
 #include "obs/metrics.hpp"
@@ -142,7 +148,93 @@ void section_vocoder(std::size_t frames) {
     }
 }
 
-void section_inversion(const std::string& prom_path, const std::string& json_path) {
+void section_faults(obs::Registry& reg) {
+    heading("Fault injection & recovery (deterministic plan, seed 7)");
+    std::string err;
+    const std::optional<fault::FaultPlan> plan = fault::FaultPlan::parse(
+        "seed 7\n"
+        "exec_scale worker factor=2.0 after=20ms until=60ms\n"
+        "crash logger at=15ms\n",
+        &err);
+    if (!plan) {
+        std::fprintf(stderr, "fault plan: %s\n", err.c_str());
+        return;
+    }
+    fault::FaultInjector inj(*plan);
+
+    sim::Kernel kernel;
+    rtos::RtosConfig cfg;
+    cfg.default_miss_policy = rtos::MissPolicy::SkipJob;
+    arch::ProcessingElement pe{kernel, "FPE", cfg};
+    inj.attach(pe.os());
+
+    // A periodic worker that misses deadlines inside the overrun window and
+    // sheds the backlog via SkipJob.
+    rtos::Task* worker = pe.add_periodic_task(
+        "worker", 1, 10_ms, 6_ms, [&] { pe.os().time_wait(6_ms); }, 10, 10_ms);
+
+    // A watchdog-protected background job: the plan crashes it at 15 ms and
+    // the 12 ms watchdog (kicked every 5 ms while running) restarts it. The
+    // watchdog also trips while the overrunning worker starves the logger —
+    // every fire shows up in the recovery counters below.
+    rtos::TaskParams logger_params;
+    logger_params.name = "logger";
+    logger_params.priority = 5;
+    rtos::Task* logger = pe.os().task_create(std::move(logger_params));
+    pe.os().task_set_body(logger, [&] {
+        for (int i = 0; i < 8; ++i) {
+            pe.os().time_wait(5_ms);
+            pe.os().watchdog_kick(logger);
+        }
+    });
+    pe.os().task_start(logger);
+    pe.os().watchdog_arm(logger, 12_ms, rtos::MissPolicy::Restart);
+
+    pe.start();
+    kernel.run_until(milliseconds(200));
+
+    const fault::FaultStats& fs = inj.stats();
+    const rtos::RtosStats& os_stats = pe.os().stats();
+    // Plain gauges (final values) — the injector and OS die with this scope,
+    // so callback sources would dangle by export time in section_inversion.
+    const obs::Labels seed_label{{"seed", std::to_string(inj.seed())}};
+    const auto set = [&](const char* name, const char* help, double v) {
+        reg.gauge(name, help, seed_label).set(v);
+    };
+    set("slm_fault_injected_total", "Faults injected by the demo plan", double(fs.total()));
+    set("slm_fault_exec_scaled_total", "Execution-scale faults fired", double(fs.exec_scaled));
+    set("slm_fault_crashes_injected_total", "Crash faults fired", double(fs.crashes_injected));
+    set("slm_fault_recovery_deadline_misses", "Deadline misses under fault",
+        double(os_stats.deadline_misses));
+    set("slm_fault_recovery_jobs_skipped", "Jobs shed by MissPolicy::SkipJob",
+        double(os_stats.jobs_skipped));
+    set("slm_fault_recovery_crashes", "Task crashes observed", double(os_stats.crashes));
+    set("slm_fault_recovery_watchdog_fires", "Watchdog expirations",
+        double(os_stats.watchdog_fires));
+    set("slm_fault_recovery_restarts", "Task restarts performed", double(os_stats.restarts));
+
+    if (!g_quiet) {
+        std::printf("plan: worker 2x overrun in [20ms,60ms), logger crash at 15ms\n");
+        std::printf("injected: %llu (%llu exec-scale, %llu crash)\n",
+                    static_cast<unsigned long long>(fs.total()),
+                    static_cast<unsigned long long>(fs.exec_scaled),
+                    static_cast<unsigned long long>(fs.crashes_injected));
+        std::printf(
+            "worker: %llu completions, %llu misses, %llu jobs skipped (SkipJob)\n",
+            static_cast<unsigned long long>(worker->stats().completions),
+            static_cast<unsigned long long>(worker->stats().deadline_misses),
+            static_cast<unsigned long long>(worker->stats().jobs_skipped));
+        std::printf("logger: %llu crash -> %llu watchdog fire -> %llu restart; "
+                    "completions %llu\n",
+                    static_cast<unsigned long long>(os_stats.crashes),
+                    static_cast<unsigned long long>(os_stats.watchdog_fires),
+                    static_cast<unsigned long long>(logger->stats().restarts),
+                    static_cast<unsigned long long>(logger->stats().completions));
+    }
+}
+
+void section_inversion(obs::Registry& reg, const std::string& prom_path,
+                       const std::string& json_path) {
     heading("Priority-inversion demo (Protocol::None mutex)");
     sim::Kernel kernel;
     rtos::RtosConfig cfg;
@@ -153,7 +245,6 @@ void section_inversion(const std::string& prom_path, const std::string& json_pat
     // holding the lock and no inversion could occur (paper §4.3).
     cfg.preemption_granularity = 5_us;
     rtos::RtosModel os{kernel, cfg};
-    obs::Registry reg;
     obs::RtosAnalytics analytics{os, reg};
     os.init();
 
@@ -232,8 +323,10 @@ int main(int argc, char** argv) {
             return 2;
         }
     }
+    obs::Registry reg;  // shared by the fault + inversion sections (--prom/--json)
     section_fig8();
     section_vocoder(frames);
-    section_inversion(prom_path, json_path);
+    section_faults(reg);
+    section_inversion(reg, prom_path, json_path);
     return 0;
 }

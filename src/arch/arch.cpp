@@ -154,9 +154,10 @@ void InterruptController::ensure_dispatcher() {
             }
             --s->pending;
             ++dispatched_;
-            os_.isr_enter(s->line->name());
-            s->handler();
-            os_.interrupt_return();
+            // Routed through isr_deliver so an attached FaultHook can drop,
+            // delay, or replicate the interrupt; without a hook this is
+            // exactly isr_enter / handler / interrupt_return.
+            os_.isr_deliver(s->line->name(), [s] { s->handler(); });
         }
     });
 }
@@ -192,11 +193,11 @@ rtos::Task* ProcessingElement::add_task(const std::string& task_name, int priori
     p.name = task_name;
     p.priority = priority;
     rtos::Task* t = os_->task_create(std::move(p));
-    kernel_.spawn(name_ + "." + task_name, [this, t, body = std::move(body)] {
-        os_->task_activate(t);
-        body();
-        os_->task_terminate();
-    });
+    // Registering the body with the core (instead of hand-spawning a wrapper)
+    // makes the task restartable by the recovery services; the spawned
+    // wrapper is semantically the same activate/body/terminate sequence.
+    os_->task_set_body(t, std::move(body));
+    os_->task_start(t, name_ + "." + task_name);
     return t;
 }
 
@@ -212,15 +213,13 @@ rtos::Task* ProcessingElement::add_periodic_task(const std::string& task_name,
     p.priority = priority;
     p.deadline = deadline;
     rtos::Task* t = os_->task_create(std::move(p));
-    kernel_.spawn(name_ + "." + task_name,
-                  [this, t, body = std::move(body), cycles] {
-                      os_->task_activate(t);
-                      for (std::uint64_t c = 0; cycles == 0 || c < cycles; ++c) {
-                          body();
-                          os_->task_endcycle();
-                      }
-                      os_->task_terminate();
-                  });
+    os_->task_set_body(t, [this, body = std::move(body), cycles] {
+        for (std::uint64_t c = 0; cycles == 0 || c < cycles; ++c) {
+            body();
+            os_->task_endcycle();
+        }
+    });
+    os_->task_start(t, name_ + "." + task_name);
     return t;
 }
 
@@ -229,9 +228,7 @@ void ProcessingElement::attach_isr(InterruptLine& line, std::function<void()> ha
                   [this, &line, handler = std::move(handler)] {
                       for (;;) {
                           kernel_.wait(line.event());
-                          os_->isr_enter(line.name());
-                          handler();
-                          os_->interrupt_return();
+                          os_->isr_deliver(line.name(), handler);
                       }
                   });
 }

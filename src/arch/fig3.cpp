@@ -112,9 +112,7 @@ Fig3Result run_fig3_architecture(trace::TraceSink* rec, const Fig3Delays& d,
     k.spawn("ISR", [&] {
         for (;;) {
             k.wait(link.irq().event());
-            os.isr_enter("ext");
-            sem.release();
-            os.interrupt_return();
+            os.isr_deliver("ext", [&] { sem.release(); });
         }
     });
 

@@ -47,14 +47,20 @@ bool parse_u64(std::string_view sv, std::uint64_t& out) {
 
 }  // namespace
 
-std::optional<Schedule> Schedule::parse(const std::string& s) {
+std::optional<Schedule> Schedule::parse(const std::string& s, std::string* err) {
+    const auto fail = [&](std::string why) -> std::optional<Schedule> {
+        if (err != nullptr) {
+            *err = std::move(why);
+        }
+        return std::nullopt;
+    };
     const std::size_t bar = s.find('|');
     if (bar == std::string::npos) {
-        return std::nullopt;
+        return fail("missing '|' separator (expected \"len|i:c,...\")");
     }
     std::uint64_t len = 0;
     if (!parse_u64(std::string_view(s).substr(0, bar), len)) {
-        return std::nullopt;
+        return fail("length field \"" + s.substr(0, bar) + "\" is not a number");
     }
     Schedule out;
     out.choices.assign(len, 0);
@@ -66,13 +72,27 @@ std::optional<Schedule> Schedule::parse(const std::string& s) {
                                                : rest.substr(comma + 1);
         const std::size_t colon = pair.find(':');
         if (colon == std::string_view::npos) {
-            return std::nullopt;
+            return fail("entry \"" + std::string(pair) +
+                        "\" has no ':' (expected \"index:choice\")");
         }
         std::uint64_t idx = 0;
         std::uint64_t val = 0;
-        if (!parse_u64(pair.substr(0, colon), idx) ||
-            !parse_u64(pair.substr(colon + 1), val) || idx >= len || val == 0) {
-            return std::nullopt;
+        if (!parse_u64(pair.substr(0, colon), idx)) {
+            return fail("index \"" + std::string(pair.substr(0, colon)) +
+                        "\" is not a number");
+        }
+        if (!parse_u64(pair.substr(colon + 1), val)) {
+            return fail("choice \"" + std::string(pair.substr(colon + 1)) +
+                        "\" is not a number");
+        }
+        if (idx >= len) {
+            return fail("index " + std::to_string(idx) +
+                        " is past the declared length " + std::to_string(len));
+        }
+        if (val == 0) {
+            return fail("entry " + std::to_string(idx) +
+                        ":0 is redundant (0 is the default choice and is "
+                        "never serialized)");
         }
         out.choices[idx] = static_cast<std::uint32_t>(val);
     }
@@ -186,7 +206,12 @@ public:
             if (choice >= count) {
                 // A plan that does not fit the model (hand-edited or from a
                 // different build) degrades to the default rather than dying.
-                diverged_ = true;
+                if (!diverged_) {
+                    diverged_ = true;
+                    diverged_at_ = k;
+                    diverged_choice_ = choice;
+                    diverged_count_ = count;
+                }
                 choice = 0;
             }
         } else if (random_ && divergences_ < bound_) {
@@ -209,6 +234,17 @@ public:
     [[nodiscard]] const std::vector<Decision>& decisions() const { return decisions_; }
     [[nodiscard]] bool truncated() const { return truncated_; }
     [[nodiscard]] bool diverged() const { return diverged_; }
+    /// Diagnostic for the first out-of-range plan entry, e.g.
+    /// "point 7: choice 3 out of range (2 candidates)". Empty if !diverged().
+    [[nodiscard]] std::string divergence_detail() const {
+        if (!diverged_) {
+            return {};
+        }
+        return "point " + std::to_string(diverged_at_) + ": choice " +
+               std::to_string(diverged_choice_) + " out of range (" +
+               std::to_string(diverged_count_) + " candidate" +
+               (diverged_count_ == 1 ? "" : "s") + ")";
+    }
 
 private:
     const std::vector<std::uint32_t>* plan_;
@@ -221,6 +257,9 @@ private:
     int divergences_ = 0;
     bool truncated_ = false;
     bool diverged_ = false;
+    std::size_t diverged_at_ = 0;
+    std::uint32_t diverged_choice_ = 0;
+    std::uint32_t diverged_count_ = 0;
 };
 
 // ---- one path ----
@@ -228,7 +267,8 @@ private:
 PathResult Explorer::run_path(const std::vector<std::uint32_t>* plan, bool random,
                               std::uint64_t rng_seed,
                               std::vector<Decision>* decisions_out,
-                              ExploreStats* stats) {
+                              ExploreStats* stats,
+                              std::string* divergence_detail_out) {
     Run run(cfg_.kernel);
     Controller ctl(plan, random, cfg_.preemption_bound, cfg_.max_choices_per_run,
                    rng_seed, cfg_.record_choices ? &run.trace_ : nullptr);
@@ -255,6 +295,10 @@ PathResult Explorer::run_path(const std::vector<std::uint32_t>* plan, bool rando
 
     pr.end_time = run.kernel_.now();
     pr.truncated = ctl.truncated();
+    pr.diverged = ctl.diverged();
+    if (divergence_detail_out != nullptr) {
+        *divergence_detail_out = ctl.divergence_detail();
+    }
     pr.schedule.choices.reserve(ctl.decisions().size());
     for (const Decision& d : ctl.decisions()) {
         pr.schedule.choices.push_back(d.chosen);
@@ -429,6 +473,24 @@ ExploreResult Explorer::random_walks(std::uint64_t n) {
 
 PathResult Explorer::replay(const Schedule& s) {
     return run_path(&s.choices, /*random=*/false, 0, nullptr, nullptr);
+}
+
+Explorer::ReplayOutcome Explorer::replay_trace(const std::string& trace) {
+    ReplayOutcome out;
+    std::string parse_err;
+    const std::optional<Schedule> s = Schedule::parse(trace, &parse_err);
+    if (!s.has_value()) {
+        out.error = "malformed decision trace: " + parse_err;
+        return out;  // nothing was run
+    }
+    std::string divergence;
+    out.result = run_path(&s->choices, /*random=*/false, 0, nullptr, nullptr,
+                          &divergence);
+    if (!divergence.empty()) {
+        out.error = "decision trace does not fit this model at " + divergence +
+                    "; replayed path diverged to the default choice there";
+    }
+    return out;
 }
 
 }  // namespace slm::explore

@@ -43,8 +43,11 @@ struct Schedule {
     [[nodiscard]] std::size_t divergences() const;
 
     [[nodiscard]] std::string to_string() const;
-    /// Inverse of to_string(). nullopt on malformed input.
-    [[nodiscard]] static std::optional<Schedule> parse(const std::string& s);
+    /// Inverse of to_string(). nullopt on malformed input; when `err` is
+    /// non-null it receives a description of what is wrong with the input
+    /// (missing '|', non-numeric field, index past the declared length, ...).
+    [[nodiscard]] static std::optional<Schedule> parse(const std::string& s,
+                                                       std::string* err = nullptr);
 
     friend bool operator==(const Schedule&, const Schedule&) = default;
 };
@@ -121,6 +124,11 @@ public:
     explicit Run(const sim::KernelConfig& kc) : kernel_(kc) {}
     Run(const Run&) = delete;
     Run& operator=(const Run&) = delete;
+    // make() promises reverse construction order; a vector destroys forward,
+    // which would tear down a core before the channels registered on it.
+    ~Run() {
+        while (!owned_.empty()) owned_.pop_back();
+    }
 
     [[nodiscard]] sim::Kernel& kernel() { return kernel_; }
 
@@ -153,6 +161,12 @@ public:
     /// Register an OS core for the lost-signal and deadline-miss checks
     /// (needed only for models built outside make()).
     void watch(rtos::OsCore& os) { models_.push_back(&os); }
+    /// Cores registered so far (via watch() or make()); wrappers that attach
+    /// shared machinery to every core of a run (fault::make_fault_explorer)
+    /// read this after the user's build function ran.
+    [[nodiscard]] const std::vector<rtos::OsCore*>& watched_cores() const {
+        return models_;
+    }
     /// Register a mutex for the deadlock checker's wait-for graph, so a
     /// deadlock report names the cycle instead of just the blocked tasks.
     void watch(rtos::OsMutex& m) { mutexes_.push_back(&m); }
@@ -182,6 +196,10 @@ struct PathResult {
     SimTime end_time{};
     bool more_timed = false;  ///< run_until() horizon hit with work pending
     bool truncated = false;   ///< hit max_choices_per_run
+    /// True when a supplied plan did not fit the model (a choice index was
+    /// out of range at some point and degraded to the default). The replayed
+    /// path is then NOT the planned one. See Explorer::replay_trace.
+    bool diverged = false;
 };
 
 /// Aggregate outcome of explore()/random_walks().
@@ -229,6 +247,22 @@ public:
     /// identical traces (tests/test_explore.cpp locks this in).
     [[nodiscard]] PathResult replay(const Schedule& s);
 
+    /// Outcome of replay_trace(): either a PathResult or a diagnostic. Never
+    /// both empty — a malformed trace yields `error` only; a trace that
+    /// parsed but did not fit the model yields the (diverged) result *and*
+    /// an error naming the first bad decision point.
+    struct ReplayOutcome {
+        std::optional<PathResult> result;
+        std::string error;  ///< empty = clean replay
+        [[nodiscard]] bool ok() const { return result.has_value() && error.empty(); }
+    };
+
+    /// Replay from a serialized "len|i:c,..." decision trace (CLI/log round
+    /// trip). Malformed or truncated input is reported as a structured error
+    /// instead of asserting; an out-of-range choice is detected during the
+    /// run and reported with its point index.
+    [[nodiscard]] ReplayOutcome replay_trace(const std::string& trace);
+
     [[nodiscard]] const ExploreConfig& config() const { return cfg_; }
 
 private:
@@ -240,7 +274,8 @@ private:
 
     PathResult run_path(const std::vector<std::uint32_t>* plan, bool random,
                         std::uint64_t rng_seed, std::vector<Decision>* decisions_out,
-                        ExploreStats* stats);
+                        ExploreStats* stats,
+                        std::string* divergence_detail_out = nullptr);
     void check_path(Run& run, PathResult& pr,
                     const std::optional<std::string>& abort_reason) const;
     static bool next_plan(const std::vector<Decision>& d, int bound,

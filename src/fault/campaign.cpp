@@ -1,0 +1,56 @@
+#include "fault/campaign.hpp"
+
+#include <utility>
+
+namespace slm::fault {
+
+std::uint64_t CampaignResult::total_injections() const {
+    std::uint64_t n = 0;
+    for (const CampaignRun& r : runs) {
+        n += r.injections;
+    }
+    return n;
+}
+
+std::uint64_t CampaignResult::total_misses() const {
+    std::uint64_t n = 0;
+    for (const CampaignRun& r : runs) {
+        n += r.deadline_misses;
+    }
+    return n;
+}
+
+CampaignResult run_campaign(const FaultPlan& plan, const CampaignConfig& cfg,
+                            const CampaignRunFn& fn) {
+    CampaignResult res;
+    res.runs.reserve(cfg.runs);
+    for (unsigned i = 0; i < cfg.runs; ++i) {
+        const std::uint64_t seed = cfg.first_seed + i;
+        FaultInjector inj(plan, seed);
+        CampaignRun run;
+        fn(inj, run);
+        run.seed = seed;  // driver-owned fields, set last so the runner
+        run.injections = inj.stats().total();  // can't clobber them
+
+        res.runs.push_back(std::move(run));
+    }
+    return res;
+}
+
+explore::Explorer make_fault_explorer(FaultPlan plan, std::uint64_t seed,
+                                      FaultBuildFn build,
+                                      explore::ExploreConfig cfg) {
+    return explore::Explorer(
+        [plan = std::move(plan), seed, build = std::move(build)](explore::Run& run) {
+            FaultInjector& inj = run.make<FaultInjector>(plan, seed);
+            build(run, inj);
+            for (rtos::OsCore* core : run.watched_cores()) {
+                if (core->fault_hook() == nullptr) {
+                    inj.attach(*core);
+                }
+            }
+        },
+        cfg);
+}
+
+}  // namespace slm::fault

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "explore/explore.hpp"
+#include "fault/fault.hpp"
+#include "sim/time.hpp"
+
+namespace slm::fault {
+
+/// Campaign driver: the same fault plan instantiated across a range of seeds,
+/// one full model run per seed. The runner callback owns the model (it builds
+/// a fresh kernel + OS per run, attaches the injector, runs, and reports back
+/// a canonical trace), so campaigns work with any model the repo has —
+/// fig3/fig8, the vocoder, hand-built test models.
+
+/// What one campaign run produced. `trace_csv` is the run's canonical
+/// TraceRecorder::write_csv output — the byte-comparable artifact replay
+/// determinism is checked against (ci/check_faults.sh).
+struct CampaignRun {
+    std::uint64_t seed = 0;
+    std::string trace_csv;
+    std::uint64_t injections = 0;      ///< total faults fired (FaultStats::total)
+    std::uint64_t deadline_misses = 0; ///< filled by the runner (model-specific)
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t watchdog_fires = 0;
+    std::uint64_t jobs_skipped = 0;
+    SimTime end_time{};
+};
+
+/// Aggregate of a seed sweep.
+struct CampaignResult {
+    std::vector<CampaignRun> runs;
+
+    [[nodiscard]] std::uint64_t total_injections() const;
+    [[nodiscard]] std::uint64_t total_misses() const;
+};
+
+struct CampaignConfig {
+    std::uint64_t first_seed = 1;
+    unsigned runs = 1;  ///< seeds first_seed .. first_seed + runs - 1
+};
+
+/// The model runner: build, attach `inj` to the model's core(s), simulate,
+/// and fill `out` (trace_csv, recovery counters, end_time; `seed` and
+/// `injections` are filled by the driver). Must be deterministic — the
+/// injector is the only sanctioned randomness source.
+using CampaignRunFn = std::function<void(FaultInjector& inj, CampaignRun& out)>;
+
+/// Run `cfg.runs` independent experiments of `plan`, one per seed.
+[[nodiscard]] CampaignResult run_campaign(const FaultPlan& plan,
+                                          const CampaignConfig& cfg,
+                                          const CampaignRunFn& fn);
+
+/// Schedule exploration under a fixed fault plan: every explored path gets a
+/// fresh FaultInjector(plan, seed), the user's build function creates the
+/// model (and may attach the injector itself — e.g. before os.start()); any
+/// watched core still without a fault hook afterwards gets this injector.
+/// The result explores schedule nondeterminism *and* the injected faults
+/// jointly, with replay identity intact.
+using FaultBuildFn = std::function<void(explore::Run&, FaultInjector&)>;
+[[nodiscard]] explore::Explorer make_fault_explorer(FaultPlan plan,
+                                                    std::uint64_t seed,
+                                                    FaultBuildFn build,
+                                                    explore::ExploreConfig cfg = {});
+
+}  // namespace slm::fault

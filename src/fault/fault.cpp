@@ -1,0 +1,365 @@
+#include "fault/fault.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <sstream>
+#include <string_view>
+
+#include "sim/assert.hpp"
+#include "sim/kernel.hpp"
+
+namespace slm::fault {
+
+const char* to_string(FaultKind k) {
+    switch (k) {
+        case FaultKind::ExecScale: return "exec_scale";
+        case FaultKind::ExecJitter: return "exec_jitter";
+        case FaultKind::IsrDrop: return "isr_drop";
+        case FaultKind::IsrDelay: return "isr_delay";
+        case FaultKind::IsrSpurious: return "isr_spurious";
+        case FaultKind::Crash: return "crash";
+        case FaultKind::MutexStall: return "mutex_stall";
+    }
+    return "?";
+}
+
+// ---- plan grammar ----
+
+namespace {
+
+bool parse_number(std::string_view sv, std::uint64_t& out) {
+    const char* end = sv.data() + sv.size();
+    const auto [ptr, ec] = std::from_chars(sv.data(), end, out);
+    return ec == std::errc{} && ptr == end && !sv.empty();
+}
+
+bool parse_double(std::string_view sv, double& out) {
+    const char* end = sv.data() + sv.size();
+    const auto [ptr, ec] = std::from_chars(sv.data(), end, out);
+    return ec == std::errc{} && ptr == end && !sv.empty();
+}
+
+/// "200us" / "5ms" / "1s" / "1500ns" / plain "42" (= ns).
+bool parse_time(std::string_view sv, SimTime& out) {
+    std::uint64_t mult = 1;
+    if (sv.ends_with("ns")) {
+        sv.remove_suffix(2);
+    } else if (sv.ends_with("us")) {
+        mult = 1'000;
+        sv.remove_suffix(2);
+    } else if (sv.ends_with("ms")) {
+        mult = 1'000'000;
+        sv.remove_suffix(2);
+    } else if (sv.ends_with("s")) {
+        mult = 1'000'000'000;
+        sv.remove_suffix(1);
+    }
+    std::uint64_t v = 0;
+    if (!parse_number(sv, v)) {
+        return false;
+    }
+    out = SimTime{v * mult};
+    return true;
+}
+
+std::vector<std::string_view> split_ws(std::string_view line) {
+    std::vector<std::string_view> out;
+    std::size_t i = 0;
+    while (i < line.size()) {
+        while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) {
+            ++i;
+        }
+        const std::size_t start = i;
+        while (i < line.size() && line[i] != ' ' && line[i] != '\t') {
+            ++i;
+        }
+        if (i > start) {
+            out.push_back(line.substr(start, i - start));
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& text,
+                                          std::string* err) {
+    FaultPlan plan;
+    std::istringstream is(text);
+    std::string line;
+    int lineno = 0;
+    const auto fail = [&](const std::string& why) -> std::optional<FaultPlan> {
+        if (err != nullptr) {
+            *err = "line " + std::to_string(lineno) + ": " + why;
+        }
+        return std::nullopt;
+    };
+    while (std::getline(is, line)) {
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos) {
+            line.resize(hash);
+        }
+        const std::vector<std::string_view> tok = split_ws(line);
+        if (tok.empty()) {
+            continue;
+        }
+        if (tok[0] == "seed") {
+            if (tok.size() != 2 || !parse_number(tok[1], plan.seed)) {
+                return fail("expected \"seed <number>\"");
+            }
+            continue;
+        }
+        FaultSpec spec;
+        if (tok[0] == "exec_scale") {
+            spec.kind = FaultKind::ExecScale;
+        } else if (tok[0] == "exec_jitter") {
+            spec.kind = FaultKind::ExecJitter;
+        } else if (tok[0] == "isr_drop") {
+            spec.kind = FaultKind::IsrDrop;
+        } else if (tok[0] == "isr_delay") {
+            spec.kind = FaultKind::IsrDelay;
+        } else if (tok[0] == "isr_spurious") {
+            spec.kind = FaultKind::IsrSpurious;
+        } else if (tok[0] == "crash") {
+            spec.kind = FaultKind::Crash;
+        } else if (tok[0] == "mutex_stall") {
+            spec.kind = FaultKind::MutexStall;
+        } else {
+            return fail("unknown directive \"" + std::string(tok[0]) + "\"");
+        }
+        if (tok.size() < 2) {
+            return fail(std::string(tok[0]) + " needs a target name (or *)");
+        }
+        spec.target = std::string(tok[1]);
+        bool saw_factor = false;
+        bool saw_amount = false;
+        for (std::size_t i = 2; i < tok.size(); ++i) {
+            const std::size_t eq = tok[i].find('=');
+            if (eq == std::string_view::npos) {
+                return fail("expected key=value, got \"" + std::string(tok[i]) +
+                            "\"");
+            }
+            const std::string_view key = tok[i].substr(0, eq);
+            const std::string_view val = tok[i].substr(eq + 1);
+            const auto bad = [&](const char* what) {
+                return fail(std::string(what) + " \"" + std::string(val) +
+                            "\" for " + std::string(key));
+            };
+            if (key == "factor") {
+                if (!parse_double(val, spec.factor) || spec.factor < 0.0) {
+                    return bad("bad factor");
+                }
+                saw_factor = true;
+            } else if (key == "p") {
+                if (!parse_double(val, spec.probability) ||
+                    spec.probability < 0.0 || spec.probability > 1.0) {
+                    return bad("bad probability");
+                }
+            } else if (key == "max" || key == "delay" || key == "stall") {
+                if (!parse_time(val, spec.amount)) {
+                    return bad("bad time");
+                }
+                saw_amount = true;
+            } else if (key == "after") {
+                if (!parse_time(val, spec.after)) {
+                    return bad("bad time");
+                }
+            } else if (key == "until") {
+                if (!parse_time(val, spec.until)) {
+                    return bad("bad time");
+                }
+            } else if (key == "extra") {
+                std::uint64_t n = 0;
+                if (!parse_number(val, n) || n == 0) {
+                    return bad("bad count");
+                }
+                spec.extra = static_cast<unsigned>(n);
+            } else if (key == "at") {
+                SimTime t{};
+                if (!parse_time(val, t)) {
+                    return bad("bad time");
+                }
+                spec.at = t;
+            } else {
+                return fail("unknown key \"" + std::string(key) + "\"");
+            }
+        }
+        if (spec.kind == FaultKind::ExecScale && !saw_factor) {
+            return fail("exec_scale needs factor=");
+        }
+        if ((spec.kind == FaultKind::ExecJitter ||
+             spec.kind == FaultKind::IsrDelay ||
+             spec.kind == FaultKind::MutexStall) &&
+            !saw_amount) {
+            return fail(std::string(to_string(spec.kind)) +
+                        " needs a time amount (max=/delay=/stall=)");
+        }
+        plan.specs.push_back(std::move(spec));
+    }
+    return plan;
+}
+
+// ---- the injector ----
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+bool matches(const std::string& pattern, const std::string& name) {
+    return pattern == "*" || pattern == name;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : FaultInjector(std::move(plan), 0) {
+    seed_ = plan_.seed;
+    rng_ = seed_;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)), seed_(seed), rng_(seed) {
+    fired_.assign(plan_.specs.size(), false);
+}
+
+void FaultInjector::attach(rtos::OsCore& core) {
+    SLM_ASSERT(kernel_ == nullptr || kernel_ == &core.kernel(),
+               "one FaultInjector cannot span kernels");
+    kernel_ = &core.kernel();
+    core.set_fault_hook(this);
+}
+
+SimTime FaultInjector::now() const {
+    SLM_ASSERT(kernel_ != nullptr, "FaultInjector used before attach()");
+    return kernel_->now();
+}
+
+std::uint64_t FaultInjector::next_random() { return splitmix64(rng_); }
+
+/// Target+window+probability gate. Consumes the PRNG only for rules whose
+/// target and window matched (so unrelated models do not shift the stream).
+bool FaultInjector::armed(const FaultSpec& s, const std::string& target_name) {
+    if (!matches(s.target, target_name)) {
+        return false;
+    }
+    const SimTime t = now();
+    if (t < s.after || !(t < s.until)) {
+        return false;
+    }
+    if (s.probability >= 1.0) {
+        return true;
+    }
+    const double roll =
+        static_cast<double>(next_random() >> 11) * 0x1.0p-53;  // [0,1)
+    return roll < s.probability;
+}
+
+SimTime FaultInjector::transform_exec(const rtos::Task& t, SimTime dt) {
+    for (const FaultSpec& s : plan_.specs) {
+        if (s.kind == FaultKind::ExecScale && armed(s, t.name())) {
+            dt = SimTime{static_cast<std::uint64_t>(
+                std::llround(static_cast<double>(dt.ns()) * s.factor))};
+            ++stats_.exec_scaled;
+        } else if (s.kind == FaultKind::ExecJitter && armed(s, t.name())) {
+            dt = dt + SimTime{next_random() % (s.amount.ns() + 1)};
+            ++stats_.exec_jittered;
+        }
+    }
+    return dt;
+}
+
+rtos::IsrFate FaultInjector::isr_fate(const std::string& irq_name) {
+    rtos::IsrFate fate;
+    for (const FaultSpec& s : plan_.specs) {
+        switch (s.kind) {
+            case FaultKind::IsrDrop:
+                if (fate.deliver && armed(s, irq_name)) {
+                    fate.deliver = false;
+                    ++stats_.isr_dropped;
+                }
+                break;
+            case FaultKind::IsrDelay:
+                if (fate.delay.is_zero() && armed(s, irq_name)) {
+                    fate.delay = s.amount;
+                    ++stats_.isr_delayed;
+                }
+                break;
+            case FaultKind::IsrSpurious:
+                if (armed(s, irq_name)) {
+                    fate.extra_fires += s.extra;
+                    stats_.isr_spurious += s.extra;
+                }
+                break;
+            default:
+                break;
+        }
+    }
+    return fate;
+}
+
+bool FaultInjector::crash_at_dispatch(const rtos::Task& t) {
+    for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+        const FaultSpec& s = plan_.specs[i];
+        if (s.kind != FaultKind::Crash || fired_[i] ||
+            !matches(s.target, t.name())) {
+            continue;
+        }
+        if (s.at.has_value()) {
+            if (now() < *s.at) {
+                continue;
+            }
+        } else if (!armed(s, t.name())) {
+            continue;
+        }
+        fired_[i] = true;  // one-shot: a restarted task does not re-crash
+        ++stats_.crashes_injected;
+        return true;
+    }
+    return false;
+}
+
+SimTime FaultInjector::stall_after_acquire(const rtos::Task& /*t*/,
+                                           const std::string& resource) {
+    SimTime stall{};
+    for (const FaultSpec& s : plan_.specs) {
+        if (s.kind == FaultKind::MutexStall && armed(s, resource)) {
+            stall = stall + s.amount;
+            ++stats_.stalls_injected;
+        }
+    }
+    return stall;
+}
+
+// ---- obs integration ----
+
+void register_fault_stats(obs::Registry& reg, const FaultInjector& inj,
+                          obs::Labels base) {
+    base.emplace_back("seed", std::to_string(inj.seed()));
+    const FaultInjector* p = &inj;
+    const auto g = [&](const char* name, const char* help, auto getter) {
+        reg.gauge_fn(name, help, [p, getter] { return getter(*p); }, base);
+    };
+    g("slm_fault_exec_scaled_total", "execution delays scaled",
+      [](const FaultInjector& f) { return double(f.stats().exec_scaled); });
+    g("slm_fault_exec_jittered_total", "execution delays jittered",
+      [](const FaultInjector& f) { return double(f.stats().exec_jittered); });
+    g("slm_fault_isr_dropped_total", "interrupt deliveries dropped",
+      [](const FaultInjector& f) { return double(f.stats().isr_dropped); });
+    g("slm_fault_isr_delayed_total", "interrupt deliveries delayed",
+      [](const FaultInjector& f) { return double(f.stats().isr_delayed); });
+    g("slm_fault_isr_spurious_total", "spurious interrupt deliveries",
+      [](const FaultInjector& f) { return double(f.stats().isr_spurious); });
+    g("slm_fault_crashes_total", "task crashes injected",
+      [](const FaultInjector& f) { return double(f.stats().crashes_injected); });
+    g("slm_fault_stalls_total", "mutex-holder stalls injected",
+      [](const FaultInjector& f) { return double(f.stats().stalls_injected); });
+}
+
+}  // namespace slm::fault

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "rtos/core.hpp"
+#include "sim/time.hpp"
+
+namespace slm::fault {
+
+/// Deterministic fault injection for the RTOS model.
+///
+/// A FaultPlan describes *what* can go wrong (which tasks run slow, which
+/// interrupts drop, who crashes); a FaultInjector is one seeded instantiation
+/// of that plan, attached to an OsCore via the rtos::FaultHook interface.
+/// Everything is driven by simulated time and a splitmix64 PRNG — no wall
+/// clock, no global state — so a campaign replayed with the same plan, seed,
+/// and model build produces byte-for-byte identical traces
+/// (ci/check_faults.sh pins this). See docs/fault-injection.md.
+
+/// What kind of fault a FaultSpec injects.
+enum class FaultKind {
+    ExecScale,   ///< multiply a task's time_wait() delays by `factor`
+    ExecJitter,  ///< add uniform random [0, amount] to a task's delays
+    IsrDrop,     ///< drop an interrupt delivery entirely
+    IsrDelay,    ///< postpone an interrupt delivery by `amount`
+    IsrSpurious, ///< deliver `extra` spurious repeats after the real one
+    Crash,       ///< crash a task at its next dispatch (one-shot)
+    MutexStall,  ///< holder burns `amount` extra CPU right after acquiring
+};
+
+[[nodiscard]] const char* to_string(FaultKind k);
+
+/// One fault rule. `target` names the task (ExecScale/ExecJitter/Crash),
+/// interrupt line (Isr*), or resource (MutexStall) it applies to; "*" matches
+/// everything. Rules fire only inside the [after, until) simulated-time
+/// window, and — when `probability` < 1 — with that per-opportunity chance.
+struct FaultSpec {
+    FaultKind kind = FaultKind::ExecScale;
+    std::string target = "*";
+    double factor = 1.0;           ///< ExecScale multiplier (>1 = overrun)
+    SimTime amount{};              ///< ExecJitter max / IsrDelay / MutexStall time
+    double probability = 1.0;      ///< per-opportunity injection chance
+    SimTime after{};               ///< window start (inclusive)
+    SimTime until = SimTime::max();///< window end (exclusive)
+    unsigned extra = 1;            ///< IsrSpurious repeat count
+    std::optional<SimTime> at;     ///< Crash: fire at the first dispatch >= at
+};
+
+/// A named set of fault rules plus the default seed. Build programmatically
+/// or parse from the small text grammar (docs/fault-injection.md):
+///
+///     # transcoder overruns 30% past its WCET after 10ms
+///     seed 42
+///     exec_scale transcoder factor=1.3 after=10ms
+///     isr_drop ext p=0.1
+///     crash logger at=5ms
+///     mutex_stall buf stall=200us p=0.5
+struct FaultPlan {
+    std::uint64_t seed = 1;
+    std::vector<FaultSpec> specs;
+
+    /// Parse the text grammar. On failure returns nullopt and, when `err` is
+    /// non-null, a "line N: what went wrong" diagnostic.
+    [[nodiscard]] static std::optional<FaultPlan> parse(const std::string& text,
+                                                        std::string* err = nullptr);
+};
+
+/// Injection counters, by mechanism (how often each fault actually fired —
+/// not how often a rule was consulted).
+struct FaultStats {
+    std::uint64_t exec_scaled = 0;
+    std::uint64_t exec_jittered = 0;
+    std::uint64_t isr_dropped = 0;
+    std::uint64_t isr_delayed = 0;
+    std::uint64_t isr_spurious = 0;
+    std::uint64_t crashes_injected = 0;
+    std::uint64_t stalls_injected = 0;
+
+    [[nodiscard]] std::uint64_t total() const {
+        return exec_scaled + exec_jittered + isr_dropped + isr_delayed +
+               isr_spurious + crashes_injected + stalls_injected;
+    }
+};
+
+/// Seeded, plan-driven rtos::FaultHook. One injector is one experiment: the
+/// PRNG stream is consumed only when a rule's target and window match, so two
+/// runs of the same model under the same (plan, seed) take identical
+/// decisions at identical instants.
+class FaultInjector final : public rtos::FaultHook {
+public:
+    /// Uses plan.seed.
+    explicit FaultInjector(FaultPlan plan);
+    /// Overrides the plan's seed (campaign sweeps construct these).
+    FaultInjector(FaultPlan plan, std::uint64_t seed);
+
+    /// Install as `core`'s fault hook (and learn its kernel clock). An
+    /// injector may serve several cores of the same kernel.
+    void attach(rtos::OsCore& core);
+
+    [[nodiscard]] const FaultStats& stats() const { return stats_; }
+    [[nodiscard]] std::uint64_t seed() const { return seed_; }
+    [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+    // ---- rtos::FaultHook ----
+    SimTime transform_exec(const rtos::Task& t, SimTime dt) override;
+    rtos::IsrFate isr_fate(const std::string& irq_name) override;
+    bool crash_at_dispatch(const rtos::Task& t) override;
+    SimTime stall_after_acquire(const rtos::Task& t,
+                                const std::string& resource) override;
+
+private:
+    [[nodiscard]] SimTime now() const;
+    [[nodiscard]] bool armed(const FaultSpec& s, const std::string& target_name);
+    [[nodiscard]] std::uint64_t next_random();
+
+    FaultPlan plan_;
+    std::uint64_t seed_;
+    std::uint64_t rng_;
+    std::vector<bool> fired_;  ///< per-spec one-shot latch (Crash)
+    sim::Kernel* kernel_ = nullptr;
+    FaultStats stats_;
+};
+
+/// Register the injector's counters as callback gauges (slm_fault_*_total,
+/// labeled {seed="<seed>"} plus `base`). The injector must outlive the
+/// registry export, like every other register_*_stats target.
+void register_fault_stats(obs::Registry& reg, const FaultInjector& inj,
+                          obs::Labels base = {});
+
+}  // namespace slm::fault

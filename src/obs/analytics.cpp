@@ -7,6 +7,9 @@ namespace slm::obs {
 namespace {
 const char* kLatencyHelp = "scheduling latency: ready -> dispatch (ns)";
 const char* kResponseHelp = "response time: release -> completion (ns)";
+const char* kRecoveryHelp =
+    "deadline-miss recovery latency: first missed completion -> next on-time "
+    "completion (ns)";
 }  // namespace
 
 RtosAnalytics::RtosAnalytics(rtos::OsCore& os, Registry& registry)
@@ -20,6 +23,12 @@ RtosAnalytics::RtosAnalytics(rtos::OsCore& os, Registry& registry)
     inversions_ = &reg_.counter("slm_os_inversions_total",
                                 "unbounded priority-inversion windows detected",
                                 cpu_labels_);
+    crashes_ = &reg_.counter("slm_os_crashes_total", "injected task crashes",
+                             cpu_labels_);
+    restarts_ = &reg_.counter("slm_os_restarts_total",
+                              "task_restart() recoveries", cpu_labels_);
+    watchdogs_ = &reg_.counter("slm_os_watchdog_total", "watchdog expirations",
+                               cpu_labels_);
     os_->add_observer(this);
 }
 
@@ -48,6 +57,8 @@ RtosAnalytics::Watch& RtosAnalytics::watch(const rtos::Task& t) {
                                 Histogram::default_time_bounds_ns(), labels);
     w.response = &reg_.histogram("slm_task_response_ns", kResponseHelp,
                                  Histogram::default_time_bounds_ns(), labels);
+    w.miss_recovery = &reg_.histogram("slm_task_miss_recovery_ns", kRecoveryHelp,
+                                      Histogram::default_time_bounds_ns(), labels);
     w.blocking_ns = &reg_.counter("slm_task_blocking_ns_total",
                                   "time blocked on contended resources (ns)", labels);
     w.preempted = &reg_.counter("slm_task_preempted_total",
@@ -87,12 +98,21 @@ void RtosAnalytics::on_preempt(const rtos::Task& preempted, const rtos::Task& /*
 }
 
 void RtosAnalytics::on_completion(const rtos::Task& t, SimTime response, bool missed,
-                                  SimTime /*now*/) {
+                                  SimTime now) {
     Watch& w = watch(t);
     w.response->observe(static_cast<double>(response.ns()));
     w.jobs->inc();
     if (missed) {
         w.missed->inc();
+        if (!w.miss_open) {
+            w.miss_open = true;  // streak opens at the first missed job
+            w.miss_since = now;
+        }
+    } else if (w.miss_open) {
+        // First on-time job after a miss streak: the recovery latency is how
+        // long the task was out of spec.
+        w.miss_recovery->observe(static_cast<double>((now - w.miss_since).ns()));
+        w.miss_open = false;
     }
 }
 
@@ -122,6 +142,31 @@ void RtosAnalytics::on_resource_acquire(const rtos::Task& t,
 void RtosAnalytics::on_resource_release(const rtos::Task& /*t*/,
                                         const std::string& /*resource*/,
                                         SimTime /*now*/) {}
+
+void RtosAnalytics::on_task_crash(const rtos::Task& t, SimTime /*now*/) {
+    crashes_->inc();
+    // The crashed incarnation's waits die with it.
+    blocked_.erase(&t);
+    windows_.erase(&t);
+    if (last_running_ == &t) {
+        last_running_ = nullptr;
+    }
+}
+
+void RtosAnalytics::on_task_restart(const rtos::Task& t, SimTime /*now*/) {
+    restarts_->inc();
+    blocked_.erase(&t);
+    windows_.erase(&t);
+    Watch& w = watch(t);
+    w.ready_valid = false;  // a fresh incarnation starts with clean transients
+    if (last_running_ == &t) {
+        last_running_ = nullptr;
+    }
+}
+
+void RtosAnalytics::on_watchdog(const rtos::Task& /*t*/, SimTime /*now*/) {
+    watchdogs_->inc();
+}
 
 std::vector<const rtos::Task*> RtosAnalytics::chain_of(const rtos::Task& t) const {
     std::vector<const rtos::Task*> chain;

@@ -44,6 +44,10 @@ struct InversionFinding {
 ///   - slm_os_dispatches_total     counter, all dispatches
 ///   - slm_os_isr_total            counter, ISR entries
 ///   - slm_os_inversions_total     counter, inversion windows detected
+///   - slm_os_crashes_total        counter, injected task crashes
+///   - slm_os_restarts_total       counter, task_restart() recoveries
+///   - slm_os_watchdog_total       counter, watchdog expirations
+///   - slm_task_miss_recovery_ns   histogram, first miss -> next on-time job
 ///
 /// Per-task series carry {task="<name>"}; all series carry {cpu="<cpu_name>"}.
 /// Everything is derived from personality-neutral OsCore events, so the same
@@ -83,6 +87,9 @@ public:
                              SimTime waited, SimTime now) override;
     void on_resource_release(const rtos::Task& t, const std::string& resource,
                              SimTime now) override;
+    void on_task_crash(const rtos::Task& t, SimTime now) override;
+    void on_task_restart(const rtos::Task& t, SimTime now) override;
+    void on_watchdog(const rtos::Task& t, SimTime now) override;
     void on_core_teardown() override;
 
     // ---- results ----
@@ -102,12 +109,15 @@ private:
     struct Watch {
         Histogram* latency = nullptr;
         Histogram* response = nullptr;
+        Histogram* miss_recovery = nullptr;
         Counter* blocking_ns = nullptr;
         Counter* preempted = nullptr;
         Counter* jobs = nullptr;
         Counter* missed = nullptr;
         SimTime ready_since{};
         bool ready_valid = false;
+        SimTime miss_since{};   ///< first miss of the current miss streak
+        bool miss_open = false; ///< inside a streak (missing until on-time job)
     };
     /// One wait-for edge: the task this struct is keyed by waits for
     /// `resource`, currently held by `holder`.
@@ -140,6 +150,9 @@ private:
     Counter* dispatches_ = nullptr;
     Counter* isrs_ = nullptr;
     Counter* inversions_ = nullptr;
+    Counter* crashes_ = nullptr;
+    Counter* restarts_ = nullptr;
+    Counter* watchdogs_ = nullptr;
     const rtos::Task* last_running_ = nullptr;
     std::unordered_map<const rtos::Task*, Watch> watches_;
     std::unordered_map<const rtos::Task*, BlockEdge> blocked_;

@@ -13,6 +13,12 @@ constexpr std::uint32_t kMagic = 0x534C5442;  // "SLTB"
 constexpr std::uint32_t kVersion = 1;
 constexpr std::uint32_t kMaxKind = static_cast<std::uint32_t>(trace::RecordKind::Marker);
 
+// Sanity caps for load(): a corrupted length field must not turn into a
+// multi-gigabyte allocation before the stream read fails. Real traces stay
+// far below both (strings are task/cpu/irq names and short markers).
+constexpr std::uint32_t kMaxStringLen = 1u << 20;   // 1 MiB per interned string
+constexpr std::uint32_t kMaxStrings = 1u << 24;     // 16M distinct strings
+
 
 void put_u32(std::ostream& os, std::uint32_t v) {
     char b[4];
@@ -217,14 +223,15 @@ bool BinaryTraceSink::load(std::istream& is) {
     std::uint32_t version = 0;
     std::uint32_t nstrings = 0;
     if (!get_u32(is, magic) || magic != kMagic || !get_u32(is, version) ||
-        version != kVersion || !get_u32(is, nstrings) || nstrings == 0) {
+        version != kVersion || !get_u32(is, nstrings) || nstrings == 0 ||
+        nstrings > kMaxStrings) {
         clear();
         return false;
     }
     // Slot 0 was re-created by clear(); the stream's slot 0 must be "".
     for (std::uint32_t i = 0; i < nstrings; ++i) {
         std::uint32_t len = 0;
-        if (!get_u32(is, len)) {
+        if (!get_u32(is, len) || len > kMaxStringLen) {
             clear();
             return false;
         }

@@ -376,6 +376,9 @@ void register_kernel_stats(Registry& reg, const sim::Kernel& kernel, Labels base
       [](const sim::Kernel& kn) { return double(kn.stats().stacks_recycled); });
     g("slm_kernel_now_ns", "current simulated time (ns)",
       [](const sim::Kernel& kn) { return double(kn.now().ns()); });
+    g("slm_kernel_guard_pages_disabled",
+      "1 if the stack pool fell back to unguarded stacks",
+      [](const sim::Kernel& kn) { return double(kn.stats().guard_pages_disabled); });
 }
 
 void register_task_stats(Registry& reg, const rtos::Task& task, Labels base) {
@@ -399,6 +402,10 @@ void register_task_stats(Registry& reg, const rtos::Task& task, Labels base) {
       [](const rtos::Task& tk) { return double(tk.stats().max_response.ns()); });
     g("slm_task_total_response_ns", "sum of response times (ns)",
       [](const rtos::Task& tk) { return double(tk.stats().total_response.ns()); });
+    g("slm_task_restarts", "task_restart() recoveries of this task",
+      [](const rtos::Task& tk) { return double(tk.stats().restarts); });
+    g("slm_task_jobs_skipped", "releases dropped by MissPolicy::SkipJob",
+      [](const rtos::Task& tk) { return double(tk.stats().jobs_skipped); });
 }
 
 void register_os_stats(Registry& reg, const rtos::OsCore& os, Labels base) {
@@ -424,6 +431,14 @@ void register_os_stats(Registry& reg, const rtos::OsCore& os, Labels base) {
       [](const rtos::OsCore& c) { return double(c.stats().lost_notifies); });
     g("slm_os_busy_time_ns", "sum of all tasks' modeled execution time (ns)",
       [](const rtos::OsCore& c) { return double(c.busy_time().ns()); });
+    g("slm_os_crashes", "injected task crashes",
+      [](const rtos::OsCore& c) { return double(c.stats().crashes); });
+    g("slm_os_restarts", "task_restart() recoveries",
+      [](const rtos::OsCore& c) { return double(c.stats().restarts); });
+    g("slm_os_watchdog_fires", "watchdog expirations",
+      [](const rtos::OsCore& c) { return double(c.stats().watchdog_fires); });
+    g("slm_os_jobs_skipped", "releases dropped by MissPolicy::SkipJob",
+      [](const rtos::OsCore& c) { return double(c.stats().jobs_skipped); });
     for (const rtos::Task* t : os.tasks()) {
         register_task_stats(reg, *t, labels);
     }

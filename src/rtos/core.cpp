@@ -1,6 +1,8 @@
 #include "rtos/core.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <limits>
 
 #include "sim/assert.hpp"
 
@@ -24,6 +26,27 @@ const char* to_string(TaskState s) {
 const char* to_string(TaskType t) {
     return t == TaskType::Periodic ? "Periodic" : "Aperiodic";
 }
+
+const char* to_string(MissPolicy p) {
+    switch (p) {
+        case MissPolicy::Ignore: return "Ignore";
+        case MissPolicy::Notify: return "Notify";
+        case MissPolicy::SkipJob: return "SkipJob";
+        case MissPolicy::Restart: return "Restart";
+        case MissPolicy::Kill: return "Kill";
+    }
+    return "?";
+}
+
+namespace {
+/// Scoped in_teardown_ flag (see the member's comment in core.hpp).
+struct TeardownScope {
+    explicit TeardownScope(bool& flag) : flag_(flag), prev_(flag) { flag_ = true; }
+    ~TeardownScope() { flag_ = prev_; }
+    bool& flag_;
+    bool prev_;
+};
+}  // namespace
 
 Task::Task(OsCore& os, TaskParams params) : os_(os), params_(std::move(params)) {
     dispatch_evt_ = std::make_unique<sim::Event>(os.kernel(), params_.name + ".dispatch");
@@ -257,6 +280,13 @@ void OsCore::wait_dispatch(Task* t) {
     while (running_ != t) {
         kernel_.wait(*t->dispatch_evt_);
     }
+    on_dispatched(t);
+}
+
+void OsCore::on_dispatched(Task* t) {
+    if (fault_hook_ != nullptr && fault_hook_->crash_at_dispatch(*t)) {
+        crash_running(t);  // unwinds this process; does not return
+    }
     apply_switch_cost(t);
 }
 
@@ -267,7 +297,7 @@ Task* OsCore::require_running_self(const char* what) {
     return t;
 }
 
-void OsCore::record_completion(Task* t) {
+bool OsCore::record_completion(Task* t) {
     const SimTime resp = kernel_.now() - t->release_time_;
     ++t->stats_.completions;
     t->stats_.total_response += resp;
@@ -280,6 +310,7 @@ void OsCore::record_completion(Task* t) {
     for (OsObserver* obs : observers_) {
         obs->on_completion(*t, resp, missed, kernel_.now());
     }
+    return missed;
 }
 
 void OsCore::reschedule_after_boost() {
@@ -321,6 +352,15 @@ void OsCore::note_resource_acquire(const Task* t, const std::string& resource,
     for (OsObserver* obs : observers_) {
         obs->on_resource_acquire(*t, resource, waited, kernel_.now());
     }
+    // Fault injection: a stalled holder burns execution time right after the
+    // acquire, inside its critical section. Only meaningful when the acquiring
+    // task is the one executing this call (the OsMutex lock path).
+    if (fault_hook_ != nullptr && t == running_ && t == self()) {
+        const SimTime stall = fault_hook_->stall_after_acquire(*t, resource);
+        if (!stall.is_zero()) {
+            exec_charge(running_, stall);
+        }
+    }
 }
 
 void OsCore::note_resource_release(const Task* t, const std::string& resource) {
@@ -343,6 +383,7 @@ void OsCore::task_activate(Task* t) {
             SLM_ASSERT(self() == nullptr,
                        "this process is already bound to another task");
             t->proc_ = proc;
+            t->pending_proc_ = nullptr;  // task_start's wrapper is now bound
             by_process_[proc] = t;
             t->release_time_ = kernel_.now();
             ++t->stats_.activations;
@@ -397,9 +438,11 @@ void OsCore::task_terminate() {
         // terminating between cycles is not an extra completion.
         record_completion(t);
     }
+    watchdog_cancel_internal(t);
     set_task_state(t, TaskState::Terminated);
     by_process_.erase(t->proc_);
     t->proc_ = nullptr;
+    t->pending_proc_ = nullptr;
     running_ = nullptr;
     schedule();
 }
@@ -418,10 +461,46 @@ void OsCore::task_endcycle() {
     Task* t = require_running_self("task_endcycle() requires the running task");
     SLM_ASSERT(t->params_.type == TaskType::Periodic,
                "task_endcycle() is only meaningful for periodic tasks");
-    record_completion(t);
+    const bool missed = record_completion(t);
+
+    // Deadline-miss recovery (MissPolicy). Ignore is the legacy path: the
+    // miss was counted by record_completion and nothing else happens.
+    bool skip_next = false;
+    if (missed) {
+        const MissPolicy policy = effective_miss_policy(*t);
+        if (policy != MissPolicy::Ignore) {
+            const SimTime overrun = kernel_.now() - t->abs_deadline_;
+            for (OsObserver* obs : observers_) {
+                obs->on_deadline_miss(*t, overrun, kernel_.now());
+            }
+        }
+        switch (policy) {
+            case MissPolicy::Ignore:
+            case MissPolicy::Notify:
+                break;
+            case MissPolicy::SkipJob:
+                ++stats_.jobs_skipped;
+                ++t->stats_.jobs_skipped;
+                skip_next = true;
+                break;
+            case MissPolicy::Restart:
+                task_restart(t);  // self-restart unwinds; does not return
+                SLM_ASSERT(false, "task_restart(self) returned");
+                break;
+            case MissPolicy::Kill:
+                task_kill(t);  // self-kill unwinds; does not return
+                SLM_ASSERT(false, "task_kill(self) returned");
+                break;
+        }
+    }
 
     // Catch up if the cycle overran one or more whole periods.
     while (t->next_release_ <= kernel_.now()) {
+        t->next_release_ += t->params_.period;
+    }
+    if (skip_next) {
+        // SkipJob: drop one upcoming release beyond the catch-up, giving the
+        // overrunning task a full idle period of slack.
         t->next_release_ += t->params_.period;
     }
 
@@ -474,12 +553,23 @@ void OsCore::task_kill(Task* t) {
         case TaskState::Terminated:
             return;
     }
+    {
+        // Force-release resources the dying task holds (mutex cleanup hooks)
+        // now that it has left every scheduler queue.
+        TeardownScope teardown{in_teardown_};
+        run_task_cleanup(t);
+    }
+    watchdog_cancel_internal(t);
     set_task_state(t, TaskState::Terminated);
     sim::Process* proc = t->proc_;
-    if (proc != nullptr) {
-        by_process_.erase(proc);
+    if (proc == nullptr) {
+        proc = t->pending_proc_;  // started but never bound (pre-activate kill)
+    }
+    if (t->proc_ != nullptr) {
+        by_process_.erase(t->proc_);
         t->proc_ = nullptr;
     }
+    t->pending_proc_ = nullptr;
     if (!killing_self) {
         schedule();
     }
@@ -599,7 +689,7 @@ void OsCore::event_notify(OsEvent* e) {
     }
     e->waiters_.clear();
     schedule();
-    if (running_ != nullptr && self() == running_) {
+    if (!in_teardown_ && running_ != nullptr && self() == running_) {
         // A task made others ready inside a system call: the scheduler runs
         // now, possibly switching away immediately.
         maybe_yield();
@@ -611,9 +701,16 @@ void OsCore::event_notify(OsEvent* e) {
 void OsCore::time_wait(SimTime dt) {
     ++stats_.syscalls;
     Task* t = require_running_self("time_wait() requires the running task");
+    if (fault_hook_ != nullptr) {
+        dt = fault_hook_->transform_exec(*t, dt);
+    }
     // A reschedule pending from an earlier call takes effect before any of
     // this delay elapses.
     maybe_yield();
+    exec_charge(t, dt);
+}
+
+void OsCore::exec_charge(Task* t, SimTime dt) {
     SimTime remaining = dt;
     const SimTime quantum = policy_->quantum();
     do {
@@ -677,6 +774,257 @@ void OsCore::isr_enter(const std::string& irq_name) {
 void OsCore::interrupt_return() {
     ++stats_.syscalls;
     schedule();
+}
+
+void OsCore::isr_deliver(const std::string& irq_name, std::function<void()> handler) {
+    SLM_ASSERT(handler != nullptr, "isr_deliver() requires a handler");
+    IsrFate fate;
+    if (fault_hook_ != nullptr) {
+        fate = fault_hook_->isr_fate(irq_name);
+    }
+    if (!fate.deliver) {
+        return;  // dropped on the floor
+    }
+    if (!fate.delay.is_zero()) {
+        // Deferred delivery rides a kernel one-shot timer; the handler then
+        // runs in scheduler context, where event_notify's caller-side yield
+        // guard is naturally inert (self() is null there).
+        kernel_.post_at(kernel_.now() + fate.delay,
+                        [this, irq_name, handler = std::move(handler),
+                         extra = fate.extra_fires] {
+                            deliver_isr_now(irq_name, handler, extra);
+                        });
+        return;
+    }
+    deliver_isr_now(irq_name, handler, fate.extra_fires);
+}
+
+void OsCore::deliver_isr_now(const std::string& irq_name,
+                             const std::function<void()>& handler, unsigned extra) {
+    for (unsigned i = 0; i <= extra; ++i) {
+        isr_enter(irq_name);
+        handler();
+        interrupt_return();
+    }
+}
+
+// ---- restartable bodies / recovery ----
+
+void OsCore::task_set_body(Task* t, std::function<void()> body) {
+    SLM_ASSERT(t != nullptr, "task_set_body(nullptr)");
+    SLM_ASSERT(body != nullptr, "task_set_body() requires a body");
+    t->body_ = std::move(body);
+}
+
+sim::Process* OsCore::task_start(Task* t, std::string process_name) {
+    SLM_ASSERT(t != nullptr, "task_start(nullptr)");
+    SLM_ASSERT(t->body_ != nullptr,
+               "task_start() requires a body registered via task_set_body()");
+    SLM_ASSERT(t->state_ == TaskState::New, "task_start() on a started task");
+    SLM_ASSERT(t->pending_proc_ == nullptr, "task_start() called twice");
+    if (!process_name.empty()) {
+        t->proc_name_ = std::move(process_name);
+    }
+    spawn_task_process(t);
+    return t->pending_proc_;
+}
+
+void OsCore::spawn_task_process(Task* t) {
+    // The wrapper is byte-for-byte the hand-written spawn idiom the models
+    // and personalities used before restartable bodies existed.
+    t->pending_proc_ = kernel_.spawn(
+        t->proc_name_.empty() ? t->params_.name : t->proc_name_, [this, t] {
+            task_activate(t);
+            t->body_();
+            if (self() == t) {
+                task_terminate();
+            }
+        });
+}
+
+void OsCore::task_restart(Task* t) {
+    ++stats_.syscalls;
+    SLM_ASSERT(t != nullptr, "task_restart(nullptr)");
+    SLM_ASSERT(t->body_ != nullptr,
+               "task_restart() requires a body registered via task_set_body()");
+    sim::Process* old = t->proc_ != nullptr ? t->proc_ : t->pending_proc_;
+
+    // Detach the dying incarnation from wherever it sits (mirrors task_kill;
+    // kernel-level wakeups die with the old process when it is killed below).
+    switch (t->state_) {
+        case TaskState::Running:
+            SLM_ASSERT(t == running_, "Running task is not the dispatched task");
+            running_ = nullptr;
+            break;
+        case TaskState::Ready:
+            remove_ready(t);
+            break;
+        case TaskState::WaitingEvent:
+            if (t->waiting_evt_ != nullptr) {
+                std::erase(t->waiting_evt_->waiters_, t);
+                t->waiting_evt_ = nullptr;
+            }
+            break;
+        case TaskState::New:
+        case TaskState::WaitingPeriod:
+        case TaskState::Sleeping:
+        case TaskState::Suspended:
+        case TaskState::ParWait:
+        case TaskState::Terminated:  // revive (ITRON sta_tsk after ter_tsk)
+            break;
+    }
+    {
+        TeardownScope teardown{in_teardown_};
+        run_task_cleanup(t);
+    }
+    ++stats_.restarts;
+    for (OsObserver* obs : observers_) {
+        obs->on_task_restart(*t, kernel_.now());
+    }
+    if (t->proc_ != nullptr) {
+        by_process_.erase(t->proc_);
+        t->proc_ = nullptr;
+    }
+    t->pending_proc_ = nullptr;
+
+    // Reset the incarnation's accounting; the restart counter itself survives.
+    const std::uint64_t restarts = t->stats_.restarts + 1;
+    t->stats_ = TaskStats{};
+    t->stats_.restarts = restarts;
+    t->inherited_priority_ = std::numeric_limits<int>::max();
+    t->switch_cost_due_ = false;
+    t->release_time_ = SimTime{};
+    t->next_release_ = SimTime{};
+    t->abs_deadline_ = SimTime::max();
+    if (last_dispatched_ == t) {
+        last_dispatched_ = nullptr;  // the fresh incarnation is a real switch
+    }
+    set_task_state(t, TaskState::New);
+    spawn_task_process(t);
+    if (!t->wd_timeout_.is_zero()) {
+        watchdog_schedule(t);  // a configured watchdog restarts its countdown
+    }
+    schedule();
+    if (old != nullptr) {
+        kernel_.kill(*old);  // self-restart: throws ProcessKilled, no return
+    }
+}
+
+void OsCore::crash_running(Task* t) {
+    SLM_ASSERT(t == running_ && t == self(),
+               "crash_running() targets the freshly dispatched task");
+    ++stats_.crashes;
+    for (OsObserver* obs : observers_) {
+        obs->on_task_crash(*t, kernel_.now());
+    }
+    running_ = nullptr;
+    {
+        TeardownScope teardown{in_teardown_};
+        run_task_cleanup(t);
+    }
+    // Deliberately NOT cancelling the watchdog: an armed watchdog firing
+    // after the crash is the recovery path (Restart revives the task).
+    set_task_state(t, TaskState::Terminated);
+    sim::Process* proc = t->proc_;
+    by_process_.erase(proc);
+    t->proc_ = nullptr;
+    t->pending_proc_ = nullptr;
+    schedule();
+    kernel_.kill(*proc);  // throws ProcessKilled out of the dispatch path
+    std::abort();         // unreachable: kill(self) never returns
+}
+
+void OsCore::run_task_cleanup(Task* t) {
+    for (std::size_t i = 0; i < cleanup_hooks_.size(); ++i) {
+        cleanup_hooks_[i].second(t);
+    }
+}
+
+std::uint64_t OsCore::add_task_cleanup(std::function<void(Task*)> fn) {
+    SLM_ASSERT(fn != nullptr, "add_task_cleanup() requires a hook");
+    const std::uint64_t id = next_cleanup_id_++;
+    cleanup_hooks_.emplace_back(id, std::move(fn));
+    return id;
+}
+
+void OsCore::remove_task_cleanup(std::uint64_t id) {
+    std::erase_if(cleanup_hooks_, [id](const auto& h) { return h.first == id; });
+}
+
+// ---- watchdogs ----
+
+void OsCore::watchdog_arm(Task* t, SimTime timeout, MissPolicy action) {
+    ++stats_.syscalls;
+    SLM_ASSERT(t != nullptr, "watchdog_arm(nullptr)");
+    SLM_ASSERT(!timeout.is_zero(), "watchdog_arm() needs a non-zero timeout");
+    t->wd_timeout_ = timeout;
+    t->wd_action_ = action;
+    watchdog_schedule(t);
+}
+
+void OsCore::watchdog_kick(Task* t) {
+    ++stats_.syscalls;
+    SLM_ASSERT(t != nullptr, "watchdog_kick(nullptr)");
+    SLM_ASSERT(!t->wd_timeout_.is_zero(), "watchdog_kick() before watchdog_arm()");
+    watchdog_schedule(t);
+}
+
+void OsCore::watchdog_disarm(Task* t) {
+    ++stats_.syscalls;
+    SLM_ASSERT(t != nullptr, "watchdog_disarm(nullptr)");
+    watchdog_cancel_internal(t);
+    t->wd_timeout_ = SimTime{};
+}
+
+bool OsCore::watchdog_armed(const Task* t) const {
+    SLM_ASSERT(t != nullptr, "watchdog_armed(nullptr)");
+    return t->wd_pending_;
+}
+
+void OsCore::watchdog_schedule(Task* t) {
+    ++t->wd_gen_;
+    if (t->wd_pending_) {
+        kernel_.cancel_timer(t->wd_timer_);
+    }
+    const std::uint64_t gen = t->wd_gen_;
+    t->wd_pending_ = true;
+    t->wd_timer_ = kernel_.post_at(kernel_.now() + t->wd_timeout_,
+                                   [this, t, gen] { watchdog_fire(t, gen); });
+}
+
+void OsCore::watchdog_cancel_internal(Task* t) {
+    ++t->wd_gen_;
+    if (t->wd_pending_) {
+        kernel_.cancel_timer(t->wd_timer_);
+        t->wd_pending_ = false;
+    }
+}
+
+void OsCore::watchdog_fire(Task* t, std::uint64_t gen) {
+    if (gen != t->wd_gen_ || !t->wd_pending_) {
+        return;  // superseded by a kick/disarm racing the timer
+    }
+    t->wd_pending_ = false;
+    ++stats_.watchdog_fires;
+    for (OsObserver* obs : observers_) {
+        obs->on_watchdog(*t, kernel_.now());
+    }
+    switch (t->wd_action_) {
+        case MissPolicy::Ignore:
+        case MissPolicy::Notify:
+        case MissPolicy::SkipJob:
+            // Counted + observed only. SkipJob has no job to skip here — the
+            // next endcycle applies the task's own policy.
+            break;
+        case MissPolicy::Restart:
+            task_restart(t);  // timer context: never a self-restart
+            break;
+        case MissPolicy::Kill:
+            if (t->state_ != TaskState::Terminated) {
+                task_kill(t);  // timer context: never a self-kill
+            }
+            break;
+    }
 }
 
 }  // namespace slm::rtos

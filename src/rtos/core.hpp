@@ -4,6 +4,7 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,8 +39,21 @@ enum class TaskState {
     Terminated,     ///< finished (task_terminate) or killed (task_kill)
 };
 
+/// What the core does when a periodic task completes a cycle past its
+/// absolute deadline (task_endcycle), and what a fired watchdog does to its
+/// task. `Ignore` preserves the classic accounting-only behavior; every other
+/// policy additionally raises the on_deadline_miss observer callback.
+enum class MissPolicy {
+    Ignore,   ///< count the miss, change nothing (legacy behavior)
+    Notify,   ///< count + raise on_deadline_miss; scheduling unchanged
+    SkipJob,  ///< drop the next release to let the task catch up
+    Restart,  ///< task_restart(): re-enter the task body, stats reset
+    Kill,     ///< task_kill(): terminate the offender
+};
+
 [[nodiscard]] const char* to_string(TaskState s);
 [[nodiscard]] const char* to_string(TaskType t);
+[[nodiscard]] const char* to_string(MissPolicy p);
 
 /// Static task attributes passed to task_create.
 struct TaskParams {
@@ -53,6 +67,9 @@ struct TaskParams {
     /// Relative deadline; zero means "= period" for periodic tasks and
     /// "none" (background) for aperiodic tasks under EDF.
     SimTime deadline{};
+    /// Deadline-miss recovery policy for this task; unset falls back to
+    /// RtosConfig::default_miss_policy. Applied at task_endcycle().
+    std::optional<MissPolicy> miss_policy;
 };
 
 /// Per-task measured statistics.
@@ -64,6 +81,8 @@ struct TaskStats {
     SimTime max_response{};             ///< max release-to-completion latency
     SimTime total_response{};           ///< sum of response times (for averages)
     std::uint64_t completions = 0;      ///< completed cycles/activations
+    std::uint64_t restarts = 0;         ///< task_restart() invocations (survives the reset)
+    std::uint64_t jobs_skipped = 0;     ///< releases dropped by MissPolicy::SkipJob
 };
 
 /// Task control block. Created via OsCore::task_create (the paper's `proc`
@@ -89,6 +108,11 @@ public:
     /// Monotone stamp refreshed each time the task enters the ready queue;
     /// policies use it for FIFO ordering and tie-breaking.
     [[nodiscard]] std::uint64_t arrival_seq() const { return arrival_seq_; }
+    /// Configured watchdog timeout (zero = none); see OsCore::watchdog_arm.
+    [[nodiscard]] SimTime wd_timeout() const { return wd_timeout_; }
+    [[nodiscard]] MissPolicy wd_action() const { return wd_action_; }
+    /// True if a body was registered via task_set_body (required for restart).
+    [[nodiscard]] bool restartable() const { return body_ != nullptr; }
 
 private:
     friend class OsCore;
@@ -111,6 +135,19 @@ private:
     std::uint64_t arrival_seq_ = 0;  ///< FIFO stamp, refreshed on each enqueue
     bool switch_cost_due_ = false;
     TaskStats stats_;
+
+    // Restartable-body support (task_set_body/task_start/task_restart).
+    std::function<void()> body_;         ///< re-entrant body; empty = not restartable
+    std::string proc_name_;              ///< process name used by task_start (restart reuses it)
+    sim::Process* pending_proc_ = nullptr;  ///< spawned wrapper not yet bound by task_activate
+
+    // Watchdog (see OsCore::watchdog_arm). Generation tokens invalidate
+    // callbacks from superseded arms/kicks.
+    SimTime wd_timeout_{};               ///< zero = not configured
+    MissPolicy wd_action_ = MissPolicy::Notify;
+    sim::Kernel::TimerId wd_timer_ = 0;
+    bool wd_pending_ = false;
+    std::uint64_t wd_gen_ = 0;
 };
 
 /// RTOS event (the paper's `evt`, allocated with event_new). Unlike SLDL
@@ -167,11 +204,53 @@ public:
     /// `t` released a resource it held.
     virtual void on_resource_release(const Task& /*t*/, const std::string& /*resource*/,
                                      SimTime /*now*/) {}
+    /// A periodic task completed a cycle `overrun` past its absolute deadline
+    /// and its effective MissPolicy is not Ignore. Raised from task_endcycle()
+    /// before the recovery action runs.
+    virtual void on_deadline_miss(const Task& /*t*/, SimTime /*overrun*/,
+                                  SimTime /*now*/) {}
+    /// `t`'s watchdog expired (before its recovery action runs).
+    virtual void on_watchdog(const Task& /*t*/, SimTime /*now*/) {}
+    /// `t` is being restarted via task_restart(); fires before the stats reset
+    /// so observers can snapshot the dying incarnation.
+    virtual void on_task_restart(const Task& /*t*/, SimTime /*now*/) {}
+    /// `t` crashed at dispatch (fault injection); fires before teardown.
+    virtual void on_task_crash(const Task& /*t*/, SimTime /*now*/) {}
     /// The observed core is being destroyed. Observers that can outlive the
     /// core (e.g. an obs::RtosAnalytics whose results are read after the
     /// model run returns) drop their core reference here instead of
     /// detaching in their destructor.
     virtual void on_core_teardown() {}
+};
+
+/// What fault injection does to one interrupt delivery (FaultHook::isr_fate).
+struct IsrFate {
+    bool deliver = true;      ///< false: drop the interrupt entirely
+    SimTime delay{};          ///< non-zero: deliver after this much simulated time
+    unsigned extra_fires = 0; ///< spurious repeats delivered right after the real one
+};
+
+/// Fault-injection hook consulted by the core at well-defined points. The
+/// default implementation of every method is a no-op, and with no hook
+/// installed (the default) the core's behavior is bit-for-bit unchanged —
+/// conformance and replay baselines stay valid. slm::fault::FaultInjector is
+/// the seeded, plan-driven implementation; tests may install ad-hoc ones.
+class FaultHook {
+public:
+    virtual ~FaultHook() = default;
+
+    /// Transform a time_wait() execution delay (scale/jitter/overrun).
+    virtual SimTime transform_exec(const Task& /*t*/, SimTime dt) { return dt; }
+    /// Decide the fate of an interrupt about to be delivered via isr_deliver().
+    virtual IsrFate isr_fate(const std::string& /*irq_name*/) { return {}; }
+    /// True to crash `t` at this dispatch (task dies as if its code faulted).
+    virtual bool crash_at_dispatch(const Task& /*t*/) { return false; }
+    /// Extra execution time `t` burns right after acquiring `resource`
+    /// (models a stalled mutex holder). Zero = no stall.
+    virtual SimTime stall_after_acquire(const Task& /*t*/,
+                                        const std::string& /*resource*/) {
+        return {};
+    }
 };
 
 /// Core construction parameters (shared by every personality).
@@ -197,6 +276,9 @@ struct RtosConfig {
     /// per-task analytics do not need a tracer at all — attach an
     /// obs::RtosAnalytics through OsCore::add_observer() instead.
     trace::TraceSink* tracer = nullptr;
+    /// Deadline-miss policy for tasks that do not set TaskParams::miss_policy.
+    /// Ignore preserves the pre-recovery behavior exactly.
+    MissPolicy default_miss_policy = MissPolicy::Ignore;
 };
 
 /// Core-instance statistics.
@@ -213,6 +295,10 @@ struct RtosStats {
     /// signal the intended receiver never saw. The schedule explorer can
     /// treat it as a safety property (ExploreConfig::check_lost_signals).
     std::uint64_t lost_notifies = 0;
+    std::uint64_t crashes = 0;         ///< fault-injected task crashes (crash_at_dispatch)
+    std::uint64_t restarts = 0;        ///< task_restart() invocations
+    std::uint64_t watchdog_fires = 0;  ///< expired per-task watchdogs
+    std::uint64_t jobs_skipped = 0;    ///< releases dropped by MissPolicy::SkipJob
 };
 
 /// The OS core: the bottom layer of the layered RTOS model.
@@ -256,6 +342,13 @@ public:
     /// isr_enter() when an interrupt fires; models written by hand may too.
     void isr_enter(const std::string& irq_name);
 
+    /// Deliver one interrupt through the fault-injection layer: with no
+    /// FaultHook installed this is exactly isr_enter(); handler();
+    /// interrupt_return(). A hook may drop the delivery, defer it by a
+    /// kernel one-shot timer, or replay it spuriously. The preferred ISR
+    /// idiom for architecture models (the arch layer uses it).
+    void isr_deliver(const std::string& irq_name, std::function<void()> handler);
+
     // ---- task management ----
 
     /// Allocate a task control block. The returned handle is bound to an SLDL
@@ -279,6 +372,41 @@ public:
 
     /// Forcibly terminate another task (or the caller, = task_terminate).
     void task_kill(Task* t);
+
+    /// Register a re-entrant body for `t`, enabling task_start()/task_restart().
+    /// The body is the task's whole lifetime (task_activate through the final
+    /// work); task_start's wrapper appends the task_terminate().
+    void task_set_body(Task* t, std::function<void()> body);
+
+    /// Spawn the SLDL process that runs `t`'s registered body: the wrapper
+    /// performs task_activate(t); body(); task_terminate(). `process_name`
+    /// defaults to the task name. Not itself a modeled syscall — it matches
+    /// the hand-written spawn idiom byte-for-byte.
+    sim::Process* task_start(Task* t, std::string process_name = {});
+
+    /// Tear down `t`'s current incarnation and re-enter its registered body
+    /// from the top: cleanup hooks run (mutexes force-released with PI/PC
+    /// state restored), per-task stats reset (TaskStats::restarts survives),
+    /// the old process is killed and a fresh one spawned. Works on any state
+    /// including Terminated (revive). Calling it on self unwinds immediately.
+    void task_restart(Task* t);
+
+    // ---- watchdogs ----
+    //
+    // A per-task one-shot countdown built on the kernel's post_at timers.
+    // arm() configures and starts it; kick() restarts the countdown (the
+    // healthy-task heartbeat); expiry bumps the watchdog counters, raises
+    // on_watchdog, and applies `action` (Restart revives even a crashed or
+    // terminated task — crash_at_dispatch deliberately leaves the watchdog
+    // pending so it doubles as the crash-recovery mechanism).
+
+    void watchdog_arm(Task* t, SimTime timeout, MissPolicy action);
+    /// Restart the countdown from now. Requires a prior watchdog_arm().
+    void watchdog_kick(Task* t);
+    /// Cancel the countdown and forget the configuration.
+    void watchdog_disarm(Task* t);
+    /// True while a countdown is pending (armed and neither fired nor kicked-off).
+    [[nodiscard]] bool watchdog_armed(const Task* t) const;
 
     /// Change a task's base priority at runtime (smaller = higher). The
     /// scheduler re-evaluates immediately; lowering the caller's own priority
@@ -346,6 +474,26 @@ public:
                                SimTime waited);
     void note_resource_release(const Task* t, const std::string& resource);
 
+    /// Register a hook run whenever a task is torn down abnormally
+    /// (task_kill, task_restart, fault-injected crash) — services use it to
+    /// force-release resources the dying task holds (OsMutex registers one in
+    /// its constructor). Returns an id for remove_task_cleanup(). Hooks run
+    /// after the task has left every scheduler queue; event_notify calls they
+    /// make defer their preemption to the caller's next RTOS boundary, the
+    /// same discipline task_kill always had.
+    std::uint64_t add_task_cleanup(std::function<void(Task*)> fn);
+    void remove_task_cleanup(std::uint64_t id);
+
+    /// Install the fault-injection hook (nullptr = none, the default; the
+    /// no-hook path is bit-identical to the pre-fault core).
+    void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+    [[nodiscard]] FaultHook* fault_hook() const { return fault_hook_; }
+
+    /// The deadline-miss policy in effect for `t` (task override or config default).
+    [[nodiscard]] MissPolicy effective_miss_policy(const Task& t) const {
+        return t.params().miss_policy.value_or(cfg_.default_miss_policy);
+    }
+
     // ---- introspection ----
 
     /// Attach an instrumentation observer (callbacks in attachment order).
@@ -381,9 +529,24 @@ private:
     void maybe_yield();
     void rotate_quantum();
     void wait_dispatch(Task* t);
+    /// Crash check + switch cost, run by the task that just won the CPU.
+    void on_dispatched(Task* t);
     [[nodiscard]] Task* require_running_self(const char* what);
-    void record_completion(Task* t);
+    /// Returns true when the completion missed the absolute deadline.
+    bool record_completion(Task* t);
     void reschedule_after_boost();
+    /// The time_wait() charging loop (quantum + granularity chopping) without
+    /// the syscall bookkeeping; also used to model injected stalls.
+    void exec_charge(Task* t, SimTime dt);
+    /// Kill the dispatched task as if its code faulted. Unwinds the caller.
+    [[noreturn]] void crash_running(Task* t);
+    void deliver_isr_now(const std::string& irq_name,
+                         const std::function<void()>& handler, unsigned extra);
+    void spawn_task_process(Task* t);
+    void run_task_cleanup(Task* t);
+    void watchdog_schedule(Task* t);
+    void watchdog_cancel_internal(Task* t);
+    void watchdog_fire(Task* t, std::uint64_t gen);
 
     sim::Kernel& kernel_;
     RtosConfig cfg_;
@@ -400,6 +563,14 @@ private:
     SimTime quantum_used_{};
     std::vector<Task*> ties_scratch_;  ///< reused by pick_next()
     std::vector<OsObserver*> observers_;
+    std::vector<std::pair<std::uint64_t, std::function<void(Task*)>>> cleanup_hooks_;
+    std::uint64_t next_cleanup_id_ = 1;
+    FaultHook* fault_hook_ = nullptr;
+    /// While set, event_notify() defers its caller-side maybe_yield — cleanup
+    /// hooks run mid-teardown and must not switch away with the dying task
+    /// half-dismantled (the pending reschedule still lands at the caller's
+    /// next RTOS boundary, task_kill's long-standing discipline).
+    bool in_teardown_ = false;
     RtosStats stats_;
 };
 

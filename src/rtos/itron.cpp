@@ -57,7 +57,7 @@ ER ItronOs::cre_tsk(ID tskid, T_CTSK pk_ctsk) {
     p.priority = pk_ctsk.itskpri;
     Tcb e;
     e.task = core_.task_create(std::move(p));
-    e.body = std::move(pk_ctsk.task);
+    core_.task_set_body(e.task, std::move(pk_ctsk.task));
     tasks_.emplace(tskid, std::move(e));
     return E_OK;
 }
@@ -67,19 +67,36 @@ ER ItronOs::sta_tsk(ID tskid) {
     if (e == nullptr) {
         return E_NOEXS;
     }
-    if (e->started || e->task->state() != TaskState::New) {
+    if (!e->started) {
+        if (e->task->state() != TaskState::New) {
+            return E_OBJ;
+        }
+        e->started = true;
+        // The task body runs in its own SLDL process, entering the ready
+        // queue at the current instant — the same refinement pattern the
+        // arch layer uses (now canonicalized in OsCore::task_start).
+        core_.task_start(e->task);
+        return E_OK;
+    }
+    if (e->task->state() != TaskState::Terminated) {
         return E_OBJ;  // not DORMANT
     }
-    e->started = true;
-    // The task body runs in its own SLDL process, entering the ready queue at
-    // the current instant — the same refinement pattern the arch layer uses.
-    core_.kernel().spawn(e->task->name(), [this, e] {
-        core_.task_activate(e->task);
-        e->body();
-        if (core_.self() == e->task) {
-            core_.task_terminate();
-        }
-    });
+    // A terminated task is DORMANT again: sta_tsk revives it with a fresh
+    // incarnation of its body (per the standard's create/start lifecycle).
+    core_.task_restart(e->task);
+    return E_OK;
+}
+
+ER ItronOs::rst_tsk(ID tskid) {
+    Tcb* e = tcb(tskid);
+    if (e == nullptr) {
+        return E_NOEXS;
+    }
+    if (!e->started || e->task->state() == TaskState::New ||
+        e->task->state() == TaskState::Terminated) {
+        return E_OBJ;  // DORMANT: sta_tsk is the reviving call
+    }
+    core_.task_restart(e->task);  // self-restart does not return E_OK — or at all
     return E_OK;
 }
 
@@ -102,8 +119,8 @@ ER ItronOs::ter_tsk(ID tskid) {
     if (!e->started || e->task->state() == TaskState::Terminated) {
         return E_OBJ;
     }
-    // Deviation from the standard: a terminated task cannot return to DORMANT
-    // and be restarted — its SLDL process is gone. Terminated is final here.
+    // The task returns to DORMANT; sta_tsk may start a fresh incarnation
+    // (task bodies are restartable via OsCore::task_set_body).
     core_.task_kill(e->task);
     return E_OK;
 }
@@ -185,6 +202,41 @@ ER ItronOs::dly_tsk(SimTime dlytim) {
         return E_CTX;
     }
     core_.task_delay(dlytim);
+    return E_OK;
+}
+
+// ---- watchdogs ----
+
+ER ItronOs::sta_wdg(ID tskid, SimTime timeout, MissPolicy action) {
+    Tcb* e = tcb(tskid);
+    if (e == nullptr) {
+        return E_NOEXS;
+    }
+    if (timeout.is_zero()) {
+        return E_PAR;
+    }
+    core_.watchdog_arm(e->task, timeout, action);
+    return E_OK;
+}
+
+ER ItronOs::kck_wdg(ID tskid) {
+    Tcb* e = tcb(tskid);
+    if (e == nullptr) {
+        return E_NOEXS;
+    }
+    if (e->task->wd_timeout().is_zero()) {
+        return E_OBJ;  // never armed (or stopped)
+    }
+    core_.watchdog_kick(e->task);
+    return E_OK;
+}
+
+ER ItronOs::stp_wdg(ID tskid) {
+    Tcb* e = tcb(tskid);
+    if (e == nullptr) {
+        return E_NOEXS;
+    }
+    core_.watchdog_disarm(e->task);
     return E_OK;
 }
 

@@ -91,8 +91,13 @@ public:
     /// Create a task in the DORMANT state.
     ER cre_tsk(ID tskid, T_CTSK pk_ctsk);
     /// Make a DORMANT task ready: spawns its SLDL process, which enters the
-    /// ready queue at the current simulated instant.
+    /// ready queue at the current simulated instant. A task that terminated
+    /// (ext_tsk / ter_tsk) returns to DORMANT and may be started again.
     ER sta_tsk(ID tskid);
+    /// Restart a live task from the top of its body: the current incarnation
+    /// is torn down (held locks force-released, stats reset) and a fresh one
+    /// enters the ready queue. E_OBJ on a DORMANT task (use sta_tsk).
+    ER rst_tsk(ID tskid);
     /// Terminate the calling task. Does not return when successful.
     void ext_tsk();
     /// Forcibly terminate another task.
@@ -109,6 +114,16 @@ public:
     ER can_wup(ID tskid, unsigned* p_wupcnt);
     /// Delay the calling task without consuming CPU.
     ER dly_tsk(SimTime dlytim);
+
+    // ---- watchdogs (core recovery service, ITRON-flavored wrappers) ----
+
+    /// Arm (or re-arm) a software watchdog on a task: unless kck_wdg is
+    /// called within `timeout`, the core applies `action` to the task.
+    ER sta_wdg(ID tskid, SimTime timeout, MissPolicy action);
+    /// Pet the watchdog, restarting its countdown.
+    ER kck_wdg(ID tskid);
+    /// Disarm the watchdog and forget its configuration.
+    ER stp_wdg(ID tskid);
 
     // ---- semaphores (OsSemaphore service underneath) ----
 
@@ -135,8 +150,7 @@ public:
 
 private:
     struct Tcb {
-        Task* task = nullptr;
-        std::function<void()> body;
+        Task* task = nullptr;  ///< core TCB; the body lives there (task_set_body)
         unsigned wupcnt = 0;
         bool started = false;
     };

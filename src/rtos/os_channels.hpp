@@ -125,7 +125,27 @@ public:
           evt_(os.event_new(name + ".evt")),
           protocol_(protocol),
           ceiling_(ceiling),
-          name_(std::move(name)) {}
+          name_(std::move(name)) {
+        // Recovery invariant: when a task is killed, restarted, or crashed,
+        // a lock it holds must not stay locked forever. The cleanup hook
+        // force-releases on behalf of the dead owner, restoring the boost
+        // level saved at its lock time so PI/PC unwind exactly as unlock()
+        // would have, then wakes the waiters.
+        cleanup_id_ = os_.add_task_cleanup([this](Task* t) {
+            std::erase(waiters_, t);
+            if (owner_ == t) {
+                os_.restore_priority(owner_, saved_boost_);
+                owner_ = nullptr;
+                os_.note_resource_release(t, name_);
+                os_.event_notify(evt_);
+            }
+        });
+    }
+
+    ~OsMutex() { os_.remove_task_cleanup(cleanup_id_); }
+
+    OsMutex(const OsMutex&) = delete;
+    OsMutex& operator=(const OsMutex&) = delete;
 
     void lock() {
         Task* self = os_.self();
@@ -177,6 +197,7 @@ private:
     Task* owner_ = nullptr;
     std::vector<Task*> waiters_;
     int saved_boost_ = std::numeric_limits<int>::max();
+    std::uint64_t cleanup_id_ = 0;
 };
 
 /// RAII guard for OsMutex.

@@ -69,6 +69,7 @@ void Kernel::recycle_stack(Process* p) {
 void Kernel::sync_stack_stats() {
     stats_.stack_bytes_in_use = stack_pool_.bytes_in_use();
     stats_.stacks_recycled = stack_pool_.recycled();
+    stats_.guard_pages_disabled = stack_pool_.guard_pages_disabled() ? 1 : 0;
 }
 
 void Kernel::make_ready(Process* p) {
@@ -187,30 +188,70 @@ bool Kernel::advance_time(SimTime limit) {
         make_ready(e.p);
     };
 
-    while (!timed_.empty()) {
-        const TimedEntry& top = timed_.top();
-        if (!live(top)) {
-            timed_.pop();
-            continue;
-        }
-        if (top.t > limit) {
-            return false;
-        }
-        now_ = top.t;
-        ++stats_.time_advances;
-        for (KernelObserver* obs : observers_) {
-            obs->on_time_advance(now_);
-        }
-        while (!timed_.empty() && timed_.top().t == now_) {
-            const TimedEntry e = timed_.top();
-            timed_.pop();
-            if (live(e)) {
-                fire(e);
-            }
-        }
-        return true;
+    // Skim dead entries from both queues first: a cancelled timer or a
+    // superseded process wakeup must not drag simulated time forward.
+    while (!timed_.empty() && !live(timed_.top())) {
+        timed_.pop();
     }
-    return false;
+    while (!timer_q_.empty() &&
+           timer_fns_.find(timer_q_.top().id) == timer_fns_.end()) {
+        timer_q_.pop();
+    }
+    if (timed_.empty() && timer_q_.empty()) {
+        return false;
+    }
+    SimTime next = SimTime::max();
+    if (!timed_.empty()) {
+        next = timed_.top().t;
+    }
+    if (!timer_q_.empty() && timer_q_.top().t < next) {
+        next = timer_q_.top().t;
+    }
+    if (next > limit) {
+        return false;
+    }
+    now_ = next;
+    ++stats_.time_advances;
+    for (KernelObserver* obs : observers_) {
+        obs->on_time_advance(now_);
+    }
+    // One-shot timers fire before process wakeups at the same instant: they
+    // model OS/interrupt machinery reacting ahead of application code. The
+    // loop re-reads the top so a callback posting for the same instant still
+    // runs within it.
+    while (!timer_q_.empty() && timer_q_.top().t == now_) {
+        const TimerEntry e = timer_q_.top();
+        timer_q_.pop();
+        auto it = timer_fns_.find(e.id);
+        if (it == timer_fns_.end()) {
+            continue;  // cancelled after the skim above (by an earlier callback)
+        }
+        const std::function<void()> fn = std::move(it->second);
+        timer_fns_.erase(it);
+        fn();
+    }
+    while (!timed_.empty() && timed_.top().t == now_) {
+        const TimedEntry e = timed_.top();
+        timed_.pop();
+        if (live(e)) {
+            fire(e);
+        }
+    }
+    return true;
+}
+
+Kernel::TimerId Kernel::post_at(SimTime t, std::function<void()> fn) {
+    SLM_ASSERT(fn != nullptr, "post_at() requires a callback");
+    SLM_ASSERT(t >= now_, "post_at() cannot schedule into the past");
+    SLM_ASSERT(t != SimTime::max(), "post_at(SimTime::max()) would never fire");
+    const TimerId id = next_timer_id_++;
+    timer_fns_.emplace(id, std::move(fn));
+    timer_q_.push(TimerEntry{t, seq_counter_++, id});
+    return id;
+}
+
+void Kernel::cancel_timer(TimerId id) {
+    timer_fns_.erase(id);
 }
 
 void Kernel::run() {
@@ -238,7 +279,7 @@ bool Kernel::run_until(SimTime t_end) {
     for (;;) {
         drain_runnable();
         if (abort_reason_.has_value()) {
-            return !timed_.empty();
+            return !timed_.empty() || !timer_fns_.empty();
         }
         end_delta();
         if (!runnable_.empty()) {
@@ -254,8 +295,9 @@ bool Kernel::run_until(SimTime t_end) {
     }
 
     // Any remaining top-of-queue entries are real future activity (stale ones
-    // were popped by advance_time when it last ran).
-    return !timed_.empty();
+    // were popped by advance_time when it last ran); a live one-shot timer is
+    // pending activity too.
+    return !timed_.empty() || !timer_fns_.empty();
 }
 
 std::vector<const Process*> Kernel::blocked_processes() const {

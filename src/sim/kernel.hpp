@@ -7,6 +7,7 @@
 #include <optional>
 #include <queue>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -56,6 +57,8 @@ struct KernelStats {
     std::uint64_t events_notified = 0;
     std::uint64_t stack_bytes_in_use = 0;   ///< live coroutine stack bytes (pool-acquired)
     std::uint64_t stacks_recycled = 0;      ///< spawns served from the stack pool's free list
+    std::uint64_t guard_pages_disabled = 0; ///< 1 once guard-page setup failed and the
+                                            ///< pool fell back to unguarded stacks
 };
 
 /// Observer hook for instrumentation (tracing, test assertions). All callbacks
@@ -172,6 +175,26 @@ public:
 
     // ---- callable from anywhere ----
 
+    /// Handle for a one-shot timer posted with post_at(). Never 0.
+    using TimerId = std::uint64_t;
+
+    /// Schedule `fn` to run once, at simulated instant `t` (>= now()). The
+    /// callback runs in scheduler context — this_process() is null inside it —
+    /// before any process wakeups at the same instant, in posting order. It may
+    /// spawn/notify/kill/post_at, but must not block or throw. OS-layer
+    /// machinery (watchdogs, delayed interrupt delivery) is the intended user.
+    TimerId post_at(SimTime t, std::function<void()> fn);
+
+    /// Cancel a pending timer. Safe to call with an id that already fired or
+    /// was already cancelled (no-op). A cancelled timer does not hold the
+    /// simulation alive and its instant is never visited on its behalf.
+    void cancel_timer(TimerId id);
+
+    /// True while `id` is posted and has neither fired nor been cancelled.
+    [[nodiscard]] bool timer_pending(TimerId id) const {
+        return timer_fns_.find(id) != timer_fns_.end();
+    }
+
     /// Notify an event: wake current waiters, sticky for the rest of the delta.
     void notify(Event& e);
 
@@ -196,6 +219,17 @@ private:
         }
     };
 
+    struct TimerEntry {
+        SimTime t;
+        std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+        TimerId id;
+    };
+    struct TimerLater {
+        bool operator()(const TimerEntry& a, const TimerEntry& b) const {
+            return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+        }
+    };
+
     void make_ready(Process* p);
     void set_state(Process* p, ProcState s);
     void block_current_and_reschedule();
@@ -215,6 +249,12 @@ private:
     SimTime now_{};
     std::deque<Process*> runnable_;
     std::priority_queue<TimedEntry, std::vector<TimedEntry>, TimedLater> timed_;
+    // One-shot timers: the queue orders instants, the map is the liveness
+    // source of truth (cancel_timer erases the map entry; stale queue entries
+    // are skimmed without advancing time).
+    std::priority_queue<TimerEntry, std::vector<TimerEntry>, TimerLater> timer_q_;
+    std::unordered_map<TimerId, std::function<void()>> timer_fns_;
+    TimerId next_timer_id_ = 1;
     std::vector<std::unique_ptr<Process>> processes_;
     std::vector<Event*> notified_events_;
     Context sched_ctx_;

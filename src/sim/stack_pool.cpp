@@ -1,6 +1,7 @@
 #include "sim/stack_pool.hpp"
 
 #include <bit>
+#include <cstdio>
 #include <new>
 
 #include <sys/mman.h>
@@ -32,18 +33,30 @@ std::size_t page_size() {
     return page;
 }
 
+bool g_force_guard_failure = false;
+
+/// Guarded allocation; returns an empty block (does not assert) when mmap or
+/// mprotect fails — e.g. vm.max_map_count exhaustion or a locked-down seccomp
+/// profile — so the caller can fall back to an unguarded heap stack.
 StackBlock alloc_guarded(std::size_t size) {
+    StackBlock blk;
+    if (g_force_guard_failure) {
+        return blk;
+    }
     const std::size_t page = page_size();
     const std::size_t usable = (size + page - 1) / page * page;
     const std::size_t len = usable + page;
     void* m = mmap(nullptr, len, PROT_READ | PROT_WRITE,
                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
-    SLM_ASSERT(m != MAP_FAILED, "mmap for guarded coroutine stack failed");
+    if (m == MAP_FAILED) {
+        return blk;
+    }
     // Guard at the low end: stacks grow down, so overrunning the usable range
     // hits PROT_NONE and faults at the overflowing frame.
-    const int rc = mprotect(m, page, PROT_NONE);
-    SLM_ASSERT(rc == 0, "mprotect for stack guard page failed");
-    StackBlock blk;
+    if (mprotect(m, page, PROT_NONE) != 0) {
+        munmap(m, len);
+        return blk;
+    }
     blk.base = static_cast<std::byte*>(m) + page;
     blk.size = usable;
     blk.map = m;
@@ -84,6 +97,10 @@ StackPool::~StackPool() {
     }
 }
 
+void StackPool::force_guard_failure_for_testing(bool on) {
+    g_force_guard_failure = on;
+}
+
 std::size_t StackPool::round_to_class(std::size_t size) {
     if (size < kMinClass) {
         size = kMinClass;
@@ -101,7 +118,20 @@ StackBlock StackPool::acquire(std::size_t min_size) {
         free_list.pop_back();
         ++recycled_;
     } else {
-        blk = guard_pages_ ? alloc_guarded(size) : alloc_plain(size);
+        if (guard_pages_ && !guard_disabled_) {
+            blk = alloc_guarded(size);
+            if (!blk) {
+                // Graceful degradation: losing overflow detection is better
+                // than failing the spawn. Warn once, then stop trying.
+                guard_disabled_ = true;
+                std::fprintf(stderr,
+                             "slm: guard-page stack allocation failed; falling "
+                             "back to unguarded stacks for this pool\n");
+            }
+        }
+        if (!blk) {
+            blk = alloc_plain(size);
+        }
         ++allocated_;
     }
     bytes_in_use_ += blk.size;

@@ -44,12 +44,20 @@ public:
     [[nodiscard]] std::uint64_t bytes_in_use() const { return bytes_in_use_; }
     [[nodiscard]] std::uint64_t recycled() const { return recycled_; }     ///< acquires served from the free list
     [[nodiscard]] std::uint64_t allocated() const { return allocated_; }   ///< fresh allocations
+    /// True once a guard-page allocation failed and the pool permanently fell
+    /// back to unguarded heap stacks (one warning is printed when that happens).
+    [[nodiscard]] bool guard_pages_disabled() const { return guard_disabled_; }
 
     [[nodiscard]] static std::size_t round_to_class(std::size_t size);
+
+    /// Test seam: make guard-page allocation fail as if mmap/mprotect had
+    /// errored, exercising the unguarded-fallback path. Process-wide.
+    static void force_guard_failure_for_testing(bool on);
 
 private:
     std::vector<std::vector<StackBlock>> free_by_class_;  ///< indexed by log2(size)
     bool guard_pages_;
+    bool guard_disabled_ = false;
     std::uint64_t bytes_in_use_ = 0;
     std::uint64_t recycled_ = 0;
     std::uint64_t allocated_ = 0;

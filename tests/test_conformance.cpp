@@ -14,11 +14,13 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <unordered_map>
 
 #include "explore/explore.hpp"
+#include "fault/fault.hpp"
 #include "obs/analytics.hpp"
 #include "obs/metrics.hpp"
 #include "rtos/os_channels.hpp"
@@ -50,6 +52,14 @@ struct Api {
     std::function<void()> sem_signal;
     std::function<void(std::int64_t)> q_send;
     std::function<std::int64_t()> q_recv;
+    // Recovery services (restartable tasks + watchdogs). `spawn_managed`
+    // registers the body with the OS (task_set_body / cre_tsk) so the task
+    // can be restarted; `spawn_task` keeps the hand-spawned legacy idiom.
+    std::function<void(const std::string&, int, std::function<void()>)> spawn_managed;
+    std::function<void(const std::string&)> restart;
+    std::function<void(const std::string&, SimTime, MissPolicy)> wd_arm;
+    std::function<void(const std::string&)> wd_kick;
+    std::function<void(const std::string&)> wd_disarm;
 };
 
 using Scenario = std::function<void(Api&)>;
@@ -61,6 +71,9 @@ struct Outcome {
     std::uint64_t context_switches = 0;
     std::uint64_t dispatches = 0;
     std::uint64_t syscalls = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t watchdog_fires = 0;
 };
 
 /// Observer-derived analytics as comparable text. Everything RtosAnalytics
@@ -76,13 +89,19 @@ std::string analytics_metrics(const obs::Registry& reg) {
     return os.str();
 }
 
-Outcome run_paper(const Scenario& sc, SchedPolicy policy = SchedPolicy::Priority) {
+Outcome run_paper(const Scenario& sc, SchedPolicy policy = SchedPolicy::Priority,
+                  const fault::FaultPlan* fplan = nullptr) {
     Kernel k;
     trace::TraceRecorder rec;
     RtosConfig cfg;
     cfg.policy = policy;
     cfg.tracer = &rec;
     RtosModel os{k, cfg};
+    std::optional<fault::FaultInjector> inj;
+    if (fplan != nullptr) {
+        inj.emplace(*fplan);  // seeded by the plan: same PRNG both runners
+        inj->attach(os);
+    }
     obs::Registry reg;
     obs::RtosAnalytics analytics{os, reg};
     os.init();
@@ -109,6 +128,19 @@ Outcome run_paper(const Scenario& sc, SchedPolicy policy = SchedPolicy::Priority
     api.sem_signal = [&] { sem.release(); };
     api.q_send = [&](std::int64_t v) { q.send(v); };
     api.q_recv = [&] { return q.receive(); };
+    api.spawn_managed = [&](const std::string& name, int prio,
+                            std::function<void()> body) {
+        Task* t = os.task_create(name, TaskType::Aperiodic, {}, {}, prio);
+        tasks.emplace(name, t);
+        os.task_set_body(t, std::move(body));
+        os.task_start(t);
+    };
+    api.restart = [&](const std::string& name) { os.task_restart(tasks.at(name)); };
+    api.wd_arm = [&](const std::string& name, SimTime timeout, MissPolicy action) {
+        os.watchdog_arm(tasks.at(name), timeout, action);
+    };
+    api.wd_kick = [&](const std::string& name) { os.watchdog_kick(tasks.at(name)); };
+    api.wd_disarm = [&](const std::string& name) { os.watchdog_disarm(tasks.at(name)); };
 
     sc(api);
     os.start();
@@ -117,16 +149,23 @@ Outcome run_paper(const Scenario& sc, SchedPolicy policy = SchedPolicy::Priority
     std::ostringstream csv;
     rec.write_csv(csv);
     return {csv.str(), analytics_metrics(reg), k.now().ns(),
-            os.stats().context_switches, os.stats().dispatches, os.stats().syscalls};
+            os.stats().context_switches, os.stats().dispatches, os.stats().syscalls,
+            os.stats().restarts, os.stats().crashes, os.stats().watchdog_fires};
 }
 
-Outcome run_itron(const Scenario& sc, SchedPolicy policy = SchedPolicy::Priority) {
+Outcome run_itron(const Scenario& sc, SchedPolicy policy = SchedPolicy::Priority,
+                  const fault::FaultPlan* fplan = nullptr) {
     Kernel k;
     trace::TraceRecorder rec;
     RtosConfig cfg;
     cfg.policy = policy;
     cfg.tracer = &rec;
     itron::ItronOs os{k, cfg};
+    std::optional<fault::FaultInjector> inj;
+    if (fplan != nullptr) {
+        inj.emplace(*fplan);
+        inj->attach(os.core());
+    }
     obs::Registry reg;
     obs::RtosAnalytics analytics{os.core(), reg};
     EXPECT_EQ(os.cre_sem(1, {.isemcnt = 0, .name = "sem"}), itron::E_OK);
@@ -160,6 +199,26 @@ Outcome run_itron(const Scenario& sc, SchedPolicy policy = SchedPolicy::Priority
         EXPECT_EQ(os.rcv_dtq(&v, 1), itron::E_OK);
         return static_cast<std::int64_t>(v);
     };
+    api.spawn_managed = [&](const std::string& name, int prio,
+                            std::function<void()> body) {
+        const itron::ID id = next_id++;
+        ids.emplace(name, id);
+        EXPECT_EQ(os.cre_tsk(id, {.name = name, .itskpri = prio, .task = std::move(body)}),
+                  itron::E_OK);
+        EXPECT_EQ(os.sta_tsk(id), itron::E_OK);
+    };
+    api.restart = [&](const std::string& name) {
+        EXPECT_EQ(os.rst_tsk(ids.at(name)), itron::E_OK);
+    };
+    api.wd_arm = [&](const std::string& name, SimTime timeout, MissPolicy action) {
+        EXPECT_EQ(os.sta_wdg(ids.at(name), timeout, action), itron::E_OK);
+    };
+    api.wd_kick = [&](const std::string& name) {
+        EXPECT_EQ(os.kck_wdg(ids.at(name)), itron::E_OK);
+    };
+    api.wd_disarm = [&](const std::string& name) {
+        EXPECT_EQ(os.stp_wdg(ids.at(name)), itron::E_OK);
+    };
 
     sc(api);
     os.start();
@@ -169,13 +228,22 @@ Outcome run_itron(const Scenario& sc, SchedPolicy policy = SchedPolicy::Priority
     rec.write_csv(csv);
     return {csv.str(), analytics_metrics(reg), k.now().ns(),
             os.core().stats().context_switches, os.core().stats().dispatches,
-            os.core().stats().syscalls};
+            os.core().stats().syscalls, os.core().stats().restarts,
+            os.core().stats().crashes, os.core().stats().watchdog_fires};
 }
 
 void expect_conformant(const char* what, const Scenario& sc,
-                       SchedPolicy policy = SchedPolicy::Priority) {
-    const Outcome paper = run_paper(sc, policy);
-    const Outcome itron = run_itron(sc, policy);
+                       SchedPolicy policy = SchedPolicy::Priority,
+                       const char* fault_plan = nullptr) {
+    std::optional<fault::FaultPlan> plan;
+    if (fault_plan != nullptr) {
+        std::string err;
+        plan = fault::FaultPlan::parse(fault_plan, &err);
+        ASSERT_TRUE(plan.has_value()) << what << ": bad fault plan: " << err;
+    }
+    const fault::FaultPlan* fp = plan.has_value() ? &*plan : nullptr;
+    const Outcome paper = run_paper(sc, policy, fp);
+    const Outcome itron = run_itron(sc, policy, fp);
     EXPECT_FALSE(paper.csv.empty()) << what;
     EXPECT_EQ(paper.csv, itron.csv) << what << ": trace divergence between personalities";
     EXPECT_FALSE(paper.metrics.empty()) << what;
@@ -185,6 +253,9 @@ void expect_conformant(const char* what, const Scenario& sc,
     EXPECT_EQ(paper.context_switches, itron.context_switches) << what;
     EXPECT_EQ(paper.dispatches, itron.dispatches) << what;
     EXPECT_EQ(paper.syscalls, itron.syscalls) << what;
+    EXPECT_EQ(paper.restarts, itron.restarts) << what;
+    EXPECT_EQ(paper.crashes, itron.crashes) << what;
+    EXPECT_EQ(paper.watchdog_fires, itron.watchdog_fires) << what;
 }
 
 // ---- shared scenarios -----------------------------------------------------
@@ -264,6 +335,47 @@ void sc_sem_timeout(Api& api) {
     });
 }
 
+void sc_restart_watchdog(Api& api) {
+    // A managed service pets its watchdog chunk by chunk, then overruns; the
+    // supervisor restarts it mid-flight and finally disarms the watchdog.
+    // Exercises task_set_body/task_start/task_restart/watchdog_* against
+    // cre_tsk/sta_tsk/rst_tsk/sta_wdg/kck_wdg/stp_wdg.
+    api.spawn_managed("svc", 2, [&api] {
+        for (int i = 0; i < 4; ++i) {
+            api.exec(1_ms);
+            api.wd_kick("svc");
+        }
+        api.exec(5_ms);  // overrun tail: the watchdog fires (Notify) mid-way
+    });
+    api.spawn_task("boss", 1, [&api] {
+        api.wd_arm("svc", 2_ms, MissPolicy::Notify);
+        api.delay(3_ms);
+        api.restart("svc");  // restart the preempted service mid-flight
+        api.delay(12_ms);
+        api.wd_disarm("svc");
+    });
+}
+
+void sc_faulted_recovery(Api& api) {
+    // Same shape under an active fault plan: seeded exec jitter and a scaling
+    // window stretch the service's chunks, so the kicks race the watchdog.
+    // Both personalities see the same injector decisions (same plan seed),
+    // so traces, metrics, and recovery counters must still match exactly.
+    api.spawn_managed("worker", 3, [&api] {
+        for (int i = 0; i < 5; ++i) {
+            api.exec(1_ms);
+            api.wd_kick("worker");
+        }
+    });
+    api.spawn_task("boss", 1, [&api] {
+        api.wd_arm("worker", 2_ms, MissPolicy::Notify);
+        api.delay(4_ms);
+        api.restart("worker");
+        api.delay(14_ms);
+        api.wd_disarm("worker");
+    });
+}
+
 TEST(Conformance, Preemption) { expect_conformant("preemption", sc_preemption); }
 
 TEST(Conformance, SemaphoreProducerConsumer) {
@@ -280,6 +392,17 @@ TEST(Conformance, RoundRobin) {
 
 TEST(Conformance, SemaphoreTimeout) {
     expect_conformant("timed semaphore", sc_sem_timeout);
+}
+
+TEST(Conformance, RestartAndWatchdog) {
+    expect_conformant("restart/watchdog", sc_restart_watchdog);
+}
+
+TEST(Conformance, FaultInjectedRecovery) {
+    expect_conformant("faulted recovery", sc_faulted_recovery, SchedPolicy::Priority,
+                      "seed 23\n"
+                      "exec_jitter worker max=400us p=0.7\n"
+                      "exec_scale worker factor=1.5 after=2ms until=6ms\n");
 }
 
 // ---- ITRON personality semantics ------------------------------------------

@@ -107,6 +107,63 @@ TEST(Schedule, ParseRejectsMalformedInput) {
     EXPECT_FALSE(explore::Schedule::parse("3|1").has_value());    // no colon
 }
 
+TEST(Schedule, ParseReportsWhatIsWrong) {
+    const auto err_for = [](const std::string& s) {
+        std::string err;
+        EXPECT_FALSE(explore::Schedule::parse(s, &err).has_value()) << s;
+        EXPECT_FALSE(err.empty()) << s;
+        return err;
+    };
+    EXPECT_NE(err_for("nope").find("missing '|'"), std::string::npos);
+    EXPECT_NE(err_for("abc|").find("not a number"), std::string::npos);
+    EXPECT_NE(err_for("3|1").find("no ':'"), std::string::npos);
+    EXPECT_NE(err_for("3|x:1").find("index"), std::string::npos);
+    EXPECT_NE(err_for("3|1:y").find("choice"), std::string::npos);
+    EXPECT_NE(err_for("3|9:1").find("past the declared length"), std::string::npos);
+    EXPECT_NE(err_for("3|1:0").find("redundant"), std::string::npos);
+}
+
+// ---- serialized-trace replay: negative paths ----
+
+TEST(Explorer, ReplayTraceRejectsMalformedInput) {
+    explore::Explorer ex{build_three_tasks};
+    const auto out = ex.replay_trace("not-a-trace");
+    EXPECT_FALSE(out.ok());
+    EXPECT_FALSE(out.result.has_value());  // malformed input: nothing was run
+    EXPECT_NE(out.error.find("malformed decision trace"), std::string::npos)
+        << out.error;
+}
+
+TEST(Explorer, ReplayTraceRejectsTruncatedInput) {
+    explore::Explorer ex{build_three_tasks};
+    const auto out = ex.replay_trace("4|2:");  // cut off mid-entry
+    EXPECT_FALSE(out.ok());
+    EXPECT_FALSE(out.result.has_value());
+    EXPECT_NE(out.error.find("malformed decision trace"), std::string::npos)
+        << out.error;
+}
+
+TEST(Explorer, ReplayTraceReportsOutOfRangeChoice) {
+    // "4|1:7" parses, but no dispatch tie among three tasks ever has seven
+    // candidates: the run degrades to the default at point 1 and says so.
+    explore::Explorer ex{build_three_tasks};
+    const auto out = ex.replay_trace("4|1:7");
+    EXPECT_FALSE(out.ok());
+    ASSERT_TRUE(out.result.has_value());  // the run still happened...
+    EXPECT_TRUE(out.result->diverged);    // ...but not on the planned path
+    EXPECT_NE(out.error.find("point 1"), std::string::npos) << out.error;
+    EXPECT_NE(out.error.find("out of range"), std::string::npos) << out.error;
+}
+
+TEST(Explorer, ReplayTraceRoundTripsCleanly) {
+    explore::Explorer ex{build_three_tasks};
+    auto base = ex.replay(explore::Schedule{});
+    const auto out = ex.replay_trace(base.schedule.to_string());
+    ASSERT_TRUE(out.ok()) << out.error;
+    EXPECT_FALSE(out.result->diverged);
+    EXPECT_EQ(csv_of(out.result->trace), csv_of(base.trace));
+}
+
 // ---- deadlock discovery ----
 
 TEST(Explorer, FindsCrossAcquisitionDeadlock) {

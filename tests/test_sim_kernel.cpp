@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "sim/stack_pool.hpp"
 #include "sim/time.hpp"
 
 using namespace slm;
@@ -690,4 +692,118 @@ TEST(Kernel, ExplicitUcontextBackendMatchesFastSemantics) {
     const auto fast = run_with(ContextBackend::Fast);  // degrades if absent
     EXPECT_EQ(uc, fast);
     EXPECT_EQ(uc, (std::vector<std::string>{"a0", "b0", "b1", "a1"}));
+}
+
+// ---- One-shot timers (post_at / cancel_timer) ----
+
+TEST(Kernel, PostAtFiresAtRequestedTime) {
+    Kernel k;
+    SimTime fired_at = SimTime::max();
+    k.post_at(10_us, [&] { fired_at = k.now(); });
+    k.spawn("p", [&] { k.waitfor(20_us); });
+    k.run();
+    EXPECT_EQ(fired_at, 10_us);
+}
+
+TEST(Kernel, TimerCallbackRunsInSchedulerContext) {
+    Kernel k;
+    bool saw_null_process = false;
+    k.post_at(5_us, [&] { saw_null_process = this_process() == nullptr; });
+    k.spawn("p", [&] { k.waitfor(10_us); });
+    k.run();
+    EXPECT_TRUE(saw_null_process);
+}
+
+TEST(Kernel, TimerFiresBeforeSameInstantProcessWakeup) {
+    Kernel k;
+    std::vector<std::string> log;
+    k.post_at(10_us, [&] { log.push_back("timer"); });
+    k.spawn("p", [&] {
+        k.waitfor(10_us);
+        log.push_back("process");
+    });
+    k.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"timer", "process"}));
+}
+
+TEST(Kernel, SameInstantTimersFireInPostingOrder) {
+    Kernel k;
+    std::vector<int> order;
+    k.post_at(5_us, [&] { order.push_back(1); });
+    k.post_at(5_us, [&] { order.push_back(2); });
+    k.post_at(5_us, [&] { order.push_back(3); });
+    k.spawn("p", [&] { k.waitfor(10_us); });
+    k.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Kernel, CancelTimerPreventsFiring) {
+    Kernel k;
+    bool fired = false;
+    const Kernel::TimerId id = k.post_at(10_us, [&] { fired = true; });
+    EXPECT_TRUE(k.timer_pending(id));
+    k.cancel_timer(id);
+    EXPECT_FALSE(k.timer_pending(id));
+    k.spawn("p", [&] { k.waitfor(20_us); });
+    k.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Kernel, TimerPendingClearsAfterFiring) {
+    Kernel k;
+    const Kernel::TimerId id = k.post_at(5_us, [] {});
+    k.spawn("p", [&] { k.waitfor(10_us); });
+    k.run();
+    EXPECT_FALSE(k.timer_pending(id));
+    k.cancel_timer(id);  // cancelling a fired timer is a harmless no-op
+}
+
+TEST(Kernel, RunUntilAdvancesThroughTimerOnlyActivity) {
+    // A pending timer alone counts as activity: run_until() must advance to
+    // it even with no runnable processes.
+    Kernel k;
+    SimTime fired_at{};
+    k.post_at(30_us, [&] { fired_at = k.now(); });
+    k.run_until(100_us);
+    EXPECT_EQ(fired_at, 30_us);
+    EXPECT_EQ(k.now(), 100_us);
+}
+
+TEST(Kernel, TimerCallbackCanChainAnotherTimer) {
+    Kernel k;
+    std::vector<SimTime> fires;
+    std::function<void()> tick = [&] {
+        fires.push_back(k.now());
+        if (fires.size() < 3) {
+            k.post_at(k.now() + 10_us, tick);
+        }
+    };
+    k.post_at(10_us, tick);
+    k.run_until(100_us);
+    EXPECT_EQ(fires, (std::vector<SimTime>{10_us, 20_us, 30_us}));
+}
+
+// ---- Guard-page fallback (satellite: StackPool robustness) ----
+
+TEST(Kernel, GuardFailureFallsBackToUnguardedStacks) {
+    StackPool::force_guard_failure_for_testing(true);
+    {
+        KernelConfig cfg;
+        cfg.guard_pages = true;
+        Kernel k{cfg};
+        int sum = 0;
+        for (int i = 0; i < 4; ++i) {
+            k.spawn("p", [&sum, i] { sum += i; });
+        }
+        k.run();
+        EXPECT_EQ(sum, 6);  // processes still ran, just without guards
+        EXPECT_EQ(k.stats().guard_pages_disabled, 1u);
+    }
+    StackPool::force_guard_failure_for_testing(false);
+    KernelConfig cfg;
+    cfg.guard_pages = true;
+    Kernel k{cfg};
+    k.spawn("p", [] {});
+    k.run();
+    EXPECT_EQ(k.stats().guard_pages_disabled, 0u);
 }
