@@ -1,0 +1,316 @@
+// ISS execution-engine benchmark: the decoded-superblock engine vs the
+// reference interpreter on the vocoder guest workload (the full three-task
+// RTOS image from build_vocoder_guest, driven subframe-by-subframe exactly
+// like the implementation model) plus a raw MAC-loop dispatch microbench.
+// Emits BENCH_iss.json so the fast-over-reference instructions/sec ratio (the
+// PR's >=5x target) is tracked from PR to PR.
+//
+// The two backends must agree bit-for-bit: the benchmark fingerprints the
+// complete architectural outcome (notify stream, registers, counters, kernel
+// stats, and all 64K words of data memory) of both runs and hard-fails on any
+// divergence — a second, workload-scale conformance check behind the
+// test_iss_engine lockstep suite.
+//
+// Usage: bench_iss [--smoke] [--out FILE]
+//   --smoke   tiny frame counts for CI
+//   --out     output path (default: BENCH_iss.json in the CWD)
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "iss/assembler.hpp"
+#include "iss/cpu.hpp"
+#include "iss/engine.hpp"
+#include "iss/guest_os.hpp"
+#include "vocoder/codec.hpp"
+#include "vocoder/iss_gen.hpp"
+#include "vocoder/timing.hpp"
+
+using namespace slm;
+using namespace slm::iss;
+using namespace slm::vocoder;
+
+namespace {
+
+struct Measurement {
+    double ns_per_item = 0.0;
+    double items_per_sec = 0.0;
+    std::uint64_t items = 0;
+};
+
+double elapsed_ns(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() -
+                                                    t0)
+        .count();
+}
+
+Measurement finish(std::uint64_t items, double ns) {
+    Measurement m;
+    m.items = items;
+    m.ns_per_item = ns / static_cast<double>(items);
+    m.items_per_sec = 1e9 * static_cast<double>(items) / ns;
+    return m;
+}
+
+/// FNV-1a over every architecturally visible outcome of a workload run.
+struct Fingerprint {
+    std::uint64_t h = 1469598103934665603ull;
+
+    void mix(std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xFFu;
+            h *= 1099511628211ull;
+        }
+    }
+    void mix_i32(std::int32_t v) { mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v))); }
+};
+
+struct WorkloadOutcome {
+    Measurement m;
+    std::uint64_t fingerprint = 0;
+    std::uint64_t guest_instructions = 0;
+    std::uint64_t guest_cycles = 0;
+    std::size_t engine_blocks = 0;
+    std::uint64_t engine_chain_hits = 0;
+};
+
+/// Run the full vocoder guest image (driver + encoder + decoder tasks under
+/// the guest kernel) for `frames` frames, feeding deterministic synthetic
+/// subframes from the host the way the implementation model's audio port
+/// does, and fingerprint everything the guest computed.
+WorkloadOutcome run_vocoder_workload(IssBackend backend, std::size_t frames) {
+    const GuestImage img = build_vocoder_guest(frames);
+    constexpr int kSubframeSamples = kFrameSamples / kSubframesPerFrame;
+
+    Cpu cpu{img.program.code, 65536, backend};
+    GuestKernel gk{cpu};
+    gk.sem_init(kSemSubframe, 0);
+    gk.sem_init(kSemFrame, 0);
+    gk.sem_init(kSemBits, 0);
+    gk.create_task("driver", kDriverPriority, img.driver_entry, 60000);
+    gk.create_task("encoder", kEncoderPriority, img.encoder_entry, 61000);
+    gk.create_task("decoder", kDecoderPriority, img.decoder_entry, 62000);
+
+    Fingerprint fp;
+    gk.set_host_notify([&fp](std::int32_t code, std::int32_t value) {
+        fp.mix_i32(code);
+        fp.mix_i32(value);
+    });
+
+    const std::size_t total_subframes = frames * static_cast<std::size_t>(kSubframesPerFrame);
+    std::size_t fed = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    while (!gk.all_exited()) {
+        if (gk.idle()) {
+            if (gk.has_sleepers()) {
+                gk.skip_idle_cycles(gk.cycles_until_wake());
+                continue;
+            }
+            if (fed >= total_subframes) {
+                std::fprintf(stderr, "bench_iss: guest deadlocked with no input left\n");
+                std::exit(1);
+            }
+            // Deterministic synthetic audio (same for both backends).
+            for (int i = 0; i < kSubframeSamples; ++i) {
+                const auto s = static_cast<std::int32_t>(
+                    (static_cast<std::uint32_t>(fed) * 2654435761u +
+                     static_cast<std::uint32_t>(i) * 40503u) %
+                        65536u) -
+                    32768;
+                cpu.store(static_cast<std::uint32_t>(kMicRxAddr + i), s);
+            }
+            gk.sem_post_from_host(kSemSubframe);
+            ++fed;
+            continue;
+        }
+        (void)gk.run_slice(100000);
+    }
+    const double ns = elapsed_ns(t0);
+
+    WorkloadOutcome out;
+    out.m = finish(cpu.retired(), ns);
+    out.guest_instructions = cpu.retired();
+    out.guest_cycles = cpu.cycles();
+    for (int i = 0; i < kNumRegs; ++i) {
+        fp.mix_i32(cpu.reg(i));
+    }
+    fp.mix_i32(cpu.pc());
+    fp.mix(cpu.retired());
+    fp.mix(cpu.cycles());
+    fp.mix(gk.stats().context_switches);
+    fp.mix(gk.stats().syscalls);
+    fp.mix(gk.stats().kernel_cycles);
+    fp.mix(gk.now_cycles());
+    for (const GuestTask* t : gk.tasks()) {
+        fp.mix(t->cycles_used);
+        fp.mix(static_cast<std::uint64_t>(t->state));
+    }
+    for (std::uint32_t w = 0; w < cpu.mem_words(); ++w) {
+        std::int32_t v = 0;
+        (void)cpu.try_load(w, v);
+        fp.mix_i32(v);
+    }
+    out.fingerprint = fp.h;
+    if (const SuperblockEngine* eng = cpu.engine()) {
+        out.engine_blocks = eng->block_count();
+        out.engine_chain_hits = eng->chain_hits();
+    }
+    return out;
+}
+
+/// Raw dispatch-rate microbench: a five-instruction MAC loop run for a fixed
+/// cycle budget — no kernel, no syscalls, pure engine-vs-switch throughput.
+Measurement run_mac_loop(IssBackend backend, std::uint64_t budget) {
+    const AsmResult r = assemble(R"(
+        ldi r1, 12345
+        ldi r2, 7
+        loop:
+        mac r3, r1, r2
+        addi r1, r1, -1
+        xor r4, r3, r1
+        and r5, r4, r2
+        bne r1, r0, loop
+        halt
+    )");
+    if (!r.ok()) {
+        std::fprintf(stderr, "bench_iss: mac loop failed to assemble\n");
+        std::exit(1);
+    }
+    Cpu cpu{r.program.code, 256, backend};
+    const auto t0 = std::chrono::steady_clock::now();
+    const RunResult res = cpu.run(budget);
+    const double ns = elapsed_ns(t0);
+    if (res.trap == Trap::Fault) {
+        std::fprintf(stderr, "bench_iss: mac loop faulted: %s\n",
+                     cpu.fault_message().c_str());
+        std::exit(1);
+    }
+    return finish(cpu.retired(), ns);
+}
+
+void emit(std::FILE* f, const char* name, const Measurement& m) {
+    std::fprintf(f,
+                 "    \"%s\": {\"unit\": \"instr\", \"ns_per_item\": %.3f, "
+                 "\"items_per_sec\": %.0f, \"items\": %llu}",
+                 name, m.ns_per_item, m.items_per_sec,
+                 static_cast<unsigned long long>(m.items));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    std::string out_path = "BENCH_iss.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: bench_iss [--smoke] [--out FILE]\n");
+            return 2;
+        }
+    }
+
+    const std::size_t frames = smoke ? 5 : 200;
+    const std::uint64_t mac_budget = smoke ? 2'000'000 : 200'000'000;
+    const int reps = smoke ? 1 : 3;  // best-of to damp scheduler noise
+
+    WorkloadOutcome fast{}, ref{};
+    for (int r = 0; r < reps; ++r) {
+        const WorkloadOutcome o = run_vocoder_workload(IssBackend::Superblock, frames);
+        if (r == 0 || o.m.items_per_sec > fast.m.items_per_sec) {
+            fast = o;
+        }
+    }
+    for (int r = 0; r < reps; ++r) {
+        const WorkloadOutcome o = run_vocoder_workload(IssBackend::Reference, frames);
+        if (r == 0 || o.m.items_per_sec > ref.m.items_per_sec) {
+            ref = o;
+        }
+    }
+
+    // Conformance hard-gate: both backends must have computed the identical
+    // architectural outcome, down to every word of guest memory.
+    if (fast.fingerprint != ref.fingerprint ||
+        fast.guest_instructions != ref.guest_instructions ||
+        fast.guest_cycles != ref.guest_cycles) {
+        std::fprintf(stderr,
+                     "bench_iss: BACKEND DIVERGENCE fast={fp=%016llx n=%llu c=%llu} "
+                     "reference={fp=%016llx n=%llu c=%llu}\n",
+                     static_cast<unsigned long long>(fast.fingerprint),
+                     static_cast<unsigned long long>(fast.guest_instructions),
+                     static_cast<unsigned long long>(fast.guest_cycles),
+                     static_cast<unsigned long long>(ref.fingerprint),
+                     static_cast<unsigned long long>(ref.guest_instructions),
+                     static_cast<unsigned long long>(ref.guest_cycles));
+        return 1;
+    }
+
+    Measurement mac_fast{}, mac_ref{};
+    for (int r = 0; r < reps; ++r) {
+        const Measurement m = run_mac_loop(IssBackend::Superblock, mac_budget);
+        if (r == 0 || m.items_per_sec > mac_fast.items_per_sec) {
+            mac_fast = m;
+        }
+    }
+    for (int r = 0; r < reps; ++r) {
+        const Measurement m = run_mac_loop(IssBackend::Reference, mac_budget);
+        if (r == 0 || m.items_per_sec > mac_ref.items_per_sec) {
+            mac_ref = m;
+        }
+    }
+
+    const double speedup = fast.m.items_per_sec / ref.m.items_per_sec;
+    const double mac_speedup = mac_fast.items_per_sec / mac_ref.items_per_sec;
+
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        std::perror("bench_iss: fopen");
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"slm-bench-iss-v1\",\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    std::fprintf(f, "  \"workload\": {\"frames\": %llu, \"guest_instructions\": %llu, "
+                 "\"guest_cycles\": %llu, \"state_fingerprint\": \"%016llx\"},\n",
+                 static_cast<unsigned long long>(frames),
+                 static_cast<unsigned long long>(fast.guest_instructions),
+                 static_cast<unsigned long long>(fast.guest_cycles),
+                 static_cast<unsigned long long>(fast.fingerprint));
+    std::fprintf(f, "  \"threaded_dispatch\": %s,\n",
+                 threaded_dispatch_compiled() ? "true" : "false");
+    std::fprintf(f, "  \"engine\": {\"blocks\": %llu, \"chain_hits\": %llu},\n",
+                 static_cast<unsigned long long>(fast.engine_blocks),
+                 static_cast<unsigned long long>(fast.engine_chain_hits));
+    std::fprintf(f, "  \"benchmarks\": {\n");
+    emit(f, "BM_VocoderGuestSuperblock", fast.m);
+    std::fprintf(f, ",\n");
+    emit(f, "BM_VocoderGuestReference", ref.m);
+    std::fprintf(f, ",\n");
+    emit(f, "BM_MacLoopSuperblock", mac_fast);
+    std::fprintf(f, ",\n");
+    emit(f, "BM_MacLoopReference", mac_ref);
+    std::fprintf(f, ",\n    \"speedup_fast_over_reference\": %.2f,\n", speedup);
+    std::fprintf(f, "    \"mac_loop_speedup\": %.2f\n", mac_speedup);
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+
+    std::printf("vocoder guest  superblock %10.2f ns/instr %14.0f instr/s\n",
+                fast.m.ns_per_item, fast.m.items_per_sec);
+    std::printf("vocoder guest  reference  %10.2f ns/instr %14.0f instr/s\n",
+                ref.m.ns_per_item, ref.m.items_per_sec);
+    std::printf("mac loop       superblock %10.2f ns/instr %14.0f instr/s\n",
+                mac_fast.ns_per_item, mac_fast.items_per_sec);
+    std::printf("mac loop       reference  %10.2f ns/instr %14.0f instr/s\n",
+                mac_ref.ns_per_item, mac_ref.items_per_sec);
+    std::printf("speedup fast/reference: vocoder %.1fx, mac loop %.1fx\n", speedup,
+                mac_speedup);
+    std::printf("state fingerprint %016llx (backends agree)\n",
+                static_cast<unsigned long long>(fast.fingerprint));
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

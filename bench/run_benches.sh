@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Run the kernel + RTOS + trace benchmark suites and leave machine-readable
-# BENCH_kernel.json / BENCH_rtos.json / BENCH_trace.json behind. Designed to
-# be runnable both by hand and from CI:
+# Run the kernel + RTOS + trace + ISS benchmark suites and leave
+# machine-readable BENCH_kernel.json / BENCH_rtos.json / BENCH_trace.json /
+# BENCH_iss.json behind. Designed to be runnable both by hand and from CI:
 #
 #   bench/run_benches.sh                    # full run, ./build, ./BENCH_*.json
 #   bench/run_benches.sh --smoke            # CI smoke mode (milliseconds)
@@ -9,6 +9,7 @@
 #   bench/run_benches.sh --out FILE         # where to write the kernel JSON
 #   bench/run_benches.sh --rtos-out FILE    # where to write the RTOS JSON
 #   bench/run_benches.sh --trace-out FILE   # where to write the trace JSON
+#   bench/run_benches.sh --iss-out FILE     # where to write the ISS JSON
 #   bench/run_benches.sh --micro            # also run the google-benchmark micro suite
 #
 # Any required benchmark binary that is missing is a hard error (exit 1), so
@@ -19,6 +20,7 @@ build_dir=build
 out=BENCH_kernel.json
 rtos_out=BENCH_rtos.json
 trace_out=BENCH_trace.json
+iss_out=BENCH_iss.json
 smoke_flag=""
 run_micro=0
 
@@ -29,13 +31,14 @@ while [[ $# -gt 0 ]]; do
     --out) out="$2"; shift ;;
     --rtos-out) rtos_out="$2"; shift ;;
     --trace-out) trace_out="$2"; shift ;;
+    --iss-out) iss_out="$2"; shift ;;
     --micro) run_micro=1 ;;
-    *) echo "usage: $0 [--smoke] [--build-dir DIR] [--out FILE] [--rtos-out FILE] [--trace-out FILE] [--micro]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--smoke] [--build-dir DIR] [--out FILE] [--rtos-out FILE] [--trace-out FILE] [--iss-out FILE] [--micro]" >&2; exit 2 ;;
   esac
   shift
 done
 
-required="bench_ctx bench_rtos bench_trace"
+required="bench_ctx bench_rtos bench_trace bench_iss"
 if [[ "$run_micro" == 1 ]]; then
   required="$required bench_micro"
 fi
@@ -49,6 +52,7 @@ done
 "$build_dir/bench/bench_ctx" $smoke_flag --out "$out"
 "$build_dir/bench/bench_rtos" $smoke_flag --out "$rtos_out"
 "$build_dir/bench/bench_trace" $smoke_flag --out "$trace_out"
+"$build_dir/bench/bench_iss" $smoke_flag --out "$iss_out"
 
 if [[ "$run_micro" == 1 ]]; then
   if [[ -n "$smoke_flag" ]]; then

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# ISS backend-equivalence gate: the decoded-superblock execution engine must
+# be architecturally indistinguishable from the reference interpreter. Runs
+# the differential suite (test_iss_engine: lockstep corpus + seeded fuzz +
+# guest-kernel scenarios) under the default fast engine and again with
+# SLM_ISS_REFERENCE=1, then runs bench_iss in smoke mode — which hard-fails
+# if the two backends' whole-workload state fingerprints diverge on the
+# vocoder guest image. Registered as the `check_iss` ctest (see the
+# top-level CMakeLists.txt) so it runs in plain and sanitizer builds alike.
+#
+#   ci/check_iss.sh [--build-dir DIR]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+if [[ "${1:-}" == "--build-dir" && -n "${2:-}" ]]; then
+  build_dir="$2"
+fi
+
+suite="$build_dir/tests/test_iss_engine"
+bench="$build_dir/bench/bench_iss"
+for bin in "$suite" "$bench"; do
+  if [ ! -x "$bin" ]; then
+    echo "check_iss: $bin not built (build the repo first)" >&2
+    exit 1
+  fi
+done
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+echo "check_iss: differential suite (superblock engine)"
+SLM_ISS_REFERENCE= "$suite" --gtest_brief=1
+
+echo "check_iss: differential suite (reference interpreter)"
+SLM_ISS_REFERENCE=1 "$suite" --gtest_brief=1
+
+echo "check_iss: whole-workload fingerprint (bench_iss --smoke)"
+"$bench" --smoke --out "$tmpdir/BENCH_iss_smoke.json"
+
+if [ ! -s "$tmpdir/BENCH_iss_smoke.json" ]; then
+  echo "check_iss: bench_iss produced an empty report" >&2
+  exit 1
+fi
+
+echo "check_iss: OK (both backends agree on corpus, fuzz, and vocoder guest)"

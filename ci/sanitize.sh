@@ -3,7 +3,9 @@
 # -DSLM_SANITIZE=ON. This exercises the fast-context engine's sanitizer
 # fiber annotations and the stack pool's unpoison-on-recycle path (see
 # docs/kernel-internals.md), plus every ucontext-variant test the suite
-# registers.
+# registers. The ISS's decoded-superblock engine runs under sanitizers here
+# too: the *.refiss test variants and the check_iss gate (lockstep
+# differential suite + bench_iss fingerprint) are part of the ctest run.
 #
 #   ci/sanitize.sh              # build tree: build-asan
 #   ci/sanitize.sh my-dir       # pick another build tree

@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
     }
 
     Cpu cpu{r.program.code, 4096};
-    const StepResult res = cpu.run(max_cycles);
+    const RunResult res = cpu.run(max_cycles);
 
     std::printf("\nstopped: %s after %llu instructions, %llu cycles\n",
                 res.trap == Trap::Halt    ? "halt"

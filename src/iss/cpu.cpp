@@ -1,11 +1,78 @@
 #include "iss/cpu.hpp"
 
+#include <cstdlib>
 #include <limits>
+
+#include "iss/engine.hpp"
 
 namespace slm::iss {
 
-Cpu::Cpu(std::vector<Instr> program, std::size_t data_words)
-    : prog_(std::move(program)), mem_(data_words, 0) {}
+IssBackend resolve_iss_backend(IssBackend requested) {
+    if (requested != IssBackend::Auto) {
+        return requested;
+    }
+    const char* env = std::getenv("SLM_ISS_REFERENCE");
+    if (env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0')) {
+        return IssBackend::Reference;
+    }
+    return IssBackend::Superblock;
+}
+
+Cpu::Cpu(std::vector<Instr> program, std::size_t data_words, IssBackend backend)
+    : prog_(std::move(program)),
+      mem_(data_words, 0),
+      backend_(resolve_iss_backend(backend)) {}
+
+Cpu::~Cpu() = default;
+
+Cpu::Cpu(const Cpu& other)
+    : prog_(other.prog_),
+      mem_(other.mem_),
+      ctx_(other.ctx_),
+      retired_(other.retired_),
+      cycles_(other.cycles_),
+      fault_(other.fault_),
+      backend_(other.backend_) {}
+
+Cpu& Cpu::operator=(const Cpu& other) {
+    if (this != &other) {
+        prog_ = other.prog_;
+        mem_ = other.mem_;
+        ctx_ = other.ctx_;
+        retired_ = other.retired_;
+        cycles_ = other.cycles_;
+        fault_ = other.fault_;
+        backend_ = other.backend_;
+        engine_.reset();  // held a reference to the old program/memory
+    }
+    return *this;
+}
+
+Cpu::Cpu(Cpu&& other) noexcept
+    : prog_(std::move(other.prog_)),
+      mem_(std::move(other.mem_)),
+      ctx_(other.ctx_),
+      retired_(other.retired_),
+      cycles_(other.cycles_),
+      fault_(std::move(other.fault_)),
+      backend_(other.backend_) {
+    other.engine_.reset();  // its engine referenced the moved-from Cpu
+}
+
+Cpu& Cpu::operator=(Cpu&& other) noexcept {
+    if (this != &other) {
+        prog_ = std::move(other.prog_);
+        mem_ = std::move(other.mem_);
+        ctx_ = other.ctx_;
+        retired_ = other.retired_;
+        cycles_ = other.cycles_;
+        fault_ = std::move(other.fault_);
+        backend_ = other.backend_;
+        engine_.reset();
+        other.engine_.reset();
+    }
+    return *this;
+}
 
 bool Cpu::mem_ok(std::int64_t addr) {
     if (addr < 0 || addr >= static_cast<std::int64_t>(mem_.size())) {
@@ -15,12 +82,35 @@ bool Cpu::mem_ok(std::int64_t addr) {
     return true;
 }
 
-std::int32_t Cpu::load(std::uint32_t addr) const {
-    return mem_.at(addr);
+bool Cpu::try_load(std::uint32_t addr, std::int32_t& out) const {
+    if (addr >= mem_.size()) {
+        return false;
+    }
+    out = mem_[addr];
+    return true;
+}
+
+bool Cpu::try_store(std::uint32_t addr, std::int32_t value) {
+    if (addr >= mem_.size()) {
+        return false;
+    }
+    mem_[addr] = value;
+    return true;
+}
+
+std::int32_t Cpu::load(std::uint32_t addr) {
+    std::int32_t out = 0;
+    if (!try_load(addr, out)) {
+        fault_ = "host data access out of range: " + std::to_string(addr);
+        return 0;
+    }
+    return out;
 }
 
 void Cpu::store(std::uint32_t addr, std::int32_t value) {
-    mem_.at(addr) = value;
+    if (!try_store(addr, value)) {
+        fault_ = "host data access out of range: " + std::to_string(addr);
+    }
 }
 
 StepResult Cpu::step() {
@@ -118,11 +208,21 @@ StepResult Cpu::step() {
     return {trap, cost, i.op == Op::Sys ? i.imm : 0};
 }
 
-StepResult Cpu::run(std::uint64_t max_cycles) {
-    StepResult agg{};
-    while (static_cast<std::uint64_t>(agg.cycles) < max_cycles) {
+RunResult Cpu::run(std::uint64_t max_cycles) {
+    if (backend_ == IssBackend::Superblock) {
+        if (engine_ == nullptr) {
+            engine_ = std::make_unique<SuperblockEngine>(*this);
+        }
+        return engine_->run(max_cycles);
+    }
+    return run_reference(max_cycles);
+}
+
+RunResult Cpu::run_reference(std::uint64_t max_cycles) {
+    RunResult agg{};
+    while (agg.cycles < max_cycles) {
         const StepResult r = step();
-        agg.cycles += r.cycles;
+        agg.cycles += static_cast<std::uint64_t>(r.cycles);
         if (r.trap != Trap::None) {
             agg.trap = r.trap;
             agg.sys_no = r.sys_no;

@@ -2,12 +2,15 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "iss/isa.hpp"
 
 namespace slm::iss {
+
+class SuperblockEngine;
 
 /// Reason the CPU stopped after a step.
 enum class Trap : std::uint8_t {
@@ -23,6 +26,28 @@ struct StepResult {
     std::int32_t sys_no = 0;
 };
 
+/// Aggregate result of Cpu::run(): like StepResult but with a 64-bit cycle
+/// count, so long soak budgets (> 2^31 cycles) cannot overflow the aggregate.
+struct RunResult {
+    Trap trap = Trap::None;
+    std::uint64_t cycles = 0;
+    std::int32_t sys_no = 0;
+};
+
+/// Execution backend behind Cpu::run(). Both produce byte-identical
+/// architectural results (ci/check_iss.sh enforces this in lockstep); the
+/// superblock engine is just faster.
+enum class IssBackend : std::uint8_t {
+    Auto,        ///< Superblock unless the SLM_ISS_REFERENCE env var is set
+    Reference,   ///< one step() per instruction through the decode switch
+    Superblock,  ///< decoded-superblock engine with threaded dispatch
+};
+
+/// Resolve Auto against the environment: setting SLM_ISS_REFERENCE to any
+/// non-empty value other than "0" forces the reference interpreter (mirrors
+/// SLM_FORCE_UCONTEXT for the coroutine backend).
+[[nodiscard]] IssBackend resolve_iss_backend(IssBackend requested);
+
 /// Architectural register state of one hardware context. The guest kernel
 /// swaps these in and out of the CPU on context switches, exactly like a real
 /// RTOS port's context-switch assembly saves and restores the register file.
@@ -37,16 +62,33 @@ struct Context {
 class Cpu {
 public:
     /// `data_words` is the size of the word-addressed data memory.
-    explicit Cpu(std::vector<Instr> program, std::size_t data_words = 65536);
+    explicit Cpu(std::vector<Instr> program, std::size_t data_words = 65536,
+                 IssBackend backend = IssBackend::Auto);
+    ~Cpu();
+    Cpu(const Cpu& other);
+    Cpu& operator=(const Cpu& other);
+    Cpu(Cpu&& other) noexcept;
+    Cpu& operator=(Cpu&& other) noexcept;
 
-    /// Execute one instruction. On Trap::Sys the pc already points past the
-    /// SYS instruction; resuming simply continues execution.
+    /// Execute one instruction through the reference interpreter. On Trap::Sys
+    /// the pc already points past the SYS instruction; resuming simply
+    /// continues execution. Always available regardless of backend.
     StepResult step();
 
-    /// Run up to `max_cycles` cycles or until a trap, whichever comes first.
-    /// Returns the cycles actually consumed and the trap (None if the budget
-    /// ran out mid-stream).
-    StepResult run(std::uint64_t max_cycles);
+    /// Run up to `max_cycles` cycles or until a trap, whichever comes first
+    /// (overshooting by at most the one in-flight instruction). Returns the
+    /// cycles actually consumed and the trap (None if the budget ran out
+    /// mid-stream). Dispatches to the selected backend.
+    RunResult run(std::uint64_t max_cycles);
+
+    /// run() pinned to the reference interpreter, regardless of backend.
+    RunResult run_reference(std::uint64_t max_cycles);
+
+    // ---- backend selection ----
+    [[nodiscard]] IssBackend backend() const { return backend_; }
+    void set_backend(IssBackend backend) { backend_ = resolve_iss_backend(backend); }
+    /// The superblock engine, if one has been built (diagnostics / stats).
+    [[nodiscard]] const SuperblockEngine* engine() const { return engine_.get(); }
 
     // ---- architectural state ----
     [[nodiscard]] std::int32_t reg(int idx) const { return ctx_.regs.at(static_cast<std::size_t>(idx)); }
@@ -57,8 +99,14 @@ public:
     [[nodiscard]] const Context& context() const { return ctx_; }
     void load_context(const Context& c) { ctx_ = c; }
 
-    // ---- data memory ----
-    [[nodiscard]] std::int32_t load(std::uint32_t addr) const;
+    // ---- data memory (host-facing accessors) ----
+    /// Checked host access: false (and no side effect) when `addr` is out of
+    /// range, sharing the bounds rule with guest Ld/St.
+    [[nodiscard]] bool try_load(std::uint32_t addr, std::int32_t& out) const;
+    [[nodiscard]] bool try_store(std::uint32_t addr, std::int32_t value);
+    /// Convenience forms: out-of-range access records a fault (see
+    /// fault_message()) instead of throwing; load returns 0, store is a no-op.
+    [[nodiscard]] std::int32_t load(std::uint32_t addr);
     void store(std::uint32_t addr, std::int32_t value);
     [[nodiscard]] std::size_t mem_words() const { return mem_.size(); }
 
@@ -71,6 +119,8 @@ public:
     [[nodiscard]] const std::string& fault_message() const { return fault_; }
 
 private:
+    friend class SuperblockEngine;
+
     [[nodiscard]] bool mem_ok(std::int64_t addr);
 
     std::vector<Instr> prog_;
@@ -79,6 +129,10 @@ private:
     std::uint64_t retired_ = 0;
     std::uint64_t cycles_ = 0;
     std::string fault_;
+    IssBackend backend_ = IssBackend::Superblock;
+    /// Built lazily on the first Superblock run(); holds a reference to this
+    /// Cpu, so copy/move reset it (it is rebuilt on demand).
+    std::unique_ptr<SuperblockEngine> engine_;
 };
 
 }  // namespace slm::iss

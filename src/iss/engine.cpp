@@ -1,0 +1,496 @@
+#include "iss/engine.hpp"
+
+#include <limits>
+#include <string>
+
+namespace slm::iss {
+
+// The dispatch tables index handlers by the raw Op value; the split between
+// straight-line body ops and block terminators is baked into these bounds.
+static_assert(static_cast<int>(Op::St) == 16, "body handler table covers Nop..St");
+static_assert(static_cast<int>(Op::Beq) == 17, "terminators start at Beq");
+static_assert(static_cast<int>(Op::Halt) == 25, "Halt is the last opcode");
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SLM_ISS_THREADED_DISPATCH 1
+#else
+#define SLM_ISS_THREADED_DISPATCH 0
+#endif
+
+bool threaded_dispatch_compiled() {
+    return SLM_ISS_THREADED_DISPATCH != 0;
+}
+
+namespace {
+
+using Decoded = SuperblockEngine::Decoded;
+
+/// Result of executing a block body: `done` instructions retired; `fault`
+/// 0 = none, 1 = data access out of range, 2 = division by zero (the faulting
+/// instruction is code[done] and had no architectural effect).
+struct BodyOutcome {
+    std::uint32_t done = 0;
+    std::uint8_t fault = 0;
+};
+
+constexpr std::uint8_t kFaultMem = 1;
+constexpr std::uint8_t kFaultDiv = 2;
+
+inline std::int32_t wrap(std::uint32_t v) { return static_cast<std::int32_t>(v); }
+inline std::uint32_t uns(std::int32_t v) { return static_cast<std::uint32_t>(v); }
+
+// ---- portable function-pointer dispatch ----
+// Always compiled (so both paths stay warning-clean); used as the body
+// executor only when computed goto is unavailable.
+
+struct BodyState {
+    std::int32_t* r;
+    std::int32_t* mem;
+    std::uint64_t mem_words;
+};
+
+/// Returns 0 on success, else the fault kind.
+using Handler = std::uint8_t (*)(const Decoded&, BodyState&);
+
+std::uint8_t h_nop(const Decoded&, BodyState&) { return 0; }
+std::uint8_t h_ldi(const Decoded& d, BodyState& s) {
+    s.r[d.rd] = d.imm;
+    return 0;
+}
+std::uint8_t h_mov(const Decoded& d, BodyState& s) {
+    s.r[d.rd] = s.r[d.ra];
+    return 0;
+}
+std::uint8_t h_add(const Decoded& d, BodyState& s) {
+    s.r[d.rd] = wrap(uns(s.r[d.ra]) + uns(s.r[d.rb]));
+    return 0;
+}
+std::uint8_t h_sub(const Decoded& d, BodyState& s) {
+    s.r[d.rd] = wrap(uns(s.r[d.ra]) - uns(s.r[d.rb]));
+    return 0;
+}
+std::uint8_t h_mul(const Decoded& d, BodyState& s) {
+    s.r[d.rd] = wrap(uns(s.r[d.ra]) * uns(s.r[d.rb]));
+    return 0;
+}
+std::uint8_t h_mac(const Decoded& d, BodyState& s) {
+    s.r[d.rd] = wrap(uns(s.r[d.rd]) + uns(s.r[d.ra]) * uns(s.r[d.rb]));
+    return 0;
+}
+std::uint8_t h_and(const Decoded& d, BodyState& s) {
+    s.r[d.rd] = s.r[d.ra] & s.r[d.rb];
+    return 0;
+}
+std::uint8_t h_or(const Decoded& d, BodyState& s) {
+    s.r[d.rd] = s.r[d.ra] | s.r[d.rb];
+    return 0;
+}
+std::uint8_t h_xor(const Decoded& d, BodyState& s) {
+    s.r[d.rd] = s.r[d.ra] ^ s.r[d.rb];
+    return 0;
+}
+std::uint8_t h_shl(const Decoded& d, BodyState& s) {
+    s.r[d.rd] = wrap(uns(s.r[d.ra]) << (s.r[d.rb] & 31));
+    return 0;
+}
+std::uint8_t h_shr(const Decoded& d, BodyState& s) {
+    s.r[d.rd] = wrap(uns(s.r[d.ra]) >> (s.r[d.rb] & 31));
+    return 0;
+}
+std::uint8_t h_div(const Decoded& d, BodyState& s) {
+    const std::int32_t b = s.r[d.rb];
+    if (b == 0) {
+        return kFaultDiv;
+    }
+    const std::int32_t a = s.r[d.ra];
+    s.r[d.rd] = (a == std::numeric_limits<std::int32_t>::min() && b == -1) ? a : a / b;
+    return 0;
+}
+std::uint8_t h_rem(const Decoded& d, BodyState& s) {
+    const std::int32_t b = s.r[d.rb];
+    if (b == 0) {
+        return kFaultDiv;
+    }
+    const std::int32_t a = s.r[d.ra];
+    s.r[d.rd] = (a == std::numeric_limits<std::int32_t>::min() && b == -1) ? 0 : a % b;
+    return 0;
+}
+std::uint8_t h_addi(const Decoded& d, BodyState& s) {
+    s.r[d.rd] = wrap(uns(s.r[d.ra]) + uns(d.imm));
+    return 0;
+}
+std::uint8_t h_ld(const Decoded& d, BodyState& s) {
+    // Load/store fastpath: a single unsigned compare covers both the negative
+    // and the past-the-end case (negative addresses wrap to huge uint64).
+    const auto addr =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(s.r[d.ra]) + d.imm);
+    if (addr >= s.mem_words) {
+        return kFaultMem;
+    }
+    s.r[d.rd] = s.mem[addr];
+    return 0;
+}
+std::uint8_t h_st(const Decoded& d, BodyState& s) {
+    const auto addr =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(s.r[d.ra]) + d.imm);
+    if (addr >= s.mem_words) {
+        return kFaultMem;
+    }
+    s.mem[addr] = s.r[d.rb];
+    return 0;
+}
+
+[[maybe_unused]] BodyOutcome exec_body_table(const Decoded* code, std::uint32_t n,
+                                             std::int32_t* r, std::int32_t* mem,
+                                             std::uint64_t mem_words) {
+    static const Handler kBody[17] = {h_nop, h_ldi, h_mov, h_add,  h_sub, h_mul,
+                                      h_mac, h_and, h_or,  h_xor,  h_shl, h_shr,
+                                      h_div, h_rem, h_addi, h_ld,  h_st};
+    BodyState s{r, mem, mem_words};
+    for (std::uint32_t k = 0; k < n; ++k) {
+        const std::uint8_t fault = kBody[code[k].handler](code[k], s);
+        if (fault != 0) {
+            return {k, fault};
+        }
+    }
+    return {n, 0};
+}
+
+#if SLM_ISS_THREADED_DISPATCH
+
+/// Threaded (computed-goto) body executor: one indirect jump per instruction,
+/// no loop bookkeeping between handlers.
+BodyOutcome exec_body(const Decoded* code, std::uint32_t n, std::int32_t* r,
+                      std::int32_t* mem, std::uint64_t mem_words) {
+    if (n == 0) {
+        return {0, 0};
+    }
+    static const void* const kBody[17] = {
+        &&l_nop, &&l_ldi, &&l_mov, &&l_add,  &&l_sub, &&l_mul, &&l_mac, &&l_and,
+        &&l_or,  &&l_xor, &&l_shl, &&l_shr,  &&l_div, &&l_rem, &&l_addi, &&l_ld,
+        &&l_st};
+    std::uint32_t k = 0;
+    const Decoded* d = code;
+#define SLM_DISPATCH()              \
+    do {                            \
+        if (++k == n) {             \
+            return {n, 0};          \
+        }                           \
+        d = code + k;               \
+        goto* kBody[d->handler];    \
+    } while (0)
+    goto* kBody[d->handler];
+l_nop:
+    SLM_DISPATCH();
+l_ldi:
+    r[d->rd] = d->imm;
+    SLM_DISPATCH();
+l_mov:
+    r[d->rd] = r[d->ra];
+    SLM_DISPATCH();
+l_add:
+    r[d->rd] = wrap(uns(r[d->ra]) + uns(r[d->rb]));
+    SLM_DISPATCH();
+l_sub:
+    r[d->rd] = wrap(uns(r[d->ra]) - uns(r[d->rb]));
+    SLM_DISPATCH();
+l_mul:
+    r[d->rd] = wrap(uns(r[d->ra]) * uns(r[d->rb]));
+    SLM_DISPATCH();
+l_mac:
+    r[d->rd] = wrap(uns(r[d->rd]) + uns(r[d->ra]) * uns(r[d->rb]));
+    SLM_DISPATCH();
+l_and:
+    r[d->rd] = r[d->ra] & r[d->rb];
+    SLM_DISPATCH();
+l_or:
+    r[d->rd] = r[d->ra] | r[d->rb];
+    SLM_DISPATCH();
+l_xor:
+    r[d->rd] = r[d->ra] ^ r[d->rb];
+    SLM_DISPATCH();
+l_shl:
+    r[d->rd] = wrap(uns(r[d->ra]) << (r[d->rb] & 31));
+    SLM_DISPATCH();
+l_shr:
+    r[d->rd] = wrap(uns(r[d->ra]) >> (r[d->rb] & 31));
+    SLM_DISPATCH();
+l_div: {
+    const std::int32_t b = r[d->rb];
+    if (b == 0) {
+        return {k, kFaultDiv};
+    }
+    const std::int32_t a = r[d->ra];
+    r[d->rd] = (a == std::numeric_limits<std::int32_t>::min() && b == -1) ? a : a / b;
+    SLM_DISPATCH();
+}
+l_rem: {
+    const std::int32_t b = r[d->rb];
+    if (b == 0) {
+        return {k, kFaultDiv};
+    }
+    const std::int32_t a = r[d->ra];
+    r[d->rd] = (a == std::numeric_limits<std::int32_t>::min() && b == -1) ? 0 : a % b;
+    SLM_DISPATCH();
+}
+l_addi:
+    r[d->rd] = wrap(uns(r[d->ra]) + uns(d->imm));
+    SLM_DISPATCH();
+l_ld: {
+    const auto addr =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(r[d->ra]) + d->imm);
+    if (addr >= mem_words) {
+        return {k, kFaultMem};
+    }
+    r[d->rd] = mem[addr];
+    SLM_DISPATCH();
+}
+l_st: {
+    const auto addr =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(r[d->ra]) + d->imm);
+    if (addr >= mem_words) {
+        return {k, kFaultMem};
+    }
+    mem[addr] = r[d->rb];
+    SLM_DISPATCH();
+}
+#undef SLM_DISPATCH
+}
+
+#else
+
+BodyOutcome exec_body(const Decoded* code, std::uint32_t n, std::int32_t* r,
+                      std::int32_t* mem, std::uint64_t mem_words) {
+    return exec_body_table(code, n, r, mem, mem_words);
+}
+
+#endif  // SLM_ISS_THREADED_DISPATCH
+
+}  // namespace
+
+SuperblockEngine::SuperblockEngine(Cpu& cpu)
+    : cpu_(cpu), entry_(cpu.prog_.size(), -1) {}
+
+std::int32_t SuperblockEngine::decode_block(std::int32_t entry_pc) {
+    Block b;
+    b.entry_pc = entry_pc;
+    b.first = static_cast<std::uint32_t>(code_.size());
+    const std::vector<Instr>& prog = cpu_.prog_;
+    std::uint32_t cost = 0;
+    std::int32_t pc = entry_pc;
+    while (true) {
+        const Instr& ins = prog[static_cast<std::size_t>(pc)];
+        Decoded d;
+        d.handler = static_cast<std::uint8_t>(ins.op);
+        d.rd = ins.rd;
+        d.ra = ins.ra;
+        d.rb = ins.rb;
+        d.prefix_cost = cost;
+        d.imm = ins.imm;
+        d.pc = pc;
+        code_.push_back(d);
+        cost += static_cast<std::uint32_t>(cycle_cost(ins.op));
+        ++b.count;
+        if (ins.op >= Op::Beq) {
+            b.term = ins.op;
+            b.has_term = true;
+            break;
+        }
+        ++pc;
+        if (pc >= static_cast<std::int32_t>(prog.size())) {
+            break;  // block falls off the end of the program
+        }
+    }
+    b.cost = cost;
+    const auto idx = static_cast<std::int32_t>(blocks_.size());
+    blocks_.push_back(b);
+    entry_[static_cast<std::size_t>(entry_pc)] = idx;
+    return idx;
+}
+
+std::int32_t SuperblockEngine::lookup_block(std::int32_t pc) {
+    if (pc < 0 || pc >= static_cast<std::int32_t>(entry_.size())) {
+        return -1;
+    }
+    const std::int32_t cached = entry_[static_cast<std::size_t>(pc)];
+    return cached >= 0 ? cached : decode_block(pc);
+}
+
+RunResult SuperblockEngine::run(std::uint64_t max_cycles) {
+    RunResult agg{};
+    if (max_cycles == 0) {
+        return agg;  // reference: the budget check precedes the first step
+    }
+    Context& ctx = cpu_.ctx_;
+    std::int32_t bi = lookup_block(ctx.pc);
+    if (bi < 0) {
+        cpu_.fault_ = "pc out of range: " + std::to_string(ctx.pc);
+        agg.trap = Trap::Fault;
+        return agg;
+    }
+    std::int32_t* const r = ctx.regs.data();
+    std::int32_t* const mem = cpu_.mem_.data();
+    const std::uint64_t mem_words = cpu_.mem_.size();
+
+    enum class Slot : std::uint8_t { None, Target, Fall };
+    while (true) {
+        // By value: lookup_block() during chain resolution may grow blocks_.
+        const Block blk = blocks_[static_cast<std::size_t>(bi)];
+        ++blocks_executed_;
+        const Decoded* const code = code_.data() + blk.first;
+        const std::uint32_t n = blk.count;
+        const std::uint32_t body_n = blk.has_term ? n - 1 : n;
+        const std::uint64_t room = max_cycles - agg.cycles;  // loop invariant: > 0
+
+        // Reference budget rule: instruction k executes iff the cycles spent
+        // before it stay below the budget, i.e. prefix_cost[k] < room. The
+        // common case (whole block fits) is one compare against the last
+        // prefix; otherwise scan for the first instruction over budget.
+        std::uint32_t stop = n;
+        if (code[n - 1].prefix_cost >= room) {
+            stop = 1;  // prefix_cost[0] == 0 < room always holds
+            while (code[stop].prefix_cost < room) {
+                ++stop;
+            }
+        }
+
+        const std::uint32_t body_run = stop < body_n ? stop : body_n;
+        const BodyOutcome out = exec_body(code, body_run, r, mem, mem_words);
+        if (out.fault != 0) {
+            // The faulting instruction had no architectural effect: registers
+            // and memory hold the state after code[out.done - 1], and the pc
+            // parks on the faulting instruction, exactly like step().
+            const Decoded& f = code[out.done];
+            if (out.fault == kFaultMem) {
+                const std::int64_t addr = static_cast<std::int64_t>(r[f.ra]) + f.imm;
+                cpu_.fault_ = "data access out of range: " + std::to_string(addr);
+            } else {
+                cpu_.fault_ = "division by zero at pc " + std::to_string(f.pc);
+            }
+            ctx.pc = f.pc;
+            cpu_.retired_ += out.done;
+            cpu_.cycles_ += f.prefix_cost;
+            agg.cycles += f.prefix_cost;
+            agg.trap = Trap::Fault;
+            return agg;
+        }
+        if (stop < n) {
+            // Budget ran out mid-block: park the pc on the first instruction
+            // that no longer fit, matching where the reference stepper stops.
+            const Decoded& next_d = code[stop];
+            ctx.pc = next_d.pc;
+            cpu_.retired_ += stop;
+            cpu_.cycles_ += next_d.prefix_cost;
+            agg.cycles += next_d.prefix_cost;
+            return agg;  // Trap::None
+        }
+
+        // Whole block retired: resolve the terminator.
+        std::int32_t next_pc = 0;
+        std::uint32_t charge = 0;
+        Slot slot = Slot::None;
+        if (!blk.has_term) {
+            next_pc = blk.entry_pc + static_cast<std::int32_t>(n);
+            charge = blk.cost;
+            slot = Slot::Fall;
+        } else {
+            const Decoded& t = code[n - 1];
+            const std::uint32_t pre = t.prefix_cost;
+            const std::uint32_t tc = blk.cost - pre;  // terminator taken-cost
+            switch (blk.term) {
+                case Op::Beq:
+                case Op::Bne:
+                case Op::Blt:
+                case Op::Bge: {
+                    const std::int32_t a = r[t.ra];
+                    const std::int32_t b2 = r[t.rb];
+                    bool taken = false;
+                    switch (blk.term) {
+                        case Op::Beq: taken = a == b2; break;
+                        case Op::Bne: taken = a != b2; break;
+                        case Op::Blt: taken = a < b2; break;
+                        default: taken = a >= b2; break;
+                    }
+                    if (taken) {
+                        next_pc = t.imm;
+                        charge = pre + tc;
+                        slot = Slot::Target;
+                    } else {
+                        next_pc = t.pc + 1;
+                        charge = pre + tc - 1;  // untaken branch is one cheaper
+                        slot = Slot::Fall;
+                    }
+                    break;
+                }
+                case Op::Jmp:
+                    next_pc = t.imm;
+                    charge = pre + tc;
+                    slot = Slot::Target;
+                    break;
+                case Op::Jal:
+                    r[t.rd] = t.pc + 1;
+                    next_pc = t.imm;
+                    charge = pre + tc;
+                    slot = Slot::Target;
+                    break;
+                case Op::Jr:
+                    next_pc = r[t.ra];
+                    charge = pre + tc;
+                    break;  // dynamic target: no chain slot
+                case Op::Sys:
+                    ctx.pc = t.pc + 1;  // resume past the SYS instruction
+                    cpu_.retired_ += n;
+                    cpu_.cycles_ += pre + tc;
+                    agg.cycles += pre + tc;
+                    agg.trap = Trap::Sys;
+                    agg.sys_no = t.imm;
+                    return agg;
+                case Op::Halt:
+                    ctx.pc = t.pc;  // stay put: Halt re-executes on resume
+                    cpu_.retired_ += n;
+                    cpu_.cycles_ += pre + tc;
+                    agg.cycles += pre + tc;
+                    agg.trap = Trap::Halt;
+                    return agg;
+                default:
+                    break;  // unreachable: body ops never terminate a block
+            }
+        }
+
+        ctx.pc = next_pc;
+        cpu_.retired_ += n;
+        cpu_.cycles_ += charge;
+        agg.cycles += charge;
+        if (agg.cycles >= max_cycles) {
+            // Budget spent exactly at the block boundary. Return before
+            // resolving the next pc: like the reference, a bad next pc only
+            // faults once the caller grants more cycles.
+            return agg;
+        }
+
+        // Direct block chaining: statically known successors resolve through
+        // the terminator's cached slot instead of the entry table.
+        const std::int32_t cached = slot == Slot::Target ? blk.chain_target
+                                    : slot == Slot::Fall ? blk.chain_fall
+                                                         : -1;
+        if (cached >= 0) {
+            ++chain_hits_;
+            bi = cached;
+            continue;
+        }
+        const std::int32_t nb = lookup_block(next_pc);
+        if (nb < 0) {
+            cpu_.fault_ = "pc out of range: " + std::to_string(next_pc);
+            agg.trap = Trap::Fault;
+            return agg;
+        }
+        if (slot == Slot::Target) {
+            blocks_[static_cast<std::size_t>(bi)].chain_target = nb;
+        } else if (slot == Slot::Fall) {
+            blocks_[static_cast<std::size_t>(bi)].chain_fall = nb;
+        }
+        bi = nb;
+    }
+}
+
+}  // namespace slm::iss

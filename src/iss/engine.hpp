@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "iss/cpu.hpp"
+
+namespace slm::iss {
+
+/// True when the engine was compiled with the computed-goto threaded-dispatch
+/// loop (GNU labels-as-values); false means the portable function-pointer
+/// handler table is in use. Either way the architectural results are
+/// identical — this only selects the dispatch mechanism.
+[[nodiscard]] bool threaded_dispatch_compiled();
+
+/// Decoded-superblock execution engine: the fast backend behind
+/// `Cpu::run()` (see `IssBackend::Superblock`).
+///
+/// The immutable program is pre-decoded on demand into *superblocks* — runs
+/// of instructions ending at the first control transfer (branch, `jmp`,
+/// `jal`, `jr`, `sys`, `halt`) or at the end of the program. Each instruction
+/// is lowered to a compact pre-resolved form (`Decoded`: handler id, operand
+/// register indices, immediate, and the cycle cost of everything before it in
+/// the block), so the hot loop does no opcode classification, no per-step
+/// cycle-cost lookup, and no per-instruction counter updates. Blocks may
+/// overlap: a jump into the middle of an existing block simply decodes a new
+/// block starting there (the riscv-vp "dbbcache" idiom).
+///
+/// Dispatch inside a block is threaded (computed goto) where the compiler
+/// supports it, a function-pointer table otherwise. Statically known branch
+/// targets (taken branches, `jmp`, `jal`) and fallthroughs are *chained*:
+/// after the first execution the successor block index is cached in the
+/// terminator's chain slot and the entry-table lookup is skipped.
+///
+/// Cycle/retired accounting is aggregated per block, and the engine is
+/// cycle-exact against the reference interpreter: a `run(max_cycles)` budget
+/// stops at exactly the same instruction (block epilogues replay the
+/// reference's pre-instruction budget check via the per-instruction prefix
+/// costs), faults charge nothing for the faulting instruction, and fault
+/// messages are byte-identical. `ci/check_iss.sh` enforces this lockstep.
+class SuperblockEngine {
+public:
+    /// Compact pre-resolved instruction. `handler` is the dispatch index
+    /// (the `Op` value); `prefix_cost` is the cycle cost of all preceding
+    /// instructions in the same block, which lets block epilogues reconstruct
+    /// mid-block budget stops and fault accounting without per-instruction
+    /// bookkeeping.
+    struct Decoded {
+        std::uint8_t handler = 0;
+        std::uint8_t rd = 0;
+        std::uint8_t ra = 0;
+        std::uint8_t rb = 0;
+        std::uint32_t prefix_cost = 0;
+        std::int32_t imm = 0;
+        std::int32_t pc = 0;
+    };
+
+    explicit SuperblockEngine(Cpu& cpu);
+
+    /// Same contract as `Cpu::run()`: execute until a trap or until the cycle
+    /// budget is exhausted, overshooting by at most one instruction, with
+    /// architectural state byte-identical to the reference interpreter.
+    RunResult run(std::uint64_t max_cycles);
+
+    // ---- cache statistics (diagnostics / bench reporting) ----
+    [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+    [[nodiscard]] std::size_t decoded_instr_count() const { return code_.size(); }
+    [[nodiscard]] std::uint64_t blocks_executed() const { return blocks_executed_; }
+    [[nodiscard]] std::uint64_t chain_hits() const { return chain_hits_; }
+
+private:
+    struct Block {
+        std::uint32_t first = 0;  ///< index of the first Decoded in code_
+        std::uint32_t count = 0;  ///< instructions including the terminator
+        std::uint32_t cost = 0;   ///< total cycle cost (branch assumed taken)
+        Op term = Op::Nop;        ///< terminator op; Nop = falls off the end
+        bool has_term = false;
+        std::int32_t entry_pc = 0;
+        std::int32_t chain_target = -1;  ///< cached block for the static target
+        std::int32_t chain_fall = -1;    ///< cached block for the fallthrough
+    };
+
+    /// Block starting at `pc`, decoding it first if needed; -1 if `pc` is
+    /// outside the program (the caller raises the pc fault).
+    [[nodiscard]] std::int32_t lookup_block(std::int32_t pc);
+    std::int32_t decode_block(std::int32_t entry_pc);
+
+    Cpu& cpu_;
+    std::vector<Decoded> code_;         ///< decoded bodies, blocks are slices
+    std::vector<Block> blocks_;
+    std::vector<std::int32_t> entry_;   ///< pc -> block index, -1 = not decoded
+    std::uint64_t blocks_executed_ = 0;
+    std::uint64_t chain_hits_ = 0;
+};
+
+}  // namespace slm::iss

@@ -220,12 +220,35 @@ std::uint64_t GuestKernel::run_slice(std::uint64_t max_cycles) {
             }
             continue;
         }
-        const StepResult r = cpu_.step();
-        used += static_cast<std::uint64_t>(r.cycles);
-        total_cycles_ += static_cast<std::uint64_t>(r.cycles);
-        quantum_used_ += static_cast<std::uint64_t>(r.cycles);
+        RunResult r;
+        if (cpu_.backend() == IssBackend::Superblock) {
+            // Batched fast path: hand the engine the largest budget that
+            // cannot cross a kernel decision point, so every quantum
+            // rotation, sleeper wake scan, and slice boundary lands on
+            // exactly the same instruction as the per-step reference loop.
+            std::uint64_t budget = max_cycles - used;
+            if (cfg_.quantum_cycles > 0) {
+                // The reference checks the quantum only after a retired
+                // instruction, so a task entering the loop with its quantum
+                // already spent still runs one more instruction.
+                const std::uint64_t q_rem = cfg_.quantum_cycles > quantum_used_
+                                                ? cfg_.quantum_cycles - quantum_used_
+                                                : 1;
+                budget = std::min(budget, q_rem);
+            }
+            if (!sleepers_.empty()) {
+                budget = std::min(budget, cycles_until_wake());
+            }
+            r = cpu_.run(budget);
+        } else {
+            const StepResult s = cpu_.step();
+            r = RunResult{s.trap, static_cast<std::uint64_t>(s.cycles), s.sys_no};
+        }
+        used += r.cycles;
+        total_cycles_ += r.cycles;
+        quantum_used_ += r.cycles;
         if (current_ != nullptr) {
-            current_->cycles_used += static_cast<std::uint64_t>(r.cycles);
+            current_->cycles_used += r.cycles;
         }
         switch (r.trap) {
             case Trap::None:

@@ -173,7 +173,7 @@ Cpu make_cpu(const std::string& asm_text, std::size_t mem_words = 1024) {
 
 TEST(CpuTest, ArithmeticAndHalt) {
     Cpu cpu = make_cpu("ldi r1, 6\nldi r2, 7\nmul r3, r1, r2\nhalt\n");
-    const StepResult r = cpu.run(1000);
+    const RunResult r = cpu.run(1000);
     EXPECT_EQ(r.trap, Trap::Halt);
     EXPECT_EQ(cpu.reg(3), 42);
     EXPECT_EQ(cpu.retired(), 4u);
@@ -236,7 +236,7 @@ TEST(CpuTest, JalAndJrImplementCalls) {
 
 TEST(CpuTest, SysTrapsWithServiceNumber) {
     Cpu cpu = make_cpu("ldi r1, 4\nsys 3\nhalt\n");
-    StepResult r = cpu.run(1000);
+    RunResult r = cpu.run(1000);
     EXPECT_EQ(r.trap, Trap::Sys);
     EXPECT_EQ(r.sys_no, 3);
     // pc points past the SYS: resuming continues cleanly.
@@ -274,7 +274,7 @@ TEST(CpuTest, DivisionAndRemainder) {
 
 TEST(CpuTest, DivisionByZeroFaults) {
     Cpu cpu = make_cpu("ldi r1, 9\nldi r2, 0\ndiv r3, r1, r2\nhalt\n");
-    const StepResult r = cpu.run(1000);
+    const RunResult r = cpu.run(1000);
     EXPECT_EQ(r.trap, Trap::Fault);
     EXPECT_NE(cpu.fault_message().find("division by zero"), std::string::npos);
 }
@@ -287,7 +287,7 @@ TEST(CpuTest, DivisionOverflowIsDefined) {
         rem r4, r1, r2
         halt
     )");
-    const StepResult r = cpu.run(1000);
+    const RunResult r = cpu.run(1000);
     EXPECT_EQ(r.trap, Trap::Halt);
     EXPECT_EQ(cpu.reg(3), std::numeric_limits<std::int32_t>::min());
     EXPECT_EQ(cpu.reg(4), 0);
@@ -295,14 +295,14 @@ TEST(CpuTest, DivisionOverflowIsDefined) {
 
 TEST(CpuTest, MemoryFaultTraps) {
     Cpu cpu = make_cpu("ldi r1, 100000\nld r2, r1, 0\nhalt\n", 1024);
-    const StepResult r = cpu.run(1000);
+    const RunResult r = cpu.run(1000);
     EXPECT_EQ(r.trap, Trap::Fault);
     EXPECT_NE(cpu.fault_message().find("out of range"), std::string::npos);
 }
 
 TEST(CpuTest, PcFaultTraps) {
     Cpu cpu = make_cpu("jmp 999\n");
-    const StepResult r = cpu.run(1000);
+    const RunResult r = cpu.run(1000);
     EXPECT_EQ(r.trap, Trap::Fault);
 }
 
@@ -312,7 +312,7 @@ TEST(CpuTest, RunStopsAtCycleBudget) {
         addi r1, r1, 1
         jmp loop
     )");
-    const StepResult r = cpu.run(100);
+    const RunResult r = cpu.run(100);
     EXPECT_EQ(r.trap, Trap::None);
     EXPECT_GE(static_cast<std::uint64_t>(r.cycles), 100u);
 }

@@ -1,0 +1,740 @@
+// Lockstep differential tests for the decoded-superblock ISS engine: every
+// run() — over an assembler corpus, seeded fuzz programs, and GuestKernel
+// scheduling scenarios — must leave the fast backend in byte-identical
+// architectural state (registers, pc, memory, retired/cycle counters, fault
+// messages, trap boundaries) to the reference interpreter. ci/check_iss.sh
+// runs this binary under both SLM_ISS_REFERENCE settings as the conformance
+// gate.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "iss/assembler.hpp"
+#include "iss/cpu.hpp"
+#include "iss/engine.hpp"
+#include "iss/guest_os.hpp"
+#include "iss/isa.hpp"
+
+using namespace slm::iss;
+
+namespace {
+
+std::vector<std::int32_t> mem_image(const Cpu& cpu) {
+    std::vector<std::int32_t> out(cpu.mem_words(), 0);
+    for (std::uint32_t w = 0; w < cpu.mem_words(); ++w) {
+        EXPECT_TRUE(cpu.try_load(w, out[w]));
+    }
+    return out;
+}
+
+void expect_same_state(const Cpu& ref, const Cpu& fast, const std::string& what) {
+    EXPECT_EQ(ref.pc(), fast.pc()) << what;
+    for (int i = 0; i < kNumRegs; ++i) {
+        EXPECT_EQ(ref.reg(i), fast.reg(i)) << what << " r" << i;
+    }
+    EXPECT_EQ(ref.retired(), fast.retired()) << what;
+    EXPECT_EQ(ref.cycles(), fast.cycles()) << what;
+    EXPECT_EQ(ref.fault_message(), fast.fault_message()) << what;
+    EXPECT_EQ(mem_image(ref), mem_image(fast)) << what;
+}
+
+/// Drive a reference and a superblock Cpu over the same budget schedule,
+/// comparing the full architectural state after every run() call.
+void run_lockstep(const std::vector<Instr>& prog,
+                  const std::vector<std::uint64_t>& budgets,
+                  std::size_t mem_words = 256) {
+    Cpu ref{prog, mem_words, IssBackend::Reference};
+    Cpu fast{prog, mem_words, IssBackend::Superblock};
+    for (std::size_t i = 0; i < budgets.size(); ++i) {
+        const RunResult a = ref.run(budgets[i]);
+        const RunResult b = fast.run(budgets[i]);
+        const std::string what =
+            "hop " + std::to_string(i) + " budget " + std::to_string(budgets[i]);
+        EXPECT_EQ(static_cast<int>(a.trap), static_cast<int>(b.trap)) << what;
+        EXPECT_EQ(a.cycles, b.cycles) << what;
+        EXPECT_EQ(a.sys_no, b.sys_no) << what;
+        expect_same_state(ref, fast, what);
+        if (a.trap == Trap::Fault || ::testing::Test::HasFailure()) {
+            break;  // both machines are parked on the faulting instruction
+        }
+    }
+}
+
+std::vector<Instr> assemble_or_die(const std::string& src) {
+    const AsmResult r = assemble(src);
+    EXPECT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors[0].message);
+    return r.program.code;
+}
+
+}  // namespace
+
+// ---- assembler corpus lockstep ----
+
+TEST(EngineLockstep, CorpusPrograms) {
+    const char* corpus[] = {
+        // arithmetic + halt
+        "ldi r1, 6\nldi r2, 7\nmul r3, r1, r2\nhalt\n",
+        // mac loop (back-edge chaining)
+        "ldi r1, 25\nldi r2, 0\nloop:\nmac r2, r1, r1\naddi r1, r1, -1\n"
+        "bne r1, r0, loop\nhalt\n",
+        // loads/stores
+        "ldi r1, 100\nldi r2, 77\nst r1, 3, r2\nld r3, r1, 3\nhalt\n",
+        // signed branch
+        "ldi r1, -5\nldi r2, 3\nblt r1, r2, less\nldi r3, 0\nhalt\nless:\n"
+        "ldi r3, 1\nhalt\n",
+        // call/return through jal/jr (dynamic target)
+        "jal lr, func\nhalt\nfunc:\nldi r5, 99\njr lr\n",
+        // division, remainder, overflow case
+        "ldi r1, -2147483648\nldi r2, -1\ndiv r3, r1, r2\nrem r4, r1, r2\n"
+        "ldi r1, -37\nldi r2, 5\ndiv r5, r1, r2\nrem r6, r1, r2\nhalt\n",
+        // division by zero fault mid-program
+        "ldi r1, 9\nldi r2, 0\naddi r3, r1, 1\ndiv r4, r1, r2\nhalt\n",
+        // load fault (positive out of range)
+        "ldi r1, 100000\nld r2, r1, 0\nhalt\n",
+        // store fault (negative address)
+        "ldi r1, -3\nst r1, 0, r1\nhalt\n",
+        // pc fault via jump
+        "ldi r1, 1\njmp 999\n",
+        // program that falls off the end (no terminator)
+        "ldi r1, 2\naddi r1, r1, 3\nmov r2, r1\n",
+        // sys services interleaved with computation
+        "ldi r1, 4\nsys 5\naddi r1, r1, 1\nsys 5\nmul r2, r1, r1\nsys 3\nhalt\n",
+        // shifts and logic over wrapped values
+        "ldi r1, -1\nldi r2, 7\nshl r3, r1, r2\nshr r4, r1, r2\nand r5, r3, r4\n"
+        "or r6, r3, r4\nxor r7, r3, r4\nhalt\n",
+    };
+    for (const char* src : corpus) {
+        SCOPED_TRACE(src);
+        const std::vector<Instr> prog = assemble_or_die(src);
+        run_lockstep(prog, {1000000});
+        // Same corpus again under a dribble of small budgets: exercises
+        // mid-block parking and resume on every program shape.
+        run_lockstep(prog, std::vector<std::uint64_t>(60, 7));
+        run_lockstep(prog, std::vector<std::uint64_t>(120, 1));
+    }
+}
+
+// ---- trap/budget edge cases (identical under both backends) ----
+
+TEST(EngineLockstep, MidBlockBudgetSweep) {
+    // One long straight-line block mixing 1/3/4/16-cycle instructions: run it
+    // under every budget from 1 to past its total cost and require the stop
+    // instruction (and all state) to match the reference exactly, then finish
+    // the program and compare again.
+    const std::vector<Instr> prog = assemble_or_die(R"(
+        ldi r1, 7
+        ldi r2, 3
+        mul r3, r1, r2
+        st r2, 10, r3
+        ld r4, r2, 10
+        mac r5, r4, r1
+        div r6, r3, r2
+        rem r7, r3, r2
+        addi r8, r7, 5
+        xor r9, r8, r1
+        halt
+    )");
+    for (std::uint64_t k = 1; k <= 55; ++k) {
+        SCOPED_TRACE("budget " + std::to_string(k));
+        run_lockstep(prog, {k, 1000});
+    }
+}
+
+TEST(EngineLockstep, ResumeAfterSysContinuesPastTheSys) {
+    const std::vector<Instr> prog =
+        assemble_or_die("ldi r1, 1\nsys 5\naddi r1, r1, 1\nsys 4\nhalt\n");
+    Cpu ref{prog, 64, IssBackend::Reference};
+    Cpu fast{prog, 64, IssBackend::Superblock};
+    for (int hop = 0; hop < 3; ++hop) {
+        const RunResult a = ref.run(1000);
+        const RunResult b = fast.run(1000);
+        EXPECT_EQ(static_cast<int>(a.trap), static_cast<int>(b.trap));
+        EXPECT_EQ(a.sys_no, b.sys_no);
+        expect_same_state(ref, fast, "hop " + std::to_string(hop));
+    }
+    // After the first Sys the pc already points past the SYS instruction.
+    EXPECT_EQ(fast.pc(), 4);  // parked on halt after both syscalls
+}
+
+TEST(EngineLockstep, HaltParksOnTheHaltInstruction) {
+    const std::vector<Instr> prog = assemble_or_die("ldi r1, 5\nhalt\n");
+    Cpu fast{prog, 64, IssBackend::Superblock};
+    RunResult r = fast.run(1000);
+    EXPECT_EQ(static_cast<int>(r.trap), static_cast<int>(Trap::Halt));
+    EXPECT_EQ(fast.pc(), 1);  // stays on the halt
+    // Re-running re-executes the halt: same trap, one more cycle, same pc.
+    const std::uint64_t cycles_before = fast.cycles();
+    r = fast.run(1000);
+    EXPECT_EQ(static_cast<int>(r.trap), static_cast<int>(Trap::Halt));
+    EXPECT_EQ(r.cycles, 1u);
+    EXPECT_EQ(fast.cycles(), cycles_before + 1);
+    EXPECT_EQ(fast.pc(), 1);
+}
+
+TEST(EngineLockstep, TakenAndUntakenBranchCosts) {
+    const std::vector<Instr> untaken =
+        assemble_or_die("ldi r1, 1\nbeq r1, r0, 0\nhalt\n");
+    const std::vector<Instr> taken =
+        assemble_or_die("ldi r1, 0\nbeq r1, r0, 2\nhalt\n");
+    Cpu u{untaken, 64, IssBackend::Superblock};
+    Cpu t{taken, 64, IssBackend::Superblock};
+    (void)u.run(1000);
+    (void)t.run(1000);
+    EXPECT_EQ(u.cycles(), 1u + 1u + 1u);  // untaken branch is one cheaper
+    EXPECT_EQ(t.cycles(), 1u + 2u + 1u);
+    run_lockstep(untaken, {1000});
+    run_lockstep(taken, {1000});
+}
+
+TEST(EngineLockstep, DivisionEdgeBehaviour) {
+    // INT_MIN / -1 is architecturally defined (no trap); division by zero
+    // faults with the pc parked on the div and nothing charged for it.
+    const std::vector<Instr> overflow = assemble_or_die(
+        "ldi r1, -2147483648\nldi r2, -1\ndiv r3, r1, r2\nrem r4, r1, r2\nhalt\n");
+    run_lockstep(overflow, {1000});
+    const std::vector<Instr> zero =
+        assemble_or_die("ldi r1, 9\nldi r2, 0\ndiv r3, r1, r2\nhalt\n");
+    Cpu ref{zero, 64, IssBackend::Reference};
+    Cpu fast{zero, 64, IssBackend::Superblock};
+    const RunResult a = ref.run(1000);
+    const RunResult b = fast.run(1000);
+    EXPECT_EQ(static_cast<int>(a.trap), static_cast<int>(Trap::Fault));
+    EXPECT_EQ(static_cast<int>(b.trap), static_cast<int>(Trap::Fault));
+    EXPECT_EQ(fast.fault_message(), "division by zero at pc 2");
+    expect_same_state(ref, fast, "div-by-zero");
+    EXPECT_EQ(fast.pc(), 2);        // parked on the div
+    EXPECT_EQ(fast.retired(), 2u);  // the div itself did not retire
+}
+
+TEST(EngineLockstep, FaultMessagesAreByteIdentical) {
+    const std::vector<Instr> far_load =
+        assemble_or_die("ldi r1, 100000\nld r2, r1, 5\nhalt\n");
+    Cpu fast{far_load, 1024, IssBackend::Superblock};
+    (void)fast.run(1000);
+    EXPECT_EQ(fast.fault_message(), "data access out of range: 100005");
+    const std::vector<Instr> neg_store =
+        assemble_or_die("ldi r1, -70000\nst r1, -2, r1\nhalt\n");
+    Cpu fast2{neg_store, 1024, IssBackend::Superblock};
+    (void)fast2.run(1000);
+    EXPECT_EQ(fast2.fault_message(), "data access out of range: -70002");
+    Cpu fast3{assemble_or_die("jmp 999\n"), 64, IssBackend::Superblock};
+    (void)fast3.run(1000);
+    EXPECT_EQ(fast3.fault_message(), "pc out of range: 999");
+}
+
+// ---- seeded fuzz lockstep ----
+
+namespace {
+
+/// Same generator as test_iss_fuzz.cpp: valid-opcode instructions with
+/// branch/jump targets inside the program.
+Instr random_instr(std::mt19937& rng, int program_size) {
+    constexpr Op kOps[] = {Op::Nop, Op::Ldi, Op::Mov, Op::Add,  Op::Sub, Op::Mul,
+                           Op::Mac, Op::And, Op::Or,  Op::Xor,  Op::Shl, Op::Shr,
+                           Op::Div, Op::Rem, Op::Addi, Op::Ld,  Op::St,  Op::Beq,
+                           Op::Bne, Op::Blt, Op::Bge, Op::Jmp,  Op::Jal, Op::Jr,
+                           Op::Sys, Op::Halt};
+    const auto reg = [&rng] { return static_cast<std::uint8_t>(rng() % kNumRegs); };
+    const auto target = [&rng, program_size] {
+        return static_cast<std::int32_t>(rng() % static_cast<unsigned>(program_size));
+    };
+    Instr i;
+    i.op = kOps[rng() % (sizeof kOps / sizeof kOps[0])];
+    switch (i.op) {
+        case Op::Nop:
+        case Op::Halt:
+            break;
+        case Op::Ldi:
+            i.rd = reg();
+            i.imm = static_cast<std::int32_t>(rng() % 200001) - 100000;
+            break;
+        case Op::Mov:
+            i.rd = reg();
+            i.ra = reg();
+            break;
+        case Op::Add:
+        case Op::Sub:
+        case Op::Mul:
+        case Op::Mac:
+        case Op::And:
+        case Op::Or:
+        case Op::Xor:
+        case Op::Shl:
+        case Op::Shr:
+        case Op::Div:
+        case Op::Rem:
+            i.rd = reg();
+            i.ra = reg();
+            i.rb = reg();
+            break;
+        case Op::Addi:
+            i.rd = reg();
+            i.ra = reg();
+            i.imm = static_cast<std::int32_t>(rng() % 2001) - 1000;
+            break;
+        case Op::Ld:
+            i.rd = reg();
+            i.ra = reg();
+            i.imm = static_cast<std::int32_t>(rng() % 64);
+            break;
+        case Op::St:
+            i.ra = reg();
+            i.rb = reg();
+            i.imm = static_cast<std::int32_t>(rng() % 64);
+            break;
+        case Op::Beq:
+        case Op::Bne:
+        case Op::Blt:
+        case Op::Bge:
+            i.ra = reg();
+            i.rb = reg();
+            i.imm = target();
+            break;
+        case Op::Jmp:
+            i.imm = target();
+            break;
+        case Op::Jal:
+            i.rd = reg();
+            i.imm = target();
+            break;
+        case Op::Jr:
+            i.ra = reg();
+            break;
+        case Op::Sys:
+            i.imm = 5;  // host-notify: the only side-effect-free service
+            break;
+    }
+    return i;
+}
+
+}  // namespace
+
+class EngineFuzzLockstep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(EngineFuzzLockstep, RandomProgramsRandomBudgets) {
+    std::mt19937 rng{GetParam() ^ 0x9e3779b9u};
+    for (int p = 0; p < 25; ++p) {
+        constexpr int kLen = 40;
+        std::vector<Instr> prog;
+        prog.reserve(kLen);
+        for (int i = 0; i < kLen; ++i) {
+            prog.push_back(random_instr(rng, kLen));
+        }
+        // Random budget schedule, weighted toward tiny budgets so the engine
+        // constantly parks and resumes mid-block.
+        std::vector<std::uint64_t> budgets;
+        for (int h = 0; h < 48; ++h) {
+            budgets.push_back(h % 3 == 0 ? 1 + rng() % 4 : 1 + rng() % 400);
+        }
+        SCOPED_TRACE("program " + std::to_string(p));
+        run_lockstep(prog, budgets, 128);
+        if (::testing::Test::HasFailure()) {
+            return;  // first divergence is enough to diagnose
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzzLockstep,
+                         ::testing::Values(1u, 7u, 42u, 1001u, 31337u, 0xdeadbeefu),
+                         [](const ::testing::TestParamInfo<std::uint32_t>& info) {
+                             return "seed" + std::to_string(info.param);
+                         });
+
+// ---- GuestKernel scheduling lockstep ----
+
+namespace {
+
+struct ScenarioResult {
+    std::vector<std::pair<std::int32_t, std::int32_t>> notifies;
+    std::vector<std::uint64_t> slices;
+    std::uint64_t now = 0;
+    std::uint64_t switches = 0;
+    std::uint64_t syscalls = 0;
+    std::uint64_t kernel_cycles = 0;
+    std::uint64_t retired = 0;
+    std::uint64_t cycles = 0;
+    std::vector<std::uint64_t> task_cycles;
+    std::vector<std::int32_t> mem;
+};
+
+void expect_same_scenario(const ScenarioResult& a, const ScenarioResult& b) {
+    EXPECT_EQ(a.notifies, b.notifies);
+    EXPECT_EQ(a.slices, b.slices);  // every run_slice() must consume the same
+    EXPECT_EQ(a.now, b.now);
+    EXPECT_EQ(a.switches, b.switches);
+    EXPECT_EQ(a.syscalls, b.syscalls);
+    EXPECT_EQ(a.kernel_cycles, b.kernel_cycles);
+    EXPECT_EQ(a.retired, b.retired);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.task_cycles, b.task_cycles);
+    EXPECT_EQ(a.mem, b.mem);
+}
+
+ScenarioResult finish(Cpu& cpu, GuestKernel& gk, ScenarioResult r) {
+    r.now = gk.now_cycles();
+    r.switches = gk.stats().context_switches;
+    r.syscalls = gk.stats().syscalls;
+    r.kernel_cycles = gk.stats().kernel_cycles;
+    r.retired = cpu.retired();
+    r.cycles = cpu.cycles();
+    for (const GuestTask* t : gk.tasks()) {
+        r.task_cycles.push_back(t->cycles_used);
+    }
+    r.mem = mem_image(cpu);
+    return r;
+}
+
+/// Two equal-priority notify-loop tasks under a round-robin quantum, driven
+/// with an odd slice size so slices, quantum expiries, and basic blocks all
+/// misalign — the harshest batching scenario.
+ScenarioResult quantum_scenario(IssBackend backend, std::uint64_t quantum,
+                                std::uint64_t slice) {
+    const AsmResult prog = assemble(R"(
+        task:
+          ldi r9, 3
+        lap:
+          ldi r6, 200
+        burn:
+          addi r6, r6, -1
+          bne r6, r0, burn
+          ldi r1, 1
+          mov r2, r4
+          sys 5
+          addi r9, r9, -1
+          bne r9, r0, lap
+          sys 2
+    )");
+    EXPECT_TRUE(prog.ok());
+    Cpu cpu{prog.program.code, 2048, backend};
+    GuestKernelConfig cfg;
+    cfg.quantum_cycles = quantum;
+    GuestKernel gk{cpu, cfg};
+    GuestTask* a = gk.create_task("A", 5, prog.program.label("task"), 900);
+    GuestTask* b = gk.create_task("B", 5, prog.program.label("task"), 800);
+    a->ctx.regs[4] = 1;
+    b->ctx.regs[4] = 2;
+    ScenarioResult r;
+    gk.set_host_notify([&r](std::int32_t x, std::int32_t y) {
+        r.notifies.emplace_back(x, y);
+    });
+    while (!gk.all_exited()) {
+        r.slices.push_back(gk.run_slice(slice));
+    }
+    return finish(cpu, gk, std::move(r));
+}
+
+/// Yielding tasks sharing memory cells, with a cooperative yield loop.
+ScenarioResult yield_scenario(IssBackend backend, std::uint64_t slice) {
+    const AsmResult prog = assemble(R"(
+        taskA:
+          ldi r1, 0
+        a_loop:
+          ld r2, r1, 0
+          addi r2, r2, 1
+          st r1, 0, r2
+          sys 1
+          ldi r3, 3
+          ld r2, r1, 0
+          blt r2, r3, a_loop
+          sys 2
+        taskB:
+          ldi r1, 1
+        b_loop:
+          ld r2, r1, 0
+          addi r2, r2, 1
+          st r1, 0, r2
+          sys 1
+          ldi r3, 3
+          ld r2, r1, 0
+          blt r2, r3, b_loop
+          sys 2
+    )");
+    EXPECT_TRUE(prog.ok());
+    Cpu cpu{prog.program.code, 2048, backend};
+    GuestKernel gk{cpu};
+    gk.create_task("A", 5, prog.program.label("taskA"), 900);
+    gk.create_task("B", 5, prog.program.label("taskB"), 800);
+    ScenarioResult r;
+    while (!gk.all_exited()) {
+        r.slices.push_back(gk.run_slice(slice));
+    }
+    return finish(cpu, gk, std::move(r));
+}
+
+/// Two sleepers with staggered deadlines plus a busy background task: wake
+/// scans must fire at the same instruction boundaries under both backends.
+ScenarioResult sleep_scenario(IssBackend backend, std::uint64_t slice) {
+    const AsmResult prog = assemble(R"(
+        sleeper:
+          mov r1, r4
+          sys 6
+          ldi r1, 3
+          mov r2, r5
+          sys 5
+          sys 2
+        busy:
+          ldi r6, 900
+        spin:
+          addi r6, r6, -1
+          bne r6, r0, spin
+          ldi r1, 4
+          ldi r2, 0
+          sys 5
+          sys 2
+    )");
+    EXPECT_TRUE(prog.ok());
+    Cpu cpu{prog.program.code, 2048, backend};
+    GuestKernel gk{cpu};
+    GuestTask* a = gk.create_task("A", 1, prog.program.label("sleeper"), 900);
+    GuestTask* b = gk.create_task("B", 2, prog.program.label("sleeper"), 800);
+    gk.create_task("C", 9, prog.program.label("busy"), 700);
+    a->ctx.regs[4] = 2300;  // wakes mid-way through C's spin loop
+    a->ctx.regs[5] = 1;
+    b->ctx.regs[4] = 2317;  // wakes a few instructions later
+    b->ctx.regs[5] = 2;
+    ScenarioResult r;
+    gk.set_host_notify([&r](std::int32_t x, std::int32_t y) {
+        r.notifies.emplace_back(x, y);
+    });
+    while (!gk.all_exited()) {
+        if (gk.idle() && gk.has_sleepers()) {
+            gk.skip_idle_cycles(gk.cycles_until_wake());
+        }
+        r.slices.push_back(gk.run_slice(slice));
+    }
+    return finish(cpu, gk, std::move(r));
+}
+
+/// Semaphore block + host-side post from an "interrupt" between slices.
+ScenarioResult sem_scenario(IssBackend backend, std::uint64_t slice) {
+    const AsmResult prog = assemble(R"(
+        task:
+          ldi r1, 9
+          sys 3
+          ldi r1, 42
+          ldi r2, 0
+          sys 5
+          sys 2
+    )");
+    EXPECT_TRUE(prog.ok());
+    Cpu cpu{prog.program.code, 1024, backend};
+    GuestKernel gk{cpu};
+    gk.sem_init(9, 0);
+    gk.create_task("T", 1, prog.program.label("task"), 900);
+    ScenarioResult r;
+    gk.set_host_notify([&r](std::int32_t x, std::int32_t y) {
+        r.notifies.emplace_back(x, y);
+    });
+    r.slices.push_back(gk.run_slice(slice));
+    EXPECT_TRUE(gk.idle());
+    gk.sem_post_from_host(9);
+    while (!gk.all_exited()) {
+        r.slices.push_back(gk.run_slice(slice));
+    }
+    return finish(cpu, gk, std::move(r));
+}
+
+}  // namespace
+
+TEST(GuestKernelLockstep, QuantumRotationMatchesReference) {
+    for (const std::uint64_t slice : {259u, 1000u, 100000u}) {
+        SCOPED_TRACE("slice " + std::to_string(slice));
+        expect_same_scenario(quantum_scenario(IssBackend::Reference, 400, slice),
+                             quantum_scenario(IssBackend::Superblock, 400, slice));
+    }
+    // Quantum smaller than one instruction cost: rotation every instruction.
+    expect_same_scenario(quantum_scenario(IssBackend::Reference, 1, 997),
+                         quantum_scenario(IssBackend::Superblock, 1, 997));
+}
+
+TEST(GuestKernelLockstep, YieldingTasksMatchReference) {
+    for (const std::uint64_t slice : {173u, 10000u}) {
+        SCOPED_TRACE("slice " + std::to_string(slice));
+        expect_same_scenario(yield_scenario(IssBackend::Reference, slice),
+                             yield_scenario(IssBackend::Superblock, slice));
+    }
+}
+
+TEST(GuestKernelLockstep, SleeperWakesMatchReference) {
+    for (const std::uint64_t slice : {211u, 5000u, 100000u}) {
+        SCOPED_TRACE("slice " + std::to_string(slice));
+        expect_same_scenario(sleep_scenario(IssBackend::Reference, slice),
+                             sleep_scenario(IssBackend::Superblock, slice));
+    }
+}
+
+TEST(GuestKernelLockstep, HostSemaphorePostMatchesReference) {
+    expect_same_scenario(sem_scenario(IssBackend::Reference, 100000),
+                         sem_scenario(IssBackend::Superblock, 100000));
+}
+
+// ---- satellite: Cpu::run cycle-aggregate width ----
+
+static_assert(std::is_same_v<decltype(RunResult::cycles), std::uint64_t>,
+              "run() aggregates cycles in 64 bits so soak budgets cannot overflow");
+
+TEST(CycleAccounting, SoakBudgetPastIntMaxDoesNotOverflow) {
+    if (resolve_iss_backend(IssBackend::Auto) == IssBackend::Reference) {
+        GTEST_SKIP() << "soak run is only practical on the superblock engine";
+    }
+    // 16-cycle divisions: ~134M instructions cross the old INT_MAX aggregate
+    // in about 2.1G cycles. With the int accumulator this wrapped negative and
+    // run() never returned control at the requested budget.
+    const std::vector<Instr> prog = assemble_or_die(R"(
+        ldi r1, 1000000
+        ldi r2, 7
+        loop:
+        div r3, r1, r2
+        div r3, r1, r2
+        div r3, r1, r2
+        div r3, r1, r2
+        div r3, r1, r2
+        div r3, r1, r2
+        div r3, r1, r2
+        div r3, r1, r2
+        jmp loop
+    )");
+    Cpu cpu{prog, 64, IssBackend::Superblock};
+    const std::uint64_t budget = 2'200'000'000;  // > 2^31 cycles
+    const RunResult r = cpu.run(budget);
+    EXPECT_EQ(static_cast<int>(r.trap), static_cast<int>(Trap::None));
+    EXPECT_GE(r.cycles, budget);
+    EXPECT_LT(r.cycles, budget + 16);  // at most the in-flight instruction over
+    EXPECT_EQ(cpu.cycles(), r.cycles);
+}
+
+// ---- satellite: checked host-facing memory accessors ----
+
+TEST(HostAccessors, TryVariantsAreBoundsCheckedAndSilent) {
+    Cpu cpu{std::vector<Instr>{}, 16};
+    EXPECT_TRUE(cpu.try_store(3, 42));
+    std::int32_t v = -1;
+    EXPECT_TRUE(cpu.try_load(3, v));
+    EXPECT_EQ(v, 42);
+    EXPECT_FALSE(cpu.try_load(16, v));
+    EXPECT_EQ(v, 42);  // out-of-range load leaves the output untouched
+    EXPECT_FALSE(cpu.try_store(16, 1));
+    EXPECT_TRUE(cpu.fault_message().empty());  // try_* never record faults
+}
+
+TEST(HostAccessors, OutOfRangeAccessRecordsFaultInsteadOfThrowing) {
+    Cpu cpu{std::vector<Instr>{}, 16};
+    EXPECT_EQ(cpu.load(99), 0);
+    EXPECT_EQ(cpu.fault_message(), "host data access out of range: 99");
+    cpu.store(1234, 7);  // no-op, but diagnosable
+    EXPECT_EQ(cpu.fault_message(), "host data access out of range: 1234");
+    cpu.store(2, 9);
+    EXPECT_EQ(cpu.load(2), 9);
+    std::int32_t probe = -1;
+    EXPECT_FALSE(cpu.try_load(1234, probe));  // same bounds rule as guest Ld/St
+}
+
+// ---- backend selection ----
+
+namespace {
+
+/// RAII save/restore of SLM_ISS_REFERENCE so backend tests cannot leak state
+/// into the rest of the suite (which runs under both settings in CI).
+class EnvGuard {
+public:
+    EnvGuard() {
+        const char* v = std::getenv("SLM_ISS_REFERENCE");
+        had_ = v != nullptr;
+        if (had_) {
+            saved_ = v;
+        }
+    }
+    ~EnvGuard() {
+        if (had_) {
+            ::setenv("SLM_ISS_REFERENCE", saved_.c_str(), 1);
+        } else {
+            ::unsetenv("SLM_ISS_REFERENCE");
+        }
+    }
+
+private:
+    bool had_ = false;
+    std::string saved_;
+};
+
+}  // namespace
+
+TEST(BackendSelect, EnvVarMirrorsUcontextPattern) {
+    const EnvGuard guard;
+    ::setenv("SLM_ISS_REFERENCE", "1", 1);
+    EXPECT_EQ(resolve_iss_backend(IssBackend::Auto), IssBackend::Reference);
+    ::setenv("SLM_ISS_REFERENCE", "yes", 1);
+    EXPECT_EQ(resolve_iss_backend(IssBackend::Auto), IssBackend::Reference);
+    ::setenv("SLM_ISS_REFERENCE", "0", 1);  // explicit "0" means off
+    EXPECT_EQ(resolve_iss_backend(IssBackend::Auto), IssBackend::Superblock);
+    ::setenv("SLM_ISS_REFERENCE", "", 1);
+    EXPECT_EQ(resolve_iss_backend(IssBackend::Auto), IssBackend::Superblock);
+    ::unsetenv("SLM_ISS_REFERENCE");
+    EXPECT_EQ(resolve_iss_backend(IssBackend::Auto), IssBackend::Superblock);
+    // Explicit requests are never overridden by the environment.
+    ::setenv("SLM_ISS_REFERENCE", "1", 1);
+    EXPECT_EQ(resolve_iss_backend(IssBackend::Superblock), IssBackend::Superblock);
+    EXPECT_EQ(resolve_iss_backend(IssBackend::Reference), IssBackend::Reference);
+}
+
+TEST(BackendSelect, MixedSteppingAndBackendSwitchesStayCoherent) {
+    const std::vector<Instr> prog = assemble_or_die(R"(
+        ldi r1, 0
+        loop:
+        addi r1, r1, 1
+        mul r2, r1, r1
+        st r0, 20, r2
+        ld r3, r0, 20
+        jmp loop
+    )");
+    Cpu ref{prog, 64, IssBackend::Reference};
+    Cpu mixed{prog, 64, IssBackend::Superblock};
+    // Interleave single steps, engine runs, and a mid-stream backend switch;
+    // the reference twin replays the same schedule purely step/run_reference.
+    (void)ref.step();
+    (void)mixed.step();
+    (void)ref.run_reference(100);
+    (void)mixed.run(100);  // engine resumes from the hand-stepped pc
+    mixed.set_backend(IssBackend::Reference);
+    (void)ref.run_reference(57);
+    (void)mixed.run(57);
+    mixed.set_backend(IssBackend::Superblock);
+    (void)ref.run_reference(333);
+    (void)mixed.run(333);
+    expect_same_state(ref, mixed, "mixed schedule");
+}
+
+// ---- engine internals ----
+
+TEST(EngineInternals, BlocksChainAndStatsAccumulate) {
+    const std::vector<Instr> prog = assemble_or_die(R"(
+        ldi r1, 500
+        loop:
+        addi r1, r1, -1
+        bne r1, r0, loop
+        halt
+    )");
+    Cpu cpu{prog, 64, IssBackend::Superblock};
+    const RunResult r = cpu.run(1u << 20);
+    EXPECT_EQ(static_cast<int>(r.trap), static_cast<int>(Trap::Halt));
+    const SuperblockEngine* eng = cpu.engine();
+    ASSERT_NE(eng, nullptr);
+    EXPECT_GT(eng->block_count(), 0u);
+    EXPECT_GT(eng->decoded_instr_count(), 0u);
+    // The loop re-executes one block ~500 times; after the first lap every
+    // back-edge resolves through the chain cache.
+    EXPECT_GT(eng->blocks_executed(), 490u);
+    EXPECT_GT(eng->chain_hits(), 490u);
+    EXPECT_LT(eng->block_count(), 8u);  // tiny program, few distinct blocks
+}
+
+TEST(EngineInternals, DispatchModeIsReported) {
+    // Informational: either mode must pass the whole suite; this just pins
+    // that the query is wired up and stable within a process.
+    EXPECT_EQ(threaded_dispatch_compiled(), threaded_dispatch_compiled());
+}

@@ -144,7 +144,7 @@ TEST_P(IssFuzz, RandomProgramsNeverEscapeTheSandbox) {
         std::uint64_t budget = 200'000;
         Trap last = Trap::None;
         for (int hops = 0; hops < 64 && budget > 0; ++hops) {
-            const StepResult r = cpu.run(budget);
+            const RunResult r = cpu.run(budget);
             budget -= std::min<std::uint64_t>(budget,
                                               static_cast<std::uint64_t>(r.cycles));
             last = r.trap;
