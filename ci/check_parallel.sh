@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Parallel-determinism gate: the slm::parallel engines must emit byte-identical
+# canonical JSON to the serial engines at every thread count. Runs the
+# explore_demo exploration dump and the fault_campaign sweep dump serially and
+# at --jobs 1, 2, and 8, and requires every parallel artifact to match the
+# serial one byte-for-byte (the contract in docs/parallel-exploration.md).
+# Registered as the `check_parallel` ctest (see the top-level CMakeLists.txt),
+# so it also runs inside the TSan tree built by `ci/sanitize.sh --tsan`.
+#
+#   ci/check_parallel.sh [--build-dir DIR]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+if [[ "${1:-}" == "--build-dir" && -n "${2:-}" ]]; then
+  build_dir="$2"
+fi
+
+explore="$build_dir/examples/explore_demo"
+campaign="$build_dir/examples/fault_campaign"
+for bin in "$explore" "$campaign"; do
+  if [ ! -x "$bin" ]; then
+    echo "check_parallel: $bin not built (build the repo first)" >&2
+    exit 1
+  fi
+done
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+require_identical() {  # require_identical WHAT SERIAL PARALLEL JOBS
+  if ! cmp -s "$2" "$3"; then
+    echo "check_parallel: $1 with --jobs $4 diverged from the serial run:" >&2
+    diff "$2" "$3" | head -10 >&2
+    exit 1
+  fi
+}
+
+# 1. Exploration: three result JSONs (failing model, fixed model, exhaustive
+#    3-task space) per run.
+"$explore" --dump "$tmpdir/explore_serial.json" > /dev/null
+if [ ! -s "$tmpdir/explore_serial.json" ]; then
+  echo "check_parallel: explore_demo produced an empty dump" >&2
+  exit 1
+fi
+for jobs in 1 2 8; do
+  "$explore" --jobs "$jobs" --dump "$tmpdir/explore_j$jobs.json" > /dev/null
+  require_identical "explore_demo" "$tmpdir/explore_serial.json" \
+                    "$tmpdir/explore_j$jobs.json" "$jobs"
+done
+
+# 2. Campaign: a 6-seed fig3 sweep, full trace CSV inlined per seed.
+"$campaign" --runs 6 --dump-campaign "$tmpdir/camp_serial.json" --quiet
+if [ ! -s "$tmpdir/camp_serial.json" ]; then
+  echo "check_parallel: fault_campaign produced an empty campaign dump" >&2
+  exit 1
+fi
+for jobs in 1 2 8; do
+  "$campaign" --runs 6 --jobs "$jobs" \
+              --dump-campaign "$tmpdir/camp_j$jobs.json" --quiet
+  require_identical "fault_campaign" "$tmpdir/camp_serial.json" \
+                    "$tmpdir/camp_j$jobs.json" "$jobs"
+done
+
+echo "check_parallel: OK (explore + campaign byte-identical at --jobs 1/2/8)"

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# ASan+UBSan gate: configure, build, and run the test suite with
+# Sanitizer gates.
+#
+# Default mode — ASan+UBSan: configure, build, and run the test suite with
 # -DSLM_SANITIZE=ON. This exercises the fast-context engine's sanitizer
 # fiber annotations and the stack pool's unpoison-on-recycle path (see
 # docs/kernel-internals.md), plus every ucontext-variant test the suite
@@ -7,13 +9,31 @@
 # too: the *.refiss test variants and the check_iss gate (lockstep
 # differential suite + bench_iss fingerprint) are part of the ctest run.
 #
-#   ci/sanitize.sh              # build tree: build-asan
-#   ci/sanitize.sh my-dir       # pick another build tree
+# --tsan mode — ThreadSanitizer: a separate tree with -DSLM_TSAN=ON (TSan is
+# mutually exclusive with ASan). This is the data-race gate for the
+# slm::parallel work-stealing engines: the context engine carries TSan fiber
+# annotations (__tsan_create_fiber / __tsan_switch_to_fiber, see
+# src/sim/context.cpp), so coroutine switches inside each worker don't
+# confuse the race detector, and the ctest run includes test_parallel and the
+# check_parallel byte-equivalence gate.
+#
+#   ci/sanitize.sh                    # ASan+UBSan, build tree: build-asan
+#   ci/sanitize.sh my-dir             # ASan+UBSan in another tree
+#   ci/sanitize.sh --tsan             # TSan, build tree: build-tsan
+#   ci/sanitize.sh --tsan my-dir      # TSan in another tree
 set -euo pipefail
 
-build_dir="${1:-build-asan}"
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
-cmake -B "$build_dir" -S "$repo_root" -DSLM_SANITIZE=ON
+mode_flag="-DSLM_SANITIZE=ON"
+default_dir="build-asan"
+if [[ "${1:-}" == "--tsan" ]]; then
+  mode_flag="-DSLM_TSAN=ON"
+  default_dir="build-tsan"
+  shift
+fi
+build_dir="${1:-$default_dir}"
+
+cmake -B "$build_dir" -S "$repo_root" "$mode_flag"
 cmake --build "$build_dir" -j "$(nproc)"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"

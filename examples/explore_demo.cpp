@@ -5,11 +5,27 @@
 // decision trace, and proves the lock-order fix clean by exhausting the
 // schedule space. See docs/schedule-exploration.md.
 //
-// Build & run:  ./build/examples/explore_demo
+// Usage: explore_demo [--jobs N] [--dump FILE] [--replay TRACE]
+//
+//   --jobs N      run the explorations on the N-worker parallel engine
+//                 (slm::parallel) instead of the serial one; results are
+//                 byte-identical either way (docs/parallel-exploration.md)
+//   --dump FILE   write the canonical result JSON of every exploration to
+//                 FILE, one line each — the artifact ci/check_parallel.sh
+//                 byte-compares across thread counts
+//   --replay T    re-run one serialized decision trace ("len|i:c,...") on the
+//                 crossed-lock model and report its outcome; malformed or
+//                 ill-fitting traces get a structured "line N:" diagnostic in
+//                 the same shape as fault-plan parse errors
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "explore/explore.hpp"
+#include "parallel/parallel.hpp"
 #include "rtos/os_channels.hpp"
 #include "rtos/rtos.hpp"
 
@@ -89,13 +105,69 @@ void print_result(const char* label, const explore::ExploreResult& res) {
 
 }  // namespace
 
-int main() {
-    // ---- 1. Bounded DFS finds the seeded deadlock -------------------------
+int main(int argc, char** argv) {
+    unsigned jobs = 0;  // 0 = the serial engine
+    std::string dump_path;
+    std::string replay_arg;
+    bool do_replay = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--dump") == 0 && i + 1 < argc) {
+            dump_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
+            replay_arg = argv[++i];
+            do_replay = true;
+        } else {
+            std::fprintf(stderr, "usage: explore_demo [--jobs N] [--dump FILE] "
+                                 "[--replay TRACE]\n");
+            return 2;
+        }
+    }
+
     explore::ExploreConfig cfg;
     cfg.preemption_bound = 1;  // one divergence from the default schedule
-    explore::Explorer crossed{
-        [](explore::Run& r) { build_crossed(r, /*fixed_lock_order=*/false); }, cfg};
-    const auto res = crossed.explore();
+    const explore::Explorer::BuildFn crossed_build = [](explore::Run& r) {
+        build_crossed(r, /*fixed_lock_order=*/false);
+    };
+
+    // ---- 0. --replay: re-run one decision trace with full diagnostics -----
+    if (do_replay) {
+        explore::Explorer ex{crossed_build, cfg};
+        const explore::Explorer::ReplayOutcome out = ex.replay_trace(replay_arg);
+        if (!out.error.empty()) {
+            // Same "line N: what went wrong" shape as fault::FaultPlan::parse
+            // diagnostics, so scripted pipelines parse both with one pattern
+            // (the trace argument is its own line 1).
+            std::fprintf(stderr, "explore_demo: --replay: line 1: %s\n",
+                         out.error.c_str());
+            return out.result.has_value() ? 1 : 2;
+        }
+        const explore::PathResult& pr = *out.result;
+        std::printf("replayed \"%s\": %zu violation(s), ended at %s\n",
+                    pr.schedule.to_string().c_str(), pr.violations.size(),
+                    pr.end_time.to_string().c_str());
+        for (const explore::Violation& v : pr.violations) {
+            std::printf("  %s: %s\n", to_string(v.kind), v.detail.c_str());
+        }
+        return 0;
+    }
+
+    // Run every exploration on the chosen engine; the results (and the
+    // canonical JSON below) are byte-identical regardless of `jobs`.
+    const auto run = [jobs](const explore::Explorer::BuildFn& build,
+                            const explore::ExploreConfig& c) {
+        if (jobs == 0) {
+            return explore::Explorer{build, c}.explore();
+        }
+        parallel::ParallelConfig pc;
+        pc.jobs = jobs;
+        return parallel::explore(build, c, pc);
+    };
+
+    // ---- 1. Bounded DFS finds the seeded deadlock -------------------------
+    explore::Explorer crossed{crossed_build, cfg};
+    const auto res = run(crossed_build, cfg);
     print_result("crossed lock order:", res);
     if (res.violations.empty()) {
         std::printf("FAIL: expected a deadlock within the preemption bound\n");
@@ -122,9 +194,8 @@ int main() {
     }
 
     // ---- 3. The lock-order fix survives the same exploration --------------
-    explore::Explorer fixed{
-        [](explore::Run& r) { build_crossed(r, /*fixed_lock_order=*/true); }, cfg};
-    const auto res_fixed = fixed.explore();
+    const auto res_fixed = run(
+        [](explore::Run& r) { build_crossed(r, /*fixed_lock_order=*/true); }, cfg);
     print_result("consistent order:", res_fixed);
     if (!res_fixed.violations.empty() || !res_fixed.exhausted) {
         std::printf("FAIL: lock-order fix should explore clean and exhaust\n");
@@ -134,8 +205,7 @@ int main() {
     // ---- 4. Exhaustive mode: full coverage of a 3-task space --------------
     explore::ExploreConfig all;
     all.preemption_bound = 16;  // larger than any path's choice count
-    explore::Explorer three{[](explore::Run& r) { build_three_tasks(r); }, all};
-    const auto res_three = three.explore();
+    const auto res_three = run([](explore::Run& r) { build_three_tasks(r); }, all);
     print_result("3 tasks, exhaustive:", res_three);
     if (!res_three.exhausted || res_three.stats.pruned != 0 ||
         res_three.stats.truncated != 0) {
@@ -145,5 +215,17 @@ int main() {
     std::printf("  full coverage: every interleaving of the 3-task space "
                 "visited (%llu paths, nothing pruned)\n",
                 static_cast<unsigned long long>(res_three.stats.paths));
+
+    if (!dump_path.empty()) {
+        std::ofstream f{dump_path, std::ios::binary};
+        explore::write_result_json(f, res);
+        explore::write_result_json(f, res_fixed);
+        explore::write_result_json(f, res_three);
+        if (!f) {
+            std::fprintf(stderr, "explore_demo: cannot write %s\n",
+                         dump_path.c_str());
+            return 2;
+        }
+    }
     return 0;
 }

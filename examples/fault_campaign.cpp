@@ -12,7 +12,17 @@
 //      deadline: how many frames missed, were skipped, or were lost to
 //      restarts, and whether the task is back on deadline after the window.
 //
-// Usage: fault_campaign [--seed N] [--runs N] [--dump-trace FILE] [--quiet]
+// Usage: fault_campaign [--seed N] [--runs N] [--jobs N] [--dump-trace FILE]
+//                       [--dump-campaign FILE] [--quiet]
+//
+//   --jobs N           run the fig3 seed sweep on the N-worker parallel
+//                      engine (slm::parallel::run_campaign); 0 (default) =
+//                      the serial fault::run_campaign. Output is
+//                      byte-identical either way.
+//   --dump-campaign F  run only the fig3 sweep and write its canonical JSON
+//                      (fault::write_campaign_json) to F — the artifact
+//                      ci/check_parallel.sh byte-compares across thread
+//                      counts.
 
 #include <cstdio>
 #include <cstring>
@@ -25,6 +35,7 @@
 #include "arch/fig3.hpp"
 #include "fault/campaign.hpp"
 #include "fault/fault.hpp"
+#include "parallel/parallel.hpp"
 #include "rtos/core.hpp"
 #include "sim/kernel.hpp"
 #include "trace/trace.hpp"
@@ -81,17 +92,29 @@ fault::CampaignRun run_fig3_once(fault::FaultInjector& inj) {
     return out;
 }
 
-void fig3_campaign(std::uint64_t first_seed, unsigned runs) {
+/// The fig3 sweep on either engine; `jobs` 0 = serial. Both produce the same
+/// CampaignResult byte-for-byte (ci/check_parallel.sh holds them to it).
+fault::CampaignResult run_fig3_campaign(std::uint64_t first_seed, unsigned runs,
+                                        unsigned jobs) {
+    const std::optional<fault::FaultPlan> plan = fault::FaultPlan::parse(kFig3Plan);
+    const fault::CampaignRunFn fn = [](fault::FaultInjector& inj,
+                                       fault::CampaignRun& out) {
+        out = run_fig3_once(inj);
+    };
+    if (jobs == 0) {
+        return fault::run_campaign(*plan, {first_seed, runs}, fn);
+    }
+    parallel::ParallelConfig pc;
+    pc.jobs = jobs;
+    return parallel::run_campaign(*plan, {first_seed, runs}, fn, pc);
+}
+
+void fig3_campaign(std::uint64_t first_seed, unsigned runs, unsigned jobs) {
     if (!g_quiet) {
         std::printf("==== Fig. 8 campaign: %u seeds starting at %llu ====\n\n",
                     runs, static_cast<unsigned long long>(first_seed));
     }
-    const std::optional<fault::FaultPlan> plan = fault::FaultPlan::parse(kFig3Plan);
-    const fault::CampaignResult res = fault::run_campaign(
-        *plan, {first_seed, runs},
-        [](fault::FaultInjector& inj, fault::CampaignRun& out) {
-            out = run_fig3_once(inj);
-        });
+    const fault::CampaignResult res = run_fig3_campaign(first_seed, runs, jobs);
     if (g_quiet) {
         return;
     }
@@ -202,22 +225,47 @@ void policy_sweep(std::uint64_t seed) {
 int main(int argc, char** argv) {
     std::uint64_t seed = 1;
     unsigned runs = 4;
+    unsigned jobs = 0;
     std::string dump_path;
+    std::string dump_campaign_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
             seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
         } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
             runs = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            jobs = static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (std::strcmp(argv[i], "--dump-trace") == 0 && i + 1 < argc) {
             dump_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--dump-campaign") == 0 && i + 1 < argc) {
+            dump_campaign_path = argv[++i];
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
             g_quiet = true;
         } else {
             std::fprintf(stderr,
-                         "usage: fault_campaign [--seed N] [--runs N] "
-                         "[--dump-trace FILE] [--quiet]\n");
+                         "usage: fault_campaign [--seed N] [--runs N] [--jobs N] "
+                         "[--dump-trace FILE] [--dump-campaign FILE] [--quiet]\n");
             return 2;
         }
+    }
+
+    if (!dump_campaign_path.empty()) {
+        // Parallel-equivalence gate (ci/check_parallel.sh): the whole sweep's
+        // canonical JSON. Same seeds => same bytes, at any --jobs.
+        const fault::CampaignResult res = run_fig3_campaign(seed, runs, jobs);
+        std::ofstream out{dump_campaign_path, std::ios::binary};
+        fault::write_campaign_json(out, res);
+        if (!out) {
+            std::fprintf(stderr, "fault_campaign: cannot write %s\n",
+                         dump_campaign_path.c_str());
+            return 2;
+        }
+        if (!g_quiet) {
+            std::printf("%u-seed campaign at seed %llu -> %s\n", runs,
+                        static_cast<unsigned long long>(seed),
+                        dump_campaign_path.c_str());
+        }
+        return 0;
     }
 
     if (!dump_path.empty()) {
@@ -238,7 +286,7 @@ int main(int argc, char** argv) {
         return 0;
     }
 
-    fig3_campaign(seed, runs);
+    fig3_campaign(seed, runs, jobs);
     policy_sweep(seed);
     return 0;
 }

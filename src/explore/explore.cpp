@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <charconv>
+#include <ostream>
+#include <sstream>
 #include <string_view>
 #include <unordered_map>
 #include <unordered_set>
@@ -108,6 +110,58 @@ const char* to_string(Violation::Kind k) {
         case Violation::Kind::PropertyFailure: return "property_failure";
     }
     return "?";
+}
+
+// ---- canonical serialization ----
+
+namespace {
+
+void write_violation_json(std::ostream& os, const Violation& v) {
+    os << "{\"kind\":\"" << to_string(v.kind) << "\",\"detail\":\""
+       << trace::json_escape(v.detail) << "\",\"schedule\":\""
+       << v.schedule.to_string() << "\",\"t_ns\":" << v.time.ns() << '}';
+}
+
+}  // namespace
+
+void write_result_json(std::ostream& os, const ExploreResult& res) {
+    os << "{\"schema\":\"slm-explore-result-v1\"";
+    os << ",\"stats\":{\"paths\":" << res.stats.paths
+       << ",\"choice_points\":" << res.stats.choice_points
+       << ",\"pruned\":" << res.stats.pruned
+       << ",\"max_depth\":" << res.stats.max_depth
+       << ",\"truncated\":" << res.stats.truncated << '}';
+    os << ",\"exhausted\":" << (res.exhausted ? "true" : "false");
+    os << ",\"violations\":[";
+    for (std::size_t i = 0; i < res.violations.size(); ++i) {
+        if (i != 0) {
+            os << ',';
+        }
+        write_violation_json(os, res.violations[i]);
+    }
+    os << ']';
+    os << ",\"first_failure\":";
+    if (!res.first_failure.has_value()) {
+        os << "null";
+    } else {
+        const PathResult& pr = *res.first_failure;
+        os << "{\"schedule\":\"" << pr.schedule.to_string()
+           << "\",\"end_ns\":" << pr.end_time.ns()
+           << ",\"more_timed\":" << (pr.more_timed ? "true" : "false")
+           << ",\"truncated\":" << (pr.truncated ? "true" : "false")
+           << ",\"diverged\":" << (pr.diverged ? "true" : "false")
+           << ",\"violations\":[";
+        for (std::size_t i = 0; i < pr.violations.size(); ++i) {
+            if (i != 0) {
+                os << ',';
+            }
+            write_violation_json(os, pr.violations[i]);
+        }
+        std::ostringstream csv;
+        pr.trace.write_csv(csv);
+        os << "],\"trace_csv\":\"" << trace::json_escape(csv.str()) << "\"}";
+    }
+    os << "}\n";
 }
 
 // ---- assert-handler scope ----
@@ -473,6 +527,12 @@ ExploreResult Explorer::random_walks(std::uint64_t n) {
 
 PathResult Explorer::replay(const Schedule& s) {
     return run_path(&s.choices, /*random=*/false, 0, nullptr, nullptr);
+}
+
+Explorer::Expansion Explorer::expand(const std::vector<std::uint32_t>& plan) {
+    Expansion e;
+    e.path = run_path(&plan, /*random=*/false, 0, &e.decisions, nullptr);
+    return e;
 }
 
 Explorer::ReplayOutcome Explorer::replay_trace(const std::string& trace) {

@@ -3,6 +3,7 @@
 #include <concepts>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <string>
@@ -214,10 +215,23 @@ struct ExploreResult {
     bool exhausted = false;
 };
 
+/// Canonical JSON serialization of an ExploreResult: fixed key order, no
+/// whitespace, violations in stored order, first_failure inlined with its
+/// full trace CSV. This is THE byte-comparable artifact of exploration — the
+/// parallel engine's determinism contract (docs/parallel-exploration.md) is
+/// "same bytes out of write_result_json as the serial engine", and
+/// ci/check_parallel.sh diffs exactly this output. Schema:
+/// slm-explore-result-v1.
+void write_result_json(std::ostream& os, const ExploreResult& res);
+
 /// The exploration driver. `build` populates a fresh Run per path — it must
 /// be deterministic (same calls in the same order each time), because replay
 /// identity depends on the k-th choice point meaning the same decision in
-/// every run.
+/// every run. When the same BuildFn is handed to the parallel engine
+/// (src/parallel/), it must additionally be safe to call concurrently from
+/// multiple threads: each call receives its own Run and must confine all
+/// mutable state to it (no captured mutable globals, no shared counters).
+/// Everything a Run::make() build touches satisfies this by construction.
 ///
 ///     explore::Explorer ex{[](explore::Run& run) {
 ///         auto& os = run.make<rtos::RtosModel>(run.kernel(),
@@ -265,11 +279,33 @@ public:
 
     [[nodiscard]] const ExploreConfig& config() const { return cfg_; }
 
-private:
+    /// One nondeterministic decision consulted during a run: the candidate
+    /// index taken and how many candidates were on offer. The decision list of
+    /// a completed path is what DFS successor generation consumes — both the
+    /// serial next_plan() backtracking here and the prefix-sharding child
+    /// generation of the parallel engine.
     struct Decision {
         std::uint32_t chosen;
         std::uint32_t count;
     };
+
+    /// Outcome of expand(): one completed path plus its full decision list.
+    /// Per-path stat deltas are derivable (paths = 1, choice_points =
+    /// decisions.size(), truncated = path.truncated), so a sharded driver can
+    /// reconstruct exactly the ExploreStats the serial loop would have
+    /// accumulated.
+    struct Expansion {
+        PathResult path;
+        std::vector<Decision> decisions;
+    };
+
+    /// Run exactly one path: force `plan` as a prefix, then complete with
+    /// default choices. This is the primitive the parallel engine shards
+    /// across workers — each worker owns a private Explorer and expands the
+    /// plan prefixes it claims. An empty plan runs the all-default schedule.
+    [[nodiscard]] Expansion expand(const std::vector<std::uint32_t>& plan);
+
+private:
     class Controller;
 
     PathResult run_path(const std::vector<std::uint32_t>* plan, bool random,

@@ -1,6 +1,9 @@
 #include "fault/campaign.hpp"
 
+#include <ostream>
 #include <utility>
+
+#include "trace/trace.hpp"
 
 namespace slm::fault {
 
@@ -18,6 +21,25 @@ std::uint64_t CampaignResult::total_misses() const {
         n += r.deadline_misses;
     }
     return n;
+}
+
+void write_campaign_json(std::ostream& os, const CampaignResult& res) {
+    os << "{\"schema\":\"slm-campaign-result-v1\",\"runs\":[";
+    for (std::size_t i = 0; i < res.runs.size(); ++i) {
+        const CampaignRun& r = res.runs[i];
+        if (i != 0) {
+            os << ',';
+        }
+        os << "{\"seed\":" << r.seed << ",\"injections\":" << r.injections
+           << ",\"deadline_misses\":" << r.deadline_misses
+           << ",\"crashes\":" << r.crashes << ",\"restarts\":" << r.restarts
+           << ",\"watchdog_fires\":" << r.watchdog_fires
+           << ",\"jobs_skipped\":" << r.jobs_skipped
+           << ",\"end_ns\":" << r.end_time.ns() << ",\"trace_csv\":\""
+           << trace::json_escape(r.trace_csv) << "\"}";
+    }
+    os << "],\"total_injections\":" << res.total_injections()
+       << ",\"total_misses\":" << res.total_misses() << "}\n";
 }
 
 CampaignResult run_campaign(const FaultPlan& plan, const CampaignConfig& cfg,

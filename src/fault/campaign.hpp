@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,13 @@ struct CampaignResult {
     [[nodiscard]] std::uint64_t total_misses() const;
 };
 
+/// Canonical JSON serialization of a CampaignResult: fixed key order, no
+/// whitespace, runs in stored order (ascending seed), each run's full
+/// trace_csv inlined. Like explore::write_result_json this is the
+/// byte-comparable artifact the parallel engine's determinism contract and
+/// ci/check_parallel.sh are phrased in. Schema: slm-campaign-result-v1.
+void write_campaign_json(std::ostream& os, const CampaignResult& res);
+
 struct CampaignConfig {
     std::uint64_t first_seed = 1;
     unsigned runs = 1;  ///< seeds first_seed .. first_seed + runs - 1
@@ -48,7 +56,10 @@ struct CampaignConfig {
 /// The model runner: build, attach `inj` to the model's core(s), simulate,
 /// and fill `out` (trace_csv, recovery counters, end_time; `seed` and
 /// `injections` are filled by the driver). Must be deterministic — the
-/// injector is the only sanctioned randomness source.
+/// injector is the only sanctioned randomness source. When the campaign is
+/// sharded by the parallel engine (slm::parallel::run_campaign), the runner
+/// must additionally be callable concurrently from multiple threads: confine
+/// all mutable state to the run being built.
 using CampaignRunFn = std::function<void(FaultInjector& inj, CampaignRun& out)>;
 
 /// Run `cfg.runs` independent experiments of `plan`, one per seed.

@@ -1,0 +1,74 @@
+#include "parallel/cache.hpp"
+
+#include <utility>
+
+namespace slm::parallel {
+
+bool ResultCache::lookup(const std::string& key, CachedExpansion& out) {
+    Shard& s = shard_for(key);
+    {
+        std::lock_guard<std::mutex> lock(s.mu);
+        const auto it = s.expansions.find(key);
+        if (it != s.expansions.end()) {
+            out = it->second;
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+void ResultCache::store(const std::string& key, CachedExpansion value) {
+    Shard& s = shard_for(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    // insert_or_assign: two workers can race to expand the same prefix only
+    // if the caller feeds overlapping work into one cache, and the values are
+    // deterministic anyway — last writer wins with identical bytes.
+    s.expansions.insert_or_assign(key, std::move(value));
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool ResultCache::lookup(const std::string& key, fault::CampaignRun& out) {
+    Shard& s = shard_for(key);
+    {
+        std::lock_guard<std::mutex> lock(s.mu);
+        const auto it = s.campaign_runs.find(key);
+        if (it != s.campaign_runs.end()) {
+            out = it->second;
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+void ResultCache::store(const std::string& key, fault::CampaignRun value) {
+    Shard& s = shard_for(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.campaign_runs.insert_or_assign(key, std::move(value));
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ResultCache::Stats ResultCache::stats() const {
+    Stats st;
+    st.hits = hits_.load(std::memory_order_relaxed);
+    st.misses = misses_.load(std::memory_order_relaxed);
+    st.insertions = insertions_.load(std::memory_order_relaxed);
+    for (const Shard& s : shards_) {
+        std::lock_guard<std::mutex> lock(s.mu);
+        st.entries += s.expansions.size() + s.campaign_runs.size();
+    }
+    return st;
+}
+
+void ResultCache::clear() {
+    for (Shard& s : shards_) {
+        std::lock_guard<std::mutex> lock(s.mu);
+        s.expansions.clear();
+        s.campaign_runs.clear();
+    }
+}
+
+}  // namespace slm::parallel

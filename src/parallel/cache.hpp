@@ -1,0 +1,84 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "explore/explore.hpp"
+#include "fault/campaign.hpp"
+
+namespace slm::parallel {
+
+/// Everything the engine needs from one expanded plan prefix *except* the
+/// trace: the full decision list (to regenerate the schedule and the child
+/// prefixes) and the check outcome. Traces are deliberately not cached — a
+/// failing path's trace is regenerated bit-exactly by replay when it is
+/// needed for ExploreResult::first_failure, which keeps cache entries small
+/// (bytes, not the megabytes a trace can reach).
+struct CachedExpansion {
+    std::vector<explore::Explorer::Decision> decisions;
+    std::vector<explore::Violation> violations;
+    SimTime end_time{};
+    bool more_timed = false;
+    bool truncated = false;
+    bool diverged = false;
+};
+
+/// Shared result cache for warm re-runs of exploration and fault campaigns
+/// over an *unchanged* model. Keys are opaque strings built by the engine
+/// (see expansion_cache_key()/campaign_cache_key() in parallel.hpp — the key
+/// schema is documented in docs/parallel-exploration.md); correctness
+/// therefore rests entirely on the caller's ParallelConfig::model_fingerprint
+/// naming the model build honestly. A stale fingerprint misses; a *reused*
+/// fingerprint over a changed model silently serves wrong results — the same
+/// contract as any build cache.
+///
+/// Thread-safe: the map is sharded by key hash, one mutex per shard, so
+/// workers rarely contend. Hit/miss counters are atomics updated on every
+/// lookup.
+class ResultCache {
+public:
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t insertions = 0;
+        std::uint64_t entries = 0;
+    };
+
+    ResultCache() = default;
+    ResultCache(const ResultCache&) = delete;
+    ResultCache& operator=(const ResultCache&) = delete;
+
+    /// Exploration entries (one per expanded plan prefix).
+    bool lookup(const std::string& key, CachedExpansion& out);
+    void store(const std::string& key, CachedExpansion value);
+
+    /// Campaign entries (one per seed, full CampaignRun including trace_csv).
+    bool lookup(const std::string& key, fault::CampaignRun& out);
+    void store(const std::string& key, fault::CampaignRun value);
+
+    [[nodiscard]] Stats stats() const;
+    void clear();
+
+private:
+    static constexpr std::size_t kShards = 16;
+    struct Shard {
+        mutable std::mutex mu;
+        std::unordered_map<std::string, CachedExpansion> expansions;
+        std::unordered_map<std::string, fault::CampaignRun> campaign_runs;
+    };
+
+    Shard& shard_for(const std::string& key) {
+        return shards_[std::hash<std::string>{}(key) % kShards];
+    }
+
+    Shard shards_[kShards];
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> insertions_{0};
+};
+
+}  // namespace slm::parallel

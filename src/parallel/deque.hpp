@@ -1,0 +1,163 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace slm::parallel {
+
+/// Chase-Lev work-stealing deque: the owner thread pushes and pops work at
+/// the bottom (LIFO, so a worker drills depth-first into the subtree it just
+/// expanded — good locality, bounded frontier), thieves take from the top
+/// (FIFO, so they steal the *shallowest* prefix, i.e. the biggest remaining
+/// subtree). Items are heap-allocated and handed over through atomic slots.
+///
+/// Memory-order policy: every index and slot access is seq_cst. The classic
+/// formulation (Lê et al., "Correct and Efficient Work-Stealing for Weak
+/// Memory Models") relaxes most of these around standalone fences, but
+/// ThreadSanitizer does not model standalone fences and would report false
+/// races, and our work items are whole simulation runs — microseconds to
+/// milliseconds each — so deque overhead is noise. seq_cst everywhere keeps
+/// the proof obligations (and the TSan report) empty.
+///
+/// `top_` is monotonically increasing, so the CAS in steal()/pop() cannot
+/// suffer ABA. Buffers grown by the owner are retired, not freed, until the
+/// deque is destroyed: a thief may still be reading a slot of a stale buffer
+/// (the slot values are copied to the new buffer, and index ownership is
+/// decided solely by the CAS on `top_`, so both buffers agree).
+template <typename T>
+class WorkDeque {
+public:
+    explicit WorkDeque(std::size_t initial_capacity = 64) {
+        std::size_t cap = 1;
+        while (cap < initial_capacity) {
+            cap <<= 1U;
+        }
+        array_.store(new Array(cap), std::memory_order_seq_cst);
+    }
+
+    /// Not thread-safe: all workers must have joined before destruction.
+    ~WorkDeque() {
+        const std::uint64_t t = top_.load(std::memory_order_seq_cst);
+        const std::uint64_t b = bottom_.load(std::memory_order_seq_cst);
+        Array* a = array_.load(std::memory_order_seq_cst);
+        for (std::uint64_t i = t; static_cast<std::int64_t>(i) <
+                                  static_cast<std::int64_t>(b); ++i) {
+            delete a->get(i);
+        }
+        delete a;
+        for (Array* r : retired_) {
+            delete r;
+        }
+    }
+
+    WorkDeque(const WorkDeque&) = delete;
+    WorkDeque& operator=(const WorkDeque&) = delete;
+
+    /// Owner only.
+    void push(T item) {
+        const std::uint64_t b = bottom_.load(std::memory_order_seq_cst);
+        const std::uint64_t t = top_.load(std::memory_order_seq_cst);
+        Array* a = array_.load(std::memory_order_seq_cst);
+        if (b - t >= a->cap) {
+            a = grow(a, t, b);
+        }
+        a->put(b, new T(std::move(item)));
+        bottom_.store(b + 1, std::memory_order_seq_cst);
+    }
+
+    /// Owner only: take the most recently pushed item.
+    bool pop(T& out) {
+        const std::uint64_t b = bottom_.load(std::memory_order_seq_cst) - 1;
+        Array* a = array_.load(std::memory_order_seq_cst);
+        bottom_.store(b, std::memory_order_seq_cst);
+        const std::uint64_t t = top_.load(std::memory_order_seq_cst);
+        if (static_cast<std::int64_t>(t) > static_cast<std::int64_t>(b)) {
+            bottom_.store(b + 1, std::memory_order_seq_cst);  // was empty
+            return false;
+        }
+        T* p = a->get(b);
+        if (t == b) {
+            // Last item: race the thieves for it via the CAS on top_.
+            std::uint64_t expect = t;
+            const bool won = top_.compare_exchange_strong(
+                expect, t + 1, std::memory_order_seq_cst);
+            bottom_.store(b + 1, std::memory_order_seq_cst);
+            if (!won) {
+                return false;  // a thief claimed it; it will free p
+            }
+        }
+        out = std::move(*p);
+        delete p;
+        return true;
+    }
+
+    /// Any thread: take the oldest item. False = empty or lost a race (the
+    /// caller retries or moves to the next victim either way).
+    bool steal(T& out) {
+        const std::uint64_t t = top_.load(std::memory_order_seq_cst);
+        const std::uint64_t b = bottom_.load(std::memory_order_seq_cst);
+        if (static_cast<std::int64_t>(t) >= static_cast<std::int64_t>(b)) {
+            return false;
+        }
+        Array* a = array_.load(std::memory_order_seq_cst);
+        T* p = a->get(t);
+        std::uint64_t expect = t;
+        if (!top_.compare_exchange_strong(expect, t + 1,
+                                          std::memory_order_seq_cst)) {
+            return false;
+        }
+        out = std::move(*p);
+        delete p;
+        return true;
+    }
+
+    /// Racy snapshot, for load reporting only.
+    [[nodiscard]] std::size_t approx_size() const {
+        const auto t = static_cast<std::int64_t>(top_.load(std::memory_order_seq_cst));
+        const auto b = static_cast<std::int64_t>(bottom_.load(std::memory_order_seq_cst));
+        return b > t ? static_cast<std::size_t>(b - t) : 0;
+    }
+
+private:
+    struct Array {
+        explicit Array(std::size_t c)
+            : cap(c), mask(c - 1), slots(new std::atomic<T*>[c]) {
+            for (std::size_t i = 0; i < c; ++i) {
+                slots[i].store(nullptr, std::memory_order_relaxed);
+            }
+        }
+        std::size_t cap;
+        std::size_t mask;
+        std::unique_ptr<std::atomic<T*>[]> slots;
+
+        [[nodiscard]] T* get(std::uint64_t i) const {
+            return slots[i & mask].load(std::memory_order_seq_cst);
+        }
+        void put(std::uint64_t i, T* p) {
+            slots[i & mask].store(p, std::memory_order_seq_cst);
+        }
+    };
+
+    /// Owner only (from push). The old buffer is retired, not freed — see
+    /// class comment.
+    Array* grow(Array* a, std::uint64_t t, std::uint64_t b) {
+        auto* bigger = new Array(a->cap * 2);
+        for (std::uint64_t i = t; i != b; ++i) {
+            bigger->put(i, a->get(i));
+        }
+        retired_.push_back(a);
+        array_.store(bigger, std::memory_order_seq_cst);
+        return bigger;
+    }
+
+    std::atomic<std::uint64_t> top_{0};
+    std::atomic<std::uint64_t> bottom_{0};
+    std::atomic<Array*> array_{nullptr};
+    std::vector<Array*> retired_;  ///< owner-only; freed in the destructor
+};
+
+}  // namespace slm::parallel

@@ -6,7 +6,11 @@
 namespace slm::sim {
 
 namespace {
-AssertHandler g_handler = nullptr;
+// Thread-local so every worker of the parallel exploration engine
+// (src/parallel/) can install its own throwing handler without racing the
+// others; a single-threaded program sees exactly the old process-global
+// behavior.
+thread_local AssertHandler g_handler = nullptr;
 }  // namespace
 
 AssertHandler set_assert_handler(AssertHandler h) {

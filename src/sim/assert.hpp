@@ -16,9 +16,10 @@ struct AssertInfo {
 /// handler that returns normally falls through to the default abort.
 using AssertHandler = void (*)(const AssertInfo&);
 
-/// Replace the process-global assert handler; returns the previous one
-/// (nullptr = default abort). Not thread-safe — the simulator is
-/// single-threaded by contract.
+/// Replace this thread's assert handler; returns the previous one (nullptr =
+/// default abort). The handler is thread-local: each simulation runs on one
+/// thread, and the parallel exploration engine (src/parallel/) installs a
+/// throwing handler per worker without the workers interfering.
 AssertHandler set_assert_handler(AssertHandler h);
 
 namespace detail {

@@ -20,6 +20,26 @@
 #include <sanitizer/common_interface_defs.h>
 #endif
 
+#if defined(__SANITIZE_THREAD__)
+#define SLM_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SLM_TSAN_ENABLED 1
+#endif
+#endif
+#ifndef SLM_TSAN_ENABLED
+#define SLM_TSAN_ENABLED 0
+#endif
+
+#if SLM_TSAN_ENABLED
+// Fiber annotations: TSan keeps a shadow call stack per execution context.
+// Without __tsan_switch_to_fiber at every stack switch it attributes frames
+// of one coroutine to another, which corrupts its bookkeeping and produces
+// false races — the same class of problem the ASan annotations below solve
+// for fake stacks. See ci/sanitize.sh --tsan and docs/kernel-internals.md.
+#include <sanitizer/tsan_interface.h>
+#endif
+
 #if SLM_HAVE_FAST_CONTEXT
 // Assembly switch (context_x86_64.S / context_aarch64.S). Saves the callee-
 // saved register set into the current stack, flips the stack pointer, and
@@ -99,6 +119,14 @@ void* make_fast_frame(void* stack_lo, std::size_t size, void (*entry)(void*)) {
 }  // namespace
 #endif  // SLM_HAVE_FAST_CONTEXT
 
+Context::~Context() {
+#if SLM_TSAN_ENABLED
+    if (tsan_fiber_ != nullptr && tsan_fiber_owned_) {
+        __tsan_destroy_fiber(tsan_fiber_);
+    }
+#endif
+}
+
 void Context::init(void* stack_lo, std::size_t stack_size, Entry entry, void* arg,
                    ContextBackend backend) {
     entry_ = entry;
@@ -106,6 +134,13 @@ void Context::init(void* stack_lo, std::size_t stack_size, Entry entry, void* ar
     stack_lo_ = stack_lo;
     stack_size_ = stack_size;
     asan_fake_stack_ = nullptr;
+#if SLM_TSAN_ENABLED
+    if (tsan_fiber_ != nullptr && tsan_fiber_owned_) {
+        __tsan_destroy_fiber(tsan_fiber_);  // re-init of a recycled context
+    }
+    tsan_fiber_ = __tsan_create_fiber(0);
+    tsan_fiber_owned_ = true;
+#endif
     if (backend == ContextBackend::Fast) {
 #if SLM_HAVE_FAST_CONTEXT
         sp_ = make_fast_frame(stack_lo, stack_size, &Context::fast_entry);
@@ -137,6 +172,13 @@ void Context::adopt_thread_stack() {
         pthread_attr_destroy(&attr);
     }
 #endif
+#if SLM_TSAN_ENABLED
+    // The scheduler context runs on the calling thread's own stack, whose
+    // fiber handle belongs to TSan (never destroyed by us). Re-adopt on every
+    // call: a kernel may legally be run from different threads over its life.
+    tsan_fiber_ = __tsan_get_current_fiber();
+    tsan_fiber_owned_ = false;
+#endif
 }
 
 void Context::switch_to(Context& from, Context& to, ContextBackend backend,
@@ -151,6 +193,12 @@ void Context::switch_to(Context& from, Context& to, ContextBackend backend,
     // stack returns to the pool).
     __sanitizer_start_switch_fiber(finishing ? nullptr : &from.asan_fake_stack_,
                                    to.stack_lo_, to.stack_size_);
+#endif
+#if SLM_TSAN_ENABLED
+    // Must be the last annotation before the actual switch. The target fiber
+    // always exists: coroutine contexts create theirs in init() and the
+    // scheduler context adopts the thread fiber in adopt_thread_stack().
+    __tsan_switch_to_fiber(to.tsan_fiber_, 0);
 #endif
 #if SLM_HAVE_FAST_CONTEXT
     if (backend == ContextBackend::Fast) {

@@ -43,6 +43,9 @@ public:
     using Entry = void (*)(void* arg);
 
     Context() = default;
+    /// Releases the ThreadSanitizer fiber owned by this context, if any
+    /// (created by init() under -fsanitize=thread; no-op otherwise).
+    ~Context();
     Context(const Context&) = delete;
     Context& operator=(const Context&) = delete;
 
@@ -51,9 +54,13 @@ public:
     void init(void* stack_lo, std::size_t stack_size, Entry entry, void* arg,
               ContextBackend backend);
 
-    /// For the scheduler context under ASan: record the current thread's stack
-    /// bounds so fiber-switch annotations can name the stack we switch back
-    /// to. No-op in non-sanitized builds.
+    /// For the scheduler context under sanitizers: record the current thread's
+    /// stack bounds (ASan) and adopt the thread's TSan fiber handle, so
+    /// fiber-switch annotations can name the context we switch back to. Safe
+    /// to call repeatedly — Kernel::run_until() calls it on entry, which also
+    /// keeps the bookkeeping correct when the same kernel is run from
+    /// different threads at different times (the parallel engine's workers
+    /// each drive their own kernels). No-op in non-sanitized builds.
     void adopt_thread_stack();
 
     /// Suspend `from` (the currently executing context) and resume `to`.
@@ -75,6 +82,8 @@ private:
     const void* stack_lo_ = nullptr;  ///< sanitizer + diagnostics bookkeeping
     std::size_t stack_size_ = 0;
     void* asan_fake_stack_ = nullptr;
+    void* tsan_fiber_ = nullptr;   ///< TSan fiber handle (owned unless adopted)
+    bool tsan_fiber_owned_ = false;
 };
 
 }  // namespace slm::sim
