@@ -1,0 +1,234 @@
+// Architecture/mapping-sweep benchmarks: the vocoder design-space sweep on
+// the heterogeneous ARM+DSP platform, serial vs. the slm::parallel sharded
+// sweep, emitting a machine-readable BENCH_arch.json (schema
+// slm-bench-arch-v1).
+//
+// Two gates, reflected in the "gates" block of the JSON and the exit code:
+//   equivalence    HARD: the serial and parallel sweeps must serialize
+//                  byte-identically (the same contract ci/check_sweep.sh
+//                  enforces on the mapping_sweep example).
+//   scaling_exact  HARD: scaling a PE's speed by k must scale the charged
+//                  execution time by *exactly* k — checked at the OsCore
+//                  level (time_wait on a speed-k core) and end-to-end on an
+//                  elaborated system (latency of a fixed pipeline on speed-k
+//                  PEs), for k in {2, 3, 5}.
+//
+// Usage: bench_arch [--smoke] [--out FILE]
+//   --smoke   tiny workloads for CI (milliseconds)
+//   --out     output path (default: BENCH_arch.json in the CWD)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "arch/arch.hpp"
+#include "sim/kernel.hpp"
+#include "sys/sweep.hpp"
+#include "vocoder/system.hpp"
+
+using namespace slm;
+using namespace slm::time_literals;
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+std::string sweep_json(const sys::SweepResult& res) {
+    std::ostringstream os;
+    sys::write_sweep_json(os, res);
+    return std::move(os).str();
+}
+
+/// Exactness check one: nominal work k * N on a speed-k/1 core must finish at
+/// exactly N (OsCore::scaled_exec is exact rational arithmetic, not a float).
+bool core_scaling_exact(std::uint32_t k) {
+    sim::Kernel kern;
+    rtos::RtosConfig cfg;
+    cfg.speed_num = k;
+    arch::ProcessingElement pe{kern, "pe", cfg};
+    const SimTime nominal = nanoseconds(7'000'003 * static_cast<std::uint64_t>(k));
+    pe.add_task("t", 1, [&] { pe.os().time_wait(nominal); });
+    pe.start();
+    kern.run();
+    return kern.now() == nanoseconds(7'000'003);
+}
+
+/// Exactness check two: a two-task pipeline elaborated on speed-k PEs with a
+/// zero-cost bus must report exactly 1/k of the speed-1 end-to-end latency.
+bool system_scaling_exact(std::uint32_t k) {
+    SimTime latency[2];
+    for (int fast = 0; fast < 2; ++fast) {
+        sys::AppSpec app;
+        app.name = "scale-check";
+        app.tasks = {sys::TaskSpec{"stage0", nanoseconds(600'000 * k), {}, {}, 1, 1},
+                     sys::TaskSpec{"stage1", nanoseconds(300'000 * k), {}, {}, 1, 1}};
+        app.channels = {sys::ChannelSpec{"in", "", "stage0", 4, 0},
+                        sys::ChannelSpec{"mid", "stage0", "stage1", 4, 0}};
+        app.stimuli = {sys::StimulusSpec{"src", "in", 1_us, 1}};
+        sys::PlatformSpec platform;
+        platform.name = "scale";
+        const std::uint32_t num = fast != 0 ? k : 1;
+        platform.pes = {sys::PeSpec{"PE0", num, 1},
+                        sys::PeSpec{"PE1", num, 1}};
+        platform.buses = {sys::BusSpec{"bus", SimTime::zero(), SimTime::zero()}};
+        sys::MappingSpec mapping;
+        mapping.name = "split";
+        mapping.bindings = {sys::TaskBinding{"stage0", "PE0", 1},
+                            sys::TaskBinding{"stage1", "PE1", 1}};
+        mapping.routes = {sys::ChannelRoute{"in", "bus"},
+                          sys::ChannelRoute{"mid", "bus"}};
+        sys::System system{app, platform, mapping};
+        system.run();
+        if (system.latencies().size() != 1) {
+            return false;
+        }
+        latency[fast] = system.latencies().front();
+    }
+    return latency[0] == nanoseconds(900'000 * static_cast<std::uint64_t>(k)) &&
+           latency[1] * k == latency[0];
+}
+
+struct GateState {
+    bool failed = false;
+
+    /// PASS / FAIL with a hard exit-code consequence.
+    const char* hard(bool ok) {
+        if (!ok) {
+            failed = true;
+        }
+        return ok ? "PASS" : "FAIL";
+    }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    std::string out_path = "BENCH_arch.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: bench_arch [--smoke] [--out FILE]\n");
+            return 2;
+        }
+    }
+
+    const unsigned cores = std::max(1U, std::thread::hardware_concurrency());
+    const unsigned jobs = cores;
+
+    // ---- vocoder mapping sweep -------------------------------------------
+    vocoder::VocoderConfig cfg;
+    cfg.frames = smoke ? 4 : 24;
+    const sys::AppSpec app = vocoder::vocoder_app_spec(cfg.frames);
+    const sys::PlatformSpec platform = vocoder::vocoder_sweep_platform(cfg);
+    const std::vector<sys::MappingSpec> candidates =
+        sys::enumerate_mappings(app, platform, vocoder::vocoder_enum_options());
+
+    sys::SweepConfig scfg;
+    scfg.options.base_rtos = cfg.rtos;
+    const sys::SystemSetup setup = vocoder::vocoder_setup(cfg);
+
+    std::fprintf(stderr, "bench_arch: sweep serial (%zu candidates)...\n",
+                 candidates.size());
+    auto t0 = std::chrono::steady_clock::now();
+    scfg.jobs = 1;
+    const sys::SweepResult serial_res =
+        sys::run_sweep(app, platform, candidates, scfg, setup);
+    const double serial_ms = elapsed_ms(t0);
+    const std::string serial = sweep_json(serial_res);
+
+    std::fprintf(stderr, "bench_arch: sweep parallel (%u jobs)...\n", jobs);
+    t0 = std::chrono::steady_clock::now();
+    scfg.jobs = jobs;
+    parallel::ParallelStats stats;
+    const sys::SweepResult par_res =
+        sys::run_sweep(app, platform, candidates, scfg, setup, &stats);
+    const double parallel_ms = elapsed_ms(t0);
+    const bool identical = sweep_json(par_res) == serial;
+
+    // Simulated nanoseconds across all candidates: the sweep's work measure.
+    std::uint64_t sim_ns_total = 0;
+    for (const sys::CandidateResult& c : serial_res.candidates) {
+        sim_ns_total += c.metrics.sim_duration.ns();
+    }
+    const double speedup = serial_ms / std::max(parallel_ms, 0.001);
+    // Per-candidate throughput: simulated milliseconds per wall millisecond.
+    const double throughput_serial =
+        (static_cast<double>(sim_ns_total) / 1e6) / std::max(serial_ms, 0.001);
+    const double throughput_parallel =
+        (static_cast<double>(sim_ns_total) / 1e6) / std::max(parallel_ms, 0.001);
+    const std::size_t winner =
+        serial_res.ranking().empty() ? 0 : serial_res.ranking().front();
+
+    // ---- heterogeneous-scaling exactness ---------------------------------
+    bool scaling_ok = true;
+    for (const std::uint32_t k : {2u, 3u, 5u}) {
+        scaling_ok = scaling_ok && core_scaling_exact(k) && system_scaling_exact(k);
+    }
+
+    // ---- gates ------------------------------------------------------------
+    GateState gates;
+    const char* g_equiv = gates.hard(identical);
+    const char* g_scaling = gates.hard(scaling_ok);
+
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        std::perror("bench_arch: fopen");
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"slm-bench-arch-v1\",\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    std::fprintf(f, "  \"cores_detected\": %u,\n  \"jobs\": %u,\n", cores, jobs);
+    std::fprintf(f,
+                 "  \"sweep\": {\n"
+                 "    \"candidates\": %zu,\n"
+                 "    \"frames\": %zu,\n"
+                 "    \"serial_ms\": %.2f,\n"
+                 "    \"parallel_ms\": %.2f,\n"
+                 "    \"speedup\": %.2f,\n"
+                 "    \"sim_ns_total\": %llu,\n"
+                 "    \"throughput_serial_sim_ms_per_wall_ms\": %.1f,\n"
+                 "    \"throughput_parallel_sim_ms_per_wall_ms\": %.1f,\n"
+                 "    \"byte_identical\": %s,\n"
+                 "    \"winner\": \"%s\"\n"
+                 "  },\n",
+                 candidates.size(), cfg.frames, serial_ms, parallel_ms, speedup,
+                 static_cast<unsigned long long>(sim_ns_total), throughput_serial,
+                 throughput_parallel, identical ? "true" : "false",
+                 serial_res.candidates[winner].mapping.summary().c_str());
+    std::fprintf(f,
+                 "  \"scaling\": {\n"
+                 "    \"factors\": [2, 3, 5],\n"
+                 "    \"exact\": %s\n"
+                 "  },\n",
+                 scaling_ok ? "true" : "false");
+    std::fprintf(f,
+                 "  \"gates\": {\n"
+                 "    \"equivalence\": \"%s\",\n"
+                 "    \"scaling_exact\": \"%s\"\n"
+                 "  }\n}\n",
+                 g_equiv, g_scaling);
+    std::fclose(f);
+
+    std::printf("sweep   : %zu candidates x %zu frames  serial %8.1f ms  "
+                "parallel %8.1f ms (%.1fx)  %s\n",
+                candidates.size(), cfg.frames, serial_ms, parallel_ms, speedup,
+                identical ? "byte-identical" : "DIVERGED");
+    std::printf("winner  : %s\n",
+                serial_res.candidates[winner].mapping.summary().c_str());
+    std::printf("scaling : k in {2,3,5} %s\n", scaling_ok ? "exact" : "INEXACT");
+    std::printf("gates   : equivalence=%s scaling_exact=%s\n", g_equiv, g_scaling);
+    std::printf("wrote %s\n", out_path.c_str());
+    return gates.failed ? 1 : 0;
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Run the kernel + RTOS + trace + ISS + parallel benchmark suites and leave
-# machine-readable BENCH_kernel.json / BENCH_rtos.json / BENCH_trace.json /
-# BENCH_iss.json / BENCH_parallel.json behind. Designed to be runnable both by
+# Run the kernel + RTOS + trace + ISS + parallel + arch benchmark suites and
+# leave machine-readable BENCH_kernel.json / BENCH_rtos.json /
+# BENCH_trace.json / BENCH_iss.json / BENCH_parallel.json / BENCH_arch.json
+# behind. Designed to be runnable both by
 # hand and from CI:
 #
 #   bench/run_benches.sh                     # full run, ./build, ./BENCH_*.json
@@ -12,6 +13,7 @@
 #   bench/run_benches.sh --trace-out FILE    # where to write the trace JSON
 #   bench/run_benches.sh --iss-out FILE      # where to write the ISS JSON
 #   bench/run_benches.sh --parallel-out FILE # where to write the parallel JSON
+#   bench/run_benches.sh --arch-out FILE     # where to write the arch/sweep JSON
 #   bench/run_benches.sh --micro             # also run the google-benchmark micro suite
 #
 # Any required benchmark binary that is missing is a hard error (exit 1), so
@@ -24,6 +26,7 @@ rtos_out=BENCH_rtos.json
 trace_out=BENCH_trace.json
 iss_out=BENCH_iss.json
 parallel_out=BENCH_parallel.json
+arch_out=BENCH_arch.json
 smoke_flag=""
 run_micro=0
 
@@ -36,13 +39,14 @@ while [[ $# -gt 0 ]]; do
     --trace-out) trace_out="$2"; shift ;;
     --iss-out) iss_out="$2"; shift ;;
     --parallel-out) parallel_out="$2"; shift ;;
+    --arch-out) arch_out="$2"; shift ;;
     --micro) run_micro=1 ;;
-    *) echo "usage: $0 [--smoke] [--build-dir DIR] [--out FILE] [--rtos-out FILE] [--trace-out FILE] [--iss-out FILE] [--parallel-out FILE] [--micro]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--smoke] [--build-dir DIR] [--out FILE] [--rtos-out FILE] [--trace-out FILE] [--iss-out FILE] [--parallel-out FILE] [--arch-out FILE] [--micro]" >&2; exit 2 ;;
   esac
   shift
 done
 
-required="bench_ctx bench_rtos bench_trace bench_iss bench_parallel"
+required="bench_ctx bench_rtos bench_trace bench_iss bench_parallel bench_arch"
 if [[ "$run_micro" == 1 ]]; then
   required="$required bench_micro"
 fi
@@ -58,6 +62,7 @@ done
 "$build_dir/bench/bench_trace" $smoke_flag --out "$trace_out"
 "$build_dir/bench/bench_iss" $smoke_flag --out "$iss_out"
 "$build_dir/bench/bench_parallel" $smoke_flag --out "$parallel_out"
+"$build_dir/bench/bench_arch" $smoke_flag --out "$arch_out"
 
 if [[ "$run_micro" == 1 ]]; then
   if [[ -n "$smoke_flag" ]]; then

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Mapping-sweep determinism gate: a design-space sweep must produce the same
+# result no matter how it is parallelised or repeated. Runs the vocoder
+# mapping_sweep serially and at --jobs 1, 2, and 8 (winner replay included)
+# and requires every parallel slm-sweep-result-v1 dump to match the serial
+# one byte-for-byte; then runs the multi_pe_system example twice and requires
+# the two task-state trace dumps to be identical. The contract lives in
+# docs/system-mapping.md. Registered as the `check_sweep` ctest (see the
+# top-level CMakeLists.txt), so it also runs inside the ASan/TSan trees built
+# by `ci/sanitize.sh`.
+#
+#   ci/check_sweep.sh [--build-dir DIR]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+if [[ "${1:-}" == "--build-dir" && -n "${2:-}" ]]; then
+  build_dir="$2"
+fi
+
+sweep="$build_dir/examples/mapping_sweep"
+multi_pe="$build_dir/examples/multi_pe_system"
+for bin in "$sweep" "$multi_pe"; do
+  if [ ! -x "$bin" ]; then
+    echo "check_sweep: $bin not built (build the repo first)" >&2
+    exit 1
+  fi
+done
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+require_identical() {  # require_identical WHAT SERIAL PARALLEL LABEL
+  if ! cmp -s "$2" "$3"; then
+    echo "check_sweep: $1 ($4) diverged from the reference run:" >&2
+    diff "$2" "$3" | head -10 >&2
+    exit 1
+  fi
+}
+
+# 1. Vocoder mapping sweep on the heterogeneous ARM+DSP platform: 8 candidate
+#    mappings, canonical JSON plus a replay of the winning mapping.
+"$sweep" --frames 4 --dump "$tmpdir/sweep_serial.json" --replay-winner
+if [ ! -s "$tmpdir/sweep_serial.json" ]; then
+  echo "check_sweep: mapping_sweep produced an empty dump" >&2
+  exit 1
+fi
+if ! grep -q '"schema":"slm-sweep-result-v1"' "$tmpdir/sweep_serial.json"; then
+  echo "check_sweep: dump is missing the slm-sweep-result-v1 schema tag" >&2
+  exit 1
+fi
+if ! grep -q '"schema":"slm-sweep-replay-v1"' "$tmpdir/sweep_serial.json"; then
+  echo "check_sweep: dump is missing the winner-replay record" >&2
+  exit 1
+fi
+for jobs in 1 2 8; do
+  "$sweep" --frames 4 --jobs "$jobs" --dump "$tmpdir/sweep_j$jobs.json" \
+           --replay-winner
+  require_identical "mapping_sweep" "$tmpdir/sweep_serial.json" \
+                    "$tmpdir/sweep_j$jobs.json" "--jobs $jobs"
+done
+
+# 2. Elaborated two-PE example: the task-state trace of a spec-declared
+#    system must reproduce run-to-run.
+"$multi_pe" --dump "$tmpdir/trace_a.csv"
+"$multi_pe" --dump "$tmpdir/trace_b.csv"
+if [ ! -s "$tmpdir/trace_a.csv" ]; then
+  echo "check_sweep: multi_pe_system produced an empty trace" >&2
+  exit 1
+fi
+require_identical "multi_pe_system" "$tmpdir/trace_a.csv" "$tmpdir/trace_b.csv" \
+                  "repeat run"
+
+echo "check_sweep: OK (sweep byte-identical at --jobs 1/2/8, trace reproducible)"

@@ -1,0 +1,120 @@
+// Mapping design-space sweep over the vocoder on a heterogeneous platform
+// (slow ARM + fast DSP): enumerate every task->PE assignment, simulate each
+// candidate with the real codec behaviors, and rank them by deadline misses
+// and latency. The sweep is deterministic at any --jobs count — the canonical
+// JSON (--dump) is byte-identical serial vs parallel, which ci/check_sweep.sh
+// enforces. See docs/system-mapping.md for the flow.
+//
+// Build & run:  ./build/examples/mapping_sweep --frames 6
+//               ./build/examples/mapping_sweep --frames 6 --jobs 8 --dump out.json
+//               ./build/examples/mapping_sweep --replay-winner
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "sys/sweep.hpp"
+#include "vocoder/system.hpp"
+
+using namespace slm;
+
+int main(int argc, char** argv) {
+    std::size_t frames = 6;
+    unsigned jobs = 1;
+    const char* dump_path = nullptr;
+    bool replay_winner = false;
+    bool quiet = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc) {
+            frames = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--dump") == 0 && i + 1 < argc) {
+            dump_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--replay-winner") == 0) {
+            replay_winner = true;
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            quiet = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: mapping_sweep [--frames N] [--jobs N] [--dump FILE]"
+                         " [--replay-winner] [--quiet]\n");
+            return 2;
+        }
+    }
+    quiet = quiet || dump_path != nullptr;
+
+    vocoder::VocoderConfig cfg;
+    cfg.frames = frames;
+
+    const sys::AppSpec app = vocoder::vocoder_app_spec(cfg.frames);
+    const sys::PlatformSpec platform = vocoder::vocoder_sweep_platform(cfg);
+    const std::vector<sys::MappingSpec> candidates =
+        sys::enumerate_mappings(app, platform, vocoder::vocoder_enum_options());
+
+    sys::SweepConfig scfg;
+    scfg.jobs = jobs;
+    scfg.options.base_rtos = cfg.rtos;
+    parallel::ParallelStats stats;
+    const sys::SweepResult result =
+        sys::run_sweep(app, platform, candidates, scfg, vocoder::vocoder_setup(cfg),
+                       &stats);
+    const std::vector<std::size_t> ranking = result.ranking();
+
+    if (!quiet) {
+        std::printf("%zu candidates, %zu frames, %llu workers\n\n", candidates.size(),
+                    frames, static_cast<unsigned long long>(stats.workers));
+        std::printf("%-4s %-6s %-40s %8s %10s %10s\n", "rank", "name", "mapping",
+                    "misses", "p95", "max");
+        for (std::size_t r = 0; r < ranking.size(); ++r) {
+            const sys::CandidateResult& c = result.candidates[ranking[r]];
+            std::printf("%-4zu %-6s %-40s %8llu %10s %10s\n", r + 1,
+                        c.mapping.name.c_str(), c.mapping.summary().c_str(),
+                        static_cast<unsigned long long>(
+                            c.metrics.task_deadline_misses + c.metrics.latency_misses),
+                        c.metrics.latency_p95.to_string().c_str(),
+                        c.metrics.latency_max.to_string().c_str());
+        }
+    }
+
+    std::ostringstream out;
+    sys::write_sweep_json(out, result);
+
+    // Replaying the winning mapping re-elaborates it from its spec alone and
+    // must reproduce the sweep's metrics exactly — appended to the dump so the
+    // CI byte-compare covers replay determinism too.
+    if (replay_winner && !ranking.empty()) {
+        const sys::MappingSpec& winner = result.candidates[ranking.front()].mapping;
+        sys::SystemOptions opts;
+        opts.base_rtos = cfg.rtos;
+        sys::System system{app, platform, winner, opts};
+        (void)vocoder::attach_vocoder_behaviors(system, cfg);
+        system.run();
+        const sys::SystemMetrics m = system.metrics();
+        out << "{\"schema\":\"slm-sweep-replay-v1\",\"winner\":\"" << winner.name
+            << "\",\"sim_ns\":" << m.sim_duration.ns()
+            << ",\"jobs_completed\":" << m.jobs_completed
+            << ",\"task_deadline_misses\":" << m.task_deadline_misses
+            << ",\"latency_misses\":" << m.latency_misses
+            << ",\"latency_max_ns\":" << m.latency_max.ns() << "}\n";
+        if (!quiet) {
+            std::printf("\nreplayed winner %s: sim %s, %llu misses, max latency %s\n",
+                        winner.name.c_str(), m.sim_duration.to_string().c_str(),
+                        static_cast<unsigned long long>(m.task_deadline_misses +
+                                                        m.latency_misses),
+                        m.latency_max.to_string().c_str());
+        }
+    }
+
+    if (dump_path != nullptr) {
+        std::ofstream f{dump_path};
+        f << out.str();
+        return f.good() ? 0 : 1;
+    }
+    if (!quiet) {
+        std::printf("\n%s", out.str().c_str());
+    }
+    return 0;
+}

@@ -1,88 +1,109 @@
 // A two-PE architecture model: a sensor-fusion pipeline where PE0 preprocesses
 // sensor frames and ships them over a shared bus to PE1, whose ISR + driver
-// task hand them to a fusion task. Each PE runs its own RTOS-model instance —
-// tasks on one PE serialize, PEs overlap, and the bus arbitrates transfers.
+// task hand them to a fusion task. The system is *declared* as an slm::sys
+// spec triple (application / platform / mapping) and elaborated into kernel
+// objects — change the MappingSpec and the same pipeline re-maps without
+// touching behavior code (see docs/system-mapping.md).
 //
 // Build & run:  ./build/examples/multi_pe_system
+//               ./build/examples/multi_pe_system --dump trace.csv   (CI mode:
+//               quiet, writes the task-state trace for byte-comparison)
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
-#include "arch/arch.hpp"
-#include "rtos/os_channels.hpp"
-#include "sim/kernel.hpp"
+#include "sys/elaborate.hpp"
+#include "sys/spec.hpp"
 #include "trace/trace.hpp"
 
 using namespace slm;
 using namespace slm::time_literals;
 
-int main() {
-    sim::Kernel kernel;
+int main(int argc, char** argv) {
+    const char* dump_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--dump") == 0 && i + 1 < argc) {
+            dump_path = argv[++i];
+        }
+    }
+    constexpr std::uint64_t kFrames = 6;
+
+    // Application: camera -> sender -> driver -> fusion, one token per frame.
+    sys::AppSpec app;
+    app.name = "sensor-fusion";
+    app.tasks = {
+        sys::TaskSpec{"camera", 4_ms, {}, {}, kFrames, 2},   // capture + preprocess
+        sys::TaskSpec{"sender", {}, {}, {}, kFrames, 1},     // bus master port
+        sys::TaskSpec{"driver", 300_us, {}, {}, kFrames, 1}, // copy out of the bus i/f
+        sys::TaskSpec{"fusion", 6_ms, {}, {}, kFrames, 2},   // fuse + track
+    };
+    app.channels = {
+        sys::ChannelSpec{"pre", "camera", "sender", 4, 2},
+        sys::ChannelSpec{"xfer", "sender", "driver", 4, 0},
+        sys::ChannelSpec{"fused", "driver", "fusion", 4, 2},
+    };
+
+    // Platform: two identical PEs on a 200 ns + 20 ns/byte bus.
+    sys::PlatformSpec platform;
+    platform.name = "dual-pe";
+    platform.pes = {sys::PeSpec{"PE0", 1, 1, rtos::SchedPolicy::Priority, {}, 1},
+                    sys::PeSpec{"PE1", 1, 1, rtos::SchedPolicy::Priority, {}, 1}};
+    platform.buses = {sys::BusSpec{"sysbus", 200_ns, 20_ns, arch::BusArbitration::Fifo}};
+
+    // Mapping: preprocessing on PE0, fusion on PE1, frames over the bus —
+    // elaboration turns the "xfer" route into BusLink + ISR + semaphore
+    // (paper Fig. 3) and the intra-PE routes into OS queues.
+    sys::MappingSpec mapping;
+    mapping.name = "split";
+    mapping.bindings = {sys::TaskBinding{"camera", "PE0", 2},
+                        sys::TaskBinding{"sender", "PE0", 1},
+                        sys::TaskBinding{"driver", "PE1", 1},
+                        sys::TaskBinding{"fusion", "PE1", 2}};
+    mapping.routes = {sys::ChannelRoute{"pre", ""}, sys::ChannelRoute{"xfer", "sysbus"},
+                      sys::ChannelRoute{"fused", ""}};
+
     trace::TraceRecorder trace;
-    constexpr int kFrames = 6;
+    sys::SystemOptions opts;
+    opts.tracer = &trace;
+    sys::System system{app, platform, mapping, opts};
 
-    rtos::RtosConfig cfg0, cfg1;
-    cfg0.tracer = &trace;
-    cfg1.tracer = &trace;
-    arch::ProcessingElement pe0{kernel, "PE0", cfg0};
-    arch::ProcessingElement pe1{kernel, "PE1", cfg1};
-
-    arch::Bus bus{kernel, "sysbus", arch::Bus::Config{200_ns, 20_ns}};
-    arch::BusLink<int> link{kernel, bus, "pe0_to_pe1"};
-    rtos::OsSemaphore rx_sem{pe1.os(), 0, "rx_sem"};
-    rtos::OsQueue<int> fusion_q{pe1.os(), 2, "fusion_q"};
-
-    // PE0: two producer tasks sharing the CPU, then a sender task that owns
-    // the bus master port.
-    rtos::OsQueue<int> pre_q{pe0.os(), 2, "pre_q"};
-    pe0.add_task("camera", 2, [&] {
-        for (int f = 0; f < kFrames; ++f) {
-            pe0.os().time_wait(4_ms);  // capture + preprocess
-            pre_q.send(f);
-        }
-    });
-    pe0.add_task("sender", 1, [&] {
-        for (int f = 0; f < kFrames; ++f) {
-            const int frame = pre_q.receive();
-            // Bus time is charged to this task's execution.
-            link.post(frame, [&](SimTime dt) { pe0.os().time_wait(dt); });
+    // Only the sink needs a real body (to print); every other task uses the
+    // default dataflow behavior derived from its spec.
+    const bool quiet = dump_path != nullptr;
+    system.set_behavior("fusion", [quiet](sys::TaskCtx& ctx) {
+        const sys::Token frame = ctx.recv("fused");
+        ctx.exec(ctx.spec().exec_cost);
+        ctx.record_latency(ctx.now() - frame.born);
+        if (!quiet) {
+            std::printf("[%9s] PE1 fused frame %llu\n", ctx.now().to_string().c_str(),
+                        static_cast<unsigned long long>(frame.id));
         }
     });
 
-    // PE1: ISR -> semaphore -> driver task -> fusion task (paper Fig. 3 shape).
-    pe1.attach_isr(link.irq(), [&] { rx_sem.release(); });
-    pe1.add_task("driver", 1, [&] {
-        for (int f = 0; f < kFrames; ++f) {
-            rx_sem.acquire();
-            int frame = 0;
-            (void)link.try_fetch(frame);
-            pe1.os().time_wait(300_us);  // copy out of the bus interface
-            fusion_q.send(frame);
-        }
-    });
-    pe1.add_task("fusion", 2, [&] {
-        for (int f = 0; f < kFrames; ++f) {
-            const int frame = fusion_q.receive();
-            pe1.os().time_wait(6_ms);  // fuse + track
-            std::printf("[%9s] PE1 fused frame %d\n",
-                        kernel.now().to_string().c_str(), frame);
-        }
-    });
+    system.run();
 
-    pe0.start();
-    pe1.start();
-    kernel.run();
+    if (dump_path != nullptr) {
+        std::ofstream out{dump_path};
+        trace.write_csv(out);
+        return out.good() ? 0 : 1;
+    }
 
-    std::printf("\nsimulated time: %s\n", kernel.now().to_string().c_str());
+    const arch::Bus& bus = *system.bus("sysbus");
+    std::printf("\nsimulated time: %s\n", system.kernel().now().to_string().c_str());
     std::printf("bus: %llu transfers, %llu bytes, busy %s\n",
                 static_cast<unsigned long long>(bus.transfers()),
                 static_cast<unsigned long long>(bus.bytes_transferred()),
                 bus.busy_time().to_string().c_str());
     std::printf("PE0 switches: %llu, PE1 switches: %llu\n",
-                static_cast<unsigned long long>(pe0.os().stats().context_switches),
-                static_cast<unsigned long long>(pe1.os().stats().context_switches));
+                static_cast<unsigned long long>(
+                    system.pe("PE0")->os().stats().context_switches),
+                static_cast<unsigned long long>(
+                    system.pe("PE1")->os().stats().context_switches));
     std::printf("PE0 serialized: %s | PE1 serialized: %s\n\n",
                 trace.has_concurrent_execution("PE0") ? "NO (bug!)" : "yes",
                 trace.has_concurrent_execution("PE1") ? "NO (bug!)" : "yes");
-    std::printf("%s\n", trace.render_gantt(SimTime::zero(), kernel.now(), 68).c_str());
+    std::printf("%s\n",
+                trace.render_gantt(SimTime::zero(), system.kernel().now(), 68).c_str());
     return 0;
 }

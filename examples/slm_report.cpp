@@ -8,11 +8,14 @@
 //      (scheduling latency, response times) from an obs::RtosAnalytics
 //      observer, no trace walk.
 //   2. Vocoder architecture model — same instrumentation on a bigger model.
-//   3. Fault injection & recovery — a deterministic slm::fault plan (overrun
+//   3. Vocoder mapping sweep — the slm::sys design-space comparison: every
+//      task->PE assignment on the heterogeneous ARM+DSP platform, ranked by
+//      deadline misses and latency quantiles (sys::SweepResult::ranking).
+//   4. Fault injection & recovery — a deterministic slm::fault plan (overrun
 //      window + one-shot crash) against a watchdog-protected workload; the
 //      injection and recovery counters land in the shared registry as
 //      slm_fault_* gauges.
-//   4. Priority-inversion demo — three tasks sharing a Protocol::None mutex;
+//   5. Priority-inversion demo — three tasks sharing a Protocol::None mutex;
 //      the analytics inversion detector reports the unbounded-inversion
 //      window with its blocking chain, and the shared metrics registry
 //      (kernel + OS gauges, analytics counters/histograms, fault counters)
@@ -36,8 +39,10 @@
 #include "rtos/os_channels.hpp"
 #include "rtos/rtos.hpp"
 #include "sim/kernel.hpp"
+#include "sys/sweep.hpp"
 #include "trace/trace.hpp"
 #include "vocoder/models.hpp"
+#include "vocoder/system.hpp"
 
 using namespace slm;
 using namespace slm::time_literals;
@@ -146,6 +151,43 @@ void section_vocoder(std::size_t frames) {
                     res.avg_transcoding_delay.to_string().c_str(),
                     res.data_ok ? "ok" : "CORRUPT");
     }
+}
+
+void section_mapping_sweep(std::size_t frames) {
+    heading("Vocoder mapping sweep (heterogeneous ARM+DSP platform)");
+    vocoder::VocoderConfig cfg;
+    cfg.frames = frames;
+    const sys::AppSpec app = vocoder::vocoder_app_spec(cfg.frames);
+    const sys::PlatformSpec platform = vocoder::vocoder_sweep_platform(cfg);
+    const std::vector<sys::MappingSpec> candidates =
+        sys::enumerate_mappings(app, platform, vocoder::vocoder_enum_options());
+    sys::SweepConfig scfg;
+    scfg.options.base_rtos = cfg.rtos;
+    const sys::SweepResult result = sys::run_sweep(app, platform, candidates, scfg,
+                                                   vocoder::vocoder_setup(cfg));
+    if (g_quiet) {
+        return;
+    }
+    const std::vector<std::size_t> ranking = result.ranking();
+    std::printf("%-4s %-42s %6s %12s %12s %10s\n", "rank", "mapping", "misses",
+                "lat p95", "lat max", "bus busy");
+    for (std::size_t r = 0; r < ranking.size(); ++r) {
+        const sys::CandidateResult& c = result.candidates[ranking[r]];
+        SimTime bus_busy;
+        for (const sys::BusMetrics& b : c.metrics.buses) {
+            bus_busy += b.busy;
+        }
+        std::printf("%-4zu %-42s %6llu %12s %12s %10s\n", r + 1,
+                    c.mapping.summary().c_str(),
+                    static_cast<unsigned long long>(c.metrics.task_deadline_misses +
+                                                    c.metrics.latency_misses),
+                    c.metrics.latency_p95.to_string().c_str(),
+                    c.metrics.latency_max.to_string().c_str(),
+                    bus_busy.to_string().c_str());
+    }
+    const sys::CandidateResult& best = result.candidates[ranking.front()];
+    std::printf("\nbest mapping: %s (%s)\n", best.mapping.name.c_str(),
+                best.mapping.summary().c_str());
 }
 
 void section_faults(obs::Registry& reg) {
@@ -326,6 +368,7 @@ int main(int argc, char** argv) {
     obs::Registry reg;  // shared by the fault + inversion sections (--prom/--json)
     section_fig8();
     section_vocoder(frames);
+    section_mapping_sweep(frames);
     section_faults(reg);
     section_inversion(reg, prom_path, json_path);
     return 0;

@@ -220,6 +220,14 @@ public:
     [[nodiscard]] rtos::OsCore& os() { return *os_; }
     [[nodiscard]] const std::string& name() const { return name_; }
 
+    /// This PE's speed relative to a nominal speed-1 core, as configured via
+    /// RtosConfig::speed_num/speed_den (a 2.0 DSP charges half the execution
+    /// time for the same nominal work — see OsCore::scaled_exec).
+    [[nodiscard]] double speed() const {
+        return static_cast<double>(os_->config().speed_num) /
+               static_cast<double>(os_->config().speed_den);
+    }
+
     /// Create and spawn an aperiodic task following the paper's refinement
     /// pattern (task_activate / body / task_terminate).
     rtos::Task* add_task(const std::string& task_name, int priority,

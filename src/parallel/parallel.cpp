@@ -1,6 +1,7 @@
 #include "parallel/parallel.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <chrono>
 #include <cstdio>
@@ -501,6 +502,93 @@ fault::CampaignResult run_campaign(const fault::FaultPlan& plan,
         }
     }
     return res;
+}
+
+void for_each_index(std::size_t count, unsigned jobs,
+                    const std::function<void(std::size_t)>& fn,
+                    ParallelStats* stats_out) {
+    const auto wall0 = Clock::now();
+    const unsigned n_workers = resolve_jobs(jobs);
+
+    if (n_workers == 1) {
+        // Serial fast path: no pool, no atomics — the byte-identity contract
+        // is trivially met because there is nothing to merge.
+        std::uint64_t busy = 0;
+        for (std::size_t i = 0; i < count; ++i) {
+            const auto t0 = Clock::now();
+            fn(i);
+            busy += since_ns(t0);
+        }
+        if (stats_out != nullptr) {
+            *stats_out = ParallelStats{};
+            stats_out->workers = 1;
+            stats_out->tasks_executed = count;
+            stats_out->busy_ns = busy;
+            stats_out->wall_ns = since_ns(wall0);
+        }
+        return;
+    }
+
+    std::vector<std::unique_ptr<CampaignWorker>> workers;
+    workers.reserve(n_workers);
+    for (unsigned i = 0; i < n_workers; ++i) {
+        workers.push_back(std::make_unique<CampaignWorker>());
+        workers.back()->id = i;
+    }
+    std::atomic<std::uint64_t> in_flight{count};
+    for (std::size_t i = 0; i < count; ++i) {
+        workers[i % n_workers]->deque.push(i);
+    }
+
+    const auto worker_main = [&](CampaignWorker& w) {
+        std::size_t idx = 0;
+        const auto acquire = [&]() {
+            if (w.deque.pop(idx)) {
+                return true;
+            }
+            for (std::size_t k = 1; k < workers.size(); ++k) {
+                if (workers[(w.id + k) % workers.size()]->deque.steal(idx)) {
+                    ++w.stolen;
+                    return true;
+                }
+            }
+            return false;
+        };
+        for (;;) {
+            if (!acquire()) {
+                if (in_flight.load(std::memory_order_seq_cst) == 0) {
+                    return;
+                }
+                std::this_thread::yield();
+                continue;
+            }
+            const auto t0 = Clock::now();
+            ++w.executed;
+            fn(idx);
+            w.busy_ns += since_ns(t0);
+            in_flight.fetch_sub(1, std::memory_order_seq_cst);
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(n_workers);
+    for (unsigned i = 0; i < n_workers; ++i) {
+        threads.emplace_back([&, i] { worker_main(*workers[i]); });
+    }
+    for (std::thread& t : threads) {
+        t.join();
+    }
+
+    if (stats_out != nullptr) {
+        *stats_out = ParallelStats{};
+        stats_out->workers = n_workers;
+        stats_out->wall_ns = since_ns(wall0);
+        for (const auto& w : workers) {
+            stats_out->tasks_executed += w->executed;
+            stats_out->tasks_stolen += w->stolen;
+            stats_out->busy_ns += w->busy_ns;
+        }
+    }
 }
 
 void register_parallel_stats(obs::Registry& reg, const ParallelStats& s,

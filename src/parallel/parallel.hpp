@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -82,6 +84,19 @@ struct ParallelStats {
                                                  const fault::CampaignRunFn& fn,
                                                  const ParallelConfig& pcfg = {},
                                                  ParallelStats* stats_out = nullptr);
+
+/// The deterministic index sharder under sys::run_sweep (and any future
+/// embarrassingly indexed workload): runs fn(i) for every i in [0, count)
+/// across a work-stealing pool of `jobs` threads (0 = hardware concurrency),
+/// dealing indices round-robin and rebalancing by stealing. `fn` is called
+/// concurrently from every worker and exactly once per index; determinism is
+/// the caller's contract, the same as run_campaign's — write each result
+/// into a caller-owned index-keyed slot (disjoint slots need no lock) and
+/// merge in index order. jobs == 1 degrades to a plain serial loop on the
+/// calling thread, so a serial sweep needs no thread at all.
+void for_each_index(std::size_t count, unsigned jobs,
+                    const std::function<void(std::size_t)>& fn,
+                    ParallelStats* stats_out = nullptr);
 
 /// Register the counters as slm_parallel_* callback gauges (tasks stolen,
 /// cache hits, utilization, ...). `s` must outlive the registry's exports,

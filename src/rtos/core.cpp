@@ -54,6 +54,8 @@ Task::Task(OsCore& os, TaskParams params) : os_(os), params_(std::move(params)) 
 
 OsCore::OsCore(sim::Kernel& kernel, RtosConfig cfg)
     : kernel_(kernel), cfg_(std::move(cfg)) {
+    SLM_ASSERT(cfg_.speed_num > 0 && cfg_.speed_den > 0,
+               "RtosConfig speed scale must be positive");
     policy_ = make_policy(cfg_.policy, cfg_.quantum);
     ready_ = policy_->make_queue();
 }
@@ -701,6 +703,9 @@ void OsCore::event_notify(OsEvent* e) {
 void OsCore::time_wait(SimTime dt) {
     ++stats_.syscalls;
     Task* t = require_running_self("time_wait() requires the running task");
+    // Nominal work -> this PE's time first; fault transforms model wall-level
+    // slowdowns of whatever the PE actually executes.
+    dt = scaled_exec(dt);
     if (fault_hook_ != nullptr) {
         dt = fault_hook_->transform_exec(*t, dt);
     }
@@ -708,6 +713,24 @@ void OsCore::time_wait(SimTime dt) {
     // this delay elapses.
     maybe_yield();
     exec_charge(t, dt);
+}
+
+void OsCore::io_wait(SimTime dt) {
+    ++stats_.syscalls;
+    Task* t = require_running_self("io_wait() requires the running task");
+    if (fault_hook_ != nullptr) {
+        dt = fault_hook_->transform_exec(*t, dt);
+    }
+    maybe_yield();
+    exec_charge(t, dt);
+}
+
+SimTime OsCore::scaled_exec(SimTime nominal) const {
+    if (cfg_.speed_num == 1 && cfg_.speed_den == 1) {
+        return nominal;
+    }
+    const auto wide = static_cast<unsigned __int128>(nominal.ns()) * cfg_.speed_den;
+    return SimTime{static_cast<std::uint64_t>(wide / cfg_.speed_num)};
 }
 
 void OsCore::exec_charge(Task* t, SimTime dt) {

@@ -269,6 +269,17 @@ struct RtosConfig {
     /// results is limited by the granularity of task delay models"). Zero
     /// means no chopping: one chunk per time_wait call.
     SimTime preemption_granularity{};
+    /// Heterogeneous-PE execution scaling (the paper's Fig. 1 flow maps tasks
+    /// onto candidate architectures whose PEs run at different raw speeds): a
+    /// nominal execution delay dt passed to time_wait() is charged as
+    /// dt * speed_den / speed_num on this core. speed_num/speed_den > 1
+    /// models a faster PE (a DSP charging half the time for the same nominal
+    /// work at 2/1), < 1 a slower one. Exact integer arithmetic keeps runs
+    /// deterministic, and the 1/1 default is bit-identical to the unscaled
+    /// core. Time with an externally fixed duration (bus occupancy, device
+    /// I/O) goes through io_wait(), which never scales.
+    std::uint32_t speed_num = 1;
+    std::uint32_t speed_den = 1;
     /// Optional trace sink for task states, context switches, and IRQs. Any
     /// trace::TraceSink works: a trace::TraceRecorder for derived views and
     /// text exporters, or an obs::BinaryTraceSink when recording overhead on
@@ -437,7 +448,22 @@ public:
 
     /// Model `dt` of task execution time; replaces `waitfor` in refined tasks
     /// (the wrapper that lets the RTOS kernel reschedule when time increases).
+    /// `dt` is *nominal* work: the charged time is scaled_exec(dt), so a task
+    /// migrated to a faster/slower PE (RtosConfig::speed_num/speed_den)
+    /// charges proportionally less/more without touching its model source.
     void time_wait(SimTime dt);
+
+    /// Model `dt` of task-occupied time whose duration is fixed externally —
+    /// bus occupancy, device I/O — and therefore must NOT scale with the PE
+    /// speed. Identical to time_wait() (preemptible chunks, exec accounting,
+    /// fault transform) except that scaled_exec() is skipped; on a 1/1 core
+    /// the two calls are bit-identical.
+    void io_wait(SimTime dt);
+
+    /// The execution time this core charges for `nominal` work:
+    /// nominal * speed_den / speed_num, in exact 128-bit intermediate
+    /// arithmetic (truncating division).
+    [[nodiscard]] SimTime scaled_exec(SimTime nominal) const;
 
     /// Suspend the calling task for `dt` of simulated time *without consuming
     /// CPU* (the classic RTOS delay()/taskDelay() service): other tasks run

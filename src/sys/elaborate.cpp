@@ -1,0 +1,307 @@
+#include "sys/elaborate.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/assert.hpp"
+
+namespace slm::sys {
+
+/// Transport machinery of one elaborated channel. Exactly one of {queue} or
+/// {link, sem} is populated, mirroring the route.
+struct System::ChannelImpl {
+    const ChannelSpec* spec = nullptr;
+    // Intra-PE route: a blocking OS queue on the shared core.
+    std::unique_ptr<rtos::OsQueue<Token>> queue;
+    // Bus route: sender-side link + receiver-side ISR-released semaphore.
+    std::unique_ptr<arch::BusLink<Token>> link;
+    std::unique_ptr<rtos::OsSemaphore> sem;
+    arch::ProcessingElement* dst_pe = nullptr;
+    int src_master = 0;
+};
+
+System::System(AppSpec app, PlatformSpec platform, MappingSpec mapping, SystemOptions opts)
+    : app_(std::move(app)),
+      platform_(std::move(platform)),
+      mapping_(std::move(mapping)),
+      opts_(std::move(opts)) {
+    const std::vector<std::string> errors = validate(app_, platform_, mapping_);
+    SLM_ASSERT(errors.empty(), errors.empty() ? "spec triple invalid"
+                                              : errors.front().c_str());
+
+    // PEs in platform order: the PE index doubles as the bus master id.
+    for (const PeSpec& ps : platform_.pes) {
+        rtos::RtosConfig cfg = opts_.base_rtos;
+        cfg.cpu_name = ps.name;
+        cfg.policy = ps.policy;
+        cfg.context_switch_overhead = ps.context_switch_overhead;
+        cfg.speed_num = ps.speed_num;
+        cfg.speed_den = ps.speed_den;
+        if (opts_.tracer != nullptr) {
+            cfg.tracer = opts_.tracer;
+        }
+        pes_.push_back(
+            std::make_unique<arch::ProcessingElement>(kernel_, ps.name, std::move(cfg)));
+        if (opts_.on_os) {
+            opts_.on_os(pes_.back()->os());
+        }
+    }
+    for (const BusSpec& bs : platform_.buses) {
+        arch::Bus::Config cfg;
+        cfg.setup = bs.setup;
+        cfg.per_byte = bs.per_byte;
+        cfg.arbitration = bs.arbitration;
+        buses_.push_back(std::make_unique<arch::Bus>(kernel_, bs.name, cfg));
+    }
+
+    // Channels in application order; each bus channel attaches its receiver
+    // ISR here, before any task or stimulus process exists.
+    for (const ChannelSpec& cs : app_.channels) {
+        auto impl = std::make_unique<ChannelImpl>();
+        impl->spec = &cs;
+        impl->dst_pe = pe_of(cs.dst);
+        const ChannelRoute* route = mapping_.route(cs.name);
+        if (route->bus.empty()) {
+            impl->queue = std::make_unique<rtos::OsQueue<Token>>(impl->dst_pe->os(),
+                                                                 cs.capacity, cs.name);
+        } else {
+            arch::Bus* b = bus(route->bus);
+            impl->link = std::make_unique<arch::BusLink<Token>>(kernel_, *b, cs.name,
+                                                                cs.message_bytes);
+            impl->sem = std::make_unique<rtos::OsSemaphore>(impl->dst_pe->os(), 0,
+                                                            cs.name + ".rx");
+            impl->src_master = cs.src.empty() ? 0 : master_of(pe_of(cs.src));
+            rtos::OsSemaphore* sem = impl->sem.get();
+            impl->dst_pe->attach_isr(impl->link->irq(), [sem] { sem->release(); });
+        }
+        channels_.push_back(std::move(impl));
+    }
+}
+
+System::~System() = default;
+
+void System::set_behavior(const std::string& task, Behavior b) {
+    SLM_ASSERT(!ran_, "set_behavior() after run()");
+    SLM_ASSERT(app_.task(task) != nullptr, "set_behavior() for unknown task");
+    for (auto& [name, fn] : behaviors_) {
+        if (name == task) {
+            fn = std::move(b);
+            return;
+        }
+    }
+    behaviors_.emplace_back(task, std::move(b));
+}
+
+arch::ProcessingElement* System::pe(const std::string& name) {
+    for (auto& p : pes_) {
+        if (p->name() == name) {
+            return p.get();
+        }
+    }
+    return nullptr;
+}
+
+arch::Bus* System::bus(const std::string& name) {
+    for (auto& b : buses_) {
+        if (b->name() == name) {
+            return b.get();
+        }
+    }
+    return nullptr;
+}
+
+System::ChannelImpl* System::channel_impl(const std::string& name) {
+    for (auto& c : channels_) {
+        if (c->spec->name == name) {
+            return c.get();
+        }
+    }
+    return nullptr;
+}
+
+arch::ProcessingElement* System::pe_of(const std::string& task) {
+    const TaskBinding* b = mapping_.binding(task);
+    return b == nullptr ? nullptr : pe(b->pe);
+}
+
+int System::master_of(const arch::ProcessingElement* p) const {
+    for (std::size_t i = 0; i < pes_.size(); ++i) {
+        if (pes_[i].get() == p) {
+            return static_cast<int>(i);
+        }
+    }
+    return 0;
+}
+
+void System::spawn_stimuli() {
+    // Stimuli are raw kernel processes (the environment has no RTOS): wait a
+    // period, occupy the bus with the kernel's own waitfor, post, repeat.
+    for (const StimulusSpec& s : app_.stimuli) {
+        ChannelImpl* impl = channel_impl(s.channel);
+        kernel_.spawn("stim." + s.name, [this, &s, impl] {
+            for (std::uint64_t i = 0; i < s.count; ++i) {
+                kernel_.waitfor(s.period);
+                impl->link->post(Token{i, kernel_.now()},
+                                 [this](SimTime dt) { kernel_.waitfor(dt); });
+            }
+        });
+    }
+}
+
+void System::default_behavior(TaskCtx& ctx) {
+    const std::string& me = ctx.spec().name;
+    Token first{};
+    bool got = false;
+    bool has_output = false;
+    for (const ChannelSpec& cs : app_.channels) {
+        if (cs.dst == me) {
+            Token t = ctx.recv(cs.name);
+            if (!got) {
+                first = t;
+                got = true;
+            }
+        }
+    }
+    ctx.exec(ctx.spec().exec_cost);
+    for (const ChannelSpec& cs : app_.channels) {
+        if (cs.src == me) {
+            has_output = true;
+            ctx.send(cs.name, Token{got ? first.id : ctx.job(),
+                                    got ? first.born : ctx.now()});
+        }
+    }
+    if (!has_output && got) {
+        ctx.record_latency(ctx.now() - first.born);
+    }
+}
+
+void System::spawn_tasks() {
+    for (const TaskSpec& ts : app_.tasks) {
+        const TaskBinding* binding = mapping_.binding(ts.name);
+        arch::ProcessingElement* host = pe(binding->pe);
+        Behavior behavior;
+        for (auto& [name, fn] : behaviors_) {
+            if (name == ts.name) {
+                behavior = fn;
+            }
+        }
+        if (!behavior) {
+            behavior = [this](TaskCtx& ctx) { default_behavior(ctx); };
+        }
+        auto ctx = std::make_shared<TaskCtx>(TaskCtx{*this, ts, *host});
+        auto job_body = [this, ctx, behavior = std::move(behavior)] {
+            behavior(*ctx);
+            ++ctx->job_;
+            ++jobs_done_;
+        };
+        if (ts.period.is_zero()) {
+            // Data-driven: one aperiodic task iterating its job count.
+            host->add_task(ts.name, binding->priority,
+                           [job_body, jobs = ts.jobs] {
+                               for (std::uint64_t j = 0; j < jobs; ++j) {
+                                   job_body();
+                               }
+                           });
+        } else {
+            host->add_periodic_task(ts.name, binding->priority, ts.period,
+                                    ts.exec_cost, job_body, ts.jobs, ts.deadline);
+        }
+    }
+}
+
+void System::run(SimTime horizon) {
+    SLM_ASSERT(!ran_, "System::run() is single-shot");
+    ran_ = true;
+    spawn_stimuli();
+    spawn_tasks();
+    for (auto& p : pes_) {
+        p->start();
+    }
+    if (horizon.is_zero()) {
+        kernel_.run();
+    } else {
+        kernel_.run_until(horizon);
+    }
+}
+
+SystemMetrics System::metrics() const {
+    SystemMetrics m;
+    m.sim_duration = kernel_.now();
+    m.jobs_completed = jobs_done_;
+    for (const auto& p : pes_) {
+        const rtos::RtosStats& st = p->os().stats();
+        m.task_deadline_misses += st.deadline_misses;
+        m.pes.push_back(PeMetrics{p->name(), p->os().busy_time(), st.context_switches,
+                                  st.preemptions, st.deadline_misses});
+    }
+    for (const auto& b : buses_) {
+        m.buses.push_back(BusMetrics{b->name(), b->transfers(), b->bytes_transferred(),
+                                     b->busy_time(), b->arbitration_wait()});
+    }
+    m.latency_samples = latencies_.size();
+    if (!latencies_.empty()) {
+        std::vector<SimTime> sorted = latencies_;
+        std::sort(sorted.begin(), sorted.end());
+        // Nearest-rank percentiles: ceil(p/100 * n) - 1.
+        const auto rank = [&sorted](std::uint64_t pct) {
+            const std::uint64_t n = sorted.size();
+            const std::uint64_t r = (pct * n + 99) / 100;
+            return sorted[r == 0 ? 0 : r - 1];
+        };
+        m.latency_p50 = rank(50);
+        m.latency_p95 = rank(95);
+        m.latency_max = sorted.back();
+        if (!app_.latency_deadline.is_zero()) {
+            for (const SimTime& s : latencies_) {
+                if (app_.latency_deadline < s) {
+                    ++m.latency_misses;
+                }
+            }
+        }
+    }
+    return m;
+}
+
+// ---- TaskCtx ----
+
+Token TaskCtx::recv(const std::string& channel) {
+    System::ChannelImpl* impl = sys_->channel_impl(channel);
+    SLM_ASSERT(impl != nullptr, "recv() on unknown channel");
+    if (impl->queue != nullptr) {
+        return impl->queue->receive();
+    }
+    impl->sem->acquire();
+    Token t{};
+    const bool ok = impl->link->try_fetch(t);
+    SLM_ASSERT(ok, "bus channel semaphore/link out of sync");
+    return t;
+}
+
+void TaskCtx::send(const std::string& channel, Token tok) {
+    System::ChannelImpl* impl = sys_->channel_impl(channel);
+    SLM_ASSERT(impl != nullptr, "send() on unknown channel");
+    if (impl->queue != nullptr) {
+        impl->queue->send(tok);
+        return;
+    }
+    rtos::OsCore& core = pe_->os();
+    impl->link->post(tok, [&core](SimTime dt) { core.io_wait(dt); }, impl->src_master);
+}
+
+void TaskCtx::exec(SimTime nominal) {
+    if (!nominal.is_zero()) {
+        pe_->os().time_wait(nominal);
+    }
+}
+
+void TaskCtx::record_latency(SimTime sample) { sys_->record_latency(sample); }
+
+SimTime TaskCtx::now() const { return sys_->kernel_.now(); }
+
+rtos::OsCore& TaskCtx::os() { return pe_->os(); }
+
+sim::Kernel& TaskCtx::kernel() { return sys_->kernel_; }
+
+const std::string& TaskCtx::pe_name() const { return pe_->name(); }
+
+}  // namespace slm::sys

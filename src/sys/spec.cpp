@@ -1,0 +1,181 @@
+#include "sys/spec.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace slm::sys {
+
+namespace {
+
+template <typename Vec>
+auto find_by_name(const Vec& v, const std::string& name) -> const typename Vec::value_type* {
+    for (const auto& e : v) {
+        if (e.name == name) {
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+void check_unique(const std::vector<std::string>& names, const char* what,
+                  std::vector<std::string>& errors) {
+    std::unordered_set<std::string> seen;
+    for (const auto& n : names) {
+        if (n.empty()) {
+            errors.push_back(std::string(what) + " with empty name");
+        } else if (!seen.insert(n).second) {
+            errors.push_back(std::string("duplicate ") + what + " name '" + n + "'");
+        }
+    }
+}
+
+}  // namespace
+
+const TaskSpec* AppSpec::task(const std::string& n) const { return find_by_name(tasks, n); }
+const ChannelSpec* AppSpec::channel(const std::string& n) const {
+    return find_by_name(channels, n);
+}
+const PeSpec* PlatformSpec::pe(const std::string& n) const { return find_by_name(pes, n); }
+const BusSpec* PlatformSpec::bus(const std::string& n) const { return find_by_name(buses, n); }
+
+const TaskBinding* MappingSpec::binding(const std::string& task) const {
+    for (const auto& b : bindings) {
+        if (b.task == task) {
+            return &b;
+        }
+    }
+    return nullptr;
+}
+
+const ChannelRoute* MappingSpec::route(const std::string& channel) const {
+    for (const auto& r : routes) {
+        if (r.channel == channel) {
+            return &r;
+        }
+    }
+    return nullptr;
+}
+
+std::string MappingSpec::summary() const {
+    std::string s;
+    for (const auto& b : bindings) {
+        if (!s.empty()) {
+            s += ' ';
+        }
+        s += b.task + "@" + std::to_string(b.priority) + "->" + b.pe;
+    }
+    return s;
+}
+
+std::vector<std::string> validate(const AppSpec& app, const PlatformSpec& platform,
+                                  const MappingSpec& mapping) {
+    std::vector<std::string> errors;
+
+    // Name uniqueness within each spec family.
+    {
+        std::vector<std::string> names;
+        for (const auto& t : app.tasks) { names.push_back(t.name); }
+        check_unique(names, "task", errors);
+        names.clear();
+        for (const auto& c : app.channels) { names.push_back(c.name); }
+        check_unique(names, "channel", errors);
+        names.clear();
+        for (const auto& p : platform.pes) { names.push_back(p.name); }
+        check_unique(names, "pe", errors);
+        names.clear();
+        for (const auto& b : platform.buses) { names.push_back(b.name); }
+        check_unique(names, "bus", errors);
+    }
+
+    for (const auto& t : app.tasks) {
+        if (t.jobs == 0) {
+            errors.push_back("task '" + t.name + "' has jobs == 0");
+        }
+    }
+    for (const auto& p : platform.pes) {
+        if (p.speed_num == 0 || p.speed_den == 0) {
+            errors.push_back("pe '" + p.name + "' has non-positive speed");
+        }
+    }
+
+    // Every task bound exactly once, to an existing PE.
+    {
+        std::unordered_map<std::string, int> bound;
+        for (const auto& b : mapping.bindings) {
+            ++bound[b.task];
+            if (app.task(b.task) == nullptr) {
+                errors.push_back("binding references unknown task '" + b.task + "'");
+            }
+            if (platform.pe(b.pe) == nullptr) {
+                errors.push_back("task '" + b.task + "' bound to unknown pe '" + b.pe + "'");
+            }
+        }
+        for (const auto& t : app.tasks) {
+            const auto it = bound.find(t.name);
+            if (it == bound.end()) {
+                errors.push_back("task '" + t.name + "' is not bound to any pe");
+            } else if (it->second > 1) {
+                errors.push_back("task '" + t.name + "' is bound more than once");
+            }
+        }
+    }
+
+    // Channel endpoints + routes.
+    for (const auto& c : app.channels) {
+        if (c.dst.empty() || app.task(c.dst) == nullptr) {
+            errors.push_back("channel '" + c.name + "' has unknown dst task '" + c.dst + "'");
+        }
+        if (!c.src.empty() && app.task(c.src) == nullptr) {
+            errors.push_back("channel '" + c.name + "' has unknown src task '" + c.src + "'");
+        }
+        const ChannelRoute* r = mapping.route(c.name);
+        if (r == nullptr) {
+            errors.push_back("channel '" + c.name + "' has no route");
+            continue;
+        }
+        if (r->bus.empty()) {
+            if (c.src.empty()) {
+                errors.push_back("stimulus channel '" + c.name +
+                                 "' must be routed over a bus (sources are external)");
+                continue;
+            }
+            const TaskBinding* sb = mapping.binding(c.src);
+            const TaskBinding* db = mapping.binding(c.dst);
+            if (sb != nullptr && db != nullptr && sb->pe != db->pe) {
+                errors.push_back("channel '" + c.name + "' routed intra-pe but '" + c.src +
+                                 "'->" + sb->pe + " and '" + c.dst + "'->" + db->pe +
+                                 " sit on different pes");
+            }
+        } else if (platform.bus(r->bus) == nullptr) {
+            errors.push_back("channel '" + c.name + "' routed over unknown bus '" + r->bus +
+                             "'");
+        }
+    }
+    for (const auto& r : mapping.routes) {
+        if (app.channel(r.channel) == nullptr) {
+            errors.push_back("route references unknown channel '" + r.channel + "'");
+        }
+    }
+
+    // Stimuli feed existing source-less channels with sane parameters.
+    for (const auto& s : app.stimuli) {
+        const ChannelSpec* c = app.channel(s.channel);
+        if (c == nullptr) {
+            errors.push_back("stimulus '" + s.name + "' feeds unknown channel '" + s.channel +
+                             "'");
+        } else if (!c->src.empty()) {
+            errors.push_back("stimulus '" + s.name + "' feeds channel '" + s.channel +
+                             "' which already has src task '" + c->src + "'");
+        }
+        if (s.period.is_zero()) {
+            errors.push_back("stimulus '" + s.name + "' has zero period");
+        }
+        if (s.count == 0) {
+            errors.push_back("stimulus '" + s.name + "' has count == 0");
+        }
+    }
+
+    return errors;
+}
+
+}  // namespace slm::sys

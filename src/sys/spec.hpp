@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "rtos/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace slm::sys {
+
+/// Declarative system specification — the inputs of the paper's Fig. 1 flow
+/// as data instead of code. Three orthogonal specs describe a system:
+///
+///  - AppSpec: *what* computes — tasks (nominal execution cost, optional
+///    period/deadline), the channels between them, and external stimuli.
+///  - PlatformSpec: *where* it could run — named PEs with relative speeds and
+///    scheduling policies, plus shared buses with transfer cost/arbitration.
+///  - MappingSpec: *which where* — the binding of every task to a PE, of
+///    every channel to an intra-PE OS queue or a bus link, and the per-PE
+///    priorities.
+///
+/// The elaborator (elaborate.hpp) instantiates a runnable simulation from the
+/// triple; the sweep engine (sweep.hpp) enumerates and evaluates mapping
+/// candidates. Specs are plain value types: copyable, comparable by hand,
+/// trivially built in tests. validate() checks cross-references before
+/// elaboration so a bad mapping fails with a message, not an assert.
+
+/// One schedulable computation. `exec_cost` is *nominal* work per job: the
+/// elaborated task charges it through OsCore::time_wait, so the same spec
+/// costs less wall time on a faster PE (RtosConfig::speed_num/speed_den).
+struct TaskSpec {
+    std::string name;
+    SimTime exec_cost{};         ///< nominal execution time per job
+    SimTime period{};            ///< release period; zero = data-driven (runs on input)
+    SimTime deadline{};          ///< relative deadline; zero = period (periodic) / none
+    std::uint64_t jobs = 1;      ///< jobs to execute before terminating (> 0)
+    int priority = 10;           ///< default priority; MappingSpec may override
+};
+
+/// A typed point-to-point message stream. Routing is the mapping's decision:
+/// intra-PE channels become rtos::OsQueue, cross-PE channels become
+/// arch::BusLink + ISR + semaphore (the paper's Fig. 3 communication stack).
+struct ChannelSpec {
+    std::string name;
+    std::string src;             ///< producing task; empty = stimulus-fed
+    std::string dst;             ///< consuming task
+    std::size_t message_bytes = 4;
+    std::size_t capacity = 0;    ///< intra-PE queue depth; 0 = unbounded
+};
+
+/// An external periodic token source feeding one stimulus channel (the
+/// environment: an A/D converter, a sensor, a radio frontend).
+struct StimulusSpec {
+    std::string name;
+    std::string channel;         ///< ChannelSpec with empty src
+    SimTime period{};
+    std::uint64_t count = 1;
+};
+
+struct AppSpec {
+    std::string name;
+    std::vector<TaskSpec> tasks;
+    std::vector<ChannelSpec> channels;
+    std::vector<StimulusSpec> stimuli;
+    /// End-to-end latency bound checked against TaskCtx::record_latency
+    /// samples; zero disables the check.
+    SimTime latency_deadline{};
+
+    [[nodiscard]] const TaskSpec* task(const std::string& name) const;
+    [[nodiscard]] const ChannelSpec* channel(const std::string& name) const;
+};
+
+/// One processing element of a candidate platform.
+struct PeSpec {
+    std::string name;
+    /// Relative speed as an exact rational (see RtosConfig::speed_num):
+    /// 2/1 charges half the nominal time, 1/2 doubles it.
+    std::uint32_t speed_num = 1;
+    std::uint32_t speed_den = 1;
+    rtos::SchedPolicy policy = rtos::SchedPolicy::Priority;
+    SimTime context_switch_overhead{};
+    /// Relative unit cost (die area / price); reported by sweeps so a ranking
+    /// can weigh performance against platform expense.
+    std::uint32_t cost = 1;
+};
+
+/// One shared interconnect of a candidate platform.
+struct BusSpec {
+    std::string name;
+    SimTime setup = nanoseconds(100);
+    SimTime per_byte = nanoseconds(10);
+    arch::BusArbitration arbitration = arch::BusArbitration::Fifo;
+};
+
+struct PlatformSpec {
+    std::string name;
+    std::vector<PeSpec> pes;
+    std::vector<BusSpec> buses;
+
+    [[nodiscard]] const PeSpec* pe(const std::string& name) const;
+    [[nodiscard]] const BusSpec* bus(const std::string& name) const;
+};
+
+/// Task → PE binding with the priority the task runs at on that PE
+/// (smaller = higher, the RTOS convention).
+struct TaskBinding {
+    std::string task;
+    std::string pe;
+    int priority = 10;
+};
+
+/// Channel → transport route. An empty `bus` routes the channel through an
+/// intra-PE OS queue (src and dst must then be bound to the same PE); a bus
+/// name routes it through a BusLink on that bus.
+struct ChannelRoute {
+    std::string channel;
+    std::string bus;
+};
+
+struct MappingSpec {
+    std::string name;
+    std::vector<TaskBinding> bindings;
+    std::vector<ChannelRoute> routes;
+
+    [[nodiscard]] const TaskBinding* binding(const std::string& task) const;
+    [[nodiscard]] const ChannelRoute* route(const std::string& channel) const;
+    /// "driver@1->DSP0 encoder@3->DSP0 decoder@1->DSP1" — one token per
+    /// binding in binding order; the human-readable candidate label of sweep
+    /// reports.
+    [[nodiscard]] std::string summary() const;
+};
+
+/// Cross-check the spec triple. Returns one message per defect (empty =
+/// valid): duplicate/unknown names, unbound tasks, unrouted channels,
+/// intra-PE routes crossing PEs, stimulus channels not bus-routed,
+/// non-positive speeds or job counts.
+[[nodiscard]] std::vector<std::string> validate(const AppSpec& app,
+                                                const PlatformSpec& platform,
+                                                const MappingSpec& mapping);
+
+}  // namespace slm::sys

@@ -1,0 +1,273 @@
+#include "sys/sweep.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <ostream>
+
+#include "sim/assert.hpp"
+#include "trace/trace.hpp"
+
+namespace slm::sys {
+
+namespace {
+
+/// Expand `base` into one variant per combination of per-PE priority
+/// permutations: the k tasks bound to a PE (binding order) receive the
+/// priorities 1..k in every possible assignment, PEs combined as a cartesian
+/// product walked in deterministic next_permutation order.
+void expand_priorities(const MappingSpec& base, const PlatformSpec& platform,
+                       std::vector<MappingSpec>& out) {
+    // Binding indices grouped by PE, platform order; PEs hosting < 2 tasks
+    // contribute exactly one (trivial) permutation.
+    std::vector<std::vector<std::size_t>> groups;
+    for (const PeSpec& pe : platform.pes) {
+        std::vector<std::size_t> g;
+        for (std::size_t i = 0; i < base.bindings.size(); ++i) {
+            if (base.bindings[i].pe == pe.name) {
+                g.push_back(i);
+            }
+        }
+        if (!g.empty()) {
+            groups.push_back(std::move(g));
+        }
+    }
+    std::vector<std::vector<int>> perms(groups.size());
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        perms[gi].resize(groups[gi].size());
+        std::iota(perms[gi].begin(), perms[gi].end(), 1);
+    }
+    std::size_t variant = 0;
+    for (;;) {
+        MappingSpec m = base;
+        for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+            for (std::size_t ti = 0; ti < groups[gi].size(); ++ti) {
+                m.bindings[groups[gi][ti]].priority = perms[gi][ti];
+            }
+        }
+        if (variant != 0) {
+            m.name += "/p" + std::to_string(variant);
+        }
+        out.push_back(std::move(m));
+        ++variant;
+        // Odometer step over the per-group permutations.
+        std::size_t gi = 0;
+        while (gi < groups.size() &&
+               !std::next_permutation(perms[gi].begin(), perms[gi].end())) {
+            ++gi;  // wrapped to sorted order: carry into the next group
+        }
+        if (gi == groups.size()) {
+            break;
+        }
+    }
+}
+
+}  // namespace
+
+std::vector<MappingSpec> enumerate_mappings(const AppSpec& app,
+                                            const PlatformSpec& platform,
+                                            const EnumOptions& opts) {
+    SLM_ASSERT(!platform.pes.empty(), "enumerate_mappings() needs at least one PE");
+    std::vector<const TaskSpec*> swept;
+    for (const TaskSpec& t : app.tasks) {
+        bool pinned = false;
+        for (const TaskBinding& p : opts.pinned) {
+            if (p.task == t.name) {
+                pinned = true;
+            }
+        }
+        if (!pinned) {
+            swept.push_back(&t);
+        }
+    }
+
+    std::vector<MappingSpec> out;
+    std::vector<std::size_t> digits(swept.size(), 0);
+    std::size_t index = 0;
+    for (;;) {
+        MappingSpec m;
+        m.name = "m" + std::to_string(index);
+        // Bindings in app task order (pinned ones verbatim), so summaries and
+        // priority groups are stable across candidates.
+        std::size_t di = 0;
+        for (const TaskSpec& t : app.tasks) {
+            const TaskBinding* p = nullptr;
+            for (const TaskBinding& pb : opts.pinned) {
+                if (pb.task == t.name) {
+                    p = &pb;
+                }
+            }
+            if (p != nullptr) {
+                m.bindings.push_back(*p);
+            } else {
+                m.bindings.push_back(
+                    TaskBinding{t.name, platform.pes[digits[di]].name, t.priority});
+                ++di;
+            }
+        }
+        // Routes: fixed first, then the co-location rule.
+        for (const ChannelSpec& c : app.channels) {
+            const ChannelRoute* fixed = nullptr;
+            for (const ChannelRoute& r : opts.fixed_routes) {
+                if (r.channel == c.name) {
+                    fixed = &r;
+                }
+            }
+            if (fixed != nullptr) {
+                m.routes.push_back(*fixed);
+                continue;
+            }
+            const TaskBinding* sb = c.src.empty() ? nullptr : m.binding(c.src);
+            const TaskBinding* db = m.binding(c.dst);
+            if (sb != nullptr && db != nullptr && sb->pe == db->pe) {
+                m.routes.push_back(ChannelRoute{c.name, ""});
+            } else {
+                SLM_ASSERT(!opts.default_bus.empty(),
+                           "cross-PE channel needs EnumOptions::default_bus");
+                m.routes.push_back(ChannelRoute{c.name, opts.default_bus});
+            }
+        }
+        if (opts.sweep_priorities) {
+            expand_priorities(m, platform, out);
+        } else {
+            out.push_back(std::move(m));
+        }
+        ++index;
+        // Mixed-radix increment, least-significant digit first.
+        std::size_t di2 = 0;
+        while (di2 < digits.size()) {
+            if (++digits[di2] < platform.pes.size()) {
+                break;
+            }
+            digits[di2] = 0;
+            ++di2;
+        }
+        if (di2 == digits.size()) {
+            break;
+        }
+    }
+    return out;
+}
+
+SweepResult run_sweep(const AppSpec& app, const PlatformSpec& platform,
+                      const std::vector<MappingSpec>& mappings, const SweepConfig& cfg,
+                      const SystemSetup& setup, parallel::ParallelStats* stats_out) {
+    SweepResult res;
+    res.app = app.name;
+    res.platform = platform.name;
+    res.candidates.resize(mappings.size());
+    // Each index evaluates one candidate into its own slot: disjoint writes,
+    // enumeration-order results at any jobs count (the for_each_index
+    // determinism contract).
+    parallel::for_each_index(
+        mappings.size(), cfg.jobs,
+        [&](std::size_t i) {
+            System sys(app, platform, mappings[i], cfg.options);
+            if (setup) {
+                setup(sys);
+            }
+            sys.run(cfg.horizon);
+            res.candidates[i] = CandidateResult{mappings[i], sys.metrics()};
+        },
+        stats_out);
+    return res;
+}
+
+std::vector<std::size_t> SweepResult::ranking() const {
+    std::vector<std::size_t> order(candidates.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    const auto total_bus_busy = [](const SystemMetrics& m) {
+        std::uint64_t ns = 0;
+        for (const BusMetrics& b : m.buses) {
+            ns += b.busy.ns();
+        }
+        return ns;
+    };
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        const SystemMetrics& ma = candidates[a].metrics;
+        const SystemMetrics& mb = candidates[b].metrics;
+        const std::uint64_t miss_a = ma.task_deadline_misses + ma.latency_misses;
+        const std::uint64_t miss_b = mb.task_deadline_misses + mb.latency_misses;
+        if (miss_a != miss_b) {
+            return miss_a < miss_b;
+        }
+        if (ma.latency_p95 != mb.latency_p95) {
+            return ma.latency_p95 < mb.latency_p95;
+        }
+        if (ma.latency_max != mb.latency_max) {
+            return ma.latency_max < mb.latency_max;
+        }
+        if (ma.latency_p50 != mb.latency_p50) {
+            return ma.latency_p50 < mb.latency_p50;
+        }
+        const std::uint64_t bus_a = total_bus_busy(ma);
+        const std::uint64_t bus_b = total_bus_busy(mb);
+        if (bus_a != bus_b) {
+            return bus_a < bus_b;
+        }
+        if (ma.sim_duration != mb.sim_duration) {
+            return ma.sim_duration < mb.sim_duration;
+        }
+        return a < b;
+    });
+    return order;
+}
+
+void write_sweep_json(std::ostream& os, const SweepResult& res) {
+    os << "{\"schema\":\"slm-sweep-result-v1\"";
+    os << ",\"app\":\"" << trace::json_escape(res.app) << '"';
+    os << ",\"platform\":\"" << trace::json_escape(res.platform) << '"';
+    os << ",\"candidates\":[";
+    for (std::size_t i = 0; i < res.candidates.size(); ++i) {
+        const CandidateResult& c = res.candidates[i];
+        const SystemMetrics& m = c.metrics;
+        if (i != 0) {
+            os << ',';
+        }
+        os << "{\"index\":" << i;
+        os << ",\"name\":\"" << trace::json_escape(c.mapping.name) << '"';
+        os << ",\"summary\":\"" << trace::json_escape(c.mapping.summary()) << '"';
+        os << ",\"sim_ns\":" << m.sim_duration.ns();
+        os << ",\"jobs_completed\":" << m.jobs_completed;
+        os << ",\"task_deadline_misses\":" << m.task_deadline_misses;
+        os << ",\"latency_samples\":" << m.latency_samples;
+        os << ",\"latency_misses\":" << m.latency_misses;
+        os << ",\"latency_p50_ns\":" << m.latency_p50.ns();
+        os << ",\"latency_p95_ns\":" << m.latency_p95.ns();
+        os << ",\"latency_max_ns\":" << m.latency_max.ns();
+        os << ",\"pes\":[";
+        for (std::size_t p = 0; p < m.pes.size(); ++p) {
+            const PeMetrics& pe = m.pes[p];
+            if (p != 0) {
+                os << ',';
+            }
+            os << "{\"name\":\"" << trace::json_escape(pe.name) << '"'
+               << ",\"busy_ns\":" << pe.busy.ns()
+               << ",\"context_switches\":" << pe.context_switches
+               << ",\"preemptions\":" << pe.preemptions
+               << ",\"deadline_misses\":" << pe.deadline_misses << '}';
+        }
+        os << "],\"buses\":[";
+        for (std::size_t b = 0; b < m.buses.size(); ++b) {
+            const BusMetrics& bus = m.buses[b];
+            if (b != 0) {
+                os << ',';
+            }
+            os << "{\"name\":\"" << trace::json_escape(bus.name) << '"'
+               << ",\"transfers\":" << bus.transfers << ",\"bytes\":" << bus.bytes
+               << ",\"busy_ns\":" << bus.busy.ns()
+               << ",\"arb_wait_ns\":" << bus.arbitration_wait.ns() << '}';
+        }
+        os << "]}";
+    }
+    os << "],\"ranking\":[";
+    const std::vector<std::size_t> order = res.ranking();
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        if (i != 0) {
+            os << ',';
+        }
+        os << order[i];
+    }
+    os << "]}\n";
+}
+
+}  // namespace slm::sys

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "parallel/parallel.hpp"
+#include "sys/elaborate.hpp"
+#include "sys/spec.hpp"
+
+namespace slm::sys {
+
+/// Mapping design-space sweeps: enumerate candidate MappingSpecs for an
+/// application on a platform, evaluate each with a fresh elaborated System,
+/// and rank the results. Candidates are independent simulations, so the sweep
+/// shards them across slm::parallel::for_each_index into enumeration-order
+/// slots — an N-thread sweep produces byte-identical canonical JSON
+/// (write_sweep_json) to the serial one, enforced by ci/check_sweep.sh. The
+/// full determinism contract lives in docs/system-mapping.md.
+
+/// enumerate_mappings() knobs.
+struct EnumOptions {
+    /// Bus carrying every cross-PE and stimulus channel that has no fixed
+    /// route. Must name a PlatformSpec bus whenever such channels exist.
+    std::string default_bus;
+    /// Routes applied verbatim before the co-location rule (e.g. a stimulus
+    /// channel pinned to its dedicated I/O bus).
+    std::vector<ChannelRoute> fixed_routes;
+    /// Bindings applied verbatim; pinned tasks are excluded from the sweep.
+    std::vector<TaskBinding> pinned;
+    /// Additionally permute per-PE task priorities (1..k over the k tasks
+    /// bound to each PE) instead of keeping each task's spec priority.
+    /// Multiplies the candidate count by the product of per-PE k!.
+    bool sweep_priorities = false;
+};
+
+/// The full task->PE assignment space in deterministic order: a mixed-radix
+/// counter over platform.pes (least-significant digit = first unpinned task
+/// in app order), named "m0", "m1", ... Channel routes follow the
+/// co-location rule: same-PE endpoints go intra-PE, everything else rides
+/// EnumOptions::default_bus. Priority permutations (when enabled) expand each
+/// assignment in-place with "/p1", "/p2", ... name suffixes.
+[[nodiscard]] std::vector<MappingSpec> enumerate_mappings(const AppSpec& app,
+                                                          const PlatformSpec& platform,
+                                                          const EnumOptions& opts = {});
+
+struct SweepConfig {
+    /// Worker threads for candidate evaluation; 1 = serial on the calling
+    /// thread, 0 = hardware concurrency (parallel::for_each_index semantics).
+    unsigned jobs = 1;
+    /// Per-candidate simulation horizon; zero runs each system to completion.
+    SimTime horizon{};
+    /// Elaboration options for every candidate. Leave `tracer` null for
+    /// parallel sweeps — candidates run concurrently and a shared sink would
+    /// interleave; `on_os` must be safe to call from worker threads.
+    SystemOptions options{};
+};
+
+/// Per-candidate hook run after elaboration, before System::run() — attach
+/// real task behaviors here (called concurrently from workers; any shared
+/// state it touches must be its own).
+using SystemSetup = std::function<void(System&)>;
+
+struct CandidateResult {
+    MappingSpec mapping;
+    SystemMetrics metrics;
+};
+
+struct SweepResult {
+    std::string app;
+    std::string platform;
+    std::vector<CandidateResult> candidates;  ///< enumeration order
+
+    /// Candidate indices from best to worst: fewest (task deadline + latency)
+    /// misses first, then lowest latency p95, max, p50, then least total bus
+    /// busy time, then shortest sim duration, then enumeration index — a
+    /// strict total order, so rankings are deterministic.
+    [[nodiscard]] std::vector<std::size_t> ranking() const;
+};
+
+/// Evaluate every mapping candidate: elaborate, setup, run, collect metrics.
+/// Deterministic at any thread count — results land in enumeration-order
+/// slots regardless of completion order.
+[[nodiscard]] SweepResult run_sweep(const AppSpec& app, const PlatformSpec& platform,
+                                    const std::vector<MappingSpec>& mappings,
+                                    const SweepConfig& cfg = {},
+                                    const SystemSetup& setup = {},
+                                    parallel::ParallelStats* stats_out = nullptr);
+
+/// Canonical single-line JSON (schema "slm-sweep-result-v1"): compact, keys
+/// in fixed order, every quantity an integer (nanoseconds / counts), ranking
+/// included — byte-identical across jobs counts and platforms by
+/// construction. Schema reference: docs/system-mapping.md.
+void write_sweep_json(std::ostream& os, const SweepResult& res);
+
+}  // namespace slm::sys

@@ -14,37 +14,18 @@
 #include "sim/assert.hpp"
 #include "sim/channels.hpp"
 #include "sim/kernel.hpp"
+#include "sys/elaborate.hpp"
 #include "vocoder/codec.hpp"
 #include "vocoder/iss_gen.hpp"
+#include "vocoder/system.hpp"
 #include "vocoder/timing.hpp"
 
 namespace slm::vocoder {
 
 namespace {
 
-constexpr int kSubframeSamples = kFrameSamples / kSubframesPerFrame;
-
-struct Subframe {
-    std::array<std::int32_t, kSubframeSamples> samples{};
-};
-
-Subframe subframe_of(const Frame& f, int idx) {
-    Subframe sf;
-    for (int i = 0; i < kSubframeSamples; ++i) {
-        sf.samples[static_cast<std::size_t>(i)] =
-            f.samples[static_cast<std::size_t>(idx * kSubframeSamples + i)];
-    }
-    return sf;
-}
-
 std::vector<Frame> make_input(const VocoderConfig& cfg) {
-    SpeechSource src{cfg.seed};
-    std::vector<Frame> frames;
-    frames.reserve(cfg.frames);
-    for (std::size_t i = 0; i < cfg.frames; ++i) {
-        frames.push_back(src.next_frame());
-    }
-    return frames;
+    return make_vocoder_input(cfg);
 }
 
 struct DelayStats {
@@ -306,107 +287,39 @@ VocoderResult run_vocoder_architecture(const VocoderConfig& cfg) {
 // ---- two-PE architecture model ----
 
 TwoPeResult run_vocoder_two_pe(const VocoderConfig& cfg) {
-    const std::vector<Frame> input = make_input(cfg);
-    sim::Kernel k;
+    // The encoder/decoder split is pure specification now: the same app spec
+    // drives this canonical mapping and the design-space sweeps over
+    // heterogeneous platforms (sys::run_sweep + vocoder_sweep_platform).
+    sys::SystemOptions opts;
+    opts.base_rtos = cfg.rtos;
+    opts.tracer = cfg.tracer;
+    opts.on_os = cfg.on_os;
+    sys::System system{vocoder_app_spec(cfg.frames), vocoder_two_pe_platform(cfg),
+                       vocoder_split_mapping(), std::move(opts)};
+    const std::shared_ptr<VocoderSysOutcome> outcome =
+        attach_vocoder_behaviors(system, cfg);
 
-    rtos::RtosConfig rc0 = cfg.rtos;
-    rtos::RtosConfig rc1 = cfg.rtos;
-    rc0.tracer = cfg.tracer;
-    rc1.tracer = cfg.tracer;
-    arch::ProcessingElement pe0{k, "DSP0", rc0};
-    arch::ProcessingElement pe1{k, "DSP1", rc1};
-    if (cfg.on_os) {
-        cfg.on_os(pe0.os());
-        cfg.on_os(pe1.os());
-    }
+    const WallClock wall;
+    system.run();
 
-    // Audio input to DSP0 (ideal link, as in the single-PE model) and an
-    // inter-PE system bus carrying the 244-byte encoded frames.
-    arch::Bus audio_bus{k, "audio_bus", arch::Bus::Config{SimTime::zero(), SimTime::zero()}};
-    arch::BusLink<Subframe> audio{k, audio_bus, "audio"};
-    arch::Bus sys_bus{k, "sys_bus", arch::Bus::Config{microseconds(1), nanoseconds(50)}};
-    arch::BusLink<EncodedFrame> bits_link{k, sys_bus, "bits", 244};
-
-    rtos::OsSemaphore sub_sem{pe0.os(), 0, "sub_sem"};
-    rtos::OsQueue<Frame> frame_q{pe0.os(), 0, "frame_q"};
-    rtos::OsSemaphore bits_sem{pe1.os(), 0, "bits_sem"};
-
-    DelayStats delays{cfg.frames};
     TwoPeResult two{};
     VocoderResult& res = two.overall;
     res.frames = cfg.frames;
-    res.min_snr_db = 1e9;
-    res.data_ok = true;
-
-    k.spawn("audio_port", [&] {
-        for (std::size_t f = 0; f < cfg.frames; ++f) {
-            for (int s = 0; s < kSubframesPerFrame; ++s) {
-                k.waitfor(kSubframePeriod);
-                audio.post(subframe_of(input[f], s), [&](SimTime dt) { k.waitfor(dt); });
-            }
-        }
-    });
-
-    pe0.attach_isr(audio.irq(), [&] { sub_sem.release(); });
-    pe0.add_task("driver", kDriverPriority, [&] {
-        for (std::size_t f = 0; f < cfg.frames; ++f) {
-            Frame cur;
-            for (int s = 0; s < kSubframesPerFrame; ++s) {
-                sub_sem.acquire();
-                Subframe sf;
-                SLM_ASSERT(audio.try_fetch(sf), "driver woke without data");
-                pe0.os().time_wait(cycles_to_time(kSubframeCopyWcetCycles));
-                for (int i = 0; i < kSubframeSamples; ++i) {
-                    cur.samples[static_cast<std::size_t>(s * kSubframeSamples + i)] =
-                        sf.samples[static_cast<std::size_t>(i)];
-                }
-            }
-            delays.ready[f] = k.now();
-            frame_q.send(cur);
-        }
-    });
-
-    pe0.add_task("encoder", kEncoderPriority, [&] {
-        Encoder enc;
-        for (std::size_t f = 0; f < cfg.frames; ++f) {
-            const Frame fr = frame_q.receive();
-            EncodedFrame e = enc.encode(fr);
-            pe0.os().time_wait(cycles_to_time(kEncodeWcetCycles));
-            // The bus transfer is executed (and its time charged) by the
-            // encoder task acting as bus master.
-            bits_link.post(std::move(e), [&](SimTime dt) { pe0.os().time_wait(dt); });
-        }
-    });
-
-    pe1.attach_isr(bits_link.irq(), [&] { bits_sem.release(); });
-    pe1.add_task("decoder", kDriverPriority, [&] {
-        Decoder dec;
-        for (std::size_t f = 0; f < cfg.frames; ++f) {
-            bits_sem.acquire();
-            EncodedFrame e;
-            SLM_ASSERT(bits_link.try_fetch(e), "decoder woke without data");
-            const Frame out = dec.decode(e);
-            pe1.os().time_wait(cycles_to_time(kDecodeWcetCycles));
-            delays.done[f] = k.now();
-            res.data_ok = res.data_ok && e.checksum == frame_checksum(input[f]);
-            res.min_snr_db = std::min(res.min_snr_db, snr_db(input[f], out));
-        }
-    });
-
-    pe0.start();
-    pe1.start();
-    const WallClock wall;
-    k.run();
     res.wall_seconds = wall.seconds();
-    res.sim_duration = k.now();
-    res.context_switches =
-        pe0.os().stats().context_switches + pe1.os().stats().context_switches;
+    res.sim_duration = system.kernel().now();
+    res.data_ok = outcome->data_ok;
+    res.min_snr_db = outcome->min_snr_db;
+    res.context_switches = system.pe("DSP0")->os().stats().context_switches +
+                           system.pe("DSP1")->os().stats().context_switches;
+    DelayStats delays{cfg.frames};
+    delays.ready = outcome->ready;
+    delays.done = outcome->done;
     delays.fill(res);
     res.model_loc = refined_spec_lines();
-    two.pe0_busy = pe0.os().busy_time();
-    two.pe1_busy = pe1.os().busy_time();
-    two.bus_transfers = sys_bus.transfers();
-    two.bus_busy = sys_bus.busy_time();
+    two.pe0_busy = system.pe("DSP0")->os().busy_time();
+    two.pe1_busy = system.pe("DSP1")->os().busy_time();
+    two.bus_transfers = system.bus("sys_bus")->transfers();
+    two.bus_busy = system.bus("sys_bus")->busy_time();
     return two;
 }
 

@@ -1,0 +1,170 @@
+#include "vocoder/system.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace slm::vocoder {
+
+Subframe subframe_of(const Frame& f, int idx) {
+    Subframe sf;
+    for (int i = 0; i < kSubframeSamples; ++i) {
+        sf.samples[static_cast<std::size_t>(i)] =
+            f.samples[static_cast<std::size_t>(idx * kSubframeSamples + i)];
+    }
+    return sf;
+}
+
+std::vector<Frame> make_vocoder_input(const VocoderConfig& cfg) {
+    SpeechSource src{cfg.seed};
+    std::vector<Frame> frames;
+    frames.reserve(cfg.frames);
+    for (std::size_t i = 0; i < cfg.frames; ++i) {
+        frames.push_back(src.next_frame());
+    }
+    return frames;
+}
+
+sys::AppSpec vocoder_app_spec(std::size_t frames) {
+    sys::AppSpec app;
+    app.name = "vocoder";
+    app.latency_deadline = kFramePeriod;
+    app.tasks = {
+        sys::TaskSpec{"driver",
+                      cycles_to_time(kSubframeCopyWcetCycles) * kSubframesPerFrame,
+                      SimTime{}, SimTime{}, frames, kDriverPriority},
+        sys::TaskSpec{"encoder", cycles_to_time(kEncodeWcetCycles), SimTime{},
+                      SimTime{}, frames, kEncoderPriority},
+        sys::TaskSpec{"decoder", cycles_to_time(kDecodeWcetCycles), SimTime{},
+                      SimTime{}, frames, kDecoderPriority},
+    };
+    app.channels = {
+        sys::ChannelSpec{"audio", "", "driver", sizeof(Subframe), 0},
+        sys::ChannelSpec{"frames", "driver", "encoder", sizeof(Frame), 0},
+        sys::ChannelSpec{"bits", "encoder", "decoder", 244, 0},
+    };
+    app.stimuli = {sys::StimulusSpec{"audio_in", "audio", kSubframePeriod,
+                                     frames * kSubframesPerFrame}};
+    return app;
+}
+
+namespace {
+
+sys::PlatformSpec vocoder_buses(sys::PlatformSpec platform) {
+    platform.buses = {
+        sys::BusSpec{"audio_bus", SimTime::zero(), SimTime::zero(),
+                     arch::BusArbitration::Fifo},
+        sys::BusSpec{"sys_bus", microseconds(1), nanoseconds(50),
+                     arch::BusArbitration::Fifo},
+    };
+    return platform;
+}
+
+}  // namespace
+
+sys::PlatformSpec vocoder_two_pe_platform(const VocoderConfig& cfg) {
+    sys::PlatformSpec platform;
+    platform.name = "dsp-pair";
+    platform.pes = {
+        sys::PeSpec{"DSP0", 1, 1, cfg.rtos.policy, cfg.rtos.context_switch_overhead, 1},
+        sys::PeSpec{"DSP1", 1, 1, cfg.rtos.policy, cfg.rtos.context_switch_overhead, 1},
+    };
+    return vocoder_buses(std::move(platform));
+}
+
+sys::PlatformSpec vocoder_sweep_platform(const VocoderConfig& cfg) {
+    sys::PlatformSpec platform;
+    platform.name = "arm+dsp";
+    platform.pes = {
+        sys::PeSpec{"ARM", 1, 2, cfg.rtos.policy, cfg.rtos.context_switch_overhead, 1},
+        sys::PeSpec{"DSP", 2, 1, cfg.rtos.policy, cfg.rtos.context_switch_overhead, 4},
+    };
+    return vocoder_buses(std::move(platform));
+}
+
+sys::MappingSpec vocoder_split_mapping() {
+    sys::MappingSpec m;
+    m.name = "split";
+    m.bindings = {
+        sys::TaskBinding{"driver", "DSP0", kDriverPriority},
+        sys::TaskBinding{"encoder", "DSP0", kEncoderPriority},
+        sys::TaskBinding{"decoder", "DSP1", kDriverPriority},
+    };
+    m.routes = {
+        sys::ChannelRoute{"audio", "audio_bus"},
+        sys::ChannelRoute{"frames", ""},
+        sys::ChannelRoute{"bits", "sys_bus"},
+    };
+    return m;
+}
+
+sys::EnumOptions vocoder_enum_options() {
+    sys::EnumOptions opts;
+    opts.default_bus = "sys_bus";
+    opts.fixed_routes = {sys::ChannelRoute{"audio", "audio_bus"}};
+    return opts;
+}
+
+std::shared_ptr<VocoderSysOutcome> attach_vocoder_behaviors(sys::System& system,
+                                                            const VocoderConfig& cfg) {
+    auto outcome = std::make_shared<VocoderSysOutcome>();
+    outcome->ready.resize(cfg.frames);
+    outcome->done.resize(cfg.frames);
+
+    // Per-run payload state, keyed by the frame index each Token carries.
+    // Tokens model the transfers' timing; data stays host-side, exactly as
+    // abstract-model payloads consume no simulated time anyway.
+    auto input = std::make_shared<std::vector<Frame>>(make_vocoder_input(cfg));
+    auto assembled = std::make_shared<std::vector<Frame>>(cfg.frames);
+    auto encoded = std::make_shared<std::vector<EncodedFrame>>(cfg.frames);
+    auto enc = std::make_shared<Encoder>();
+    auto dec = std::make_shared<Decoder>();
+
+    system.set_behavior("driver", [outcome, input, assembled](sys::TaskCtx& ctx) {
+        const std::size_t f = ctx.job();
+        Frame cur;
+        for (int s = 0; s < kSubframesPerFrame; ++s) {
+            (void)ctx.recv("audio");
+            const Subframe sf = subframe_of((*input)[f], s);
+            ctx.exec(cycles_to_time(kSubframeCopyWcetCycles));
+            for (int i = 0; i < kSubframeSamples; ++i) {
+                cur.samples[static_cast<std::size_t>(s * kSubframeSamples + i)] =
+                    sf.samples[static_cast<std::size_t>(i)];
+            }
+        }
+        outcome->ready[f] = ctx.now();
+        (*assembled)[f] = cur;
+        ctx.send("frames", sys::Token{f, outcome->ready[f]});
+    });
+
+    system.set_behavior("encoder", [assembled, encoded, enc](sys::TaskCtx& ctx) {
+        const std::size_t f = ctx.job();
+        const sys::Token t = ctx.recv("frames");
+        EncodedFrame e = enc->encode((*assembled)[f]);
+        ctx.exec(cycles_to_time(kEncodeWcetCycles));
+        (*encoded)[f] = std::move(e);
+        // The bus transfer is executed (and its time charged) by the encoder
+        // task acting as bus master — ctx.send goes through OsCore::io_wait.
+        ctx.send("bits", sys::Token{f, t.born});
+    });
+
+    system.set_behavior("decoder", [outcome, input, encoded, dec](sys::TaskCtx& ctx) {
+        const std::size_t f = ctx.job();
+        (void)ctx.recv("bits");
+        const EncodedFrame& e = (*encoded)[f];
+        const Frame out = dec->decode(e);
+        ctx.exec(cycles_to_time(kDecodeWcetCycles));
+        outcome->done[f] = ctx.now();
+        ctx.record_latency(outcome->done[f] - outcome->ready[f]);
+        outcome->data_ok =
+            outcome->data_ok && e.checksum == frame_checksum((*input)[f]);
+        outcome->min_snr_db = std::min(outcome->min_snr_db, snr_db((*input)[f], out));
+    });
+
+    return outcome;
+}
+
+sys::SystemSetup vocoder_setup(const VocoderConfig& cfg) {
+    return [cfg](sys::System& system) { (void)attach_vocoder_behaviors(system, cfg); };
+}
+
+}  // namespace slm::vocoder

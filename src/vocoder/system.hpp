@@ -1,0 +1,82 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sys/elaborate.hpp"
+#include "sys/spec.hpp"
+#include "sys/sweep.hpp"
+#include "vocoder/codec.hpp"
+#include "vocoder/models.hpp"
+#include "vocoder/timing.hpp"
+
+namespace slm::vocoder {
+
+/// The vocoder as a declarative slm::sys triple: the encoder/decoder split of
+/// run_vocoder_two_pe is expressed as AppSpec + MappingSpec instead of
+/// hand-wired kernel objects, and the same AppSpec drives mapping sweeps over
+/// heterogeneous platforms (docs/system-mapping.md walks the full flow).
+
+constexpr int kSubframeSamples = kFrameSamples / kSubframesPerFrame;
+
+/// One serial-audio-port transfer unit: a quarter frame.
+struct Subframe {
+    std::array<std::int32_t, kSubframeSamples> samples{};
+};
+
+[[nodiscard]] Subframe subframe_of(const Frame& f, int idx);
+
+/// The seeded speech input shared by every vocoder model variant.
+[[nodiscard]] std::vector<Frame> make_vocoder_input(const VocoderConfig& cfg);
+
+/// Application: driver -> encoder -> decoder, fed by the 5 ms sub-frame
+/// stimulus on the "audio" channel; "frames" carries assembled frames,
+/// "bits" the 244-byte encoded frames. One job per speech frame;
+/// latency_deadline is the 20 ms frame period.
+[[nodiscard]] sys::AppSpec vocoder_app_spec(std::size_t frames);
+
+/// The canonical homogeneous platform of run_vocoder_two_pe: DSP0 + DSP1 at
+/// speed 1/1 (policy and context-switch cost from cfg.rtos), a zero-latency
+/// audio bus, and the 1 us + 50 ns/byte system bus.
+[[nodiscard]] sys::PlatformSpec vocoder_two_pe_platform(const VocoderConfig& cfg);
+
+/// Heterogeneous sweep platform: a slow ARM control core (speed 1/2, cheap)
+/// next to a fast DSP (speed 2/1, 4x the unit cost) on the same buses — the
+/// paper's Fig. 1 design-space axis the mapping sweep explores.
+[[nodiscard]] sys::PlatformSpec vocoder_sweep_platform(const VocoderConfig& cfg);
+
+/// The classic split: driver + encoder on DSP0, decoder on DSP1, encoded
+/// frames over the system bus, assembled frames intra-PE.
+[[nodiscard]] sys::MappingSpec vocoder_split_mapping();
+
+/// Enumeration knobs for vocoder mapping sweeps: the stimulus channel pinned
+/// to the audio bus, everything cross-PE on the system bus, no pinned tasks —
+/// 3 tasks over an N-PE platform yields N^3 candidates.
+[[nodiscard]] sys::EnumOptions vocoder_enum_options();
+
+/// Functional results of one elaborated vocoder run, filled by the behaviors
+/// attach_vocoder_behaviors() installs.
+struct VocoderSysOutcome {
+    bool data_ok = true;
+    double min_snr_db = 1e9;
+    std::vector<SimTime> ready;  ///< frame assembled by the driver
+    std::vector<SimTime> done;   ///< frame decoded
+};
+
+/// Install the real codec behaviors (assemble / encode+checksum / decode+SNR)
+/// on an elaborated system built from vocoder_app_spec. Payloads live in
+/// shared per-run state keyed by the frame index carried in each Token; the
+/// decoder reports ready->done transcoding delay as the system latency
+/// metric. Call between construction and run().
+std::shared_ptr<VocoderSysOutcome> attach_vocoder_behaviors(sys::System& system,
+                                                            const VocoderConfig& cfg);
+
+/// A sys::SystemSetup for sweeps: attaches fresh behaviors (own input, own
+/// codec state) to each candidate — safe to call concurrently from sweep
+/// workers.
+[[nodiscard]] sys::SystemSetup vocoder_setup(const VocoderConfig& cfg);
+
+}  // namespace slm::vocoder

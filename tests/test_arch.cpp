@@ -397,3 +397,103 @@ TEST(Fig3, TotalWorkIsModelInvariant) {
     EXPECT_EQ(ra.busy_time("task_b2"), b2_work);
     EXPECT_EQ(ra.busy_time("task_b3"), b3_work);
 }
+
+// ---- arbitration and delivery edges (mapping-sweep platform support) ----
+
+TEST(BusTest, ZeroLatencyConfigTransfersInstantly) {
+    // A BusSpec{0, 0} platform bus (the vocoder's audio feed) must move data
+    // without consuming simulated time or accumulating busy time.
+    Kernel k;
+    Bus bus{k, "free", Bus::Config{SimTime::zero(), SimTime::zero()}};
+    for (int i = 0; i < 3; ++i) {
+        k.spawn("m" + std::to_string(i), [&] {
+            bus.occupy(1000, [&](SimTime dt) { k.waitfor(dt); });
+            EXPECT_EQ(k.now(), SimTime::zero());
+        });
+    }
+    k.run();
+    EXPECT_EQ(k.now(), SimTime::zero());
+    EXPECT_EQ(bus.transfers(), 3u);
+    EXPECT_EQ(bus.bytes_transferred(), 3000u);
+    EXPECT_EQ(bus.busy_time(), SimTime::zero());
+    EXPECT_EQ(bus.arbitration_wait(), SimTime::zero());
+}
+
+TEST(BusTest, PriorityArbitrationReordersDeepQueue) {
+    // Three masters queue while the bus is busy; grants follow master id
+    // (7, then 4, then 9 would be FIFO order) — lowest id wins each regrant.
+    Kernel k;
+    Bus::Config cfg{SimTime::zero(), 10_ns, BusArbitration::Priority, {}, 0};
+    Bus bus{k, "bus", cfg};
+    std::vector<int> grants;
+    k.spawn("holder", [&] {
+        bus.occupy(100, [&](SimTime dt) { k.waitfor(dt); }, 0);
+        grants.push_back(0);
+    });
+    const int arrival_order[] = {7, 4, 9};  // request order while bus is held
+    for (int i = 0; i < 3; ++i) {
+        const int id = arrival_order[i];
+        k.spawn("m" + std::to_string(id), [&, id, i] {
+            k.waitfor(nanoseconds(100 + i));
+            bus.occupy(100, [&](SimTime dt) { k.waitfor(dt); }, id);
+            grants.push_back(id);
+        });
+    }
+    k.run();
+    EXPECT_EQ(grants, (std::vector<int>{0, 4, 7, 9}));
+}
+
+TEST(BusLinkTest, PostsDrainInFifoOrderThenEmpty) {
+    // Two tokens posted back-to-back fetch in order; a third fetch fails and
+    // must not disturb the destination variable.
+    Kernel k;
+    Bus bus{k, "bus", Bus::Config{SimTime::zero(), SimTime::zero()}};
+    BusLink<int> link{k, bus, "lnk"};
+    std::vector<int> got;
+    k.spawn("sender", [&] {
+        link.post(11, [&](SimTime dt) { k.waitfor(dt); });
+        link.post(22, [&](SimTime dt) { k.waitfor(dt); });
+    });
+    k.run();
+    EXPECT_EQ(link.pending(), 2u);
+    int v = -1;
+    EXPECT_TRUE(link.try_fetch(v));
+    got.push_back(v);
+    EXPECT_TRUE(link.try_fetch(v));
+    got.push_back(v);
+    EXPECT_FALSE(link.try_fetch(v));
+    EXPECT_EQ(got, (std::vector<int>{11, 22}));
+    EXPECT_EQ(v, 22);  // failed fetch left the destination alone
+    EXPECT_EQ(link.pending(), 0u);
+}
+
+TEST(IntCtrlTest, ThreePendingSourcesServedStrictlyByPriority) {
+    // All three lines latch while masked; unmasking delivers every pending
+    // interrupt in priority order regardless of raise order.
+    Kernel k;
+    rtos::RtosModel os{k};
+    os.init();
+    InterruptController ctrl{k, os, "pic"};
+    InterruptLine a{k, "a"}, b{k, "b"}, c{k, "c"};
+    std::vector<std::string> served;
+    ctrl.attach(a, 9, [&] { served.push_back("a"); });
+    ctrl.attach(b, 1, [&] { served.push_back("b"); });
+    ctrl.attach(c, 5, [&] { served.push_back("c"); });
+    ctrl.mask(a);
+    ctrl.mask(b);
+    ctrl.mask(c);
+    k.spawn("devices", [&] {
+        k.waitfor(1_us);
+        a.raise();  // lowest priority raised first
+        c.raise();
+        b.raise();  // highest priority raised last
+        k.waitfor(1_us);
+        ctrl.unmask(a);
+        ctrl.unmask(b);
+        ctrl.unmask(c);
+    });
+    os.start();
+    k.run();
+    EXPECT_EQ(served, (std::vector<std::string>{"b", "c", "a"}));
+    EXPECT_EQ(ctrl.pending(), 0u);
+}

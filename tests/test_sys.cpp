@@ -1,0 +1,373 @@
+#include "sys/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "sim/kernel.hpp"
+#include "sys/elaborate.hpp"
+#include "sys/sweep.hpp"
+
+using namespace slm;
+using namespace slm::sim;
+using namespace slm::time_literals;
+
+namespace {
+
+// A minimal well-formed triple: stimulus -> producer -> consumer, producer on
+// PE0, consumer on PE1, stimulus and cross-PE channel on the bus.
+struct Triple {
+    sys::AppSpec app;
+    sys::PlatformSpec platform;
+    sys::MappingSpec mapping;
+};
+
+Triple make_pipeline(std::uint64_t jobs = 3) {
+    Triple t;
+    t.app.name = "pipe";
+    t.app.tasks = {sys::TaskSpec{"producer", 100_us, {}, {}, jobs, 1},
+                   sys::TaskSpec{"consumer", 50_us, {}, {}, jobs, 1}};
+    t.app.channels = {sys::ChannelSpec{"in", "", "producer", 4, 0},
+                      sys::ChannelSpec{"out", "producer", "consumer", 8, 0}};
+    t.app.stimuli = {sys::StimulusSpec{"src", "in", 1_ms, jobs}};
+    t.app.latency_deadline = 10_ms;
+    t.platform.name = "duo";
+    t.platform.pes = {sys::PeSpec{"PE0"}, sys::PeSpec{"PE1"}};
+    t.platform.buses = {sys::BusSpec{"bus", 100_ns, 10_ns}};
+    t.mapping.name = "split";
+    t.mapping.bindings = {sys::TaskBinding{"producer", "PE0", 1},
+                          sys::TaskBinding{"consumer", "PE1", 1}};
+    t.mapping.routes = {sys::ChannelRoute{"in", "bus"}, sys::ChannelRoute{"out", "bus"}};
+    return t;
+}
+
+bool mentions(const std::vector<std::string>& errors, const std::string& needle) {
+    return std::any_of(errors.begin(), errors.end(), [&](const std::string& e) {
+        return e.find(needle) != std::string::npos;
+    });
+}
+
+}  // namespace
+
+// ---- spec validation ----
+
+TEST(SpecTest, WellFormedTripleValidates) {
+    const Triple t = make_pipeline();
+    EXPECT_TRUE(sys::validate(t.app, t.platform, t.mapping).empty());
+}
+
+TEST(SpecTest, LookupsFindByNameOrReturnNull) {
+    const Triple t = make_pipeline();
+    ASSERT_NE(t.app.task("producer"), nullptr);
+    EXPECT_EQ(t.app.task("producer")->exec_cost, 100_us);
+    EXPECT_EQ(t.app.task("nope"), nullptr);
+    ASSERT_NE(t.app.channel("out"), nullptr);
+    EXPECT_EQ(t.app.channel("out")->message_bytes, 8u);
+    ASSERT_NE(t.platform.pe("PE1"), nullptr);
+    EXPECT_EQ(t.platform.bus("none"), nullptr);
+    ASSERT_NE(t.mapping.binding("consumer"), nullptr);
+    EXPECT_EQ(t.mapping.binding("consumer")->pe, "PE1");
+    ASSERT_NE(t.mapping.route("in"), nullptr);
+    EXPECT_EQ(t.mapping.route("ghost"), nullptr);
+}
+
+TEST(SpecTest, ValidateFlagsUnboundTask) {
+    Triple t = make_pipeline();
+    t.mapping.bindings.pop_back();  // consumer unbound
+    EXPECT_TRUE(mentions(sys::validate(t.app, t.platform, t.mapping), "consumer"));
+}
+
+TEST(SpecTest, ValidateFlagsUnknownPe) {
+    Triple t = make_pipeline();
+    t.mapping.bindings[0].pe = "PE9";
+    EXPECT_TRUE(mentions(sys::validate(t.app, t.platform, t.mapping), "PE9"));
+}
+
+TEST(SpecTest, ValidateFlagsUnroutedChannel) {
+    Triple t = make_pipeline();
+    t.mapping.routes.pop_back();  // "out" unrouted
+    EXPECT_TRUE(mentions(sys::validate(t.app, t.platform, t.mapping), "out"));
+}
+
+TEST(SpecTest, ValidateFlagsIntraRouteAcrossPes) {
+    Triple t = make_pipeline();
+    t.mapping.routes[1].bus = "";  // "out" intra-PE but endpoints span PE0/PE1
+    EXPECT_TRUE(mentions(sys::validate(t.app, t.platform, t.mapping), "out"));
+}
+
+TEST(SpecTest, ValidateFlagsStimulusChannelNotOnBus) {
+    Triple t = make_pipeline();
+    t.mapping.routes[0].bus = "";  // stimulus channel must ride a bus
+    EXPECT_FALSE(sys::validate(t.app, t.platform, t.mapping).empty());
+}
+
+TEST(SpecTest, ValidateFlagsDuplicateAndDegenerateSpecs) {
+    Triple t = make_pipeline();
+    t.app.tasks.push_back(t.app.tasks.front());      // duplicate task name
+    t.app.tasks[1].jobs = 0;                         // degenerate job count
+    t.platform.pes[0].speed_num = 0;                 // non-positive speed
+    const std::vector<std::string> errors = sys::validate(t.app, t.platform, t.mapping);
+    EXPECT_GE(errors.size(), 3u);
+}
+
+TEST(SpecTest, MappingSummaryListsBindingsInOrder) {
+    const Triple t = make_pipeline();
+    EXPECT_EQ(t.mapping.summary(), "producer@1->PE0 consumer@1->PE1");
+}
+
+// ---- elaboration ----
+
+TEST(ElaborateTest, BuildsPesBusesAndRuns) {
+    const Triple t = make_pipeline(3);
+    sys::System system{t.app, t.platform, t.mapping};
+    ASSERT_NE(system.pe("PE0"), nullptr);
+    ASSERT_NE(system.pe("PE1"), nullptr);
+    ASSERT_NE(system.bus("bus"), nullptr);
+    EXPECT_EQ(system.pe("nope"), nullptr);
+    system.run();
+    const sys::SystemMetrics m = system.metrics();
+    EXPECT_EQ(m.jobs_completed, 6u);  // 3 producer + 3 consumer jobs
+    EXPECT_EQ(m.latency_samples, 3u);
+    EXPECT_EQ(m.latency_misses, 0u);
+    EXPECT_GT(m.latency_max, SimTime::zero());
+    ASSERT_EQ(m.pes.size(), 2u);
+    ASSERT_EQ(m.buses.size(), 1u);
+    // Every stimulus token and every producer->consumer message crossed the bus.
+    EXPECT_EQ(m.buses[0].transfers, 6u);
+    EXPECT_EQ(m.buses[0].bytes, 3u * 4 + 3u * 8);
+}
+
+TEST(ElaborateTest, IntraPeRouteUsesOsQueue) {
+    Triple t = make_pipeline(2);
+    t.mapping.bindings[1].pe = "PE0";  // co-locate; "out" becomes an OS queue
+    t.mapping.routes[1].bus = "";
+    sys::System system{t.app, t.platform, t.mapping};
+    system.run();
+    const sys::SystemMetrics m = system.metrics();
+    EXPECT_EQ(m.jobs_completed, 4u);
+    EXPECT_EQ(m.buses[0].transfers, 2u);  // only the stimulus channel crossed
+}
+
+TEST(ElaborateTest, CustomBehaviorSeesJobIndexAndPeName) {
+    const Triple t = make_pipeline(2);
+    sys::System system{t.app, t.platform, t.mapping};
+    std::vector<std::uint64_t> jobs;
+    std::string pe_name;
+    system.set_behavior("consumer", [&](sys::TaskCtx& ctx) {
+        const sys::Token tok = ctx.recv("out");
+        ctx.exec(ctx.spec().exec_cost);
+        ctx.record_latency(ctx.now() - tok.born);
+        jobs.push_back(ctx.job());
+        pe_name = ctx.pe_name();
+    });
+    system.run();
+    EXPECT_EQ(jobs, (std::vector<std::uint64_t>{0, 1}));
+    EXPECT_EQ(pe_name, "PE1");
+    EXPECT_EQ(system.latencies().size(), 2u);
+}
+
+TEST(ElaborateTest, LatencyDeadlineMissesAreCounted) {
+    Triple t = make_pipeline(2);
+    t.app.latency_deadline = 1_ns;  // everything misses
+    sys::System system{t.app, t.platform, t.mapping};
+    system.run();
+    EXPECT_EQ(system.metrics().latency_misses, 2u);
+}
+
+// ---- heterogeneous speed scaling ----
+
+// Acceptance criterion: scaling a PE's speed by k scales the charged
+// execution time by exactly k — at the OsCore level, not approximately.
+TEST(SpeedScalingTest, ExecTimeScalesExactlyByK) {
+    for (const std::uint32_t k : {2u, 3u, 7u}) {
+        // Speed k/1: nominal work dt charges dt / k.
+        {
+            Kernel kern;
+            rtos::RtosConfig cfg;
+            cfg.speed_num = k;
+            arch::ProcessingElement pe{kern, "fast", cfg};
+            pe.add_task("t", 1, [&] { pe.os().time_wait(nanoseconds(420'000 * k)); });
+            pe.start();
+            kern.run();
+            EXPECT_EQ(kern.now(), nanoseconds(420'000)) << "speed " << k << "/1";
+        }
+        // Speed 1/k: nominal work dt charges dt * k.
+        {
+            Kernel kern;
+            rtos::RtosConfig cfg;
+            cfg.speed_den = k;
+            arch::ProcessingElement pe{kern, "slow", cfg};
+            pe.add_task("t", 1, [&] { pe.os().time_wait(nanoseconds(420'000)); });
+            pe.start();
+            kern.run();
+            EXPECT_EQ(kern.now(), nanoseconds(420'000ull * k)) << "speed 1/" << k;
+        }
+    }
+}
+
+TEST(SpeedScalingTest, ScaledExecIsExactRationalArithmetic) {
+    Kernel kern;
+    rtos::RtosConfig cfg;
+    cfg.speed_num = 3;
+    cfg.speed_den = 2;  // 1.5x: charges 2/3 of nominal
+    arch::ProcessingElement pe{kern, "pe", cfg};
+    EXPECT_EQ(pe.os().scaled_exec(nanoseconds(900)), nanoseconds(600));
+    EXPECT_EQ(pe.os().scaled_exec(SimTime::zero()), SimTime::zero());
+    EXPECT_DOUBLE_EQ(pe.speed(), 1.5);
+}
+
+TEST(SpeedScalingTest, IoWaitNeverScales) {
+    // Bus occupancy / external I/O has a fixed wall duration: io_wait on a
+    // speed-4 core must still elapse the nominal time.
+    Kernel kern;
+    rtos::RtosConfig cfg;
+    cfg.speed_num = 4;
+    arch::ProcessingElement pe{kern, "fast", cfg};
+    SimTime io_done, exec_done;
+    pe.add_task("t", 1, [&] {
+        pe.os().io_wait(80_us);
+        io_done = kern.now();
+        pe.os().time_wait(80_us);
+        exec_done = kern.now();
+    });
+    pe.start();
+    kern.run();
+    EXPECT_EQ(io_done, 80_us);                  // unscaled
+    EXPECT_EQ(exec_done - io_done, 20_us);      // scaled by 4
+}
+
+TEST(SpeedScalingTest, ElaboratedSystemChargesScaledCost) {
+    // The same app on a speed-2 PE finishes its exec phases in half the time;
+    // with zero-cost transport the end-to-end latency halves exactly.
+    Triple t = make_pipeline(1);
+    t.platform.buses[0] = sys::BusSpec{"bus", SimTime::zero(), SimTime::zero()};
+    SimTime latency[2];
+    for (int i = 0; i < 2; ++i) {
+        Triple v = t;
+        if (i == 1) {
+            v.platform.pes[0].speed_num = 2;
+            v.platform.pes[1].speed_num = 2;
+        }
+        sys::System system{v.app, v.platform, v.mapping};
+        system.run();
+        ASSERT_EQ(system.latencies().size(), 1u);
+        latency[i] = system.latencies().front();
+    }
+    EXPECT_EQ(latency[0], 150_us);  // 100 us producer + 50 us consumer
+    EXPECT_EQ(latency[1], 75_us);   // exactly halved
+}
+
+// ---- mapping enumeration ----
+
+TEST(SweepTest, EnumerationCoversAssignmentSpaceDeterministically) {
+    const Triple t = make_pipeline();
+    sys::EnumOptions opts;
+    opts.default_bus = "bus";
+    const std::vector<sys::MappingSpec> a =
+        sys::enumerate_mappings(t.app, t.platform, opts);
+    const std::vector<sys::MappingSpec> b =
+        sys::enumerate_mappings(t.app, t.platform, opts);
+    ASSERT_EQ(a.size(), 4u);  // 2 PEs ^ 2 tasks
+    std::set<std::string> summaries;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, "m" + std::to_string(i));
+        EXPECT_EQ(a[i].summary(), b[i].summary());  // stable order
+        summaries.insert(a[i].summary());
+        EXPECT_TRUE(sys::validate(t.app, t.platform, a[i]).empty()) << a[i].name;
+    }
+    EXPECT_EQ(summaries.size(), 4u);  // all distinct
+}
+
+TEST(SweepTest, EnumerationAppliesColocationRule) {
+    const Triple t = make_pipeline();
+    sys::EnumOptions opts;
+    opts.default_bus = "bus";
+    for (const sys::MappingSpec& m : sys::enumerate_mappings(t.app, t.platform, opts)) {
+        EXPECT_EQ(m.route("in")->bus, "bus");  // stimulus channel always on bus
+        const bool colocated =
+            m.binding("producer")->pe == m.binding("consumer")->pe;
+        EXPECT_EQ(m.route("out")->bus, colocated ? "" : "bus") << m.summary();
+    }
+}
+
+TEST(SweepTest, PinnedTasksAreExcludedFromTheSweep) {
+    const Triple t = make_pipeline();
+    sys::EnumOptions opts;
+    opts.default_bus = "bus";
+    opts.pinned = {sys::TaskBinding{"producer", "PE0", 1}};
+    const std::vector<sys::MappingSpec> ms =
+        sys::enumerate_mappings(t.app, t.platform, opts);
+    ASSERT_EQ(ms.size(), 2u);  // only the consumer sweeps
+    for (const sys::MappingSpec& m : ms) {
+        EXPECT_EQ(m.binding("producer")->pe, "PE0");
+    }
+}
+
+TEST(SweepTest, PriorityPermutationsMultiplyCandidates) {
+    const Triple t = make_pipeline();
+    sys::EnumOptions opts;
+    opts.default_bus = "bus";
+    opts.sweep_priorities = true;
+    const std::vector<sys::MappingSpec> ms =
+        sys::enumerate_mappings(t.app, t.platform, opts);
+    // Split assignments have one task per PE (1! * 1! = 1 variant); co-located
+    // assignments have two on one PE (2! = 2 variants): 2*1 + 2*2 = 6.
+    EXPECT_EQ(ms.size(), 6u);
+    std::set<std::string> names;
+    for (const sys::MappingSpec& m : ms) {
+        names.insert(m.name);
+        EXPECT_TRUE(sys::validate(t.app, t.platform, m).empty()) << m.name;
+    }
+    EXPECT_EQ(names.size(), ms.size());  // variant names stay unique
+}
+
+// ---- sweep evaluation + determinism ----
+
+TEST(SweepTest, RunSweepFillsEnumerationOrderSlots) {
+    const Triple t = make_pipeline(2);
+    sys::EnumOptions opts;
+    opts.default_bus = "bus";
+    const std::vector<sys::MappingSpec> ms =
+        sys::enumerate_mappings(t.app, t.platform, opts);
+    const sys::SweepResult res = sys::run_sweep(t.app, t.platform, ms);
+    ASSERT_EQ(res.candidates.size(), ms.size());
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+        EXPECT_EQ(res.candidates[i].mapping.name, ms[i].name);
+        EXPECT_EQ(res.candidates[i].metrics.jobs_completed, 4u);
+    }
+    const std::vector<std::size_t> ranking = res.ranking();
+    ASSERT_EQ(ranking.size(), ms.size());
+    std::set<std::size_t> unique(ranking.begin(), ranking.end());
+    EXPECT_EQ(unique.size(), ms.size());  // a permutation of the indices
+}
+
+TEST(SweepTest, SweepJsonIsByteIdenticalAcrossJobCounts) {
+    const Triple t = make_pipeline(2);
+    sys::EnumOptions opts;
+    opts.default_bus = "bus";
+    const std::vector<sys::MappingSpec> ms =
+        sys::enumerate_mappings(t.app, t.platform, opts);
+    std::string serial;
+    for (const unsigned jobs : {1u, 2u, 4u}) {
+        sys::SweepConfig cfg;
+        cfg.jobs = jobs;
+        parallel::ParallelStats stats;
+        const sys::SweepResult res =
+            sys::run_sweep(t.app, t.platform, ms, cfg, {}, &stats);
+        std::ostringstream json;
+        sys::write_sweep_json(json, res);
+        EXPECT_NE(json.str().find("\"schema\":\"slm-sweep-result-v1\""),
+                  std::string::npos);
+        if (jobs == 1) {
+            serial = json.str();
+            EXPECT_EQ(stats.workers, 1u);
+        } else {
+            EXPECT_EQ(json.str(), serial) << "jobs=" << jobs;
+        }
+    }
+}
