@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Run the kernel + RTOS + trace + ISS + parallel + arch benchmark suites and
-# leave machine-readable BENCH_kernel.json / BENCH_rtos.json /
-# BENCH_trace.json / BENCH_iss.json / BENCH_parallel.json / BENCH_arch.json
-# behind. Designed to be runnable both by
+# Run the kernel + RTOS + trace + ISS + parallel + arch + spans benchmark
+# suites and leave machine-readable BENCH_kernel.json / BENCH_rtos.json /
+# BENCH_trace.json / BENCH_iss.json / BENCH_parallel.json / BENCH_arch.json /
+# BENCH_spans.json behind. Designed to be runnable both by
 # hand and from CI:
 #
 #   bench/run_benches.sh                     # full run, ./build, ./BENCH_*.json
@@ -27,6 +27,7 @@ trace_out=BENCH_trace.json
 iss_out=BENCH_iss.json
 parallel_out=BENCH_parallel.json
 arch_out=BENCH_arch.json
+spans_out=BENCH_spans.json
 smoke_flag=""
 run_micro=0
 
@@ -40,13 +41,14 @@ while [[ $# -gt 0 ]]; do
     --iss-out) iss_out="$2"; shift ;;
     --parallel-out) parallel_out="$2"; shift ;;
     --arch-out) arch_out="$2"; shift ;;
+    --spans-out) spans_out="$2"; shift ;;
     --micro) run_micro=1 ;;
-    *) echo "usage: $0 [--smoke] [--build-dir DIR] [--out FILE] [--rtos-out FILE] [--trace-out FILE] [--iss-out FILE] [--parallel-out FILE] [--arch-out FILE] [--micro]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--smoke] [--build-dir DIR] [--out FILE] [--rtos-out FILE] [--trace-out FILE] [--iss-out FILE] [--parallel-out FILE] [--arch-out FILE] [--spans-out FILE] [--micro]" >&2; exit 2 ;;
   esac
   shift
 done
 
-required="bench_ctx bench_rtos bench_trace bench_iss bench_parallel bench_arch"
+required="bench_ctx bench_rtos bench_trace bench_iss bench_parallel bench_arch bench_spans"
 if [[ "$run_micro" == 1 ]]; then
   required="$required bench_micro"
 fi
@@ -63,6 +65,7 @@ done
 "$build_dir/bench/bench_iss" $smoke_flag --out "$iss_out"
 "$build_dir/bench/bench_parallel" $smoke_flag --out "$parallel_out"
 "$build_dir/bench/bench_arch" $smoke_flag --out "$arch_out"
+"$build_dir/bench/bench_spans" $smoke_flag --out "$spans_out"
 
 if [[ "$run_micro" == 1 ]]; then
   if [[ -n "$smoke_flag" ]]; then

@@ -84,3 +84,21 @@ END {
   printf "check_prom: OK (%d sample lines)\n", series
 }
 ' "$prom"
+
+# The span-tracing families (docs/span-tracing.md) must be present: counts of
+# recorded/open spans and the worst critical path's total plus its exact
+# per-category breakdown, one labelled series per path category.
+for family in slm_span_records slm_span_strings slm_span_open \
+              slm_span_latency_records slm_span_critical_path_total_ns; do
+  if ! grep -Eq "^$family(\{[^}]*\})? " "$prom"; then
+    echo "check_prom: missing span metric family $family" >&2
+    exit 1
+  fi
+done
+for category in compute bus ready preempt block deliver dst_busy env other; do
+  if ! grep -q "^slm_span_critical_path_ns{category=\"$category\"} " "$prom"; then
+    echo "check_prom: missing slm_span_critical_path_ns category \"$category\"" >&2
+    exit 1
+  fi
+done
+echo "check_prom: OK (slm_span_* families present)"

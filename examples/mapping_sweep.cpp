@@ -5,9 +5,15 @@
 // JSON (--dump) is byte-identical serial vs parallel, which ci/check_sweep.sh
 // enforces. See docs/system-mapping.md for the flow.
 //
+// --spans additionally runs the sweep with critical-path attribution (every
+// candidate annotated with its worst latency sample's exact per-category
+// breakdown and bottleneck) and, with --replay-winner, appends the winner
+// replay's full span dump — all still byte-identical at any --jobs, which
+// ci/check_spans.sh enforces.
+//
 // Build & run:  ./build/examples/mapping_sweep --frames 6
 //               ./build/examples/mapping_sweep --frames 6 --jobs 8 --dump out.json
-//               ./build/examples/mapping_sweep --replay-winner
+//               ./build/examples/mapping_sweep --spans --replay-winner
 
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +21,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/span.hpp"
 #include "sys/sweep.hpp"
 #include "vocoder/system.hpp"
 
@@ -25,6 +32,7 @@ int main(int argc, char** argv) {
     unsigned jobs = 1;
     const char* dump_path = nullptr;
     bool replay_winner = false;
+    bool spans = false;
     bool quiet = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc) {
@@ -35,12 +43,14 @@ int main(int argc, char** argv) {
             dump_path = argv[++i];
         } else if (std::strcmp(argv[i], "--replay-winner") == 0) {
             replay_winner = true;
+        } else if (std::strcmp(argv[i], "--spans") == 0) {
+            spans = true;
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
             quiet = true;
         } else {
             std::fprintf(stderr,
                          "usage: mapping_sweep [--frames N] [--jobs N] [--dump FILE]"
-                         " [--replay-winner] [--quiet]\n");
+                         " [--replay-winner] [--spans] [--quiet]\n");
             return 2;
         }
     }
@@ -57,6 +67,7 @@ int main(int argc, char** argv) {
     sys::SweepConfig scfg;
     scfg.jobs = jobs;
     scfg.options.base_rtos = cfg.rtos;
+    scfg.attribute = spans;
     parallel::ParallelStats stats;
     const sys::SweepResult result =
         sys::run_sweep(app, platform, candidates, scfg, vocoder::vocoder_setup(cfg),
@@ -66,16 +77,18 @@ int main(int argc, char** argv) {
     if (!quiet) {
         std::printf("%zu candidates, %zu frames, %llu workers\n\n", candidates.size(),
                     frames, static_cast<unsigned long long>(stats.workers));
-        std::printf("%-4s %-6s %-40s %8s %10s %10s\n", "rank", "name", "mapping",
-                    "misses", "p95", "max");
+        std::printf("%-4s %-6s %-40s %8s %10s %10s %-10s\n", "rank", "name", "mapping",
+                    "misses", "p95", "max", spans ? "bottleneck" : "");
         for (std::size_t r = 0; r < ranking.size(); ++r) {
             const sys::CandidateResult& c = result.candidates[ranking[r]];
-            std::printf("%-4zu %-6s %-40s %8llu %10s %10s\n", r + 1,
+            std::printf("%-4zu %-6s %-40s %8llu %10s %10s %-10s\n", r + 1,
                         c.mapping.name.c_str(), c.mapping.summary().c_str(),
                         static_cast<unsigned long long>(
                             c.metrics.task_deadline_misses + c.metrics.latency_misses),
                         c.metrics.latency_p95.to_string().c_str(),
-                        c.metrics.latency_max.to_string().c_str());
+                        c.metrics.latency_max.to_string().c_str(),
+                        c.attribution.valid ? obs::to_string(c.attribution.bottleneck())
+                                            : "");
         }
     }
 
@@ -87,18 +100,29 @@ int main(int argc, char** argv) {
     // CI byte-compare covers replay determinism too.
     if (replay_winner && !ranking.empty()) {
         const sys::MappingSpec& winner = result.candidates[ranking.front()].mapping;
+        obs::SpanRecorder rec;
         sys::SystemOptions opts;
         opts.base_rtos = cfg.rtos;
-        sys::System system{app, platform, winner, opts};
-        (void)vocoder::attach_vocoder_behaviors(system, cfg);
-        system.run();
-        const sys::SystemMetrics m = system.metrics();
+        if (spans) {
+            opts.spans = &rec;
+        }
+        const sys::SystemMetrics m = [&] {
+            // Scope the System so its teardown closes every open span before
+            // the dump — the replay dump must show a fully closed stream.
+            sys::System system{app, platform, winner, opts};
+            (void)vocoder::attach_vocoder_behaviors(system, cfg);
+            system.run();
+            return system.metrics();
+        }();
         out << "{\"schema\":\"slm-sweep-replay-v1\",\"winner\":\"" << winner.name
             << "\",\"sim_ns\":" << m.sim_duration.ns()
             << ",\"jobs_completed\":" << m.jobs_completed
             << ",\"task_deadline_misses\":" << m.task_deadline_misses
             << ",\"latency_misses\":" << m.latency_misses
             << ",\"latency_max_ns\":" << m.latency_max.ns() << "}\n";
+        if (spans) {
+            obs::write_span_json(out, rec);
+        }
         if (!quiet) {
             std::printf("\nreplayed winner %s: sim %s, %llu misses, max latency %s\n",
                         winner.name.c_str(), m.sim_duration.to_string().c_str(),

@@ -15,14 +15,21 @@
 //      window + one-shot crash) against a watchdog-protected workload; the
 //      injection and recovery counters land in the shared registry as
 //      slm_fault_* gauges.
-//   5. Priority-inversion demo — three tasks sharing a Protocol::None mutex;
+//   5. Token span tracing — the two-PE vocoder under an obs::SpanRecorder:
+//      per-frame critical paths with the exact per-category latency
+//      breakdown (docs/span-tracing.md), slm_span_* gauges in the shared
+//      registry, and optional exports: --spans FILE (canonical span dump)
+//      and --perfetto FILE (Chrome trace-event JSON). Exporting from an
+//      empty recorder is a hard error, never a silent skip.
+//   6. Priority-inversion demo — three tasks sharing a Protocol::None mutex;
 //      the analytics inversion detector reports the unbounded-inversion
 //      window with its blocking chain, and the shared metrics registry
 //      (kernel + OS gauges, analytics counters/histograms, fault counters)
 //      is exported as Prometheus text (--prom) and JSON (--json).
 //      ci/check_prom.sh validates that export.
 //
-// Usage: slm-report [--frames N] [--prom FILE] [--json FILE] [--quiet]
+// Usage: slm-report [--frames N] [--prom FILE] [--json FILE] [--spans FILE]
+//                   [--perfetto FILE] [--quiet]
 
 #include <cstdio>
 #include <cstring>
@@ -36,6 +43,7 @@
 #include "obs/analytics.hpp"
 #include "obs/binary_trace.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "rtos/os_channels.hpp"
 #include "rtos/rtos.hpp"
 #include "sim/kernel.hpp"
@@ -163,31 +171,115 @@ void section_mapping_sweep(std::size_t frames) {
         sys::enumerate_mappings(app, platform, vocoder::vocoder_enum_options());
     sys::SweepConfig scfg;
     scfg.options.base_rtos = cfg.rtos;
+    scfg.attribute = true;  // every candidate annotated with its bottleneck
     const sys::SweepResult result = sys::run_sweep(app, platform, candidates, scfg,
                                                    vocoder::vocoder_setup(cfg));
     if (g_quiet) {
         return;
     }
     const std::vector<std::size_t> ranking = result.ranking();
-    std::printf("%-4s %-42s %6s %12s %12s %10s\n", "rank", "mapping", "misses",
-                "lat p95", "lat max", "bus busy");
+    std::printf("%-4s %-42s %6s %12s %12s %10s %-10s\n", "rank", "mapping", "misses",
+                "lat p95", "lat max", "bus busy", "bottleneck");
     for (std::size_t r = 0; r < ranking.size(); ++r) {
         const sys::CandidateResult& c = result.candidates[ranking[r]];
         SimTime bus_busy;
         for (const sys::BusMetrics& b : c.metrics.buses) {
             bus_busy += b.busy;
         }
-        std::printf("%-4zu %-42s %6llu %12s %12s %10s\n", r + 1,
+        std::printf("%-4zu %-42s %6llu %12s %12s %10s %-10s\n", r + 1,
                     c.mapping.summary().c_str(),
                     static_cast<unsigned long long>(c.metrics.task_deadline_misses +
                                                     c.metrics.latency_misses),
                     c.metrics.latency_p95.to_string().c_str(),
                     c.metrics.latency_max.to_string().c_str(),
-                    bus_busy.to_string().c_str());
+                    bus_busy.to_string().c_str(),
+                    c.attribution.valid ? obs::to_string(c.attribution.bottleneck())
+                                        : "-");
     }
     const sys::CandidateResult& best = result.candidates[ranking.front()];
-    std::printf("\nbest mapping: %s (%s)\n", best.mapping.name.c_str(),
+    std::printf("\nbest mapping: %s (%s)", best.mapping.name.c_str(),
                 best.mapping.summary().c_str());
+    if (best.attribution.valid) {
+        std::printf(" — worst frame %llu ns, critical path dominated by %s",
+                    static_cast<unsigned long long>(best.attribution.total_ns),
+                    obs::to_string(best.attribution.bottleneck()));
+    }
+    std::printf("\n");
+}
+
+/// Section 5: the two-PE vocoder under span tracing — per-frame critical
+/// paths (exactness checked), slm_span_* gauges, optional exports.
+int section_spans(obs::Registry& reg, std::size_t frames, const std::string& spans_path,
+                  const std::string& perfetto_path) {
+    heading("Token span tracing (two-PE vocoder, critical-path attribution)");
+    vocoder::VocoderConfig cfg;
+    cfg.frames = frames;
+    obs::SpanRecorder rec;
+    {
+        sys::SystemOptions opts;
+        opts.base_rtos = cfg.rtos;
+        opts.spans = &rec;
+        sys::System system{vocoder::vocoder_app_spec(cfg.frames),
+                           vocoder::vocoder_two_pe_platform(cfg),
+                           vocoder::vocoder_split_mapping(), opts};
+        (void)vocoder::attach_vocoder_behaviors(system, cfg);
+        system.run();
+    }
+    const std::vector<obs::CriticalPath> paths = obs::extract_critical_paths(rec);
+    bool all_exact = true;
+    for (const obs::CriticalPath& cp : paths) {
+        all_exact = all_exact && cp.exact();
+    }
+    if (!g_quiet) {
+        std::printf("%zu spans over %zu frames; critical-path sums %s\n", rec.size(),
+                    paths.size(), all_exact ? "exact" : "INEXACT");
+        const obs::CriticalPath worst = obs::worst_critical_path(rec);
+        if (worst.valid) {
+            std::printf("worst frame %llu: %llu ns end-to-end, %zu hops\n",
+                        static_cast<unsigned long long>(worst.token_id),
+                        static_cast<unsigned long long>(worst.total_ns), worst.hops);
+            for (std::size_t c = 0; c < obs::kPathCategoryCount; ++c) {
+                if (worst.by_category[c] != 0) {
+                    std::printf("    %-8s %9llu ns\n",
+                                obs::to_string(static_cast<obs::PathCategory>(c)),
+                                static_cast<unsigned long long>(worst.by_category[c]));
+                }
+            }
+        }
+    }
+    obs::register_span_stats(reg, rec);
+    // Export requests against an empty recorder are configuration errors —
+    // fail loudly rather than writing a vacuous file.
+    if ((!spans_path.empty() || !perfetto_path.empty()) && rec.size() == 0) {
+        std::fprintf(stderr,
+                     "slm-report: no spans recorded; --spans/--perfetto need a "
+                     "traced run (frames > 0)\n");
+        return 1;
+    }
+    if (!spans_path.empty()) {
+        std::ofstream out{spans_path};
+        obs::write_span_json(out, rec);
+        if (!out.good()) {
+            std::fprintf(stderr, "slm-report: cannot write %s\n", spans_path.c_str());
+            return 1;
+        }
+        if (!g_quiet) {
+            std::printf("wrote span dump to %s\n", spans_path.c_str());
+        }
+    }
+    if (!perfetto_path.empty()) {
+        std::ofstream out{perfetto_path};
+        obs::write_perfetto_json(out, rec);
+        if (!out.good()) {
+            std::fprintf(stderr, "slm-report: cannot write %s\n",
+                         perfetto_path.c_str());
+            return 1;
+        }
+        if (!g_quiet) {
+            std::printf("wrote Chrome trace-event JSON to %s\n", perfetto_path.c_str());
+        }
+    }
+    return all_exact ? 0 : 1;
 }
 
 void section_faults(obs::Registry& reg) {
@@ -349,6 +441,8 @@ int main(int argc, char** argv) {
     std::size_t frames = 10;
     std::string prom_path;
     std::string json_path;
+    std::string spans_path;
+    std::string perfetto_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc) {
             frames = static_cast<std::size_t>(std::atoi(argv[++i]));
@@ -356,19 +450,28 @@ int main(int argc, char** argv) {
             prom_path = argv[++i];
         } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
             json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--spans") == 0 && i + 1 < argc) {
+            spans_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--perfetto") == 0 && i + 1 < argc) {
+            perfetto_path = argv[++i];
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
             g_quiet = true;
         } else {
             std::fprintf(stderr,
                          "usage: slm-report [--frames N] [--prom FILE] "
-                         "[--json FILE] [--quiet]\n");
+                         "[--json FILE] [--spans FILE] [--perfetto FILE] "
+                         "[--quiet]\n");
             return 2;
         }
     }
-    obs::Registry reg;  // shared by the fault + inversion sections (--prom/--json)
+    obs::Registry reg;  // shared by the span + fault + inversion sections
     section_fig8();
     section_vocoder(frames);
     section_mapping_sweep(frames);
+    const int spans_rc = section_spans(reg, frames, spans_path, perfetto_path);
+    if (spans_rc != 0) {
+        return spans_rc;
+    }
     section_faults(reg);
     section_inversion(reg, prom_path, json_path);
     return 0;

@@ -1,0 +1,133 @@
+// Token-level causal span tracing on the two-PE vocoder (docs/span-tracing.md):
+// elaborate the canonical driver+encoder | decoder split with an
+// obs::SpanRecorder wired in, extract the critical path of every decoded
+// frame, and print the exact per-category latency breakdown. The program
+// exits nonzero unless, for EVERY token, the per-category segments sum to the
+// observed end-to-end latency in integer nanoseconds — the no-estimation
+// guarantee the span model is built around.
+//
+// Build & run:  ./build/examples/token_trace --frames 4
+//               ./build/examples/token_trace --dump spans.jsonl
+//               ./build/examples/token_trace --perfetto trace.json   # chrome://tracing
+//
+// --dump writes the canonical span dump (byte-identical across runs,
+// ci/check_spans.sh); --perfetto writes Chrome trace-event JSON with per-PE
+// tracks, per-task rows, and flow arrows following each frame across PEs.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "obs/span.hpp"
+#include "vocoder/system.hpp"
+
+using namespace slm;
+
+int main(int argc, char** argv) {
+    std::size_t frames = 4;
+    const char* dump_path = nullptr;
+    const char* perfetto_path = nullptr;
+    bool quiet = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc) {
+            frames = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--dump") == 0 && i + 1 < argc) {
+            dump_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--perfetto") == 0 && i + 1 < argc) {
+            perfetto_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            quiet = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: token_trace [--frames N] [--dump FILE]"
+                         " [--perfetto FILE] [--quiet]\n");
+            return 2;
+        }
+    }
+
+    vocoder::VocoderConfig cfg;
+    cfg.frames = frames;
+
+    obs::SpanRecorder rec;
+    std::shared_ptr<vocoder::VocoderSysOutcome> outcome;
+    {
+        // Scoped so core teardown closes every task-state span before export.
+        sys::SystemOptions opts;
+        opts.base_rtos = cfg.rtos;
+        opts.spans = &rec;
+        sys::System system{vocoder::vocoder_app_spec(cfg.frames),
+                           vocoder::vocoder_two_pe_platform(cfg),
+                           vocoder::vocoder_split_mapping(), opts};
+        outcome = vocoder::attach_vocoder_behaviors(system, cfg);
+        system.run();
+    }
+
+    const std::vector<obs::CriticalPath> paths = obs::extract_critical_paths(rec);
+    if (!quiet) {
+        std::printf("%zu spans (%zu strings, %zu open), %zu frames traced\n\n",
+                    rec.size(), rec.string_count(), rec.open_count(), paths.size());
+    }
+
+    bool all_exact = !paths.empty();
+    for (const obs::CriticalPath& cp : paths) {
+        if (!cp.exact()) {
+            all_exact = false;
+        }
+        if (quiet) {
+            continue;
+        }
+        std::printf("frame %llu: %llu ns end-to-end, %zu hops, bottleneck %s%s\n",
+                    static_cast<unsigned long long>(cp.token_id),
+                    static_cast<unsigned long long>(cp.total_ns), cp.hops,
+                    obs::to_string(cp.bottleneck()),
+                    cp.exact() ? "" : "  [SEGMENTS DO NOT SUM]");
+        for (std::size_t c = 0; c < obs::kPathCategoryCount; ++c) {
+            if (cp.by_category[c] == 0) {
+                continue;
+            }
+            std::printf("    %-8s %9llu ns  (%5.1f%%)\n",
+                        obs::to_string(static_cast<obs::PathCategory>(c)),
+                        static_cast<unsigned long long>(cp.by_category[c]),
+                        100.0 * static_cast<double>(cp.by_category[c]) /
+                            static_cast<double>(cp.total_ns));
+        }
+    }
+
+    if (dump_path != nullptr) {
+        std::ofstream f{dump_path};
+        obs::write_span_json(f, rec);
+        if (!f.good()) {
+            return 1;
+        }
+        if (!quiet) {
+            std::printf("\nwrote span dump to %s\n", dump_path);
+        }
+    }
+    if (perfetto_path != nullptr) {
+        std::ofstream f{perfetto_path};
+        obs::write_perfetto_json(f, rec);
+        if (!f.good()) {
+            return 1;
+        }
+        if (!quiet) {
+            std::printf("wrote Chrome trace-event JSON to %s\n", perfetto_path);
+        }
+    }
+
+    if (!all_exact) {
+        std::fprintf(stderr,
+                     "FAIL: critical-path segments do not sum to the observed "
+                     "latency for every token\n");
+        return 1;
+    }
+    if (!outcome->data_ok) {
+        std::fprintf(stderr, "FAIL: decoded audio corrupt\n");
+        return 1;
+    }
+    if (!quiet) {
+        std::printf("\nall %zu critical paths exact (sum == observed latency)\n",
+                    paths.size());
+    }
+    return 0;
+}

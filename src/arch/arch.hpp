@@ -129,14 +129,26 @@ class BusLink {
 public:
     BusLink(sim::Kernel& kernel, Bus& bus, std::string name,
             std::size_t message_bytes = sizeof(T))
-        : bus_(bus), irq_(kernel, name), bytes_(message_bytes) {}
+        : kernel_(kernel), bus_(bus), irq_(kernel, name), bytes_(message_bytes) {}
+
+    /// Observation hook fired after each completed post() with the message
+    /// and the transfer window [begin, end) — begin is taken before
+    /// arbitration, so the window covers wait-for-grant plus the data phase.
+    /// Purely observational (sys::System installs one per bus-routed channel
+    /// to emit BusXfer spans when span tracing is on).
+    using PostHook = std::function<void(const T&, SimTime begin, SimTime end, int master)>;
+    void set_post_hook(PostHook hook) { post_hook_ = std::move(hook); }
 
     /// Sender side: transfer + interrupt. `waiter` spends the bus time in the
     /// sender's time domain (os.time_wait for tasks, kernel.waitfor for raw
     /// processes / external device models). `master` feeds the bus
     /// arbitration (Priority/Tdma schemes).
     void post(T msg, const std::function<void(SimTime)>& waiter, int master = 0) {
+        const SimTime begin = kernel_.now();
         bus_.occupy(bytes_, waiter, master);
+        if (post_hook_) {
+            post_hook_(msg, begin, kernel_.now(), master);
+        }
         rx_.push_back(std::move(msg));
         irq_.raise();
     }
@@ -155,10 +167,12 @@ public:
     [[nodiscard]] std::size_t pending() const { return rx_.size(); }
 
 private:
+    sim::Kernel& kernel_;
     Bus& bus_;
     InterruptLine irq_;
     std::deque<T> rx_;
     std::size_t bytes_;
+    PostHook post_hook_;
 };
 
 /// A prioritized interrupt controller with masking: multiple interrupt lines

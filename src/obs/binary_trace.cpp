@@ -1,5 +1,6 @@
 #include "obs/binary_trace.hpp"
 
+#include <cstdio>
 #include <istream>
 #include <ostream>
 
@@ -62,109 +63,59 @@ bool get_u64(std::istream& is, std::uint64_t& v) {
 
 }  // namespace
 
-BinaryTraceSink::BinaryTraceSink() {
-    strings_.emplace_back();  // id 0 is always the empty string
-    ids_.emplace(std::string_view{strings_.back()}, 0);
-}
-
-std::uint32_t BinaryTraceSink::intern(std::string_view s) {
-    if (s.empty()) {
-        return 0;
-    }
-    auto h = reinterpret_cast<std::uintptr_t>(s.data());
-    h ^= (h >> 4) ^ (h >> 11);
-    CacheSlot& slot = cache_[h & (kCacheSize - 1)];
-    // Verify by content, not by pointer: the slot only *suggests* an id.
-    if (slot.size == s.size() && slot.data != nullptr &&
-        std::memcmp(slot.data, s.data(), s.size()) == 0) {
-        return slot.id;
-    }
-    std::uint32_t id;
-    if (const auto it = ids_.find(s); it != ids_.end()) {
-        id = it->second;
-    } else {
-        id = static_cast<std::uint32_t>(strings_.size());
-        strings_.emplace_back(s);  // deque: stable storage for the map's keys
-        ids_.emplace(std::string_view{strings_.back()}, id);
-    }
-    slot = CacheSlot{strings_[id].data(), s.size(), id};
-    return id;
-}
-
-void BinaryTraceSink::grow() {
-    // for_overwrite: skip zero-initialization — every slot is written before
-    // it is ever read (size_ gates all reads).
-    chunks_.push_back(std::make_unique_for_overwrite<BinRecord[]>(kChunkSize));
-    tail_ = chunks_.back().get();
-    tail_end_ = tail_ + kChunkSize;
-}
-
 void BinaryTraceSink::push(SimTime t, trace::RecordKind kind, std::uint32_t cpu,
                            std::uint32_t actor, std::uint32_t detail) {
     SLM_ASSERT(t.ns() >= last_t_ns_,
                "trace records must arrive in nondecreasing time order");
     last_t_ns_ = t.ns();
-    if (tail_ == tail_end_) {
-        grow();
-    }
-    *tail_++ = BinRecord{t.ns(), static_cast<std::uint32_t>(kind), cpu, actor, detail};
-    ++size_;
+    records_.append(
+        BinRecord{t.ns(), static_cast<std::uint32_t>(kind), cpu, actor, detail});
 }
 
 void BinaryTraceSink::exec_begin(SimTime t, std::string_view cpu, std::string_view actor) {
-    push(t, trace::RecordKind::ExecBegin, intern(cpu), intern(actor), 0);
+    push(t, trace::RecordKind::ExecBegin, strings_.intern(cpu), strings_.intern(actor), 0);
 }
 
 void BinaryTraceSink::exec_end(SimTime t, std::string_view cpu, std::string_view actor) {
-    push(t, trace::RecordKind::ExecEnd, intern(cpu), intern(actor), 0);
+    push(t, trace::RecordKind::ExecEnd, strings_.intern(cpu), strings_.intern(actor), 0);
 }
 
 void BinaryTraceSink::task_state(SimTime t, std::string_view cpu, std::string_view actor,
                                  std::string_view state) {
-    push(t, trace::RecordKind::TaskState, intern(cpu), intern(actor), intern(state));
+    push(t, trace::RecordKind::TaskState, strings_.intern(cpu), strings_.intern(actor),
+         strings_.intern(state));
 }
 
 void BinaryTraceSink::context_switch(SimTime t, std::string_view cpu, std::string_view to,
                                      std::string_view from) {
-    push(t, trace::RecordKind::ContextSwitch, intern(cpu), intern(to), intern(from));
+    push(t, trace::RecordKind::ContextSwitch, strings_.intern(cpu), strings_.intern(to),
+         strings_.intern(from));
 }
 
 void BinaryTraceSink::irq(SimTime t, std::string_view cpu, std::string_view irq_name) {
-    push(t, trace::RecordKind::Irq, intern(cpu), intern(irq_name), 0);
+    push(t, trace::RecordKind::Irq, strings_.intern(cpu), strings_.intern(irq_name), 0);
 }
 
 void BinaryTraceSink::channel_op(SimTime t, std::string_view channel, std::string_view op) {
     // Mirrors trace::Record for ChannelOp: cpu empty, actor = channel,
     // detail = op (so replay reproduces a direct recording byte-for-byte).
-    push(t, trace::RecordKind::ChannelOp, 0, intern(channel), intern(op));
+    push(t, trace::RecordKind::ChannelOp, 0, strings_.intern(channel),
+         strings_.intern(op));
 }
 
 void BinaryTraceSink::marker(SimTime t, std::string_view text) {
-    push(t, trace::RecordKind::Marker, 0, 0, intern(text));
+    push(t, trace::RecordKind::Marker, 0, 0, strings_.intern(text));
 }
 
 void BinaryTraceSink::clear() {
-    chunks_.clear();
-    tail_ = tail_end_ = nullptr;
-    size_ = 0;
-    last_t_ns_ = 0;
+    records_.clear();
     strings_.clear();
-    ids_.clear();
-    for (CacheSlot& s : cache_) {
-        s = CacheSlot{};
-    }
-    strings_.emplace_back();
-    ids_.emplace(std::string_view{strings_.back()}, 0);
-}
-
-const std::string& BinaryTraceSink::str(std::uint32_t id) const {
-    SLM_ASSERT(id < strings_.size(), "string id out of range");
-    return strings_[id];
+    last_t_ns_ = 0;
 }
 
 void BinaryTraceSink::replay_into(trace::TraceSink& out) const {
-    for (std::size_t i = 0; i < size_; ++i) {
-        const BinRecord& r = record(i);
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        const BinRecord& r = records_[i];
         const SimTime t = nanoseconds(r.t_ns);
         switch (static_cast<trace::RecordKind>(r.kind)) {
             case trace::RecordKind::TaskState:
@@ -198,17 +149,111 @@ trace::TraceRecorder BinaryTraceSink::to_recorder() const {
     return rec;
 }
 
+void BinaryTraceSink::write_chrome_trace(std::ostream& os) const {
+    // Mirrors TraceRecorder::write_chrome_trace exactly (same event order,
+    // same fixed-point rendering) so the two export paths stay byte-identical
+    // — the equivalence is pinned by tests/test_obs.cpp.
+    os << "[";
+    bool first = true;
+    const auto emit = [&](const std::string& json) {
+        if (!first) {
+            os << ",";
+        }
+        first = false;
+        os << "\n" << json;
+    };
+    const auto us = [](std::uint64_t t_ns) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(t_ns) / 1000.0);
+        return std::string(buf);
+    };
+    constexpr auto kExecBegin = static_cast<std::uint32_t>(trace::RecordKind::ExecBegin);
+    constexpr auto kExecEnd = static_cast<std::uint32_t>(trace::RecordKind::ExecEnd);
+    constexpr auto kTaskState = static_cast<std::uint32_t>(trace::RecordKind::TaskState);
+    constexpr auto kIrq = static_cast<std::uint32_t>(trace::RecordKind::Irq);
+
+    // Actors in first-appearance order, deduplicated by *value* (a loaded
+    // stream's table may alias one name under several ids).
+    std::vector<std::uint32_t> actor_ids;
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        const BinRecord& r = records_[i];
+        if (r.kind != kExecBegin && r.kind != kExecEnd && r.kind != kTaskState) {
+            continue;
+        }
+        const std::string& a = str(r.actor);
+        bool seen = false;
+        for (const std::uint32_t id : actor_ids) {
+            if (str(id) == a) {
+                seen = true;
+                break;
+            }
+        }
+        if (!seen) {
+            actor_ids.push_back(r.actor);
+        }
+    }
+
+    int tid = 1;
+    for (const std::uint32_t id : actor_ids) {
+        const std::string& a = str(id);
+        const std::string name = trace::json_escape(a);
+        emit(R"({"name":"thread_name","ph":"M","pid":1,"tid":)" + std::to_string(tid) +
+             R"(,"args":{"name":")" + name + "\"}}");
+        const auto emit_interval = [&](std::uint64_t begin, std::uint64_t end) {
+            emit(R"({"name":")" + name + R"(","ph":"X","pid":1,"tid":)" +
+                 std::to_string(tid) + R"(,"ts":)" + us(begin) + R"(,"dur":)" +
+                 us(end - begin) + "}");
+        };
+        bool open = false;
+        std::uint64_t begin = 0;
+        for (std::size_t i = 0; i < records_.size(); ++i) {
+            const BinRecord& r = records_[i];
+            const bool mine = (r.kind == kExecBegin || r.kind == kExecEnd ||
+                               r.kind == kTaskState) &&
+                              str(r.actor) == a;
+            if (!mine) {
+                continue;
+            }
+            const bool running =
+                r.kind == kExecBegin || (r.kind == kTaskState && str(r.detail) == "Running");
+            if (!open && running) {
+                open = true;
+                begin = r.t_ns;
+            } else if (open && !running) {
+                open = false;
+                if (r.t_ns > begin) {
+                    emit_interval(begin, r.t_ns);
+                }
+            }
+        }
+        if (open && records_.size() > 0 &&
+            records_[records_.size() - 1].t_ns > begin) {
+            emit_interval(begin, records_[records_.size() - 1].t_ns);
+        }
+        ++tid;
+    }
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        const BinRecord& r = records_[i];
+        if (r.kind == kIrq) {
+            emit(R"({"name":"irq:)" + trace::json_escape(str(r.actor)) +
+                 R"(","ph":"i","pid":1,"tid":0,"ts":)" + us(r.t_ns) + R"(,"s":"g"})");
+        }
+    }
+    os << "\n]\n";
+}
+
 void BinaryTraceSink::save(std::ostream& os) const {
     put_u32(os, kMagic);
     put_u32(os, kVersion);
-    put_u32(os, static_cast<std::uint32_t>(strings_.size()));
-    for (const std::string& s : strings_) {
+    put_u32(os, static_cast<std::uint32_t>(strings_.count()));
+    for (std::uint32_t i = 0; i < strings_.count(); ++i) {
+        const std::string& s = strings_.str(i);
         put_u32(os, static_cast<std::uint32_t>(s.size()));
         os.write(s.data(), static_cast<std::streamsize>(s.size()));
     }
-    put_u64(os, size_);
-    for (std::size_t i = 0; i < size_; ++i) {
-        const BinRecord& r = record(i);
+    put_u64(os, records_.size());
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        const BinRecord& r = records_[i];
         put_u64(os, r.t_ns);
         put_u32(os, r.kind);
         put_u32(os, r.cpu);
@@ -247,9 +292,7 @@ bool BinaryTraceSink::load(std::istream& is) {
             }
             continue;
         }
-        strings_.push_back(std::move(s));
-        ids_.emplace(std::string_view{strings_.back()},
-                     static_cast<std::uint32_t>(strings_.size() - 1));
+        strings_.push_raw(std::move(s));
     }
     std::uint64_t nrecords = 0;
     if (!get_u64(is, nrecords)) {
@@ -260,17 +303,13 @@ bool BinaryTraceSink::load(std::istream& is) {
         BinRecord r{};
         if (!get_u64(is, r.t_ns) || !get_u32(is, r.kind) || !get_u32(is, r.cpu) ||
             !get_u32(is, r.actor) || !get_u32(is, r.detail) || r.kind > kMaxKind ||
-            r.cpu >= strings_.size() || r.actor >= strings_.size() ||
-            r.detail >= strings_.size() || r.t_ns < last_t_ns_) {
+            r.cpu >= strings_.count() || r.actor >= strings_.count() ||
+            r.detail >= strings_.count() || r.t_ns < last_t_ns_) {
             clear();
             return false;
         }
         last_t_ns_ = r.t_ns;
-        if (tail_ == tail_end_) {
-            grow();
-        }
-        *tail_++ = r;
-        ++size_;
+        records_.append(r);
     }
     return true;
 }

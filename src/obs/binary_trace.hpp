@@ -1,21 +1,18 @@
 #pragma once
 
 #include <cstdint>
-#include <cstring>
-#include <deque>
 #include <iosfwd>
-#include <memory>
 #include <string>
 #include <string_view>
-#include <unordered_map>
-#include <vector>
 
+#include "obs/intern.hpp"
 #include "trace/trace.hpp"
 
 namespace slm::obs {
 
 /// Hot-path trace sink: fixed-width 24-byte records over an interned string
-/// table. Where TraceRecorder copies three strings per record (three
+/// table (obs::StringTable + obs::RecordLog, the machinery shared with
+/// SpanRecorder). Where TraceRecorder copies three strings per record (three
 /// allocations in the worst case), BinaryTraceSink resolves each string to a
 /// 32-bit id — repeat names (the overwhelmingly common case in scheduling
 /// traces: the same tasks, CPUs, and state names over and over) hit a
@@ -27,7 +24,10 @@ namespace slm::obs {
 /// TraceSink interface, so converting to a TraceRecorder reproduces exactly
 /// the records that a TraceRecorder in its place would have collected —
 /// derived views and text exporters (CSV/VCD/Chrome) are then byte-identical
-/// (pinned by tests/test_obs.cpp round-trip tests).
+/// (pinned by tests/test_obs.cpp round-trip tests). write_chrome_trace()
+/// additionally exports Chrome trace-event JSON *directly* from the binary
+/// records — byte-identical to to_recorder().write_chrome_trace() without
+/// materializing a TraceRecorder first.
 ///
 /// The binary file format (save()/load()) is documented in
 /// docs/observability.md: "SLTB" magic, version, string table, then packed
@@ -48,7 +48,7 @@ public:
     };
     static_assert(sizeof(BinRecord) == 24);
 
-    BinaryTraceSink();
+    BinaryTraceSink() = default;
 
     // ---- recording (TraceSink) ----
     void exec_begin(SimTime t, std::string_view cpu, std::string_view actor) override;
@@ -64,13 +64,13 @@ public:
     void clear();
 
     // ---- raw access ----
-    [[nodiscard]] const BinRecord& record(std::size_t i) const {
-        return chunks_[i >> kChunkShift][i & kChunkMask];
-    }
-    [[nodiscard]] std::size_t size() const { return size_; }
+    [[nodiscard]] const BinRecord& record(std::size_t i) const { return records_[i]; }
+    [[nodiscard]] std::size_t size() const { return records_.size(); }
     /// The interned string for `id` (asserts on out-of-range ids).
-    [[nodiscard]] const std::string& str(std::uint32_t id) const;
-    [[nodiscard]] std::size_t string_count() const { return strings_.size(); }
+    [[nodiscard]] const std::string& str(std::uint32_t id) const {
+        return strings_.str(id);
+    }
+    [[nodiscard]] std::size_t string_count() const { return strings_.count(); }
 
     // ---- conversion ----
 
@@ -83,6 +83,13 @@ public:
     /// exporters).
     [[nodiscard]] trace::TraceRecorder to_recorder() const;
 
+    /// Chrome trace-event JSON straight from the binary records (per-actor
+    /// thread rows, X slices from Running intervals, IRQ instants), sharing
+    /// trace::json_escape. Byte-identical to to_recorder().write_chrome_trace()
+    /// — pinned by tests/test_obs.cpp — but without the string-materializing
+    /// detour through TraceRecorder.
+    void write_chrome_trace(std::ostream& os) const;
+
     // ---- binary file format ----
 
     /// Write the trace: magic "SLTB", version, string table, records.
@@ -92,40 +99,14 @@ public:
     [[nodiscard]] bool load(std::istream& is);
 
 private:
-    /// Records live in fixed-size chunks: appends never reallocate-and-copy
-    /// (the dominant cost of a growing vector at trace sizes), and the chunk
-    /// math in record() is two shifts. 64Ki records = 1.5 MiB per chunk.
-    static constexpr std::size_t kChunkShift = 16;
-    static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
-    static constexpr std::size_t kChunkMask = kChunkSize - 1;
-
-    [[nodiscard]] std::uint32_t intern(std::string_view s);
     void push(SimTime t, trace::RecordKind kind, std::uint32_t cpu, std::uint32_t actor,
               std::uint32_t detail);
-    void grow();
 
-    /// Direct-mapped lookup cache in front of the intern map, indexed by a
-    /// hash of the string_view's pointer. Callers like the OS core pass views
-    /// of long-lived std::strings, so the same pointer recurs on the hot
-    /// path. A hit is *verified* by comparing the incoming bytes against the
-    /// interned string's bytes (`data`/`size` point into strings_, whose
-    /// elements are stable), so a reused pointer or a colliding slot degrades
-    /// to a map lookup, never to a wrong id.
-    struct CacheSlot {
-        const char* data = nullptr;  ///< interned bytes (not the caller's)
-        std::size_t size = 0;
-        std::uint32_t id = 0;
-    };
-    static constexpr std::size_t kCacheSize = 256;  // power of two
-
-    std::vector<std::unique_ptr<BinRecord[]>> chunks_;
-    BinRecord* tail_ = nullptr;      ///< next write position in the last chunk
-    BinRecord* tail_end_ = nullptr;  ///< end of the last chunk
-    std::size_t size_ = 0;
+    /// Records live in fixed-size chunks (RecordLog): appends never
+    /// reallocate-and-copy. 64Ki records = 1.5 MiB per chunk.
+    RecordLog<BinRecord> records_;
+    StringTable strings_;
     std::uint64_t last_t_ns_ = 0;  ///< ordering-contract check
-    std::deque<std::string> strings_;  ///< stable storage; index == id
-    std::unordered_map<std::string_view, std::uint32_t> ids_;
-    CacheSlot cache_[kCacheSize];
 };
 
 }  // namespace slm::obs

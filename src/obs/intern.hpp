@@ -1,0 +1,153 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/assert.hpp"
+
+namespace slm::obs {
+
+/// The interning machinery shared by the hot-path recording sinks
+/// (BinaryTraceSink, SpanRecorder): a deduplicating string table with a
+/// direct-mapped lookup cache, and fixed-width record storage in stable
+/// chunks. Factored out so every fixed-width recorder resolves strings and
+/// appends records the same way — and the costs are benched once
+/// (bench_trace, bench_spans).
+
+/// Deduplicating string table: string -> dense 32-bit id, id 0 always the
+/// empty string. A direct-mapped cache in front of the map is indexed by a
+/// hash of the string_view's *pointer*: callers pass views of long-lived
+/// std::strings (task names, cpu names), so the same pointer recurs on the
+/// hot path. A hit is *verified* by comparing the incoming bytes against the
+/// interned string's bytes (which point into stable deque storage), so a
+/// reused pointer or a colliding slot degrades to a map lookup, never to a
+/// wrong id.
+class StringTable {
+public:
+    StringTable() { reset_slot0(); }
+
+    [[nodiscard]] std::uint32_t intern(std::string_view s) {
+        if (s.empty()) {
+            return 0;
+        }
+        auto h = reinterpret_cast<std::uintptr_t>(s.data());
+        h ^= (h >> 4) ^ (h >> 11);
+        CacheSlot& slot = cache_[h & (kCacheSize - 1)];
+        // Verify by content, not by pointer: the slot only *suggests* an id.
+        if (slot.size == s.size() && slot.data != nullptr &&
+            std::memcmp(slot.data, s.data(), s.size()) == 0) {
+            return slot.id;
+        }
+        std::uint32_t id;
+        if (const auto it = ids_.find(s); it != ids_.end()) {
+            id = it->second;
+        } else {
+            id = static_cast<std::uint32_t>(strings_.size());
+            strings_.emplace_back(s);  // deque: stable storage for the map's keys
+            ids_.emplace(std::string_view{strings_.back()}, id);
+        }
+        slot = CacheSlot{strings_[id].data(), s.size(), id};
+        return id;
+    }
+
+    /// The interned string for `id` (asserts on out-of-range ids).
+    [[nodiscard]] const std::string& str(std::uint32_t id) const {
+        SLM_ASSERT(id < strings_.size(), "string id out of range");
+        return strings_[id];
+    }
+
+    [[nodiscard]] std::size_t count() const { return strings_.size(); }
+
+    /// Append a string under the next id *without* deduplication — the
+    /// file-format load path appends table entries exactly as saved, so ids
+    /// embedded in the record stream stay valid even for a stream whose table
+    /// carries duplicates.
+    void push_raw(std::string s) {
+        strings_.push_back(std::move(s));
+        ids_.emplace(std::string_view{strings_.back()},
+                     static_cast<std::uint32_t>(strings_.size() - 1));
+    }
+
+    void clear() {
+        strings_.clear();
+        ids_.clear();
+        for (CacheSlot& s : cache_) {
+            s = CacheSlot{};
+        }
+        reset_slot0();
+    }
+
+private:
+    struct CacheSlot {
+        const char* data = nullptr;  ///< interned bytes (not the caller's)
+        std::size_t size = 0;
+        std::uint32_t id = 0;
+    };
+    static constexpr std::size_t kCacheSize = 256;  // power of two
+
+    void reset_slot0() {
+        strings_.emplace_back();  // id 0 is always the empty string
+        ids_.emplace(std::string_view{strings_.back()}, 0);
+    }
+
+    std::deque<std::string> strings_;  ///< stable storage; index == id
+    std::unordered_map<std::string_view, std::uint32_t> ids_;
+    CacheSlot cache_[kCacheSize];
+};
+
+/// Append-only fixed-width record storage in fixed-size chunks: appends never
+/// reallocate-and-copy (the dominant cost of a growing vector at trace
+/// sizes), the index math is two shifts, and element addresses are stable —
+/// so a recorder may patch an earlier record in place (SpanRecorder closes
+/// spans that way). 2^Shift records per chunk.
+template <typename Rec, std::size_t Shift = 16>
+class RecordLog {
+public:
+    static constexpr std::size_t kChunkSize = std::size_t{1} << Shift;
+    static constexpr std::size_t kChunkMask = kChunkSize - 1;
+
+    /// Append and return the record's index.
+    std::size_t append(const Rec& r) {
+        if (tail_ == tail_end_) {
+            grow();
+        }
+        *tail_++ = r;
+        return size_++;
+    }
+
+    [[nodiscard]] const Rec& operator[](std::size_t i) const {
+        return chunks_[i >> Shift][i & kChunkMask];
+    }
+    /// Mutable access for in-place patching of an already-appended record.
+    [[nodiscard]] Rec& at(std::size_t i) { return chunks_[i >> Shift][i & kChunkMask]; }
+
+    [[nodiscard]] std::size_t size() const { return size_; }
+
+    void clear() {
+        chunks_.clear();
+        tail_ = tail_end_ = nullptr;
+        size_ = 0;
+    }
+
+private:
+    void grow() {
+        // for_overwrite: skip zero-initialization — every slot is written
+        // before it is ever read (size_ gates all reads).
+        chunks_.push_back(std::make_unique_for_overwrite<Rec[]>(kChunkSize));
+        tail_ = chunks_.back().get();
+        tail_end_ = tail_ + kChunkSize;
+    }
+
+    std::vector<std::unique_ptr<Rec[]>> chunks_;
+    Rec* tail_ = nullptr;      ///< next write position in the last chunk
+    Rec* tail_end_ = nullptr;  ///< end of the last chunk
+    std::size_t size_ = 0;
+};
+
+}  // namespace slm::obs

@@ -372,6 +372,12 @@ void OsCore::note_resource_release(const Task* t, const std::string& resource) {
     }
 }
 
+void OsCore::note_channel_op(const std::string& channel, const char* op) {
+    for (OsObserver* obs : observers_) {
+        obs->on_channel_op(channel, op, kernel_.now());
+    }
+}
+
 // ---- task management ----
 
 void OsCore::task_activate(Task* t) {

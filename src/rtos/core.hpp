@@ -204,6 +204,11 @@ public:
     /// `t` released a resource it held.
     virtual void on_resource_release(const Task& /*t*/, const std::string& /*resource*/,
                                      SimTime /*now*/) {}
+    /// An OS communication channel (queue, semaphore) performed `op` — a
+    /// static string like "send"/"recv"/"acquire"/"release" — reported by the
+    /// channel layer via note_channel_op().
+    virtual void on_channel_op(const std::string& /*channel*/, const char* /*op*/,
+                               SimTime /*now*/) {}
     /// A periodic task completed a cycle `overrun` past its absolute deadline
     /// and its effective MissPolicy is not Ignore. Raised from task_endcycle()
     /// before the recovery action runs.
@@ -499,6 +504,10 @@ public:
     void note_resource_acquire(const Task* t, const std::string& resource,
                                SimTime waited);
     void note_resource_release(const Task* t, const std::string& resource);
+    /// Channel-operation notification (OsQueue/OsSemaphore), forwarded to
+    /// OsObservers like the resource notes above. `op` must be a static
+    /// string ("send", "recv", "acquire", "release").
+    void note_channel_op(const std::string& channel, const char* op);
 
     /// Register a hook run whenever a task is torn down abnormally
     /// (task_kill, task_restart, fault-injected crash) — services use it to

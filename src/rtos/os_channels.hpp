@@ -57,13 +57,15 @@ template <typename TryFn>
 class OsSemaphore {
 public:
     OsSemaphore(OsCore& os, unsigned initial, std::string name = "sem")
-        : os_(os), evt_(os.event_new(name + ".evt")), count_(initial) {}
+        : os_(os), evt_(os.event_new(name + ".evt")), count_(initial),
+          name_(std::move(name)) {}
 
     void acquire() {
         while (count_ == 0) {
             os_.event_wait(evt_);
         }
         --count_;
+        os_.note_channel_op(name_, "acquire");
     }
 
     [[nodiscard]] bool try_acquire() {
@@ -71,6 +73,7 @@ public:
             return false;
         }
         --count_;
+        os_.note_channel_op(name_, "acquire");
         return true;
     }
 
@@ -83,15 +86,18 @@ public:
     /// Callable from tasks and from ISR context.
     void release() {
         ++count_;
+        os_.note_channel_op(name_, "release");
         os_.event_notify(evt_);
     }
 
     [[nodiscard]] unsigned count() const { return count_; }
+    [[nodiscard]] const std::string& name() const { return name_; }
 
 private:
     OsCore& os_;
     OsEvent* evt_;
     unsigned count_;
+    std::string name_;
 };
 
 /// Mutex with a choice of priority protocols:
@@ -222,13 +228,15 @@ public:
         : os_(os),
           erdy_(os.event_new(name + ".rdy")),
           eack_(os.event_new(name + ".ack")),
-          capacity_(capacity) {}
+          capacity_(capacity),
+          name_(std::move(name)) {}
 
     void send(T value) {
         while (capacity_ != 0 && buf_.size() >= capacity_) {
             os_.event_wait(eack_);
         }
         buf_.push_back(std::move(value));
+        os_.note_channel_op(name_, "send");
         os_.event_notify(erdy_);
     }
 
@@ -238,6 +246,7 @@ public:
         }
         T v = std::move(buf_.front());
         buf_.pop_front();
+        os_.note_channel_op(name_, "recv");
         os_.event_notify(eack_);
         return v;
     }
@@ -248,6 +257,7 @@ public:
         }
         out = std::move(buf_.front());
         buf_.pop_front();
+        os_.note_channel_op(name_, "recv");
         os_.event_notify(eack_);
         return true;
     }
@@ -260,6 +270,7 @@ public:
 
     [[nodiscard]] std::size_t size() const { return buf_.size(); }
     [[nodiscard]] bool empty() const { return buf_.empty(); }
+    [[nodiscard]] const std::string& name() const { return name_; }
 
 private:
     OsCore& os_;
@@ -267,6 +278,7 @@ private:
     OsEvent* eack_;
     std::deque<T> buf_;
     std::size_t capacity_;
+    std::string name_;
 };
 
 /// Single-slot mailbox: send overwrites nothing — it blocks while full.

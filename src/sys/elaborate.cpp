@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/span.hpp"
 #include "sim/assert.hpp"
 
 namespace slm::sys {
@@ -45,6 +46,10 @@ System::System(AppSpec app, PlatformSpec platform, MappingSpec mapping, SystemOp
         if (opts_.on_os) {
             opts_.on_os(pes_.back()->os());
         }
+        if (opts_.spans != nullptr) {
+            span_tracers_.push_back(
+                std::make_unique<obs::SpanTracer>(pes_.back()->os(), *opts_.spans));
+        }
     }
     for (const BusSpec& bs : platform_.buses) {
         arch::Bus::Config cfg;
@@ -73,6 +78,16 @@ System::System(AppSpec app, PlatformSpec platform, MappingSpec mapping, SystemOp
             impl->src_master = cs.src.empty() ? 0 : master_of(pe_of(cs.src));
             rtos::OsSemaphore* sem = impl->sem.get();
             impl->dst_pe->attach_isr(impl->link->irq(), [sem] { sem->release(); });
+            if (opts_.spans != nullptr) {
+                // One BusXfer span per post, recorded after the fact with the
+                // transfer window (arbitration wait + data phase).
+                impl->link->set_post_hook(
+                    [sink = opts_.spans, chan = cs.name, bus_name = b->name()](
+                        const Token& t, SimTime begin, SimTime end, int /*master*/) {
+                        sink->complete(begin, end, obs::SpanKind::BusXfer, {}, chan,
+                                       bus_name, obs::TokenRef{t.id, t.born.ns()});
+                    });
+            }
         }
         channels_.push_back(std::move(impl));
     }
@@ -138,11 +153,22 @@ void System::spawn_stimuli() {
     // period, occupy the bus with the kernel's own waitfor, post, repeat.
     for (const StimulusSpec& s : app_.stimuli) {
         ChannelImpl* impl = channel_impl(s.channel);
-        kernel_.spawn("stim." + s.name, [this, &s, impl] {
+        kernel_.spawn("stim." + s.name, [this, &s, impl, who = "stim." + s.name] {
             for (std::uint64_t i = 0; i < s.count; ++i) {
                 kernel_.waitfor(s.period);
-                impl->link->post(Token{i, kernel_.now()},
-                                 [this](SimTime dt) { kernel_.waitfor(dt); });
+                const Token tok{i, kernel_.now()};
+                std::uint64_t span = 0;
+                if (opts_.spans != nullptr) {
+                    // pe is empty: the environment has no PE; the custody
+                    // walk classifies this stretch as Env.
+                    span = opts_.spans->begin_span(
+                        kernel_.now(), obs::SpanKind::Send, {}, s.channel, who,
+                        obs::TokenRef{tok.id, tok.born.ns()});
+                }
+                impl->link->post(tok, [this](SimTime dt) { kernel_.waitfor(dt); });
+                if (span != 0) {
+                    opts_.spans->end_span(span, kernel_.now());
+                }
             }
         });
     }
@@ -190,7 +216,9 @@ void System::spawn_tasks() {
         }
         auto ctx = std::make_shared<TaskCtx>(TaskCtx{*this, ts, *host});
         auto job_body = [this, ctx, behavior = std::move(behavior)] {
+            ctx->begin_job();
             behavior(*ctx);
+            ctx->end_job();
             ++ctx->job_;
             ++jobs_done_;
         };
@@ -264,28 +292,69 @@ SystemMetrics System::metrics() const {
 
 // ---- TaskCtx ----
 
+void TaskCtx::begin_job() {
+    if (obs::SpanSink* sink = sys_->opts_.spans) {
+        span_tokens_.clear();
+        span_job_ = sink->begin_span(now(), obs::SpanKind::Job, pe_->name(),
+                                     spec_->name);
+    }
+}
+
+void TaskCtx::end_job() {
+    if (span_job_ != 0) {
+        sys_->opts_.spans->end_span(span_job_, now());
+        span_job_ = 0;
+        span_tokens_.clear();
+    }
+}
+
 Token TaskCtx::recv(const std::string& channel) {
     System::ChannelImpl* impl = sys_->channel_impl(channel);
     SLM_ASSERT(impl != nullptr, "recv() on unknown channel");
-    if (impl->queue != nullptr) {
-        return impl->queue->receive();
+    obs::SpanSink* sink = sys_->opts_.spans;
+    std::uint64_t span = 0;
+    if (sink != nullptr) {
+        span = sink->begin_span(now(), obs::SpanKind::Recv, pe_->name(), channel,
+                                spec_->name, {}, span_job_);
     }
-    impl->sem->acquire();
     Token t{};
-    const bool ok = impl->link->try_fetch(t);
-    SLM_ASSERT(ok, "bus channel semaphore/link out of sync");
+    if (impl->queue != nullptr) {
+        t = impl->queue->receive();
+    } else {
+        impl->sem->acquire();
+        const bool ok = impl->link->try_fetch(t);
+        SLM_ASSERT(ok, "bus channel semaphore/link out of sync");
+    }
+    if (sink != nullptr) {
+        // The token is known only now; close with it attached so the custody
+        // walk can use this recv's end as a hop boundary.
+        sink->set_token(span, obs::TokenRef{t.id, t.born.ns()});
+        sink->end_span(span, now());
+        span_tokens_.push_back(t);
+    }
     return t;
 }
 
 void TaskCtx::send(const std::string& channel, Token tok) {
     System::ChannelImpl* impl = sys_->channel_impl(channel);
     SLM_ASSERT(impl != nullptr, "send() on unknown channel");
+    obs::SpanSink* sink = sys_->opts_.spans;
+    std::uint64_t span = 0;
+    if (sink != nullptr) {
+        span = sink->begin_span(now(), obs::SpanKind::Send, pe_->name(), channel,
+                                spec_->name, obs::TokenRef{tok.id, tok.born.ns()},
+                                span_job_);
+    }
     if (impl->queue != nullptr) {
         impl->queue->send(tok);
-        return;
+    } else {
+        rtos::OsCore& core = pe_->os();
+        impl->link->post(tok, [&core](SimTime dt) { core.io_wait(dt); },
+                         impl->src_master);
     }
-    rtos::OsCore& core = pe_->os();
-    impl->link->post(tok, [&core](SimTime dt) { core.io_wait(dt); }, impl->src_master);
+    if (sink != nullptr) {
+        sink->end_span(span, now());
+    }
 }
 
 void TaskCtx::exec(SimTime nominal) {
@@ -294,7 +363,30 @@ void TaskCtx::exec(SimTime nominal) {
     }
 }
 
-void TaskCtx::record_latency(SimTime sample) { sys_->record_latency(sample); }
+void TaskCtx::record_latency(SimTime sample) {
+    if (obs::SpanSink* sink = sys_->opts_.spans) {
+        // Correlate the sample with the token whose birth anchors it: the
+        // token received this job with born == now - sample (exact for the
+        // default dataflow body and the vocoder, whose samples are
+        // now - born). Fall back to the most recent token so even ad-hoc
+        // samples keep a causal hook.
+        obs::TokenRef ref{};
+        const std::uint64_t anchor =
+            now().ns() >= sample.ns() ? now().ns() - sample.ns() : 0;
+        for (const Token& t : span_tokens_) {
+            if (t.born.ns() == anchor) {
+                ref = obs::TokenRef{t.id, t.born.ns()};
+                break;
+            }
+        }
+        if (!ref.valid() && !span_tokens_.empty()) {
+            ref = obs::TokenRef{span_tokens_.back().id, span_tokens_.back().born.ns()};
+        }
+        sink->instant(now(), obs::SpanKind::Latency, pe_->name(), spec_->name, {}, ref,
+                      span_job_, sample.ns());
+    }
+    sys_->record_latency(sample);
+}
 
 SimTime TaskCtx::now() const { return sys_->kernel_.now(); }
 

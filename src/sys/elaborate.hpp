@@ -14,6 +14,11 @@
 #include "sys/spec.hpp"
 #include "trace/trace.hpp"
 
+namespace slm::obs {
+class SpanSink;
+class SpanTracer;
+}  // namespace slm::obs
+
 namespace slm::sys {
 
 /// The elaborator: turns an (AppSpec, PlatformSpec, MappingSpec) triple into
@@ -71,10 +76,19 @@ private:
     TaskCtx(System& sys, const TaskSpec& spec, arch::ProcessingElement& pe)
         : sys_(&sys), spec_(&spec), pe_(&pe) {}
 
+    /// Span bookkeeping for one job: open the Job span (remembering its id as
+    /// the parent for this job's Recv/Send/Latency spans), close it, and
+    /// track the tokens received so record_latency can correlate the sample
+    /// with the token whose birth anchors it. All no-ops when spans are off.
+    void begin_job();
+    void end_job();
+
     System* sys_;
     const TaskSpec* spec_;
     arch::ProcessingElement* pe_;
     std::uint64_t job_ = 0;
+    std::uint64_t span_job_ = 0;        ///< open Job span id (0 = none)
+    std::vector<Token> span_tokens_;    ///< tokens recv'd during this job
 };
 
 /// A task body, called once per job. The default (no set_behavior call)
@@ -94,6 +108,11 @@ struct SystemOptions {
     /// Per-PE hook run right after each OsCore is constructed (observers,
     /// fault hooks, analytics), before any task exists.
     std::function<void(rtos::OsCore&)> on_os;
+    /// Span sink for token-level causal tracing (docs/span-tracing.md). When
+    /// set, every PE gets an obs::SpanTracer, every bus-routed channel a
+    /// BusXfer post hook, and TaskCtx emits Job/Recv/Send/Latency spans.
+    /// Null (the default) records nothing and costs nothing.
+    obs::SpanSink* spans = nullptr;
 };
 
 struct PeMetrics {
@@ -161,6 +180,9 @@ public:
     /// instrumentation as well.
     void record_latency(SimTime sample) { latencies_.push_back(sample); }
 
+    /// The span sink wired at elaboration (null when tracing is off).
+    [[nodiscard]] obs::SpanSink* spans() const { return opts_.spans; }
+
 private:
     friend class TaskCtx;
 
@@ -178,6 +200,9 @@ private:
     MappingSpec mapping_;
     SystemOptions opts_;
     sim::Kernel kernel_;
+    /// Declared before pes_ so the tracers outlive the cores: ~OsCore raises
+    /// on_core_teardown, which each tracer uses to close its open state spans.
+    std::vector<std::unique_ptr<obs::SpanTracer>> span_tracers_;
     std::vector<std::unique_ptr<arch::ProcessingElement>> pes_;
     std::vector<std::unique_ptr<arch::Bus>> buses_;
     std::vector<std::unique_ptr<ChannelImpl>> channels_;

@@ -154,6 +154,7 @@ SweepResult run_sweep(const AppSpec& app, const PlatformSpec& platform,
     SweepResult res;
     res.app = app.name;
     res.platform = platform.name;
+    res.attributed = cfg.attribute;
     res.candidates.resize(mappings.size());
     // Each index evaluates one candidate into its own slot: disjoint writes,
     // enumeration-order results at any jobs count (the for_each_index
@@ -161,12 +162,24 @@ SweepResult run_sweep(const AppSpec& app, const PlatformSpec& platform,
     parallel::for_each_index(
         mappings.size(), cfg.jobs,
         [&](std::size_t i) {
-            System sys(app, platform, mappings[i], cfg.options);
+            SystemOptions opts = cfg.options;
+            // Worker-local recorder: each candidate's span stream is private,
+            // so recording (and the attribution derived from it) is identical
+            // at any jobs count.
+            obs::SpanRecorder spans;
+            if (cfg.attribute) {
+                opts.spans = &spans;
+            }
+            System sys(app, platform, mappings[i], opts);
             if (setup) {
                 setup(sys);
             }
             sys.run(cfg.horizon);
-            res.candidates[i] = CandidateResult{mappings[i], sys.metrics()};
+            CandidateResult r{mappings[i], sys.metrics(), {}};
+            if (cfg.attribute) {
+                r.attribution = obs::worst_critical_path(spans);
+            }
+            res.candidates[i] = std::move(r);
         },
         stats_out);
     return res;
@@ -257,7 +270,32 @@ void write_sweep_json(std::ostream& os, const SweepResult& res) {
                << ",\"busy_ns\":" << bus.busy.ns()
                << ",\"arb_wait_ns\":" << bus.arbitration_wait.ns() << '}';
         }
-        os << "]}";
+        os << ']';
+        if (res.attributed) {
+            os << ",\"attribution\":";
+            const obs::CriticalPath& cp = c.attribution;
+            if (!cp.valid) {
+                os << "null";
+            } else {
+                os << "{\"token\":" << cp.token_id << ",\"born_ns\":" << cp.born_ns
+                   << ",\"anchor_ns\":" << cp.anchor_ns
+                   << ",\"recorded_ns\":" << cp.recorded_ns
+                   << ",\"total_ns\":" << cp.total_ns
+                   << ",\"exact\":" << (cp.exact() ? "true" : "false")
+                   << ",\"hops\":" << cp.hops << ",\"sink\":\""
+                   << trace::json_escape(cp.sink) << "\",\"bottleneck\":\""
+                   << obs::to_string(cp.bottleneck()) << "\",\"categories\":{";
+                for (std::size_t k = 0; k < obs::kPathCategoryCount; ++k) {
+                    if (k != 0) {
+                        os << ',';
+                    }
+                    os << '"' << obs::to_string(static_cast<obs::PathCategory>(k))
+                       << "\":" << cp.by_category[k];
+                }
+                os << "}}";
+            }
+        }
+        os << '}';
     }
     os << "],\"ranking\":[";
     const std::vector<std::size_t> order = res.ranking();

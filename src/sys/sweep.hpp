@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "parallel/parallel.hpp"
 #include "sys/elaborate.hpp"
 #include "sys/spec.hpp"
@@ -56,6 +57,13 @@ struct SweepConfig {
     /// parallel sweeps — candidates run concurrently and a shared sink would
     /// interleave; `on_os` must be safe to call from worker threads.
     SystemOptions options{};
+    /// Record spans per candidate (each worker gets its own private
+    /// obs::SpanRecorder — never options.spans, which would interleave) and
+    /// attach the worst latency sample's critical path to every
+    /// CandidateResult. Attribution is computed from the candidate's own
+    /// deterministic span stream, so results and write_sweep_json stay
+    /// byte-identical at any jobs count.
+    bool attribute = false;
 };
 
 /// Per-candidate hook run after elaboration, before System::run() — attach
@@ -66,11 +74,16 @@ using SystemSetup = std::function<void(System&)>;
 struct CandidateResult {
     MappingSpec mapping;
     SystemMetrics metrics;
+    /// Worst latency sample's exact critical path (SweepConfig::attribute);
+    /// attribution.valid is false when attribution was off or the candidate
+    /// recorded no latency samples.
+    obs::CriticalPath attribution;
 };
 
 struct SweepResult {
     std::string app;
     std::string platform;
+    bool attributed = false;  ///< ran with SweepConfig::attribute
     std::vector<CandidateResult> candidates;  ///< enumeration order
 
     /// Candidate indices from best to worst: fewest (task deadline + latency)

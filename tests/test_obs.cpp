@@ -277,6 +277,36 @@ TEST(BinaryTrace, ReplayMatchesDirectRecordingByteForByte) {
     EXPECT_EQ(replayed.context_switches(), direct.context_switches());
 }
 
+TEST(BinaryTrace, DirectChromeTraceMatchesRecorderPath) {
+    // write_chrome_trace() renders straight from the interned records; it
+    // must be byte-identical to materialising a TraceRecorder first, so the
+    // direct path can never drift from the reference exporter.
+    BinaryTraceSink bin;
+    record_scenario(bin);
+    std::ostringstream direct;
+    std::ostringstream via_recorder;
+    bin.write_chrome_trace(direct);
+    bin.to_recorder().write_chrome_trace(via_recorder);
+    EXPECT_EQ(direct.str(), via_recorder.str());
+    ASSERT_FALSE(direct.str().empty());
+    EXPECT_EQ(direct.str().front(), '[');
+}
+
+TEST(BinaryTrace, ChromeTraceSurvivesSaveLoadRoundTrip) {
+    BinaryTraceSink bin;
+    record_scenario(bin);
+    std::ostringstream before;
+    bin.write_chrome_trace(before);
+
+    std::stringstream file;
+    bin.save(file);
+    BinaryTraceSink loaded;
+    ASSERT_TRUE(loaded.load(file));
+    std::ostringstream after;
+    loaded.write_chrome_trace(after);
+    EXPECT_EQ(before.str(), after.str());
+}
+
 TEST(BinaryTrace, SaveLoadRoundTrip) {
     BinaryTraceSink bin;
     record_scenario(bin);

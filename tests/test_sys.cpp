@@ -371,3 +371,57 @@ TEST(SweepTest, SweepJsonIsByteIdenticalAcrossJobCounts) {
         }
     }
 }
+
+// ---- latency-quantile edges ----
+// metrics() computes nearest-rank percentiles (ceil(p/100 * n) - 1); the
+// degenerate sample counts are where an off-by-one would hide.
+
+TEST(MetricsQuantileTest, NoSamplesYieldsZeroQuantiles) {
+    const Triple t = make_pipeline();
+    sys::System system{t.app, t.platform, t.mapping};
+    const sys::SystemMetrics m = system.metrics();  // never run: no samples
+    EXPECT_EQ(m.latency_samples, 0u);
+    EXPECT_EQ(m.latency_p50, SimTime::zero());
+    EXPECT_EQ(m.latency_p95, SimTime::zero());
+    EXPECT_EQ(m.latency_max, SimTime::zero());
+    EXPECT_EQ(m.latency_misses, 0u);
+}
+
+TEST(MetricsQuantileTest, SingleSampleIsEveryQuantile) {
+    const Triple t = make_pipeline();
+    sys::System system{t.app, t.platform, t.mapping};
+    system.record_latency(7_ms);
+    const sys::SystemMetrics m = system.metrics();
+    EXPECT_EQ(m.latency_samples, 1u);
+    EXPECT_EQ(m.latency_p50, 7_ms);
+    EXPECT_EQ(m.latency_p95, 7_ms);
+    EXPECT_EQ(m.latency_max, 7_ms);
+}
+
+TEST(MetricsQuantileTest, AllEqualSamplesCollapseEveryQuantile) {
+    const Triple t = make_pipeline();
+    sys::System system{t.app, t.platform, t.mapping};
+    for (int i = 0; i < 17; ++i) {
+        system.record_latency(3_ms);
+    }
+    const sys::SystemMetrics m = system.metrics();
+    EXPECT_EQ(m.latency_samples, 17u);
+    EXPECT_EQ(m.latency_p50, 3_ms);
+    EXPECT_EQ(m.latency_p95, 3_ms);
+    EXPECT_EQ(m.latency_max, 3_ms);
+    EXPECT_EQ(m.latency_misses, 0u);  // deadline 10ms: equal samples, no miss
+}
+
+TEST(MetricsQuantileTest, QuantilesAreOrderedOnDistinctSamples) {
+    const Triple t = make_pipeline();
+    sys::System system{t.app, t.platform, t.mapping};
+    for (int i = 1; i <= 100; ++i) {
+        system.record_latency(milliseconds(static_cast<std::uint64_t>(i)));
+    }
+    const sys::SystemMetrics m = system.metrics();
+    EXPECT_EQ(m.latency_p50, 50_ms);   // nearest-rank: ceil(0.50*100) = 50th
+    EXPECT_EQ(m.latency_p95, 95_ms);
+    EXPECT_EQ(m.latency_max, 100_ms);
+    EXPECT_LE(m.latency_p50, m.latency_p95);
+    EXPECT_LE(m.latency_p95, m.latency_max);
+}
