@@ -1,0 +1,163 @@
+// Soak-harness benchmark: generate and run the randomized scenario corpus at
+// soak scale (full mode: >= 100 scenarios, >= 1M total jobs), serial and
+// sharded, emitting a machine-readable BENCH_soak.json (schema
+// slm-bench-soak-v1).
+//
+// Two gates, reflected in the "gates" block of the JSON and the exit code:
+//   equivalence      HARD: the serial and sharded soaks must serialize
+//                    byte-identically (the contract ci/check_soak.sh also
+//                    enforces on the soak-run example).
+//   zero_violations  HARD: a clean corpus (no fault plan) must finish with
+//                    zero invariant/oracle violations — the soak harness
+//                    gating its own model.
+//
+// Usage: bench_soak [--smoke] [--out FILE]
+//   --smoke   tiny corpus for CI (milliseconds)
+//   --out     output path (default: BENCH_soak.json in the CWD)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "soak/soak.hpp"
+
+using namespace slm;
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+std::string soak_json(const soak::SoakResult& res) {
+    std::ostringstream os;
+    soak::write_soak_json(os, res);
+    return std::move(os).str();
+}
+
+struct GateState {
+    bool failed = false;
+
+    /// PASS / FAIL with a hard exit-code consequence.
+    const char* hard(bool ok) {
+        if (!ok) {
+            failed = true;
+        }
+        return ok ? "PASS" : "FAIL";
+    }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    std::string out_path = "BENCH_soak.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: bench_soak [--smoke] [--out FILE]\n");
+            return 2;
+        }
+    }
+
+    const unsigned cores = std::max(1U, std::thread::hardware_concurrency());
+    const unsigned jobs = cores;
+
+    soak::SoakConfig cfg;
+    cfg.scenarios = smoke ? 8 : 120;
+    cfg.gen.jobs_target = smoke ? 150 : 12'000;
+
+    std::fprintf(stderr, "bench_soak: %zu scenarios serial...\n", cfg.scenarios);
+    auto t0 = std::chrono::steady_clock::now();
+    cfg.jobs = 1;
+    const soak::SoakResult serial_res = soak::run_soak(cfg);
+    const double serial_ms = elapsed_ms(t0);
+    const std::string serial = soak_json(serial_res);
+
+    std::fprintf(stderr, "bench_soak: %zu scenarios sharded (%u jobs)...\n",
+                 cfg.scenarios, jobs);
+    t0 = std::chrono::steady_clock::now();
+    cfg.jobs = jobs;
+    const soak::SoakResult par_res = soak::run_soak(cfg);
+    const double parallel_ms = elapsed_ms(t0);
+    const bool identical = soak_json(par_res) == serial;
+
+    const std::uint64_t total_jobs = serial_res.total_jobs();
+    const std::uint64_t violations = serial_res.total_violations();
+    const double speedup = serial_ms / std::max(parallel_ms, 0.001);
+    const double jobs_per_sec_serial =
+        static_cast<double>(total_jobs) / std::max(serial_ms / 1000.0, 1e-6);
+    const double jobs_per_sec_parallel =
+        static_cast<double>(total_jobs) / std::max(parallel_ms / 1000.0, 1e-6);
+
+    GateState gates;
+    const char* g_equiv = gates.hard(identical);
+    const char* g_clean = gates.hard(violations == 0);
+
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        std::perror("bench_soak: fopen");
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"slm-bench-soak-v1\",\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    std::fprintf(f, "  \"cores_detected\": %u,\n  \"jobs\": %u,\n", cores, jobs);
+    std::fprintf(f,
+                 "  \"soak\": {\n"
+                 "    \"scenarios\": %zu,\n"
+                 "    \"jobs_target\": %llu,\n"
+                 "    \"total_jobs\": %llu,\n"
+                 "    \"serial_ms\": %.2f,\n"
+                 "    \"parallel_ms\": %.2f,\n"
+                 "    \"speedup\": %.2f,\n"
+                 "    \"jobs_per_sec_serial\": %.0f,\n"
+                 "    \"jobs_per_sec_parallel\": %.0f,\n"
+                 "    \"byte_identical\": %s,\n"
+                 "    \"violations\": %llu,\n"
+                 "    \"suspicious\": %llu,\n"
+                 "    \"deadline_misses\": %llu,\n"
+                 "    \"oracle_checked\": %llu,\n"
+                 "    \"rta_schedulable\": %llu,\n"
+                 "    \"hyperperiod_overflows\": %llu\n"
+                 "  },\n",
+                 cfg.scenarios,
+                 static_cast<unsigned long long>(cfg.gen.jobs_target),
+                 static_cast<unsigned long long>(total_jobs), serial_ms, parallel_ms,
+                 speedup, jobs_per_sec_serial, jobs_per_sec_parallel,
+                 identical ? "true" : "false",
+                 static_cast<unsigned long long>(violations),
+                 static_cast<unsigned long long>(serial_res.total_suspicious()),
+                 static_cast<unsigned long long>(serial_res.total_deadline_misses()),
+                 static_cast<unsigned long long>(serial_res.oracle_checked()),
+                 static_cast<unsigned long long>(serial_res.rta_schedulable_count()),
+                 static_cast<unsigned long long>(serial_res.hyperperiod_overflows()));
+    std::fprintf(f,
+                 "  \"gates\": {\n"
+                 "    \"equivalence\": \"%s\",\n"
+                 "    \"zero_violations\": \"%s\"\n"
+                 "  }\n}\n",
+                 g_equiv, g_clean);
+    std::fclose(f);
+
+    std::printf("soak    : %zu scenarios, %llu jobs  serial %8.1f ms  "
+                "sharded %8.1f ms (%.1fx)  %s\n",
+                cfg.scenarios, static_cast<unsigned long long>(total_jobs),
+                serial_ms, parallel_ms, speedup,
+                identical ? "byte-identical" : "DIVERGED");
+    std::printf("oracle  : %llu checked, %llu schedulable, %llu suspicious\n",
+                static_cast<unsigned long long>(serial_res.oracle_checked()),
+                static_cast<unsigned long long>(serial_res.rta_schedulable_count()),
+                static_cast<unsigned long long>(serial_res.total_suspicious()));
+    std::printf("gates   : equivalence=%s zero_violations=%s\n", g_equiv, g_clean);
+    std::printf("wrote %s\n", out_path.c_str());
+    return gates.failed ? 1 : 0;
+}

@@ -14,6 +14,7 @@
 #   bench/run_benches.sh --iss-out FILE      # where to write the ISS JSON
 #   bench/run_benches.sh --parallel-out FILE # where to write the parallel JSON
 #   bench/run_benches.sh --arch-out FILE     # where to write the arch/sweep JSON
+#   bench/run_benches.sh --soak-out FILE     # where to write the soak JSON
 #   bench/run_benches.sh --micro             # also run the google-benchmark micro suite
 #
 # Any required benchmark binary that is missing is a hard error (exit 1), so
@@ -28,6 +29,7 @@ iss_out=BENCH_iss.json
 parallel_out=BENCH_parallel.json
 arch_out=BENCH_arch.json
 spans_out=BENCH_spans.json
+soak_out=BENCH_soak.json
 smoke_flag=""
 run_micro=0
 
@@ -42,13 +44,14 @@ while [[ $# -gt 0 ]]; do
     --parallel-out) parallel_out="$2"; shift ;;
     --arch-out) arch_out="$2"; shift ;;
     --spans-out) spans_out="$2"; shift ;;
+    --soak-out) soak_out="$2"; shift ;;
     --micro) run_micro=1 ;;
-    *) echo "usage: $0 [--smoke] [--build-dir DIR] [--out FILE] [--rtos-out FILE] [--trace-out FILE] [--iss-out FILE] [--parallel-out FILE] [--arch-out FILE] [--spans-out FILE] [--micro]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--smoke] [--build-dir DIR] [--out FILE] [--rtos-out FILE] [--trace-out FILE] [--iss-out FILE] [--parallel-out FILE] [--arch-out FILE] [--spans-out FILE] [--soak-out FILE] [--micro]" >&2; exit 2 ;;
   esac
   shift
 done
 
-required="bench_ctx bench_rtos bench_trace bench_iss bench_parallel bench_arch bench_spans"
+required="bench_ctx bench_rtos bench_trace bench_iss bench_parallel bench_arch bench_spans bench_soak"
 if [[ "$run_micro" == 1 ]]; then
   required="$required bench_micro"
 fi
@@ -66,6 +69,7 @@ done
 "$build_dir/bench/bench_parallel" $smoke_flag --out "$parallel_out"
 "$build_dir/bench/bench_arch" $smoke_flag --out "$arch_out"
 "$build_dir/bench/bench_spans" $smoke_flag --out "$spans_out"
+"$build_dir/bench/bench_soak" $smoke_flag --out "$soak_out"
 
 if [[ "$run_micro" == 1 ]]; then
   if [[ -n "$smoke_flag" ]]; then

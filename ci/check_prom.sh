@@ -102,3 +102,21 @@ for category in compute bus ready preempt block deliver dst_busy env other; do
   fi
 done
 echo "check_prom: OK (slm_span_* families present)"
+
+# The soak-harness aggregates (docs/soak-testing.md) must be present: corpus
+# size, job/violation totals, and the differential-oracle counters.
+for family in slm_soak_scenarios slm_soak_jobs_total slm_soak_violations_total \
+              slm_soak_suspicious_total slm_soak_oracle_checked \
+              slm_soak_rta_schedulable slm_soak_deadline_misses_total \
+              slm_soak_hyperperiod_overflows_total; do
+  if ! grep -Eq "^$family(\{[^}]*\})? " "$prom"; then
+    echo "check_prom: missing soak metric family $family" >&2
+    exit 1
+  fi
+done
+# The soak sample gating the report run itself: zero violations exported.
+if ! grep -Eq "^slm_soak_violations_total 0$" "$prom"; then
+  echo "check_prom: slm_soak_violations_total is nonzero" >&2
+  exit 1
+fi
+echo "check_prom: OK (slm_soak_* families present, zero violations)"

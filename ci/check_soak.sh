@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Soak-harness gate (docs/soak-testing.md): the randomized soak must be
+# replayable byte-for-byte at any sharding, and the planted-defect pipeline
+# must work end to end — a fault plan that overruns every execution budget is
+# caught by the differential oracle, auto-shrunk to a minimal seed+spec repro,
+# and that repro's replay verified byte-identical. Registered as the
+# `check_soak` ctest (see the top-level CMakeLists.txt), so it also runs
+# inside the ASan/TSan trees built by `ci/sanitize.sh`.
+#
+#   ci/check_soak.sh [--build-dir DIR]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+if [[ "${1:-}" == "--build-dir" && -n "${2:-}" ]]; then
+  build_dir="$2"
+fi
+
+soak="$build_dir/examples/soak-run"
+if [ ! -x "$soak" ]; then
+  echo "check_soak: $soak not built (build the repo first)" >&2
+  exit 1
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+require_identical() {  # require_identical WHAT SERIAL PARALLEL LABEL
+  if ! cmp -s "$2" "$3"; then
+    echo "check_soak: $1 ($4) diverged from the reference run:" >&2
+    diff "$2" "$3" | head -5 >&2
+    exit 1
+  fi
+}
+
+# 1. Seed replay: a fixed-seed clean soak dumped at --jobs 1, 2, and 8 must
+#    be byte-identical, and the run must pass (exit 0, zero violations).
+"$soak" --scenarios 12 --seed 7 --jobs-target 400 --jobs 1 \
+        --dump "$tmpdir/soak_serial.json" --quiet
+if [ ! -s "$tmpdir/soak_serial.json" ]; then
+  echo "check_soak: soak-run produced an empty dump" >&2
+  exit 1
+fi
+if ! grep -q '"schema":"slm-soak-result-v1"' "$tmpdir/soak_serial.json"; then
+  echo "check_soak: dump is missing the slm-soak-result-v1 schema tag" >&2
+  exit 1
+fi
+if ! grep -q '"violations":0,' "$tmpdir/soak_serial.json"; then
+  echo "check_soak: the clean soak reported violations:" >&2
+  head -c 600 "$tmpdir/soak_serial.json" >&2
+  exit 1
+fi
+for jobs in 2 8; do
+  "$soak" --scenarios 12 --seed 7 --jobs-target 400 --jobs "$jobs" \
+          --dump "$tmpdir/soak_j$jobs.json" --quiet
+  require_identical "soak result" "$tmpdir/soak_serial.json" \
+                    "$tmpdir/soak_j$jobs.json" "--jobs $jobs"
+done
+
+# 2. Planted defect: quadruple every execution budget via a slm::fault plan.
+#    Analytically schedulable scenarios now blow their response-time bounds,
+#    so soak-run must exit nonzero, and --shrink must reduce the failure to a
+#    minimal repro whose replay is byte-identical.
+plan="$tmpdir/plan.txt"
+printf 'seed 1\nexec_scale * factor=4.0\n' > "$plan"
+if "$soak" --scenarios 8 --seed 1 --jobs-target 200 --fault-plan "$plan" \
+           --shrink --shrink-dump "$tmpdir/shrink_a.json" --quiet; then
+  echo "check_soak: the planted defect was NOT caught (exit 0)" >&2
+  exit 1
+fi
+if ! grep -q '"schema":"slm-soak-shrink-v1"' "$tmpdir/shrink_a.json"; then
+  echo "check_soak: shrink dump is missing the slm-soak-shrink-v1 schema tag" >&2
+  exit 1
+fi
+if ! grep -q '"replay_identical":true' "$tmpdir/shrink_a.json"; then
+  echo "check_soak: the minimal repro's replay was not byte-identical" >&2
+  exit 1
+fi
+# Minimality: the corpus draws 3..8 tasks per scenario; an overload defect
+# must shrink to at most 2 surviving tasks.
+task_count="$(grep -o '"task_count":[0-9]*' "$tmpdir/shrink_a.json" | head -1 | cut -d: -f2)"
+if [ -z "$task_count" ] || [ "$task_count" -gt 2 ]; then
+  echo "check_soak: shrinker left $task_count tasks (expected <= 2)" >&2
+  exit 1
+fi
+
+# 3. The whole failure pipeline (detection order, shrink path) must itself be
+#    deterministic under sharding.
+"$soak" --scenarios 8 --seed 1 --jobs-target 200 --fault-plan "$plan" --jobs 8 \
+        --shrink --shrink-dump "$tmpdir/shrink_b.json" --quiet || true
+require_identical "shrink result" "$tmpdir/shrink_a.json" "$tmpdir/shrink_b.json" \
+                  "--jobs 8"
+
+echo "check_soak: OK (replay byte-identical at --jobs 1/2/8, planted defect shrunk to $task_count task(s))"

@@ -21,7 +21,11 @@
 //      registry, and optional exports: --spans FILE (canonical span dump)
 //      and --perfetto FILE (Chrome trace-event JSON). Exporting from an
 //      empty recorder is a hard error, never a silent skip.
-//   6. Priority-inversion demo — three tasks sharing a Protocol::None mutex;
+//   6. Randomized soak sample — a small seeded slice of the slm::soak corpus
+//      (docs/soak-testing.md) run under the invariant monitors and the RTA
+//      differential oracle; the aggregates land in the shared registry as
+//      slm_soak_* gauges.
+//   7. Priority-inversion demo — three tasks sharing a Protocol::None mutex;
 //      the analytics inversion detector reports the unbounded-inversion
 //      window with its blocking chain, and the shared metrics registry
 //      (kernel + OS gauges, analytics counters/histograms, fault counters)
@@ -47,6 +51,7 @@
 #include "rtos/os_channels.hpp"
 #include "rtos/rtos.hpp"
 #include "sim/kernel.hpp"
+#include "soak/soak.hpp"
 #include "sys/sweep.hpp"
 #include "trace/trace.hpp"
 #include "vocoder/models.hpp"
@@ -367,6 +372,35 @@ void section_faults(obs::Registry& reg) {
     }
 }
 
+void section_soak(obs::Registry& reg) {
+    heading("Randomized soak sample (seeded scenarios, invariants + RTA oracle)");
+    soak::SoakConfig cfg;
+    cfg.scenarios = 8;
+    cfg.gen.jobs_target = 150;
+    const soak::SoakResult res = soak::run_soak(cfg);
+    soak::register_soak_stats(reg, res);
+    if (!g_quiet) {
+        std::printf("%zu scenarios (seeds %llu..%llu): %llu jobs, %llu violations, "
+                    "%llu suspicious\n",
+                    res.verdicts.size(),
+                    static_cast<unsigned long long>(cfg.first_seed),
+                    static_cast<unsigned long long>(cfg.first_seed + cfg.scenarios - 1),
+                    static_cast<unsigned long long>(res.total_jobs()),
+                    static_cast<unsigned long long>(res.total_violations()),
+                    static_cast<unsigned long long>(res.total_suspicious()));
+        std::printf("oracle: %llu checked, %llu RTA-schedulable — every schedulable "
+                    "set met its response bound in simulation\n",
+                    static_cast<unsigned long long>(res.oracle_checked()),
+                    static_cast<unsigned long long>(res.rta_schedulable_count()));
+        for (const soak::ScenarioVerdict& v : res.verdicts) {
+            if (v.failed()) {
+                std::printf("FAIL %s: %s\n", v.name.c_str(),
+                            v.violations.front().c_str());
+            }
+        }
+    }
+}
+
 void section_inversion(obs::Registry& reg, const std::string& prom_path,
                        const std::string& json_path) {
     heading("Priority-inversion demo (Protocol::None mutex)");
@@ -473,6 +507,7 @@ int main(int argc, char** argv) {
         return spans_rc;
     }
     section_faults(reg);
+    section_soak(reg);
     section_inversion(reg, prom_path, json_path);
     return 0;
 }

@@ -1,0 +1,196 @@
+// soak-run: the randomized soak harness CLI (docs/soak-testing.md).
+//
+// Generates seeded scenarios (periodic/mutex/pipeline/isr families), runs
+// each to completion under the streaming invariant monitors and the RTA
+// differential oracle, and merges verdicts deterministically — the --dump
+// JSON is byte-identical at any --jobs count. With --plan/--fault-plan a
+// slm::fault plan is injected into every scenario (seeded per scenario);
+// --shrink delta-debugs the lowest-seed failure to a minimal seed+spec
+// repro and verifies its replay byte-for-byte.
+//
+// Exit code: 0 when every scenario passed, 1 when any violation was found
+// (the planted-defect path of ci/check_soak.sh expects exactly this).
+//
+// Usage: soak-run [--scenarios N] [--seed S] [--jobs-target N] [--jobs J]
+//                 [--min-tasks N] [--max-tasks N]
+//                 [--plan TEXT | --fault-plan FILE] [--shrink]
+//                 [--dump FILE] [--shrink-dump FILE] [--quiet]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "soak/shrink.hpp"
+#include "soak/soak.hpp"
+
+using namespace slm;
+
+namespace {
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: soak-run [--scenarios N] [--seed S] [--jobs-target N] "
+                 "[--jobs J] [--min-tasks N] [--max-tasks N] "
+                 "[--plan TEXT | --fault-plan FILE] [--shrink] "
+                 "[--dump FILE] [--shrink-dump FILE] [--quiet]\n");
+    return 2;
+}
+
+bool write_file(const std::string& path, const std::string& bytes) {
+    std::ofstream out{path};
+    out << bytes;
+    return out.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    soak::SoakConfig cfg;
+    bool do_shrink = false;
+    bool quiet = false;
+    std::string dump_path;
+    std::string shrink_dump_path;
+    for (int i = 1; i < argc; ++i) {
+        const auto next = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "soak-run: %s needs a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--scenarios") == 0) {
+            cfg.scenarios = static_cast<std::size_t>(std::atoll(next("--scenarios")));
+        } else if (std::strcmp(argv[i], "--seed") == 0) {
+            cfg.first_seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+        } else if (std::strcmp(argv[i], "--jobs-target") == 0) {
+            cfg.gen.jobs_target =
+                static_cast<std::uint64_t>(std::atoll(next("--jobs-target")));
+        } else if (std::strcmp(argv[i], "--jobs") == 0) {
+            cfg.jobs = static_cast<unsigned>(std::atoi(next("--jobs")));
+        } else if (std::strcmp(argv[i], "--min-tasks") == 0) {
+            cfg.gen.min_tasks = static_cast<std::size_t>(std::atoi(next("--min-tasks")));
+        } else if (std::strcmp(argv[i], "--max-tasks") == 0) {
+            cfg.gen.max_tasks = static_cast<std::size_t>(std::atoi(next("--max-tasks")));
+        } else if (std::strcmp(argv[i], "--plan") == 0) {
+            cfg.fault_plan = next("--plan");
+        } else if (std::strcmp(argv[i], "--fault-plan") == 0) {
+            std::ifstream in{next("--fault-plan")};
+            if (!in.good()) {
+                std::fprintf(stderr, "soak-run: cannot read fault plan file\n");
+                return 2;
+            }
+            std::ostringstream text;
+            text << in.rdbuf();
+            cfg.fault_plan = text.str();
+        } else if (std::strcmp(argv[i], "--shrink") == 0) {
+            do_shrink = true;
+        } else if (std::strcmp(argv[i], "--dump") == 0) {
+            dump_path = next("--dump");
+        } else if (std::strcmp(argv[i], "--shrink-dump") == 0) {
+            shrink_dump_path = next("--shrink-dump");
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            quiet = true;
+        } else {
+            return usage();
+        }
+    }
+    if (cfg.scenarios == 0 || cfg.gen.min_tasks == 0 ||
+        cfg.gen.max_tasks < cfg.gen.min_tasks) {
+        return usage();
+    }
+
+    // Pre-validate the plan so a typo is a usage error, not a mid-soak abort.
+    if (!cfg.fault_plan.empty()) {
+        std::string err;
+        if (!fault::FaultPlan::parse(cfg.fault_plan, &err)) {
+            std::fprintf(stderr, "soak-run: fault plan: %s\n", err.c_str());
+            return 2;
+        }
+    }
+
+    parallel::ParallelStats stats;
+    const soak::SoakResult res = soak::run_soak(cfg, &stats);
+
+    if (!quiet) {
+        std::printf("soak: %zu scenarios (seeds %llu..%llu), %llu jobs, %u workers\n",
+                    res.verdicts.size(),
+                    static_cast<unsigned long long>(cfg.first_seed),
+                    static_cast<unsigned long long>(cfg.first_seed + cfg.scenarios - 1),
+                    static_cast<unsigned long long>(res.total_jobs()),
+                    static_cast<unsigned>(stats.workers));
+        std::printf(
+            "oracle: %llu checked, %llu RTA-schedulable, %llu suspicious, "
+            "%llu hyperperiod overflows\n",
+            static_cast<unsigned long long>(res.oracle_checked()),
+            static_cast<unsigned long long>(res.rta_schedulable_count()),
+            static_cast<unsigned long long>(res.total_suspicious()),
+            static_cast<unsigned long long>(res.hyperperiod_overflows()));
+        std::printf("violations: %llu across %llu deadline misses\n",
+                    static_cast<unsigned long long>(res.total_violations()),
+                    static_cast<unsigned long long>(res.total_deadline_misses()));
+        for (const soak::ScenarioVerdict& v : res.verdicts) {
+            if (!v.failed()) {
+                continue;
+            }
+            std::printf("FAIL %s (%s, seed %llu):\n", v.name.c_str(),
+                        v.family.c_str(), static_cast<unsigned long long>(v.seed));
+            for (const std::string& viol : v.violations) {
+                std::printf("  %s\n", viol.c_str());
+            }
+        }
+    }
+
+    if (!dump_path.empty()) {
+        std::ostringstream os;
+        soak::write_soak_json(os, res);
+        if (!write_file(dump_path, os.str())) {
+            std::fprintf(stderr, "soak-run: cannot write %s\n", dump_path.c_str());
+            return 2;
+        }
+        if (!quiet) {
+            std::printf("wrote soak result to %s\n", dump_path.c_str());
+        }
+    }
+
+    const soak::ScenarioVerdict* failure = res.first_failure();
+    if (failure != nullptr && do_shrink) {
+        std::string err;
+        const std::optional<fault::FaultPlan> plan =
+            cfg.fault_plan.empty() ? std::nullopt
+                                   : fault::FaultPlan::parse(cfg.fault_plan, &err);
+        const soak::Scenario failing = soak::generate(cfg.gen, failure->seed);
+        const soak::ShrinkResult shrunk =
+            soak::shrink(failing, plan.has_value() ? &*plan : nullptr);
+        if (!quiet) {
+            std::printf(
+                "shrink: seed %llu -> %zu tasks after %llu attempts "
+                "(%llu accepted, %llu rounds), replay %s\n",
+                static_cast<unsigned long long>(failure->seed),
+                shrunk.minimal.app.tasks.size(),
+                static_cast<unsigned long long>(shrunk.attempts),
+                static_cast<unsigned long long>(shrunk.accepted),
+                static_cast<unsigned long long>(shrunk.rounds),
+                shrunk.replay_identical ? "byte-identical" : "DIVERGED");
+            for (const std::string& viol : shrunk.verdict.violations) {
+                std::printf("  minimal still fails: %s\n", viol.c_str());
+            }
+        }
+        if (!shrink_dump_path.empty()) {
+            std::ostringstream os;
+            soak::write_shrink_json(os, shrunk);
+            if (!write_file(shrink_dump_path, os.str())) {
+                std::fprintf(stderr, "soak-run: cannot write %s\n",
+                             shrink_dump_path.c_str());
+                return 2;
+            }
+            if (!quiet) {
+                std::printf("wrote shrink result to %s\n", shrink_dump_path.c_str());
+            }
+        }
+    }
+
+    return failure != nullptr ? 1 : 0;
+}

@@ -59,9 +59,14 @@ std::optional<SimTime> response_time_with_blocking(
             if (j == idx || tasks[j].priority >= ti.priority) {
                 continue;  // only strictly higher-priority tasks interfere
             }
-            const std::uint64_t releases =
-                (r.ns() + tasks[j].period.ns() - 1) / tasks[j].period.ns();
-            next += tasks[j].wcet * releases;
+            // ceil(r / T_j) without the usual r + T - 1 trick, which wraps
+            // for r near SimTime::max() on wildly unschedulable random sets.
+            const std::uint64_t p = tasks[j].period.ns();
+            const std::uint64_t releases = r.ns() / p + (r.ns() % p != 0 ? 1 : 0);
+            next += tasks[j].wcet * releases;  // saturating *, + (sim/time.hpp)
+        }
+        if (next == SimTime::max()) {
+            return std::nullopt;  // interference saturated: divergent
         }
         if (next == r) {
             return r;
@@ -74,8 +79,13 @@ std::optional<SimTime> response_time_with_blocking(
     return std::nullopt;  // did not converge
 }
 
-SimTime hyperperiod(std::span<const PeriodicTaskSpec> tasks) {
-    std::uint64_t lcm = 0;
+std::optional<SimTime> hyperperiod_checked(
+    std::span<const PeriodicTaskSpec> tasks) {
+    // Accumulate in unsigned __int128 so the overflow test is exact even for
+    // intermediate products near 2^64 (lcm/g * p can exceed uint64 before the
+    // final gcd reduction would bring it back down — with pairwise reduction
+    // it never does, but the wide accumulator makes that reasoning local).
+    unsigned __int128 lcm = 0;
     for (const PeriodicTaskSpec& t : tasks) {
         const auto p = static_cast<std::uint64_t>(t.period.ns());
         if (p == 0) {
@@ -85,14 +95,18 @@ SimTime hyperperiod(std::span<const PeriodicTaskSpec> tasks) {
             lcm = p;
             continue;
         }
-        const std::uint64_t g = std::gcd(lcm, p);
-        const std::uint64_t step = lcm / g;
-        if (step > static_cast<std::uint64_t>(SimTime::max().ns()) / p) {
-            return SimTime::max();  // overflow: effectively aperiodic mix
+        const std::uint64_t g = std::gcd(static_cast<std::uint64_t>(lcm), p);
+        lcm = (lcm / g) * p;
+        if (lcm > static_cast<unsigned __int128>(SimTime::max().ns())) {
+            return std::nullopt;  // LCM blew past the representable horizon
         }
-        lcm = step * p;
     }
-    return nanoseconds(static_cast<std::int64_t>(lcm));
+    return SimTime{static_cast<std::uint64_t>(lcm)};
+}
+
+SimTime hyperperiod(std::span<const PeriodicTaskSpec> tasks) {
+    const std::optional<SimTime> h = hyperperiod_checked(tasks);
+    return h.has_value() ? *h : SimTime::max();
 }
 
 bool rta_schedulable(std::span<const PeriodicTaskSpec> tasks) {

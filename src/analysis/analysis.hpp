@@ -58,8 +58,17 @@ void assign_rms_priorities(std::span<PeriodicTaskSpec> tasks);
 /// LCM of all task periods — the horizon after which a synchronous periodic
 /// schedule repeats. One hyperperiod bounds both simulation-based deadline
 /// checks and schedule-space exploration (slm::explore) of a periodic task
-/// set. Saturates to SimTime::max() on overflow; returns zero for an empty
-/// set.
+/// set. Returns nullopt when the LCM exceeds SimTime::max() (randomized
+/// period sets with coprime periods blow up fast); returns zero for an
+/// empty set. Callers that need a usable horizon anyway should treat
+/// nullopt as "effectively aperiodic" and pick a bounded horizon — the
+/// soak oracle records the overflow as a diagnostic instead of trusting a
+/// wrapped value.
+[[nodiscard]] std::optional<SimTime> hyperperiod_checked(
+    std::span<const PeriodicTaskSpec> tasks);
+
+/// Clamping wrapper over hyperperiod_checked(): saturates to SimTime::max()
+/// on overflow, for callers that only need an upper bound.
 [[nodiscard]] SimTime hyperperiod(std::span<const PeriodicTaskSpec> tasks);
 
 }  // namespace slm::analysis

@@ -41,7 +41,12 @@ public:
     friend constexpr SimTime operator-(SimTime a, SimTime b) {
         return (a.ns_ > b.ns_) ? SimTime{a.ns_ - b.ns_} : zero();
     }
-    friend constexpr SimTime operator*(SimTime a, std::uint64_t k) { return SimTime{a.ns_ * k}; }
+    /// Saturating multiplication: mirrors operator+ so repeated-release terms
+    /// in schedulability math (wcet * releases) clamp instead of wrapping.
+    friend constexpr SimTime operator*(SimTime a, std::uint64_t k) {
+        std::uint64_t prod = 0;
+        return __builtin_mul_overflow(a.ns_, k, &prod) ? max() : SimTime{prod};
+    }
     friend constexpr SimTime operator*(std::uint64_t k, SimTime a) { return a * k; }
     friend constexpr SimTime operator/(SimTime a, std::uint64_t k) { return SimTime{a.ns_ / k}; }
 

@@ -1,0 +1,479 @@
+#include "soak/gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "trace/trace.hpp"
+
+namespace slm::soak {
+
+namespace {
+
+using time_literals::operator""_us;
+
+/// Period ladder for the periodic families, microseconds. A deliberately
+/// small set of mutually friendly values keeps hyperperiods representable
+/// for most draws while still producing varied rate mixes; the hyperperiod
+/// overflow path is exercised separately by tests with adversarial periods.
+constexpr std::uint64_t kPeriodLadderUs[] = {500, 1000, 2000, 4000, 5000, 8000, 10000};
+
+/// Stimulus period ladder for the channel families, microseconds.
+constexpr std::uint64_t kStimLadderUs[] = {200, 400, 500, 800, 1000};
+
+/// UUniFast (Bini & Buttazzo): split total utilization U across n tasks,
+/// uniformly over the simplex.
+std::vector<double> uunifast(Rng& rng, std::size_t n, double total) {
+    std::vector<double> u(n);
+    double sum = total;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        const double next =
+            sum * std::pow(rng.unit(), 1.0 / static_cast<double>(n - 1 - i));
+        u[i] = sum - next;
+        sum = next;
+    }
+    u[n - 1] = sum;
+    return u;
+}
+
+/// Rate-proportional per-task job counts summing to roughly jobs_target:
+/// every task runs for the same virtual horizon H = target / Σ(1/T_i).
+std::vector<std::uint64_t> job_split(const std::vector<SimTime>& periods,
+                                     std::uint64_t jobs_target) {
+    double total_rate = 0.0;
+    for (const SimTime& p : periods) {
+        total_rate += 1.0 / static_cast<double>(p.ns());
+    }
+    const double horizon = static_cast<double>(jobs_target) / total_rate;
+    std::vector<std::uint64_t> jobs(periods.size());
+    for (std::size_t i = 0; i < periods.size(); ++i) {
+        const double j = horizon / static_cast<double>(periods[i].ns());
+        jobs[i] = std::max<std::uint64_t>(1, static_cast<std::uint64_t>(j));
+    }
+    return jobs;
+}
+
+void finish_totals(Scenario& sc) {
+    sc.total_jobs = 0;
+    for (const sys::TaskSpec& t : sc.app.tasks) {
+        sc.total_jobs += t.jobs;
+    }
+}
+
+/// One Priority-scheduled PE, zero switch cost, speed 1/1 — the platform
+/// shape the RTA oracle is sound for.
+void single_pe_platform(Scenario& sc) {
+    sys::PeSpec pe;
+    pe.name = "PE0";
+    pe.policy = rtos::SchedPolicy::Priority;
+    sc.platform.name = "soak-1pe";
+    sc.platform.pes.push_back(pe);
+}
+
+/// The periodic families: n independent periodic tasks, RMS priorities,
+/// total utilization drawn from [min_util, max_util]. `with_mutexes` adds
+/// 1-2 contention groups whose members spend part of their budget inside a
+/// priority-inheritance critical section.
+Scenario periodic_scenario(const GenConfig& cfg, std::uint64_t seed,
+                           bool with_mutexes, Rng& structure, Rng& periods_rng,
+                           Rng& wcets_rng, Rng& mutexes_rng) {
+    Scenario sc;
+    sc.seed = seed;
+    sc.name = "s" + std::to_string(seed);
+    sc.family = with_mutexes ? Family::Mutex : Family::Periodic;
+    sc.oracle_eligible = true;
+    single_pe_platform(sc);
+
+    const std::size_t span = cfg.max_tasks - cfg.min_tasks + 1;
+    const std::size_t n = cfg.min_tasks + structure.below(span);
+    std::vector<SimTime> periods(n);
+    for (SimTime& p : periods) {
+        p = microseconds(kPeriodLadderUs[periods_rng.below(std::size(kPeriodLadderUs))]);
+    }
+    const double total_util =
+        cfg.min_util + wcets_rng.unit() * (cfg.max_util - cfg.min_util);
+    const std::vector<double> util = uunifast(wcets_rng, n, total_util);
+    const std::vector<std::uint64_t> jobs = job_split(periods, cfg.jobs_target);
+
+    std::vector<analysis::PeriodicTaskSpec> view(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        sys::TaskSpec t;
+        t.name = "t" + std::to_string(i);
+        t.period = periods[i];
+        const std::uint64_t lo = 1000;  // 1 us floor
+        const std::uint64_t hi = periods[i].ns() * 4 / 5;
+        const auto want =
+            static_cast<std::uint64_t>(util[i] * static_cast<double>(periods[i].ns()));
+        t.exec_cost = nanoseconds(std::clamp(want, lo, hi));
+        t.jobs = jobs[i];
+        sc.app.tasks.push_back(t);
+        view[i] = {t.name, t.period, t.exec_cost, SimTime::zero(), 0};
+    }
+    sc.app.name = sc.name;
+    analysis::assign_rms_priorities(view);
+
+    SimTime min_period = periods.front();
+    for (const SimTime& p : periods) {
+        min_period = std::min(min_period, p);
+    }
+    sc.granularity = nanoseconds(std::max<std::uint64_t>(1000, min_period.ns() / 8));
+
+    sc.mapping.name = "m0";
+    for (std::size_t i = 0; i < n; ++i) {
+        sc.app.tasks[i].priority = view[i].priority;
+        sc.mapping.bindings.push_back({view[i].name, "PE0", view[i].priority});
+    }
+
+    if (with_mutexes) {
+        const std::size_t groups = 1 + mutexes_rng.below(2);
+        for (std::size_t g = 0; g < groups; ++g) {
+            // Partial Fisher-Yates: k distinct member tasks.
+            std::vector<std::size_t> idx(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                idx[i] = i;
+            }
+            const std::size_t k = 2 + mutexes_rng.below(n - 1);
+            for (std::size_t i = 0; i < k; ++i) {
+                std::swap(idx[i], idx[i + mutexes_rng.below(n - i)]);
+            }
+            MutexGroup mg;
+            mg.name = "mux" + std::to_string(g);
+            for (std::size_t i = 0; i < k; ++i) {
+                const sys::TaskSpec& t = sc.app.tasks[idx[i]];
+                const double frac = 0.1 + 0.25 * mutexes_rng.unit();
+                const auto cs = static_cast<std::uint64_t>(
+                    frac * static_cast<double>(t.exec_cost.ns()));
+                mg.tasks.push_back(t.name);
+                mg.cs.push_back(nanoseconds(
+                    std::clamp<std::uint64_t>(cs, 1, t.exec_cost.ns() / 2)));
+            }
+            // Member order by app index keeps the JSON canonical.
+            std::vector<std::size_t> order(k);
+            for (std::size_t i = 0; i < k; ++i) {
+                order[i] = i;
+            }
+            std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+                return idx[a] < idx[b];
+            });
+            MutexGroup sorted;
+            sorted.name = mg.name;
+            for (std::size_t i : order) {
+                sorted.tasks.push_back(mg.tasks[i]);
+                sorted.cs.push_back(mg.cs[i]);
+            }
+            sc.mutexes.push_back(std::move(sorted));
+        }
+    }
+    finish_totals(sc);
+    return sc;
+}
+
+/// Pipeline family: a stimulus-fed chain of data-driven tasks spread over
+/// one or two PEs; cross-PE hops (and the stimulus injection) ride the bus,
+/// co-located hops use intra-PE OS queues. Checked by invariants only.
+Scenario pipeline_scenario(const GenConfig& cfg, std::uint64_t seed, Rng& structure,
+                           Rng& periods_rng, Rng& wcets_rng, Rng& topology) {
+    Scenario sc;
+    sc.seed = seed;
+    sc.name = "s" + std::to_string(seed);
+    sc.family = Family::Pipeline;
+    sc.granularity = 100_us;
+
+    const std::size_t npe = 1 + structure.below(2);
+    sc.platform.name = npe == 1 ? "soak-1pe-bus" : "soak-2pe-bus";
+    for (std::size_t p = 0; p < npe; ++p) {
+        sys::PeSpec pe;
+        pe.name = "PE" + std::to_string(p);
+        pe.policy = rtos::SchedPolicy::Priority;
+        sc.platform.pes.push_back(pe);
+    }
+    sc.platform.buses.push_back(sys::BusSpec{"bus0"});
+
+    const std::size_t k = 2 + structure.below(4);  // chain length 2..5
+    const SimTime stim_period =
+        microseconds(kStimLadderUs[periods_rng.below(std::size(kStimLadderUs))]);
+    const std::uint64_t count =
+        std::max<std::uint64_t>(1, cfg.jobs_target / k);
+
+    sc.app.name = sc.name;
+    sc.mapping.name = "m0";
+    std::vector<std::string> pe_of(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        sys::TaskSpec t;
+        t.name = "t" + std::to_string(i);
+        const double frac = 0.05 + 0.5 * wcets_rng.unit();
+        t.exec_cost = nanoseconds(std::max<std::uint64_t>(
+            1000, static_cast<std::uint64_t>(
+                      frac * static_cast<double>(stim_period.ns()) /
+                      static_cast<double>(npe))));
+        t.jobs = count;
+        t.priority = static_cast<int>(i) + 1;
+        sc.app.tasks.push_back(t);
+        pe_of[i] = "PE" + std::to_string(topology.below(npe));
+        sc.mapping.bindings.push_back({t.name, pe_of[i], t.priority});
+    }
+    for (std::size_t c = 0; c <= k - 1; ++c) {
+        sys::ChannelSpec ch;
+        ch.name = "c" + std::to_string(c);
+        ch.src = c == 0 ? "" : ("t" + std::to_string(c - 1));
+        ch.dst = "t" + std::to_string(c == 0 ? 0 : c);
+        ch.message_bytes = 4 + topology.below(60);
+        sc.app.channels.push_back(ch);
+        const bool bus = c == 0 || pe_of[c - 1] != pe_of[c];
+        sc.mapping.routes.push_back({ch.name, bus ? "bus0" : ""});
+    }
+    // Inner chain hops c1..c(k-1); c0 is the stimulus injection.
+    // (Channel c(j) for j >= 1 connects t(j-1) -> t(j).)
+    sc.app.stimuli.push_back(sys::StimulusSpec{"stim0", "c0", stim_period, count});
+    finish_totals(sc);
+    return sc;
+}
+
+/// Isr family: several stimulus sources — one of them a fast burster —
+/// feeding the same bus channel, so the receiver-side ISR and semaphore see
+/// clustered arrivals; a one- or two-stage consumer drains them.
+Scenario isr_scenario(const GenConfig& cfg, std::uint64_t seed, Rng& structure,
+                      Rng& periods_rng, Rng& wcets_rng, Rng& topology) {
+    Scenario sc;
+    sc.seed = seed;
+    sc.name = "s" + std::to_string(seed);
+    sc.family = Family::Isr;
+    sc.granularity = 50_us;
+    single_pe_platform(sc);
+    sc.platform.name = "soak-1pe-bus";
+    sc.platform.buses.push_back(sys::BusSpec{"bus0"});
+
+    const std::size_t stages = 1 + structure.below(2);
+    const std::size_t sources = 2 + structure.below(2);
+    const std::uint64_t total = std::max<std::uint64_t>(sources, cfg.jobs_target);
+
+    sc.app.name = sc.name;
+    sc.mapping.name = "m0";
+    for (std::size_t i = 0; i < stages; ++i) {
+        sys::TaskSpec t;
+        t.name = "t" + std::to_string(i);
+        t.exec_cost = nanoseconds(
+            1000 + static_cast<std::uint64_t>(30'000.0 * wcets_rng.unit()));
+        t.jobs = total;
+        t.priority = static_cast<int>(i) + 1;
+        sc.app.tasks.push_back(t);
+        sc.mapping.bindings.push_back({t.name, "PE0", t.priority});
+    }
+    sys::ChannelSpec in;
+    in.name = "c0";
+    in.dst = "t0";
+    in.message_bytes = 4 + topology.below(28);
+    sc.app.channels.push_back(in);
+    sc.mapping.routes.push_back({"c0", "bus0"});
+    if (stages == 2) {
+        sys::ChannelSpec mid;
+        mid.name = "c1";
+        mid.src = "t0";
+        mid.dst = "t1";
+        sc.app.channels.push_back(mid);
+        sc.mapping.routes.push_back({"c1", ""});
+    }
+
+    // Token budget split across the sources; the first source is the burster
+    // (a period well below the others, clustering bus posts and ISRs).
+    std::uint64_t left = total;
+    for (std::size_t s = 0; s < sources; ++s) {
+        sys::StimulusSpec st;
+        st.name = "stim" + std::to_string(s);
+        st.channel = "c0";
+        if (s == 0) {
+            st.period = microseconds(50 * (1 + periods_rng.below(4)));
+        } else {
+            st.period =
+                microseconds(kStimLadderUs[periods_rng.below(std::size(kStimLadderUs))]);
+        }
+        const std::uint64_t share =
+            s + 1 == sources ? left : std::max<std::uint64_t>(1, total / sources);
+        st.count = std::min(share, left);
+        left -= st.count;
+        sc.app.stimuli.push_back(st);
+        if (left == 0) {
+            break;
+        }
+    }
+    // If the split ran dry early, top the first source back up so counts
+    // still sum to the consumers' job budget.
+    std::uint64_t stim_total = 0;
+    for (const sys::StimulusSpec& st : sc.app.stimuli) {
+        stim_total += st.count;
+    }
+    if (stim_total < total) {
+        sc.app.stimuli.front().count += total - stim_total;
+    }
+    finish_totals(sc);
+    return sc;
+}
+
+}  // namespace
+
+const char* to_string(Family f) {
+    switch (f) {
+        case Family::Periodic: return "periodic";
+        case Family::Mutex: return "mutex";
+        case Family::Pipeline: return "pipeline";
+        case Family::Isr: return "isr";
+    }
+    return "?";
+}
+
+Scenario generate(const GenConfig& cfg, std::uint64_t seed) {
+    // Stream seeds drawn in a fixed order: adding a concern later appends a
+    // draw instead of reshuffling existing scenarios.
+    Rng root(seed);
+    Rng structure(root.next());
+    Rng periods(root.next());
+    Rng wcets(root.next());
+    Rng mutexes(root.next());
+    Rng topology(root.next());
+
+    std::vector<Family> enabled;
+    if (cfg.periodic) {
+        enabled.push_back(Family::Periodic);
+    }
+    if (cfg.mutex) {
+        enabled.push_back(Family::Mutex);
+    }
+    if (cfg.pipeline) {
+        enabled.push_back(Family::Pipeline);
+    }
+    if (cfg.isr) {
+        enabled.push_back(Family::Isr);
+    }
+    if (enabled.empty()) {
+        enabled.push_back(Family::Periodic);
+    }
+    const Family fam = enabled[structure.below(enabled.size())];
+    switch (fam) {
+        case Family::Periodic:
+            return periodic_scenario(cfg, seed, false, structure, periods, wcets,
+                                     mutexes);
+        case Family::Mutex:
+            return periodic_scenario(cfg, seed, true, structure, periods, wcets,
+                                     mutexes);
+        case Family::Pipeline:
+            return pipeline_scenario(cfg, seed, structure, periods, wcets, topology);
+        case Family::Isr:
+            return isr_scenario(cfg, seed, structure, periods, wcets, topology);
+    }
+    return periodic_scenario(cfg, seed, false, structure, periods, wcets, mutexes);
+}
+
+std::vector<analysis::PeriodicTaskSpec> analysis_view(const Scenario& sc) {
+    std::vector<analysis::PeriodicTaskSpec> view;
+    view.reserve(sc.app.tasks.size());
+    for (const sys::TaskSpec& t : sc.app.tasks) {
+        const sys::TaskBinding* b = sc.mapping.binding(t.name);
+        view.push_back({t.name, t.period, t.exec_cost, t.deadline,
+                        b != nullptr ? b->priority : t.priority});
+    }
+    return view;
+}
+
+SimTime blocking_bound(const Scenario& sc, std::size_t idx) {
+    const sys::TaskSpec& ti = sc.app.tasks[idx];
+    const sys::TaskBinding* bi = sc.mapping.binding(ti.name);
+    const int pri = bi != nullptr ? bi->priority : ti.priority;
+    SimTime bound;
+    std::uint64_t own_locks = 0;
+    for (const MutexGroup& g : sc.mutexes) {
+        for (std::size_t m = 0; m < g.tasks.size(); ++m) {
+            if (g.tasks[m] == ti.name) {
+                ++own_locks;
+                continue;
+            }
+            const sys::TaskBinding* bm = sc.mapping.binding(g.tasks[m]);
+            const int mp = bm != nullptr ? bm->priority : 0;
+            if (mp > pri) {  // numerically greater = lower priority
+                bound += g.cs[m];
+            }
+        }
+    }
+    bound += sc.granularity * (1 + own_locks);
+    return bound;
+}
+
+void write_scenario_json(std::ostream& os, const Scenario& sc) {
+    os << "{\"schema\":\"slm-soak-scenario-v1\"";
+    os << ",\"name\":\"" << trace::json_escape(sc.name) << '"';
+    os << ",\"seed\":" << sc.seed;
+    os << ",\"family\":\"" << to_string(sc.family) << '"';
+    os << ",\"granularity_ns\":" << sc.granularity.ns();
+    os << ",\"total_jobs\":" << sc.total_jobs;
+    os << ",\"oracle_eligible\":" << (sc.oracle_eligible ? "true" : "false");
+    os << ",\"task_count\":" << sc.app.tasks.size();
+    os << ",\"tasks\":[";
+    for (std::size_t i = 0; i < sc.app.tasks.size(); ++i) {
+        const sys::TaskSpec& t = sc.app.tasks[i];
+        const sys::TaskBinding* b = sc.mapping.binding(t.name);
+        if (i != 0) {
+            os << ',';
+        }
+        os << "{\"name\":\"" << trace::json_escape(t.name) << '"'
+           << ",\"exec_ns\":" << t.exec_cost.ns()
+           << ",\"period_ns\":" << t.period.ns()
+           << ",\"deadline_ns\":" << t.deadline.ns() << ",\"jobs\":" << t.jobs
+           << ",\"pe\":\"" << trace::json_escape(b != nullptr ? b->pe : "") << '"'
+           << ",\"priority\":" << (b != nullptr ? b->priority : t.priority) << '}';
+    }
+    os << "],\"channels\":[";
+    for (std::size_t i = 0; i < sc.app.channels.size(); ++i) {
+        const sys::ChannelSpec& c = sc.app.channels[i];
+        const sys::ChannelRoute* r = sc.mapping.route(c.name);
+        if (i != 0) {
+            os << ',';
+        }
+        os << "{\"name\":\"" << trace::json_escape(c.name) << '"'
+           << ",\"src\":\"" << trace::json_escape(c.src) << '"'
+           << ",\"dst\":\"" << trace::json_escape(c.dst) << '"'
+           << ",\"bytes\":" << c.message_bytes << ",\"bus\":\""
+           << trace::json_escape(r != nullptr ? r->bus : "") << "\"}";
+    }
+    os << "],\"stimuli\":[";
+    for (std::size_t i = 0; i < sc.app.stimuli.size(); ++i) {
+        const sys::StimulusSpec& s = sc.app.stimuli[i];
+        if (i != 0) {
+            os << ',';
+        }
+        os << "{\"name\":\"" << trace::json_escape(s.name) << '"'
+           << ",\"channel\":\"" << trace::json_escape(s.channel) << '"'
+           << ",\"period_ns\":" << s.period.ns() << ",\"count\":" << s.count << '}';
+    }
+    os << "],\"mutexes\":[";
+    for (std::size_t i = 0; i < sc.mutexes.size(); ++i) {
+        const MutexGroup& g = sc.mutexes[i];
+        if (i != 0) {
+            os << ',';
+        }
+        os << "{\"name\":\"" << trace::json_escape(g.name) << "\",\"members\":[";
+        for (std::size_t m = 0; m < g.tasks.size(); ++m) {
+            if (m != 0) {
+                os << ',';
+            }
+            os << "{\"task\":\"" << trace::json_escape(g.tasks[m]) << '"'
+               << ",\"cs_ns\":" << g.cs[m].ns() << '}';
+        }
+        os << "]}";
+    }
+    os << "],\"pes\":[";
+    for (std::size_t i = 0; i < sc.platform.pes.size(); ++i) {
+        if (i != 0) {
+            os << ',';
+        }
+        os << '"' << trace::json_escape(sc.platform.pes[i].name) << '"';
+    }
+    os << "],\"buses\":[";
+    for (std::size_t i = 0; i < sc.platform.buses.size(); ++i) {
+        if (i != 0) {
+            os << ',';
+        }
+        os << '"' << trace::json_escape(sc.platform.buses[i].name) << '"';
+    }
+    os << "]}";
+}
+
+}  // namespace slm::soak

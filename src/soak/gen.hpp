@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "sim/time.hpp"
+#include "sys/spec.hpp"
+
+namespace slm::soak {
+
+/// Seeded scenario generation for the soak harness (docs/soak-testing.md).
+///
+/// A Scenario is a fully materialized, self-contained workload description:
+/// a sys::AppSpec/PlatformSpec/MappingSpec triple plus the soak-specific
+/// extras the spec layer has no vocabulary for (shared mutexes with critical
+/// sections, the preemption granularity, the expected job total, and whether
+/// the analytic deadline oracle applies). generate(cfg, seed) is a pure
+/// function — the same (config, seed) pair always yields the same Scenario,
+/// which is what makes every soak run replayable from two integers — and the
+/// shrinker (shrink.hpp) edits Scenarios directly, so a minimal repro is a
+/// serialized spec, not a seed.
+
+/// splitmix64 — the repo's standard seeded stream (same recurrence as
+/// slm::fault's injector PRNG). One instance per generation concern
+/// (structure, periods, wcets, mutexes, topology) so changing how one
+/// dimension is drawn does not reshuffle the others.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t next() {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+    /// Uniform in [0, n); 0 for n == 0.
+    std::uint64_t below(std::uint64_t n) { return n == 0 ? 0 : next() % n; }
+    /// Uniform in [0, 1).
+    double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+private:
+    std::uint64_t state_;
+};
+
+/// The four workload shapes the generator emits. Periodic and Mutex run on
+/// one Priority-scheduled PE with exact per-job costs, so the RTA deadline
+/// oracle applies; Pipeline and Isr exercise channel topologies, bus
+/// transfers, and bursty interrupt sources, and are checked by the invariant
+/// monitors only.
+enum class Family { Periodic, Mutex, Pipeline, Isr };
+
+[[nodiscard]] const char* to_string(Family f);
+
+/// A shared mutex and the tasks that contend for it: member task i locks the
+/// group's mutex once per job and holds it for cs[i] of its execution budget.
+struct MutexGroup {
+    std::string name;
+    std::vector<std::string> tasks;
+    std::vector<SimTime> cs;  ///< critical-section length, parallel to tasks
+};
+
+struct Scenario {
+    std::string name;
+    std::uint64_t seed = 0;
+    Family family = Family::Periodic;
+    sys::AppSpec app;
+    sys::PlatformSpec platform;
+    sys::MappingSpec mapping;
+    std::vector<MutexGroup> mutexes;
+    /// RtosConfig::preemption_granularity for every PE. Nonzero for
+    /// oracle-eligible scenarios: with the default one-chunk charging a
+    /// lower-priority job is never preempted mid-execution and no analytic
+    /// bound would hold (the chunk term enters the blocking bound instead —
+    /// see blocking_bound()).
+    SimTime granularity{};
+    /// Expected sys::SystemMetrics::jobs_completed of a clean run-to-complete
+    /// simulation: the sum of every TaskSpec::jobs. The conservation checker
+    /// compares against this.
+    std::uint64_t total_jobs = 0;
+    /// True when the RTA differential oracle applies (single PE, Priority
+    /// policy, zero switch cost, per-job cost exactly wcet).
+    bool oracle_eligible = false;
+};
+
+struct GenConfig {
+    std::size_t min_tasks = 3;
+    std::size_t max_tasks = 8;
+    /// Approximate jobs per scenario (split across tasks by rate).
+    std::uint64_t jobs_target = 1000;
+    /// Total-utilization range for the periodic families; spans both
+    /// RTA-schedulable and unschedulable sets so the oracle exercises its
+    /// "must meet bound" and "suspiciously fine" directions.
+    double min_util = 0.35;
+    double max_util = 0.95;
+    bool periodic = true;
+    bool mutex = true;
+    bool pipeline = true;
+    bool isr = true;
+};
+
+/// Deterministically materialize the scenario for (cfg, seed).
+[[nodiscard]] Scenario generate(const GenConfig& cfg, std::uint64_t seed);
+
+/// The analysis view of a periodic scenario: one PeriodicTaskSpec per app
+/// task, in app order, priorities from the mapping bindings. Only meaningful
+/// for oracle-eligible scenarios (every task periodic).
+[[nodiscard]] std::vector<analysis::PeriodicTaskSpec> analysis_view(
+    const Scenario& sc);
+
+/// Upper bound on the blocking term of app task `idx` in this scenario's
+/// simulation: Σ critical sections of lower-priority tasks (priority
+/// inheritance: a job is blocked at most once per lower-priority critical
+/// section) plus one granularity chunk per preemption point — the model
+/// preempts only at chunk boundaries, so a newly released job can wait out
+/// the tail of a lower-priority chunk, once at release and once per mutex
+/// the task itself locks.
+[[nodiscard]] SimTime blocking_bound(const Scenario& sc, std::size_t idx);
+
+/// Canonical single-line JSON of a scenario — the "spec" half of a
+/// seed+spec repro. Byte-identical for equal scenarios.
+void write_scenario_json(std::ostream& os, const Scenario& sc);
+
+}  // namespace slm::soak

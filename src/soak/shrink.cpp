@@ -1,0 +1,245 @@
+#include "soak/shrink.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "sim/assert.hpp"
+#include "sys/spec.hpp"
+
+namespace slm::soak {
+
+namespace {
+
+constexpr std::uint64_t kMaxAttempts = 10'000;
+
+/// Re-establish the cross-field invariants a structural edit can break:
+/// mutex groups need >= 2 members, data-driven consumers can only run as
+/// many jobs as their inputs supply tokens for, and total_jobs is the sum of
+/// the per-task budgets. Token supply propagates in app task order, which is
+/// chain order for every generated family.
+void normalize(Scenario& sc) {
+    std::erase_if(sc.mutexes, [](const MutexGroup& g) { return g.tasks.size() < 2; });
+    for (sys::TaskSpec& t : sc.app.tasks) {
+        if (!t.period.is_zero()) {
+            continue;  // periodic: release-driven, jobs stay as drawn
+        }
+        std::uint64_t supply = 0;
+        bool has_input = false;
+        for (const sys::ChannelSpec& c : sc.app.channels) {
+            if (c.dst != t.name) {
+                continue;
+            }
+            std::uint64_t chan_supply = 0;
+            if (c.src.empty()) {
+                for (const sys::StimulusSpec& s : sc.app.stimuli) {
+                    if (s.channel == c.name) {
+                        chan_supply += s.count;
+                    }
+                }
+            } else {
+                for (const sys::TaskSpec& src : sc.app.tasks) {
+                    if (src.name == c.src) {
+                        chan_supply = src.jobs;
+                    }
+                }
+            }
+            supply = has_input ? std::min(supply, chan_supply) : chan_supply;
+            has_input = true;
+        }
+        if (has_input) {
+            t.jobs = std::max<std::uint64_t>(1, supply);
+        }
+    }
+    sc.total_jobs = 0;
+    for (const sys::TaskSpec& t : sc.app.tasks) {
+        sc.total_jobs += t.jobs;
+    }
+}
+
+/// Remove task `idx` and everything referencing it.
+void drop_task(Scenario& sc, std::size_t idx) {
+    const std::string name = sc.app.tasks[idx].name;
+    sc.app.tasks.erase(sc.app.tasks.begin() + static_cast<std::ptrdiff_t>(idx));
+    std::vector<std::string> dead_channels;
+    std::erase_if(sc.app.channels, [&](const sys::ChannelSpec& c) {
+        if (c.src == name || c.dst == name) {
+            dead_channels.push_back(c.name);
+            return true;
+        }
+        return false;
+    });
+    std::erase_if(sc.app.stimuli, [&](const sys::StimulusSpec& s) {
+        return std::find(dead_channels.begin(), dead_channels.end(), s.channel) !=
+               dead_channels.end();
+    });
+    std::erase_if(sc.mapping.bindings,
+                  [&](const sys::TaskBinding& b) { return b.task == name; });
+    std::erase_if(sc.mapping.routes, [&](const sys::ChannelRoute& r) {
+        return std::find(dead_channels.begin(), dead_channels.end(), r.channel) !=
+               dead_channels.end();
+    });
+    for (MutexGroup& g : sc.mutexes) {
+        for (std::size_t m = g.tasks.size(); m-- > 0;) {
+            if (g.tasks[m] == name) {
+                g.tasks.erase(g.tasks.begin() + static_cast<std::ptrdiff_t>(m));
+                g.cs.erase(g.cs.begin() + static_cast<std::ptrdiff_t>(m));
+            }
+        }
+    }
+}
+
+void halve_jobs(Scenario& sc) {
+    for (sys::TaskSpec& t : sc.app.tasks) {
+        t.jobs = std::max<std::uint64_t>(1, t.jobs / 2);
+    }
+    for (sys::StimulusSpec& s : sc.app.stimuli) {
+        s.count = std::max<std::uint64_t>(1, s.count / 2);
+    }
+}
+
+void halve_exec(Scenario& sc, std::size_t idx) {
+    sys::TaskSpec& t = sc.app.tasks[idx];
+    t.exec_cost = nanoseconds(std::max<std::uint64_t>(1, t.exec_cost.ns() / 2));
+    // Critical sections live inside the execution budget: shrink them along
+    // so the split behavior never charges more than exec_cost.
+    for (MutexGroup& g : sc.mutexes) {
+        for (std::size_t m = 0; m < g.tasks.size(); ++m) {
+            if (g.tasks[m] == t.name) {
+                g.cs[m] = nanoseconds(std::clamp<std::uint64_t>(
+                    g.cs[m].ns() / 2, 1, std::max<std::uint64_t>(1, t.exec_cost.ns() / 2)));
+            }
+        }
+    }
+}
+
+void halve_cs(Scenario& sc, std::size_t group) {
+    for (SimTime& cs : sc.mutexes[group].cs) {
+        cs = nanoseconds(std::max<std::uint64_t>(1, cs.ns() / 2));
+    }
+}
+
+/// True when the candidate is structurally valid and still fails under the
+/// plan; fills `verdict` with the candidate's result when it does.
+bool still_fails(const Scenario& sc, const fault::FaultPlan* plan,
+                 ScenarioVerdict& verdict) {
+    if (sc.app.tasks.empty() ||
+        !sys::validate(sc.app, sc.platform, sc.mapping).empty()) {
+        return false;
+    }
+    ScenarioVerdict v = run_scenario(sc, plan);
+    if (!v.failed()) {
+        return false;
+    }
+    verdict = std::move(v);
+    return true;
+}
+
+std::string verdict_bytes(const ScenarioVerdict& v) {
+    std::ostringstream os;
+    write_verdict_json(os, v);
+    return os.str();
+}
+
+}  // namespace
+
+ShrinkResult shrink(const Scenario& failing, const fault::FaultPlan* plan) {
+    ShrinkResult res;
+    res.minimal = failing;
+    res.verdict = run_scenario(failing, plan);
+    SLM_ASSERT(res.verdict.failed(), "shrink() needs a failing scenario");
+
+    // Greedy fixpoint: walk the reduction menu in a fixed order; every
+    // acceptance restarts the menu on the smaller scenario. A round with no
+    // acceptance is the local minimum.
+    bool progress = true;
+    while (progress && res.attempts < kMaxAttempts) {
+        progress = false;
+        ++res.rounds;
+        const auto attempt = [&](Scenario&& candidate) {
+            ++res.attempts;
+            normalize(candidate);
+            ScenarioVerdict v;
+            if (still_fails(candidate, plan, v)) {
+                res.minimal = std::move(candidate);
+                res.verdict = std::move(v);
+                ++res.accepted;
+                progress = true;
+                return true;
+            }
+            return false;
+        };
+        for (std::size_t i = 0; !progress && i < res.minimal.app.tasks.size(); ++i) {
+            Scenario c = res.minimal;
+            drop_task(c, i);
+            attempt(std::move(c));
+        }
+        for (std::size_t g = 0; !progress && g < res.minimal.mutexes.size(); ++g) {
+            Scenario c = res.minimal;
+            c.mutexes.erase(c.mutexes.begin() + static_cast<std::ptrdiff_t>(g));
+            attempt(std::move(c));
+        }
+        for (std::size_t s = 0; !progress && s < res.minimal.app.stimuli.size(); ++s) {
+            // Keep at least one source per stimulus channel: a token-less
+            // channel would starve its consumer into a bogus conservation
+            // failure instead of reproducing the real one.
+            const std::string& chan = res.minimal.app.stimuli[s].channel;
+            std::size_t feeders = 0;
+            for (const sys::StimulusSpec& st : res.minimal.app.stimuli) {
+                feeders += st.channel == chan ? 1 : 0;
+            }
+            if (feeders < 2) {
+                continue;
+            }
+            Scenario c = res.minimal;
+            c.app.stimuli.erase(c.app.stimuli.begin() + static_cast<std::ptrdiff_t>(s));
+            attempt(std::move(c));
+        }
+        if (!progress) {
+            bool at_floor = true;
+            for (const sys::TaskSpec& t : res.minimal.app.tasks) {
+                at_floor = at_floor && t.jobs == 1;
+            }
+            if (!at_floor) {
+                Scenario c = res.minimal;
+                halve_jobs(c);
+                attempt(std::move(c));
+            }
+        }
+        for (std::size_t i = 0; !progress && i < res.minimal.app.tasks.size(); ++i) {
+            if (res.minimal.app.tasks[i].exec_cost.ns() <= 1) {
+                continue;
+            }
+            Scenario c = res.minimal;
+            halve_exec(c, i);
+            attempt(std::move(c));
+        }
+        for (std::size_t g = 0; !progress && g < res.minimal.mutexes.size(); ++g) {
+            Scenario c = res.minimal;
+            halve_cs(c, g);
+            attempt(std::move(c));
+        }
+    }
+
+    res.minimal.name = "s" + std::to_string(res.minimal.seed) + "-min";
+    res.verdict = run_scenario(res.minimal, plan);
+    res.replay_identical =
+        verdict_bytes(res.verdict) == verdict_bytes(run_scenario(res.minimal, plan));
+    return res;
+}
+
+void write_shrink_json(std::ostream& os, const ShrinkResult& res) {
+    os << "{\"schema\":\"slm-soak-shrink-v1\"";
+    os << ",\"rounds\":" << res.rounds;
+    os << ",\"attempts\":" << res.attempts;
+    os << ",\"accepted\":" << res.accepted;
+    os << ",\"replay_identical\":" << (res.replay_identical ? "true" : "false");
+    os << ",\"verdict\":";
+    write_verdict_json(os, res.verdict);
+    os << ",\"scenario\":";
+    write_scenario_json(os, res.minimal);
+    os << "}\n";
+}
+
+}  // namespace slm::soak

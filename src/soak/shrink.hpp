@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "fault/fault.hpp"
+#include "soak/gen.hpp"
+#include "soak/soak.hpp"
+
+namespace slm::soak {
+
+/// Delta-debugging shrinker (docs/soak-testing.md): given a failing scenario,
+/// greedily apply structure-preserving reductions — drop a task (cascading
+/// its channels, stimuli, and mutex memberships), drop a mutex group or a
+/// redundant stimulus, halve every job count, halve a task's execution cost,
+/// halve a group's critical sections — keeping a reduction only when the
+/// reduced scenario still fails (>= 1 violation under the same fault plan).
+/// Runs serially and in a deterministic attempt order, so the minimal repro
+/// is a pure function of (scenario, plan).
+
+struct ShrinkResult {
+    Scenario minimal;
+    ScenarioVerdict verdict;  ///< of the minimal scenario
+    std::uint64_t rounds = 0;
+    std::uint64_t attempts = 0;
+    std::uint64_t accepted = 0;
+    /// The minimal scenario was re-run and its verdict JSON compared
+    /// byte-for-byte — the repro's replay determinism, verified.
+    bool replay_identical = false;
+};
+
+/// Shrink `failing` (which must fail under `plan`; asserted) to a local
+/// minimum: no single remaining reduction preserves the failure.
+[[nodiscard]] ShrinkResult shrink(const Scenario& failing,
+                                  const fault::FaultPlan* plan = nullptr);
+
+/// Canonical single-line slm-soak-shrink-v1 JSON: shrink statistics, the
+/// minimal verdict, and the full minimal scenario spec (the seed+spec repro).
+void write_shrink_json(std::ostream& os, const ShrinkResult& res);
+
+}  // namespace slm::soak

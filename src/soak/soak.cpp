@@ -1,0 +1,441 @@
+#include "soak/soak.hpp"
+
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <utility>
+
+#include "rtos/os_channels.hpp"
+#include "sim/assert.hpp"
+#include "sys/elaborate.hpp"
+#include "trace/trace.hpp"
+
+namespace slm::soak {
+
+namespace {
+
+constexpr std::size_t kMaxStoredWaitViolations = 8;
+
+}  // namespace
+
+// ---- SoakMonitor ----
+
+void SoakMonitor::set_wait_bound(const std::string& task, SimTime bound) {
+    wait_bounds_[task] = bound;
+}
+
+void SoakMonitor::stamp(SimTime now) {
+    if (now < last_) {
+        if (monotone_violations_ == 0) {
+            first_monotone_ = "monotone: observer time went backwards (" +
+                              last_.to_string() + " -> " + now.to_string() + ")";
+        }
+        ++monotone_violations_;
+    } else {
+        last_ = now;
+    }
+}
+
+void SoakMonitor::on_task_state(const rtos::Task&, rtos::TaskState, rtos::TaskState,
+                                SimTime now) {
+    stamp(now);
+}
+
+void SoakMonitor::on_preempt(const rtos::Task&, const rtos::Task&, SimTime now) {
+    stamp(now);
+}
+
+void SoakMonitor::on_completion(const rtos::Task&, SimTime, bool, SimTime now) {
+    stamp(now);
+}
+
+void SoakMonitor::on_isr(const std::string&, SimTime now) { stamp(now); }
+
+void SoakMonitor::on_resource_block(const rtos::Task&, const rtos::Task&,
+                                    const std::string&, SimTime now) {
+    stamp(now);
+}
+
+void SoakMonitor::on_resource_acquire(const rtos::Task& t, const std::string& r,
+                                      SimTime waited, SimTime now) {
+    stamp(now);
+    const auto it = wait_bounds_.find(t.name());
+    if (it != wait_bounds_.end() && waited > it->second) {
+        if (wait_violations_.size() < kMaxStoredWaitViolations) {
+            wait_violations_.push_back(
+                "blocking: task " + t.name() + " waited " +
+                std::to_string(waited.ns()) + " ns for " + r + " (bound " +
+                std::to_string(it->second.ns()) + " ns)");
+        }
+        ++wait_violation_count_;
+    }
+}
+
+void SoakMonitor::on_resource_release(const rtos::Task&, const std::string&,
+                                      SimTime now) {
+    stamp(now);
+}
+
+void SoakMonitor::on_channel_op(const std::string& channel, const char* op,
+                                SimTime now) {
+    stamp(now);
+    ChannelOps& c = channels_[channel];
+    if (std::strcmp(op, "send") == 0) {
+        ++c.sends;
+    } else if (std::strcmp(op, "recv") == 0) {
+        ++c.recvs;
+    } else if (std::strcmp(op, "acquire") == 0) {
+        ++c.acquires;
+    } else if (std::strcmp(op, "release") == 0) {
+        ++c.releases;
+    }
+}
+
+void SoakMonitor::on_deadline_miss(const rtos::Task&, SimTime, SimTime now) {
+    stamp(now);
+}
+
+void SoakMonitor::finish(std::vector<std::string>& out) const {
+    if (monotone_violations_ != 0) {
+        out.push_back(first_monotone_ + " (" +
+                      std::to_string(monotone_violations_) + " total)");
+    }
+    // std::map iteration = name order: deterministic at any jobs count.
+    for (const auto& [name, ops] : channels_) {
+        if (ops.sends != ops.recvs) {
+            out.push_back("lost-token: channel " + name + " saw " +
+                          std::to_string(ops.sends) + " sends but " +
+                          std::to_string(ops.recvs) + " recvs");
+        }
+        if (ops.acquires != ops.releases) {
+            out.push_back("lost-wakeup: channel " + name + " saw " +
+                          std::to_string(ops.releases) + " releases but " +
+                          std::to_string(ops.acquires) + " acquires");
+        }
+    }
+    for (const std::string& w : wait_violations_) {
+        out.push_back(w);
+    }
+    if (wait_violation_count_ > wait_violations_.size()) {
+        out.push_back("blocking: " +
+                      std::to_string(wait_violation_count_ - wait_violations_.size()) +
+                      " further bound violations elided");
+    }
+}
+
+// ---- engine ----
+
+ScenarioVerdict run_scenario(const Scenario& sc, const fault::FaultPlan* plan) {
+    ScenarioVerdict v;
+    v.seed = sc.seed;
+    v.name = sc.name;
+    v.family = to_string(sc.family);
+    v.expected_jobs = sc.total_jobs;
+    v.oracle_eligible = sc.oracle_eligible;
+
+    // Analytic side of the differential oracle, computed before the run so a
+    // wait bound can stream-check during it.
+    std::vector<analysis::PeriodicTaskSpec> view;
+    std::vector<SimTime> bounds;
+    bool schedulable = false;
+    if (sc.oracle_eligible) {
+        view = analysis_view(sc);
+        v.hyperperiod_overflow = !analysis::hyperperiod_checked(view).has_value();
+        schedulable = true;
+        bounds.resize(view.size());
+        for (std::size_t i = 0; i < view.size(); ++i) {
+            const std::optional<SimTime> r =
+                analysis::response_time_with_blocking(view, i, blocking_bound(sc, i));
+            if (!r.has_value() || *r > view[i].effective_deadline()) {
+                schedulable = false;
+                break;
+            }
+            bounds[i] = *r;
+        }
+    }
+    v.rta_schedulable = schedulable;
+
+    SoakMonitor monitor;
+    if (schedulable) {
+        // A mutex wait is part of the response: it can never legitimately
+        // exceed the task's whole response-time bound.
+        for (std::size_t i = 0; i < view.size(); ++i) {
+            monitor.set_wait_bound(view[i].name, bounds[i]);
+        }
+    }
+
+    std::optional<fault::FaultInjector> inj;
+    if (plan != nullptr) {
+        inj.emplace(*plan, sc.seed);
+    }
+
+    sys::SystemOptions opts;
+    opts.base_rtos.preemption_granularity = sc.granularity;
+    opts.on_os = [&](rtos::OsCore& os) {
+        os.add_observer(&monitor);
+        if (inj.has_value()) {
+            inj->attach(os);
+        }
+    };
+    sys::System system(sc.app, sc.platform, sc.mapping, opts);
+
+    // Shared mutexes + the split behaviors of their member tasks: the
+    // critical sections live inside the member's execution budget, so total
+    // per-job work still equals the spec's exec_cost and the RTA wcet.
+    std::vector<std::unique_ptr<rtos::OsMutex>> mutexes;
+    if (!sc.mutexes.empty()) {
+        std::map<std::string, rtos::OsMutex*> by_name;
+        for (const MutexGroup& g : sc.mutexes) {
+            const sys::TaskBinding* b = sc.mapping.binding(g.tasks.front());
+            SLM_ASSERT(b != nullptr, "mutex group member has no binding");
+            arch::ProcessingElement* host = system.pe(b->pe);
+            mutexes.push_back(std::make_unique<rtos::OsMutex>(
+                host->os(), rtos::OsMutex::Protocol::PriorityInheritance, g.name));
+            by_name[g.name] = mutexes.back().get();
+        }
+        for (const sys::TaskSpec& t : sc.app.tasks) {
+            std::vector<std::pair<rtos::OsMutex*, SimTime>> locks;
+            for (const MutexGroup& g : sc.mutexes) {
+                for (std::size_t m = 0; m < g.tasks.size(); ++m) {
+                    if (g.tasks[m] == t.name) {
+                        locks.emplace_back(by_name[g.name], g.cs[m]);
+                    }
+                }
+            }
+            if (locks.empty()) {
+                continue;
+            }
+            SimTime cs_total;
+            for (const auto& [mux, cs] : locks) {
+                cs_total += cs;
+            }
+            const SimTime pre = (t.exec_cost - cs_total) / 2;
+            const SimTime post = t.exec_cost - cs_total - pre;
+            system.set_behavior(t.name,
+                                [pre, post, locks = std::move(locks)](sys::TaskCtx& ctx) {
+                                    ctx.exec(pre);
+                                    for (const auto& [mux, cs] : locks) {
+                                        mux->lock();
+                                        ctx.exec(cs);
+                                        mux->unlock();
+                                    }
+                                    ctx.exec(post);
+                                });
+        }
+    }
+
+    system.run();  // horizon zero: to completion, so conservation is exact
+
+    const sys::SystemMetrics m = system.metrics();
+    v.jobs_completed = m.jobs_completed;
+    v.sim_ns = m.sim_duration.ns();
+    v.deadline_misses = m.task_deadline_misses;
+    for (const sys::PeMetrics& pe : m.pes) {
+        v.preemptions += pe.preemptions;
+    }
+    if (inj.has_value()) {
+        v.faults_injected = inj->stats().total();
+    }
+
+    if (m.jobs_completed != sc.total_jobs) {
+        v.violations.push_back("conservation: completed " +
+                               std::to_string(m.jobs_completed) + " of " +
+                               std::to_string(sc.total_jobs) + " expected jobs");
+    }
+    monitor.finish(v.violations);
+
+    if (sc.oracle_eligible) {
+        arch::ProcessingElement* pe0 = system.pe(sc.platform.pes.front().name);
+        if (schedulable) {
+            for (std::size_t i = 0; i < view.size(); ++i) {
+                const rtos::Task* task = nullptr;
+                for (const rtos::Task* t : pe0->os().tasks()) {
+                    if (t->name() == view[i].name) {
+                        task = t;
+                    }
+                }
+                SLM_ASSERT(task != nullptr, "oracle task vanished");
+                if (task->stats().deadline_misses != 0) {
+                    v.violations.push_back(
+                        "rta: schedulable task " + view[i].name + " missed " +
+                        std::to_string(task->stats().deadline_misses) + " deadlines");
+                }
+                if (task->stats().max_response > bounds[i]) {
+                    v.violations.push_back(
+                        "rta: task " + view[i].name + " max_response " +
+                        std::to_string(task->stats().max_response.ns()) +
+                        " ns exceeds bound " + std::to_string(bounds[i].ns()) + " ns");
+                }
+            }
+        } else if (m.task_deadline_misses == 0) {
+            v.suspicious = true;  // RTA said no, the simulation sailed through
+        }
+    }
+    return v;
+}
+
+SoakResult run_soak(const SoakConfig& cfg, parallel::ParallelStats* stats_out) {
+    SoakResult res;
+    res.cfg = cfg;
+    std::optional<fault::FaultPlan> plan;
+    if (!cfg.fault_plan.empty()) {
+        std::string err;
+        plan = fault::FaultPlan::parse(cfg.fault_plan, &err);
+        SLM_ASSERT(plan.has_value(), err.empty() ? "bad fault plan" : err.c_str());
+    }
+    res.verdicts.resize(cfg.scenarios);
+    // Whole scenarios shard across workers into seed-ordered slots: each
+    // scenario owns a private kernel, so any jobs count merges to identical
+    // verdicts (the for_each_index determinism contract).
+    parallel::for_each_index(
+        cfg.scenarios, cfg.jobs,
+        [&](std::size_t i) {
+            const Scenario sc = generate(cfg.gen, cfg.first_seed + i);
+            res.verdicts[i] = run_scenario(sc, plan.has_value() ? &*plan : nullptr);
+        },
+        stats_out);
+    return res;
+}
+
+// ---- aggregates ----
+
+std::uint64_t SoakResult::total_jobs() const {
+    std::uint64_t n = 0;
+    for (const ScenarioVerdict& v : verdicts) {
+        n += v.jobs_completed;
+    }
+    return n;
+}
+
+std::uint64_t SoakResult::total_violations() const {
+    std::uint64_t n = 0;
+    for (const ScenarioVerdict& v : verdicts) {
+        n += v.violations.size();
+    }
+    return n;
+}
+
+std::uint64_t SoakResult::total_suspicious() const {
+    std::uint64_t n = 0;
+    for (const ScenarioVerdict& v : verdicts) {
+        n += v.suspicious ? 1 : 0;
+    }
+    return n;
+}
+
+std::uint64_t SoakResult::total_deadline_misses() const {
+    std::uint64_t n = 0;
+    for (const ScenarioVerdict& v : verdicts) {
+        n += v.deadline_misses;
+    }
+    return n;
+}
+
+std::uint64_t SoakResult::oracle_checked() const {
+    std::uint64_t n = 0;
+    for (const ScenarioVerdict& v : verdicts) {
+        n += v.oracle_eligible ? 1 : 0;
+    }
+    return n;
+}
+
+std::uint64_t SoakResult::rta_schedulable_count() const {
+    std::uint64_t n = 0;
+    for (const ScenarioVerdict& v : verdicts) {
+        n += v.rta_schedulable ? 1 : 0;
+    }
+    return n;
+}
+
+std::uint64_t SoakResult::hyperperiod_overflows() const {
+    std::uint64_t n = 0;
+    for (const ScenarioVerdict& v : verdicts) {
+        n += v.hyperperiod_overflow ? 1 : 0;
+    }
+    return n;
+}
+
+const ScenarioVerdict* SoakResult::first_failure() const {
+    for (const ScenarioVerdict& v : verdicts) {
+        if (v.failed()) {
+            return &v;
+        }
+    }
+    return nullptr;
+}
+
+// ---- canonical JSON ----
+
+void write_verdict_json(std::ostream& os, const ScenarioVerdict& v) {
+    os << "{\"seed\":" << v.seed;
+    os << ",\"name\":\"" << trace::json_escape(v.name) << '"';
+    os << ",\"family\":\"" << trace::json_escape(v.family) << '"';
+    os << ",\"expected_jobs\":" << v.expected_jobs;
+    os << ",\"jobs_completed\":" << v.jobs_completed;
+    os << ",\"deadline_misses\":" << v.deadline_misses;
+    os << ",\"preemptions\":" << v.preemptions;
+    os << ",\"faults_injected\":" << v.faults_injected;
+    os << ",\"oracle_eligible\":" << (v.oracle_eligible ? "true" : "false");
+    os << ",\"rta_schedulable\":" << (v.rta_schedulable ? "true" : "false");
+    os << ",\"suspicious\":" << (v.suspicious ? "true" : "false");
+    os << ",\"hyperperiod_overflow\":" << (v.hyperperiod_overflow ? "true" : "false");
+    os << ",\"sim_ns\":" << v.sim_ns;
+    os << ",\"violations\":[";
+    for (std::size_t i = 0; i < v.violations.size(); ++i) {
+        if (i != 0) {
+            os << ',';
+        }
+        os << '"' << trace::json_escape(v.violations[i]) << '"';
+    }
+    os << "]}";
+}
+
+void write_soak_json(std::ostream& os, const SoakResult& res) {
+    os << "{\"schema\":\"slm-soak-result-v1\"";
+    os << ",\"first_seed\":" << res.cfg.first_seed;
+    os << ",\"scenarios\":" << res.cfg.scenarios;
+    os << ",\"jobs_target\":" << res.cfg.gen.jobs_target;
+    os << ",\"fault_plan\":\"" << trace::json_escape(res.cfg.fault_plan) << '"';
+    os << ",\"total_jobs\":" << res.total_jobs();
+    os << ",\"violations\":" << res.total_violations();
+    os << ",\"suspicious\":" << res.total_suspicious();
+    os << ",\"deadline_misses\":" << res.total_deadline_misses();
+    os << ",\"oracle_checked\":" << res.oracle_checked();
+    os << ",\"rta_schedulable\":" << res.rta_schedulable_count();
+    os << ",\"hyperperiod_overflows\":" << res.hyperperiod_overflows();
+    os << ",\"verdicts\":[";
+    for (std::size_t i = 0; i < res.verdicts.size(); ++i) {
+        if (i != 0) {
+            os << ',';
+        }
+        write_verdict_json(os, res.verdicts[i]);
+    }
+    os << "]}\n";
+}
+
+void register_soak_stats(obs::Registry& reg, const SoakResult& res) {
+    const auto set = [&](const char* name, const char* help, double v) {
+        reg.gauge(name, help, {}).set(v);
+    };
+    set("slm_soak_scenarios", "Scenarios run by the soak harness",
+        static_cast<double>(res.verdicts.size()));
+    set("slm_soak_jobs_total", "Jobs completed across all soak scenarios",
+        static_cast<double>(res.total_jobs()));
+    set("slm_soak_violations_total", "Invariant/oracle violations detected",
+        static_cast<double>(res.total_violations()));
+    set("slm_soak_suspicious_total",
+        "RTA-unschedulable scenarios that missed no deadlines",
+        static_cast<double>(res.total_suspicious()));
+    set("slm_soak_oracle_checked", "Scenarios the RTA deadline oracle applied to",
+        static_cast<double>(res.oracle_checked()));
+    set("slm_soak_rta_schedulable", "Scenarios RTA proved schedulable",
+        static_cast<double>(res.rta_schedulable_count()));
+    set("slm_soak_deadline_misses_total", "Deadline misses across all scenarios",
+        static_cast<double>(res.total_deadline_misses()));
+    set("slm_soak_hyperperiod_overflows_total",
+        "Task sets whose period LCM overflowed SimTime",
+        static_cast<double>(res.hyperperiod_overflows()));
+}
+
+}  // namespace slm::soak

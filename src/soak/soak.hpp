@@ -1,0 +1,150 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/parallel.hpp"
+#include "rtos/core.hpp"
+#include "soak/gen.hpp"
+
+namespace slm::soak {
+
+/// The soak engine (docs/soak-testing.md): run generated scenarios to
+/// completion under streaming invariant monitors and the analytic
+/// differential oracle, sharded across slm::parallel with a deterministic
+/// seed-order merge. The canonical slm-soak-result-v1 JSON is byte-identical
+/// at any --jobs count (ci/check_soak.sh pins this).
+
+/// Everything the harness concluded about one scenario run. `violations` is
+/// the hard-failure list — deterministic messages in detection order; an
+/// empty list means every invariant and oracle check passed. `suspicious`
+/// flags the soft finding (analytically unschedulable by RTA, yet zero
+/// misses in simulation) that is logged but never fails a run: RTA with a
+/// conservative blocking term is sufficient, not necessary.
+struct ScenarioVerdict {
+    std::uint64_t seed = 0;
+    std::string name;
+    std::string family;
+    std::uint64_t expected_jobs = 0;
+    std::uint64_t jobs_completed = 0;
+    std::uint64_t deadline_misses = 0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t faults_injected = 0;
+    bool oracle_eligible = false;
+    bool rta_schedulable = false;
+    bool suspicious = false;
+    /// analysis::hyperperiod_checked() overflowed for this task set; the
+    /// deadline oracle still ran (it needs response-time bounds, not the
+    /// hyperperiod) but the overflow is surfaced as a diagnostic.
+    bool hyperperiod_overflow = false;
+    std::uint64_t sim_ns = 0;
+    std::vector<std::string> violations;
+
+    [[nodiscard]] bool failed() const { return !violations.empty(); }
+};
+
+struct SoakConfig {
+    GenConfig gen;
+    std::uint64_t first_seed = 1;
+    std::size_t scenarios = 16;
+    /// Worker threads for scenario sharding; 1 = serial (the determinism
+    /// baseline), 0 = hardware concurrency.
+    unsigned jobs = 1;
+    /// Optional slm::fault plan text applied to every scenario (the injector
+    /// is seeded with the scenario seed, so replay stays exact). Empty = no
+    /// faults. This is the "planted defect" hook of ci/check_soak.sh.
+    std::string fault_plan;
+};
+
+struct SoakResult {
+    SoakConfig cfg;
+    std::vector<ScenarioVerdict> verdicts;  ///< seed order, all jobs counts
+
+    [[nodiscard]] std::uint64_t total_jobs() const;
+    [[nodiscard]] std::uint64_t total_violations() const;
+    [[nodiscard]] std::uint64_t total_suspicious() const;
+    [[nodiscard]] std::uint64_t total_deadline_misses() const;
+    [[nodiscard]] std::uint64_t oracle_checked() const;
+    [[nodiscard]] std::uint64_t rta_schedulable_count() const;
+    [[nodiscard]] std::uint64_t hyperperiod_overflows() const;
+    /// Lowest-seed failing verdict, or nullptr when the soak is clean.
+    [[nodiscard]] const ScenarioVerdict* first_failure() const;
+};
+
+/// Run one scenario to completion and judge it. `plan` (optional) attaches a
+/// seeded fault injector to every PE. Deterministic: equal (scenario, plan)
+/// inputs produce byte-identical verdicts.
+[[nodiscard]] ScenarioVerdict run_scenario(const Scenario& sc,
+                                           const fault::FaultPlan* plan = nullptr);
+
+/// Generate and run cfg.scenarios scenarios (seeds first_seed ...
+/// first_seed + scenarios - 1), sharded whole-scenario across
+/// parallel::for_each_index into seed-ordered slots.
+[[nodiscard]] SoakResult run_soak(const SoakConfig& cfg,
+                                  parallel::ParallelStats* stats_out = nullptr);
+
+/// Canonical single-line JSON. write_soak_json emits the
+/// slm-soak-result-v1 envelope with per-scenario verdicts.
+void write_verdict_json(std::ostream& os, const ScenarioVerdict& v);
+void write_soak_json(std::ostream& os, const SoakResult& res);
+
+/// Export the aggregates as plain slm_soak_* gauges (values copied at call
+/// time; the result may die before the registry exports).
+void register_soak_stats(obs::Registry& reg, const SoakResult& res);
+
+/// Streaming invariant monitor attached to every PE core of a scenario run:
+/// monotone observer timeline, per-channel send/recv and acquire/release
+/// conservation (the lost-wakeup detector: a sent token nobody received, or
+/// an ISR semaphore release never drained), and per-task bounded blocking
+/// (mutex wait beyond the task's analytic response bound). Exposed for
+/// tests; run_scenario owns the usual lifecycle.
+class SoakMonitor final : public rtos::OsObserver {
+public:
+    /// Arm the wait-bound check for `task` (only meaningful when the
+    /// scenario's RTA found it schedulable — the bound is its response time).
+    void set_wait_bound(const std::string& task, SimTime bound);
+
+    /// Append any invariant violations to `out`, deterministically ordered.
+    void finish(std::vector<std::string>& out) const;
+
+    void on_task_state(const rtos::Task& t, rtos::TaskState from, rtos::TaskState to,
+                       SimTime now) override;
+    void on_preempt(const rtos::Task& p, const rtos::Task& by, SimTime now) override;
+    void on_completion(const rtos::Task& t, SimTime response, bool missed,
+                       SimTime now) override;
+    void on_isr(const std::string& irq, SimTime now) override;
+    void on_resource_block(const rtos::Task& b, const rtos::Task& h,
+                           const std::string& r, SimTime now) override;
+    void on_resource_acquire(const rtos::Task& t, const std::string& r,
+                             SimTime waited, SimTime now) override;
+    void on_resource_release(const rtos::Task& t, const std::string& r,
+                             SimTime now) override;
+    void on_channel_op(const std::string& channel, const char* op,
+                       SimTime now) override;
+    void on_deadline_miss(const rtos::Task& t, SimTime overrun, SimTime now) override;
+
+private:
+    struct ChannelOps {
+        std::uint64_t sends = 0;
+        std::uint64_t recvs = 0;
+        std::uint64_t acquires = 0;
+        std::uint64_t releases = 0;
+    };
+
+    void stamp(SimTime now);
+
+    SimTime last_{};
+    std::uint64_t monotone_violations_ = 0;
+    std::string first_monotone_;
+    std::map<std::string, ChannelOps> channels_;
+    std::map<std::string, SimTime> wait_bounds_;
+    std::vector<std::string> wait_violations_;  ///< first few, verbatim
+    std::uint64_t wait_violation_count_ = 0;
+};
+
+}  // namespace slm::soak

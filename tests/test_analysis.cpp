@@ -118,6 +118,61 @@ TEST(Analysis, BlockingCanBreakSchedulability) {
     EXPECT_FALSE(response_time_with_blocking(ts, 2, 260_ms).has_value());
 }
 
+TEST(Analysis, ZeroBlockingMatchesPlainResponseTime) {
+    const auto ts = schedulable_set();
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        EXPECT_EQ(response_time_with_blocking(ts, i, SimTime::zero()),
+                  response_time(ts, i))
+            << ts[i].name;
+    }
+}
+
+TEST(Analysis, OverloadedRecurrenceDiverges) {
+    // Higher-priority utilization 1.2 with an effectively unbounded deadline:
+    // every busy period grows without bound, so the recurrence never reaches
+    // a fixpoint and must report nullopt (via the iteration cap), not hang or
+    // hand back a wrapped value.
+    std::vector<PeriodicTaskSpec> ts = {task("H1", 10_ms, 6_ms, 0),
+                                        task("H2", 10_ms, 6_ms, 1),
+                                        task("L", 100_ms, 5_ms, 2)};
+    ts[2].deadline = SimTime::max();
+    EXPECT_FALSE(response_time(ts, 2).has_value());
+    EXPECT_FALSE(response_time_with_blocking(ts, 2, 1_ms).has_value());
+}
+
+TEST(Analysis, SaturatedInterferenceIsDivergenceNotGarbage) {
+    // A near-max WCET makes the interference term saturate SimTime; the
+    // fixpoint must be reported as divergent instead of "converging" on max.
+    std::vector<PeriodicTaskSpec> ts = {
+        task("H", 1_ms, SimTime{std::uint64_t{1} << 62}, 0),
+        task("L", 10_ms, 1_ms, 1)};
+    ts[1].deadline = SimTime::max();
+    EXPECT_FALSE(response_time(ts, 1).has_value());
+}
+
+TEST(Analysis, HyperperiodExactAndChecked) {
+    std::vector<PeriodicTaskSpec> ts = {task("a", 4_ms, 1_ms), task("b", 6_ms, 1_ms)};
+    EXPECT_EQ(hyperperiod(ts), 12_ms);
+    EXPECT_EQ(hyperperiod_checked(ts), std::optional<SimTime>{12_ms});
+    EXPECT_EQ(hyperperiod({}), SimTime::zero());
+    EXPECT_EQ(hyperperiod_checked({}), std::optional<SimTime>{SimTime::zero()});
+}
+
+TEST(Analysis, HyperperiodOverflowIsDetected) {
+    // Three coprime ~2^31 ns periods: the pairwise LCM still fits (~4.6e18),
+    // the triple product (~9.9e27) does not. The checked variant must say so;
+    // the clamping wrapper saturates instead of wrapping.
+    std::vector<PeriodicTaskSpec> ts = {
+        task("p1", SimTime{2'147'483'647}, 1_ms),  // 2^31 - 1 (prime)
+        task("p2", SimTime{2'147'483'629}, 1_ms),  // prime
+        task("p3", SimTime{2'147'483'587}, 1_ms),  // prime
+    };
+    EXPECT_FALSE(hyperperiod_checked(ts).has_value());
+    EXPECT_EQ(hyperperiod(ts), SimTime::max());
+    EXPECT_TRUE(
+        hyperperiod_checked(std::span{ts.data(), 2}).has_value());  // 2 primes fit
+}
+
 TEST(Analysis, ExplicitDeadlineTightensTest) {
     auto ts = schedulable_set();
     ts[2].deadline = 100_ms;  // T3's response (150 ms) now exceeds its deadline
@@ -194,4 +249,19 @@ TEST(AnalysisVsSimulation, HigherPriorityTasksUnaffected) {
     // T3 (highest priority) stays schedulable even in the overloaded set.
     const SimOutcome sim = simulate_rms(ts, "T3", 600_ms);
     EXPECT_LE(sim.max_response, 10_ms + 2_ms);
+}
+
+TEST(AnalysisVsSimulation, ResponseExactlyAtDeadlineIsSchedulable) {
+    // U = 1.0, fully packed: T2's response lands exactly on its deadline
+    // (R = 4 + ceil(8/4)*2 = 8 = D). The boundary counts as schedulable both
+    // analytically and in simulation — a strict > in either place would
+    // misclassify this set.
+    std::vector<PeriodicTaskSpec> ts = {task("T1", 4_ms, 2_ms),
+                                        task("T2", 8_ms, 4_ms)};
+    assign_rms_priorities(ts);
+    EXPECT_EQ(response_time(ts, 1).value(), 8_ms);
+    EXPECT_TRUE(rta_schedulable(ts));
+    const SimOutcome sim = simulate_rms(ts, "T2", 64_ms);
+    EXPECT_EQ(sim.misses, 0u);
+    EXPECT_EQ(sim.max_response, 8_ms);
 }

@@ -46,6 +46,16 @@ TEST(SimTime, AdditionSaturates) {
     EXPECT_EQ(SimTime::max() + SimTime::max(), SimTime::max());
 }
 
+TEST(SimTime, MultiplicationSaturates) {
+    // wcet * releases terms in schedulability math must clamp like operator+,
+    // not wrap to a small bogus product.
+    EXPECT_EQ(SimTime::max() * 2, SimTime::max());
+    EXPECT_EQ(2 * SimTime::max(), SimTime::max());
+    EXPECT_EQ(seconds(20) * 1'000'000'000ull, SimTime::max());
+    EXPECT_EQ(SimTime::max() * 1, SimTime::max());
+    EXPECT_EQ(SimTime::max() * 0, SimTime::zero());
+}
+
 TEST(SimTime, SubtractionClampsAtZero) {
     EXPECT_EQ(1_ns - 2_ns, SimTime::zero());
     EXPECT_EQ(SimTime::zero() - 1_s, SimTime::zero());

@@ -1,0 +1,246 @@
+#include "soak/soak.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <type_traits>
+
+#include "obs/metrics.hpp"
+#include "sim/kernel.hpp"
+#include "soak/gen.hpp"
+#include "soak/shrink.hpp"
+#include "sys/spec.hpp"
+
+using namespace slm;
+using namespace slm::time_literals;
+
+namespace {
+
+std::string scenario_bytes(const soak::Scenario& sc) {
+    std::ostringstream os;
+    soak::write_scenario_json(os, sc);
+    return os.str();
+}
+
+std::string soak_bytes(const soak::SoakResult& res) {
+    std::ostringstream os;
+    soak::write_soak_json(os, res);
+    return os.str();
+}
+
+/// Small-but-representative config: enough seeds to hit every family.
+soak::SoakConfig small_config() {
+    soak::SoakConfig cfg;
+    cfg.scenarios = 10;
+    cfg.gen.jobs_target = 120;
+    return cfg;
+}
+
+}  // namespace
+
+// ---- generator ----
+
+TEST(SoakGen, SameSeedSameBytes) {
+    const soak::GenConfig cfg;
+    EXPECT_EQ(scenario_bytes(soak::generate(cfg, 42)),
+              scenario_bytes(soak::generate(cfg, 42)));
+    EXPECT_NE(scenario_bytes(soak::generate(cfg, 42)),
+              scenario_bytes(soak::generate(cfg, 43)));
+}
+
+TEST(SoakGen, ScenariosAreValidSpecs) {
+    const soak::GenConfig cfg;
+    for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+        const soak::Scenario sc = soak::generate(cfg, seed);
+        EXPECT_TRUE(sys::validate(sc.app, sc.platform, sc.mapping).empty())
+            << "seed " << seed;
+        EXPECT_GE(sc.app.tasks.size(), 1u);
+        EXPECT_LE(sc.app.tasks.size(), cfg.max_tasks);
+        std::uint64_t jobs = 0;
+        for (const sys::TaskSpec& t : sc.app.tasks) {
+            jobs += t.jobs;
+        }
+        EXPECT_EQ(jobs, sc.total_jobs) << "seed " << seed;
+    }
+}
+
+TEST(SoakGen, OracleScenariosHaveNonzeroGranularity) {
+    const soak::GenConfig cfg;
+    bool saw_oracle = false;
+    for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+        const soak::Scenario sc = soak::generate(cfg, seed);
+        if (!sc.oracle_eligible) {
+            continue;
+        }
+        saw_oracle = true;
+        // The one-chunk default would let a lower-priority job run to
+        // completion unpreempted and void every analytic bound.
+        EXPECT_FALSE(sc.granularity.is_zero()) << "seed " << seed;
+        for (const sys::TaskSpec& t : sc.app.tasks) {
+            EXPECT_FALSE(t.period.is_zero()) << "seed " << seed;
+        }
+    }
+    EXPECT_TRUE(saw_oracle);
+}
+
+// ---- engine ----
+
+TEST(SoakRun, CleanSoakHasNoViolations) {
+    const soak::SoakResult res = soak::run_soak(small_config());
+    EXPECT_EQ(res.total_violations(), 0u);
+    EXPECT_EQ(res.first_failure(), nullptr);
+    EXPECT_GT(res.total_jobs(), 0u);
+    for (const soak::ScenarioVerdict& v : res.verdicts) {
+        EXPECT_EQ(v.jobs_completed, v.expected_jobs) << v.name;
+    }
+}
+
+TEST(SoakRun, OracleCoversBothDirections) {
+    soak::SoakConfig cfg = small_config();
+    cfg.scenarios = 24;
+    const soak::SoakResult res = soak::run_soak(cfg);
+    // The utilization range is drawn wide on purpose: some sets prove
+    // schedulable (bound checked in sim), and the oracle must have applied
+    // to a decent share of the scenarios.
+    EXPECT_GT(res.oracle_checked(), 0u);
+    EXPECT_GT(res.rta_schedulable_count(), 0u);
+    EXPECT_EQ(res.total_violations(), 0u);
+}
+
+TEST(SoakRun, ShardingIsByteIdentical) {
+    soak::SoakConfig cfg = small_config();
+    cfg.jobs = 1;
+    const std::string serial = soak_bytes(soak::run_soak(cfg));
+    cfg.jobs = 3;
+    const std::string sharded = soak_bytes(soak::run_soak(cfg));
+    EXPECT_EQ(serial, sharded);
+    EXPECT_NE(serial.find("\"schema\":\"slm-soak-result-v1\""), std::string::npos);
+}
+
+// ---- planted defect + shrinker ----
+
+TEST(SoakShrink, PlantedDefectIsCaughtAndShrunk) {
+    soak::SoakConfig cfg = small_config();
+    // Every job runs 4x its declared cost: analytically schedulable sets now
+    // blow their response-time bounds, which the oracle must catch.
+    cfg.fault_plan = "seed 1\nexec_scale * factor=4.0\n";
+    const soak::SoakResult res = soak::run_soak(cfg);
+    const soak::ScenarioVerdict* failure = res.first_failure();
+    ASSERT_NE(failure, nullptr);
+    EXPECT_GT(res.total_violations(), 0u);
+
+    std::string err;
+    const auto plan = fault::FaultPlan::parse(cfg.fault_plan, &err);
+    ASSERT_TRUE(plan.has_value()) << err;
+    const soak::Scenario failing = soak::generate(cfg.gen, failure->seed);
+    const soak::ShrinkResult shrunk = soak::shrink(failing, &*plan);
+    EXPECT_TRUE(shrunk.verdict.failed());
+    EXPECT_LE(shrunk.minimal.app.tasks.size(), failing.app.tasks.size());
+    EXPECT_GT(shrunk.accepted, 0u);
+    EXPECT_TRUE(shrunk.replay_identical);
+
+    // The minimal repro is a pure function of (scenario, plan).
+    const soak::ShrinkResult again = soak::shrink(failing, &*plan);
+    EXPECT_EQ(scenario_bytes(shrunk.minimal), scenario_bytes(again.minimal));
+}
+
+// ---- invariant monitors (fed directly, no simulation) ----
+
+TEST(SoakMonitor, DetectsLostTokenAndLostWakeup) {
+    soak::SoakMonitor m;
+    m.on_channel_op("c0", "send", 1_us);
+    m.on_channel_op("c0", "send", 2_us);
+    m.on_channel_op("c0", "recv", 3_us);
+    m.on_channel_op("sem.rx", "release", 4_us);
+    m.on_channel_op("sem.rx", "acquire", 5_us);
+    m.on_channel_op("sem.rx", "release", 6_us);
+    std::vector<std::string> out;
+    m.finish(out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_NE(out[0].find("lost-token: channel c0"), std::string::npos);
+    EXPECT_NE(out[1].find("lost-wakeup: channel sem.rx"), std::string::npos);
+}
+
+TEST(SoakMonitor, BalancedChannelsAreClean) {
+    soak::SoakMonitor m;
+    for (int i = 0; i < 1000; ++i) {
+        m.on_channel_op("c0", "send", microseconds(i));
+        m.on_channel_op("c0", "recv", microseconds(i));
+    }
+    std::vector<std::string> out;
+    m.finish(out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(SoakMonitor, DetectsTimeGoingBackwards) {
+    soak::SoakMonitor m;
+    m.on_isr("irq0", 10_us);
+    m.on_isr("irq0", 5_us);
+    m.on_isr("irq0", 4_us);
+    std::vector<std::string> out;
+    m.finish(out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_NE(out[0].find("monotone"), std::string::npos);
+    EXPECT_NE(out[0].find("2 total"), std::string::npos);
+}
+
+// ---- soak-scale overflow regressions ----
+
+// The counters the soak harness aggregates must stay 64-bit: multi-million-job
+// runs overflow 32-bit counts in minutes of simulated time. A narrowing
+// refactor should fail here, not wrap in production.
+static_assert(std::is_same_v<decltype(rtos::TaskStats::activations), std::uint64_t>);
+static_assert(std::is_same_v<decltype(rtos::TaskStats::completions), std::uint64_t>);
+static_assert(std::is_same_v<decltype(rtos::TaskStats::deadline_misses), std::uint64_t>);
+static_assert(std::is_same_v<decltype(rtos::RtosStats::dispatches), std::uint64_t>);
+static_assert(std::is_same_v<decltype(rtos::RtosStats::context_switches), std::uint64_t>);
+static_assert(std::is_same_v<decltype(rtos::RtosStats::syscalls), std::uint64_t>);
+static_assert(std::is_same_v<decltype(sim::KernelStats::delta_cycles), std::uint64_t>);
+static_assert(
+    std::is_same_v<decltype(sim::KernelStats::process_activations), std::uint64_t>);
+static_assert(
+    std::is_same_v<decltype(soak::ScenarioVerdict::jobs_completed), std::uint64_t>);
+
+TEST(SoakScale, AggregatesSurvivePastUint32) {
+    soak::SoakResult res;
+    res.verdicts.resize(3);
+    for (soak::ScenarioVerdict& v : res.verdicts) {
+        v.jobs_completed = std::uint64_t{3'000'000'000};  // > 2^31 each
+        v.deadline_misses = std::uint64_t{2'200'000'000};
+        v.preemptions = std::uint64_t{4'100'000'000};
+    }
+    EXPECT_EQ(res.total_jobs(), std::uint64_t{9'000'000'000});
+    EXPECT_EQ(res.total_deadline_misses(), std::uint64_t{6'600'000'000});
+}
+
+TEST(SoakScale, HistogramCountIsExactAtMillions) {
+    obs::Histogram h{{1.0, 10.0, 100.0}};
+    constexpr std::uint64_t kN = 2'000'000;
+    for (std::uint64_t i = 0; i < kN; ++i) {
+        h.observe(static_cast<double>(i % 200));
+    }
+    EXPECT_EQ(h.count(), kN);
+    std::uint64_t bucket_total = 0;
+    for (const std::uint64_t c : h.bucket_counts()) {
+        bucket_total += c;
+    }
+    EXPECT_EQ(bucket_total, kN);
+}
+
+// ---- metrics export ----
+
+TEST(SoakStats, RegistersAllFamilies) {
+    const soak::SoakResult res = soak::run_soak(small_config());
+    obs::Registry reg;
+    soak::register_soak_stats(reg, res);
+    std::ostringstream os;
+    reg.write_prometheus(os);
+    const std::string prom = os.str();
+    for (const char* family :
+         {"slm_soak_scenarios", "slm_soak_jobs_total", "slm_soak_violations_total",
+          "slm_soak_suspicious_total", "slm_soak_oracle_checked",
+          "slm_soak_rta_schedulable", "slm_soak_deadline_misses_total",
+          "slm_soak_hyperperiod_overflows_total"}) {
+        EXPECT_NE(prom.find(family), std::string::npos) << family;
+    }
+}
